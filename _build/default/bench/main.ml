@@ -1,0 +1,226 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every figure/table from the paper's evaluation (the
+   experiment modules print the same rows/series the paper reports).
+
+   Part 2 runs Bechamel microbenchmarks for the mechanisms the paper costs
+   out in §4.2 and §5.6: list vs tree lottery draws across client counts,
+   whole-kernel scheduling decisions under each policy, currency-graph
+   valuation, and the PRNGs. *)
+
+open Bechamel
+open Toolkit
+
+(* --- part 1: figure regeneration -------------------------------------- *)
+
+let figures () =
+  print_endline "=================================================================";
+  print_endline " Paper evaluation reproduction (see EXPERIMENTS.md for analysis)";
+  print_endline "=================================================================";
+  Lotto_exp.Fig4.(print (run ()));
+  Lotto_exp.Fig5.(print (run ()));
+  Lotto_exp.Fig6.(print (run ()));
+  Lotto_exp.Fig7.(print (run ()));
+  Lotto_exp.Fig8.(print (run ()));
+  Lotto_exp.Fig9.(print (run ()));
+  Lotto_exp.Fig11.(print (run ()));
+  Lotto_exp.Compensation.(print (run ()));
+  Lotto_exp.Overhead.(print (run ()));
+  Lotto_exp.Mem.(print (run ()));
+  Lotto_exp.Io.(print (run ()));
+  Lotto_exp.Disk_exp.(print (run ()));
+  Lotto_exp.Switch_exp.(print (run ()));
+  Lotto_exp.Ablation_quantum.(print (run ()));
+  Lotto_exp.Ablation_variance.(print (run ()));
+  Lotto_exp.Disk_service_exp.(print (run ()));
+  Lotto_exp.Manager_exp.(print (run ()));
+  Lotto_exp.Ablation_mc.(print (run ()));
+  Lotto_exp.Search_length.(print (run ()))
+
+(* --- part 2: microbenchmarks ------------------------------------------- *)
+
+let draw_bench_sizes = [ 4; 16; 64; 256; 1024 ]
+
+(* one lottery draw, list vs tree, across client counts (paper §4.2: the
+   tree needs only lg n work) *)
+let list_draw_test n =
+  let rng = Core.Rng.create ~seed:1 () in
+  let t = Core.List_lottery.create () in
+  for i = 1 to n do
+    ignore (Core.List_lottery.add t ~client:i ~weight:(float_of_int i))
+  done;
+  Test.make
+    ~name:(Printf.sprintf "draw/list/%04d" n)
+    (Staged.stage (fun () -> ignore (Core.List_lottery.draw t rng)))
+
+let sorted_list_draw_test n =
+  let rng = Core.Rng.create ~seed:1 () in
+  let t = Core.List_lottery.create ~order:Core.List_lottery.By_weight () in
+  for i = 1 to n do
+    ignore (Core.List_lottery.add t ~client:i ~weight:(float_of_int i))
+  done;
+  Test.make
+    ~name:(Printf.sprintf "draw/list-sorted/%04d" n)
+    (Staged.stage (fun () -> ignore (Core.List_lottery.draw t rng)))
+
+let distributed_draw_test n =
+  let rng = Core.Rng.create ~seed:1 () in
+  let t = Core.Distributed_lottery.create ~nodes:16 () in
+  for i = 1 to n do
+    ignore
+      (Core.Distributed_lottery.add t ~node:(i mod 16) ~client:i
+         ~weight:(float_of_int i))
+  done;
+  Test.make
+    ~name:(Printf.sprintf "draw/distributed16/%04d" n)
+    (Staged.stage (fun () -> ignore (Core.Distributed_lottery.draw t rng)))
+
+let tree_draw_test n =
+  let rng = Core.Rng.create ~seed:1 () in
+  let t = Core.Tree_lottery.create () in
+  for i = 1 to n do
+    ignore (Core.Tree_lottery.add t ~client:i ~weight:(float_of_int i))
+  done;
+  Test.make
+    ~name:(Printf.sprintf "draw/tree/%04d" n)
+    (Staged.stage (fun () -> ignore (Core.Tree_lottery.draw t rng)))
+
+(* a full scheduling decision: one kernel quantum under each policy with 8
+   compute-bound threads (the §5.6 overhead comparison, distilled) *)
+let kernel_step_test name make_sched fund =
+  let sched, fund_thread = make_sched () in
+  let k = Core.Kernel.create ~sched () in
+  for i = 1 to 8 do
+    let th =
+      Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+          while true do
+            Core.Api.compute (Core.Time.ms 100)
+          done)
+    in
+    if fund then fund_thread th (100 * i)
+  done;
+  Test.make
+    ~name:(Printf.sprintf "kernel-quantum/%s" name)
+    (Staged.stage (fun () ->
+         ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
+
+let lottery_sched_maker mode () =
+  let rng = Core.Rng.create ~seed:2 () in
+  let ls = Core.Lottery_sched.create ~mode ~rng () in
+  ( Core.Lottery_sched.sched ls,
+    fun th amount ->
+      ignore
+        (Core.Lottery_sched.fund_thread ls th ~amount
+           ~from:(Core.Lottery_sched.base_currency ls)) )
+
+let stride_maker () =
+  let st = Core.Stride_sched.create () in
+  (Core.Stride_sched.sched st, fun th n -> Core.Stride_sched.set_tickets st th n)
+
+let rr_maker () =
+  (Core.Round_robin.sched (Core.Round_robin.create ()), fun _ _ -> ())
+
+let decay_maker () =
+  (Core.Decay_usage.sched (Core.Decay_usage.create ()), fun _ _ -> ())
+
+(* currency-graph valuation cost: a deep funding chain and a wide currency *)
+let valuation_chain_test depth =
+  let sys = Core.Funding.create_system () in
+  let base = Core.Funding.base sys in
+  let rec build from i =
+    if i = depth then from
+    else begin
+      let c = Core.Funding.make_currency sys ~name:(Printf.sprintf "chain%d" i) in
+      let t = Core.Funding.issue sys ~currency:from ~amount:100 in
+      Core.Funding.fund sys ~ticket:t ~currency:c;
+      build c (i + 1)
+    end
+  in
+  let bottom = build base 0 in
+  let held = Core.Funding.issue sys ~currency:bottom ~amount:10 in
+  Core.Funding.hold sys held;
+  Test.make
+    ~name:(Printf.sprintf "valuation/chain-depth-%02d" depth)
+    (Staged.stage (fun () -> ignore (Core.Funding.ticket_value sys held)))
+
+let valuation_wide_test width =
+  let sys = Core.Funding.create_system () in
+  let base = Core.Funding.base sys in
+  let c = Core.Funding.make_currency sys ~name:"wide" in
+  for _ = 1 to width do
+    let t = Core.Funding.issue sys ~currency:base ~amount:10 in
+    Core.Funding.fund sys ~ticket:t ~currency:c
+  done;
+  let held = Core.Funding.issue sys ~currency:c ~amount:10 in
+  Core.Funding.hold sys held;
+  Test.make
+    ~name:(Printf.sprintf "valuation/wide-%03d" width)
+    (Staged.stage (fun () -> ignore (Core.Funding.ticket_value sys held)))
+
+(* PRNG draw cost (the paper's Appendix A argues ~10 RISC instructions) *)
+let prng_test algo name =
+  let rng = Core.Rng.create ~algo ~seed:3 () in
+  Test.make
+    ~name:(Printf.sprintf "prng/%s" name)
+    (Staged.stage (fun () -> ignore (Core.Rng.int_below rng 1_000_000)))
+
+let tests () =
+  Test.make_grouped ~name:"lottery"
+    (List.map list_draw_test draw_bench_sizes
+    @ List.map sorted_list_draw_test draw_bench_sizes
+    @ List.map tree_draw_test draw_bench_sizes
+    @ List.map distributed_draw_test [ 64; 1024 ]
+    @ [
+        kernel_step_test "lottery-list" (lottery_sched_maker Core.Lottery_sched.List_mode) true;
+        kernel_step_test "lottery-tree" (lottery_sched_maker Core.Lottery_sched.Tree_mode) true;
+        kernel_step_test "stride" stride_maker true;
+        kernel_step_test "round-robin" rr_maker false;
+        kernel_step_test "decay-usage" decay_maker false;
+        valuation_chain_test 2;
+        valuation_chain_test 16;
+        valuation_wide_test 100;
+        prng_test Core.Rng.Park_miller "park-miller";
+        prng_test Core.Rng.Splitmix64 "splitmix64";
+        prng_test Core.Rng.Xoshiro256pp "xoshiro256++";
+      ])
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances (tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let print_results results =
+  print_endline "";
+  print_endline "=================================================================";
+  print_endline " Microbenchmarks (ns per operation, OLS fit)";
+  print_endline "=================================================================";
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> print_endline "no results"
+  | Some by_test ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let ns =
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> est
+              | _ -> nan
+            in
+            (name, ns) :: acc)
+          by_test []
+        |> List.sort compare
+      in
+      List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.1f ns\n" name ns) rows
+
+let () =
+  figures ();
+  let results = benchmark () in
+  print_results results

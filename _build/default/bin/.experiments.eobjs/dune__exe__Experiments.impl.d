@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Filename List Lotto_exp Printf Sys Term

@@ -1,0 +1,1 @@
+bin/lotteryctl.ml: Arg Cmd Cmdliner Lotto_ctl Term

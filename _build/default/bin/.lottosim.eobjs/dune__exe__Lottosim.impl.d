@@ -1,0 +1,1 @@
+bin/lottosim.ml: Arg Cmd Cmdliner Format List Lotto_ctl Lotto_sim Printf Term

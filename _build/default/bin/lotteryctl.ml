@@ -1,0 +1,58 @@
+(* Command-line interface to a persistent currency/ticket store — the
+   paper's §4.7 user commands over a state file. Examples:
+
+     lotteryctl -s funding.lot mkcur alice
+     lotteryctl -s funding.lot mktkt 200 base
+     lotteryctl -s funding.lot fund t1 alice
+     lotteryctl -s funding.lot mktkt 100 alice
+     lotteryctl -s funding.lot hold t2
+     lotteryctl -s funding.lot eval
+     lotteryctl -s funding.lot simulate 60
+*)
+
+open Cmdliner
+
+let run state_file user words =
+  match Lotto_ctl.Store.parse_command words with
+  | Error m -> `Error (false, m)
+  | Ok cmd -> (
+      match Lotto_ctl.Store.load_file state_file with
+      | Error m -> `Error (false, "corrupt state file: " ^ m)
+      | Ok store -> (
+          match Lotto_ctl.Store.exec ~user store cmd with
+          | Error m -> `Error (false, m)
+          | Ok output ->
+              print_endline output;
+              (match Lotto_ctl.Store.save_file store state_file with
+              | Ok () -> `Ok ()
+              | Error m -> `Error (false, "cannot save state: " ^ m))))
+
+let state_arg =
+  Arg.(
+    value
+    & opt string "funding.lot"
+    & info [ "s"; "state" ] ~docv:"FILE" ~doc:"State file holding the funding graph.")
+
+let user_arg =
+  Arg.(
+    value & opt string "root"
+    & info [ "u"; "user" ] ~docv:"PRINCIPAL"
+        ~doc:"Principal executing the command (currency permissions apply).")
+
+let words_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"COMMAND"
+        ~doc:
+          "mkcur/rmcur NAME | mktkt AMOUNT DENOM | rmtkt/fund/unfund/hold/release \
+           TICKET [CURRENCY] | chown CUR OWNER | grant/ungrant CUR WHO \
+           issue|fund|manage | lscur | lstkt | eval | dot | draw N [SEED] | \
+           simulate SECONDS [SEED]")
+
+let cmd =
+  let doc = "manipulate lottery-scheduling currencies and tickets (paper sec. 4.7)" in
+  Cmd.v
+    (Cmd.info "lotteryctl" ~doc)
+    Term.(ret (const run $ state_arg $ user_arg $ words_arg))
+
+let () = exit (Cmd.eval cmd)

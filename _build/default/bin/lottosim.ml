@@ -1,0 +1,43 @@
+(* Scenario-driven lottery-scheduling simulator: describe currencies,
+   threads and a horizon in a small text file; get CPU shares and an
+   execution timeline.
+
+     dune exec bin/lottosim.exe -- scenario.txt
+
+   Example scenario:
+
+     currency alice 1000 base
+     currency bob 1000 base
+     thread a1 spin 1ms 100 alice
+     thread a2 spin 1ms 200 alice
+     thread b1 spin 1ms 300 bob
+     thread ivy interactive 20ms 80ms 50 base
+     run 60s
+*)
+
+open Cmdliner
+
+let run path =
+  match Lotto_ctl.Scenario.parse_file path with
+  | Error m -> `Error (false, m)
+  | Ok scenario ->
+      let report = Lotto_ctl.Scenario.run scenario in
+      Printf.printf "after %s of virtual time:\n\n"
+        (Format.asprintf "%a" Lotto_sim.Time.pp report.horizon);
+      Printf.printf "  %-14s %12s %8s\n" "thread" "cpu (ticks)" "share";
+      List.iter
+        (fun (name, cpu, share) ->
+          Printf.printf "  %-14s %12d %7.1f%%\n" name cpu (100. *. share))
+        report.rows;
+      print_newline ();
+      print_string report.timeline;
+      `Ok ()
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCENARIO" ~doc:"Scenario file.")
+
+let cmd =
+  let doc = "run a lottery-scheduling scenario file" in
+  Cmd.v (Cmd.info "lottosim" ~doc) Term.(ret (const run $ path_arg))
+
+let () = exit (Cmd.eval cmd)

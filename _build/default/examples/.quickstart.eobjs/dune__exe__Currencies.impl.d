@@ -1,0 +1,1 @@
+examples/currencies.ml: Core Funding Kernel Lottery_sched Printf Rng Spinner Time

@@ -1,0 +1,1 @@
+examples/db_search.ml: Core Corpus Db Kernel List Lottery_sched Printf Rng Time

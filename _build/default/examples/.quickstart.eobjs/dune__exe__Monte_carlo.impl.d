@@ -1,0 +1,1 @@
+examples/monte_carlo.ml: Core Kernel List Lottery_sched Monte_carlo Printf Rng Time

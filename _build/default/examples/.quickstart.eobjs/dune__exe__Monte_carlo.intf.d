@@ -1,0 +1,1 @@
+examples/monte_carlo.mli:

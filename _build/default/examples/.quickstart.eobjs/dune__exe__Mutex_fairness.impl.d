@@ -1,0 +1,1 @@
+examples/mutex_fairness.ml: Array Core Descriptive Kernel List Lottery_sched Mutex_workload Printf Rng Time Types

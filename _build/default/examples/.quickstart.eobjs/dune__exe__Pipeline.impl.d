@@ -1,0 +1,1 @@
+examples/pipeline.ml: Api Core Kernel List Lottery_sched Printf Queue Rng Time Timeline

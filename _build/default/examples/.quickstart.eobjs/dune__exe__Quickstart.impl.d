@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Core Kernel List List_lottery Lottery_sched Printf Rng Time

@@ -1,0 +1,1 @@
+examples/space_shared.ml: Core Disk Inverse_memory Io_bandwidth List Printf Rng

@@ -1,0 +1,1 @@
+examples/video_rates.ml: Core Kernel List Lottery_sched Printf Rng Time Video

@@ -1,0 +1,44 @@
+(* Client-server resource management via ticket transfers (paper §5.3).
+
+   A text-search server owns no tickets at all; two clients with a 3:1
+   allocation fund it implicitly through synchronous RPC transfers, so the
+   server processes their queries at a 3:1 rate without knowing anything
+   about either client.
+
+   Run with: dune exec examples/db_search.exe *)
+
+open Core
+
+let () =
+  let rng = Rng.create ~seed:3 () in
+  let ls = Lottery_sched.create ~rng () in
+  let kernel = Kernel.create ~sched:(Lottery_sched.sched ls) () in
+  let corpus = Corpus.generate ~size_bytes:(64 * 1024) ~needle:"lottery" ~occurrences:8 () in
+  let server =
+    Db.start_server kernel ~name:"shakespeare" ~workers:2
+      ~query_cost:(Time.seconds 1) ~corpus ()
+  in
+  let client name tickets =
+    let c =
+      (* start 1 ms in so the unfunded server workers can park in receive *)
+      Db.spawn_client kernel server ~name ~query:"lottery" ~start_at:(Time.ms 1) ()
+    in
+    ignore
+      (Lottery_sched.fund_thread ls (Db.thread c) ~amount:tickets
+         ~from:(Lottery_sched.base_currency ls));
+    c
+  in
+  let fast = client "fast" 300 in
+  let slow = client "slow" 100 in
+  ignore (Kernel.run kernel ~until:(Time.seconds 120));
+  Printf.printf "corpus contains \"lottery\" %d times\n"
+    (Corpus.count_substring ~haystack:corpus ~needle:"lottery");
+  List.iter
+    (fun c ->
+      Printf.printf "%-5s: %3d queries, mean response %.2fs, last result %s\n"
+        (Kernel.thread_name (Db.thread c))
+        (Db.completions c) (Db.mean_response_time c)
+        (match Db.last_result c with Some n -> string_of_int n | None -> "-"))
+    [ fast; slow ];
+  Printf.printf "throughput ratio %.2f : 1 (allocated 3 : 1)\n"
+    (float_of_int (Db.completions fast) /. float_of_int (Db.completions slow))

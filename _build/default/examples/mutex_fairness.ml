@@ -1,0 +1,35 @@
+(* Lottery-scheduled locks (paper §6.1): waiting times and acquisition
+   rates of a contended mutex track ticket allocations; a FIFO mutex
+   ignores them.
+
+   Run with: dune exec examples/mutex_fairness.exe *)
+
+open Core
+
+let run policy =
+  let rng = Rng.create ~seed:11 () in
+  let ls = Lottery_sched.create ~rng () in
+  let kernel = Kernel.create ~sched:(Lottery_sched.sched ls) () in
+  let mutex = Kernel.create_mutex kernel ~policy "shared" in
+  let contender name tickets =
+    let c = Mutex_workload.spawn_contender kernel ~mutex ~name () in
+    ignore
+      (Lottery_sched.fund_thread ls (Mutex_workload.thread c) ~amount:tickets
+         ~from:(Lottery_sched.base_currency ls));
+    c
+  in
+  let rich = List.init 3 (fun i -> contender (Printf.sprintf "rich%d" i) 200) in
+  let poor = List.init 3 (fun i -> contender (Printf.sprintf "poor%d" i) 100) in
+  ignore (Kernel.run kernel ~until:(Time.seconds 60));
+  let acq group = List.fold_left (fun acc c -> acc + Mutex_workload.acquisitions c) 0 group in
+  let wait group =
+    let xs = List.concat_map (fun c -> Array.to_list (Mutex_workload.waiting_times c)) group in
+    Descriptive.mean_list xs
+  in
+  Printf.printf "%-14s rich: %4d acquisitions, %.3fs mean wait | poor: %4d, %.3fs\n"
+    (match policy with Types.Lottery_wake -> "lottery mutex" | Types.Fifo -> "fifo mutex")
+    (acq rich) (wait rich) (acq poor) (wait poor)
+
+let () =
+  run Types.Lottery_wake;
+  run Types.Fifo

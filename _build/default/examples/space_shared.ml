@@ -1,0 +1,70 @@
+(* Space-shared and queued resources beyond the CPU (paper §6, §6.2):
+   inverse-lottery memory revocation, lottery I/O bandwidth, and the
+   lottery disk-head scheduler, side by side.
+
+   Run with: dune exec examples/space_shared.exe *)
+
+open Core
+
+let () =
+  (* --- memory: the inverse lottery picks victims among page holders --- *)
+  let rng = Rng.create ~algo:Splitmix64 ~seed:1 () in
+  let pool = Inverse_memory.create ~frames:120 ~rng () in
+  let clients =
+    List.map
+      (fun (name, tickets) ->
+        (name, Inverse_memory.add_client pool ~name ~tickets ~working_set:160))
+      [ ("gold", 900); ("silver", 250); ("bronze", 50) ]
+  in
+  Inverse_memory.simulate pool ~steps:120_000;
+  Printf.printf "inverse-lottery memory (120 frames, 18:5:1 tickets):\n";
+  List.iter
+    (fun (name, c) ->
+      Printf.printf "  %-7s resident %3d pages, %5d faults\n" name
+        (Inverse_memory.resident pool c)
+        (Inverse_memory.faults pool c))
+    clients;
+
+  (* --- I/O bandwidth: per-slot lotteries over backlogged streams --- *)
+  let dev = Io_bandwidth.create ~rng:(Rng.create ~seed:2 ()) () in
+  let streams =
+    List.map
+      (fun (name, tickets) ->
+        let c = Io_bandwidth.add_client dev ~name ~tickets in
+        Io_bandwidth.submit dev c ~requests:50_000;
+        (name, c))
+      [ ("video", 300); ("backup", 200); ("log", 100) ]
+  in
+  Io_bandwidth.serve dev ~slots:30_000;
+  Printf.printf "\nlottery I/O bandwidth (3:2:1 streams, 30k slots):\n";
+  List.iter
+    (fun (name, c) ->
+      Printf.printf "  %-7s served %5d slots (%.1f%%)\n" name
+        (Io_bandwidth.served dev c)
+        (100. *. float_of_int (Io_bandwidth.served dev c) /. 30_000.))
+    streams;
+
+  (* --- disk head: tickets versus seek optimization --- *)
+  Printf.printf "\ndisk-head policies (3:1 clients, random cylinders):\n";
+  List.iter
+    (fun policy ->
+      let disk = Disk.create ~policy ~rng:(Rng.create ~seed:3 ()) () in
+      let wl = Rng.create ~algo:Splitmix64 ~seed:4 () in
+      let rich = Disk.add_client disk ~name:"rich" ~tickets:300 in
+      let poor = Disk.add_client disk ~name:"poor" ~tickets:100 in
+      for _ = 1 to 4_000 do
+        List.iter
+          (fun c ->
+            if Disk.pending disk c < 8 then
+              Disk.submit disk c ~cylinder:(Rng.int_below wl 1000))
+          [ rich; poor ];
+        ignore (Disk.serve_one disk)
+      done;
+      Printf.printf "  %-8s rich %4d : poor %4d served, %7d cylinders seeked\n"
+        (match policy with
+        | Disk.Lottery -> "lottery"
+        | Disk.Fcfs -> "fcfs"
+        | Disk.Sstf -> "sstf")
+        (Disk.served disk rich) (Disk.served disk poor)
+        (Disk.total_seek_distance disk))
+    [ Disk.Lottery; Disk.Fcfs; Disk.Sstf ]

@@ -1,0 +1,1 @@
+lib/ctl/scenario.ml: Api Filename Kernel List Lotto_prng Lotto_sched Lotto_sim Lotto_tickets Option Printf String Time Timeline

@@ -1,0 +1,1 @@
+lib/ctl/scenario.mli: Lotto_sim

@@ -1,0 +1,1 @@
+lib/ctl/store.ml: Buffer Hashtbl Kernel List Lotto_prng Lotto_sched Lotto_sim Lotto_tickets Lotto_workloads Option Printf String Sys Time

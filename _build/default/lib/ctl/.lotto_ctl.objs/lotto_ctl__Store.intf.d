@@ -1,0 +1,1 @@
+lib/ctl/store.mli: Lotto_tickets

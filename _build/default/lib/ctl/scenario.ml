@@ -1,0 +1,159 @@
+open Lotto_sim
+module Ls = Lotto_sched.Lottery_sched
+
+type workload =
+  | Spin of { cost : int }
+  | Interactive of { burst : int; pause : int }
+
+type thread_spec = { t_name : string; workload : workload; amount : int; from : string }
+type currency_spec = { c_name : string; c_amount : int; c_from : string }
+
+type t = {
+  seed : int;
+  quantum : int;
+  currencies : currency_spec list; (* in declaration order *)
+  threads : thread_spec list;
+  horizon : int;
+}
+
+type report = {
+  rows : (string * int * float) list;
+  timeline : string;
+  horizon : Time.t;
+}
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let duration word =
+  let num suffix =
+    let body = String.sub word 0 (String.length word - String.length suffix) in
+    int_of_string_opt body
+  in
+  let ends s = String.length word > String.length s && Filename.check_suffix word s in
+  if ends "us" then Option.map Time.us (num "us")
+  else if ends "ms" then Option.map Time.ms (num "ms")
+  else if ends "s" then Option.map Time.seconds (num "s")
+  else None
+
+let parse text =
+  let err line fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" line m)) fmt
+  in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  let rec go (acc : t) = function
+    | [] ->
+        if acc.horizon > 0 then Ok acc
+        else Error "scenario needs a final \"run <duration>\" directive"
+    | (ln, _) :: _ when acc.horizon > 0 -> err ln "nothing may follow \"run\""
+    | (ln, line) :: rest -> (
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "seed"; s ] -> (
+            match int_of_string_opt s with
+            | Some seed -> go { acc with seed } rest
+            | None -> err ln "bad seed %S" s)
+        | [ "quantum"; d ] -> (
+            match duration d with
+            | Some quantum when quantum > 0 -> go { acc with quantum } rest
+            | _ -> err ln "bad quantum %S" d)
+        | [ "currency"; c_name; amount; c_from ] -> (
+            match int_of_string_opt amount with
+            | Some c_amount when c_amount >= 0 ->
+                go
+                  { acc with currencies = acc.currencies @ [ { c_name; c_amount; c_from } ] }
+                  rest
+            | _ -> err ln "bad currency amount %S" amount)
+        | "thread" :: t_name :: spec -> (
+            let mk workload amount from =
+              match int_of_string_opt amount with
+              | Some amount when amount >= 0 ->
+                  go
+                    {
+                      acc with
+                      threads = acc.threads @ [ { t_name; workload; amount; from } ];
+                    }
+                    rest
+              | _ -> err ln "bad funding amount %S" amount
+            in
+            match spec with
+            | [ "spin"; cost; amount; from ] -> (
+                match duration cost with
+                | Some cost when cost > 0 -> mk (Spin { cost }) amount from
+                | _ -> err ln "bad spin cost %S" cost)
+            | [ "interactive"; burst; pause; amount; from ] -> (
+                match (duration burst, duration pause) with
+                | Some burst, Some pause when burst > 0 && pause >= 0 ->
+                    mk (Interactive { burst; pause }) amount from
+                | _ -> err ln "bad interactive durations")
+            | _ -> err ln "expected: thread NAME spin COST AMOUNT CUR | thread NAME interactive BURST PAUSE AMOUNT CUR")
+        | [ "run"; d ] -> (
+            match duration d with
+            | Some horizon when horizon > 0 -> go { acc with horizon } rest
+            | _ -> err ln "bad run duration %S" d)
+        | _ -> err ln "unparseable directive %S" line)
+  in
+  go { seed = 1; quantum = Time.ms 100; currencies = []; threads = []; horizon = 0 } lines
+
+let parse_file path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      parse text
+
+(* --- running --------------------------------------------------------------- *)
+
+let run t =
+  let rng = Lotto_prng.Rng.create ~seed:t.seed () in
+  let ls = Ls.create ~rng () in
+  let kernel = Kernel.create ~quantum:t.quantum ~sched:(Ls.sched ls) () in
+  let timeline = Timeline.attach kernel ~bucket:(max (Time.ms 100) (t.horizon / 60)) () in
+  let lookup name =
+    match Lotto_tickets.Funding.find_currency (Ls.funding ls) name with
+    | Some c -> c
+    | None -> failwith (Printf.sprintf "unknown currency %S" name)
+  in
+  List.iter
+    (fun c ->
+      let target = Ls.make_currency ls c.c_name in
+      ignore (Ls.fund_currency ls ~target ~amount:c.c_amount ~from:(lookup c.c_from)))
+    t.currencies;
+  let threads =
+    List.map
+      (fun spec ->
+        let body () =
+          match spec.workload with
+          | Spin { cost } ->
+              while true do
+                Api.compute cost
+              done
+          | Interactive { burst; pause } ->
+              while true do
+                Api.compute burst;
+                Api.sleep pause
+              done
+        in
+        let th = Kernel.spawn kernel ~name:spec.t_name body in
+        ignore (Ls.fund_thread ls th ~amount:spec.amount ~from:(lookup spec.from));
+        (spec.t_name, th))
+      t.threads
+  in
+  ignore (Kernel.run kernel ~until:t.horizon);
+  Timeline.detach timeline;
+  let total = List.fold_left (fun acc (_, th) -> acc + Kernel.cpu_time th) 0 threads in
+  {
+    rows =
+      List.map
+        (fun (name, th) ->
+          ( name,
+            Kernel.cpu_time th,
+            float_of_int (Kernel.cpu_time th) /. float_of_int (max 1 total) ))
+        threads;
+    timeline = Timeline.render timeline;
+    horizon = t.horizon;
+  }

@@ -1,0 +1,34 @@
+(** Scenario-driven simulations for the [lottosim] tool.
+
+    A scenario is a small text program describing currencies, threads and a
+    run horizon; running it builds a lottery-scheduled kernel, executes it,
+    and reports each thread's CPU share plus an execution timeline. It
+    makes "what does a 3:2:1 split under my workload look like?" a
+    one-file question.
+
+    Syntax (one directive per line, [#] comments):
+    {v
+    seed 42                    # optional, default 1
+    quantum 100ms              # optional, default 100ms
+    currency alice 1000 base   # name, funding amount, funding source
+    thread a1 spin 1ms 100 alice        # compute-bound: cost per iteration
+    thread a2 spin 1ms 200 alice
+    thread ivy interactive 20ms 80ms 100 base   # compute then sleep, repeat
+    run 60s
+    v}
+
+    Durations accept [us], [ms] and [s] suffixes. Threads are funded with
+    [amount currency]. [run] must appear exactly once, last. *)
+
+type t
+
+type report = {
+  rows : (string * int * float) list;
+      (** thread name, cpu ticks, share of total cpu *)
+  timeline : string;
+  horizon : Lotto_sim.Time.t;
+}
+
+val parse : string -> (t, string) result
+val parse_file : string -> (t, string) result
+val run : t -> report

@@ -1,0 +1,1 @@
+lib/experiments/ablation_mc.ml: Array Common Kernel List Lotto_prng Lotto_sim Lotto_workloads Printf Time

@@ -1,0 +1,1 @@
+lib/experiments/ablation_mc.mli: Lotto_sim

@@ -1,0 +1,1 @@
+lib/experiments/ablation_quantum.ml: Array Common Float Kernel List Lotto_sim Lotto_stats Lotto_workloads Printf Time

@@ -1,0 +1,1 @@
+lib/experiments/ablation_quantum.mli: Lotto_sim

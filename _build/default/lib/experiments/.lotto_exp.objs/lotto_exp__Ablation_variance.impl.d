@@ -1,0 +1,1 @@
+lib/experiments/ablation_variance.ml: Array Common Float Kernel List Lotto_sched Lotto_sim Lotto_stats Lotto_workloads Printf Time

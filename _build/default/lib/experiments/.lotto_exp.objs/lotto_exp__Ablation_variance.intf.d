@@ -1,0 +1,1 @@
+lib/experiments/ablation_variance.mli: Lotto_sim

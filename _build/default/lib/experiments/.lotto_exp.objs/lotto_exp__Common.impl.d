@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Format Kernel List Lotto_prng Lotto_sched Lotto_sim Printf String Time

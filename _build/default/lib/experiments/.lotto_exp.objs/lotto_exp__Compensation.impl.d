@@ -1,0 +1,1 @@
+lib/experiments/compensation.ml: Api Common Kernel Lotto_sim Time

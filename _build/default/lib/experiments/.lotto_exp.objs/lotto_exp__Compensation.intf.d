@@ -1,0 +1,1 @@
+lib/experiments/compensation.mli: Lotto_sim

@@ -1,0 +1,1 @@
+lib/experiments/disk_exp.mli:

@@ -1,0 +1,1 @@
+lib/experiments/disk_service_exp.ml: Api Array Common Kernel List Lotto_prng Lotto_sim Lotto_workloads Printf Time

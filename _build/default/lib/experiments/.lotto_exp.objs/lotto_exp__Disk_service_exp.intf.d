@@ -1,0 +1,1 @@
+lib/experiments/disk_service_exp.mli: Lotto_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array Common Kernel List Lotto_sim Lotto_stats Lotto_workloads Printf Time Types

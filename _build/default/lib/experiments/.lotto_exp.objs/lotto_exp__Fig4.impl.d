@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Common Hashtbl Kernel List Lotto_sim Lotto_stats Lotto_workloads Printf String Time

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Common Kernel Lotto_sim Lotto_workloads Printf Time

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Common Kernel List Lotto_prng Lotto_sim Lotto_workloads Printf Time

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Common Kernel List Lotto_sim Lotto_workloads Printf Time

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Common Kernel List Lotto_sim Lotto_workloads Printf Time

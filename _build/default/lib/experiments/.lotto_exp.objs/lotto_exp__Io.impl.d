@@ -1,0 +1,1 @@
+lib/experiments/io.ml: Array Common List Lotto_prng Lotto_res Printf

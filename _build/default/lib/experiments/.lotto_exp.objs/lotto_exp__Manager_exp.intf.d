@@ -1,0 +1,1 @@
+lib/experiments/manager_exp.mli:

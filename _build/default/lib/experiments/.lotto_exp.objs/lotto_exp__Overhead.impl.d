@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: Array Common Kernel List Lotto_prng Lotto_sched Lotto_sim Lotto_workloads Printf Sys Time Types

@@ -1,0 +1,1 @@
+lib/experiments/search_length.ml: Array Common Float Fun List Lotto_draw Lotto_prng Printf

@@ -1,0 +1,1 @@
+lib/experiments/search_length.mli:

@@ -1,0 +1,1 @@
+lib/experiments/switch_exp.ml: Array Common List Lotto_prng Lotto_res Printf

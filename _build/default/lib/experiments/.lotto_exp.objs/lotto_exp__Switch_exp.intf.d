@@ -1,0 +1,1 @@
+lib/experiments/switch_exp.mli:

@@ -1,0 +1,72 @@
+open Lotto_sim
+module Mc = Lotto_workloads.Monte_carlo
+module Rng = Lotto_prng.Rng
+
+type row = {
+  exponent : float;
+  elder_trials : int;
+  newcomer_trials : int;
+  catch_up : float;
+}
+
+type t = { rows : row array }
+
+(* Pick the scale per exponent so that a converged task (error ~ 1e-4)
+   still holds a ~100-unit ticket: tickets are integers, and a scale that
+   rounds converged tickets down to 1 would freeze the feedback loop long
+   before real convergence (especially for the cubic variant). *)
+let scale_for exponent = 100. *. (1e4 ** exponent)
+
+let one ~seed ~duration exponent =
+  let kernel, ls = Common.lottery_setup ~seed () in
+  let mc = Common.Ls.make_currency ls "mc" in
+  ignore
+    (Common.Ls.fund_currency ls ~target:mc ~amount:1000
+       ~from:(Common.Ls.base_currency ls));
+  let elder =
+    Mc.spawn kernel ls ~name:"elder"
+      ~rng:(Rng.create ~algo:Splitmix64 ~seed:(seed * 2) ())
+      ~from:mc ~exponent ~scale:(scale_for exponent) ()
+  in
+  let newcomer =
+    Mc.spawn kernel ls ~name:"newcomer"
+      ~rng:(Rng.create ~algo:Splitmix64 ~seed:((seed * 2) + 1) ())
+      ~from:mc ~exponent ~scale:(scale_for exponent)
+      ~start_at:(duration / 2) ()
+  in
+  ignore (Kernel.run kernel ~until:duration);
+  {
+    exponent;
+    elder_trials = Mc.trials elder;
+    newcomer_trials = Mc.trials newcomer;
+    catch_up = Common.iratio (Mc.trials newcomer) (Mc.trials elder);
+  }
+
+let[@warning "-16"] run ?(seed = 66) ?(duration = Time.seconds 240) () =
+  { rows = Array.of_list (List.map (one ~seed ~duration) [ 1.; 2.; 3. ]) }
+
+let print t =
+  Common.print_header
+    "Ablation: Monte-Carlo funding = error^e (newcomer starts at half time)";
+  Common.print_row [ "exponent"; "elder trials"; "newcomer trials"; "catch-up" ];
+  Array.iter
+    (fun r ->
+      Common.print_row
+        [
+          Printf.sprintf "%.0f" r.exponent;
+          Printf.sprintf "%9d" r.elder_trials;
+          Printf.sprintf "%9d" r.newcomer_trials;
+          Printf.sprintf "%.3f" r.catch_up;
+        ])
+    t.rows
+
+let to_csv t =
+  Common.csv ~header:[ "exponent"; "elder_trials"; "newcomer_trials"; "catch_up" ]
+    (Array.to_list t.rows
+    |> List.map (fun r ->
+           [
+             Common.f r.exponent;
+             string_of_int r.elder_trials;
+             string_of_int r.newcomer_trials;
+             Common.f r.catch_up;
+           ]))

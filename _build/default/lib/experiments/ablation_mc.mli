@@ -1,0 +1,25 @@
+(** Footnote 6 ablation — the Monte-Carlo funding function's shape.
+
+    "Any monotonically increasing function of the relative error would
+    cause convergence. A linear function would cause the tasks to converge
+    more slowly; a cubic function would result in more rapid convergence."
+
+    One task starts at t=0; a second starts midway. Both set their ticket
+    to [scale * error^e] for e in {1, 2, 3}; we measure the newcomer's
+    catch-up ratio (newcomer trials / elder trials at the end) — higher
+    exponents catch up faster. *)
+
+type row = {
+  exponent : float;
+  elder_trials : int;
+  newcomer_trials : int;
+  catch_up : float;  (** newcomer / elder at the end *)
+}
+
+type t = { rows : row array }
+
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

@@ -1,0 +1,81 @@
+open Lotto_sim
+module Spinner = Lotto_workloads.Spinner
+module D = Lotto_stats.Descriptive
+
+type row = {
+  quantum_ms : int;
+  lotteries_per_window : int;
+  mean_abs_error : float; (* mean relative error of the window share *)
+  predicted_error : float;
+}
+
+type t = { rows : row array }
+
+let window = Time.seconds 2
+
+let one ~seed ~duration quantum_ms =
+  let kernel, ls = Common.lottery_setup ~quantum:(Time.ms quantum_ms) ~seed () in
+  let a = Spinner.spawn kernel ~name:"A" ~window () in
+  let b = Spinner.spawn kernel ~name:"B" ~window () in
+  let base = Common.Ls.base_currency ls in
+  ignore (Common.Ls.fund_thread ls (Spinner.thread a) ~amount:200 ~from:base);
+  ignore (Common.Ls.fund_thread ls (Spinner.thread b) ~amount:100 ~from:base);
+  ignore (Kernel.run kernel ~until:duration);
+  let wa = Spinner.windows a ~upto:duration and wb = Spinner.windows b ~upto:duration in
+  (* relative error of the favoured task's per-window CPU share against its
+     entitlement p = 2/3 — bounded, unlike the A:B ratio *)
+  let errors =
+    Array.init (Array.length wa) (fun i ->
+        let total = wa.(i) + wb.(i) in
+        if total = 0 then nan
+        else begin
+          let share = float_of_int wa.(i) /. float_of_int total in
+          abs_float (share -. (2. /. 3.)) /. (2. /. 3.)
+        end)
+    |> Array.to_list
+    |> List.filter Float.is_finite
+    |> Array.of_list
+  in
+  let n = window / Time.ms quantum_ms in
+  let p = 2. /. 3. in
+  {
+    quantum_ms;
+    lotteries_per_window = n;
+    mean_abs_error = D.mean errors;
+    (* cv of the window share for the favoured task, by the paper's
+       binomial model: sqrt(np(1-p))/np *)
+    predicted_error = sqrt ((1. -. p) /. (float_of_int n *. p));
+  }
+
+let[@warning "-16"] run ?(seed = 24) ?(duration = Time.seconds 120) () =
+  {
+    rows =
+      Array.of_list (List.map (one ~seed ~duration) [ 10; 20; 50; 100; 200; 400 ]);
+  }
+
+let print t =
+  Common.print_header "Ablation: quantum size vs short-term fairness (2:1, 2s windows)";
+  Common.print_row
+    [ "quantum"; "lotteries/window"; "mean |error|"; "binomial prediction" ];
+  Array.iter
+    (fun r ->
+      Common.print_row
+        [
+          Printf.sprintf "%4dms" r.quantum_ms;
+          Printf.sprintf "%5d" r.lotteries_per_window;
+          Printf.sprintf "%.3f" r.mean_abs_error;
+          Printf.sprintf "%.3f" r.predicted_error;
+        ])
+    t.rows
+
+let to_csv t =
+  Common.csv
+    ~header:[ "quantum_ms"; "lotteries_per_window"; "mean_abs_error"; "binomial_prediction" ]
+    (Array.to_list t.rows
+    |> List.map (fun r ->
+           [
+             string_of_int r.quantum_ms;
+             string_of_int r.lotteries_per_window;
+             Common.f r.mean_abs_error;
+             Common.f r.predicted_error;
+           ]))

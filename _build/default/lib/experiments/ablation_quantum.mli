@@ -1,0 +1,27 @@
+(** §2 ablation — quantum size versus short-term fairness.
+
+    The paper: "With a scheduling quantum of 10 milliseconds (100 lotteries
+    per second), reasonable fairness can be achieved over subsecond time
+    intervals" — accuracy improves with more lotteries per interval, since
+    the binomial error of the observed share falls as 1/sqrt(n).
+
+    Two tasks with a 2:1 allocation run under quanta from 10 ms to 400 ms;
+    for each quantum we report the mean relative error of the favoured
+    task's per-2-second-window CPU share against its 2/3 entitlement, and
+    the error predicted by the binomial model. Shorter quanta give tighter
+    windows. *)
+
+type row = {
+  quantum_ms : int;
+  lotteries_per_window : int;
+  mean_abs_error : float;  (** mean over windows of |share - 2/3| / (2/3) *)
+  predicted_error : float;  (** binomial cv of the window share *)
+}
+
+type t = { rows : row array }
+
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

@@ -1,0 +1,82 @@
+open Lotto_sim
+module Spinner = Lotto_workloads.Spinner
+module D = Lotto_stats.Descriptive
+
+type row = {
+  scheduler : string;
+  mean_share : float;
+  share_stddev : float;
+  worst_window : float;
+}
+
+type t = { lottery : row; stride : row }
+
+let window = Time.seconds 2
+
+let summarize scheduler wa wb =
+  (* the favoured task's per-window CPU share (entitlement 2/3): bounded,
+     unlike the A:B ratio, so means and deviations are well-behaved *)
+  let shares =
+    Array.init (Array.length wa) (fun i ->
+        let total = wa.(i) + wb.(i) in
+        if total = 0 then nan else float_of_int wa.(i) /. float_of_int total)
+    |> Array.to_list
+    |> List.filter Float.is_finite
+    |> Array.of_list
+  in
+  {
+    scheduler;
+    mean_share = D.mean shares;
+    share_stddev = D.stddev shares;
+    worst_window =
+      Array.fold_left (fun acc s -> max acc (abs_float (s -. (2. /. 3.)))) 0. shares;
+  }
+
+let lottery_run ~seed ~duration =
+  let kernel, ls = Common.lottery_setup ~seed () in
+  let a = Spinner.spawn kernel ~name:"A" ~window () in
+  let b = Spinner.spawn kernel ~name:"B" ~window () in
+  let base = Common.Ls.base_currency ls in
+  ignore (Common.Ls.fund_thread ls (Spinner.thread a) ~amount:200 ~from:base);
+  ignore (Common.Ls.fund_thread ls (Spinner.thread b) ~amount:100 ~from:base);
+  ignore (Kernel.run kernel ~until:duration);
+  summarize "lottery"
+    (Spinner.windows a ~upto:duration)
+    (Spinner.windows b ~upto:duration)
+
+let stride_run ~duration =
+  let st = Lotto_sched.Stride_sched.create () in
+  let kernel = Kernel.create ~sched:(Lotto_sched.Stride_sched.sched st) () in
+  let a = Spinner.spawn kernel ~name:"A" ~window () in
+  let b = Spinner.spawn kernel ~name:"B" ~window () in
+  Lotto_sched.Stride_sched.set_tickets st (Spinner.thread a) 200;
+  Lotto_sched.Stride_sched.set_tickets st (Spinner.thread b) 100;
+  ignore (Kernel.run kernel ~until:duration);
+  summarize "stride"
+    (Spinner.windows a ~upto:duration)
+    (Spinner.windows b ~upto:duration)
+
+let[@warning "-16"] run ?(seed = 33) ?(duration = Time.seconds 200) () =
+  { lottery = lottery_run ~seed ~duration; stride = stride_run ~duration }
+
+let print t =
+  Common.print_header
+    "Ablation: lottery vs stride variance (2:1, share of CPU per 2s window)";
+  Common.print_row [ "scheduler"; "mean share (ideal 0.667)"; "stddev"; "worst |share-2/3|" ];
+  List.iter
+    (fun r ->
+      Common.print_row
+        [
+          r.scheduler;
+          Printf.sprintf "%.3f" r.mean_share;
+          Printf.sprintf "%.3f" r.share_stddev;
+          Printf.sprintf "%.3f" r.worst_window;
+        ])
+    [ t.lottery; t.stride ]
+
+let to_csv t =
+  Common.csv ~header:[ "scheduler"; "mean_share"; "share_stddev"; "worst_window" ]
+    (List.map
+       (fun r ->
+         [ r.scheduler; Common.f r.mean_share; Common.f r.share_stddev; Common.f r.worst_window ])
+       [ t.lottery; t.stride ])

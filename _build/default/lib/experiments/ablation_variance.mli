@@ -1,0 +1,23 @@
+(** Ablation — lottery versus stride scheduling variance.
+
+    Stride scheduling (Waldspurger's deterministic successor to lottery
+    scheduling) delivers the same proportional shares with per-window error
+    bounded by a single quantum, where the lottery's error is binomial.
+    Both run the same 2:1 workload; we report the favoured task's
+    per-window CPU share (entitlement 2/3): its mean, standard deviation
+    and worst deviation. *)
+
+type row = {
+  scheduler : string;
+  mean_share : float;
+  share_stddev : float;
+  worst_window : float;  (** max |share - 2/3| across windows *)
+}
+
+type t = { lottery : row; stride : row }
+
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

@@ -1,0 +1,40 @@
+module Ls = Lotto_sched.Lottery_sched
+open Lotto_sim
+
+let[@warning "-16"] lottery_setup ?mode ?(quantum = Time.ms 100) ?use_compensation
+    ~seed () =
+  let rng = Lotto_prng.Rng.create ~seed () in
+  let ls = Ls.create ?mode ?use_compensation ~rng () in
+  let kernel = Kernel.create ~quantum ~sched:(Ls.sched ls) () in
+  (kernel, ls)
+
+let ratio a b = if b = 0. then nan else a /. b
+let iratio a b = ratio (float_of_int a) (float_of_int b)
+
+let print_header title =
+  Printf.printf "\n== %s ==\n" title
+
+let print_kv key fmt =
+  Printf.ksprintf (fun s -> Printf.printf "  %-28s %s\n" (key ^ ":") s) fmt
+
+let print_row cells = Printf.printf "  %s\n" (String.concat "\t" cells)
+
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv ~header rows =
+  let line cells = String.concat "," (List.map quote cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let f x = Printf.sprintf "%.6g" x
+
+let pp_float_array fmt xs =
+  Format.fprintf fmt "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%.3f" x)
+    xs;
+  Format.fprintf fmt "|]"

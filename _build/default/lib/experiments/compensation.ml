@@ -1,0 +1,46 @@
+open Lotto_sim
+
+type t = { with_compensation : float; without_compensation : float }
+
+let one ~seed ~duration ~use_compensation =
+  let kernel, ls = Common.lottery_setup ~seed ~use_compensation () in
+  let base = Common.Ls.base_currency ls in
+  (* A burns full quanta; B consumes 20 ms then yields, modelling the
+     paper's fractional-quantum thread. *)
+  let a =
+    Kernel.spawn kernel ~name:"A" (fun () ->
+        while true do
+          Api.compute (Time.ms 100)
+        done)
+  in
+  let b =
+    Kernel.spawn kernel ~name:"B" (fun () ->
+        while true do
+          Api.compute (Time.ms 20);
+          Api.yield ()
+        done)
+  in
+  ignore (Common.Ls.fund_thread ls a ~amount:400 ~from:base);
+  ignore (Common.Ls.fund_thread ls b ~amount:400 ~from:base);
+  ignore (Kernel.run kernel ~until:duration);
+  Common.iratio (Kernel.cpu_time a) (Kernel.cpu_time b)
+
+let[@warning "-16"] run ?(seed = 45) ?(duration = Time.seconds 120) () =
+  {
+    with_compensation = one ~seed ~duration ~use_compensation:true;
+    without_compensation = one ~seed:(seed + 1) ~duration ~use_compensation:false;
+  }
+
+let print t =
+  Common.print_header "Section 4.5: compensation tickets (A full quantum, B 1/5)";
+  Common.print_kv "cpu ratio with compensation" "%.2f : 1 (ideal 1 : 1)"
+    t.with_compensation;
+  Common.print_kv "cpu ratio without" "%.2f : 1 (degenerates to ~5 : 1)"
+    t.without_compensation
+
+let to_csv t =
+  Common.csv ~header:[ "variant"; "cpu_ratio" ]
+    [
+      [ "with-compensation"; Common.f t.with_compensation ];
+      [ "without-compensation"; Common.f t.without_compensation ];
+    ]

@@ -1,0 +1,20 @@
+(** §4.5 compensation-ticket demonstration (ablation).
+
+    Threads A and B hold equal funding; A always consumes its entire
+    100 ms quantum, while B uses only 20 ms before yielding. Without
+    compensation tickets B would win lotteries as often as A but consume
+    five times less CPU (a 5:1 ratio, violating the 1:1 allocation). With
+    compensation, B's value is inflated by 1/f = 5 whenever it yields
+    early, so B wins five times as often and the CPU ratio returns to
+    1:1. *)
+
+type t = {
+  with_compensation : float;  (** A cpu / B cpu, ideal 1.0 *)
+  without_compensation : float;  (** ideal (broken) 5.0 *)
+}
+
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

@@ -1,0 +1,116 @@
+module Disk = Lotto_res.Disk
+module Rng = Lotto_prng.Rng
+
+type client_row = {
+  name : string;
+  tickets : int;
+  served : int;
+  share : float;
+  mean_latency : float;
+}
+
+type policy_result = {
+  policy : string;
+  clients : client_row array;
+  throughput : float;
+  seek_distance : int;
+}
+
+type t = { results : policy_result array }
+
+let policy_name = function
+  | Disk.Lottery -> "lottery"
+  | Disk.Fcfs -> "fcfs"
+  | Disk.Sstf -> "sstf"
+
+let one ~seed ~duration policy =
+  let rng = Rng.create ~algo:Splitmix64 ~seed () in
+  let workload_rng = Rng.create ~algo:Splitmix64 ~seed:(seed + 1) () in
+  let disk = Disk.create ~policy ~rng () in
+  let specs = [| ("gold", 300); ("silver", 200); ("bronze", 100) |] in
+  let clients =
+    Array.map (fun (name, tickets) -> Disk.add_client disk ~name ~tickets) specs
+  in
+  (* keep everyone backlogged with uniformly random cylinders: refill
+     before every service so queues never drain *)
+  let refill () =
+    Array.iter
+      (fun c ->
+        while Disk.pending disk c < 16 do
+          Disk.submit disk c ~cylinder:(Rng.int_below workload_rng 1000)
+        done)
+      clients
+  in
+  while Disk.now disk < duration do
+    refill ();
+    ignore (Disk.serve_one disk)
+  done;
+  let total = max 1 (Disk.total_served disk) in
+  {
+    policy = policy_name policy;
+    clients =
+      Array.mapi
+        (fun i c ->
+          let name, tickets = specs.(i) in
+          {
+            name;
+            tickets;
+            served = Disk.served disk c;
+            share = float_of_int (Disk.served disk c) /. float_of_int total;
+            mean_latency = Disk.mean_latency disk c;
+          })
+        clients;
+    throughput = float_of_int total *. 1e6 /. float_of_int (Disk.now disk);
+    seek_distance = Disk.total_seek_distance disk;
+  }
+
+let[@warning "-16"] run ?(seed = 70) ?(duration = 50_000_000) () =
+  {
+    results =
+      Array.of_list
+        (List.map (one ~seed ~duration) [ Disk.Lottery; Disk.Fcfs; Disk.Sstf ]);
+  }
+
+let print t =
+  Common.print_header "Section 6 (ext): disk-bandwidth lotteries (3:2:1 clients)";
+  Array.iter
+    (fun r ->
+      Common.print_kv "policy" "%s (throughput %.1f req/Mtick, seek %d cyl)"
+        r.policy r.throughput r.seek_distance;
+      Common.print_row [ "client"; "tickets"; "served"; "share"; "mean latency" ];
+      Array.iter
+        (fun c ->
+          Common.print_row
+            [
+              c.name;
+              string_of_int c.tickets;
+              Printf.sprintf "%6d" c.served;
+              Printf.sprintf "%.3f" c.share;
+              Printf.sprintf "%9.0f" c.mean_latency;
+            ])
+        r.clients)
+    t.results
+
+let lottery_shares t =
+  let r = Array.to_list t.results |> List.find (fun r -> r.policy = "lottery") in
+  Array.map (fun c -> c.share) r.clients
+
+let to_csv t =
+  Common.csv
+    ~header:
+      [ "policy"; "client"; "tickets"; "served"; "share"; "mean_latency_ticks";
+        "throughput_req_per_mtick"; "seek_cylinders" ]
+    (Array.to_list t.results
+    |> List.concat_map (fun r ->
+           Array.to_list r.clients
+           |> List.map (fun c ->
+                  [
+                    r.policy;
+                    c.name;
+                    string_of_int c.tickets;
+                    string_of_int c.served;
+                    Common.f c.share;
+                    Common.f c.mean_latency;
+                    Common.f r.throughput;
+                    string_of_int r.seek_distance;
+                  ])))

@@ -1,0 +1,35 @@
+(** §6 extension — lottery-scheduled disk bandwidth (footnote 7).
+
+    Three backlogged clients with a 3:2:1 allocation issue requests to
+    uniformly random cylinders. Under the lottery head scheduler the served
+    shares track tickets; FCFS splits evenly but seeks wildly; SSTF wins on
+    raw throughput while ignoring tickets. The table reports, per policy:
+    served shares, mean latency, total requests per unit time (throughput)
+    and total seek distance. *)
+
+type client_row = {
+  name : string;
+  tickets : int;
+  served : int;
+  share : float;
+  mean_latency : float;
+}
+
+type policy_result = {
+  policy : string;
+  clients : client_row array;
+  throughput : float;  (** requests per million ticks *)
+  seek_distance : int;
+}
+
+type t = { results : policy_result array (** lottery, fcfs, sstf *) }
+
+val run : ?seed:int -> ?duration:int -> unit -> t
+(** [duration] in virtual disk ticks (default 50 million). *)
+
+val print : t -> unit
+
+val lottery_shares : t -> float array
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

@@ -1,0 +1,115 @@
+open Lotto_sim
+module Ds = Lotto_workloads.Disk_service
+module Rng = Lotto_prng.Rng
+
+type phase1_row = { name : string; disk_tickets : int; reads : int; share : float }
+
+type t = {
+  phase1 : phase1_row array;
+  cpu_rich_reads : int;
+  disk_rich_reads : int;
+}
+
+(* An I/O-bound application: [width] threads issuing parallel reads, all
+   carrying the app's disk tickets. (A synchronous client with a single
+   outstanding request cannot compete in the lottery right after being
+   served — the classic closed-loop flattening — so, like any real
+   I/O-bound program, the app keeps several requests in flight.) *)
+let io_bound_app kernel ls disk ~name ~cpu_tickets ~disk_tickets ~wl ~width =
+  let base = Common.Ls.base_currency ls in
+  List.init width (fun i ->
+      let rng = Rng.split wl in
+      let th =
+        Kernel.spawn kernel
+          ~name:(Printf.sprintf "%s.%d" name i)
+          (fun () ->
+            while true do
+              Api.compute (Time.us 100);
+              Ds.read disk ~cylinder:(Rng.int_below rng 1000)
+            done)
+      in
+      ignore (Common.Ls.fund_thread ls th ~amount:cpu_tickets ~from:base);
+      Ds.set_disk_tickets disk th disk_tickets;
+      th)
+
+let app_reads disk threads =
+  List.fold_left (fun acc th -> acc + Ds.reads_completed disk th) 0 threads
+
+let phase1 ~seed ~duration =
+  let kernel, ls = Common.lottery_setup ~seed () in
+  let disk =
+    Ds.start kernel ~rng:(Rng.create ~algo:Splitmix64 ~seed ()) ~name:"disk" ()
+  in
+  let wl = Rng.create ~algo:Splitmix64 ~seed:(seed + 1) () in
+  let specs = [| ("gold", 300); ("silver", 200); ("bronze", 100) |] in
+  (* server parks first; apps follow with equal CPU funding *)
+  ignore (Kernel.run kernel ~until:(Time.us 1));
+  let apps =
+    Array.map
+      (fun (name, disk_tickets) ->
+        io_bound_app kernel ls disk ~name ~cpu_tickets:100 ~disk_tickets ~wl
+          ~width:4)
+      specs
+  in
+  ignore (Kernel.run kernel ~until:duration);
+  let total = max 1 (Ds.total_reads disk) in
+  Array.mapi
+    (fun i threads ->
+      let name, disk_tickets = specs.(i) in
+      {
+        name;
+        disk_tickets;
+        reads = app_reads disk threads;
+        share = float_of_int (app_reads disk threads) /. float_of_int total;
+      })
+    apps
+
+let phase2 ~seed ~duration =
+  let kernel, ls = Common.lottery_setup ~seed:(seed + 10) () in
+  let disk =
+    Ds.start kernel ~rng:(Rng.create ~algo:Splitmix64 ~seed:(seed + 11) ()) ~name:"disk" ()
+  in
+  let wl = Rng.create ~algo:Splitmix64 ~seed:(seed + 12) () in
+  ignore (Kernel.run kernel ~until:(Time.us 1));
+  let cpu_rich =
+    io_bound_app kernel ls disk ~name:"cpu-rich" ~cpu_tickets:1000 ~disk_tickets:1
+      ~wl ~width:4
+  in
+  let disk_rich =
+    io_bound_app kernel ls disk ~name:"disk-rich" ~cpu_tickets:100 ~disk_tickets:10
+      ~wl ~width:4
+  in
+  ignore (Kernel.run kernel ~until:duration);
+  (app_reads disk cpu_rich, app_reads disk disk_rich)
+
+let[@warning "-16"] run ?(seed = 80) ?(duration = Time.seconds 120) () =
+  let p1 = phase1 ~seed ~duration in
+  let cpu_rich_reads, disk_rich_reads = phase2 ~seed ~duration in
+  { phase1 = p1; cpu_rich_reads; disk_rich_reads }
+
+let print t =
+  Common.print_header
+    "Section 6 (ext): in-kernel disk service with separate disk tickets";
+  Common.print_row [ "client"; "disk tickets"; "reads"; "share" ];
+  Array.iter
+    (fun r ->
+      Common.print_row
+        [
+          r.name;
+          string_of_int r.disk_tickets;
+          Printf.sprintf "%6d" r.reads;
+          Printf.sprintf "%.3f" r.share;
+        ])
+    t.phase1;
+  Common.print_kv "resource independence" "cpu-rich(1000cpu/1disk)=%d reads vs disk-rich(100cpu/10disk)=%d"
+    t.cpu_rich_reads t.disk_rich_reads
+
+let to_csv t =
+  Common.csv ~header:[ "client"; "disk_tickets"; "reads"; "share" ]
+    ((Array.to_list t.phase1
+     |> List.map (fun r ->
+            [ r.name; string_of_int r.disk_tickets; string_of_int r.reads; Common.f r.share ]))
+    @ [
+        [ "cpu-rich"; "1"; string_of_int t.cpu_rich_reads; "" ];
+        [ "disk-rich"; "10"; string_of_int t.disk_rich_reads; "" ];
+      ])

@@ -1,0 +1,26 @@
+(** §6/§6.3 extension — disk bandwidth as an in-kernel lottery resource,
+    separate from CPU tickets.
+
+    Phase 1: three I/O-bound threads with equal CPU funding but 3:2:1
+    {e disk} tickets hammer the disk service; completed reads split by disk
+    tickets (CPU tickets are irrelevant to an I/O-bound workload).
+
+    Phase 2 (resource independence): a CPU-rich / disk-poor thread races a
+    CPU-poor / disk-rich one on the same I/O-bound loop — the disk-rich
+    thread wins despite a 10x CPU disadvantage, because rights are
+    per-resource (the premise of the paper's §6.3 multi-resource
+    discussion). *)
+
+type phase1_row = { name : string; disk_tickets : int; reads : int; share : float }
+
+type t = {
+  phase1 : phase1_row array;
+  cpu_rich_reads : int;  (** 1000 CPU / 1 disk ticket *)
+  disk_rich_reads : int;  (** 100 CPU / 10 disk tickets *)
+}
+
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

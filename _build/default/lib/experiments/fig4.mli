@@ -1,0 +1,36 @@
+(** Figure 4 — relative rate accuracy.
+
+    Two compute-bound tasks run for sixty seconds with a [r : 1] ticket
+    allocation; the observed iteration ratio is plotted against the
+    allocated ratio for [r = 1..10], three runs each. The paper reports
+    observed ratios close to allocated ones, with variance growing with the
+    ratio (one 10:1 run came out 13.42:1; a 20:1 three-minute run averaged
+    19.08:1). *)
+
+type run = { allocated : int; observed : float }
+
+type t = {
+  runs : run array;  (** three per allocated ratio *)
+  twenty_to_one : float;  (** observed ratio of the 20:1 three-minute run *)
+  slope : float;
+      (** least-squares fit of observed against allocated — the paper's
+          gray identity line has slope 1 *)
+  intercept : float;
+}
+
+val run :
+  ?seed:int ->
+  ?duration:Lotto_sim.Time.t ->
+  ?runs_per_ratio:int ->
+  ?max_ratio:int ->
+  unit ->
+  t
+
+val print : t -> unit
+
+val max_relative_error : t -> float
+(** Largest [|observed - allocated| / allocated] across runs (used by the
+    integration tests' tolerance check). *)
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

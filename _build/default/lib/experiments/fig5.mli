@@ -1,0 +1,23 @@
+(** Figure 5 — fairness over time.
+
+    Two tasks with a 2:1 allocation run for 200 seconds; average iteration
+    rates are computed over a series of 8-second windows. The paper's
+    observed averages were 25378 and 12619 iterations/sec, a 2.01:1 ratio,
+    with per-window rates staying close to the allocation throughout. *)
+
+type t = {
+  window : Lotto_sim.Time.t;
+  rates_a : float array;  (** iterations/sec per window *)
+  rates_b : float array;
+  overall_ratio : float;
+}
+
+val run :
+  ?seed:int -> ?duration:Lotto_sim.Time.t -> ?window:Lotto_sim.Time.t -> unit -> t
+
+val print : t -> unit
+
+val window_ratios : t -> float array
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

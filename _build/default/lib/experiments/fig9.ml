@@ -1,0 +1,90 @@
+open Lotto_sim
+module Spinner = Lotto_workloads.Spinner
+
+type task_result = {
+  name : string;
+  cumulative : int array;
+  rate_before : float;
+  rate_after : float;
+}
+
+type t = {
+  tasks : task_result array;
+  switch_at : Time.t;
+  a_aggregate_ratio : float;
+  b1_drop : float;
+  b2_drop : float;
+  a_over_b_after : float;
+}
+
+let[@warning "-16"] run ?(seed = 9) ?(duration = Time.seconds 300) () =
+  let kernel, ls = Common.lottery_setup ~seed () in
+  let base = Common.Ls.base_currency ls in
+  let switch_at = duration / 2 in
+  let cur_a = Common.Ls.make_currency ls "A" in
+  let cur_b = Common.Ls.make_currency ls "B" in
+  ignore (Common.Ls.fund_currency ls ~target:cur_a ~amount:1000 ~from:base);
+  ignore (Common.Ls.fund_currency ls ~target:cur_b ~amount:1000 ~from:base);
+  let spawn name cur amount ~start_at =
+    let s = Spinner.spawn kernel ~name ~start_at () in
+    ignore (Common.Ls.fund_thread ls (Spinner.thread s) ~amount ~from:cur);
+    s
+  in
+  let a1 = spawn "A1" cur_a 100 ~start_at:0 in
+  let a2 = spawn "A2" cur_a 200 ~start_at:0 in
+  let b1 = spawn "B1" cur_b 100 ~start_at:0 in
+  let b2 = spawn "B2" cur_b 200 ~start_at:0 in
+  (* B3's thread currency is inactive while it sleeps, so its 300.B ticket
+     only starts diluting currency B when it wakes at the halfway mark. *)
+  let b3 = spawn "B3" cur_b 300 ~start_at:switch_at in
+  ignore (Kernel.run kernel ~until:duration);
+  let result name s =
+    let before = Spinner.iterations_between s ~lo:0 ~hi:switch_at in
+    let after = Spinner.iterations_between s ~lo:switch_at ~hi:duration in
+    let half_s = Time.to_seconds switch_at in
+    {
+      name;
+      cumulative = Spinner.cumulative s ~upto:duration;
+      rate_before = float_of_int before /. half_s;
+      rate_after = float_of_int after /. half_s;
+    }
+  in
+  let ra1 = result "A1" a1
+  and ra2 = result "A2" a2
+  and rb1 = result "B1" b1
+  and rb2 = result "B2" b2
+  and rb3 = result "B3" b3 in
+  let a_before = ra1.rate_before +. ra2.rate_before in
+  let a_after = ra1.rate_after +. ra2.rate_after in
+  let b_after = rb1.rate_after +. rb2.rate_after +. rb3.rate_after in
+  {
+    tasks = [| ra1; ra2; rb1; rb2; rb3 |];
+    switch_at;
+    a_aggregate_ratio = Common.ratio a_after a_before;
+    b1_drop = Common.ratio rb1.rate_after rb1.rate_before;
+    b2_drop = Common.ratio rb2.rate_after rb2.rate_before;
+    a_over_b_after = Common.ratio a_after b_after;
+  }
+
+let print t =
+  Common.print_header "Figure 9: currencies insulate loads (B3 joins at half time)";
+  Common.print_row [ "task"; "iter/s before"; "iter/s after" ];
+  Array.iter
+    (fun task ->
+      Common.print_row
+        [
+          task.name;
+          Printf.sprintf "%7.1f" task.rate_before;
+          Printf.sprintf "%7.1f" task.rate_after;
+        ])
+    t.tasks;
+  Common.print_kv "A aggregate after/before" "%.3f (ideal 1.0)" t.a_aggregate_ratio;
+  Common.print_kv "B1 after/before" "%.3f (ideal 0.5)" t.b1_drop;
+  Common.print_kv "B2 after/before" "%.3f (ideal 0.5)" t.b2_drop;
+  Common.print_kv "A:B aggregate after" "%.3f (paper: 1.00)" t.a_over_b_after
+
+let to_csv t =
+  Common.csv ~header:[ "task"; "iter_per_s_before"; "iter_per_s_after" ]
+    (Array.to_list t.tasks
+    |> List.map (fun task ->
+           [ task.name; Common.f task.rate_before; Common.f task.rate_after ]))

@@ -1,0 +1,30 @@
+(** Figure 9 — currencies insulate loads (§5.5).
+
+    Users A and B hold identically funded currencies. A runs tasks A1, A2
+    with 100.A and 200.A; B runs B1, B2 with 100.B and 200.B. Halfway
+    through, B starts B3 with 300.B, inflating B's internal total from 300
+    to 600. The inflation is locally contained: A1 and A2 are unaffected
+    (and the aggregate A : B progress stays 1:1), while B1 and B2 drop to
+    roughly half their former rates. *)
+
+type task_result = {
+  name : string;
+  cumulative : int array;
+  rate_before : float;  (** iterations/s before B3 starts *)
+  rate_after : float;
+}
+
+type t = {
+  tasks : task_result array;  (** A1 A2 B1 B2 B3 *)
+  switch_at : Lotto_sim.Time.t;
+  a_aggregate_ratio : float;  (** A total before-rate / after-rate, ideal 1 *)
+  b1_drop : float;  (** B1 after/before, ideal 0.5 *)
+  b2_drop : float;
+  a_over_b_after : float;  (** aggregate A rate / B rate after B3, ideal 1 *)
+}
+
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

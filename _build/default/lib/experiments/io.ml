@@ -1,0 +1,81 @@
+module Io = Lotto_res.Io_bandwidth
+module Rng = Lotto_prng.Rng
+
+type phase_row = { name : string; tickets : int; served : int; share : float }
+type t = { phase1 : phase_row array; phase2 : phase_row array }
+
+let[@warning "-16"] run ?(seed = 60) ?(slots_per_phase = 60_000) () =
+  let rng = Rng.create ~seed () in
+  let dev = Io.create ~rng () in
+  let specs = [| ("video", 300); ("backup", 200); ("log", 100) |] in
+  let clients =
+    Array.map (fun (name, tickets) -> Io.add_client dev ~name ~tickets) specs
+  in
+  let keep_backlogged which =
+    Array.iteri
+      (fun i c ->
+        if which i then begin
+          let deficit = slots_per_phase - Io.pending dev c in
+          if deficit > 0 then Io.submit dev c ~requests:deficit
+        end)
+      clients
+  in
+  let snapshot offset =
+    Array.mapi
+      (fun i c ->
+        let name, tickets = specs.(i) in
+        let served = Io.served dev c - offset.(i) in
+        (name, tickets, served))
+      clients
+  in
+  let to_rows snap =
+    let total = Array.fold_left (fun acc (_, _, s) -> acc + s) 0 snap in
+    Array.map
+      (fun (name, tickets, served) ->
+        {
+          name;
+          tickets;
+          served;
+          share = float_of_int served /. float_of_int (max 1 total);
+        })
+      snap
+  in
+  keep_backlogged (fun _ -> true);
+  Io.serve dev ~slots:slots_per_phase;
+  let phase1_raw = snapshot (Array.map (fun _ -> 0) clients) in
+  let offsets = Array.map (fun c -> Io.served dev c) clients in
+  (* phase 2: the middle stream goes idle; its share must flow to the
+     others in proportion to their tickets *)
+  Io.cancel_pending dev clients.(1);
+  keep_backlogged (fun i -> i <> 1);
+  Io.serve dev ~slots:slots_per_phase;
+  let phase2_raw = snapshot offsets in
+  { phase1 = to_rows phase1_raw; phase2 = to_rows phase2_raw }
+
+let print t =
+  Common.print_header "Section 6: lottery-scheduled I/O bandwidth (3:2:1)";
+  let dump label rows =
+    Common.print_kv "phase" "%s" label;
+    Common.print_row [ "stream"; "tickets"; "served"; "share" ];
+    Array.iter
+      (fun r ->
+        Common.print_row
+          [
+            r.name;
+            string_of_int r.tickets;
+            Printf.sprintf "%6d" r.served;
+            Printf.sprintf "%.3f" r.share;
+          ])
+      rows
+  in
+  dump "all backlogged (ideal 0.50/0.33/0.17)" t.phase1;
+  dump "middle idle (ideal 0.75/0/0.25)" t.phase2
+
+let to_csv t =
+  let rows phase label =
+    Array.to_list phase
+    |> List.map (fun r ->
+           [ label; r.name; string_of_int r.tickets; string_of_int r.served; Common.f r.share ])
+  in
+  Common.csv ~header:[ "phase"; "stream"; "tickets"; "served"; "share" ]
+    (rows t.phase1 "all-backlogged" @ rows t.phase2 "middle-idle")

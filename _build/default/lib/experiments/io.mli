@@ -1,0 +1,21 @@
+(** §6 — lottery-managed I/O bandwidth (disk queues / ATM virtual
+    circuits).
+
+    Three always-backlogged streams with a 3:2:1 ticket allocation share a
+    device serving fixed-size slots; the served-slot split should track the
+    allocation. Midway, the middle stream goes idle and its share must
+    redistribute to the remaining streams in proportion to {e their}
+    tickets (the §2.1 "lightly contended resource" property). *)
+
+type phase_row = { name : string; tickets : int; served : int; share : float }
+
+type t = {
+  phase1 : phase_row array;  (** all three backlogged *)
+  phase2 : phase_row array;  (** middle stream idle *)
+}
+
+val run : ?seed:int -> ?slots_per_phase:int -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

@@ -1,0 +1,164 @@
+module Io = Lotto_res.Io_bandwidth
+module Rng = Lotto_prng.Rng
+
+type app_row = {
+  name : string;
+  cpu_need : int;
+  io_need : int;
+  work_done : int;
+  final_cpu_tickets : int;
+  final_io_tickets : int;
+}
+
+type policy_result = { policy : string; apps : app_row array; total_work : int }
+type t = { static : policy_result; managed : policy_result }
+
+type app = {
+  a_name : string;
+  a_cpu_need : int;
+  a_io_need : int;
+  budget : int;
+  mutable cpu_tickets : int;
+  mutable io_tickets : int;
+  mutable cpu_bank : int; (* slots received but not yet consumed *)
+  mutable io_bank : int;
+  mutable work : int;
+  cpu_client : Io.client;
+  io_client : Io.client;
+}
+
+(* per-epoch capacities: enough combined demand to congest both devices *)
+let cpu_capacity = 400
+let io_capacity = 400
+
+let make_apps ~rng =
+  let cpu_dev = Io.create ~rng () in
+  let io_dev = Io.create ~rng:(Rng.split rng) () in
+  let mk a_name a_cpu_need a_io_need =
+    {
+      a_name;
+      a_cpu_need;
+      a_io_need;
+      budget = 300;
+      cpu_tickets = 150;
+      io_tickets = 150;
+      cpu_bank = 0;
+      io_bank = 0;
+      work = 0;
+      cpu_client = Io.add_client cpu_dev ~name:(a_name ^ ":cpu") ~tickets:150;
+      io_client = Io.add_client io_dev ~name:(a_name ^ ":io") ~tickets:150;
+    }
+  in
+  (* crunch is compute-heavy, slurp is I/O-heavy *)
+  let apps = [| mk "crunch" 3 1; mk "slurp" 1 3 |] in
+  (cpu_dev, io_dev, apps)
+
+let epoch cpu_dev io_dev apps ~managed =
+  (* everyone is always backlogged on both devices *)
+  Array.iter
+    (fun a ->
+      Io.set_tickets cpu_dev a.cpu_client a.cpu_tickets;
+      Io.set_tickets io_dev a.io_client a.io_tickets;
+      let top_up dev client =
+        let deficit = (2 * cpu_capacity) - Io.pending dev client in
+        if deficit > 0 then Io.submit dev client ~requests:deficit
+      in
+      top_up cpu_dev a.cpu_client;
+      top_up io_dev a.io_client)
+    apps;
+  let cpu_before = Array.map (fun a -> Io.served cpu_dev a.cpu_client) apps in
+  let io_before = Array.map (fun a -> Io.served io_dev a.io_client) apps in
+  Io.serve cpu_dev ~slots:cpu_capacity;
+  Io.serve io_dev ~slots:io_capacity;
+  Array.iteri
+    (fun i a ->
+      a.cpu_bank <- a.cpu_bank + Io.served cpu_dev a.cpu_client - cpu_before.(i);
+      a.io_bank <- a.io_bank + Io.served io_dev a.io_client - io_before.(i);
+      (* consume banked slots into completed work units *)
+      let units = min (a.cpu_bank / a.a_cpu_need) (a.io_bank / a.a_io_need) in
+      a.cpu_bank <- a.cpu_bank - (units * a.a_cpu_need);
+      a.io_bank <- a.io_bank - (units * a.a_io_need);
+      a.work <- a.work + units;
+      if managed then begin
+        (* the manager thread's policy: move 10% of the budget toward the
+           bottleneck resource, judged by the surplus left in the banks *)
+        let shift = max 1 (a.budget / 10) in
+        if a.cpu_bank > a.io_bank && a.io_tickets + shift <= a.budget then begin
+          (* starved for io: cpu slots pile up unused *)
+          a.io_tickets <- a.io_tickets + shift;
+          a.cpu_tickets <- a.budget - a.io_tickets
+        end
+        else if a.io_bank > a.cpu_bank && a.cpu_tickets + shift <= a.budget then begin
+          a.cpu_tickets <- a.cpu_tickets + shift;
+          a.io_tickets <- a.budget - a.cpu_tickets
+        end
+      end)
+    apps
+
+let one ~seed ~epochs ~managed =
+  let rng = Rng.create ~algo:Splitmix64 ~seed () in
+  let cpu_dev, io_dev, apps = make_apps ~rng in
+  for _ = 1 to epochs do
+    epoch cpu_dev io_dev apps ~managed
+  done;
+  let rows =
+    Array.map
+      (fun a ->
+        {
+          name = a.a_name;
+          cpu_need = a.a_cpu_need;
+          io_need = a.a_io_need;
+          work_done = a.work;
+          final_cpu_tickets = a.cpu_tickets;
+          final_io_tickets = a.io_tickets;
+        })
+      apps
+  in
+  {
+    policy = (if managed then "managed" else "static 50/50");
+    apps = rows;
+    total_work = Array.fold_left (fun acc r -> acc + r.work_done) 0 rows;
+  }
+
+let[@warning "-16"] run ?(seed = 63) ?(epochs = 200) () =
+  {
+    static = one ~seed ~epochs ~managed:false;
+    managed = one ~seed ~epochs ~managed:true;
+  }
+
+let print t =
+  Common.print_header
+    "Section 6.3: manager threads rebalance funding across CPU and I/O";
+  List.iter
+    (fun r ->
+      Common.print_kv "policy" "%s (total work %d)" r.policy r.total_work;
+      Common.print_row [ "app"; "needs cpu:io"; "work done"; "final split cpu:io" ];
+      Array.iter
+        (fun a ->
+          Common.print_row
+            [
+              a.name;
+              Printf.sprintf "%d:%d" a.cpu_need a.io_need;
+              Printf.sprintf "%6d" a.work_done;
+              Printf.sprintf "%d:%d" a.final_cpu_tickets a.final_io_tickets;
+            ])
+        r.apps)
+    [ t.static; t.managed ]
+
+let to_csv t =
+  Common.csv
+    ~header:[ "policy"; "app"; "cpu_need"; "io_need"; "work_done"; "final_cpu"; "final_io" ]
+    (List.concat_map
+       (fun r ->
+         Array.to_list r.apps
+         |> List.map (fun a ->
+                [
+                  r.policy;
+                  a.name;
+                  string_of_int a.cpu_need;
+                  string_of_int a.io_need;
+                  string_of_int a.work_done;
+                  string_of_int a.final_cpu_tickets;
+                  string_of_int a.final_io_tickets;
+                ]))
+       [ t.static; t.managed ])

@@ -1,0 +1,34 @@
+(** §6.3 — multiple resources and manager threads (the paper's future-work
+    sketch, implemented).
+
+    Rights for every resource are tickets, so "clients can use quantitative
+    comparisons to make decisions involving tradeoffs between different
+    resources". Two applications share a CPU and an I/O device, each slot
+    allocated by ticket lottery per resource. Each app holds a fixed total
+    ticket budget split between the two resource currencies, and needs CPU
+    and I/O in different proportions per unit of work (one is
+    compute-heavy, the other I/O-heavy).
+
+    With a {e static} 50/50 split, both apps drown in tickets on the
+    resource they barely use. With the paper's proposed {e manager} (a
+    small agent re-evaluating funding each epoch), each app shifts tickets
+    toward its bottleneck resource; throughput rises for both. *)
+
+type app_row = {
+  name : string;
+  cpu_need : int;
+  io_need : int;  (** slots per unit of work *)
+  work_done : int;
+  final_cpu_tickets : int;
+  final_io_tickets : int;
+}
+
+type policy_result = { policy : string; apps : app_row array; total_work : int }
+
+type t = { static : policy_result; managed : policy_result }
+
+val run : ?seed:int -> ?epochs:int -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

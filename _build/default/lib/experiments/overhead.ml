@@ -1,0 +1,104 @@
+open Lotto_sim
+module Spinner = Lotto_workloads.Spinner
+
+type row = {
+  scheduler : string;
+  tasks : int;
+  decisions : int;
+  host_ns_per_decision : float;
+  virtual_cpu_total : int;
+}
+
+type t = { rows : row array }
+
+type sched_kind = L_list | L_tree | Rr | Decay | Stride
+
+let kind_name = function
+  | L_list -> "lottery-list"
+  | L_tree -> "lottery-tree"
+  | Rr -> "round-robin"
+  | Decay -> "decay-usage"
+  | Stride -> "stride"
+
+let one ~seed ~duration ~tasks kind =
+  let rng = Lotto_prng.Rng.create ~seed () in
+  let fund_hooks = ref (fun (_ : Types.thread) (_ : int) -> ()) in
+  let sched =
+    match kind with
+    | L_list | L_tree ->
+        let mode =
+          match kind with
+          | L_list -> Common.Ls.List_mode
+          | _ -> Common.Ls.Tree_mode
+        in
+        let ls = Common.Ls.create ~mode ~rng () in
+        (fund_hooks :=
+           fun th amount ->
+             ignore
+               (Common.Ls.fund_thread ls th ~amount
+                  ~from:(Common.Ls.base_currency ls)));
+        Common.Ls.sched ls
+    | Rr -> Lotto_sched.Round_robin.(sched (create ()))
+    | Decay -> Lotto_sched.Decay_usage.(sched (create ()))
+    | Stride ->
+        let st = Lotto_sched.Stride_sched.create () in
+        (fund_hooks := fun th amount -> Lotto_sched.Stride_sched.set_tickets st th amount);
+        Lotto_sched.Stride_sched.sched st
+  in
+  let kernel = Kernel.create ~sched () in
+  let spinners =
+    Array.init tasks (fun i ->
+        let s = Spinner.spawn kernel ~name:(Printf.sprintf "t%d" i) () in
+        !fund_hooks (Spinner.thread s) 100;
+        s)
+  in
+  let t0 = Sys.time () in
+  let summary = Kernel.run kernel ~until:duration in
+  let host = Sys.time () -. t0 in
+  {
+    scheduler = kind_name kind;
+    tasks;
+    decisions = summary.slices;
+    host_ns_per_decision =
+      (if summary.slices = 0 then nan else host *. 1e9 /. float_of_int summary.slices);
+    virtual_cpu_total =
+      Array.fold_left (fun acc s -> acc + Kernel.cpu_time (Spinner.thread s)) 0 spinners;
+  }
+
+let[@warning "-16"] run ?(seed = 56) ?(duration = Time.seconds 60) () =
+  let kinds = [ L_list; L_tree; Rr; Decay; Stride ] in
+  let rows =
+    List.concat_map
+      (fun tasks -> List.map (one ~seed ~duration ~tasks) kinds)
+      [ 3; 8 ]
+  in
+  { rows = Array.of_list rows }
+
+let print t =
+  Common.print_header "Section 5.6: scheduling overhead (same workload per policy)";
+  Common.print_row
+    [ "scheduler"; "tasks"; "decisions"; "host ns/decision"; "virtual cpu" ];
+  Array.iter
+    (fun r ->
+      Common.print_row
+        [
+          Printf.sprintf "%-12s" r.scheduler;
+          string_of_int r.tasks;
+          string_of_int r.decisions;
+          Printf.sprintf "%8.0f" r.host_ns_per_decision;
+          string_of_int r.virtual_cpu_total;
+        ])
+    t.rows
+
+let to_csv t =
+  Common.csv
+    ~header:[ "scheduler"; "tasks"; "decisions"; "host_ns_per_decision"; "virtual_cpu" ]
+    (Array.to_list t.rows
+    |> List.map (fun r ->
+           [
+             r.scheduler;
+             string_of_int r.tasks;
+             string_of_int r.decisions;
+             Common.f r.host_ns_per_decision;
+             string_of_int r.virtual_cpu_total;
+           ]))

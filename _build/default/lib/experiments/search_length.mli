@@ -1,0 +1,28 @@
+(** §4.2 ablation — average list-lottery search length.
+
+    "Various optimizations can reduce the average number of clients that
+    must be examined. … if the distribution of tickets to clients is
+    uneven, ordering the clients by decreasing ticket counts can
+    substantially reduce the average search length. Since those clients
+    with the largest number of tickets will be selected most frequently, a
+    simple 'move to front' heuristic can be very effective."
+
+    We measure entries examined per draw for the three orderings over a
+    skewed (Zipf-like) ticket distribution at several client counts, plus
+    the tree lottery's lg n bound for contrast. *)
+
+type row = {
+  clients : int;
+  unordered : float;  (** mean entries examined per draw *)
+  move_to_front : float;
+  by_weight : float;
+  tree_depth : float;  (** ceil lg n — the tree's comparisons *)
+}
+
+type t = { rows : row array }
+
+val run : ?seed:int -> ?draws:int -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

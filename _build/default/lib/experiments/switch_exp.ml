@@ -1,0 +1,91 @@
+module Sw = Lotto_res.Switch
+module Rng = Lotto_prng.Rng
+
+type row = {
+  name : string;
+  tickets : int;
+  offered : float;
+  delivered : int;
+  share : float;
+  mean_delay : float;
+  dropped : int;
+}
+
+type t = {
+  congested : row array;
+  uncongested : row;
+  port0_utilization : float;
+}
+
+let[@warning "-16"] run ?(seed = 90) ?(slots = 200_000) () =
+  let rng = Rng.create ~algo:Splitmix64 ~seed () in
+  let sw = Sw.create ~ports:2 ~rng () in
+  let specs = [| ("gold", 300, 0.6); ("silver", 200, 0.6); ("bronze", 100, 0.6) |] in
+  let congested =
+    Array.map
+      (fun (name, tickets, rate) ->
+        Sw.add_circuit sw ~name ~output_port:0 ~tickets ~rate)
+      specs
+  in
+  let lonely = Sw.add_circuit sw ~name:"telemetry" ~output_port:1 ~tickets:10 ~rate:0.3 in
+  Sw.step sw ~slots;
+  let total_delivered =
+    Array.fold_left (fun acc c -> acc + Sw.delivered sw c) 0 congested
+  in
+  let mk name tickets offered c total =
+    {
+      name;
+      tickets;
+      offered;
+      delivered = Sw.delivered sw c;
+      share = float_of_int (Sw.delivered sw c) /. float_of_int (max 1 total);
+      mean_delay = Sw.mean_delay sw c;
+      dropped = Sw.dropped sw c;
+    }
+  in
+  {
+    congested =
+      Array.mapi
+        (fun i c ->
+          let name, tickets, rate = specs.(i) in
+          mk name tickets rate c total_delivered)
+        congested;
+    uncongested = mk "telemetry" 10 0.3 lonely (Sw.delivered sw lonely);
+    port0_utilization = Sw.port_utilization sw 0;
+  }
+
+let print t =
+  Common.print_header "Section 6 (ext): virtual circuits on a congested port (3:2:1)";
+  Common.print_row [ "circuit"; "tickets"; "offered"; "delivered"; "share"; "delay"; "drops" ];
+  let dump r =
+    Common.print_row
+      [
+        r.name;
+        string_of_int r.tickets;
+        Printf.sprintf "%.2f" r.offered;
+        Printf.sprintf "%6d" r.delivered;
+        Printf.sprintf "%.3f" r.share;
+        Printf.sprintf "%7.1f" r.mean_delay;
+        string_of_int r.dropped;
+      ]
+  in
+  Array.iter dump t.congested;
+  dump t.uncongested;
+  Common.print_kv "congested port utilization" "%.3f (saturated)" t.port0_utilization;
+  Common.print_kv "uncongested circuit" "loses nothing despite 10 tickets"
+
+let to_csv t =
+  let row r =
+    [
+      r.name;
+      string_of_int r.tickets;
+      Common.f r.offered;
+      string_of_int r.delivered;
+      Common.f r.share;
+      Common.f r.mean_delay;
+      string_of_int r.dropped;
+    ]
+  in
+  Common.csv
+    ~header:[ "circuit"; "tickets"; "offered"; "delivered"; "share"; "mean_delay"; "dropped" ]
+    (Array.to_list t.congested @ [ t.uncongested ] |> List.map row)

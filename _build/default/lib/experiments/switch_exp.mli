@@ -1,0 +1,31 @@
+(** §6 extension — lottery-scheduled virtual circuits on a congested
+    switch port (the paper's ATM example, after [And93]).
+
+    Port 0 is congested: three circuits with a 3:2:1 allocation each offer
+    0.6 cells/slot (1.8 total against capacity 1). Port 1 is uncongested: a
+    single low-ticket circuit offering 0.3. On the congested port delivered
+    bandwidth tracks tickets and queueing delay orders inversely with them;
+    the uncongested circuit is unaffected by its small allocation —
+    §2.1's "a client will obtain more of a lightly contended resource". *)
+
+type row = {
+  name : string;
+  tickets : int;
+  offered : float;
+  delivered : int;
+  share : float;  (** of the congested port's capacity (ports measured separately) *)
+  mean_delay : float;
+  dropped : int;
+}
+
+type t = {
+  congested : row array;
+  uncongested : row;
+  port0_utilization : float;
+}
+
+val run : ?seed:int -> ?slots:int -> unit -> t
+val print : t -> unit
+
+val to_csv : t -> string
+(** Serialize the result for external plotting. *)

@@ -1,0 +1,1 @@
+lib/lottery/distributed_lottery.ml: Array Float List_lottery Lotto_prng

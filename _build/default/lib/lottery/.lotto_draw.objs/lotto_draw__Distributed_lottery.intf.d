@@ -1,0 +1,1 @@
+lib/lottery/distributed_lottery.mli: Lotto_prng

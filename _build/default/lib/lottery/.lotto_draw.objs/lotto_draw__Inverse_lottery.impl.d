@@ -1,0 +1,1 @@
+lib/lottery/inverse_lottery.ml: List Lotto_prng

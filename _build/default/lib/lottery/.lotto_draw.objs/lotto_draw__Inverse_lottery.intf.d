@@ -1,0 +1,1 @@
+lib/lottery/inverse_lottery.mli: Lotto_prng

@@ -1,0 +1,1 @@
+lib/lottery/list_lottery.ml: List Lotto_prng Option

@@ -1,0 +1,1 @@
+lib/lottery/list_lottery.mli: Lotto_prng

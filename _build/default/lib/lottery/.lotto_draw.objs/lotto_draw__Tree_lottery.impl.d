@@ -1,0 +1,1 @@
+lib/lottery/tree_lottery.ml: Array Lotto_prng Option

@@ -1,0 +1,1 @@
+lib/lottery/tree_lottery.mli: Lotto_prng

@@ -1,0 +1,93 @@
+type 'a handle = { node : int; local : 'a List_lottery.handle; mutable live : bool }
+
+type 'a t = {
+  node_count : int; (* power of two *)
+  sums : float array; (* 1-based binary tree over nodes; leaf i at node_count + i *)
+  locals : 'a List_lottery.t array;
+  mutable draws : int;
+  mutable messages : int;
+}
+
+let create ~nodes () =
+  if nodes <= 0 then invalid_arg "Distributed_lottery.create: nodes <= 0";
+  let rec up c = if c >= nodes then c else up (c * 2) in
+  let node_count = up 1 in
+  {
+    node_count;
+    sums = Array.make (2 * node_count) 0.;
+    locals = Array.init node_count (fun _ -> List_lottery.create ~order:Unordered ());
+    draws = 0;
+    messages = 0;
+  }
+
+let nodes t = t.node_count
+
+(* propagate a weight delta from a node's leaf to the root, one message per
+   level (the update path of the distributed tree) *)
+let bubble_up t node delta =
+  let i = ref (t.node_count + node) in
+  while !i >= 1 do
+    t.sums.(!i) <- t.sums.(!i) +. delta;
+    if !i > 1 then t.messages <- t.messages + 1;
+    i := !i / 2
+  done
+
+let check_node t node =
+  if node < 0 || node >= t.node_count then
+    invalid_arg "Distributed_lottery: node out of range"
+
+let add t ~node ~client ~weight =
+  check_node t node;
+  let local = List_lottery.add t.locals.(node) ~client ~weight in
+  bubble_up t node weight;
+  { node; local; live = true }
+
+let remove t h =
+  if h.live then begin
+    h.live <- false;
+    let w = List_lottery.weight t.locals.(h.node) h.local in
+    List_lottery.remove t.locals.(h.node) h.local;
+    bubble_up t h.node (-.w)
+  end
+
+let set_weight t h weight =
+  if not h.live then invalid_arg "Distributed_lottery.set_weight: removed handle";
+  let old = List_lottery.weight t.locals.(h.node) h.local in
+  List_lottery.set_weight t.locals.(h.node) h.local weight;
+  bubble_up t h.node (weight -. old)
+
+let node_of h = h.node
+let client h = List_lottery.client h.local
+let total t = Float.max 0. t.sums.(1)
+
+let node_total t node =
+  check_node t node;
+  Float.max 0. t.sums.(t.node_count + node)
+
+let draw t rng =
+  t.draws <- t.draws + 1;
+  if total t <= 0. then None
+  else begin
+    let winning = ref (Lotto_prng.Rng.float_unit rng *. total t) in
+    (* descend the inter-node tree; each hop is a message *)
+    let i = ref 1 in
+    while !i < t.node_count do
+      let left = 2 * !i in
+      if !winning < t.sums.(left) || t.sums.(left + 1) <= 0. then i := left
+      else begin
+        winning := !winning -. t.sums.(left);
+        i := left + 1
+      end;
+      t.messages <- t.messages + 1
+    done;
+    let node = !i - t.node_count in
+    (* final local lottery on the owning node (clamped for float drift) *)
+    let local = t.locals.(node) in
+    let w = Float.min !winning (Float.max 0. (List_lottery.total local -. 1e-9)) in
+    match List_lottery.draw_with_value local ~winning:(Float.max 0. w) with
+    | Some h -> Some (List_lottery.client h)
+    | None -> None
+  end
+
+let draws t = t.draws
+let messages t = t.messages

@@ -1,0 +1,36 @@
+(** Distributed lottery sketch (§4.2: "Such a tree-based implementation can
+    also be used as the basis of a distributed lottery scheduler").
+
+    Clients live on [nodes] separate nodes; a binary tree of partial ticket
+    sums spans the nodes. A draw walks the tree from the root to the owning
+    node (one simulated {e message} per hop) and finishes with a local
+    lottery there; weight updates propagate from a node's leaf to the root.
+    Selection remains exactly ticket-proportional across the whole system
+    while every draw and update costs O(log nodes) messages — the counters
+    let tests and benches verify the bound. *)
+
+type 'a t
+type 'a handle
+
+val create : nodes:int -> unit -> 'a t
+(** [nodes] is rounded up to a power of two; must be positive. *)
+
+val nodes : 'a t -> int
+
+val add : 'a t -> node:int -> client:'a -> weight:float -> 'a handle
+(** Register a client on a node (0-based). *)
+
+val remove : 'a t -> 'a handle -> unit
+val set_weight : 'a t -> 'a handle -> float -> unit
+val node_of : 'a handle -> int
+val client : 'a handle -> 'a
+val total : 'a t -> float
+val node_total : 'a t -> int -> float
+
+val draw : 'a t -> Lotto_prng.Rng.t -> 'a option
+(** [None] when no client holds positive weight. *)
+
+val draws : 'a t -> int
+val messages : 'a t -> int
+(** Cumulative simulated messages (tree hops) across all draws and
+    updates. *)

@@ -1,0 +1,62 @@
+type 'a handle = { mutable tickets : float; c : 'a; mutable live : bool }
+
+type 'a t = { mutable entries : 'a handle list; mutable size : int }
+
+let create () = { entries = []; size = 0 }
+
+let add t ~client ~tickets =
+  if tickets < 0. then invalid_arg "Inverse_lottery.add: negative tickets";
+  let h = { tickets; c = client; live = true } in
+  t.entries <- h :: t.entries;
+  t.size <- t.size + 1;
+  h
+
+let remove t h =
+  if h.live then begin
+    h.live <- false;
+    t.entries <- List.filter (fun e -> e != h) t.entries;
+    t.size <- t.size - 1
+  end
+
+let set_tickets _t h tickets =
+  if tickets < 0. then invalid_arg "Inverse_lottery.set_tickets: negative";
+  if not h.live then invalid_arg "Inverse_lottery.set_tickets: removed handle";
+  h.tickets <- tickets
+
+let tickets _t h = h.tickets
+let client h = h.c
+let size t = t.size
+
+let total_tickets t =
+  List.fold_left (fun acc h -> acc +. h.tickets) 0. t.entries
+
+let inverse_weight t h =
+  let total = total_tickets t in
+  if total <= 0. then 1. else 1. -. (h.tickets /. total)
+
+let loss_probability t h =
+  if t.size < 2 then 0.
+  else inverse_weight t h /. float_of_int (t.size - 1)
+
+let weighted_pick t rng weight_of =
+  let total = List.fold_left (fun acc h -> acc +. weight_of h) 0. t.entries in
+  if total <= 0. then None
+  else begin
+    let winning = Lotto_prng.Rng.float_unit rng *. total in
+    let rec go acc last = function
+      | [] -> last
+      | h :: rest ->
+          let w = weight_of h in
+          let acc = acc +. w in
+          let last = if w > 0. then Some h else last in
+          if w > 0. && acc > winning then Some h else go acc last rest
+    in
+    go 0. None t.entries
+  end
+
+let draw_loser t rng =
+  if t.size < 2 then None else weighted_pick t rng (inverse_weight t)
+
+let draw_loser_weighted t rng ~extra =
+  if t.size < 2 then None
+  else weighted_pick t rng (fun h -> inverse_weight t h *. extra h.c)

@@ -1,0 +1,33 @@
+(** Inverse lotteries (Section 6.2): select a {e loser} to relinquish a
+    resource unit, with probability {e decreasing} in ticket holdings.
+
+    With [n] clients holding [t_i] of [T] total tickets, client [i] loses
+    with probability [(1 / (n - 1)) * (1 - t_i / T)] — the paper's formula,
+    where [1 / (n - 1)] normalizes the probabilities to sum to one. *)
+
+type 'a t
+type 'a handle
+
+val create : unit -> 'a t
+val add : 'a t -> client:'a -> tickets:float -> 'a handle
+val remove : 'a t -> 'a handle -> unit
+val set_tickets : 'a t -> 'a handle -> float -> unit
+val tickets : 'a t -> 'a handle -> float
+val client : 'a handle -> 'a
+val size : 'a t -> int
+val total_tickets : 'a t -> float
+
+val loss_probability : 'a t -> 'a handle -> float
+(** The paper's [(1/(n-1)) * (1 - t_i/T)]; [0.] when fewer than two
+    clients. *)
+
+val draw_loser : 'a t -> Lotto_prng.Rng.t -> 'a handle option
+(** [None] when fewer than two clients compete (a single client would have
+    loss probability 0/0; the caller decides what to do). *)
+
+val draw_loser_weighted :
+  'a t -> Lotto_prng.Rng.t -> extra:('a -> float) -> 'a handle option
+(** Inverse lottery with an additional multiplicative weight per client —
+    the paper's page-replacement policy multiplies [1 - t_i/T] by the
+    fraction of physical memory the client uses. Clients with zero [extra]
+    weight are never selected. *)

@@ -1,0 +1,102 @@
+type 'a entry = { mutable w : float; c : 'a; mutable live : bool }
+type 'a handle = 'a entry
+
+type order = Unordered | Move_to_front | By_weight
+
+type 'a t = {
+  order : order;
+  mutable entries : 'a entry list; (* front = most recent winners under mtf *)
+  mutable total : float;
+  mutable size : int;
+  mutable comparisons : int;
+  mutable mutations : int; (* triggers periodic total recomputation *)
+}
+
+let[@warning "-16"] create ?(move_to_front = true) ?order () =
+  let order =
+    match order with
+    | Some o -> o
+    | None -> if move_to_front then Move_to_front else Unordered
+  in
+  { order; entries = []; total = 0.; size = 0; comparisons = 0; mutations = 0 }
+
+let resort t =
+  t.entries <- List.stable_sort (fun a b -> compare b.w a.w) t.entries
+
+let refresh_total t =
+  (* Incremental float updates drift; re-sum periodically so long-running
+     simulations keep exact draw bounds. *)
+  t.mutations <- t.mutations + 1;
+  if t.mutations land 4095 = 0 then
+    t.total <- List.fold_left (fun acc e -> acc +. e.w) 0. t.entries
+
+let add t ~client ~weight =
+  if weight < 0. then invalid_arg "List_lottery.add: negative weight";
+  let e = { w = weight; c = client; live = true } in
+  t.entries <- e :: t.entries;
+  t.total <- t.total +. weight;
+  t.size <- t.size + 1;
+  if t.order = By_weight then resort t;
+  refresh_total t;
+  e
+
+let remove t e =
+  if e.live then begin
+    e.live <- false;
+    t.entries <- List.filter (fun e' -> e' != e) t.entries;
+    t.total <- t.total -. e.w;
+    t.size <- t.size - 1;
+    refresh_total t
+  end
+
+let set_weight t e weight =
+  if weight < 0. then invalid_arg "List_lottery.set_weight: negative weight";
+  if not e.live then invalid_arg "List_lottery.set_weight: removed handle";
+  t.total <- t.total -. e.w +. weight;
+  e.w <- weight;
+  if t.order = By_weight then resort t;
+  refresh_total t
+
+let weight _t e = e.w
+let client e = e.c
+let mem _t e = e.live
+let total t = max t.total 0.
+let size t = t.size
+
+let move_to_front t e =
+  t.entries <- e :: List.filter (fun e' -> e' != e) t.entries
+
+let scan t winning =
+  (* Accumulate the running ticket sum until it exceeds the winning value
+     (Figure 1). Float drift can leave [winning] beyond the actual sum; the
+     last positive-weight entry wins in that case. *)
+  let rec go acc last = function
+    | [] -> last
+    | e :: rest ->
+        t.comparisons <- t.comparisons + 1;
+        let acc = acc +. e.w in
+        let last = if e.w > 0. then Some e else last in
+        if e.w > 0. && acc > winning then Some e else go acc last rest
+  in
+  go 0. None t.entries
+
+let draw_with_value t ~winning =
+  if winning < 0. then invalid_arg "List_lottery.draw_with_value: negative";
+  match scan t winning with
+  | None -> None
+  | Some e ->
+      if t.order = Move_to_front then move_to_front t e;
+      Some e
+
+let draw t rng =
+  if t.total <= 0. then None
+  else begin
+    let winning = Lotto_prng.Rng.float_unit rng *. t.total in
+    draw_with_value t ~winning
+  end
+
+let draw_client t rng = Option.map client (draw t rng)
+let iter t f = List.iter f t.entries
+let to_list t = List.map (fun e -> (e.c, e.w)) t.entries
+let comparisons t = t.comparisons
+let reset_comparisons t = t.comparisons <- 0

@@ -1,0 +1,55 @@
+(** List-based lottery with the paper's §4.2 search optimizations.
+
+    A draw picks a winning value uniformly below the total weight and scans
+    the client list accumulating a running sum until it reaches the winner —
+    O(n) worst case. The paper suggests two orderings that shorten the
+    average search: "a simple 'move to front' heuristic can be very
+    effective" (winners migrate toward the head) and "ordering the clients
+    by decreasing ticket counts can substantially reduce the average search
+    length". Both are available; the benchmark suite compares them. *)
+
+type 'a t
+type 'a handle
+
+type order =
+  | Unordered  (** insertion order, no reordering *)
+  | Move_to_front  (** winners move to the head (the prototype's choice) *)
+  | By_weight  (** kept sorted by decreasing weight *)
+
+val create : ?move_to_front:bool -> ?order:order -> unit -> 'a t
+(** [order] defaults to [Move_to_front]; the legacy [move_to_front] flag
+    maps [false] to [Unordered] and is overridden by [order] when both are
+    given. *)
+
+val add : 'a t -> client:'a -> weight:float -> 'a handle
+(** Weights must be nonnegative; zero-weight clients never win. *)
+
+val remove : 'a t -> 'a handle -> unit
+(** Idempotent. *)
+
+val set_weight : 'a t -> 'a handle -> float -> unit
+val weight : 'a t -> 'a handle -> float
+val client : 'a handle -> 'a
+val mem : 'a t -> 'a handle -> bool
+val total : 'a t -> float
+val size : 'a t -> int
+
+val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
+(** [None] when the lottery is empty or all weights are zero. *)
+
+val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
+
+val draw_with_value : 'a t -> winning:float -> 'a handle option
+(** Deterministic draw for a given winning value in [\[0, total)];
+    used by tests to replay Figure 1 exactly. *)
+
+val iter : 'a t -> ('a handle -> unit) -> unit
+(** Front-to-back order (reflects move-to-front history). *)
+
+val to_list : 'a t -> ('a * float) list
+
+val comparisons : 'a t -> int
+(** Total list entries examined by all draws so far — the paper's "average
+    search length" metric for evaluating move-to-front. *)
+
+val reset_comparisons : 'a t -> unit

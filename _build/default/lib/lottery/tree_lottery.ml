@@ -1,0 +1,164 @@
+type 'a handle = { mutable slot : int; (* -1 once removed *) c : 'a }
+
+type 'a t = {
+  mutable tree : float array; (* 1-based Fenwick array of partial sums *)
+  mutable weights : float array; (* per-slot exact weight *)
+  mutable slots : 'a handle option array;
+  mutable capacity : int; (* power of two *)
+  mutable used : int; (* high-water mark of allocated slots *)
+  mutable free : int list;
+  mutable size : int;
+  mutable total : float;
+}
+
+let create ?(initial_capacity = 16) () =
+  let cap = max 2 initial_capacity in
+  (* round up to a power of two for a clean Fenwick descend *)
+  let cap =
+    let rec up c = if c >= cap then c else up (c * 2) in
+    up 2
+  in
+  {
+    tree = Array.make (cap + 1) 0.;
+    weights = Array.make cap 0.;
+    slots = Array.make cap None;
+    capacity = cap;
+    used = 0;
+    free = [];
+    size = 0;
+    total = 0.;
+  }
+
+let bump t slot delta =
+  (* Standard Fenwick point update: add delta to slot (0-based) upward. *)
+  let i = ref (slot + 1) in
+  while !i <= t.capacity do
+    t.tree.(!i) <- t.tree.(!i) +. delta;
+    i := !i + (!i land - !i)
+  done;
+  t.total <- t.total +. delta
+
+let rebuild t =
+  Array.fill t.tree 0 (t.capacity + 1) 0.;
+  t.total <- 0.;
+  for s = 0 to t.used - 1 do
+    if t.weights.(s) > 0. then begin
+      let w = t.weights.(s) in
+      let i = ref (s + 1) in
+      while !i <= t.capacity do
+        t.tree.(!i) <- t.tree.(!i) +. w;
+        i := !i + (!i land - !i)
+      done;
+      t.total <- t.total +. w
+    end
+  done
+
+let grow t =
+  let cap = t.capacity * 2 in
+  let weights = Array.make cap 0. in
+  let slots = Array.make cap None in
+  Array.blit t.weights 0 weights 0 t.capacity;
+  Array.blit t.slots 0 slots 0 t.capacity;
+  t.weights <- weights;
+  t.slots <- slots;
+  t.capacity <- cap;
+  t.tree <- Array.make (cap + 1) 0.;
+  rebuild t
+
+let add t ~client ~weight =
+  if weight < 0. then invalid_arg "Tree_lottery.add: negative weight";
+  let slot =
+    match t.free with
+    | s :: rest ->
+        t.free <- rest;
+        s
+    | [] ->
+        if t.used = t.capacity then grow t;
+        let s = t.used in
+        t.used <- t.used + 1;
+        s
+  in
+  let h = { slot; c = client } in
+  t.slots.(slot) <- Some h;
+  t.weights.(slot) <- weight;
+  bump t slot weight;
+  t.size <- t.size + 1;
+  h
+
+let remove t h =
+  if h.slot >= 0 then begin
+    let s = h.slot in
+    bump t s (-.t.weights.(s));
+    t.weights.(s) <- 0.;
+    t.slots.(s) <- None;
+    t.free <- s :: t.free;
+    t.size <- t.size - 1;
+    h.slot <- -1
+  end
+
+let set_weight t h weight =
+  if weight < 0. then invalid_arg "Tree_lottery.set_weight: negative weight";
+  if h.slot < 0 then invalid_arg "Tree_lottery.set_weight: removed handle";
+  bump t h.slot (weight -. t.weights.(h.slot));
+  t.weights.(h.slot) <- weight
+
+let weight t h = if h.slot < 0 then 0. else t.weights.(h.slot)
+let client h = h.c
+let mem _t h = h.slot >= 0
+let total t = max t.total 0.
+let size t = t.size
+
+let descend t winning =
+  (* Fenwick tree search: find the lowest slot whose prefix sum exceeds the
+     winning value. *)
+  let pos = ref 0 in
+  let rest = ref winning in
+  let step = ref t.capacity in
+  while !step > 0 do
+    let next = !pos + !step in
+    if next <= t.capacity && t.tree.(next) <= !rest then begin
+      rest := !rest -. t.tree.(next);
+      pos := next
+    end;
+    step := !step / 2
+  done;
+  !pos (* 0-based slot of the winner *)
+
+let last_live t =
+  let found = ref None in
+  for s = 0 to t.used - 1 do
+    if t.weights.(s) > 0. then found := t.slots.(s)
+  done;
+  !found
+
+let draw_with_value t ~winning =
+  if winning < 0. then invalid_arg "Tree_lottery.draw_with_value: negative";
+  if t.total <= 0. then None
+  else begin
+    let s = descend t winning in
+    if s < t.capacity && t.weights.(s) > 0. then t.slots.(s)
+    else
+      (* float drift pushed the winning value past the true total *)
+      last_live t
+  end
+
+let draw t rng =
+  if t.total <= 0. then None
+  else
+    draw_with_value t ~winning:(Lotto_prng.Rng.float_unit rng *. t.total)
+
+let draw_client t rng = Option.map client (draw t rng)
+
+let iter t f =
+  for s = 0 to t.used - 1 do
+    match t.slots.(s) with Some h -> f h | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for s = t.used - 1 downto 0 do
+    match t.slots.(s) with
+    | Some h -> acc := (h.c, t.weights.(s)) :: !acc
+    | None -> ()
+  done;
+  !acc

@@ -1,0 +1,34 @@
+(** Tree-based lottery over partial ticket sums (Section 4.2):
+    selection and weight updates are O(log n).
+
+    Implemented as a Fenwick (binary indexed) tree of weights with a slot
+    free-list, so clients can join and leave dynamically. The paper proposes
+    this structure for large client counts and as the basis of a distributed
+    lottery; the benchmark suite compares it against {!List_lottery}. *)
+
+type 'a t
+type 'a handle
+
+val create : ?initial_capacity:int -> unit -> 'a t
+val add : 'a t -> client:'a -> weight:float -> 'a handle
+val remove : 'a t -> 'a handle -> unit
+(** Idempotent. *)
+
+val set_weight : 'a t -> 'a handle -> float -> unit
+val weight : 'a t -> 'a handle -> float
+val client : 'a handle -> 'a
+val mem : 'a t -> 'a handle -> bool
+val total : 'a t -> float
+val size : 'a t -> int
+
+val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
+val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
+
+val draw_with_value : 'a t -> winning:float -> 'a handle option
+(** Deterministic draw for a winning value in [\[0, total)]: the winner is
+    the client covering that value in slot (insertion) order. *)
+
+val iter : 'a t -> ('a handle -> unit) -> unit
+(** Slot order (insertion order modulo slot reuse). *)
+
+val to_list : 'a t -> ('a * float) list

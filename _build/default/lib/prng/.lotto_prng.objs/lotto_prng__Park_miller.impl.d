@@ -1,0 +1,1 @@
+lib/prng/park_miller.ml:

@@ -1,0 +1,26 @@
+type t = { mutable state : int }
+
+let modulus = 0x7FFFFFFF (* 2^31 - 1, prime *)
+let multiplier = 16807
+
+let normalize seed =
+  let r = seed mod (modulus - 1) in
+  (* fold into [1, modulus - 1]; 0 is the recurrence's absorbing state *)
+  if r <= 0 then r + modulus - 1 else r
+
+let create ~seed = { state = normalize seed }
+
+let next t =
+  (* 16807 * (2^31 - 2) < 2^46: the product fits comfortably in OCaml's
+     63-bit native int, so no Schrage decomposition is needed. *)
+  let s = t.state * multiplier mod modulus in
+  t.state <- s;
+  s
+
+let state t = t.state
+
+let set_state t s =
+  if s < 1 || s >= modulus then invalid_arg "Park_miller.set_state: out of range";
+  t.state <- s
+
+let copy t = { state = t.state }

@@ -1,0 +1,22 @@
+(** Park–Miller "minimal standard" multiplicative linear congruential
+    generator, [s' = 16807 * s mod (2^31 - 1)].
+
+    This is the generator the paper's prototype uses (Appendix A lists the
+    10-instruction MIPS implementation of exactly this recurrence, after
+    [Par88] and [Car90]). States lie in [\[1, 2^31 - 2\]]. *)
+
+type t
+
+val modulus : int
+(** [2^31 - 1 = 2147483647]. *)
+
+val create : seed:int -> t
+(** Any seed is folded into the valid state range; a zero-equivalent seed is
+    mapped to 1 (state 0 is a fixed point and must be avoided). *)
+
+val next : t -> int
+(** Advance and return the new state, uniform on [\[1, modulus - 1\]]. *)
+
+val state : t -> int
+val set_state : t -> int -> unit
+val copy : t -> t

@@ -1,0 +1,10 @@
+(** SplitMix64 generator (Steele, Lea & Flood). Used both as a fast modern
+    alternative to Park–Miller and to seed {!Xoshiro256}. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+(** Next 64-bit output. *)
+
+val copy : t -> t

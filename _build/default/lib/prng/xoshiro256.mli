@@ -1,0 +1,12 @@
+(** xoshiro256++ generator (Blackman & Vigna): long-period, high-quality
+    64-bit generator used where statistical tests need more headroom than
+    the 31-bit Park–Miller sequence offers. *)
+
+type t
+
+val create : seed:int -> t
+(** State is expanded from [seed] with SplitMix64, as recommended by the
+    authors. *)
+
+val next_int64 : t -> int64
+val copy : t -> t

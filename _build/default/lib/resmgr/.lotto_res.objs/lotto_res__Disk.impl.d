@@ -1,0 +1,1 @@
+lib/resmgr/disk.ml: List Lotto_prng

@@ -1,0 +1,1 @@
+lib/resmgr/disk.mli: Lotto_prng

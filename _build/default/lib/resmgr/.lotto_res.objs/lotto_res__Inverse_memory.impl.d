@@ -1,0 +1,1 @@
+lib/resmgr/inverse_memory.ml: Array Float Hashtbl List Lotto_prng

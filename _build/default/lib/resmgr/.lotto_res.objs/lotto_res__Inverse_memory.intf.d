@@ -1,0 +1,1 @@
+lib/resmgr/inverse_memory.mli: Lotto_prng

@@ -1,0 +1,1 @@
+lib/resmgr/io_bandwidth.ml: List Lotto_prng

@@ -1,0 +1,1 @@
+lib/resmgr/io_bandwidth.mli: Lotto_prng

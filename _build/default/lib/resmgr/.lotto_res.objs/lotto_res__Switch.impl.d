@@ -1,0 +1,1 @@
+lib/resmgr/switch.ml: Array List Lotto_prng Queue

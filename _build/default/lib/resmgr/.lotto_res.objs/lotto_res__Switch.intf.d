@@ -1,0 +1,1 @@
+lib/resmgr/switch.mli: Lotto_prng

@@ -1,0 +1,170 @@
+module Rng = Lotto_prng.Rng
+
+type policy = Fcfs | Sstf | Lottery
+
+type request = { cylinder : int; submitted_at : int; seq : int }
+
+type client = {
+  name : string;
+  mutable tickets : int;
+  mutable queue : request list; (* arrival order *)
+  mutable served : int;
+  mutable latency_sum : int;
+}
+
+type t = {
+  pol : policy;
+  cylinders : int;
+  seek_cost : int;
+  transfer_cost : int;
+  rng : Rng.t;
+  mutable clients : client list;
+  mutable head : int;
+  mutable clock : int;
+  mutable seq : int;
+  mutable total_served : int;
+  mutable seek_distance : int;
+}
+
+let[@warning "-16"] create ?(policy = Lottery) ?(cylinders = 1000) ?(seek_cost = 10)
+    ?(transfer_cost = 2000) ~rng () =
+  if cylinders <= 0 then invalid_arg "Disk.create: cylinders <= 0";
+  if seek_cost < 0 || transfer_cost <= 0 then invalid_arg "Disk.create: bad costs";
+  {
+    pol = policy;
+    cylinders;
+    seek_cost;
+    transfer_cost;
+    rng;
+    clients = [];
+    head = 0;
+    clock = 0;
+    seq = 0;
+    total_served = 0;
+    seek_distance = 0;
+  }
+
+let policy t = t.pol
+
+let add_client t ~name ~tickets =
+  if tickets < 0 then invalid_arg "Disk.add_client: negative tickets";
+  let c = { name; tickets; queue = []; served = 0; latency_sum = 0 } in
+  t.clients <- t.clients @ [ c ];
+  c
+
+let set_tickets _t c tickets =
+  if tickets < 0 then invalid_arg "Disk.set_tickets: negative tickets";
+  c.tickets <- tickets
+
+let client_name c = c.name
+
+let submit t c ~cylinder =
+  if cylinder < 0 || cylinder >= t.cylinders then
+    invalid_arg "Disk.submit: cylinder out of range";
+  let r = { cylinder; submitted_at = t.clock; seq = t.seq } in
+  t.seq <- t.seq + 1;
+  c.queue <- c.queue @ [ r ]
+
+let pending _t c = List.length c.queue
+
+let backlogged t = List.filter (fun c -> c.queue <> []) t.clients
+
+let nearest_request t c =
+  match c.queue with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun (best : request) (r : request) ->
+             if abs (r.cylinder - t.head) < abs (best.cylinder - t.head) then r
+             else best)
+           first rest)
+
+let oldest_request c =
+  match c.queue with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun (best : request) (r : request) ->
+             if r.seq < best.seq then r else best)
+           first rest)
+
+(* choose (client, request) per policy *)
+let choose t : (client * request) option =
+  match backlogged t with
+  | [] -> None
+  | candidates -> (
+      match t.pol with
+      | Fcfs ->
+          (* globally oldest request *)
+          List.fold_left
+            (fun acc c ->
+              match (acc, oldest_request c) with
+              | None, Some r -> Some (c, r)
+              | Some (_, rb), Some r when r.seq < rb.seq -> Some (c, r)
+              | acc, _ -> acc)
+            None candidates
+      | Sstf ->
+          (* globally nearest request to the head *)
+          List.fold_left
+            (fun acc c ->
+              match (acc, nearest_request t c) with
+              | None, Some r -> Some (c, r)
+              | Some (_, rb), Some r
+                when abs (r.cylinder - t.head) < abs (rb.cylinder - t.head) ->
+                  Some (c, r)
+              | acc, _ -> acc)
+            None candidates
+      | Lottery -> (
+          (* lottery over backlogged clients' tickets, then the winner's
+             nearest request (good local seeks, proportional global share) *)
+          let total = List.fold_left (fun acc c -> acc + c.tickets) 0 candidates in
+          let winner =
+            if total = 0 then List.hd candidates
+            else begin
+              let r = Rng.int_below t.rng total in
+              let rec walk acc = function
+                | [] -> assert false
+                | [ c ] -> c
+                | c :: rest ->
+                    let acc = acc + c.tickets in
+                    if r < acc then c else walk acc rest
+              in
+              walk 0 candidates
+            end
+          in
+          match nearest_request t winner with
+          | Some r -> Some (winner, r)
+          | None -> None))
+
+let serve_one t =
+  match choose t with
+  | None -> None
+  | Some (c, r) ->
+      let distance = abs (r.cylinder - t.head) in
+      t.seek_distance <- t.seek_distance + distance;
+      t.clock <- t.clock + (distance * t.seek_cost) + t.transfer_cost;
+      t.head <- r.cylinder;
+      c.queue <- List.filter (fun (r' : request) -> r'.seq <> r.seq) c.queue;
+      c.served <- c.served + 1;
+      c.latency_sum <- c.latency_sum + (t.clock - r.submitted_at);
+      t.total_served <- t.total_served + 1;
+      Some c
+
+let serve_for t ~ticks =
+  let stop_at = t.clock + ticks in
+  let continue = ref true in
+  while !continue && t.clock < stop_at do
+    match serve_one t with None -> continue := false | Some _ -> ()
+  done
+
+let now t = t.clock
+let served _t c = c.served
+let total_served t = t.total_served
+
+let mean_latency _t c =
+  if c.served = 0 then nan else float_of_int c.latency_sum /. float_of_int c.served
+
+let total_seek_distance t = t.seek_distance
+let head_position t = t.head

@@ -1,0 +1,67 @@
+(** Lottery-scheduled disk bandwidth (paper §6 and footnote 7: "a
+    disk-based database could use lotteries to schedule disk bandwidth").
+
+    A single disk arm serves requests addressed to cylinders. Service time
+    is a seek proportional to the distance travelled plus a fixed
+    rotation+transfer cost. Three head-scheduling policies:
+
+    - [Fcfs]: first come, first served — fair in arrival order, terrible
+      seeks;
+    - [Sstf]: shortest seek time first — maximum throughput, starves
+      distant requests and ignores resource rights entirely;
+    - [Lottery]: pick the {e client} by ticket lottery, then serve that
+      client's request nearest the head — proportional-share bandwidth with
+      locally good seeks, the paper's proposal.
+
+    Time is virtual (integer ticks); the module is deterministic given its
+    RNG. *)
+
+type policy = Fcfs | Sstf | Lottery
+
+type t
+type client
+
+val create :
+  ?policy:policy ->
+  ?cylinders:int ->
+  ?seek_cost:int ->
+  ?transfer_cost:int ->
+  rng:Lotto_prng.Rng.t ->
+  unit ->
+  t
+(** Defaults: [Lottery] policy, 1000 cylinders, seek cost 10 ticks per
+    cylinder, fixed per-request cost 2000 ticks. *)
+
+val policy : t -> policy
+val add_client : t -> name:string -> tickets:int -> client
+val set_tickets : t -> client -> int -> unit
+val client_name : client -> string
+
+val submit : t -> client -> cylinder:int -> unit
+(** Queue one request. Raises [Invalid_argument] for cylinders outside
+    [\[0, cylinders)]. *)
+
+val pending : t -> client -> int
+
+val serve_one : t -> client option
+(** Serve the next request per the policy; advances the virtual clock by
+    the seek + transfer time. [None] if no requests are queued. *)
+
+val serve_for : t -> ticks:int -> unit
+(** Serve until the virtual clock has advanced at least [ticks] (or the
+    queues drain). *)
+
+val now : t -> int
+(** Virtual disk time consumed so far. *)
+
+val served : t -> client -> int
+val total_served : t -> int
+val mean_latency : t -> client -> float
+(** Mean ticks between submission and completion; [nan] before the first
+    completion. *)
+
+val total_seek_distance : t -> int
+(** Cylinders travelled — the throughput-versus-fairness cost of the
+    policy. *)
+
+val head_position : t -> int

@@ -1,0 +1,217 @@
+module Rng = Lotto_prng.Rng
+
+type policy = Inverse_lottery | Global_lru | Global_random
+
+type client = {
+  id : int;
+  name : string;
+  mutable tickets : int;
+  working_set : int;
+  resident : (int, int) Hashtbl.t; (* vpage -> last-use stamp *)
+  mutable faults : int;
+  mutable accesses : int;
+  mutable evictions : int;
+}
+
+type t = {
+  pol : policy;
+  frames : int;
+  rng : Rng.t;
+  mutable clients : client list; (* reverse creation order *)
+  mutable used : int;
+  mutable clock : int; (* LRU stamp source *)
+  mutable next_id : int;
+}
+
+let[@warning "-16"] create ?(policy = Inverse_lottery) ~frames ~rng () =
+  if frames <= 0 then invalid_arg "Inverse_memory.create: frames <= 0";
+  { pol = policy; frames; rng; clients = []; used = 0; clock = 0; next_id = 0 }
+
+let policy t = t.pol
+
+let add_client t ~name ~tickets ~working_set =
+  if tickets < 0 then invalid_arg "Inverse_memory.add_client: negative tickets";
+  if working_set <= 0 then invalid_arg "Inverse_memory.add_client: working_set <= 0";
+  let c =
+    {
+      id = t.next_id;
+      name;
+      tickets;
+      working_set;
+      resident = Hashtbl.create 64;
+      faults = 0;
+      accesses = 0;
+      evictions = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.clients <- c :: t.clients;
+  c
+
+let set_tickets _t c tickets =
+  if tickets < 0 then invalid_arg "Inverse_memory.set_tickets: negative";
+  c.tickets <- tickets
+
+let client_name c = c.name
+
+let evict_lru_of t victim =
+  let best = ref None in
+  Hashtbl.iter
+    (fun vpage stamp ->
+      match !best with
+      | None -> best := Some (vpage, stamp)
+      | Some (_, s) -> if stamp < s then best := Some (vpage, stamp))
+    victim.resident;
+  match !best with
+  | None -> assert false (* victims are chosen among resident-page holders *)
+  | Some (vpage, _) ->
+      Hashtbl.remove victim.resident vpage;
+      victim.evictions <- victim.evictions + 1;
+      t.used <- t.used - 1
+
+let evict_random_of t victim =
+  let n = Hashtbl.length victim.resident in
+  let target = Rng.int_below t.rng n in
+  let i = ref 0 in
+  let chosen = ref None in
+  Hashtbl.iter
+    (fun vpage _ ->
+      if !i = target then chosen := Some vpage;
+      incr i)
+    victim.resident;
+  match !chosen with
+  | None -> assert false
+  | Some vpage ->
+      Hashtbl.remove victim.resident vpage;
+      victim.evictions <- victim.evictions + 1;
+      t.used <- t.used - 1
+
+let total_tickets t = List.fold_left (fun acc c -> acc + c.tickets) 0 t.clients
+
+(* The paper's victim-selection weight: (1 - t_i/T) scaled by the fraction
+   of physical memory the client occupies. Clients holding no frames cannot
+   lose. *)
+let inverse_weight t total c =
+  if Hashtbl.length c.resident = 0 then 0.
+  else begin
+    let ticket_part =
+      if total <= 0 then 1.
+      else 1. -. (float_of_int c.tickets /. float_of_int total)
+    in
+    let occupancy = float_of_int (Hashtbl.length c.resident) /. float_of_int t.frames in
+    (* A lone over-provisioned client (t_i = T) still has to self-evict. *)
+    Float.max ticket_part 1e-9 *. occupancy
+  end
+
+let pick_victim t =
+  match t.pol with
+  | Global_random ->
+      (* uniform over resident frames = weight proportional to occupancy *)
+      let holders = List.filter (fun c -> Hashtbl.length c.resident > 0) t.clients in
+      let total = List.fold_left (fun a c -> a + Hashtbl.length c.resident) 0 holders in
+      let r = Rng.int_below t.rng total in
+      let rec go acc = function
+        | [] -> assert false
+        | [ c ] -> c
+        | c :: rest ->
+            let acc = acc + Hashtbl.length c.resident in
+            if r < acc then c else go acc rest
+      in
+      go 0 holders
+  | Global_lru ->
+      let best = ref None in
+      List.iter
+        (fun c ->
+          Hashtbl.iter
+            (fun _ stamp ->
+              match !best with
+              | None -> best := Some (c, stamp)
+              | Some (_, s) -> if stamp < s then best := Some (c, stamp))
+            c.resident)
+        t.clients;
+      (match !best with Some (c, _) -> c | None -> assert false)
+  | Inverse_lottery ->
+      let total = total_tickets t in
+      let weights = List.map (fun c -> (c, inverse_weight t total c)) t.clients in
+      let sum = List.fold_left (fun a (_, w) -> a +. w) 0. weights in
+      assert (sum > 0.);
+      let r = Rng.float_unit t.rng *. sum in
+      let rec go acc = function
+        | [] -> assert false
+        | [ (c, _) ] -> c
+        | (c, w) :: rest ->
+            let acc = acc +. w in
+            if w > 0. && acc > r then c else go acc rest
+      in
+      go 0. weights
+
+let access t c vpage =
+  if vpage < 0 || vpage >= c.working_set then
+    invalid_arg "Inverse_memory.access: page outside working set";
+  c.accesses <- c.accesses + 1;
+  t.clock <- t.clock + 1;
+  if Hashtbl.mem c.resident vpage then begin
+    Hashtbl.replace c.resident vpage t.clock;
+    `Hit
+  end
+  else begin
+    c.faults <- c.faults + 1;
+    if t.used >= t.frames then begin
+      let victim = pick_victim t in
+      match t.pol with
+      | Global_random -> evict_random_of t victim
+      | Global_lru | Inverse_lottery -> evict_lru_of t victim
+    end;
+    Hashtbl.replace c.resident vpage t.clock;
+    t.used <- t.used + 1;
+    `Fault
+  end
+
+type pattern = Uniform | Zipf of float
+
+(* Zipf sampling by inversion over precomputed cumulative weights. *)
+let zipf_sampler s n =
+  let weights = Array.init n (fun r -> 1. /. (float_of_int (r + 1) ** s)) in
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    weights;
+  let total = !acc in
+  fun rng ->
+    let u = Rng.float_unit rng *. total in
+    (* binary search for the first cumulative weight above u *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let[@warning "-16"] simulate ?(pattern = Uniform) t ~steps =
+  let clients = Array.of_list (List.rev t.clients) in
+  if Array.length clients = 0 then invalid_arg "Inverse_memory.simulate: no clients";
+  let samplers =
+    Array.map
+      (fun c ->
+        match pattern with
+        | Uniform -> fun rng -> Rng.int_below rng c.working_set
+        | Zipf s ->
+            if s <= 0. then invalid_arg "Inverse_memory.simulate: zipf s <= 0";
+            zipf_sampler s c.working_set)
+      clients
+  in
+  for i = 0 to steps - 1 do
+    let idx = i mod Array.length clients in
+    let c = clients.(idx) in
+    ignore (access t c (samplers.(idx) t.rng))
+  done
+
+let resident _t c = Hashtbl.length c.resident
+let faults _t c = c.faults
+let accesses _t c = c.accesses
+let evictions_suffered _t c = c.evictions
+let frames_total t = t.frames
+let frames_free t = t.frames - t.used

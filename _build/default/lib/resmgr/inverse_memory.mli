@@ -1,0 +1,54 @@
+(** Proportional-share physical-page management via inverse lotteries
+    (paper §6.2).
+
+    When a page fault finds all frames in use, a {e victim client} is chosen
+    by an inverse lottery: client [i] loses with probability proportional to
+    [(1 - t_i / T) * (frames_i / frames_total)] — fewer tickets and larger
+    residency both make revocation more likely. The victim then evicts its
+    own least-recently-used page. Two conventional baselines are provided
+    for comparison: global LRU (ticket-blind) and random victim. *)
+
+type policy =
+  | Inverse_lottery  (** the paper's policy *)
+  | Global_lru  (** evict the globally least-recently-used page *)
+  | Global_random  (** evict a uniformly random resident page *)
+
+type t
+type client
+
+val create :
+  ?policy:policy -> frames:int -> rng:Lotto_prng.Rng.t -> unit -> t
+(** [policy] defaults to [Inverse_lottery]; [frames] is the physical pool
+    size. *)
+
+val policy : t -> policy
+
+val add_client : t -> name:string -> tickets:int -> working_set:int -> client
+(** A client touches virtual pages [0 .. working_set - 1]. *)
+
+val set_tickets : t -> client -> int -> unit
+val client_name : client -> string
+
+val access : t -> client -> int -> [ `Hit | `Fault ]
+(** Touch one virtual page, faulting it in (possibly evicting) if needed.
+    Raises [Invalid_argument] if the page is outside the working set. *)
+
+type pattern =
+  | Uniform  (** every page in the working set equally likely *)
+  | Zipf of float
+      (** rank-skewed locality: page [r] with probability proportional to
+          [1/(r+1)^s]; real programs look like [Zipf 0.8..1.2] *)
+
+val simulate : ?pattern:pattern -> t -> steps:int -> unit
+(** Drive the pool: clients access pages per [pattern] (default [Uniform]),
+    round-robin, so every client applies equal pressure and the
+    steady-state residency split reflects the replacement policy alone. *)
+
+val resident : t -> client -> int
+(** Frames currently held. *)
+
+val faults : t -> client -> int
+val accesses : t -> client -> int
+val evictions_suffered : t -> client -> int
+val frames_total : t -> int
+val frames_free : t -> int

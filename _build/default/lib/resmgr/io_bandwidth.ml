@@ -1,0 +1,69 @@
+module Rng = Lotto_prng.Rng
+
+type client = {
+  name : string;
+  mutable tickets : int;
+  mutable pending : int;
+  mutable served : int;
+}
+
+type t = { rng : Rng.t; mutable clients : client list; mutable total_served : int }
+
+let create ~rng () = { rng; clients = []; total_served = 0 }
+
+let add_client t ~name ~tickets =
+  if tickets < 0 then invalid_arg "Io_bandwidth.add_client: negative tickets";
+  let c = { name; tickets; pending = 0; served = 0 } in
+  t.clients <- t.clients @ [ c ];
+  c
+
+let set_tickets _t c tickets =
+  if tickets < 0 then invalid_arg "Io_bandwidth.set_tickets: negative";
+  c.tickets <- tickets
+
+let client_name c = c.name
+
+let submit _t c ~requests =
+  if requests < 0 then invalid_arg "Io_bandwidth.submit: negative requests";
+  c.pending <- c.pending + requests
+
+let pending _t c = c.pending
+let cancel_pending _t c = c.pending <- 0
+
+let serve_slot t =
+  let backlogged = List.filter (fun c -> c.pending > 0) t.clients in
+  let total = List.fold_left (fun acc c -> acc + c.tickets) 0 backlogged in
+  let winner =
+    if total = 0 then
+      (* all backlogged clients are unfunded: serve FIFO by creation order *)
+      match backlogged with [] -> None | c :: _ -> Some c
+    else begin
+      let r = Rng.int_below t.rng total in
+      let rec go acc = function
+        | [] -> None
+        | [ c ] -> Some c
+        | c :: rest ->
+            let acc = acc + c.tickets in
+            if r < acc then Some c else go acc rest
+      in
+      go 0 backlogged
+    end
+  in
+  match winner with
+  | None -> None
+  | Some c ->
+      c.pending <- c.pending - 1;
+      c.served <- c.served + 1;
+      t.total_served <- t.total_served + 1;
+      Some c
+
+let serve t ~slots =
+  let continue = ref true in
+  let i = ref 0 in
+  while !continue && !i < slots do
+    (match serve_slot t with None -> continue := false | Some _ -> ());
+    incr i
+  done
+
+let served _t c = c.served
+let total_served t = t.total_served

@@ -1,0 +1,34 @@
+(** Lottery-managed I/O / network bandwidth (paper §6, "Managing Diverse
+    Resources": disk bandwidth, ATM virtual circuits).
+
+    A device serves fixed-size transfer slots. Each slot, a lottery is held
+    among clients with queued requests, weighted by their tickets — so each
+    {e backlogged} client receives bandwidth proportional to its share of
+    the backlogged tickets, and idle clients' shares redistribute
+    automatically (the "lightly contended resource" property of §2.1). *)
+
+type t
+type client
+
+val create : rng:Lotto_prng.Rng.t -> unit -> t
+val add_client : t -> name:string -> tickets:int -> client
+val set_tickets : t -> client -> int -> unit
+val client_name : client -> string
+
+val submit : t -> client -> requests:int -> unit
+(** Enqueue transfer requests (one slot each). *)
+
+val pending : t -> client -> int
+
+val cancel_pending : t -> client -> unit
+(** Drop all of the client's queued requests (the stream went idle). *)
+
+val serve_slot : t -> client option
+(** Serve one slot: the lottery winner's oldest request completes. [None]
+    when no requests are queued anywhere. *)
+
+val serve : t -> slots:int -> unit
+(** Serve up to [slots] slots (stops early if the device goes idle). *)
+
+val served : t -> client -> int
+val total_served : t -> int

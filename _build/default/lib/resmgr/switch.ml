@@ -1,0 +1,122 @@
+module Rng = Lotto_prng.Rng
+
+type circuit = {
+  name : string;
+  port : int;
+  mutable tickets : int;
+  mutable rate : float;
+  buffer : int Queue.t; (* arrival slot of each buffered cell *)
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable delay_sum : int;
+}
+
+type t = {
+  ports : int;
+  capacity : int;
+  rng : Rng.t;
+  mutable circuits : circuit list;
+  mutable slot : int;
+  sent_per_port : int array;
+}
+
+let[@warning "-16"] create ?(ports = 4) ?(buffer_capacity = 64) ~rng () =
+  if ports <= 0 then invalid_arg "Switch.create: ports <= 0";
+  if buffer_capacity <= 0 then invalid_arg "Switch.create: buffer_capacity <= 0";
+  {
+    ports;
+    capacity = buffer_capacity;
+    rng;
+    circuits = [];
+    slot = 0;
+    sent_per_port = Array.make ports 0;
+  }
+
+let add_circuit t ~name ~output_port ~tickets ~rate =
+  if output_port < 0 || output_port >= t.ports then
+    invalid_arg "Switch.add_circuit: port out of range";
+  if tickets < 0 then invalid_arg "Switch.add_circuit: negative tickets";
+  if rate < 0. || rate > 1. then invalid_arg "Switch.add_circuit: rate not in [0,1]";
+  let c =
+    {
+      name;
+      port = output_port;
+      tickets;
+      rate;
+      buffer = Queue.create ();
+      delivered = 0;
+      dropped = 0;
+      delay_sum = 0;
+    }
+  in
+  t.circuits <- t.circuits @ [ c ];
+  c
+
+let set_tickets _t c tickets =
+  if tickets < 0 then invalid_arg "Switch.set_tickets: negative tickets";
+  c.tickets <- tickets
+
+let set_rate _t c rate =
+  if rate < 0. || rate > 1. then invalid_arg "Switch.set_rate: rate not in [0,1]";
+  c.rate <- rate
+
+let circuit_name c = c.name
+
+let arrivals t =
+  List.iter
+    (fun c ->
+      if c.rate > 0. && Rng.float_unit t.rng < c.rate then begin
+        if Queue.length c.buffer >= t.capacity then c.dropped <- c.dropped + 1
+        else Queue.push t.slot c.buffer
+      end)
+    t.circuits
+
+let transmit_port t port =
+  let contenders =
+    List.filter (fun c -> c.port = port && not (Queue.is_empty c.buffer)) t.circuits
+  in
+  match contenders with
+  | [] -> ()
+  | _ ->
+      let total = List.fold_left (fun acc c -> acc + c.tickets) 0 contenders in
+      let winner =
+        if total = 0 then List.hd contenders
+        else begin
+          let r = Rng.int_below t.rng total in
+          let rec walk acc = function
+            | [] -> assert false
+            | [ c ] -> c
+            | c :: rest ->
+                let acc = acc + c.tickets in
+                if r < acc then c else walk acc rest
+          in
+          walk 0 contenders
+        end
+      in
+      let arrived = Queue.pop winner.buffer in
+      winner.delivered <- winner.delivered + 1;
+      winner.delay_sum <- winner.delay_sum + (t.slot - arrived);
+      t.sent_per_port.(port) <- t.sent_per_port.(port) + 1
+
+let step t ~slots =
+  for _ = 1 to slots do
+    arrivals t;
+    for port = 0 to t.ports - 1 do
+      transmit_port t port
+    done;
+    t.slot <- t.slot + 1
+  done
+
+let now t = t.slot
+let delivered _t c = c.delivered
+let dropped _t c = c.dropped
+let backlog _t c = Queue.length c.buffer
+
+let mean_delay _t c =
+  if c.delivered = 0 then nan
+  else float_of_int c.delay_sum /. float_of_int c.delivered
+
+let port_utilization t port =
+  if port < 0 || port >= t.ports then invalid_arg "Switch.port_utilization: bad port";
+  if t.slot = 0 then 0.
+  else float_of_int t.sent_per_port.(port) /. float_of_int t.slot

@@ -1,0 +1,43 @@
+(** Lottery-scheduled network switch (paper §6: "ATM switches schedule
+    virtual circuits to determine which buffered cell should next be
+    forwarded. Lottery scheduling could be used to provide different levels
+    of service to virtual circuits competing for congested channels.").
+
+    A slotted output-queued switch: each virtual circuit targets one output
+    port and holds tickets. Every slot, each circuit receives a new cell
+    with its configured arrival probability (dropped if its buffer is
+    full), and every output port transmits one cell chosen by a lottery
+    among the circuits with buffered cells for that port. Uncongested ports
+    simply forward; on congested ports, delivered bandwidth tracks ticket
+    shares. *)
+
+type t
+type circuit
+
+val create : ?ports:int -> ?buffer_capacity:int -> rng:Lotto_prng.Rng.t -> unit -> t
+(** Defaults: 4 output ports, 64-cell per-circuit buffers. *)
+
+val add_circuit :
+  t -> name:string -> output_port:int -> tickets:int -> rate:float -> circuit
+(** [rate] is the per-slot cell arrival probability in [\[0, 1\]]. *)
+
+val set_tickets : t -> circuit -> int -> unit
+val set_rate : t -> circuit -> float -> unit
+val circuit_name : circuit -> string
+
+val step : t -> slots:int -> unit
+(** Advance the switch: arrivals, then one transmission per port per
+    slot. *)
+
+val now : t -> int
+(** Slots elapsed. *)
+
+val delivered : t -> circuit -> int
+val dropped : t -> circuit -> int
+val backlog : t -> circuit -> int
+val mean_delay : t -> circuit -> float
+(** Mean slots a delivered cell spent buffered; [nan] before the first
+    delivery. *)
+
+val port_utilization : t -> int -> float
+(** Fraction of slots in which the port transmitted. *)

@@ -1,0 +1,1 @@
+lib/sched/decay_usage.ml: Hashtbl Lotto_sim Option

@@ -1,0 +1,1 @@
+lib/sched/decay_usage.mli: Lotto_sim

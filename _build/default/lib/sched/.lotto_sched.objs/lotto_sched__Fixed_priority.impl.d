@@ -1,0 +1,1 @@
+lib/sched/fixed_priority.ml: Hashtbl List Lotto_sim

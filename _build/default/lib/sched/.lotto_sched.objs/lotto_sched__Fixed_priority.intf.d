@@ -1,0 +1,1 @@
+lib/sched/fixed_priority.mli: Lotto_sim

@@ -1,0 +1,1 @@
+lib/sched/lottery_sched.ml: Hashtbl List Lotto_draw Lotto_prng Lotto_sim Lotto_tickets Printf

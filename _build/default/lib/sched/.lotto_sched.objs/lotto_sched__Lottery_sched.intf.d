@@ -1,0 +1,1 @@
+lib/sched/lottery_sched.mli: Lotto_prng Lotto_sim Lotto_tickets

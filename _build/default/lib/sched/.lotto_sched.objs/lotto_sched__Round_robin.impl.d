@@ -1,0 +1,1 @@
+lib/sched/round_robin.ml: Hashtbl Lotto_sim Queue

@@ -1,0 +1,1 @@
+lib/sched/round_robin.mli: Lotto_sim

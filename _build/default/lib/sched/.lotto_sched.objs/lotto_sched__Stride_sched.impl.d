@@ -1,0 +1,1 @@
+lib/sched/stride_sched.ml: Hashtbl Lotto_sim

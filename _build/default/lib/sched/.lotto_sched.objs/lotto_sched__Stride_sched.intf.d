@@ -1,0 +1,1 @@
+lib/sched/stride_sched.mli: Lotto_sim

@@ -1,0 +1,19 @@
+(** Decay-usage timesharing scheduler, modelling the standard Mach/BSD
+    policy the paper's prototype coexists with and is benchmarked against
+    (Sections 1, 5.6, 7).
+
+    Each thread accumulates CPU usage; usage decays exponentially with a
+    configurable half-life, and the runnable thread with the least decayed
+    usage runs next (ties broken FIFO). This reproduces the qualitative
+    behaviour the paper ascribes to decay-usage schedulers: approximate
+    equal shares for steady compute-bound loads, responsiveness for
+    I/O-bound threads, and {e no} means of expressing relative shares. *)
+
+type t
+
+val create : ?half_life:Lotto_sim.Time.t -> unit -> t
+(** [half_life] of the usage decay, default 2 s. *)
+
+val sched : t -> Lotto_sim.Types.sched
+val usage : t -> Lotto_sim.Types.thread -> float
+(** Current decayed usage estimate (ticks). *)

@@ -1,0 +1,23 @@
+(** Fixed-priority scheduler with optional priority inheritance.
+
+    The conventional absolute-priority policy the paper argues against
+    (Section 7): higher priority always preempts lower, equal priorities run
+    round-robin. With [inheritance] enabled, the kernel's donate/revoke
+    callbacks (RPC and mutex blocking) boost the target to the donor's
+    effective priority, the classic cure for priority inversion [Sha90]
+    that the paper compares its ticket transfers to. *)
+
+type t
+
+val create : ?inheritance:bool -> unit -> t
+(** [inheritance] defaults to [false]. *)
+
+val sched : t -> Lotto_sim.Types.sched
+
+val set_priority : t -> Lotto_sim.Types.thread -> int -> unit
+(** Higher values run first; the default priority is [0]. *)
+
+val priority : t -> Lotto_sim.Types.thread -> int
+(** Base (not inherited) priority. *)
+
+val effective_priority : t -> Lotto_sim.Types.thread -> int

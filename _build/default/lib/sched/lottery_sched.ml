@@ -1,0 +1,328 @@
+open Lotto_sim.Types
+module F = Lotto_tickets.Funding
+module Ll = Lotto_draw.List_lottery
+module Tl = Lotto_draw.Tree_lottery
+module Rng = Lotto_prng.Rng
+
+type mode = List_mode | Tree_mode
+
+(* Face amount of every thread's competing ticket. The value is arbitrary:
+   a thread currency's worth flows through whatever single ticket is active
+   in it, so only the amount's positivity matters. *)
+let competing_amount = 1000
+
+type tstate = {
+  th : thread;
+  cur : F.currency;
+  competing : F.ticket;
+  mutable donations : (int * F.ticket) list; (* dst thread id -> transfer *)
+  mutable lh : thread Ll.handle option; (* present iff runnable, list mode *)
+  mutable th_handle : thread Tl.handle option; (* present iff runnable, tree mode *)
+}
+
+type t = {
+  mode : mode;
+  rng : Rng.t;
+  system : F.system;
+  states : (int, tstate) Hashtbl.t;
+  list_lottery : thread Ll.t;
+  tree_lottery : thread Tl.t;
+  quantum_fallback : bool;
+  use_compensation : bool;
+  mutable dirty : bool; (* tree-mode weights need recomputation *)
+  mutable draws : int;
+  mutable fallback_rr : int; (* rotates unfunded-thread fallback *)
+}
+
+let[@warning "-16"] create ?(mode = List_mode) ?(quantum_fallback = true)
+    ?(use_compensation = true) ~rng () =
+  {
+    mode;
+    rng;
+    system = F.create_system ();
+    states = Hashtbl.create 64;
+    list_lottery = Ll.create ~move_to_front:true ();
+    tree_lottery = Tl.create ();
+    quantum_fallback;
+    use_compensation;
+    dirty = true;
+    draws = 0;
+    fallback_rr = 0;
+  }
+
+let funding t = t.system
+let base_currency t = F.base t.system
+let make_currency t name = F.make_currency t.system ~name
+let mark_dirty t = t.dirty <- true
+
+let state t th =
+  match Hashtbl.find_opt t.states th.id with
+  | Some s -> s
+  | None ->
+      let cur =
+        F.make_currency t.system ~name:(Printf.sprintf "thread:%d:%s" th.id th.name)
+      in
+      let competing = F.issue t.system ~currency:cur ~amount:competing_amount in
+      let s = { th; cur; competing; donations = []; lh = None; th_handle = None } in
+      Hashtbl.replace t.states th.id s;
+      s
+
+let thread_currency t th = (state t th).cur
+
+(* Draw weight: the thread currency's active backing value, times the
+   kernel-maintained compensation factor (when enabled). *)
+let raw_value_with valuation s = F.Valuation.currency_value valuation s.cur
+
+let factor t (s : tstate) = if t.use_compensation then s.th.compensate else 1.
+
+let value_of t s =
+  let v = F.Valuation.make t.system in
+  raw_value_with v s *. factor t s
+
+let thread_value t th = value_of t (state t th)
+
+(* --- funding API ------------------------------------------------------- *)
+
+let fund_currency t ~target ~amount ~from =
+  let ticket = F.issue t.system ~currency:from ~amount in
+  F.fund t.system ~ticket ~currency:target;
+  t.dirty <- true;
+  ticket
+
+let fund_thread t th ~amount ~from =
+  fund_currency t ~target:(thread_currency t th) ~amount ~from
+
+let set_ticket_amount t ticket amount =
+  F.set_amount t.system ticket amount;
+  t.dirty <- true
+
+let destroy_ticket t ticket =
+  F.destroy_ticket t.system ticket;
+  t.dirty <- true
+
+(* --- scheduler callbacks ------------------------------------------------ *)
+
+let add_to_draw t s =
+  match t.mode with
+  | List_mode ->
+      if s.lh = None then s.lh <- Some (Ll.add t.list_lottery ~client:s.th ~weight:0.)
+  | Tree_mode ->
+      if s.th_handle = None then
+        s.th_handle <- Some (Tl.add t.tree_lottery ~client:s.th ~weight:0.)
+
+let remove_from_draw t s =
+  (match s.lh with
+  | Some h ->
+      Ll.remove t.list_lottery h;
+      s.lh <- None
+  | None -> ());
+  match s.th_handle with
+  | Some h ->
+      Tl.remove t.tree_lottery h;
+      s.th_handle <- None
+  | None -> ()
+
+let ready t th =
+  let s = state t th in
+  if not (F.is_active s.competing) then F.resume t.system s.competing;
+  add_to_draw t s;
+  t.dirty <- true
+
+let attach t th =
+  let s = state t th in
+  (* competing ticket becomes held (and active) the first time *)
+  F.hold t.system s.competing;
+  add_to_draw t s;
+  t.dirty <- true
+
+let unready t th =
+  let s = state t th in
+  F.suspend t.system s.competing;
+  remove_from_draw t s;
+  t.dirty <- true
+
+let drop_donations t s =
+  if s.donations <> [] then begin
+    List.iter (fun (_, ticket) -> F.destroy_ticket t.system ticket) s.donations;
+    s.donations <- [];
+    t.dirty <- true
+  end
+
+(* Divided transfers (§3.1): each active donation ticket is denominated in
+   the source's currency with the same face amount, so k concurrent
+   transfers automatically split the source's value k ways — and when one
+   is withdrawn the rest re-concentrate. *)
+let donate t ~src ~dst =
+  let s = state t src in
+  let d = state t dst in
+  let ticket = F.issue t.system ~currency:s.cur ~amount:competing_amount in
+  F.fund t.system ~ticket ~currency:d.cur;
+  s.donations <- (dst.id, ticket) :: s.donations;
+  t.dirty <- true
+
+let revoke t ~src = drop_donations t (state t src)
+
+let revoke_from t ~src ~dst =
+  let s = state t src in
+  match List.assoc_opt dst.id s.donations with
+  | None -> ()
+  | Some ticket ->
+      F.destroy_ticket t.system ticket;
+      s.donations <- List.remove_assoc dst.id s.donations;
+      t.dirty <- true
+
+let detach t th =
+  match Hashtbl.find_opt t.states th.id with
+  | None -> ()
+  | Some s ->
+      remove_from_draw t s;
+      drop_donations t s;
+      (* Other threads may still be donating to this one (e.g. blocked
+         mutex waiters whose owner dies); clear their references before the
+         backing sweep below destroys those tickets. *)
+      Hashtbl.iter
+        (fun _ other ->
+          other.donations <-
+            List.filter
+              (fun (_, d) ->
+                match F.funds d with
+                | Some c -> F.currency_id c <> F.currency_id s.cur
+                | None -> true)
+              other.donations)
+        t.states;
+      (* Tear down the thread currency: first any tickets still backing it
+         (allocations from user currencies), then its issued tickets. *)
+      List.iter (fun b -> F.destroy_ticket t.system b) (F.backing_tickets s.cur);
+      F.destroy_ticket t.system s.competing;
+      List.iter (fun i -> F.destroy_ticket t.system i) (F.issued_tickets s.cur);
+      F.remove_currency t.system s.cur;
+      Hashtbl.remove t.states th.id;
+      t.dirty <- true
+
+let refresh_list_weights t =
+  let v = F.Valuation.make t.system in
+  Hashtbl.iter
+    (fun _ s ->
+      match s.lh with
+      | Some h -> Ll.set_weight t.list_lottery h (raw_value_with v s *. factor t s)
+      | None -> ())
+    t.states
+
+let refresh_tree_weights t =
+  let v = F.Valuation.make t.system in
+  Hashtbl.iter
+    (fun _ s ->
+      match s.th_handle with
+      | Some h -> Tl.set_weight t.tree_lottery h (raw_value_with v s *. factor t s)
+      | None -> ())
+    t.states
+
+(* Unfunded threads never win a lottery (paper: zero tickets = starvation).
+   To keep simulations with forgotten funding alive, optionally fall back to
+   round-robin among runnable threads when every runnable thread has zero
+   weight. *)
+let fallback_pick t =
+  if not t.quantum_fallback then None
+  else begin
+    let runnable = ref [] in
+    Hashtbl.iter
+      (fun _ s -> if s.lh <> None || s.th_handle <> None then runnable := s.th :: !runnable)
+      t.states;
+    match List.sort (fun a b -> compare a.id b.id) !runnable with
+    | [] -> None
+    | threads ->
+        let n = List.length threads in
+        let idx = t.fallback_rr mod n in
+        t.fallback_rr <- t.fallback_rr + 1;
+        Some (List.nth threads idx)
+  end
+
+let select t =
+  t.draws <- t.draws + 1;
+  match t.mode with
+  | List_mode -> (
+      refresh_list_weights t;
+      match Ll.draw_client t.list_lottery t.rng with
+      | Some th -> Some th
+      | None -> fallback_pick t)
+  | Tree_mode -> (
+      if t.dirty then begin
+        refresh_tree_weights t;
+        t.dirty <- false
+      end;
+      match Tl.draw_client t.tree_lottery t.rng with
+      | Some th -> Some th
+      | None -> fallback_pick t)
+
+let account t th ~used:_ ~quantum:_ ~blocked:_ =
+  (* The thread's compensation factor was reset when its quantum started
+     and possibly re-set when it blocked; refresh its tree weight so the
+     next draw sees the current value without a full rebuild. *)
+  if t.mode = Tree_mode && not t.dirty then begin
+    match Hashtbl.find_opt t.states th.id with
+    | Some ({ th_handle = Some h; _ } as s) ->
+        Tl.set_weight t.tree_lottery h (value_of t s)
+    | _ -> ()
+  end
+
+(* Lottery among blocked waiters (paper §6.1), weighted by each waiter's
+   own funding. A waiter's thread currency is inactive while it blocks (its
+   competing ticket is suspended, and condition/semaphore waiters donate to
+   nobody), so we weigh its *potential* value: the sum of its backing
+   tickets at current exchange rates — exactly what the waiter would be
+   worth the moment it wakes. *)
+let potential_value v (s : tstate) =
+  List.fold_left
+    (fun acc b ->
+      acc
+      +. (float_of_int (F.amount b) *. F.Valuation.unit_value v (F.denomination b)))
+    0. (F.backing_tickets s.cur)
+
+let pick_waiter t waiters =
+  let v = F.Valuation.make t.system in
+  let weighted =
+    List.map (fun w -> (w, potential_value v (state t w))) waiters
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
+  if total <= 0. then None
+  else begin
+    let winning = Rng.float_unit t.rng *. total in
+    let rec walk acc = function
+      | [] -> None
+      | [ (w, _) ] -> Some w
+      | (w, wt) :: rest ->
+          let acc = acc +. wt in
+          if wt > 0. && acc > winning then Some w else walk acc rest
+    in
+    walk 0. weighted
+  end
+
+let sched t =
+  {
+    sched_name =
+      (match t.mode with
+      | List_mode -> "lottery-list"
+      | Tree_mode -> "lottery-tree");
+    attach = attach t;
+    detach = detach t;
+    ready = ready t;
+    unready = unready t;
+    select = (fun () -> select t);
+    account = (fun th ~used ~quantum ~blocked -> account t th ~used ~quantum ~blocked);
+    donate = (fun ~src ~dst -> donate t ~src ~dst);
+    revoke = (fun ~src -> revoke t ~src);
+    revoke_from = (fun ~src ~dst -> revoke_from t ~src ~dst);
+    pick_waiter = (fun ws -> pick_waiter t ws);
+  }
+
+let draws t = t.draws
+
+let list_comparisons t =
+  match t.mode with
+  | List_mode -> Some (Ll.comparisons t.list_lottery)
+  | Tree_mode -> None
+
+let runnable_count t =
+  match t.mode with
+  | List_mode -> Ll.size t.list_lottery
+  | Tree_mode -> Tl.size t.tree_lottery

@@ -1,0 +1,100 @@
+(** The lottery scheduler (paper Sections 2–4).
+
+    Each simulated thread gets its own {e thread currency}; the thread
+    competes with a single ticket issued in that currency, and all funding
+    reaches it by backing that currency with tickets denominated in user
+    currencies (or in base). This realizes the paper's kernel objects
+    (Figure 2/3) directly:
+
+    - {e ticket transfers} (§3.1, §4.6): when the kernel reports that a
+      blocked thread should fund another, a ticket denominated in the
+      blocked thread's currency is issued and funds the target's currency,
+      while the blocked thread's own competing ticket is inactive — so the
+      full value moves, transitively through chains of blocked threads;
+    - {e ticket inflation} (§3.2): {!set_ticket_amount} adjusts any funding
+      ticket, contained within its currency;
+    - {e compensation tickets} (§3.4, §4.5): the kernel maintains a
+      [quantum/used] factor on threads that block early, which this
+      scheduler multiplies into their draw weight;
+    - {e lottery-scheduled mutexes} (§6.1): [pick_waiter] draws among a
+      mutex's waiters weighted by their currency values.
+
+    Draws use either the paper's move-to-front list (O(n)) or the partial-
+    sum tree (O(log n)); both produce identically distributed winners. *)
+
+type t
+type mode = List_mode | Tree_mode
+
+val create :
+  ?mode:mode ->
+  ?quantum_fallback:bool ->
+  ?use_compensation:bool ->
+  rng:Lotto_prng.Rng.t ->
+  unit ->
+  t
+(** [mode] defaults to [List_mode] (the paper's prototype).
+    [quantum_fallback] (default [true]) lets completely unfunded threads run
+    round-robin when no funded thread is runnable, instead of deadlocking
+    the simulation. [use_compensation] (default [true]) applies the
+    kernel's compensation-ticket factor to draw weights; disabling it
+    reproduces the paper's §4.5 counterexample where an I/O-bound thread
+    receives far less than its entitled share. *)
+
+val sched : t -> Lotto_sim.Types.sched
+
+(** {1 Currencies and funding}
+
+    All funding-graph mutations must go through these wrappers (they keep
+    the draw structures in sync); see {!mark_dirty} if you mutate the
+    underlying {!funding} system directly. *)
+
+val funding : t -> Lotto_tickets.Funding.system
+val base_currency : t -> Lotto_tickets.Funding.currency
+
+val make_currency : t -> string -> Lotto_tickets.Funding.currency
+(** A named user currency (raises [Funding.Duplicate_name] on clash). *)
+
+val fund_currency :
+  t ->
+  target:Lotto_tickets.Funding.currency ->
+  amount:int ->
+  from:Lotto_tickets.Funding.currency ->
+  Lotto_tickets.Funding.ticket
+(** Issue a ticket of [amount] denominated in [from] and back [target]
+    with it — e.g. [fund_currency t ~target:alice ~amount:200 ~from:base]
+    is the paper's "alice = 200.base". *)
+
+val fund_thread :
+  t ->
+  Lotto_sim.Types.thread ->
+  amount:int ->
+  from:Lotto_tickets.Funding.currency ->
+  Lotto_tickets.Funding.ticket
+(** Back a thread's currency, e.g. "thread1 = 100.alice". *)
+
+val set_ticket_amount : t -> Lotto_tickets.Funding.ticket -> int -> unit
+(** Ticket inflation / deflation. *)
+
+val destroy_ticket : t -> Lotto_tickets.Funding.ticket -> unit
+
+val thread_currency : t -> Lotto_sim.Types.thread -> Lotto_tickets.Funding.currency
+(** The thread's private currency (created when the scheduler first sees
+    the thread). *)
+
+val thread_value : t -> Lotto_sim.Types.thread -> float
+(** Current draw weight in base units (funding value times any outstanding
+    compensation factor). *)
+
+val mark_dirty : t -> unit
+(** Force weight recomputation before the next draw. *)
+
+(** {1 Introspection} *)
+
+val draws : t -> int
+(** Lotteries held so far. *)
+
+val list_comparisons : t -> int option
+(** Cumulative list-entries examined ([None] in tree mode): the paper's
+    search-length metric for the move-to-front heuristic. *)
+
+val runnable_count : t -> int

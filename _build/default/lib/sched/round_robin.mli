@@ -1,0 +1,10 @@
+(** Round-robin scheduler: equal time slices in arrival order. The simplest
+    baseline; matches how unmodified Mach runs equal-priority threads
+    (paper §5.6 footnote). *)
+
+type t
+
+val create : unit -> t
+val sched : t -> Lotto_sim.Types.sched
+val selections : t -> int
+(** Number of [select] calls served (for overhead accounting). *)

@@ -1,0 +1,21 @@
+(** Stride scheduling: the deterministic proportional-share counterpart of
+    lottery scheduling (Waldspurger's follow-up work, foreshadowed by the
+    paper's observation that randomization trades short-term accuracy for
+    simplicity).
+
+    Each thread advances a virtual "pass" by [stride1 / tickets] per quantum
+    consumed; the runnable thread with the minimum pass runs next. Over any
+    interval the allocation error is bounded by a single quantum, versus the
+    lottery's O(sqrt(n_allocations)) binomial error — the ablation benchmark
+    contrasts the two. *)
+
+type t
+
+val create : unit -> t
+val sched : t -> Lotto_sim.Types.sched
+
+val set_tickets : t -> Lotto_sim.Types.thread -> int -> unit
+(** Default allocation is 1 ticket; must be positive. *)
+
+val tickets : t -> Lotto_sim.Types.thread -> int
+val pass : t -> Lotto_sim.Types.thread -> float

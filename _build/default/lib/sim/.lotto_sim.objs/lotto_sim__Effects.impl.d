@@ -1,0 +1,1 @@
+lib/sim/effects.ml: Effect Types

@@ -1,0 +1,1 @@
+lib/sim/kernel.ml: Array Effect Effects Heap List Option Printexc Printf Queue Time Types

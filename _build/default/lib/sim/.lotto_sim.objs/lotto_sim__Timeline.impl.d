@@ -1,0 +1,1 @@
+lib/sim/timeline.ml: Buffer Format Hashtbl Kernel List Option Printf String Time

@@ -1,0 +1,32 @@
+let compute n = Effect.perform (Effects.Compute n)
+let compute_ms n = compute (Time.ms n)
+let sleep d = Effect.perform (Effects.Sleep d)
+let sleep_ms d = sleep (Time.ms d)
+let rpc port payload = Effect.perform (Effects.Rpc (port, payload))
+let rpc_many targets = Effect.perform (Effects.Rpc_many targets)
+let receive port = Effect.perform (Effects.Receive port)
+let poll_receive port = Effect.perform (Effects.Poll_receive port)
+let reply msg result = Effect.perform (Effects.Reply (msg, result))
+let lock m = Effect.perform (Effects.Lock m)
+let unlock m = Effect.perform (Effects.Unlock m)
+
+let with_lock m f =
+  lock m;
+  match f () with
+  | v ->
+      unlock m;
+      v
+  | exception e ->
+      unlock m;
+      raise e
+
+let wait cond mutex = Effect.perform (Effects.Wait (cond, mutex))
+let signal cond = Effect.perform (Effects.Signal cond)
+let broadcast cond = Effect.perform (Effects.Broadcast cond)
+let sem_wait sm = Effect.perform (Effects.Sem_wait sm)
+let sem_post sm = Effect.perform (Effects.Sem_post sm)
+let join th = Effect.perform (Effects.Join th)
+let yield () = Effect.perform Effects.Yield
+let now () = Effect.perform Effects.Now
+let self () = Effect.perform Effects.Self
+let spawn name body = Effect.perform (Effects.Spawn (name, body))

@@ -1,0 +1,82 @@
+(** Thread-side system calls.
+
+    These functions may only be called from inside a thread body spawned
+    with {!Kernel.spawn}; elsewhere they raise [Effect.Unhandled]. *)
+
+val compute : int -> unit
+(** Consume CPU ticks. Preempted transparently at quantum boundaries. *)
+
+val compute_ms : int -> unit
+
+val sleep : int -> unit
+(** Block for a duration of virtual time without consuming CPU. *)
+
+val sleep_ms : int -> unit
+
+val rpc : Types.port -> string -> string
+(** Synchronous remote procedure call: enqueue a request and block until a
+    server thread replies. While blocked, the caller's resource rights fund
+    the server (ticket transfer, paper §4.6). *)
+
+val rpc_many : (Types.port * string) list -> string list
+(** Scatter-gather RPC (the paper's divided ticket transfers, §3.1): send
+    one request to each port, block until every server replies, and return
+    the replies in request order. While blocked, the caller's rights are
+    divided {e equally} among the servers still working on its requests —
+    as each replies, its share is withdrawn and the remainder
+    re-concentrates on the stragglers. Raises [Invalid_argument] in the
+    caller on an empty target list. *)
+
+val receive : Types.port -> Types.message
+(** Block until a request arrives (immediate if one is queued). *)
+
+val poll_receive : Types.port -> Types.message option
+(** Take a queued request without blocking ([None] when the queue is
+    empty). Like {!receive}, picking up a message redirects the blocked
+    sender's ticket transfer to the caller. *)
+
+val reply : Types.message -> string -> unit
+(** Wake the message's sender with the result. Instantaneous. *)
+
+val lock : Types.mutex -> unit
+(** Acquire, blocking if held. While blocked, the waiter funds the current
+    owner (§6.1). *)
+
+val unlock : Types.mutex -> unit
+(** Release; the next owner is chosen by the mutex's wake policy. Raises
+    [Invalid_argument] inside the calling thread if it is not the owner. *)
+
+val with_lock : Types.mutex -> (unit -> 'a) -> 'a
+
+val wait : Types.condition -> Types.mutex -> unit
+(** Atomically release the mutex and block until signalled; the mutex is
+    reacquired (possibly after queueing) before [wait] returns. The caller
+    must hold the mutex; as with any condition variable, re-check the
+    predicate in a loop. *)
+
+val signal : Types.condition -> unit
+(** Wake one waiter (chosen by the condition's wake policy). No-op when
+    nobody waits. *)
+
+val broadcast : Types.condition -> unit
+(** Wake every waiter; they contend for the mutex in wake order. *)
+
+val sem_wait : Types.semaphore -> unit
+(** P(): take a permit, blocking while the count is zero. *)
+
+val sem_post : Types.semaphore -> unit
+(** V(): release a permit, waking a waiter if any (by wake policy). *)
+
+val join : Types.thread -> unit
+(** Block until the target exits (immediately if it already has). While
+    blocked, the joiner's resource rights fund the target — joining is a
+    transfer site like RPC and locks. Raises [Invalid_argument] when a
+    thread joins itself. *)
+
+val yield : unit -> unit
+(** Surrender the remainder of the current quantum. *)
+
+val now : unit -> Time.t
+val self : unit -> Types.thread
+val spawn : string -> (unit -> unit) -> Types.thread
+(** Spawn a sibling thread from inside the simulation. *)

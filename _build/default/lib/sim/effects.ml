@@ -1,0 +1,34 @@
+(** Effects performed by simulated threads and handled by {!Kernel}.
+
+    Thread bodies are ordinary OCaml functions; each kernel request is an
+    effect whose continuation the kernel captures, turning the body into a
+    coroutine scheduled in virtual time. Use the wrappers in {!Api} rather
+    than performing these directly. *)
+
+type _ Effect.t +=
+  | Compute : int -> unit Effect.t  (** consume CPU ticks (preemptible) *)
+  | Sleep : int -> unit Effect.t  (** block for a duration without CPU use *)
+  | Rpc : Types.port * string -> string Effect.t
+      (** synchronous RPC: send, block until the server replies *)
+  | Rpc_many : (Types.port * string) list -> string list Effect.t
+      (** scatter-gather: send to several servers, block until all reply;
+          the caller's ticket transfer is divided equally among them *)
+  | Receive : Types.port -> Types.message Effect.t
+  | Poll_receive : Types.port -> Types.message option Effect.t
+      (** take a queued request without blocking *)
+  | Reply : Types.message * string -> unit Effect.t
+  | Lock : Types.mutex -> unit Effect.t
+  | Unlock : Types.mutex -> unit Effect.t
+  | Wait : Types.condition * Types.mutex -> unit Effect.t
+      (** atomically release the mutex and block on the condition *)
+  | Signal : Types.condition -> unit Effect.t
+  | Broadcast : Types.condition -> unit Effect.t
+  | Sem_wait : Types.semaphore -> unit Effect.t
+  | Sem_post : Types.semaphore -> unit Effect.t
+  | Join : Types.thread -> unit Effect.t
+      (** block until the target thread exits; the waiter's rights fund the
+          target meanwhile (one more ticket-transfer site) *)
+  | Yield : unit Effect.t  (** give up the rest of the quantum *)
+  | Now : Types.time Effect.t
+  | Self : Types.thread Effect.t
+  | Spawn : string * (unit -> unit) -> Types.thread Effect.t

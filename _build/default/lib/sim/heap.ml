@@ -1,0 +1,64 @@
+type 'a cell = { key : int; seq : int; v : 'a }
+
+type 'a t = {
+  mutable cells : 'a cell option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { cells = Array.make 16 None; size = 0; next_seq = 0 }
+
+let get t i = match t.cells.(i) with Some c -> c | None -> assert false
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.cells.(i) in
+  t.cells.(i) <- t.cells.(j);
+  t.cells.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && less (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~key v =
+  if t.size = Array.length t.cells then begin
+    let bigger = Array.make (2 * t.size) None in
+    Array.blit t.cells 0 bigger 0 t.size;
+    t.cells <- bigger
+  end;
+  t.cells.(t.size) <- Some { key; seq = t.next_seq; v };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_min t = if t.size = 0 then None else Some ((get t 0).key, (get t 0).v)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let top = get t 0 in
+    t.size <- t.size - 1;
+    t.cells.(0) <- t.cells.(t.size);
+    t.cells.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (top.key, top.v)
+  end
+
+let size t = t.size
+let is_empty t = t.size = 0

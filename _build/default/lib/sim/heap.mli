@@ -1,0 +1,11 @@
+(** Array-based binary min-heap keyed by integer priority, stable for equal
+    keys (insertion order wins). Used as the kernel's timer queue. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> key:int -> 'a -> unit
+val peek_min : 'a t -> (int * 'a) option
+val pop_min : 'a t -> (int * 'a) option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,667 @@
+open Types
+
+type t = {
+  mutable now : int;
+  quantum : int;
+  sched : sched;
+  timers : thread Heap.t;
+  mutable next_id : int;
+  mutable thread_list : thread list; (* reverse creation order *)
+  mutable idle : int;
+  mutable slices : int;
+  mutable tracer : (int -> string -> unit) option;
+  mutable current : thread option; (* thread being advanced, if any *)
+}
+
+let trace k fmt =
+  match k.tracer with
+  | None -> Printf.ikfprintf (fun _ -> ()) () fmt
+  | Some f -> Printf.ksprintf (fun s -> f k.now s) fmt
+
+let create ?(quantum = Time.ms 100) ~sched () =
+  if quantum <= 0 then invalid_arg "Kernel.create: quantum <= 0";
+  {
+    now = 0;
+    quantum;
+    sched;
+    timers = Heap.create ();
+    next_id = 0;
+    thread_list = [];
+    idle = 0;
+    slices = 0;
+    tracer = None;
+    current = None;
+  }
+
+let now k = k.now
+let quantum k = k.quantum
+
+let fresh_id k =
+  let id = k.next_id in
+  k.next_id <- id + 1;
+  id
+
+let spawn k ~name body =
+  let th =
+    {
+      id = fresh_id k;
+      name;
+      state = Runnable;
+      pending = Not_started body;
+      cpu = 0;
+      compensate = 1.;
+      donating_to = [];
+      failure = None;
+      joiners = [];
+      created_at = k.now;
+      exited_at = None;
+    }
+  in
+  k.thread_list <- th :: k.thread_list;
+  k.sched.attach th;
+  trace k "spawn %s" name;
+  th
+
+let create_port k ~name =
+  { port_id = fresh_id k; port_name = name; queue = Queue.create (); waiters = Queue.create () }
+
+let create_mutex k ?(policy = Fifo) name =
+  { mutex_id = fresh_id k; mutex_name = name; policy; owner = None; lock_waiters = []; acquisitions = 0 }
+
+let create_condition k ?(policy = Fifo) name =
+  { cond_id = fresh_id k; cond_name = name; cond_policy = policy; cond_waiters = []; signals = 0 }
+
+let create_semaphore k ?(policy = Fifo) ~initial name =
+  if initial < 0 then invalid_arg "Kernel.create_semaphore: negative initial count";
+  { sem_id = fresh_id k; sem_name = name; sem_policy = policy; count = initial; sem_waiters = [] }
+
+(* --- state transitions ------------------------------------------------ *)
+
+let block k th =
+  th.state <- Blocked;
+  k.sched.unready th;
+  trace k "block %s" th.name
+
+let unblock k th =
+  th.state <- Runnable;
+  k.sched.ready th;
+  trace k "wake %s" th.name
+
+let donate k ~src ~dst =
+  src.donating_to <- dst :: src.donating_to;
+  k.sched.donate ~src ~dst
+
+let revoke k src =
+  if src.donating_to <> [] then begin
+    src.donating_to <- [];
+    k.sched.revoke ~src
+  end
+
+let revoke_from k ~src ~dst =
+  (* remove one occurrence only: a scatter may target the same server (or
+     port) several times, one donation each *)
+  if List.exists (fun d -> d.id = dst.id) src.donating_to then begin
+    let removed = ref false in
+    src.donating_to <-
+      List.filter
+        (fun d ->
+          if (not !removed) && d.id = dst.id then begin
+            removed := true;
+            false
+          end
+          else true)
+        src.donating_to;
+    k.sched.revoke_from ~src ~dst
+  end
+
+let finish k th exn_opt =
+  th.pending <- Exited;
+  th.state <- Zombie;
+  th.exited_at <- Some k.now;
+  th.failure <- exn_opt;
+  revoke k th;
+  (* wake joiners before detaching: their transfer tickets still reference
+     the dying thread's funding state *)
+  List.iter
+    (fun j ->
+      match j.pending with
+      | Waiting_join { k = kj; _ } ->
+          j.pending <- Ready_unit kj;
+          revoke k j;
+          unblock k j
+      | _ -> ())
+    th.joiners;
+  th.joiners <- [];
+  k.sched.detach th;
+  trace k "exit %s%s" th.name (match exn_opt with None -> "" | Some e -> " (" ^ Printexc.to_string e ^ ")")
+
+(* --- IPC and mutex operations (run inside effect handlers) ------------ *)
+
+let do_reply k msg result =
+  let client = msg.sender in
+  match client.pending with
+  | Waiting_reply { k = kc } ->
+      client.pending <- Ready_reply (result, kc);
+      revoke k client;
+      unblock k client
+  | Waiting_replies scatter ->
+      if scatter.replies.(msg.slot) <> None then
+        invalid_arg "Api.reply: duplicate reply to a scatter slot";
+      scatter.replies.(msg.slot) <- Some result;
+      scatter.outstanding <- scatter.outstanding - 1;
+      (* the replying server's share of the divided transfer is withdrawn;
+         remaining servers keep (now larger) shares of the client's value *)
+      (match k.current with
+      | Some server -> revoke_from k ~src:client ~dst:server
+      | None -> ());
+      if scatter.outstanding = 0 then begin
+        let results =
+          Array.to_list (Array.map (fun r -> Option.get r) scatter.replies)
+        in
+        client.pending <- Ready_replies (results, scatter.ks);
+        revoke k client;
+        unblock k client
+      end
+  | _ -> invalid_arg "Api.reply: sender is not awaiting a reply"
+
+let grant_mutex k m th =
+  m.owner <- Some th;
+  m.acquisitions <- m.acquisitions + 1;
+  ignore k
+
+let do_unlock k th m =
+  (match m.owner with
+  | Some o when o == th -> ()
+  | Some _ | None -> invalid_arg "Api.unlock: thread does not own mutex");
+  m.owner <- None;
+  match m.lock_waiters with
+  | [] -> ()
+  | waiters ->
+      let next =
+        match m.policy with
+        | Fifo -> List.hd waiters
+        | Lottery_wake -> (
+            match k.sched.pick_waiter waiters with
+            | Some w -> w
+            | None -> List.hd waiters)
+      in
+      m.lock_waiters <- List.filter (fun w -> w.id <> next.id) waiters;
+      grant_mutex k m next;
+      (match next.pending with
+      | Waiting_lock { k = kn; _ } -> next.pending <- Ready_unit kn
+      | _ -> assert false);
+      revoke k next;
+      unblock k next;
+      (* Remaining waiters now fund the new owner (the paper's mutex
+         currency moves its inheritance ticket to the winner). *)
+      List.iter
+        (fun w ->
+          revoke k w;
+          donate k ~src:w ~dst:next)
+        m.lock_waiters
+
+let choose_waiter k policy waiters =
+  match waiters with
+  | [] -> None
+  | first :: _ -> (
+      match policy with
+      | Fifo -> Some first
+      | Lottery_wake -> (
+          match k.sched.pick_waiter waiters with
+          | Some w -> Some w
+          | None -> Some first))
+
+(* A condition waiter woken by signal/broadcast must reacquire the mutex it
+   released: grant immediately if free, otherwise join the mutex queue
+   (funding the current owner like any other lock waiter). *)
+let reacquire_after_signal k th m kc =
+  match m.owner with
+  | None ->
+      grant_mutex k m th;
+      th.pending <- Ready_unit kc;
+      unblock k th
+  | Some owner ->
+      m.lock_waiters <- m.lock_waiters @ [ th ];
+      th.pending <- Waiting_lock { mutex = m; k = kc };
+      donate k ~src:th ~dst:owner
+
+let wake_cond_waiter k c w =
+  c.cond_waiters <- List.filter (fun w' -> w'.id <> w.id) c.cond_waiters;
+  match w.pending with
+  | Waiting_cond { mutex; k = kc; _ } -> reacquire_after_signal k w mutex kc
+  | _ -> assert false
+
+let do_signal k c =
+  c.signals <- c.signals + 1;
+  match choose_waiter k c.cond_policy c.cond_waiters with
+  | None -> ()
+  | Some w -> wake_cond_waiter k c w
+
+let do_broadcast k c =
+  c.signals <- c.signals + 1;
+  (* wake in policy order so a lottery condition hands the mutex queue
+     positions out by funding *)
+  let rec drain () =
+    match choose_waiter k c.cond_policy c.cond_waiters with
+    | None -> ()
+    | Some w ->
+        wake_cond_waiter k c w;
+        drain ()
+  in
+  drain ()
+
+let do_sem_post k sm =
+  match choose_waiter k sm.sem_policy sm.sem_waiters with
+  | None -> sm.count <- sm.count + 1
+  | Some w -> (
+      sm.sem_waiters <- List.filter (fun w' -> w'.id <> w.id) sm.sem_waiters;
+      match w.pending with
+      | Waiting_sem { k = kc; _ } ->
+          w.pending <- Ready_unit kc;
+          unblock k w
+      | _ -> assert false)
+
+(* --- running thread bodies -------------------------------------------- *)
+
+let rec start_body (k : t) (th : thread) (body : unit -> unit) : step =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> S_done);
+      exnc = (fun e -> S_failed e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Effects.Compute n ->
+              Some (fun (kc : (a, step) continuation) -> S_compute (n, kc))
+          | Effects.Sleep d ->
+              Some (fun (kc : (a, step) continuation) -> S_sleep (d, kc))
+          | Effects.Rpc (p, payload) ->
+              Some (fun (kc : (a, step) continuation) -> S_rpc (p, payload, kc))
+          | Effects.Rpc_many targets ->
+              Some (fun (kc : (a, step) continuation) -> S_rpc_many (targets, kc))
+          | Effects.Receive p ->
+              Some (fun (kc : (a, step) continuation) -> S_recv (p, kc))
+          | Effects.Poll_receive p ->
+              Some
+                (fun (kc : (a, step) continuation) ->
+                  match Queue.take_opt p.queue with
+                  | Some msg ->
+                      if msg.sender.state = Blocked then
+                        donate k ~src:msg.sender ~dst:th;
+                      continue kc (Some msg)
+                  | None -> continue kc None)
+          | Effects.Lock m ->
+              Some (fun (kc : (a, step) continuation) -> S_lock (m, kc))
+          | Effects.Wait (c, m) ->
+              Some (fun (kc : (a, step) continuation) -> S_wait (c, m, kc))
+          | Effects.Sem_wait sm ->
+              Some (fun (kc : (a, step) continuation) -> S_sem_wait (sm, kc))
+          | Effects.Join target ->
+              Some (fun (kc : (a, step) continuation) -> S_join (target, kc))
+          | Effects.Signal c ->
+              Some
+                (fun (kc : (a, step) continuation) ->
+                  do_signal k c;
+                  continue kc ())
+          | Effects.Broadcast c ->
+              Some
+                (fun (kc : (a, step) continuation) ->
+                  do_broadcast k c;
+                  continue kc ())
+          | Effects.Sem_post sm ->
+              Some
+                (fun (kc : (a, step) continuation) ->
+                  do_sem_post k sm;
+                  continue kc ())
+          | Effects.Yield ->
+              Some (fun (kc : (a, step) continuation) -> S_yield kc)
+          | Effects.Now ->
+              Some (fun (kc : (a, step) continuation) -> continue kc k.now)
+          | Effects.Self ->
+              Some (fun (kc : (a, step) continuation) -> continue kc th)
+          | Effects.Spawn (name, body') ->
+              Some
+                (fun (kc : (a, step) continuation) ->
+                  continue kc (spawn k ~name body'))
+          | Effects.Reply (msg, result) ->
+              Some
+                (fun (kc : (a, step) continuation) ->
+                  match do_reply k msg result with
+                  | () -> continue kc ()
+                  | exception e -> discontinue kc e)
+          | Effects.Unlock m ->
+              Some
+                (fun (kc : (a, step) continuation) ->
+                  match do_unlock k th m with
+                  | () -> continue kc ()
+                  | exception e -> discontinue kc e)
+          | _ -> None);
+    }
+
+(* Classify a step, installing the thread's new pending state. *)
+and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] =
+  match s with
+  | S_done ->
+      finish k th None;
+      `Exited
+  | S_failed e ->
+      finish k th (Some e);
+      `Exited
+  | S_yield kc ->
+      th.pending <- Ready_unit kc;
+      `Yielded
+  | S_join (target, kc) ->
+      if target.state = Zombie then begin
+        th.pending <- Ready_unit kc;
+        `Continue
+      end
+      else if target == th then
+        handle_step k th
+          (Effect.Deep.discontinue kc (Invalid_argument "Api.join: cannot join self"))
+      else begin
+        th.pending <- Waiting_join { target; k = kc };
+        block k th;
+        target.joiners <- target.joiners @ [ th ];
+        (* one more transfer site: the joiner's rights speed the target up *)
+        donate k ~src:th ~dst:target;
+        `Blocked
+      end
+  | S_compute (n, kc) ->
+      if n <= 0 then begin
+        th.pending <- Ready_unit kc;
+        `Continue
+      end
+      else begin
+        th.pending <- Compute { remaining = n; kc };
+        `Continue
+      end
+  | S_sleep (d, kc) ->
+      let until = k.now + max d 0 in
+      th.pending <- Sleeping { until; k = kc };
+      block k th;
+      Heap.push k.timers ~key:until th;
+      `Blocked
+  | S_rpc_many (targets, kc) ->
+      if targets = [] then
+        handle_step k th
+          (Effect.Deep.discontinue kc (Invalid_argument "Api.rpc_many: no targets"))
+      else begin
+        let n = List.length targets in
+        th.pending <-
+          Waiting_replies { replies = Array.make n None; outstanding = n; ks = kc };
+        block k th;
+        List.iteri
+          (fun slot (p, payload) ->
+            let msg =
+              { msg_id = fresh_id k; sender = th; payload; sent_at = k.now; slot }
+            in
+            deliver_or_queue k th p msg)
+          targets;
+        `Blocked
+      end
+  | S_rpc (p, payload, kc) ->
+      let msg = { msg_id = fresh_id k; sender = th; payload; sent_at = k.now; slot = 0 } in
+      th.pending <- Waiting_reply { k = kc };
+      block k th;
+      deliver_or_queue k th p msg;
+      `Blocked
+  | S_recv (p, kc) -> (
+      match Queue.take_opt p.queue with
+      | Some msg ->
+          th.pending <- Ready_msg (msg, kc);
+          (* The queued sender's ticket transfer lands on whichever server
+             thread picks the message up (paper §4.6). *)
+          if msg.sender.state = Blocked then donate k ~src:msg.sender ~dst:th;
+          `Continue
+      | None ->
+          th.pending <- Waiting_recv { port = p; k = kc };
+          block k th;
+          Queue.push th p.waiters;
+          `Blocked)
+  | S_lock (m, kc) -> (
+      match m.owner with
+      | None ->
+          grant_mutex k m th;
+          th.pending <- Ready_unit kc;
+          `Continue
+      | Some owner ->
+          m.lock_waiters <- m.lock_waiters @ [ th ];
+          th.pending <- Waiting_lock { mutex = m; k = kc };
+          block k th;
+          donate k ~src:th ~dst:owner;
+          `Blocked)
+  | S_wait (c, m, kc) -> (
+      (* atomically release the mutex and block on the condition *)
+      match do_unlock k th m with
+      | () ->
+          th.pending <- Waiting_cond { cond = c; mutex = m; k = kc };
+          block k th;
+          c.cond_waiters <- c.cond_waiters @ [ th ];
+          `Blocked
+      | exception e -> handle_step k th (Effect.Deep.discontinue kc e))
+  | S_sem_wait (sm, kc) ->
+      if sm.count > 0 then begin
+        sm.count <- sm.count - 1;
+        th.pending <- Ready_unit kc;
+        `Continue
+      end
+      else begin
+        sm.sem_waiters <- sm.sem_waiters @ [ th ];
+        th.pending <- Waiting_sem { sem = sm; k = kc };
+        block k th;
+        `Blocked
+      end
+
+(* hand a freshly sent message to a live waiting server, or queue it *)
+and deliver_or_queue k sender p msg =
+  let rec next_live_waiter () =
+    match Queue.take_opt p.waiters with
+    | Some srv when (match srv.pending with Waiting_recv _ -> true | _ -> false) ->
+        Some srv
+    | Some _ -> next_live_waiter () (* killed while waiting; skip *)
+    | None -> None
+  in
+  match next_live_waiter () with
+  | Some srv -> (
+      match srv.pending with
+      | Waiting_recv { k = ks; _ } ->
+          srv.pending <- Ready_msg (msg, ks);
+          unblock k srv;
+          donate k ~src:sender ~dst:srv
+      | _ -> assert false)
+  | None -> Queue.push msg p.queue
+
+(* Drive a thread's continuation until it needs CPU time, blocks, yields or
+   exits. All non-compute kernel operations are instantaneous in virtual
+   time. *)
+and advance k th : [ `Compute | `Blocked | `Exited | `Yielded ] =
+  match th.pending with
+  | Not_started body ->
+      let s = start_body k th body in
+      push_on k th s
+  | Ready_unit kc -> push_on k th (Effect.Deep.continue kc ())
+  | Ready_msg (m, kc) -> push_on k th (Effect.Deep.continue kc m)
+  | Ready_reply (r, kc) -> push_on k th (Effect.Deep.continue kc r)
+  | Ready_replies (rs, kc) -> push_on k th (Effect.Deep.continue kc rs)
+  | Compute c when c.remaining <= 0 -> push_on k th (Effect.Deep.continue c.kc ())
+  | Compute _ -> `Compute
+  | Sleeping _ | Waiting_recv _ | Waiting_reply _ | Waiting_replies _
+  | Waiting_lock _ | Waiting_cond _ | Waiting_sem _ | Waiting_join _ ->
+      `Blocked
+  | Exited -> `Exited
+
+and push_on k th s =
+  match handle_step k th s with
+  | `Continue -> advance k th
+  | (`Blocked | `Exited | `Yielded) as r -> r
+
+(* Forcibly terminate a thread: deliver {!Types.Killed} into its body so
+   exception handlers (lock cleanup and the like) run, detach it from
+   whatever it was waiting on, and reap it. Must not target the currently
+   running thread. *)
+let kill k th =
+  (match th.pending with
+  | Exited -> ()
+  | Not_started _ -> finish k th (Some Killed)
+  | _ ->
+      (* unhook from wait lists first so nothing wakes a zombie *)
+      (match th.pending with
+      | Waiting_lock { mutex; _ } ->
+          mutex.lock_waiters <- List.filter (fun w -> w.id <> th.id) mutex.lock_waiters
+      | Waiting_cond { cond; _ } ->
+          cond.cond_waiters <- List.filter (fun w -> w.id <> th.id) cond.cond_waiters
+      | Waiting_sem { sem; _ } ->
+          sem.sem_waiters <- List.filter (fun w -> w.id <> th.id) sem.sem_waiters
+      | Waiting_join { target; _ } ->
+          target.joiners <- List.filter (fun w -> w.id <> th.id) target.joiners
+      | _ -> () (* port waiter queues and the timer heap skip dead entries *));
+      if th.state = Blocked then revoke k th;
+      let deliver (type a) (kc : (a, step) Effect.Deep.continuation) =
+        (* the body may catch Killed and run cleanup; whatever step it
+           produces next is processed normally *)
+        ignore (handle_step k th (Effect.Deep.discontinue kc Killed))
+      in
+      (match th.pending with
+      | Compute { kc; _ } -> deliver kc
+      | Sleeping { k = kc; _ } -> deliver kc
+      | Waiting_recv { k = kc; _ } -> deliver kc
+      | Waiting_reply { k = kc } -> deliver kc
+      | Waiting_replies { ks = kc; _ } -> deliver kc
+      | Waiting_lock { k = kc; _ } -> deliver kc
+      | Waiting_cond { k = kc; _ } -> deliver kc
+      | Waiting_sem { k = kc; _ } -> deliver kc
+      | Waiting_join { k = kc; _ } -> deliver kc
+      | Ready_unit kc -> deliver kc
+      | Ready_msg (_, kc) -> deliver kc
+      | Ready_reply (_, kc) -> deliver kc
+      | Ready_replies (_, kc) -> deliver kc
+      | Not_started _ | Exited -> ());
+      (* if the body caught Killed and kept going, respect that; otherwise
+         it is a zombie now. Threads that swallow Killed and block again
+         stay alive by design. *)
+      ());
+  ignore k
+
+(* --- the scheduling loop ----------------------------------------------- *)
+
+let wake_timers k =
+  let rec go () =
+    match Heap.peek_min k.timers with
+    | Some (t, _) when t <= k.now -> (
+        match Heap.pop_min k.timers with
+        | Some (_, th) ->
+            (match th.pending with
+            | Sleeping { k = kc; _ } ->
+                th.pending <- Ready_unit kc;
+                unblock k th
+            | _ ->
+                (* stale entry (thread exited while sleeping is impossible,
+                   but be defensive) *)
+                ());
+            go ()
+        | None -> ())
+    | _ -> ()
+  in
+  go ()
+
+let run_slice k th ~horizon =
+  k.slices <- k.slices + 1;
+  th.state <- Running;
+  (* Starting a fresh quantum cancels any outstanding compensation ticket
+     (paper §4.5: the inflation lasts "until the client starts its next
+     quantum"). *)
+  th.compensate <- 1.;
+  trace k "select %s" th.name;
+  let slice_left = ref k.quantum in
+  let outcome = ref `Preempted in
+  k.current <- Some th;
+  (try
+     while true do
+       match advance k th with
+       | `Blocked ->
+           outcome := `Blocked;
+           raise Exit
+       | `Exited ->
+           outcome := `Exited;
+           raise Exit
+       | `Yielded ->
+           outcome := `Yielded;
+           raise Exit
+       | `Compute ->
+           if !slice_left = 0 then begin
+             outcome := `Preempted;
+             raise Exit
+           end;
+           let c =
+             match th.pending with Compute c -> c | _ -> assert false
+           in
+           let budget = min c.remaining !slice_left in
+           let budget = min budget (max 1 (horizon - k.now)) in
+           k.now <- k.now + budget;
+           th.cpu <- th.cpu + budget;
+           slice_left := !slice_left - budget;
+           c.remaining <- c.remaining - budget;
+           if k.now >= horizon then begin
+             outcome := `Horizon;
+             raise Exit
+           end
+     done
+   with Exit -> ());
+  k.current <- None;
+  let used = k.quantum - !slice_left in
+  let blocked = !outcome = `Blocked in
+  (match !outcome with
+  | `Blocked | `Exited -> ()
+  | `Preempted | `Yielded | `Horizon -> th.state <- Runnable);
+  (* Compensation ticket: a thread that gave up the CPU (blocked or yielded)
+     after consuming only a fraction f of its quantum has its value inflated
+     by 1/f until it next starts a quantum. *)
+  let gave_up = match !outcome with `Blocked | `Yielded -> true | _ -> false in
+  if gave_up && used < k.quantum then
+    th.compensate <- float_of_int k.quantum /. float_of_int (max used 1);
+  k.sched.account th ~used ~quantum:k.quantum ~blocked
+
+let has_live_blocked k =
+  List.exists (fun th -> th.state = Blocked) k.thread_list
+
+let run k ~until =
+  let deadlocked = ref false in
+  let stop = ref false in
+  while (not !stop) && k.now < until do
+    wake_timers k;
+    match k.sched.select () with
+    | Some th -> run_slice k th ~horizon:until
+    | None -> (
+        match Heap.peek_min k.timers with
+        | Some (t, _) ->
+            let t = max t k.now in
+            if t >= until then begin
+              k.idle <- k.idle + (until - k.now);
+              k.now <- until
+            end
+            else begin
+              k.idle <- k.idle + (t - k.now);
+              k.now <- t
+            end
+        | None ->
+            if has_live_blocked k then deadlocked := true;
+            stop := true)
+  done;
+  { ended_at = k.now; idle_ticks = k.idle; deadlocked = !deadlocked; slices = k.slices }
+
+let threads k = List.rev k.thread_list
+
+let find_thread k name =
+  List.find_opt (fun th -> th.name = name) k.thread_list
+
+let failures k =
+  List.rev k.thread_list
+  |> List.filter_map (fun th ->
+         match th.failure with Some e -> Some (th, e) | None -> None)
+
+let set_tracer k f = k.tracer <- f
+let cpu_time th = th.cpu
+let thread_name th = th.name
+let thread_id th = th.id
+let thread_state th = th.state

@@ -1,0 +1,73 @@
+(** The discrete-event kernel: our stand-in for the Mach 3.0 scheduler core.
+
+    The kernel multiplexes simulated threads over one virtual CPU in
+    quantum-sized slices, delegating every policy decision to an abstract
+    {!Types.sched}. Threads are effect-handler coroutines; all requests they
+    make (compute, sleep, RPC, locks) cost virtual time only, and the whole
+    simulation is deterministic given the scheduler's RNG seed.
+
+    Semantics mirroring the paper's platform:
+    - one lottery/selection per quantum (default 100 ms, §4);
+    - a thread that blocks after using a fraction of its quantum gets its
+      {!Types.thread.compensate} factor set to [quantum/used] until it next
+      starts a fresh quantum (§4.5) — proportional-share schedulers apply it;
+    - a blocked RPC client funds the server processing its request, a
+      blocked mutex waiter funds the lock owner, via {!Types.sched.donate}
+      (§4.6, §6.1);
+    - timer wakeups are processed at slice boundaries, as on real
+      quantum-scheduled systems. *)
+
+type t
+
+val create : ?quantum:Time.t -> sched:Types.sched -> unit -> t
+(** [quantum] defaults to 100 ms ([Time.ms 100]), the Mach quantum the
+    paper's prototype used. *)
+
+val now : t -> Time.t
+val quantum : t -> Time.t
+
+val spawn : t -> name:string -> (unit -> unit) -> Types.thread
+(** Create a runnable thread. The body runs inside the simulation and may
+    call any {!Api} function. Exceptions escaping the body turn the thread
+    into a zombie recorded in {!failures}. *)
+
+val create_port : t -> name:string -> Types.port
+val create_mutex : t -> ?policy:Types.wake_policy -> string -> Types.mutex
+(** [create_mutex k name] with [policy] defaulting to [Fifo]. *)
+
+val create_condition : t -> ?policy:Types.wake_policy -> string -> Types.condition
+(** CThreads-style condition variable; a [Lottery_wake] policy makes
+    signal/broadcast prefer funded waiters. *)
+
+val create_semaphore :
+  t -> ?policy:Types.wake_policy -> initial:int -> string -> Types.semaphore
+(** Counting semaphore with [initial] permits. *)
+
+val kill : t -> Types.thread -> unit
+(** Forcibly terminate a thread (failure injection): {!Types.Killed} is
+    delivered into its body, so exception handlers such as
+    {!Api.with_lock}'s cleanup run before it dies. A body that catches
+    [Killed] and continues survives. Only valid between [run] calls or from
+    outside the simulation — not on the currently running thread. *)
+
+val run : t -> until:Time.t -> Types.run_summary
+(** Run the simulation until virtual time [until], until every thread has
+    exited, or until deadlock (threads blocked, none sleeping). Can be
+    called repeatedly with increasing horizons; state persists. *)
+
+val threads : t -> Types.thread list
+(** In creation order. *)
+
+val find_thread : t -> string -> Types.thread option
+val failures : t -> (Types.thread * exn) list
+
+val set_tracer : t -> (Time.t -> string -> unit) option -> unit
+(** Install a hook receiving a line per kernel event (select, block, wake,
+    spawn, exit); used by determinism tests. *)
+
+(** {1 Thread accessors} *)
+
+val cpu_time : Types.thread -> int
+val thread_name : Types.thread -> string
+val thread_id : Types.thread -> int
+val thread_state : Types.thread -> Types.state

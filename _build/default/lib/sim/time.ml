@@ -1,0 +1,8 @@
+type t = int
+
+let us t = t
+let ms t = t * 1_000
+let seconds t = t * 1_000_000
+let to_seconds t = float_of_int t /. 1e6
+let to_ms t = float_of_int t /. 1e3
+let pp fmt t = Format.fprintf fmt "%.3fs" (to_seconds t)

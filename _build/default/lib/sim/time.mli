@@ -1,0 +1,11 @@
+(** Virtual time. One tick is one microsecond of simulated CPU time. *)
+
+type t = int
+
+val us : int -> t
+val ms : int -> t
+val seconds : int -> t
+val to_seconds : t -> float
+val to_ms : t -> float
+val pp : Format.formatter -> t -> unit
+(** Prints as seconds with millisecond precision, e.g. ["12.345s"]. *)

@@ -1,0 +1,105 @@
+type t = {
+  kernel : Kernel.t;
+  bucket : int;
+  (* thread name -> (bucket index -> ticks) *)
+  rows : (string, (int, int) Hashtbl.t) Hashtbl.t;
+  mutable last_select : (string * int) option; (* name, time *)
+  mutable first_time : int;
+  mutable last_time : int;
+}
+
+(* The kernel traces "select <name>" at each decision; charge the interval
+   between consecutive selects to the earlier thread. *)
+let on_event t time line =
+  (match t.last_select with
+  | Some (name, started) when time > started ->
+      let row =
+        match Hashtbl.find_opt t.rows name with
+        | Some r -> r
+        | None ->
+            let r = Hashtbl.create 32 in
+            Hashtbl.replace t.rows name r;
+            r
+      in
+      (* spread [started, time) across buckets *)
+      let rec charge from remaining =
+        if remaining > 0 then begin
+          let b = from / t.bucket in
+          let bucket_end = (b + 1) * t.bucket in
+          let chunk = min remaining (bucket_end - from) in
+          Hashtbl.replace row b
+            (chunk + Option.value ~default:0 (Hashtbl.find_opt row b));
+          charge (from + chunk) (remaining - chunk)
+        end
+      in
+      charge started (time - started)
+  | _ -> ());
+  if t.first_time < 0 then t.first_time <- time;
+  t.last_time <- max t.last_time time;
+  match String.index_opt line ' ' with
+  | Some i when String.sub line 0 i = "select" ->
+      t.last_select <- Some (String.sub line (i + 1) (String.length line - i - 1), time)
+  | _ -> ()
+
+let[@warning "-16"] attach kernel ?(bucket = Time.seconds 1) () =
+  if bucket <= 0 then invalid_arg "Timeline.attach: bucket <= 0";
+  let t =
+    {
+      kernel;
+      bucket;
+      rows = Hashtbl.create 16;
+      last_select = None;
+      first_time = -1;
+      last_time = 0;
+    }
+  in
+  Kernel.set_tracer kernel (Some (fun time line -> on_event t time line));
+  t
+
+let detach t = Kernel.set_tracer t.kernel None
+
+let render ?(width = 72) t =
+  if width <= 0 then invalid_arg "Timeline.render: width <= 0";
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.rows [] |> List.sort compare
+  in
+  if names = [] then "(no activity recorded)\n"
+  else begin
+    let first_bucket = max 0 t.first_time / t.bucket in
+    let last_bucket = t.last_time / t.bucket in
+    let buckets = last_bucket - first_bucket + 1 in
+    (* merge adjacent buckets if the chart would overflow [width] *)
+    let per_col = (buckets + width - 1) / width in
+    let cols = (buckets + per_col - 1) / per_col in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "timeline: %d columns x %s each\n" cols
+         (Format.asprintf "%a" Time.pp (per_col * t.bucket)));
+    List.iter
+      (fun name ->
+        let row = Hashtbl.find t.rows name in
+        Buffer.add_string buf (Printf.sprintf "%-12s|" name);
+        for col = 0 to cols - 1 do
+          let ticks = ref 0 in
+          for b = 0 to per_col - 1 do
+            let bucket = first_bucket + (col * per_col) + b in
+            ticks := !ticks + Option.value ~default:0 (Hashtbl.find_opt row bucket)
+          done;
+          let capacity = per_col * t.bucket in
+          let glyph =
+            if !ticks * 3 > capacity * 2 then '#'
+            else if !ticks * 3 > capacity then '+'
+            else if !ticks > 0 then '.'
+            else ' '
+          in
+          Buffer.add_char buf glyph
+        done;
+        Buffer.add_string buf "|\n")
+      names;
+    Buffer.contents buf
+  end
+
+let cpu_of t name =
+  match Hashtbl.find_opt t.rows name with
+  | None -> 0
+  | Some row -> Hashtbl.fold (fun _ ticks acc -> acc + ticks) row 0

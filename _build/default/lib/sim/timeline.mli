@@ -1,0 +1,26 @@
+(** ASCII execution timelines.
+
+    Attaches to a kernel's tracer, records which thread each quantum went
+    to, and renders a Gantt-style chart — one row per thread, one column
+    per time bucket, with the glyph showing how much of the bucket the
+    thread received. Handy for eyeballing proportional shares and transfer
+    effects in examples and while debugging schedulers.
+
+    Recording replaces any tracer previously installed on the kernel. *)
+
+type t
+
+val attach : Kernel.t -> ?bucket:Time.t -> unit -> t
+(** Start recording. [bucket] is the rendering column width (default 1 s). *)
+
+val detach : t -> unit
+(** Stop recording (uninstalls the tracer). *)
+
+val render : ?width:int -> t -> string
+(** Render rows for every thread observed, covering the recorded interval;
+    at most [width] columns (default 72; the bucket width grows to fit).
+    Glyphs: ['#'] > 2/3 of the bucket, ['+'] > 1/3, ['.'] > 0, space =
+    none. *)
+
+val cpu_of : t -> string -> int
+(** Recorded CPU ticks for a thread name ([0] if never seen). *)

@@ -1,0 +1,186 @@
+(** Core simulator types: threads, ports, mutexes, scheduler interface.
+
+    Everything is mutually recursive (threads hold continuations whose steps
+    mention ports and mutexes; schedulers see threads), so the whole object
+    graph lives here and {!Kernel} / {!Api} operate on it. *)
+
+type time = Time.t
+
+exception Killed
+(** Delivered into a thread's body by {!Kernel.kill}: its exception
+    handlers (e.g. [Api.with_lock] cleanup) run before the thread dies. *)
+
+(* ------------------------------------------------------------------ *)
+(* Threads                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type thread = {
+  id : int;
+  name : string;
+  mutable state : state;
+  mutable pending : pending;
+  mutable cpu : int;  (** total virtual CPU ticks consumed *)
+  mutable compensate : float;
+      (** compensation-ticket factor (>= 1), applied by proportional-share
+          schedulers to the thread's draw weight; reset by the kernel each
+          time the thread starts a fresh quantum (paper §4.5) *)
+  mutable donating_to : thread list;
+      (** targets of this thread's current ticket transfers, if blocked;
+          several when a transfer is divided across servers (§3.1) *)
+  mutable failure : exn option;
+  mutable joiners : thread list;  (** threads blocked in [Api.join] on us *)
+  created_at : time;
+  mutable exited_at : time option;
+}
+
+and state = Runnable | Running | Blocked | Zombie
+
+(* What a suspended thread is waiting for, including the continuation to
+   resume it with. [Ready_*] states carry the value that arrived while the
+   thread was waiting; the kernel feeds it in when the scheduler next picks
+   the thread. *)
+and pending =
+  | Not_started of (unit -> unit)
+  | Compute of compute_req
+  | Sleeping of { until : time; k : (unit, step) Effect.Deep.continuation }
+  | Waiting_recv of { port : port; k : (message, step) Effect.Deep.continuation }
+  | Waiting_reply of { k : (string, step) Effect.Deep.continuation }
+  | Waiting_replies of scatter
+      (** blocked on several concurrent RPCs (divided ticket transfer) *)
+  | Waiting_lock of { mutex : mutex; k : (unit, step) Effect.Deep.continuation }
+  | Waiting_cond of {
+      cond : condition;
+      mutex : mutex;
+      k : (unit, step) Effect.Deep.continuation;
+    }
+  | Waiting_sem of { sem : semaphore; k : (unit, step) Effect.Deep.continuation }
+  | Waiting_join of { target : thread; k : (unit, step) Effect.Deep.continuation }
+  | Ready_unit of (unit, step) Effect.Deep.continuation
+  | Ready_msg of message * (message, step) Effect.Deep.continuation
+  | Ready_reply of string * (string, step) Effect.Deep.continuation
+  | Ready_replies of string list * (string list, step) Effect.Deep.continuation
+  | Exited
+
+and compute_req = {
+  mutable remaining : int;
+  kc : (unit, step) Effect.Deep.continuation;
+}
+
+and scatter = {
+  replies : string option array;
+  mutable outstanding : int;
+  ks : (string list, step) Effect.Deep.continuation;
+}
+
+(* The outcome of running a thread's continuation until its next request. *)
+and step =
+  | S_done
+  | S_failed of exn
+  | S_compute of int * (unit, step) Effect.Deep.continuation
+  | S_sleep of int * (unit, step) Effect.Deep.continuation
+  | S_rpc of port * string * (string, step) Effect.Deep.continuation
+  | S_rpc_many of (port * string) list * (string list, step) Effect.Deep.continuation
+  | S_recv of port * (message, step) Effect.Deep.continuation
+  | S_lock of mutex * (unit, step) Effect.Deep.continuation
+  | S_wait of condition * mutex * (unit, step) Effect.Deep.continuation
+  | S_sem_wait of semaphore * (unit, step) Effect.Deep.continuation
+  | S_join of thread * (unit, step) Effect.Deep.continuation
+  | S_yield of (unit, step) Effect.Deep.continuation
+
+(* ------------------------------------------------------------------ *)
+(* IPC                                                                *)
+(* ------------------------------------------------------------------ *)
+
+and message = {
+  msg_id : int;
+  sender : thread;  (** blocked in [Waiting_reply]/[Waiting_replies] *)
+  payload : string;
+  sent_at : time;
+  slot : int;  (** reply position for scatter-gather sends; 0 otherwise *)
+}
+
+and port = {
+  port_id : int;
+  port_name : string;
+  queue : message Queue.t;  (** sent but not yet received *)
+  waiters : thread Queue.t;  (** server threads blocked in receive *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Mutexes                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and wake_policy =
+  | Fifo  (** conventional mutex: longest waiter acquires next *)
+  | Lottery_wake
+      (** paper §6.1: on release, hold a lottery among the waiters (the
+          scheduler's [pick_waiter] decides, by funding) *)
+
+and mutex = {
+  mutex_id : int;
+  mutex_name : string;
+  policy : wake_policy;
+  mutable owner : thread option;
+  mutable lock_waiters : thread list;  (** arrival order *)
+  mutable acquisitions : int;
+}
+
+(* CThreads-style condition variable: waiting atomically releases the
+   associated mutex; woken threads reacquire it before returning. *)
+and condition = {
+  cond_id : int;
+  cond_name : string;
+  cond_policy : wake_policy;
+  mutable cond_waiters : thread list;  (** arrival order *)
+  mutable signals : int;
+}
+
+(* Counting semaphore, the other classic CThreads primitive. A lottery
+   wake policy makes V() prefer funded waiters, like the mutex in §6.1. *)
+and semaphore = {
+  sem_id : int;
+  sem_name : string;
+  sem_policy : wake_policy;
+  mutable count : int;
+  mutable sem_waiters : thread list;  (** arrival order *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler interface                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The kernel drives an abstract scheduler through this record. The
+   donate/revoke callbacks carry the paper's ticket transfers: the kernel
+   announces "blocked thread [src] should fund [dst]"; proportional-share
+   schedulers implement it with transfer tickets, others ignore it. *)
+and sched = {
+  sched_name : string;
+  attach : thread -> unit;  (** thread created (initially runnable) *)
+  detach : thread -> unit;  (** thread exited *)
+  ready : thread -> unit;  (** thread became runnable *)
+  unready : thread -> unit;  (** thread blocked *)
+  select : unit -> thread option;
+      (** choose among runnable threads; called once per quantum *)
+  account : thread -> used:int -> quantum:int -> blocked:bool -> unit;
+      (** the selected thread consumed [used] of [quantum] and then either
+          blocked ([blocked = true]) or was preempted / yielded *)
+  donate : src:thread -> dst:thread -> unit;
+      (** [src] (blocked) should fund [dst]. May be called several times
+          with distinct targets while [src] stays blocked: the transfer is
+          then divided, each target receiving an equal share of [src]'s
+          value (§3.1). *)
+  revoke : src:thread -> unit;  (** withdraw all of [src]'s transfers *)
+  revoke_from : src:thread -> dst:thread -> unit;
+      (** withdraw only the transfer from [src] to [dst] (one server of a
+          divided transfer replied) *)
+  pick_waiter : thread list -> thread option;
+      (** winner among blocked waiters for a [Lottery_wake] mutex,
+          condition or semaphore; [None] falls back to FIFO order *)
+}
+
+type run_summary = {
+  ended_at : time;
+  idle_ticks : int;
+  deadlocked : bool;
+  slices : int;  (** scheduling decisions taken *)
+}

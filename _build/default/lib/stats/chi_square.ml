@@ -1,0 +1,119 @@
+let statistic ~observed ~expected =
+  let n = Array.length observed in
+  if n = 0 then invalid_arg "Chi_square.statistic: empty input";
+  if Array.length expected <> n then
+    invalid_arg "Chi_square.statistic: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let e = expected.(i) in
+    if e <= 0. then invalid_arg "Chi_square.statistic: nonpositive expected";
+    let d = float_of_int observed.(i) -. e in
+    acc := !acc +. (d *. d /. e)
+  done;
+  !acc
+
+let degrees_of_freedom ~cells = cells - 1
+
+(* Regularized incomplete gamma, lower tail P(a, x), per the classic series /
+   continued-fraction split (Numerical Recipes §6.2, which the paper itself
+   cites as [Pre88]). *)
+
+let max_iter = 500
+let eps = 3e-12
+let fpmin = 1e-300
+
+let rec ln_gamma x =
+  (* Lanczos approximation. *)
+  if x < 0.5 then
+    (* reflection formula keeps accuracy for small x *)
+    log (Float.pi /. sin (Float.pi *. x)) -. ln_gamma (1. -. x)
+  else begin
+    let g = 7. in
+    let coeffs =
+      [|
+        0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+        771.32342877765313; -176.61502916214059; 12.507343278686905;
+        -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+      |]
+    in
+    let x = x -. 1. in
+    let acc = ref coeffs.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (coeffs.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. g +. 0.5 in
+    (0.5 *. log (2. *. Float.pi))
+    +. (((x +. 0.5) *. log t) -. t)
+    +. log !acc
+  end
+
+let gamma_series a x =
+  (* Lower incomplete gamma by series expansion; valid for x < a + 1. *)
+  let gln = ln_gamma a in
+  let ap = ref a in
+  let sum = ref (1. /. a) in
+  let del = ref !sum in
+  let result = ref nan in
+  (try
+     for _ = 1 to max_iter do
+       ap := !ap +. 1.;
+       del := !del *. x /. !ap;
+       sum := !sum +. !del;
+       if abs_float !del < abs_float !sum *. eps then begin
+         result := !sum *. exp ((-.x) +. (a *. log x) -. gln);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if Float.is_nan !result then failwith "Chi_square: gamma series diverged";
+  !result
+
+let gamma_cont_frac a x =
+  (* Upper incomplete gamma by Lentz's continued fraction; valid x >= a+1. *)
+  let gln = ln_gamma a in
+  let b = ref (x +. 1. -. a) in
+  let c = ref (1. /. fpmin) in
+  let d = ref (1. /. !b) in
+  let h = ref !d in
+  (try
+     for i = 1 to max_iter do
+       let an = -.float_of_int i *. (float_of_int i -. a) in
+       b := !b +. 2.;
+       d := (an *. !d) +. !b;
+       if abs_float !d < fpmin then d := fpmin;
+       c := !b +. (an /. !c);
+       if abs_float !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if abs_float (del -. 1.) < eps then raise Exit
+     done
+   with Exit -> ());
+  exp ((-.x) +. (a *. log x) -. gln) *. !h
+
+let gammp a x =
+  if x < 0. || a <= 0. then invalid_arg "Chi_square.gammp: bad arguments";
+  if x = 0. then 0.
+  else if x < a +. 1. then gamma_series a x
+  else 1. -. gamma_cont_frac a x
+
+let p_value ~statistic ~df =
+  if df <= 0 then invalid_arg "Chi_square.p_value: df <= 0";
+  if statistic < 0. then invalid_arg "Chi_square.p_value: negative statistic";
+  1. -. gammp (float_of_int df /. 2.) (statistic /. 2.)
+
+let test ?(alpha = 0.001) ~observed ~expected () =
+  let stat = statistic ~observed ~expected in
+  let df = degrees_of_freedom ~cells:(Array.length observed) in
+  p_value ~statistic:stat ~df >= alpha
+
+let goodness_of_fit ?alpha ~observed ~weights () =
+  let n = Array.length observed in
+  if Array.length weights <> n then
+    invalid_arg "Chi_square.goodness_of_fit: length mismatch";
+  let total_obs = float_of_int (Array.fold_left ( + ) 0 observed) in
+  let total_w = Array.fold_left ( +. ) 0. weights in
+  if total_w <= 0. then
+    invalid_arg "Chi_square.goodness_of_fit: nonpositive weights";
+  let expected = Array.map (fun w -> total_obs *. w /. total_w) weights in
+  test ?alpha ~observed ~expected ()

@@ -1,0 +1,72 @@
+module Counter = struct
+  type t = {
+    width : int;
+    mutable counts : int array; (* index = window number *)
+    mutable hi_window : int; (* highest window index touched, -1 if none *)
+    mutable total : int;
+  }
+
+  let create ~width =
+    if width <= 0 then invalid_arg "Window.Counter.create: width <= 0";
+    { width; counts = Array.make 16 0; hi_window = -1; total = 0 }
+
+  let ensure t w =
+    let n = Array.length t.counts in
+    if w >= n then begin
+      let bigger = Array.make (max (w + 1) (2 * n)) 0 in
+      Array.blit t.counts 0 bigger 0 n;
+      t.counts <- bigger
+    end
+
+  let record t ~time ~count =
+    if time < 0 then invalid_arg "Window.Counter.record: negative time";
+    let w = time / t.width in
+    ensure t w;
+    t.counts.(w) <- t.counts.(w) + count;
+    if w > t.hi_window then t.hi_window <- w;
+    t.total <- t.total + count
+
+  let bump t ~time = record t ~time ~count:1
+
+  let windows t ~upto =
+    let n = upto / t.width in
+    Array.init n (fun i -> if i < Array.length t.counts then t.counts.(i) else 0)
+
+  let rates t ~upto ~per =
+    windows t ~upto
+    |> Array.map (fun c -> float_of_int c *. float_of_int per /. float_of_int t.width)
+
+  let cumulative t ~upto =
+    let ws = windows t ~upto in
+    let acc = ref 0 in
+    Array.map
+      (fun c ->
+        acc := !acc + c;
+        !acc)
+      ws
+
+  let total t = t.total
+  let width t = t.width
+end
+
+module Series = struct
+  type t = { mutable times : int list; mutable values : float list; mutable n : int }
+
+  let create () = { times = []; values = []; n = 0 }
+
+  let record t ~time ~value =
+    t.times <- time :: t.times;
+    t.values <- value :: t.values;
+    t.n <- t.n + 1
+
+  let length t = t.n
+  let times t = Array.of_list (List.rev t.times)
+  let values t = Array.of_list (List.rev t.values)
+
+  let between t ~lo ~hi =
+    let pairs = List.combine t.times t.values in
+    pairs
+    |> List.filter (fun (tm, _) -> tm >= lo && tm < hi)
+    |> List.rev_map snd
+    |> Array.of_list
+end

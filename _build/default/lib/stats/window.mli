@@ -1,0 +1,48 @@
+(** Windowed time-series recorders.
+
+    Experiments bin events (iterations completed, frames displayed, queries
+    answered) into fixed-width virtual-time windows, mirroring the paper's
+    figures ("average iterations over a series of 8 second windows",
+    cumulative trials over time, …). Time is an abstract [int] tick count. *)
+
+(** Per-window event counter. *)
+module Counter : sig
+  type t
+
+  val create : width:int -> t
+  (** [create ~width] bins events into windows of [width] ticks starting at
+      time 0. Raises [Invalid_argument] if [width <= 0]. *)
+
+  val record : t -> time:int -> count:int -> unit
+  (** Add [count] events at [time]. Events may arrive out of order. *)
+
+  val bump : t -> time:int -> unit
+  (** [record ~count:1]. *)
+
+  val windows : t -> upto:int -> int array
+  (** Counts per window for every window that ends at or before [upto]
+      (zero-filled for empty windows). *)
+
+  val rates : t -> upto:int -> per:int -> float array
+  (** Per-window counts rescaled to events per [per] ticks. *)
+
+  val cumulative : t -> upto:int -> int array
+  (** Running totals per window. *)
+
+  val total : t -> int
+  val width : t -> int
+end
+
+(** Time-stamped scalar samples (e.g. response times). *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val record : t -> time:int -> value:float -> unit
+  val length : t -> int
+  val times : t -> int array
+  val values : t -> float array
+
+  val between : t -> lo:int -> hi:int -> float array
+  (** Values of samples with [lo <= time < hi], in recording order. *)
+end

@@ -1,0 +1,1 @@
+lib/tickets/acl.ml: Funding Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/tickets/acl.mli: Funding

@@ -1,0 +1,1 @@
+lib/tickets/funding.ml: Buffer Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/tickets/funding.mli: Format

@@ -1,0 +1,114 @@
+type principal = string
+type perm = Issue | Fund | Manage
+
+type centry = {
+  mutable owner : principal;
+  mutable grants : (principal * perm) list; (* most recent first *)
+}
+
+type t = {
+  sys : Funding.system;
+  entries : (int, centry) Hashtbl.t; (* currency id -> acl *)
+}
+
+let register t currency ~owner =
+  Hashtbl.replace t.entries (Funding.currency_id currency) { owner; grants = [] }
+
+let create sys =
+  let t = { sys; entries = Hashtbl.create 16 } in
+  register t (Funding.base sys) ~owner:"root";
+  t
+
+let system t = t.sys
+
+let entry t currency =
+  match Hashtbl.find_opt t.entries (Funding.currency_id currency) with
+  | Some e -> e
+  | None -> raise Not_found
+
+let owner t currency = (entry t currency).owner
+
+let allowed t principal currency perm =
+  match Hashtbl.find_opt t.entries (Funding.currency_id currency) with
+  | None -> false
+  | Some e ->
+      e.owner = principal
+      || List.exists (fun (p, q) -> p = principal && q = perm) e.grants
+
+let grants t currency = (entry t currency).grants
+
+let perm_name = function Issue -> "issue" | Fund -> "fund" | Manage -> "manage"
+
+let require t ~as_ currency perm k =
+  if allowed t as_ currency perm then k ()
+  else
+    Error
+      (Printf.sprintf "%s: permission %s denied on currency %s" as_
+         (perm_name perm)
+         (Funding.currency_name currency))
+
+let make_currency t ~as_ ~name =
+  match Funding.make_currency t.sys ~name with
+  | c ->
+      register t c ~owner:as_;
+      Ok c
+  | exception Funding.Duplicate_name n ->
+      Error (Printf.sprintf "currency %s already exists" n)
+
+let chown t ~as_ currency new_owner =
+  require t ~as_ currency Manage (fun () ->
+      (entry t currency).owner <- new_owner;
+      Ok ())
+
+let grant t ~as_ currency principal perm =
+  require t ~as_ currency Manage (fun () ->
+      let e = entry t currency in
+      if not (List.mem (principal, perm) e.grants) then
+        e.grants <- (principal, perm) :: e.grants;
+      Ok ())
+
+let revoke_perm t ~as_ currency principal perm =
+  require t ~as_ currency Manage (fun () ->
+      let e = entry t currency in
+      e.grants <- List.filter (fun g -> g <> (principal, perm)) e.grants;
+      Ok ())
+
+let issue t ~as_ ~currency ~amount =
+  require t ~as_ currency Issue (fun () ->
+      match Funding.issue t.sys ~currency ~amount with
+      | ticket -> Ok ticket
+      | exception Invalid_argument m -> Error m)
+
+let fund t ~as_ ~ticket ~currency =
+  require t ~as_ (Funding.denomination ticket) Issue (fun () ->
+      require t ~as_ currency Fund (fun () ->
+          match Funding.fund t.sys ~ticket ~currency with
+          | () -> Ok ()
+          | exception Funding.Cycle m -> Error ("cycle: " ^ m)
+          | exception Invalid_argument m -> Error m))
+
+let unfund t ~as_ ticket =
+  require t ~as_ (Funding.denomination ticket) Issue (fun () ->
+      match Funding.unfund t.sys ticket with
+      | () -> Ok ()
+      | exception Invalid_argument m -> Error m)
+
+let set_amount t ~as_ ticket amount =
+  require t ~as_ (Funding.denomination ticket) Issue (fun () ->
+      match Funding.set_amount t.sys ticket amount with
+      | () -> Ok ()
+      | exception Invalid_argument m -> Error m)
+
+let destroy_ticket t ~as_ ticket =
+  require t ~as_ (Funding.denomination ticket) Issue (fun () ->
+      match Funding.destroy_ticket t.sys ticket with
+      | () -> Ok ()
+      | exception Invalid_argument m -> Error m)
+
+let remove_currency t ~as_ currency =
+  require t ~as_ currency Manage (fun () ->
+      match Funding.remove_currency t.sys currency with
+      | () ->
+          Hashtbl.remove t.entries (Funding.currency_id currency);
+          Ok ()
+      | exception Funding.In_use m -> Error m)

@@ -1,0 +1,90 @@
+(** Currency protection (paper §4.7: "A complete lottery scheduling system
+    should protect currencies by using access control lists or Unix-style
+    permissions based on user and group membership." — left unimplemented
+    in the Mach prototype, implemented here).
+
+    Each currency has an owner and an access-control list granting named
+    principals individual permissions. The owner implicitly holds every
+    permission; newly created currencies belong to their creator; the base
+    currency belongs to ["root"]. Guarded operations mirror the {!Funding}
+    API but check the acting principal and return [Error reason] instead of
+    mutating.
+
+    Permissions (per currency):
+    - [Issue]: create tickets denominated in the currency — the paper's
+      inflation permission ("which principals have permission to inflate it
+      by creating new tickets"); also required to destroy or resize them;
+    - [Fund]: attach a backing ticket to the currency (receive funding);
+    - [Manage]: edit the ACL, transfer ownership, remove the currency. *)
+
+type principal = string
+type perm = Issue | Fund | Manage
+
+type t
+
+val create : Funding.system -> t
+(** Wrap a funding system; the base currency is registered to ["root"].
+    Unguarded [Funding] mutations remain possible for code holding the raw
+    system — protection applies to everything routed through this
+    module. *)
+
+val system : t -> Funding.system
+
+(** {1 Ownership and ACLs} *)
+
+val owner : t -> Funding.currency -> principal
+(** Raises [Not_found] for currencies created behind the ACL's back. *)
+
+val make_currency :
+  t -> as_:principal -> name:string -> (Funding.currency, string) result
+(** Anyone may create a currency; the creator becomes its owner. *)
+
+val chown :
+  t -> as_:principal -> Funding.currency -> principal -> (unit, string) result
+(** Requires [Manage]. *)
+
+val grant :
+  t -> as_:principal -> Funding.currency -> principal -> perm -> (unit, string) result
+
+val revoke_perm :
+  t -> as_:principal -> Funding.currency -> principal -> perm -> (unit, string) result
+
+val allowed : t -> principal -> Funding.currency -> perm -> bool
+(** Owner of the currency, or explicitly granted. *)
+
+val grants : t -> Funding.currency -> (principal * perm) list
+(** Explicit grants, most recent first (owner not listed). *)
+
+(** {1 Guarded operations} *)
+
+val issue :
+  t ->
+  as_:principal ->
+  currency:Funding.currency ->
+  amount:int ->
+  (Funding.ticket, string) result
+(** Requires [Issue] on the denomination (inflation control). *)
+
+val fund :
+  t ->
+  as_:principal ->
+  ticket:Funding.ticket ->
+  currency:Funding.currency ->
+  (unit, string) result
+(** Requires [Issue] on the ticket's denomination (it is that currency's
+    value being committed) and [Fund] on the receiving currency. *)
+
+val unfund : t -> as_:principal -> Funding.ticket -> (unit, string) result
+(** Requires [Issue] on the ticket's denomination. *)
+
+val set_amount :
+  t -> as_:principal -> Funding.ticket -> int -> (unit, string) result
+(** Inflation/deflation of an existing ticket: requires [Issue] on its
+    denomination. *)
+
+val destroy_ticket : t -> as_:principal -> Funding.ticket -> (unit, string) result
+
+val remove_currency :
+  t -> as_:principal -> Funding.currency -> (unit, string) result
+(** Requires [Manage]; same structural constraints as
+    {!Funding.remove_currency}. *)

@@ -1,0 +1,362 @@
+exception Cycle of string
+exception Duplicate_name of string
+exception In_use of string
+
+type attach = Unattached | Backs of currency | Held
+
+and ticket = {
+  tid : int;
+  mutable amount : int;
+  denom : currency;
+  mutable attach : attach;
+  mutable active : bool;
+  mutable destroyed : bool;
+}
+
+and currency = {
+  cid : int;
+  cname : string;
+  base_p : bool;
+  mutable issued : ticket list;
+  mutable backing : ticket list;
+  mutable active_amount : int;
+  mutable alive : bool;
+}
+
+type system = {
+  mutable next_id : int;
+  base_currency : currency;
+  by_name : (string, currency) Hashtbl.t;
+  mutable all : currency list; (* reverse creation order *)
+}
+
+let fresh_id sys =
+  let id = sys.next_id in
+  sys.next_id <- id + 1;
+  id
+
+let create_system () =
+  let base_currency =
+    {
+      cid = 0;
+      cname = "base";
+      base_p = true;
+      issued = [];
+      backing = [];
+      active_amount = 0;
+      alive = true;
+    }
+  in
+  let by_name = Hashtbl.create 16 in
+  Hashtbl.replace by_name "base" base_currency;
+  { next_id = 1; base_currency; by_name; all = [ base_currency ] }
+
+let base sys = sys.base_currency
+
+let make_currency sys ~name =
+  if Hashtbl.mem sys.by_name name then raise (Duplicate_name name);
+  let c =
+    {
+      cid = fresh_id sys;
+      cname = name;
+      base_p = false;
+      issued = [];
+      backing = [];
+      active_amount = 0;
+      alive = true;
+    }
+  in
+  Hashtbl.replace sys.by_name name c;
+  sys.all <- c :: sys.all;
+  c
+
+let find_currency sys name = Hashtbl.find_opt sys.by_name name
+let currency_name c = c.cname
+let currency_id c = c.cid
+let is_base c = c.base_p
+let currencies sys = List.rev sys.all
+
+let remove_currency sys c =
+  if c.base_p then raise (In_use "base currency cannot be removed");
+  if not c.alive then invalid_arg "Funding.remove_currency: already removed";
+  if c.issued <> [] then raise (In_use (c.cname ^ " still has issued tickets"));
+  if c.backing <> [] then raise (In_use (c.cname ^ " still has backing tickets"));
+  c.alive <- false;
+  Hashtbl.remove sys.by_name c.cname;
+  sys.all <- List.filter (fun c' -> c'.cid <> c.cid) sys.all
+
+let active_amount c = c.active_amount
+let issued_tickets c = c.issued
+let backing_tickets c = c.backing
+
+let issue sys ~currency ~amount =
+  if amount < 0 then invalid_arg "Funding.issue: negative amount";
+  if not currency.alive then invalid_arg "Funding.issue: dead currency";
+  let t =
+    {
+      tid = fresh_id sys;
+      amount;
+      denom = currency;
+      attach = Unattached;
+      active = false;
+      destroyed = false;
+    }
+  in
+  currency.issued <- t :: currency.issued;
+  t
+
+let amount t = t.amount
+let denomination t = t.denom
+let ticket_id t = t.tid
+let is_active t = t.active
+let funds t = match t.attach with Backs c -> Some c | Unattached | Held -> None
+let is_held t = t.attach = Held
+
+let check_live t name = if t.destroyed then invalid_arg (name ^ ": destroyed ticket")
+
+(* Activation propagation (paper §4.4): activating a ticket raises its
+   denomination's active amount; on a zero -> nonzero transition every
+   backing ticket of that currency activates in turn, and symmetrically for
+   deactivation. *)
+let rec activate_ticket t =
+  if not t.active then begin
+    t.active <- true;
+    let c = t.denom in
+    let was_zero = c.active_amount = 0 in
+    c.active_amount <- c.active_amount + t.amount;
+    if was_zero && c.active_amount > 0 then
+      List.iter activate_ticket c.backing
+  end
+
+let rec deactivate_ticket t =
+  if t.active then begin
+    t.active <- false;
+    let c = t.denom in
+    let was_positive = c.active_amount > 0 in
+    c.active_amount <- c.active_amount - t.amount;
+    assert (c.active_amount >= 0);
+    if was_positive && c.active_amount = 0 then
+      List.iter deactivate_ticket c.backing
+  end
+
+let set_amount sys t new_amount =
+  ignore sys;
+  check_live t "Funding.set_amount";
+  if new_amount < 0 then invalid_arg "Funding.set_amount: negative amount";
+  if t.active then begin
+    let c = t.denom in
+    let old_sum = c.active_amount in
+    let new_sum = old_sum - t.amount + new_amount in
+    t.amount <- new_amount;
+    c.active_amount <- new_sum;
+    if old_sum = 0 && new_sum > 0 then List.iter activate_ticket c.backing
+    else if old_sum > 0 && new_sum = 0 then List.iter deactivate_ticket c.backing
+  end
+  else t.amount <- new_amount
+
+(* A backing edge [currency <- ticket] makes [currency]'s value depend on
+   the ticket's denomination. Funding [c] with a ticket denominated in [d]
+   is cyclic iff [d]'s value already depends on [c]. *)
+let would_cycle ~funded ~denom =
+  let rec depends_on c =
+    c.cid = funded.cid
+    || List.exists (fun b -> depends_on b.denom) c.backing
+  in
+  depends_on denom
+
+let fund sys ~ticket ~currency =
+  ignore sys;
+  check_live ticket "Funding.fund";
+  if not currency.alive then invalid_arg "Funding.fund: dead currency";
+  (match ticket.attach with
+  | Unattached -> ()
+  | Backs _ | Held -> invalid_arg "Funding.fund: ticket already attached");
+  if currency.cid = ticket.denom.cid then
+    invalid_arg "Funding.fund: ticket cannot fund its own denomination";
+  if would_cycle ~funded:currency ~denom:ticket.denom then
+    raise
+      (Cycle
+         (Printf.sprintf "funding %s with a ticket denominated in %s"
+            currency.cname ticket.denom.cname));
+  ticket.attach <- Backs currency;
+  currency.backing <- ticket :: currency.backing;
+  if currency.active_amount > 0 then activate_ticket ticket
+
+let unfund sys t =
+  ignore sys;
+  check_live t "Funding.unfund";
+  match t.attach with
+  | Backs c ->
+      deactivate_ticket t;
+      c.backing <- List.filter (fun b -> b.tid <> t.tid) c.backing;
+      t.attach <- Unattached
+  | Unattached | Held -> invalid_arg "Funding.unfund: ticket not backing"
+
+let hold sys t =
+  ignore sys;
+  check_live t "Funding.hold";
+  (match t.attach with
+  | Unattached | Held -> ()
+  | Backs _ -> invalid_arg "Funding.hold: ticket is backing a currency");
+  t.attach <- Held;
+  activate_ticket t
+
+let suspend sys t =
+  ignore sys;
+  check_live t "Funding.suspend";
+  if t.attach <> Held then invalid_arg "Funding.suspend: ticket not held";
+  deactivate_ticket t
+
+let resume sys t =
+  ignore sys;
+  check_live t "Funding.resume";
+  if t.attach <> Held then invalid_arg "Funding.resume: ticket not held";
+  activate_ticket t
+
+let release sys t =
+  ignore sys;
+  check_live t "Funding.release";
+  if t.attach <> Held then invalid_arg "Funding.release: ticket not held";
+  deactivate_ticket t;
+  t.attach <- Unattached
+
+let destroy_ticket sys t =
+  check_live t "Funding.destroy_ticket";
+  (match t.attach with
+  | Backs _ -> unfund sys t
+  | Held -> release sys t
+  | Unattached -> ());
+  let c = t.denom in
+  c.issued <- List.filter (fun i -> i.tid <> t.tid) c.issued;
+  t.destroyed <- true
+
+module Valuation = struct
+  type v = { memo : (int, float) Hashtbl.t }
+
+  let make (_ : system) = { memo = Hashtbl.create 32 }
+
+  let rec unit_value v c =
+    if c.base_p then 1.
+    else if c.active_amount = 0 then 0.
+    else
+      match Hashtbl.find_opt v.memo c.cid with
+      | Some x -> x
+      | None ->
+          (* Seed with 0 so a (dynamically created, normally impossible)
+             cycle terminates instead of looping. *)
+          Hashtbl.replace v.memo c.cid 0.;
+          let x = currency_value v c /. float_of_int c.active_amount in
+          Hashtbl.replace v.memo c.cid x;
+          x
+
+  and currency_value v c =
+    if c.base_p then float_of_int c.active_amount
+    else
+      List.fold_left
+        (fun acc t -> if t.active then acc +. ticket_value v t else acc)
+        0. c.backing
+
+  and ticket_value v t =
+    if not t.active then 0.
+    else float_of_int t.amount *. unit_value v t.denom
+end
+
+let ticket_value sys t = Valuation.ticket_value (Valuation.make sys) t
+let currency_value sys c = Valuation.currency_value (Valuation.make sys) c
+
+let check_invariants sys =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  List.iter
+    (fun c ->
+      if not c.alive then fail "dead currency %s in system list" c.cname;
+      (* Active amount equals sum of active issued ticket amounts. *)
+      let sum =
+        List.fold_left (fun acc t -> if t.active then acc + t.amount else acc) 0 c.issued
+      in
+      if sum <> c.active_amount then
+        fail "currency %s: active_amount %d <> recomputed %d" c.cname
+          c.active_amount sum;
+      (* Attachment symmetry for backing tickets. *)
+      List.iter
+        (fun t ->
+          (match t.attach with
+          | Backs c' when c'.cid = c.cid -> ()
+          | _ -> fail "currency %s: backing ticket %d not attached to it" c.cname t.tid);
+          if t.destroyed then fail "currency %s: destroyed backing ticket" c.cname;
+          (* Propagation: a backing ticket is active iff the funded currency
+             has a nonzero active amount. *)
+          if t.active <> (c.active_amount > 0) then
+            fail "currency %s: backing ticket %d activity %b vs amount %d"
+              c.cname t.tid t.active c.active_amount)
+        c.backing;
+      List.iter
+        (fun t ->
+          if t.destroyed then fail "currency %s: destroyed issued ticket" c.cname;
+          if t.denom.cid <> c.cid then
+            fail "currency %s: issued ticket %d has wrong denomination" c.cname t.tid;
+          match t.attach with
+          | Unattached ->
+              if t.active then fail "unattached ticket %d is active" t.tid
+          | Held -> ()
+          | Backs c' ->
+              if not (List.exists (fun b -> b.tid = t.tid) c'.backing) then
+                fail "ticket %d claims to back %s but is not listed" t.tid c'.cname)
+        c.issued;
+      (* Acyclicity. *)
+      let rec walk seen c' =
+        if List.mem c'.cid seen then fail "cycle through currency %s" c'.cname;
+        List.iter (fun b -> walk (c'.cid :: seen) b.denom) c'.backing
+      in
+      walk [] c)
+    (currencies sys)
+
+let pp_ticket fmt t =
+  Format.fprintf fmt "#%d %d.%s%s%s" t.tid t.amount t.denom.cname
+    (if t.active then " [active]" else "")
+    (match t.attach with
+    | Unattached -> ""
+    | Held -> " held"
+    | Backs c -> " -> " ^ c.cname)
+
+let pp_currency fmt c =
+  Format.fprintf fmt "@[<v 2>currency %s (active %d)@,issued: %a@,backing: %a@]"
+    c.cname c.active_amount
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_ticket)
+    c.issued
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_ticket)
+    c.backing
+
+let to_dot sys =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph funding {\n  rankdir=TB;\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  c%d [shape=box, label=\"%s\\nactive %d\"];\n" c.cid
+           c.cname c.active_amount))
+    (currencies sys);
+  List.iter
+    (fun c ->
+      List.iter
+        (fun t ->
+          let style = if t.active then "solid" else "dashed" in
+          match t.attach with
+          | Backs target ->
+              Buffer.add_string buf
+                (Printf.sprintf "  c%d -> c%d [label=\"%d.%s\", style=%s];\n" c.cid
+                   target.cid t.amount c.cname style)
+          | Held ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "  t%d [shape=ellipse, label=\"ticket %d.%s\"];\n  c%d -> t%d [style=%s];\n"
+                   t.tid t.amount c.cname c.cid t.tid style)
+          | Unattached -> ())
+        c.issued)
+    (currencies sys);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_system fmt sys =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_currency)
+    (currencies sys)

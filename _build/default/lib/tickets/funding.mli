@@ -1,0 +1,152 @@
+(** Tickets and currencies: the paper's resource-rights model (Sections 3–4).
+
+    A {e system} owns one {e base} currency and any number of user currencies.
+    Each currency is {e backed} (funded) by tickets denominated in other
+    currencies; each currency {e issues} tickets denominated in itself.
+    Currency relationships must form an acyclic graph rooted at the base.
+
+    A ticket is {e active} while its holder competes in lotteries, or while
+    the currency it backs has a nonzero active amount. Activations and
+    deactivations propagate through backing tickets exactly as described in
+    Section 4.4 of the paper: when a currency's active amount crosses zero,
+    the change propagates to each of its backing tickets.
+
+    Valuation (Section 4.4): the value of a ticket denominated in the base
+    currency is its face amount; the value of a currency is the sum of the
+    values of its active backing tickets; the value of a non-base ticket is
+    the currency's value times the ticket's share of the currency's active
+    amount. *)
+
+type system
+type currency
+type ticket
+
+exception Cycle of string
+(** Raised by {!fund} when the requested edge would make the currency graph
+    cyclic. *)
+
+exception Duplicate_name of string
+exception In_use of string
+(** Raised by {!remove_currency} when tickets still reference the currency. *)
+
+(** {1 Systems and currencies} *)
+
+val create_system : unit -> system
+
+val base : system -> currency
+(** The conserved base currency ("base" in the paper's figures). *)
+
+val make_currency : system -> name:string -> currency
+(** Raises {!Duplicate_name} if [name] is taken ("base" is always taken). *)
+
+val find_currency : system -> string -> currency option
+val currency_name : currency -> string
+val currency_id : currency -> int
+val is_base : currency -> bool
+val currencies : system -> currency list
+(** All live currencies including base, in creation order. *)
+
+val remove_currency : system -> currency -> unit
+(** Raises {!In_use} unless the currency has no issued and no backing
+    tickets; the base currency can never be removed. *)
+
+val active_amount : currency -> int
+(** Sum of the amounts of this currency's currently active issued tickets. *)
+
+val issued_tickets : currency -> ticket list
+val backing_tickets : currency -> ticket list
+
+(** {1 Tickets} *)
+
+val issue : system -> currency:currency -> amount:int -> ticket
+(** Create an inactive, unattached ticket denominated in [currency].
+    Raises [Invalid_argument] on negative amounts. *)
+
+val amount : ticket -> int
+val denomination : ticket -> currency
+val ticket_id : ticket -> int
+val is_active : ticket -> bool
+
+val set_amount : system -> ticket -> int -> unit
+(** Ticket inflation / deflation (Section 3.2): change the face amount,
+    updating active sums and propagating zero crossings. *)
+
+val destroy_ticket : system -> ticket -> unit
+(** Deactivates and detaches the ticket, then removes it from its
+    denomination's issued list. The ticket must not be reused. *)
+
+(** {1 Attachment and activity} *)
+
+val fund : system -> ticket:ticket -> currency:currency -> unit
+(** Attach [ticket] as a backing ticket of [currency]. The ticket must be
+    unattached. Activates the ticket if [currency] already has active
+    issued tickets. Raises {!Cycle} when the edge would create a cycle and
+    [Invalid_argument] when attempting to fund the ticket's own
+    denomination. *)
+
+val unfund : system -> ticket -> unit
+(** Detach a backing ticket (deactivating it first). No-op semantics apply
+    only to attached tickets; raises [Invalid_argument] otherwise. *)
+
+val hold : system -> ticket -> unit
+(** Mark the ticket as held by a competing client and activate it. The
+    ticket must be unattached or already held. *)
+
+val suspend : system -> ticket -> unit
+(** Deactivate a held ticket (client left the run queue). *)
+
+val resume : system -> ticket -> unit
+(** Reactivate a held ticket (client rejoined the run queue). *)
+
+val release : system -> ticket -> unit
+(** Deactivate and detach a held ticket. *)
+
+val funds : ticket -> currency option
+(** The currency this ticket currently backs, if any. *)
+
+val is_held : ticket -> bool
+
+(** {1 Valuation} *)
+
+module Valuation : sig
+  type v
+  (** A memoized valuation snapshot. Results are cached per currency, so
+      valuing every runnable thread in a draw costs one graph walk. The
+      snapshot is invalidated by any mutation of the system (not checked —
+      callers create one per draw). *)
+
+  val make : system -> v
+
+  val unit_value : v -> currency -> float
+  (** Base units per unit of [currency]; [1.] for base, [0.] for a currency
+      with zero active amount. *)
+
+  val currency_value : v -> currency -> float
+  (** Sum of the values of the currency's active backing tickets (for the
+      base currency: its active amount). *)
+
+  val ticket_value : v -> ticket -> float
+  (** [0.] for inactive tickets. *)
+end
+
+val ticket_value : system -> ticket -> float
+(** One-shot valuation (fresh snapshot). *)
+
+val currency_value : system -> currency -> float
+
+(** {1 Introspection} *)
+
+val check_invariants : system -> unit
+(** Validates internal consistency (active sums, attachment symmetry,
+    activation propagation, acyclicity); raises [Failure] with a
+    description on violation. Used by tests and enabled in debug builds. *)
+
+val pp_currency : Format.formatter -> currency -> unit
+val pp_ticket : Format.formatter -> ticket -> unit
+val pp_system : Format.formatter -> system -> unit
+
+val to_dot : system -> string
+(** Graphviz rendering of the funding graph, in the style of the paper's
+    Figure 3: box nodes for currencies (name and active amount), ellipses
+    for held (competing) tickets, edges labelled with ticket amounts and
+    dashed when inactive. *)

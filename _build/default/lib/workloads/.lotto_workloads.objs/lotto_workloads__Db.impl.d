@@ -1,0 +1,1 @@
+lib/workloads/db.ml: Api Array Corpus Kernel Lotto_sim Lotto_stats Option Printf Time Types

@@ -1,0 +1,1 @@
+lib/workloads/disk_service.ml: Api Hashtbl Kernel List Lotto_prng Lotto_sim Option Time Types

@@ -1,0 +1,1 @@
+lib/workloads/disk_service.mli: Lotto_prng Lotto_sim

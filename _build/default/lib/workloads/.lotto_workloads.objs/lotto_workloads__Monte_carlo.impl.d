@@ -1,0 +1,1 @@
+lib/workloads/monte_carlo.ml: Api Float Kernel Lotto_prng Lotto_sched Lotto_sim Lotto_stats Option Time Types

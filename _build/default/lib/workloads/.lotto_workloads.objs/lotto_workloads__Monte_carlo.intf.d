@@ -1,0 +1,1 @@
+lib/workloads/monte_carlo.mli: Lotto_prng Lotto_sched Lotto_sim Lotto_tickets

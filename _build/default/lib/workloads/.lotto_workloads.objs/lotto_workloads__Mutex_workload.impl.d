@@ -1,0 +1,1 @@
+lib/workloads/mutex_workload.ml: Api Array Kernel Lotto_sim Lotto_stats Option Time Types

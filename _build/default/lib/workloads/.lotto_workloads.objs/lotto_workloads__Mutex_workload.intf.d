@@ -1,0 +1,1 @@
+lib/workloads/mutex_workload.mli: Lotto_sim

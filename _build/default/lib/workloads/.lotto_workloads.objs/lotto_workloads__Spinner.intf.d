@@ -1,0 +1,1 @@
+lib/workloads/spinner.mli: Lotto_sim

@@ -1,0 +1,86 @@
+module Rng = Lotto_prng.Rng
+
+(* Consonant-vowel syllables: generated words can never contain a planted
+   needle like "lottery" (no double letters / 'y' in the alphabet used). *)
+let consonants = [| "b"; "c"; "d"; "f"; "g"; "h"; "k"; "m"; "n"; "p"; "r"; "s"; "t"; "v" |]
+let vowels = [| "a"; "e"; "i"; "o"; "u" |]
+
+let make_word rng =
+  let syllables = 1 + Rng.int_below rng 3 in
+  let buf = Buffer.create 8 in
+  for _ = 1 to syllables do
+    Buffer.add_string buf (Rng.choose rng consonants);
+    Buffer.add_string buf (Rng.choose rng vowels)
+  done;
+  Buffer.contents buf
+
+(* Zipf-ish rank weights over a fixed vocabulary. *)
+let pick_rank rng n =
+  (* inverse-rank weighting via rejection on the harmonic envelope *)
+  let u = Rng.float_unit rng in
+  let h = log (float_of_int n +. 1.) in
+  let r = int_of_float (exp (u *. h)) - 1 in
+  min (max r 0) (n - 1)
+
+let[@warning "-16"] generate ?(seed = 1994) ?(size_bytes = 512 * 1024)
+    ?(needle = "lottery") ?(occurrences = 8) () =
+  if size_bytes <= 0 then invalid_arg "Corpus.generate: size_bytes <= 0";
+  if occurrences < 0 then invalid_arg "Corpus.generate: occurrences < 0";
+  let rng = Rng.create ~algo:Splitmix64 ~seed () in
+  let vocab_size = 4096 in
+  let vocab = Array.init vocab_size (fun _ -> make_word rng) in
+  let buf = Buffer.create (size_bytes + 64) in
+  let line_len = ref 0 in
+  while Buffer.length buf < size_bytes do
+    let w = vocab.(pick_rank rng vocab_size) in
+    Buffer.add_string buf w;
+    line_len := !line_len + String.length w + 1;
+    if !line_len > 60 then begin
+      Buffer.add_char buf '\n';
+      line_len := 0
+    end
+    else Buffer.add_char buf ' '
+  done;
+  let text = Buffer.contents buf in
+  if occurrences = 0 then text
+  else begin
+    (* Plant the needle at evenly spaced word boundaries. *)
+    let chunk = String.length text / occurrences in
+    let out = Buffer.create (String.length text + (occurrences * (String.length needle + 2))) in
+    let pos = ref 0 in
+    for i = 0 to occurrences - 1 do
+      let target = min (String.length text - 1) (((i + 1) * chunk) - (chunk / 2)) in
+      (* advance to the next space so we insert at a word boundary *)
+      let rec boundary j =
+        if j >= String.length text - 1 then String.length text - 1
+        else if text.[j] = ' ' || text.[j] = '\n' then j
+        else boundary (j + 1)
+      in
+      let b = boundary target in
+      Buffer.add_string out (String.sub text !pos (b - !pos));
+      Buffer.add_string out (" " ^ needle);
+      pos := b
+    done;
+    Buffer.add_string out (String.sub text !pos (String.length text - !pos));
+    Buffer.contents out
+  end
+
+let count_substring ~haystack ~needle =
+  if needle = "" then invalid_arg "Corpus.count_substring: empty needle";
+  let h = String.lowercase_ascii haystack in
+  let n = String.lowercase_ascii needle in
+  let nh = String.length h and nn = String.length n in
+  let count = ref 0 in
+  let i = ref 0 in
+  while !i <= nh - nn do
+    let j = ref 0 in
+    while !j < nn && h.[!i + !j] = n.[!j] do
+      incr j
+    done;
+    if !j = nn then begin
+      incr count;
+      i := !i + nn
+    end
+    else incr i
+  done;
+  !count

@@ -1,0 +1,19 @@
+(** Deterministic synthetic text corpus.
+
+    The paper's database server loads the complete plays of Shakespeare
+    (4.6 MB) and serves case-insensitive substring counts; the word
+    "lottery" occurs 8 times. We cannot ship Shakespeare, so this module
+    generates a reproducible corpus from a seeded generator with a
+    Zipf-distributed vocabulary, and plants a chosen needle a chosen number
+    of times so queries have a known answer (our nod to the paper's 8
+    occurrences of "lottery"). *)
+
+val generate :
+  ?seed:int -> ?size_bytes:int -> ?needle:string -> ?occurrences:int -> unit -> string
+(** Defaults: seed 1994, 512 KiB, needle ["lottery"], 8 occurrences. The
+    needle is planted as a standalone word at deterministic positions and
+    never occurs otherwise (vocabulary words cannot contain it). *)
+
+val count_substring : haystack:string -> needle:string -> int
+(** Case-insensitive non-overlapping substring count — the server's query
+    operation. *)

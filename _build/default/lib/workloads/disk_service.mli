@@ -1,0 +1,43 @@
+(** Disk bandwidth as a kernel-level lottery-scheduled resource.
+
+    The paper generalizes lottery scheduling to "I/O bandwidth … a lottery
+    can be used to allocate resources wherever queueing is necessary"
+    (§6), with disk bandwidth called out for database use (footnote 7).
+    This module runs a {e disk server thread} inside the simulation: client
+    threads issue synchronous reads; whenever the device is free the server
+    holds a lottery among the queued requests weighted by each client's
+    {e disk tickets} — a resource domain separate from CPU tickets, so a
+    thread can be CPU-rich but I/O-poor and vice versa (the premise of the
+    §6.3 multi-resource discussion).
+
+    Service time follows the usual seek model: [seek_cost] per cylinder
+    travelled plus a fixed [transfer_cost]. The server thread {e sleeps}
+    for the service time — the mechanism runs in parallel with the CPU, as
+    real disks do — so clients keep the queue contended and the per-slot
+    lottery governs who advances. What little CPU the server needs comes
+    from its blocked clients' ticket transfers, like any server in the
+    paper. *)
+
+type t
+
+val start :
+  Lotto_sim.Kernel.t ->
+  rng:Lotto_prng.Rng.t ->
+  name:string ->
+  ?cylinders:int ->
+  ?seek_cost:Lotto_sim.Time.t ->
+  ?transfer_cost:Lotto_sim.Time.t ->
+  unit ->
+  t
+(** Defaults: 1000 cylinders, seek 10 us/cylinder, transfer 2 ms. *)
+
+val set_disk_tickets : t -> Lotto_sim.Types.thread -> int -> unit
+(** Allocate disk tickets to a client thread (default 1 for unregistered
+    clients: nonzero, per the paper's starvation-freedom guarantee). *)
+
+val read : t -> cylinder:int -> unit
+(** Called from inside a client thread: block until the read completes. *)
+
+val reads_completed : t -> Lotto_sim.Types.thread -> int
+val total_reads : t -> int
+val head_position : t -> int

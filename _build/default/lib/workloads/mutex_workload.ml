@@ -1,0 +1,38 @@
+open Lotto_sim
+module Series = Lotto_stats.Window.Series
+
+type t = {
+  th : Types.thread;
+  waits : Series.t;
+  mutable acquisitions : int;
+}
+
+let[@warning "-16"] spawn_contender kernel ~mutex ~name ?(hold = Time.ms 50)
+    ?(work = Time.ms 50) () =
+  let waits = Series.create () in
+  let cell = ref None in
+  let th =
+    Kernel.spawn kernel ~name (fun () ->
+        let self = Option.get !cell in
+        while true do
+          let t0 = Api.now () in
+          Api.lock mutex;
+          let t1 = Api.now () in
+          self.acquisitions <- self.acquisitions + 1;
+          Series.record waits ~time:t1 ~value:(Time.to_seconds (t1 - t0));
+          Api.compute hold;
+          Api.unlock mutex;
+          Api.compute work
+        done)
+  in
+  let t = { th; waits; acquisitions = 0 } in
+  cell := Some t;
+  t
+
+let thread t = t.th
+let acquisitions t = t.acquisitions
+let waiting_times t = Series.values t.waits
+
+let mean_wait t =
+  let xs = waiting_times t in
+  if Array.length xs = 0 then nan else Lotto_stats.Descriptive.mean xs

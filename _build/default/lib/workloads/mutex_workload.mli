@@ -1,0 +1,26 @@
+(** Synthetic mutex-contention application (paper §6.1, Figures 10–11).
+
+    [n] threads repeatedly acquire a shared mutex, hold it for [hold] CPU
+    time, release it, then compute for [work] before trying again. With a
+    lottery-scheduled mutex, both the acquisition throughput and the mutex
+    waiting times of thread groups track their ticket ratios. *)
+
+type t
+
+val spawn_contender :
+  Lotto_sim.Kernel.t ->
+  mutex:Lotto_sim.Types.mutex ->
+  name:string ->
+  ?hold:Lotto_sim.Time.t ->
+  ?work:Lotto_sim.Time.t ->
+  unit ->
+  t
+(** [hold] and [work] both default to 50 ms, the paper's configuration. *)
+
+val thread : t -> Lotto_sim.Types.thread
+val acquisitions : t -> int
+val waiting_times : t -> float array
+(** Seconds spent blocked before each acquisition, in order. *)
+
+val mean_wait : t -> float
+(** [nan] before the first acquisition. *)

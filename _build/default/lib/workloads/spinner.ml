@@ -1,0 +1,48 @@
+open Lotto_sim
+module Counter = Lotto_stats.Window.Counter
+
+type t = {
+  th : Types.thread;
+  counter : Counter.t;
+  mutable iterations : int;
+  window : int;
+}
+
+let[@warning "-16"] spawn kernel ~name ?(cost = Time.ms 1) ?(window = Time.seconds 1)
+    ?(start_at = 0) () =
+  if cost <= 0 then invalid_arg "Spinner.spawn: cost <= 0";
+  let counter = Counter.create ~width:window in
+  (* The body only runs once the kernel does, by which time the cell is
+     filled. *)
+  let cell = ref None in
+  let th =
+    Kernel.spawn kernel ~name (fun () ->
+        let self = Option.get !cell in
+        if start_at > 0 then Api.sleep start_at;
+        while true do
+          Api.compute cost;
+          self.iterations <- self.iterations + 1;
+          Counter.bump counter ~time:(Api.now ())
+        done)
+  in
+  let t = { th; counter; iterations = 0; window } in
+  cell := Some t;
+  t
+
+let thread t = t.th
+let iterations t = t.iterations
+
+let iterations_between t ~lo ~hi =
+  let ws = Counter.windows t.counter ~upto:hi in
+  let first = lo / t.window and last = (hi / t.window) - 1 in
+  let acc = ref 0 in
+  for i = first to min last (Array.length ws - 1) do
+    acc := !acc + ws.(i)
+  done;
+  !acc
+
+let windows t ~upto = Counter.windows t.counter ~upto
+let cumulative t ~upto = Counter.cumulative t.counter ~upto
+
+let rate_per_second t ~upto =
+  Counter.rates t.counter ~upto ~per:(Time.seconds 1)

@@ -1,0 +1,29 @@
+(** Compute-bound iteration workload: our stand-in for the Dhrystone
+    benchmark used throughout the paper's evaluation (Figures 4, 5, 9 and
+    the overhead runs in §5.6). Each iteration consumes a fixed amount of
+    virtual CPU; iteration counts per time window are recorded. *)
+
+type t
+
+val spawn :
+  Lotto_sim.Kernel.t ->
+  name:string ->
+  ?cost:Lotto_sim.Time.t ->
+  ?window:Lotto_sim.Time.t ->
+  ?start_at:Lotto_sim.Time.t ->
+  unit ->
+  t
+(** [cost] is CPU per iteration (default 1 ms, ~1000 iterations/s at full
+    speed); [window] the recording bin width (default 1 s); [start_at]
+    delays the loop's start (default 0). The thread runs forever. *)
+
+val thread : t -> Lotto_sim.Types.thread
+val iterations : t -> int
+
+val iterations_between : t -> lo:Lotto_sim.Time.t -> hi:Lotto_sim.Time.t -> int
+(** Iterations completed in [\[lo, hi)], from the window recorder (window
+    boundaries must align for exact counts). *)
+
+val windows : t -> upto:Lotto_sim.Time.t -> int array
+val cumulative : t -> upto:Lotto_sim.Time.t -> int array
+val rate_per_second : t -> upto:Lotto_sim.Time.t -> float array

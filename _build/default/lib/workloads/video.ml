@@ -1,0 +1,41 @@
+open Lotto_sim
+module Counter = Lotto_stats.Window.Counter
+
+type t = {
+  th : Types.thread;
+  counter : Counter.t;
+  mutable frames : int;
+  window : int;
+}
+
+let[@warning "-16"] spawn_viewer kernel ~name ?(frame_cost = Time.ms 200)
+    ?(window = Time.seconds 1) () =
+  if frame_cost <= 0 then invalid_arg "Video.spawn_viewer: frame_cost <= 0";
+  let counter = Counter.create ~width:window in
+  let cell = ref None in
+  let th =
+    Kernel.spawn kernel ~name (fun () ->
+        let self = Option.get !cell in
+        while true do
+          Api.compute frame_cost;
+          self.frames <- self.frames + 1;
+          Counter.bump counter ~time:(Api.now ())
+        done)
+  in
+  let t = { th; counter; frames = 0; window } in
+  cell := Some t;
+  t
+
+let thread t = t.th
+let frames t = t.frames
+let cumulative t ~upto = Counter.cumulative t.counter ~upto
+
+let fps t ~lo ~hi =
+  if hi <= lo then invalid_arg "Video.fps: empty interval";
+  let ws = Counter.windows t.counter ~upto:hi in
+  let first = lo / t.window and last = (hi / t.window) - 1 in
+  let acc = ref 0 in
+  for i = first to min last (Array.length ws - 1) do
+    acc := !acc + ws.(i)
+  done;
+  float_of_int !acc /. Time.to_seconds (hi - lo)

@@ -1,0 +1,28 @@
+(** MPEG-viewer workload model (paper §5.4, Figure 8).
+
+    Each viewer decodes and displays frames in a loop; a frame costs a fixed
+    amount of CPU, so the achieved frame rate is proportional to the
+    viewer's CPU share. The paper ran three [mpeg_play] viewers on the same
+    music video with a 3:2:1 allocation changed to 3:1:2 mid-run; the
+    experiment module re-funds viewers the same way. *)
+
+type t
+
+val spawn_viewer :
+  Lotto_sim.Kernel.t ->
+  name:string ->
+  ?frame_cost:Lotto_sim.Time.t ->
+  ?window:Lotto_sim.Time.t ->
+  unit ->
+  t
+(** [frame_cost] defaults to 200 ms of CPU per frame (the paper's viewers
+    achieved a few frames per second on the shared DECStation); [window]
+    defaults to 1 s. *)
+
+val thread : t -> Lotto_sim.Types.thread
+val frames : t -> int
+val cumulative : t -> upto:Lotto_sim.Time.t -> int array
+(** Cumulative frames per window — Figure 8's series. *)
+
+val fps : t -> lo:Lotto_sim.Time.t -> hi:Lotto_sim.Time.t -> float
+(** Average frame rate over a virtual-time interval. *)

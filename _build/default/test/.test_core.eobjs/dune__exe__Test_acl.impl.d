@@ -1,0 +1,1 @@
+test/test_acl.ml: Alcotest Core List

@@ -1,0 +1,1 @@
+test/test_ctl.ml: Alcotest Core Filename List Lotto_ctl Lotto_sim Printf String Sys

@@ -1,0 +1,1 @@
+test/test_draw.ml: Alcotest Array Core Gen List Option Printf QCheck QCheck_alcotest

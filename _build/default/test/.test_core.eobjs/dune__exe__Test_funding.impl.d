@@ -1,0 +1,1 @@
+test/test_funding.ml: Alcotest Array Core Format List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Core Fun List Printf QCheck QCheck_alcotest

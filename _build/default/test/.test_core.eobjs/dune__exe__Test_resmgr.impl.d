@@ -1,0 +1,1 @@
+test/test_resmgr.ml: Alcotest Array Core Float List Printf

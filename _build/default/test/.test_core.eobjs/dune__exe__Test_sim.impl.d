@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Api Array Buffer Core Effect Format Kernel List Lottery_sched Lotto_sim Printf Queue Rng Round_robin Time Timeline Types

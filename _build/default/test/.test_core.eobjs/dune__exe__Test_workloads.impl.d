@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Api Array Core Corpus Db Float Kernel List Lottery_sched Monte_carlo Mutex_workload Printf Rng Spinner String Time Types Video

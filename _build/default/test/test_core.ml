@@ -1,0 +1,44 @@
+(* Facade sanity: the Core module re-exports the whole stack and the
+   quickstart pattern from its documentation works. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_quickstart_pattern () =
+  let rng = Core.Rng.create ~seed:42 () in
+  let ls = Core.Lottery_sched.create ~rng () in
+  let kernel = Core.Kernel.create ~sched:(Core.Lottery_sched.sched ls) () in
+  let worker name =
+    Core.Kernel.spawn kernel ~name (fun () ->
+        while true do
+          Core.Api.compute (Core.Time.ms 1)
+        done)
+  in
+  let a = worker "a" and b = worker "b" in
+  let base = Core.Lottery_sched.base_currency ls in
+  ignore (Core.Lottery_sched.fund_thread ls a ~amount:200 ~from:base);
+  ignore (Core.Lottery_sched.fund_thread ls b ~amount:100 ~from:base);
+  ignore (Core.Kernel.run kernel ~until:(Core.Time.seconds 60));
+  let ratio =
+    float_of_int (Core.Kernel.cpu_time a) /. float_of_int (Core.Kernel.cpu_time b)
+  in
+  checkb (Printf.sprintf "doc example 2:1 (got %.2f)" ratio) true
+    (ratio > 1.5 && ratio < 2.7)
+
+let test_reexports_coherent () =
+  checki "park-miller modulus" 2147483647 Core.Park_miller.modulus;
+  checki "time seconds" 1_000_000 (Core.Time.seconds 1);
+  let sys = Core.Funding.create_system () in
+  checkb "base currency" true (Core.Funding.is_base (Core.Funding.base sys));
+  let t = Core.Tree_lottery.create () in
+  checki "tree empty" 0 (Core.Tree_lottery.size t)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "doc quickstart works" `Quick test_quickstart_pattern;
+          Alcotest.test_case "re-exports coherent" `Quick test_reexports_coherent;
+        ] );
+    ]

@@ -1,0 +1,348 @@
+(* Integration tests: scaled-down runs of every paper experiment, asserting
+   the qualitative shape the paper reports (who wins, by roughly what
+   factor, where the behaviour changes). Durations are reduced; tolerances
+   widened accordingly. *)
+
+open Lotto_exp
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let close ?(tol = 0.25) msg expected actual =
+  if Float.is_nan actual || abs_float (actual -. expected) > tol *. expected then
+    Alcotest.failf "%s: expected ~%.3f (±%.0f%%), got %.3f" msg expected
+      (100. *. tol) actual
+
+let test_fig4 () =
+  let t = Fig4.run ~seed:41 ~duration:(Lotto_sim.Time.seconds 60) ~runs_per_ratio:2 ~max_ratio:7 () in
+  checki "runs recorded" 14 (Array.length t.runs);
+  Array.iter
+    (fun (r : Fig4.run) ->
+      close ~tol:0.35
+        (Printf.sprintf "ratio %d" r.allocated)
+        (float_of_int r.allocated) r.observed)
+    t.runs;
+  (* accuracy is good overall: worst relative error across runs *)
+  checkb "max error under 35%" true (Fig4.max_relative_error t < 0.35);
+  close ~tol:0.2 "20:1 run lands near 20" 20. t.twenty_to_one;
+  close ~tol:0.12 "regression slope near 1" 1. t.Fig4.slope
+
+let test_fig5 () =
+  let t = Fig5.run ~seed:52 ~duration:(Lotto_sim.Time.seconds 160) () in
+  close ~tol:0.12 "overall 2:1" 2. t.overall_ratio;
+  let ratios = Fig5.window_ratios t in
+  checki "20 windows" 20 (Array.length ratios);
+  (* every window stays within a loose band around 2:1 — the paper's "close
+     to allocated throughout" *)
+  Array.iter
+    (fun r -> checkb (Printf.sprintf "window ratio %.2f in [1,4]" r) true (r > 1. && r < 4.))
+    ratios
+
+let test_fig6 () =
+  let t =
+    Fig6.run ~seed:63 ~duration:(Lotto_sim.Time.seconds 300)
+      ~stagger:(Lotto_sim.Time.seconds 60) ()
+  in
+  checki "three tasks" 3 (Array.length t.tasks);
+  (* all three estimate pi/4 *)
+  Array.iter
+    (fun (task : Fig6.task_result) ->
+      close ~tol:0.01 (task.name ^ " estimates pi/4") (Float.pi /. 4.)
+        task.final_estimate)
+    t.tasks;
+  (* later tasks catch up: final totals within 40% of each other *)
+  checkb
+    (Printf.sprintf "converged (spread %.2f)" (Fig6.convergence_spread t))
+    true
+    (Fig6.convergence_spread t < 0.4);
+  (* staggered starts show in the series: mc3 has nothing before its start *)
+  let mc3 = t.tasks.(2) in
+  let start_window = mc3.start_at / t.window in
+  checkb "mc3 idle before start" true
+    (Array.for_all (fun c -> c = 0)
+       (Array.sub mc3.cumulative 0 (min start_window (Array.length mc3.cumulative))))
+
+let test_fig7 () =
+  let t =
+    Fig7.run ~seed:74 ~duration:(Lotto_sim.Time.seconds 400)
+      ~query_cost:(Lotto_sim.Time.seconds 4) ()
+  in
+  let a = t.clients.(0) and b = t.clients.(1) and c = t.clients.(2) in
+  checki "A completed its 20 queries" 20 a.completions;
+  checkb "A exited while B and C continued" true
+    (b.completions + c.completions > 20);
+  (* throughputs track 3:1 for the always-on clients *)
+  close ~tol:0.35 "B:C throughput 3:1" 3.
+    (float_of_int b.completions /. float_of_int c.completions);
+  (* contended-phase response times order as 8 : 3 : 1 allocations invert *)
+  checkb "A fastest" true
+    (t.phase1_responses.(0) < t.phase1_responses.(1)
+    && t.phase1_responses.(1) < t.phase1_responses.(2));
+  close ~tol:0.5 "C/A response ratio near 8" 8.
+    (t.phase1_responses.(2) /. t.phase1_responses.(0));
+  (* every query returned the corpus's true count *)
+  Array.iter
+    (fun (cl : Fig7.client_result) ->
+      Alcotest.check (Alcotest.option Alcotest.int)
+        (cl.name ^ " counted the needle") (Some 8) cl.last_result)
+    t.clients
+
+let test_fig8 () =
+  let t = Fig8.run ~seed:85 ~duration:(Lotto_sim.Time.seconds 200) () in
+  let a_c, b_c = t.ratios_before in
+  close ~tol:0.25 "A:C before" 3. a_c;
+  close ~tol:0.25 "B:C before" 2. b_c;
+  let a_b, c_b = t.ratios_after in
+  close ~tol:0.25 "A:B after" 3. a_b;
+  close ~tol:0.25 "C:B after" 2. c_b;
+  (* B and C actually swapped rates at the switch *)
+  checkb "B slowed down" true (t.viewers.(1).fps_after < t.viewers.(1).fps_before);
+  checkb "C sped up" true (t.viewers.(2).fps_after > t.viewers.(2).fps_before)
+
+let test_fig9 () =
+  let t = Fig9.run ~seed:96 ~duration:(Lotto_sim.Time.seconds 240) () in
+  close ~tol:0.1 "A aggregate unchanged" 1. t.a_aggregate_ratio;
+  close ~tol:0.2 "B1 halves" 0.5 t.b1_drop;
+  close ~tol:0.2 "B2 halves" 0.5 t.b2_drop;
+  close ~tol:0.1 "A:B stays 1:1" 1. t.a_over_b_after;
+  (* B3 only runs in the second half *)
+  checkb "B3 idle first half" true (t.tasks.(4).rate_before = 0.);
+  checkb "B3 runs second half" true (t.tasks.(4).rate_after > 0.)
+
+let test_fig11 () =
+  let t = Fig11.run ~seed:117 ~duration:(Lotto_sim.Time.seconds 120) () in
+  close ~tol:0.35 "acquisitions ~2:1 (paper 1.80)" 2. t.acquisition_ratio;
+  close ~tol:0.35 "waits ~1:2 (paper 2.11)" 2. t.wait_ratio;
+  checkb "histograms populated" true
+    (Core.Histogram.total t.group_a.histogram > 0
+    && Core.Histogram.total t.group_b.histogram > 0);
+  (* group A's typical wait is shorter: its histogram mode sits lower *)
+  checkb "A's mode at or below B's" true
+    (Core.Histogram.mode t.group_a.histogram <= Core.Histogram.mode t.group_b.histogram)
+
+let test_compensation () =
+  let t = Compensation.run ~seed:145 ~duration:(Lotto_sim.Time.seconds 120) () in
+  close ~tol:0.15 "with compensation 1:1" 1. t.with_compensation;
+  close ~tol:0.2 "without compensation 5:1" 5. t.without_compensation
+
+let test_overhead () =
+  let t = Overhead.run ~seed:156 ~duration:(Lotto_sim.Time.seconds 30) () in
+  checki "5 schedulers x 2 task counts" 10 (Array.length t.rows);
+  Array.iter
+    (fun (r : Overhead.row) ->
+      checkb (r.scheduler ^ " kept the cpu busy") true
+        (r.virtual_cpu_total = Lotto_sim.Time.seconds 30);
+      checkb (r.scheduler ^ " made decisions") true (r.decisions > 0);
+      checkb
+        (Printf.sprintf "%s per-decision cost sane (%.0fns)" r.scheduler
+           r.host_ns_per_decision)
+        true
+        (r.host_ns_per_decision >= 0. && r.host_ns_per_decision < 1e7))
+    t.rows
+
+let test_mem () =
+  let t = Mem.run ~seed:162 ~steps:150_000 () in
+  checki "three policies" 3 (Array.length t.results);
+  (match Mem.inverse_residents t with
+  | [| gold; silver; bronze |] ->
+      checkb "ordered by tickets" true (gold > silver && silver > bronze)
+  | _ -> Alcotest.fail "three clients");
+  (* ticket-blind policies split evenly *)
+  Array.iter
+    (fun (r : Mem.policy_result) ->
+      if r.policy <> "inverse-lottery" then begin
+        let res = Array.map (fun (c : Mem.client_row) -> c.resident) r.clients in
+        checkb (r.policy ^ " even") true
+          (abs (res.(0) - res.(2)) * 100 < 20 * max res.(0) res.(2))
+      end)
+    t.results
+
+let test_io () =
+  let t = Io.run ~seed:177 ~slots_per_phase:30_000 () in
+  let share phase i = phase.(i).Io.share in
+  close ~tol:0.05 "phase1 video 1/2" 0.5 (share t.phase1 0);
+  close ~tol:0.05 "phase1 backup 1/3" (1. /. 3.) (share t.phase1 1);
+  close ~tol:0.08 "phase1 log 1/6" (1. /. 6.) (share t.phase1 2);
+  close ~tol:0.05 "phase2 video 3/4" 0.75 (share t.phase2 0);
+  checki "phase2 backup idle" 0 t.phase2.(1).Io.served;
+  close ~tol:0.05 "phase2 log 1/4" 0.25 (share t.phase2 2)
+
+let test_disk_exp () =
+  let t = Disk_exp.run ~seed:71 ~duration:20_000_000 () in
+  (match Disk_exp.lottery_shares t with
+  | [| g; s; b |] ->
+      close ~tol:0.15 "gold half" 0.5 g;
+      close ~tol:0.15 "silver third" (1. /. 3.) s;
+      close ~tol:0.2 "bronze sixth" (1. /. 6.) b
+  | _ -> Alcotest.fail "three clients");
+  (* sstf throughput beats fcfs; lottery sits in between or near sstf *)
+  let tp name =
+    (Array.to_list t.results |> List.find (fun (r : Disk_exp.policy_result) -> r.policy = name))
+      .throughput
+  in
+  checkb "sstf fastest" true (tp "sstf" > tp "lottery" && tp "lottery" > tp "fcfs")
+
+let test_switch_exp () =
+  let t = Switch_exp.run ~seed:91 ~slots:100_000 () in
+  close ~tol:0.1 "gold half" 0.5 t.congested.(0).Switch_exp.share;
+  close ~tol:0.1 "silver third" (1. /. 3.) t.congested.(1).Switch_exp.share;
+  close ~tol:0.15 "bronze sixth" (1. /. 6.) t.congested.(2).Switch_exp.share;
+  checkb "delay orders inversely with tickets" true
+    (t.congested.(0).Switch_exp.mean_delay < t.congested.(1).Switch_exp.mean_delay
+    && t.congested.(1).Switch_exp.mean_delay < t.congested.(2).Switch_exp.mean_delay);
+  checki "uncongested circuit drops nothing" 0 t.uncongested.Switch_exp.dropped
+
+let test_quantum_ablation () =
+  let t = Ablation_quantum.run ~seed:25 ~duration:(Lotto_sim.Time.seconds 80) () in
+  let err ms =
+    (Array.to_list t.rows
+    |> List.find (fun (r : Ablation_quantum.row) -> r.quantum_ms = ms))
+      .mean_abs_error
+  in
+  checkb "10ms at least 2x tighter than 200ms" true (2. *. err 10 < err 200);
+  Array.iter
+    (fun (r : Ablation_quantum.row) ->
+      checkb
+        (Printf.sprintf "q=%dms error %.3f within 3x of binomial %.3f" r.quantum_ms
+           r.mean_abs_error r.predicted_error)
+        true
+        (r.mean_abs_error < 3. *. r.predicted_error))
+    t.rows
+
+let test_variance_ablation () =
+  let t = Ablation_variance.run ~seed:34 ~duration:(Lotto_sim.Time.seconds 120) () in
+  close ~tol:0.05 "lottery mean share" (2. /. 3.) t.lottery.Ablation_variance.mean_share;
+  close ~tol:0.05 "stride mean share" (2. /. 3.) t.stride.Ablation_variance.mean_share;
+  checkb "stride variance far below lottery" true
+    (3. *. t.stride.Ablation_variance.share_stddev
+    < t.lottery.Ablation_variance.share_stddev)
+
+let test_mc_ablation () =
+  let t = Ablation_mc.run ~seed:67 ~duration:(Lotto_sim.Time.seconds 160) () in
+  let catch e =
+    (Array.to_list t.rows |> List.find (fun (r : Ablation_mc.row) -> r.exponent = e))
+      .catch_up
+  in
+  (* footnote 6: higher exponents converge faster *)
+  checkb
+    (Printf.sprintf "monotone: %.3f < %.3f < %.3f" (catch 1.) (catch 2.) (catch 3.))
+    true
+    (catch 1. < catch 2. && catch 2. < catch 3.)
+
+let test_search_length () =
+  let t = Search_length.run ~seed:43 ~draws:2_000 () in
+  Array.iter
+    (fun (r : Search_length.row) ->
+      checkb
+        (Printf.sprintf "n=%d: mtf (%.1f) beats unordered (%.1f)" r.clients
+           r.move_to_front r.unordered)
+        true
+        (r.move_to_front < r.unordered);
+      checkb
+        (Printf.sprintf "n=%d: sorted (%.1f) beats mtf (%.1f)" r.clients
+           r.by_weight r.move_to_front)
+        true
+        (r.by_weight <= r.move_to_front);
+      checkb "tree depth is lg n" true
+        (r.tree_depth = Float.round (log (float_of_int r.clients) /. log 2.)))
+    t.rows;
+  (* the gap widens with client count *)
+  let first = t.rows.(0) and last = t.rows.(Array.length t.rows - 1) in
+  checkb "savings grow with n" true
+    (last.Search_length.unordered /. last.Search_length.by_weight
+    > first.Search_length.unordered /. first.Search_length.by_weight)
+
+let test_csv_exports () =
+  (* quoting *)
+  Alcotest.check Alcotest.string "quoting"
+    "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+    (Common.csv ~header:[ "a"; "b" ] [ [ "x,y"; "he said \"hi\"" ] ]);
+  (* a representative exporter: header + one line per run *)
+  let t = Fig5.run ~seed:77 ~duration:(Lotto_sim.Time.seconds 24) () in
+  let csv = Fig5.to_csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  checki "header plus 3 windows" 4 (List.length lines);
+  checkb "header names columns" true
+    (List.hd lines = "window_start_s,a_iter_per_s,b_iter_per_s,ratio");
+  let v = Ablation_variance.run ~seed:3 ~duration:(Lotto_sim.Time.seconds 20) () in
+  checkb "variance csv mentions stride" true
+    (Core.Corpus.count_substring ~haystack:(Ablation_variance.to_csv v) ~needle:"stride" > 0)
+
+let test_experiments_deterministic () =
+  (* identical seeds must reproduce identical results end to end *)
+  let a = Fig5.run ~seed:99 ~duration:(Lotto_sim.Time.seconds 40) () in
+  let b = Fig5.run ~seed:99 ~duration:(Lotto_sim.Time.seconds 40) () in
+  Alcotest.check (Alcotest.array (Alcotest.float 0.)) "fig5 windows identical"
+    a.Fig5.rates_a b.Fig5.rates_a;
+  let c = Fig11.run ~seed:99 ~duration:(Lotto_sim.Time.seconds 30) () in
+  let d = Fig11.run ~seed:99 ~duration:(Lotto_sim.Time.seconds 30) () in
+  checki "fig11 acquisitions identical" c.Fig11.group_a.Fig11.acquisitions
+    d.Fig11.group_a.Fig11.acquisitions
+
+let test_disk_service_exp () =
+  let t = Disk_service_exp.run ~seed:81 ~duration:(Lotto_sim.Time.seconds 60) () in
+  (* disk shares order by disk tickets and the spread is material *)
+  let shares = Array.map (fun r -> r.Disk_service_exp.share) t.phase1 in
+  checkb "ordered by disk tickets" true (shares.(0) > shares.(1) && shares.(1) > shares.(2));
+  checkb "material spread" true (shares.(0) > 2. *. shares.(2));
+  (* resource independence: disk tickets trump a 10x CPU advantage *)
+  checkb
+    (Printf.sprintf "disk-rich beats cpu-rich (%d vs %d)" t.disk_rich_reads
+       t.cpu_rich_reads)
+    true
+    (t.disk_rich_reads > 3 * t.cpu_rich_reads)
+
+let test_manager_exp () =
+  let t = Manager_exp.run ~seed:64 ~epochs:150 () in
+  checkb
+    (Printf.sprintf "manager beats static (%d vs %d)" t.managed.Manager_exp.total_work
+       t.static.Manager_exp.total_work)
+    true
+    (float_of_int t.managed.Manager_exp.total_work
+    > 1.2 *. float_of_int t.static.Manager_exp.total_work);
+  (* each app's split drifted toward its bottleneck *)
+  let crunch = t.managed.Manager_exp.apps.(0) and slurp = t.managed.Manager_exp.apps.(1) in
+  checkb "compute-heavy app holds more cpu tickets" true
+    (crunch.Manager_exp.final_cpu_tickets > crunch.Manager_exp.final_io_tickets);
+  checkb "io-heavy app holds more io tickets" true
+    (slurp.Manager_exp.final_io_tickets > slurp.Manager_exp.final_cpu_tickets)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "figures",
+        [
+          Alcotest.test_case "fig4 relative rate accuracy" `Slow test_fig4;
+          Alcotest.test_case "fig5 fairness over time" `Quick test_fig5;
+          Alcotest.test_case "fig6 monte-carlo inflation" `Slow test_fig6;
+          Alcotest.test_case "fig7 client-server transfers" `Slow test_fig7;
+          Alcotest.test_case "fig8 video rate control" `Quick test_fig8;
+          Alcotest.test_case "fig9 load insulation" `Quick test_fig9;
+          Alcotest.test_case "fig11 lottery mutex" `Quick test_fig11;
+        ] );
+      ( "sections",
+        [
+          Alcotest.test_case "sec 4.5 compensation" `Quick test_compensation;
+          Alcotest.test_case "sec 5.6 overhead" `Slow test_overhead;
+          Alcotest.test_case "sec 6.2 inverse memory" `Slow test_mem;
+          Alcotest.test_case "sec 6 io bandwidth" `Quick test_io;
+          Alcotest.test_case "sec 6 disk bandwidth" `Slow test_disk_exp;
+          Alcotest.test_case "sec 6 virtual circuits" `Slow test_switch_exp;
+        ] );
+      ( "csv",
+        [ Alcotest.test_case "exporters and quoting" `Quick test_csv_exports ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed reproduces results" `Quick
+            test_experiments_deterministic;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "sec 4.2 search lengths" `Quick test_search_length;
+          Alcotest.test_case "quantum size vs fairness" `Slow test_quantum_ablation;
+          Alcotest.test_case "lottery vs stride variance" `Quick test_variance_ablation;
+          Alcotest.test_case "mc funding exponent" `Slow test_mc_ablation;
+          Alcotest.test_case "sec 6.3 manager threads" `Quick test_manager_exp;
+          Alcotest.test_case "sec 6 in-kernel disk service" `Slow test_disk_service_exp;
+        ] );
+    ]

@@ -1,0 +1,442 @@
+(* Space-shared resource managers: inverse-lottery memory and lottery I/O
+   bandwidth. *)
+
+module Im = Core.Inverse_memory
+module Io = Core.Io_bandwidth
+module Rng = Core.Rng
+module Chi = Core.Chi_square
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let rng seed = Rng.create ~algo:Splitmix64 ~seed ()
+
+(* --- inverse memory ------------------------------------------------------------ *)
+
+let test_no_eviction_until_full () =
+  let pool = Im.create ~frames:10 ~rng:(rng 1) () in
+  let c = Im.add_client pool ~name:"c" ~tickets:1 ~working_set:5 in
+  for p = 0 to 4 do
+    (match Im.access pool c p with
+    | `Fault -> ()
+    | `Hit -> Alcotest.fail "first touch must fault");
+    ()
+  done;
+  checki "resident" 5 (Im.resident pool c);
+  checki "free frames" 5 (Im.frames_free pool);
+  checki "no evictions" 0 (Im.evictions_suffered pool c);
+  (* second pass: all hits *)
+  for p = 0 to 4 do
+    match Im.access pool c p with
+    | `Hit -> ()
+    | `Fault -> Alcotest.fail "resident page must hit"
+  done;
+  checki "faults counted once" 5 (Im.faults pool c);
+  checki "accesses counted" 10 (Im.accesses pool c)
+
+let test_eviction_under_pressure () =
+  let pool = Im.create ~frames:4 ~rng:(rng 2) () in
+  let a = Im.add_client pool ~name:"a" ~tickets:1 ~working_set:8 in
+  for p = 0 to 7 do
+    ignore (Im.access pool a p)
+  done;
+  checki "capped at frames" 4 (Im.resident pool a);
+  checki "free" 0 (Im.frames_free pool);
+  checki "evictions" 4 (Im.evictions_suffered pool a)
+
+let test_lru_within_victim () =
+  (* LRU policy evicts the globally oldest page *)
+  let pool = Im.create ~policy:Im.Global_lru ~frames:3 ~rng:(rng 3) () in
+  let c = Im.add_client pool ~name:"c" ~tickets:1 ~working_set:4 in
+  ignore (Im.access pool c 0);
+  ignore (Im.access pool c 1);
+  ignore (Im.access pool c 2);
+  (* refresh page 0 so page 1 is oldest *)
+  ignore (Im.access pool c 0);
+  ignore (Im.access pool c 3);
+  (* page 1 was evicted: touching it faults, touching 0 hits *)
+  checkb "page 0 still resident" true (Im.access pool c 0 = `Hit);
+  checkb "page 1 evicted" true (Im.access pool c 1 = `Fault)
+
+let steady_state ?(seed = 4) ~allocations policy =
+  let pool = Im.create ~policy ~frames:120 ~rng:(rng seed) () in
+  let clients =
+    List.map
+      (fun (name, tickets) -> Im.add_client pool ~name ~tickets ~working_set:160)
+      allocations
+  in
+  (* settle, then average residency over several snapshots to damp the
+     random-victim fluctuations (resident counts wander by ~sqrt(frames)) *)
+  Im.simulate pool ~steps:60_000;
+  let sums = Array.make (List.length clients) 0 in
+  let snapshots = 10 in
+  for _ = 1 to snapshots do
+    Im.simulate pool ~steps:6_000;
+    List.iteri (fun i c -> sums.(i) <- sums.(i) + Im.resident pool c) clients
+  done;
+  Array.to_list (Array.map (fun s -> s / snapshots) sums)
+
+let test_inverse_orders_by_tickets () =
+  (* a pronounced 18:5:1 allocation makes the inverse weights (1 - t/T)
+     clearly distinct: 0.25 vs 0.79 vs 0.96 *)
+  match
+    steady_state ~allocations:[ ("gold", 900); ("silver", 250); ("bronze", 50) ]
+      Im.Inverse_lottery
+  with
+  | [ gold; silver; bronze ] ->
+      checkb
+        (Printf.sprintf "residency ordered %d > %d > %d" gold silver bronze)
+        true
+        (gold > silver && silver > bronze);
+      checkb "spread is material" true (float_of_int gold > 1.8 *. float_of_int bronze)
+  | _ -> Alcotest.fail "three clients expected"
+
+let test_ticket_blind_policies_split_evenly () =
+  List.iter
+    (fun policy ->
+      match
+        steady_state ~allocations:[ ("gold", 900); ("silver", 250); ("bronze", 50) ]
+          policy
+      with
+      | [ gold; _silver; bronze ] ->
+          checkb "even within 25% despite skewed tickets" true
+            (abs (gold - bronze) * 100 < 25 * max gold bronze)
+      | _ -> Alcotest.fail "three clients expected")
+    [ Im.Global_lru; Im.Global_random ]
+
+let test_set_tickets_shifts_residency () =
+  let pool = Im.create ~frames:100 ~rng:(rng 5) () in
+  let a = Im.add_client pool ~name:"a" ~tickets:100 ~working_set:150 in
+  let b = Im.add_client pool ~name:"b" ~tickets:100 ~working_set:150 in
+  Im.simulate pool ~steps:40_000;
+  Im.set_tickets pool b 1000;
+  Im.simulate pool ~steps:80_000;
+  checkb "b's residency outgrows a's after inflation" true
+    (Im.resident pool b > Im.resident pool a)
+
+let test_memory_validation () =
+  Alcotest.check_raises "frames" (Invalid_argument "Inverse_memory.create: frames <= 0")
+    (fun () -> ignore (Im.create ~frames:0 ~rng:(rng 6) ()));
+  let pool = Im.create ~frames:2 ~rng:(rng 7) () in
+  let c = Im.add_client pool ~name:"c" ~tickets:1 ~working_set:2 in
+  Alcotest.check_raises "page range"
+    (Invalid_argument "Inverse_memory.access: page outside working set") (fun () ->
+      ignore (Im.access pool c 2));
+  Alcotest.check_raises "no clients" (Invalid_argument "Inverse_memory.simulate: no clients")
+    (fun () ->
+      Im.simulate (Im.create ~frames:2 ~rng:(rng 8) ()) ~steps:1)
+
+let test_single_over_provisioned_client_still_evicts () =
+  (* t_i = T makes the paper's weight zero; the occupancy floor must keep
+     the pool functional *)
+  let pool = Im.create ~frames:2 ~rng:(rng 9) () in
+  let c = Im.add_client pool ~name:"only" ~tickets:50 ~working_set:5 in
+  for i = 0 to 4 do
+    ignore (Im.access pool c i)
+  done;
+  checki "still capped" 2 (Im.resident pool c)
+
+let test_zipf_locality_raises_hit_rate () =
+  let run pattern =
+    let pool = Im.create ~frames:50 ~rng:(rng 40) () in
+    let c = Im.add_client pool ~name:"c" ~tickets:1 ~working_set:500 in
+    Im.simulate ~pattern pool ~steps:50_000;
+    1. -. (float_of_int (Im.faults pool c) /. float_of_int (Im.accesses pool c))
+  in
+  let uniform = run Im.Uniform and zipf = run (Im.Zipf 1.0) in
+  checkb
+    (Printf.sprintf "zipf hit rate %.2f well above uniform %.2f" zipf uniform)
+    true
+    (zipf > uniform +. 0.2);
+  (* uniform hit rate roughly frames/working_set = 10% *)
+  checkb "uniform hit rate sane" true (uniform > 0.05 && uniform < 0.2)
+
+let test_zipf_validation () =
+  let pool = Im.create ~frames:2 ~rng:(rng 41) () in
+  ignore (Im.add_client pool ~name:"c" ~tickets:1 ~working_set:4);
+  checkb "zipf s must be positive" true
+    (match Im.simulate ~pattern:(Im.Zipf 0.) pool ~steps:1 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- disk --------------------------------------------------------------------------- *)
+
+module Disk = Core.Disk
+
+let test_disk_service_time_math () =
+  let disk = Disk.create ~policy:Disk.Fcfs ~seek_cost:10 ~transfer_cost:2000 ~rng:(rng 20) () in
+  let c = Disk.add_client disk ~name:"c" ~tickets:1 in
+  Disk.submit disk c ~cylinder:100;
+  Disk.submit disk c ~cylinder:50;
+  checkb "first request served" true (Disk.serve_one disk <> None);
+  (* head 0 -> 100: 100*10 + 2000 *)
+  checki "clock after seek+transfer" 3000 (Disk.now disk);
+  checki "head moved" 100 (Disk.head_position disk);
+  ignore (Disk.serve_one disk);
+  (* 100 -> 50: 50*10 + 2000 *)
+  checki "clock accumulates" 5500 (Disk.now disk);
+  checki "seek distance" 150 (Disk.total_seek_distance disk);
+  checkb "idle when drained" true (Disk.serve_one disk = None)
+
+let test_disk_sstf_picks_nearest () =
+  let disk = Disk.create ~policy:Disk.Sstf ~rng:(rng 21) () in
+  let c = Disk.add_client disk ~name:"c" ~tickets:1 in
+  Disk.submit disk c ~cylinder:900;
+  Disk.submit disk c ~cylinder:10;
+  Disk.submit disk c ~cylinder:500;
+  ignore (Disk.serve_one disk);
+  checki "nearest first (head at 0)" 10 (Disk.head_position disk);
+  ignore (Disk.serve_one disk);
+  checki "then 500" 500 (Disk.head_position disk);
+  ignore (Disk.serve_one disk);
+  checki "then 900" 900 (Disk.head_position disk)
+
+let test_disk_fcfs_order () =
+  let disk = Disk.create ~policy:Disk.Fcfs ~rng:(rng 22) () in
+  let a = Disk.add_client disk ~name:"a" ~tickets:1 in
+  let b = Disk.add_client disk ~name:"b" ~tickets:100 in
+  Disk.submit disk a ~cylinder:900;
+  Disk.submit disk b ~cylinder:10;
+  (* fcfs ignores both tickets and seek distance *)
+  (match Disk.serve_one disk with
+  | Some winner -> Alcotest.check Alcotest.string "oldest first" "a" (Disk.client_name winner)
+  | None -> Alcotest.fail "no service");
+  checki "head at 900" 900 (Disk.head_position disk)
+
+let test_disk_lottery_proportional () =
+  let disk = Disk.create ~policy:Disk.Lottery ~rng:(rng 23) () in
+  let wl = rng 24 in
+  let a = Disk.add_client disk ~name:"a" ~tickets:3 in
+  let b = Disk.add_client disk ~name:"b" ~tickets:1 in
+  let refill () =
+    List.iter
+      (fun c ->
+        while Disk.pending disk c < 8 do
+          Disk.submit disk c ~cylinder:(Rng.int_below wl 1000)
+        done)
+      [ a; b ]
+  in
+  for _ = 1 to 8_000 do
+    refill ();
+    ignore (Disk.serve_one disk)
+  done;
+  let observed = [| Disk.served disk a; Disk.served disk b |] in
+  checkb "3:1 by chi-square" true
+    (Chi.goodness_of_fit ~observed ~weights:[| 3.; 1. |] ())
+
+let test_disk_no_starvation_under_lottery () =
+  (* SSTF starves a far-away request while near traffic persists; the
+     lottery does not *)
+  let run policy =
+    let disk = Disk.create ~policy ~rng:(rng 25) () in
+    let near = Disk.add_client disk ~name:"near" ~tickets:1 in
+    let far = Disk.add_client disk ~name:"far" ~tickets:1 in
+    Disk.submit disk far ~cylinder:999;
+    for _ = 1 to 500 do
+      Disk.submit disk near ~cylinder:1;
+      ignore (Disk.serve_one disk)
+    done;
+    Disk.served disk far
+  in
+  checki "sstf starves the far request" 0 (run Disk.Sstf);
+  checkb "lottery serves it" true (run Disk.Lottery > 0)
+
+let test_disk_validation () =
+  let disk = Disk.create ~rng:(rng 26) () in
+  let c = Disk.add_client disk ~name:"c" ~tickets:1 in
+  Alcotest.check_raises "cylinder range" (Invalid_argument "Disk.submit: cylinder out of range")
+    (fun () -> Disk.submit disk c ~cylinder:1000);
+  checkb "negative tickets" true
+    (match Disk.add_client disk ~name:"x" ~tickets:(-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "mean latency nan before service" true (Float.is_nan (Disk.mean_latency disk c))
+
+(* --- switch ------------------------------------------------------------------------- *)
+
+module Sw = Core.Switch
+
+let test_switch_uncongested_delivers_everything () =
+  let sw = Sw.create ~ports:1 ~rng:(rng 30) () in
+  let c = Sw.add_circuit sw ~name:"c" ~output_port:0 ~tickets:1 ~rate:0.4 in
+  Sw.step sw ~slots:20_000;
+  checki "no drops" 0 (Sw.dropped sw c);
+  checkb "delivered matches arrivals (~0.4/slot)" true
+    (abs (Sw.delivered sw c + Sw.backlog sw c - 8000) < 400);
+  checkb "tiny delay" true (Sw.mean_delay sw c < 2.)
+
+let test_switch_congested_shares () =
+  let sw = Sw.create ~ports:1 ~rng:(rng 31) () in
+  let a = Sw.add_circuit sw ~name:"a" ~output_port:0 ~tickets:3 ~rate:0.8 in
+  let b = Sw.add_circuit sw ~name:"b" ~output_port:0 ~tickets:1 ~rate:0.8 in
+  Sw.step sw ~slots:30_000;
+  let observed = [| Sw.delivered sw a; Sw.delivered sw b |] in
+  checkb "3:1 delivered (chi-square)" true
+    (Chi.goodness_of_fit ~observed ~weights:[| 3.; 1. |] ());
+  checkb "port saturated" true (Sw.port_utilization sw 0 > 0.99);
+  checkb "poor circuit drops more" true (Sw.dropped sw b > Sw.dropped sw a);
+  checkb "poor circuit waits longer" true (Sw.mean_delay sw b > Sw.mean_delay sw a)
+
+let test_switch_ports_independent () =
+  let sw = Sw.create ~ports:2 ~rng:(rng 32) () in
+  let hog = Sw.add_circuit sw ~name:"hog" ~output_port:0 ~tickets:1000 ~rate:1.0 in
+  let quiet = Sw.add_circuit sw ~name:"quiet" ~output_port:1 ~tickets:1 ~rate:0.2 in
+  Sw.step sw ~slots:10_000;
+  ignore hog;
+  checki "no drops on the quiet port" 0 (Sw.dropped sw quiet);
+  checkb "quiet circuit unaffected" true (Sw.mean_delay sw quiet < 2.)
+
+let test_switch_buffer_capacity () =
+  let sw = Sw.create ~ports:1 ~buffer_capacity:4 ~rng:(rng 33) () in
+  let starved = Sw.add_circuit sw ~name:"starved" ~output_port:0 ~tickets:0 ~rate:1.0 in
+  let winner = Sw.add_circuit sw ~name:"winner" ~output_port:0 ~tickets:10 ~rate:1.0 in
+  Sw.step sw ~slots:1_000;
+  ignore winner;
+  checkb "backlog capped" true (Sw.backlog sw starved <= 4);
+  checkb "overflow counted" true (Sw.dropped sw starved > 900)
+
+let test_switch_validation () =
+  let sw = Sw.create ~ports:2 ~rng:(rng 34) () in
+  checkb "port range" true
+    (match Sw.add_circuit sw ~name:"x" ~output_port:2 ~tickets:1 ~rate:0.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "rate range" true
+    (match Sw.add_circuit sw ~name:"x" ~output_port:0 ~tickets:1 ~rate:1.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- io bandwidth ------------------------------------------------------------------ *)
+
+let test_io_proportional_shares () =
+  let dev = Io.create ~rng:(rng 10) () in
+  let a = Io.add_client dev ~name:"a" ~tickets:3 in
+  let b = Io.add_client dev ~name:"b" ~tickets:2 in
+  let c = Io.add_client dev ~name:"c" ~tickets:1 in
+  List.iter (fun cl -> Io.submit dev cl ~requests:50_000) [ a; b; c ];
+  Io.serve dev ~slots:30_000;
+  checki "all slots served" 30_000 (Io.total_served dev);
+  let observed = [| Io.served dev a; Io.served dev b; Io.served dev c |] in
+  checkb "3:2:1 by chi-square" true
+    (Chi.goodness_of_fit ~observed ~weights:[| 3.; 2.; 1. |] ())
+
+let test_io_idle_client_share_redistributes () =
+  let dev = Io.create ~rng:(rng 11) () in
+  let a = Io.add_client dev ~name:"a" ~tickets:3 in
+  let b = Io.add_client dev ~name:"b" ~tickets:2 in
+  let c = Io.add_client dev ~name:"c" ~tickets:1 in
+  (* b has nothing queued: a and c split 3:1 *)
+  Io.submit dev a ~requests:40_000;
+  Io.submit dev c ~requests:40_000;
+  ignore b;
+  Io.serve dev ~slots:20_000;
+  let observed = [| Io.served dev a; Io.served dev c |] in
+  checkb "3:1 between backlogged clients" true
+    (Chi.goodness_of_fit ~observed ~weights:[| 3.; 1. |] ())
+
+let test_io_drains_and_idles () =
+  let dev = Io.create ~rng:(rng 12) () in
+  let a = Io.add_client dev ~name:"a" ~tickets:1 in
+  Io.submit dev a ~requests:5;
+  Io.serve dev ~slots:100;
+  checki "only queued requests served" 5 (Io.served dev a);
+  checki "queue empty" 0 (Io.pending dev a);
+  checkb "device idle" true (Io.serve_slot dev = None)
+
+let test_io_cancel_pending () =
+  let dev = Io.create ~rng:(rng 13) () in
+  let a = Io.add_client dev ~name:"a" ~tickets:1 in
+  Io.submit dev a ~requests:10;
+  Io.cancel_pending dev a;
+  checki "cancelled" 0 (Io.pending dev a);
+  checkb "nothing to serve" true (Io.serve_slot dev = None)
+
+let test_io_zero_ticket_backlog_served_fifo () =
+  let dev = Io.create ~rng:(rng 14) () in
+  let a = Io.add_client dev ~name:"a" ~tickets:0 in
+  Io.submit dev a ~requests:3;
+  Io.serve dev ~slots:10;
+  checki "unfunded but alone: still served" 3 (Io.served dev a)
+
+let test_io_ticket_change_mid_run () =
+  let dev = Io.create ~rng:(rng 16) () in
+  let a = Io.add_client dev ~name:"a" ~tickets:1 in
+  let b = Io.add_client dev ~name:"b" ~tickets:1 in
+  List.iter (fun c -> Io.submit dev c ~requests:100_000) [ a; b ];
+  Io.serve dev ~slots:10_000;
+  let a1 = Io.served dev a in
+  Io.set_tickets dev a 9;
+  Io.serve dev ~slots:10_000;
+  let a2 = Io.served dev a - a1 in
+  checkb "first phase even" true (abs (a1 - 5_000) < 500);
+  checkb "second phase ~90%" true (abs (a2 - 9_000) < 500)
+
+let test_io_validation () =
+  let dev = Io.create ~rng:(rng 15) () in
+  checkb "negative tickets rejected" true
+    (match Io.add_client dev ~name:"x" ~tickets:(-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let a = Io.add_client dev ~name:"a" ~tickets:1 in
+  checkb "negative submit rejected" true
+    (match Io.submit dev a ~requests:(-1) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "resmgr"
+    [
+      ( "inverse-memory",
+        [
+          Alcotest.test_case "no eviction until full" `Quick test_no_eviction_until_full;
+          Alcotest.test_case "eviction under pressure" `Quick test_eviction_under_pressure;
+          Alcotest.test_case "global LRU order" `Quick test_lru_within_victim;
+          Alcotest.test_case "inverse lottery orders residency by tickets" `Slow
+            test_inverse_orders_by_tickets;
+          Alcotest.test_case "ticket-blind baselines split evenly" `Slow
+            test_ticket_blind_policies_split_evenly;
+          Alcotest.test_case "set_tickets shifts residency" `Slow
+            test_set_tickets_shifts_residency;
+          Alcotest.test_case "validation" `Quick test_memory_validation;
+          Alcotest.test_case "over-provisioned lone client" `Quick
+            test_single_over_provisioned_client_still_evicts;
+          Alcotest.test_case "zipf locality raises hit rate" `Slow
+            test_zipf_locality_raises_hit_rate;
+          Alcotest.test_case "zipf validation" `Quick test_zipf_validation;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "service-time arithmetic" `Quick test_disk_service_time_math;
+          Alcotest.test_case "sstf picks nearest" `Quick test_disk_sstf_picks_nearest;
+          Alcotest.test_case "fcfs order beats tickets" `Quick test_disk_fcfs_order;
+          Alcotest.test_case "lottery proportional (chi-square)" `Slow
+            test_disk_lottery_proportional;
+          Alcotest.test_case "lottery avoids sstf starvation" `Quick
+            test_disk_no_starvation_under_lottery;
+          Alcotest.test_case "validation" `Quick test_disk_validation;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "uncongested port delivers all" `Quick
+            test_switch_uncongested_delivers_everything;
+          Alcotest.test_case "congested port splits by tickets" `Slow
+            test_switch_congested_shares;
+          Alcotest.test_case "ports independent" `Quick test_switch_ports_independent;
+          Alcotest.test_case "buffers bounded, drops counted" `Quick
+            test_switch_buffer_capacity;
+          Alcotest.test_case "validation" `Quick test_switch_validation;
+        ] );
+      ( "io-bandwidth",
+        [
+          Alcotest.test_case "3:2:1 shares (chi-square)" `Quick test_io_proportional_shares;
+          Alcotest.test_case "idle share redistributes" `Quick
+            test_io_idle_client_share_redistributes;
+          Alcotest.test_case "drains and idles" `Quick test_io_drains_and_idles;
+          Alcotest.test_case "cancel pending" `Quick test_io_cancel_pending;
+          Alcotest.test_case "zero-ticket fifo fallback" `Quick
+            test_io_zero_ticket_backlog_served_fifo;
+          Alcotest.test_case "ticket change mid-run" `Quick test_io_ticket_change_mid_run;
+          Alcotest.test_case "validation" `Quick test_io_validation;
+        ] );
+    ]

@@ -1,0 +1,916 @@
+(* Kernel semantics: time accounting, preemption, sleep, RPC, mutexes,
+   determinism, failure handling, the timer heap, and Time helpers. *)
+
+open Core
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checkf msg = check (Alcotest.float 1e-9) msg
+
+(* a fresh kernel under round-robin: deterministic and policy-free *)
+let rr_kernel ?quantum () =
+  Kernel.create ?quantum ~sched:(Round_robin.sched (Round_robin.create ())) ()
+
+(* --- heap ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Lotto_sim.Heap.create () in
+  List.iter (fun k -> Lotto_sim.Heap.push h ~key:k k) [ 5; 1; 4; 1; 3; 9; 0 ];
+  checki "size" 7 (Lotto_sim.Heap.size h);
+  let order = ref [] in
+  let rec drain () =
+    match Lotto_sim.Heap.pop_min h with
+    | Some (k, _) ->
+        order := k :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "sorted" [ 0; 1; 1; 3; 4; 5; 9 ] (List.rev !order);
+  checkb "empty" true (Lotto_sim.Heap.is_empty h)
+
+let test_heap_fifo_on_ties () =
+  let h = Lotto_sim.Heap.create () in
+  Lotto_sim.Heap.push h ~key:7 "first";
+  Lotto_sim.Heap.push h ~key:7 "second";
+  Lotto_sim.Heap.push h ~key:7 "third";
+  let next () = match Lotto_sim.Heap.pop_min h with Some (_, v) -> v | None -> "?" in
+  check Alcotest.string "fifo 1" "first" (next ());
+  check Alcotest.string "fifo 2" "second" (next ());
+  check Alcotest.string "fifo 3" "third" (next ())
+
+let test_heap_growth () =
+  let h = Lotto_sim.Heap.create () in
+  for i = 999 downto 0 do
+    Lotto_sim.Heap.push h ~key:i i
+  done;
+  checki "size" 1000 (Lotto_sim.Heap.size h);
+  (match Lotto_sim.Heap.peek_min h with
+  | Some (k, _) -> checki "min" 0 k
+  | None -> Alcotest.fail "empty");
+  checki "size unchanged by peek" 1000 (Lotto_sim.Heap.size h)
+
+(* --- time ------------------------------------------------------------------- *)
+
+let test_time_units () =
+  checki "us" 7 (Time.us 7);
+  checki "ms" 3_000 (Time.ms 3);
+  checki "seconds" 2_000_000 (Time.seconds 2);
+  checkf "to_seconds" 1.5 (Time.to_seconds 1_500_000);
+  checkf "to_ms" 2.5 (Time.to_ms 2_500);
+  check Alcotest.string "pp" "1.250s" (Format.asprintf "%a" Time.pp 1_250_000)
+
+(* --- basic execution ---------------------------------------------------------- *)
+
+let test_compute_accounting () =
+  let k = rr_kernel () in
+  let th =
+    Kernel.spawn k ~name:"worker" (fun () ->
+        Api.compute (Time.ms 250);
+        Api.compute (Time.ms 250))
+  in
+  let s = Kernel.run k ~until:(Time.seconds 10) in
+  checki "cpu charged exactly" (Time.ms 500) (Kernel.cpu_time th);
+  checki "clock advanced to completion" (Time.ms 500) s.ended_at;
+  checkb "thread exited" true (Kernel.thread_state th = Types.Zombie);
+  checkb "no failures" true (Kernel.failures k = [])
+
+let test_quantum_preemption_interleaves () =
+  (* two equal RR threads must alternate per 100ms quantum *)
+  let k = rr_kernel ~quantum:(Time.ms 100) () in
+  let spin name =
+    Kernel.spawn k ~name (fun () ->
+        while true do
+          Api.compute (Time.ms 10)
+        done)
+  in
+  let a = spin "a" and b = spin "b" in
+  ignore (Kernel.run k ~until:(Time.seconds 10));
+  checki "equal shares" (Kernel.cpu_time a) (Kernel.cpu_time b);
+  checki "everything accounted" (Time.seconds 10) (Kernel.cpu_time a + Kernel.cpu_time b)
+
+let test_slice_count () =
+  let k = rr_kernel ~quantum:(Time.ms 100) () in
+  ignore
+    (Kernel.spawn k ~name:"solo" (fun () ->
+         while true do
+           Api.compute (Time.ms 100)
+         done));
+  let s = Kernel.run k ~until:(Time.seconds 1) in
+  checki "one decision per quantum" 10 s.slices
+
+let test_sleep_wakes_on_time () =
+  let k = rr_kernel () in
+  let woke = ref (-1) in
+  ignore
+    (Kernel.spawn k ~name:"sleeper" (fun () ->
+         Api.sleep (Time.ms 300);
+         woke := Api.now ()));
+  let s = Kernel.run k ~until:(Time.seconds 5) in
+  checki "woke at 300ms" (Time.ms 300) !woke;
+  checkb "idle time accounted" true (s.idle_ticks >= Time.ms 300)
+
+let test_sleep_zero () =
+  let k = rr_kernel () in
+  let order = ref [] in
+  ignore
+    (Kernel.spawn k ~name:"z" (fun () ->
+         order := `Before :: !order;
+         Api.sleep 0;
+         order := `After :: !order));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  check (Alcotest.list Alcotest.bool) "both steps ran" [ true; true ]
+    (List.map (fun _ -> true) !order)
+
+let test_now_and_self () =
+  let k = rr_kernel () in
+  let seen = ref ("", -1) in
+  let th =
+    Kernel.spawn k ~name:"me" (fun () ->
+        Api.compute (Time.ms 50);
+        seen := (Kernel.thread_name (Api.self ()), Api.now ()))
+  in
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  check Alcotest.string "self" "me" (fst !seen);
+  checki "now" (Time.ms 50) (snd !seen);
+  checki "thread id stable" (Kernel.thread_id th) (Kernel.thread_id th)
+
+let test_spawn_from_inside () =
+  let k = rr_kernel () in
+  let child_cpu = ref 0 in
+  ignore
+    (Kernel.spawn k ~name:"parent" (fun () ->
+         Api.compute (Time.ms 10);
+         let child =
+           Api.spawn "child" (fun () -> Api.compute (Time.ms 70))
+         in
+         Api.compute (Time.ms 10);
+         ignore child));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  (match Kernel.find_thread k "child" with
+  | Some th -> child_cpu := Kernel.cpu_time th
+  | None -> Alcotest.fail "child not spawned");
+  checki "child ran" (Time.ms 70) !child_cpu
+
+let test_yield_rotates () =
+  let k = rr_kernel ~quantum:(Time.ms 100) () in
+  let trace = ref [] in
+  let mk name =
+    Kernel.spawn k ~name (fun () ->
+        for _ = 1 to 3 do
+          Api.compute (Time.ms 10);
+          trace := name :: !trace;
+          Api.yield ()
+        done)
+  in
+  ignore (mk "a");
+  ignore (mk "b");
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  (* yielding after 10ms lets the other thread in: strict alternation *)
+  check
+    (Alcotest.list Alcotest.string)
+    "alternation" [ "a"; "b"; "a"; "b"; "a"; "b" ]
+    (List.rev !trace)
+
+(* --- RPC ----------------------------------------------------------------------- *)
+
+let test_rpc_roundtrip () =
+  let k = rr_kernel () in
+  let port = Kernel.create_port k ~name:"echo" in
+  ignore
+    (Kernel.spawn k ~name:"server" (fun () ->
+         let m = Api.receive port in
+         Api.compute (Time.ms 100);
+         Api.reply m ("got:" ^ m.payload)));
+  let answer = ref "" in
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () ->
+         answer := Api.rpc port "ping"));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  check Alcotest.string "reply" "got:ping" !answer
+
+let test_rpc_response_time_includes_service () =
+  let k = rr_kernel () in
+  let port = Kernel.create_port k ~name:"svc" in
+  ignore
+    (Kernel.spawn k ~name:"server" (fun () ->
+         while true do
+           let m = Api.receive port in
+           Api.compute (Time.ms 200);
+           Api.reply m ""
+         done));
+  let latency = ref 0 in
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () ->
+         let t0 = Api.now () in
+         ignore (Api.rpc port "x");
+         latency := Api.now () - t0));
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  checki "latency is the service time" (Time.ms 200) !latency
+
+let test_rpc_queue_is_fifo () =
+  let k = rr_kernel () in
+  let port = Kernel.create_port k ~name:"q" in
+  let served = ref [] in
+  ignore
+    (Kernel.spawn k ~name:"c1" (fun () -> ignore (Api.rpc port "first")));
+  ignore
+    (Kernel.spawn k ~name:"c2" (fun () -> ignore (Api.rpc port "second")));
+  ignore
+    (Kernel.spawn k ~name:"server" (fun () ->
+         for _ = 1 to 2 do
+           let m = Api.receive port in
+           served := m.payload :: !served;
+           Api.reply m ""
+         done));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  check (Alcotest.list Alcotest.string) "fifo order" [ "first"; "second" ]
+    (List.rev !served)
+
+let test_rpc_multiple_workers_parallel () =
+  (* two workers serve two clients concurrently: both replies land at 100ms
+     of virtual time, not 200ms *)
+  let k = rr_kernel () in
+  let port = Kernel.create_port k ~name:"pool" in
+  for i = 1 to 2 do
+    ignore
+      (Kernel.spawn k ~name:(Printf.sprintf "w%d" i) (fun () ->
+           while true do
+             let m = Api.receive port in
+             Api.compute (Time.ms 100);
+             Api.reply m ""
+           done))
+  done;
+  let done_at = Array.make 2 0 in
+  for i = 0 to 1 do
+    ignore
+      (Kernel.spawn k ~name:(Printf.sprintf "c%d" i) (fun () ->
+           ignore (Api.rpc port "x");
+           done_at.(i) <- Api.now ()))
+  done;
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  (* with interleaved 100ms quanta both finish by 200ms; with a single
+     worker the second would finish at 200ms+ *)
+  checkb "both served concurrently" true
+    (done_at.(0) = Time.ms 200 && done_at.(1) = Time.ms 200)
+
+let test_message_metadata () =
+  let k = rr_kernel () in
+  let port = Kernel.create_port k ~name:"meta" in
+  let seen = ref None in
+  ignore
+    (Kernel.spawn k ~name:"server" (fun () ->
+         let m = Api.receive port in
+         seen := Some (Kernel.thread_name m.sender, m.sent_at);
+         Api.reply m ""));
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () ->
+         Api.compute (Time.ms 30);
+         ignore (Api.rpc port "x")));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  (match !seen with
+  | Some (sender, at) ->
+      check Alcotest.string "sender" "client" sender;
+      checki "sent_at" (Time.ms 30) at
+  | None -> Alcotest.fail "no message")
+
+let test_poll_receive () =
+  let k = rr_kernel () in
+  let port = Kernel.create_port k ~name:"p" in
+  let seen = ref [] in
+  ignore
+    (Kernel.spawn k ~name:"server" (fun () ->
+         (* empty poll first *)
+         (match Api.poll_receive port with
+         | None -> seen := "empty" :: !seen
+         | Some _ -> seen := "unexpected" :: !seen);
+         Api.sleep (Time.ms 10);
+         (* two queued requests drained without blocking *)
+         let rec drain () =
+           match Api.poll_receive port with
+           | Some m ->
+               seen := m.payload :: !seen;
+               Api.reply m "";
+               drain ()
+           | None -> ()
+         in
+         drain ()));
+  for i = 1 to 2 do
+    ignore
+      (Kernel.spawn k ~name:(Printf.sprintf "c%d" i) (fun () ->
+           Api.sleep (Time.ms 1);
+           ignore (Api.rpc port (Printf.sprintf "m%d" i))))
+  done;
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  check (Alcotest.list Alcotest.string) "poll saw both after the empty probe"
+    [ "empty"; "m1"; "m2" ] (List.rev !seen);
+  checkb "clients unblocked" true (Kernel.failures k = [])
+
+let test_rpc_after_server_killed () =
+  let k = rr_kernel () in
+  let port = Kernel.create_port k ~name:"p" in
+  let server =
+    Kernel.spawn k ~name:"server" (fun () ->
+        let m = Api.receive port in
+        Api.reply m "")
+  in
+  ignore (Kernel.run k ~until:(Time.ms 1));
+  Kernel.kill k server;
+  (* a sender now waits forever: deadlock detection must fire, and the
+     dead waiter entry must not corrupt the port *)
+  ignore (Kernel.spawn k ~name:"client" (fun () -> ignore (Api.rpc port "x")));
+  let s = Kernel.run k ~until:(Time.seconds 1) in
+  checkb "deadlock detected" true s.deadlocked
+
+let test_rpc_many_gathers_in_order () =
+  let k = rr_kernel () in
+  let mk_port cost name =
+    let port = Kernel.create_port k ~name in
+    ignore
+      (Kernel.spawn k ~name:(name ^ "-srv") (fun () ->
+           while true do
+             let m = Api.receive port in
+             Api.compute cost;
+             Api.reply m (name ^ ":" ^ m.payload)
+           done));
+    port
+  in
+  let fast = mk_port (Time.ms 10) "fast" in
+  let slow = mk_port (Time.ms 200) "slow" in
+  let got = ref [] in
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () ->
+         Api.sleep (Time.ms 1);
+         got := Api.rpc_many [ (slow, "a"); (fast, "b"); (slow, "c") ]));
+  ignore (Kernel.run k ~until:(Time.seconds 5));
+  check (Alcotest.list Alcotest.string) "replies in request order"
+    [ "slow:a"; "fast:b"; "slow:c" ] !got
+
+let test_rpc_many_empty_rejected () =
+  let k = rr_kernel () in
+  ignore (Kernel.spawn k ~name:"client" (fun () -> ignore (Api.rpc_many [])));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  (match Kernel.failures k with
+  | [ (_, Invalid_argument _) ] -> ()
+  | _ -> Alcotest.fail "empty scatter should fail the caller")
+
+(* --- mutexes ---------------------------------------------------------------------- *)
+
+let test_mutex_mutual_exclusion () =
+  let k = rr_kernel ~quantum:(Time.ms 10) () in
+  let m = Kernel.create_mutex k "m" in
+  let inside = ref 0 and violations = ref 0 in
+  for i = 1 to 4 do
+    ignore
+      (Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+           for _ = 1 to 20 do
+             Api.lock m;
+             incr inside;
+             if !inside > 1 then incr violations;
+             Api.compute (Time.ms 25);
+             decr inside;
+             Api.unlock m
+           done))
+  done;
+  ignore (Kernel.run k ~until:(Time.seconds 10));
+  checki "no two holders" 0 !violations;
+  checki "all exited cleanly" 0 (List.length (Kernel.failures k))
+
+let test_mutex_fifo_policy () =
+  let k = rr_kernel ~quantum:(Time.ms 10) () in
+  let m = Kernel.create_mutex k ~policy:Types.Fifo "m" in
+  let order = ref [] in
+  ignore
+    (Kernel.spawn k ~name:"holder" (fun () ->
+         Api.lock m;
+         Api.compute (Time.ms 100);
+         Api.unlock m));
+  for i = 1 to 3 do
+    ignore
+      (Kernel.spawn k ~name:(Printf.sprintf "w%d" i) (fun () ->
+           (* stagger arrivals to fix the waiter order *)
+           Api.sleep (Time.ms i);
+           Api.lock m;
+           order := i :: !order;
+           Api.unlock m))
+  done;
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  check (Alcotest.list Alcotest.int) "fifo handoff" [ 1; 2; 3 ] (List.rev !order)
+
+let test_with_lock_releases_on_exception () =
+  let k = rr_kernel () in
+  let m = Kernel.create_mutex k "m" in
+  let second_got_it = ref false in
+  ignore
+    (Kernel.spawn k ~name:"thrower" (fun () ->
+         try Api.with_lock m (fun () -> failwith "boom") with Failure _ -> ()));
+  ignore
+    (Kernel.spawn k ~name:"second" (fun () ->
+         Api.sleep (Time.ms 1);
+         Api.with_lock m (fun () -> second_got_it := true)));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "lock released by exception path" true !second_got_it;
+  checki "acquisitions" 2 m.Types.acquisitions
+
+let test_unlock_not_owner_fails_thread () =
+  let k = rr_kernel () in
+  let m = Kernel.create_mutex k "m" in
+  ignore (Kernel.spawn k ~name:"bad" (fun () -> Api.unlock m));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  match Kernel.failures k with
+  | [ (th, Invalid_argument _) ] ->
+      check Alcotest.string "failing thread" "bad" (Kernel.thread_name th)
+  | _ -> Alcotest.fail "expected exactly one Invalid_argument failure"
+
+(* --- condition variables and semaphores --------------------------------------------- *)
+
+let test_condition_producer_consumer () =
+  let k = rr_kernel ~quantum:(Time.ms 10) () in
+  let m = Kernel.create_mutex k "m" in
+  let c = Kernel.create_condition k "items" in
+  let queue = Queue.create () in
+  let consumed = ref [] in
+  ignore
+    (Kernel.spawn k ~name:"consumer" (fun () ->
+         for _ = 1 to 5 do
+           Api.lock m;
+           while Queue.is_empty queue do
+             Api.wait c m
+           done;
+           consumed := Queue.pop queue :: !consumed;
+           Api.unlock m
+         done));
+  ignore
+    (Kernel.spawn k ~name:"producer" (fun () ->
+         for i = 1 to 5 do
+           Api.compute (Time.ms 30);
+           Api.lock m;
+           Queue.push i queue;
+           Api.signal c;
+           Api.unlock m
+         done));
+  ignore (Kernel.run k ~until:(Time.seconds 5));
+  checkb "no failures" true (Kernel.failures k = []);
+  check (Alcotest.list Alcotest.int) "all items, in order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !consumed);
+  checki "signals counted" 5 c.Types.signals
+
+let test_condition_wait_releases_mutex () =
+  let k = rr_kernel () in
+  let m = Kernel.create_mutex k "m" in
+  let c = Kernel.create_condition k "c" in
+  let got_lock_while_waiter_blocked = ref false in
+  ignore
+    (Kernel.spawn k ~name:"waiter" (fun () ->
+         Api.lock m;
+         Api.wait c m;
+         Api.unlock m));
+  ignore
+    (Kernel.spawn k ~name:"other" (fun () ->
+         Api.sleep (Time.ms 1);
+         (* the waiter is blocked in wait: the mutex must be free *)
+         Api.lock m;
+         got_lock_while_waiter_blocked := true;
+         Api.signal c;
+         Api.unlock m));
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  checkb "wait released the mutex" true !got_lock_while_waiter_blocked;
+  checkb "waiter completed after signal" true (Kernel.failures k = [])
+
+let test_broadcast_wakes_all () =
+  let k = rr_kernel () in
+  let m = Kernel.create_mutex k "m" in
+  let c = Kernel.create_condition k "barrier" in
+  let released = ref 0 in
+  let gate_open = ref false in
+  for i = 1 to 4 do
+    ignore
+      (Kernel.spawn k ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Api.lock m;
+           while not !gate_open do
+             Api.wait c m
+           done;
+           incr released;
+           Api.unlock m))
+  done;
+  ignore
+    (Kernel.spawn k ~name:"opener" (fun () ->
+         Api.sleep (Time.ms 5);
+         Api.lock m;
+         gate_open := true;
+         Api.broadcast c;
+         Api.unlock m));
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  checki "all four released" 4 !released
+
+let test_signal_no_waiters_is_noop () =
+  let k = rr_kernel () in
+  let c = Kernel.create_condition k "c" in
+  ignore
+    (Kernel.spawn k ~name:"t" (fun () ->
+         Api.signal c;
+         Api.broadcast c));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "no failures" true (Kernel.failures k = [])
+
+let test_semaphore_counting () =
+  let k = rr_kernel ~quantum:(Time.ms 10) () in
+  let sm = Kernel.create_semaphore k ~initial:2 "pool" in
+  let inside = ref 0 and peak = ref 0 in
+  for i = 1 to 5 do
+    ignore
+      (Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+           Api.sem_wait sm;
+           incr inside;
+           peak := max !peak !inside;
+           Api.compute (Time.ms 30);
+           decr inside;
+           Api.sem_post sm))
+  done;
+  ignore (Kernel.run k ~until:(Time.seconds 5));
+  checkb "no failures" true (Kernel.failures k = []);
+  checki "never more than 2 permits out" 2 !peak;
+  checki "count restored" 2 sm.Types.count
+
+let test_semaphore_zero_initial_blocks () =
+  let k = rr_kernel () in
+  let sm = Kernel.create_semaphore k ~initial:0 "event" in
+  let order = ref [] in
+  ignore
+    (Kernel.spawn k ~name:"waiter" (fun () ->
+         Api.sem_wait sm;
+         order := "woke" :: !order));
+  ignore
+    (Kernel.spawn k ~name:"poster" (fun () ->
+         Api.sleep (Time.ms 20);
+         order := "posting" :: !order;
+         Api.sem_post sm));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  check (Alcotest.list Alcotest.string) "post before wake" [ "posting"; "woke" ]
+    (List.rev !order)
+
+(* --- join and kill ------------------------------------------------------------------- *)
+
+let test_join_waits_for_exit () =
+  let k = rr_kernel () in
+  let worker = Kernel.spawn k ~name:"worker" (fun () -> Api.compute (Time.ms 300)) in
+  let joined_at = ref (-1) in
+  ignore
+    (Kernel.spawn k ~name:"joiner" (fun () ->
+         Api.join worker;
+         joined_at := Api.now ()));
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  checki "joined exactly at worker exit" (Time.ms 300) !joined_at
+
+let test_join_already_dead () =
+  let k = rr_kernel () in
+  let worker = Kernel.spawn k ~name:"worker" (fun () -> ()) in
+  ignore (Kernel.run k ~until:(Time.ms 1));
+  let ok = ref false in
+  ignore
+    (Kernel.spawn k ~name:"joiner" (fun () ->
+         Api.join worker;
+         ok := true));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "join on zombie returns immediately" true !ok
+
+let test_join_self_rejected () =
+  let k = rr_kernel () in
+  ignore (Kernel.spawn k ~name:"narcissus" (fun () -> Api.join (Api.self ())));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  (match Kernel.failures k with
+  | [ (_, Invalid_argument _) ] -> ()
+  | _ -> Alcotest.fail "self-join should fail the thread")
+
+let test_join_funds_target () =
+  (* the joiner's tickets speed up the joined thread *)
+  let rng = Rng.create ~seed:88 () in
+  let ls = Lottery_sched.create ~rng () in
+  let k = Kernel.create ~sched:(Lottery_sched.sched ls) () in
+  let base = Lottery_sched.base_currency ls in
+  let worker = Kernel.spawn k ~name:"worker" (fun () -> Api.compute (Time.seconds 10)) in
+  let done_at = ref 0 in
+  let joiner =
+    Kernel.spawn k ~name:"joiner" (fun () ->
+        Api.join worker;
+        done_at := Api.now ())
+  in
+  let spinner =
+    Kernel.spawn k ~name:"spinner" (fun () ->
+        while true do
+          Api.compute (Time.ms 10)
+        done)
+  in
+  ignore (Lottery_sched.fund_thread ls worker ~amount:100 ~from:base);
+  ignore (Lottery_sched.fund_thread ls joiner ~amount:200 ~from:base);
+  ignore (Lottery_sched.fund_thread ls spinner ~amount:100 ~from:base);
+  ignore (Kernel.run k ~until:(Time.seconds 60));
+  (* worker runs with 100+200 of 400 = 3/4 share: 10s of work in ~13.3s,
+     versus 40s if the joiner's transfer were lost *)
+  checkb
+    (Printf.sprintf "worker finished early (t=%.1fs)" (Time.to_seconds !done_at))
+    true
+    (!done_at > 0 && !done_at < Time.seconds 20)
+
+let test_kill_blocked_thread () =
+  let k = rr_kernel () in
+  let port = Kernel.create_port k ~name:"never" in
+  let victim = Kernel.spawn k ~name:"victim" (fun () -> ignore (Api.receive port)) in
+  ignore (Kernel.run k ~until:(Time.ms 10));
+  checkb "blocked" true (Kernel.thread_state victim = Types.Blocked);
+  Kernel.kill k victim;
+  checkb "zombie" true (Kernel.thread_state victim = Types.Zombie);
+  (match Kernel.failures k with
+  | [ (_, Types.Killed) ] -> ()
+  | _ -> Alcotest.fail "killed not recorded")
+
+let test_kill_releases_lock_via_cleanup () =
+  let k = rr_kernel () in
+  let m = Kernel.create_mutex k "m" in
+  let holder =
+    Kernel.spawn k ~name:"holder" (fun () ->
+        Api.with_lock m (fun () -> Api.compute (Time.seconds 100)))
+  in
+  let got_it = ref false in
+  ignore
+    (Kernel.spawn k ~name:"waiter" (fun () ->
+         Api.sleep (Time.ms 10);
+         Api.with_lock m (fun () -> got_it := true)));
+  ignore (Kernel.run k ~until:(Time.ms 50));
+  Kernel.kill k holder;
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "with_lock cleanup released the mutex to the waiter" true !got_it
+
+let test_kill_survivable () =
+  let k = rr_kernel () in
+  let stubborn =
+    Kernel.spawn k ~name:"stubborn" (fun () ->
+        (try Api.compute (Time.seconds 100) with Types.Killed -> ());
+        Api.compute (Time.ms 50))
+  in
+  ignore (Kernel.run k ~until:(Time.ms 10));
+  Kernel.kill k stubborn;
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "caught Killed and finished normally" true
+    (Kernel.thread_state stubborn = Types.Zombie && Kernel.failures k = [])
+
+let test_kill_sleeping_thread_timer_harmless () =
+  let k = rr_kernel () in
+  let sleeper = Kernel.spawn k ~name:"sleeper" (fun () -> Api.sleep (Time.ms 100)) in
+  ignore (Kernel.run k ~until:(Time.ms 10));
+  Kernel.kill k sleeper;
+  (* the dangling timer entry must not wake a zombie *)
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "zombie stays dead" true (Kernel.thread_state sleeper = Types.Zombie)
+
+(* --- failure, deadlock, horizon ---------------------------------------------------- *)
+
+let test_body_exception_recorded () =
+  let k = rr_kernel () in
+  let th = Kernel.spawn k ~name:"dies" (fun () -> failwith "oops") in
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "zombie" true (Kernel.thread_state th = Types.Zombie);
+  (match Kernel.failures k with
+  | [ (_, Failure m) ] when m = "oops" -> ()
+  | _ -> Alcotest.fail "failure not recorded")
+
+let test_deadlock_detected () =
+  let k = rr_kernel () in
+  let m1 = Kernel.create_mutex k "m1" in
+  let m2 = Kernel.create_mutex k "m2" in
+  ignore
+    (Kernel.spawn k ~name:"ab" (fun () ->
+         Api.lock m1;
+         Api.sleep (Time.ms 10);
+         Api.lock m2;
+         Api.unlock m2;
+         Api.unlock m1));
+  ignore
+    (Kernel.spawn k ~name:"ba" (fun () ->
+         Api.lock m2;
+         Api.sleep (Time.ms 10);
+         Api.lock m1;
+         Api.unlock m1;
+         Api.unlock m2));
+  let s = Kernel.run k ~until:(Time.seconds 5) in
+  checkb "deadlock flagged" true s.deadlocked;
+  checkb "stopped early" true (s.ended_at < Time.seconds 5)
+
+let test_run_resumable () =
+  let k = rr_kernel () in
+  let th =
+    Kernel.spawn k ~name:"long" (fun () ->
+        while true do
+          Api.compute (Time.ms 1)
+        done)
+  in
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checki "first second" (Time.seconds 1) (Kernel.cpu_time th);
+  ignore (Kernel.run k ~until:(Time.seconds 3));
+  checki "resumed to 3s" (Time.seconds 3) (Kernel.cpu_time th);
+  checki "clock at horizon" (Time.seconds 3) (Kernel.now k)
+
+let test_horizon_mid_compute () =
+  (* horizon may land inside a compute request; the remainder must carry
+     into the next run *)
+  let k = rr_kernel () in
+  let th = Kernel.spawn k ~name:"big" (fun () -> Api.compute (Time.seconds 4)) in
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checki "partial work" (Time.seconds 1) (Kernel.cpu_time th);
+  ignore (Kernel.run k ~until:(Time.seconds 10));
+  checki "completed" (Time.seconds 4) (Kernel.cpu_time th);
+  checkb "exited" true (Kernel.thread_state th = Types.Zombie)
+
+let test_determinism_trace () =
+  let trace_of seed =
+    let rng = Rng.create ~seed () in
+    let ls = Lottery_sched.create ~rng () in
+    let k = Kernel.create ~sched:(Lottery_sched.sched ls) () in
+    let buf = Buffer.create 256 in
+    Kernel.set_tracer k (Some (fun t s -> Buffer.add_string buf (Printf.sprintf "%d %s\n" t s)));
+    let mk name amount =
+      let th =
+        Kernel.spawn k ~name (fun () ->
+            while true do
+              Api.compute (Time.ms 7)
+            done)
+      in
+      ignore (Lottery_sched.fund_thread ls th ~amount ~from:(Lottery_sched.base_currency ls))
+    in
+    mk "x" 100;
+    mk "y" 300;
+    ignore (Kernel.run k ~until:(Time.seconds 5));
+    Buffer.contents buf
+  in
+  check Alcotest.string "same seed, same trace" (trace_of 11) (trace_of 11);
+  checkb "different seed, different trace" true (trace_of 11 <> trace_of 12)
+
+let test_api_outside_thread_rejected () =
+  checkb "perform outside kernel raises" true
+    (match Api.now () with
+    | _ -> false
+    | exception Effect.Unhandled _ -> true)
+
+let test_timeline_records_shares () =
+  let rng = Rng.create ~seed:77 () in
+  let ls = Lottery_sched.create ~rng () in
+  let k = Kernel.create ~sched:(Lottery_sched.sched ls) () in
+  let tl = Timeline.attach k ~bucket:(Time.seconds 1) () in
+  let spin name =
+    Kernel.spawn k ~name (fun () ->
+        while true do
+          Api.compute (Time.ms 5)
+        done)
+  in
+  let a = spin "busy" and b = spin "light" in
+  ignore (Lottery_sched.fund_thread ls a ~amount:300 ~from:(Lottery_sched.base_currency ls));
+  ignore (Lottery_sched.fund_thread ls b ~amount:100 ~from:(Lottery_sched.base_currency ls));
+  ignore (Kernel.run k ~until:(Time.seconds 20));
+  Timeline.detach tl;
+  (* recorded CPU matches the kernel's accounting (the last slice may still
+     be uncharged when recording stops) *)
+  checkb "cpu recorded for busy" true
+    (abs (Timeline.cpu_of tl "busy" - Kernel.cpu_time a) <= Time.ms 100);
+  checkb "cpu recorded for light" true
+    (abs (Timeline.cpu_of tl "light" - Kernel.cpu_time b) <= Time.ms 100);
+  let chart = Timeline.render ~width:40 tl in
+  checkb "chart mentions both rows" true
+    (Core.Corpus.count_substring ~haystack:chart ~needle:"busy" = 1
+    && Core.Corpus.count_substring ~haystack:chart ~needle:"light" = 1);
+  checkb "busy row darker than light row" true
+    (Core.Corpus.count_substring ~haystack:chart ~needle:"#" > 0);
+  checkb "unknown thread has no cpu" true (Timeline.cpu_of tl "nope" = 0)
+
+let test_timeline_empty () =
+  let k = rr_kernel () in
+  let tl = Timeline.attach k () in
+  check Alcotest.string "placeholder" "(no activity recorded)\n" (Timeline.render tl)
+
+let test_kernel_validation_and_accessors () =
+  Alcotest.check_raises "quantum must be positive"
+    (Invalid_argument "Kernel.create: quantum <= 0") (fun () ->
+      ignore (rr_kernel ~quantum:0 ()));
+  let k = rr_kernel ~quantum:(Time.ms 25) () in
+  checki "quantum accessor" (Time.ms 25) (Kernel.quantum k);
+  checki "clock starts at zero" 0 (Kernel.now k)
+
+let test_compute_zero_and_negative () =
+  let k = rr_kernel () in
+  let th =
+    Kernel.spawn k ~name:"noop" (fun () ->
+        Api.compute 0;
+        Api.compute (-5);
+        Api.compute (Time.ms 1))
+  in
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checki "only real work charged" (Time.ms 1) (Kernel.cpu_time th);
+  checkb "clean exit" true (Kernel.failures k = [])
+
+let test_semaphore_validation () =
+  let k = rr_kernel () in
+  Alcotest.check_raises "negative initial"
+    (Invalid_argument "Kernel.create_semaphore: negative initial count") (fun () ->
+      ignore (Kernel.create_semaphore k ~initial:(-1) "bad"))
+
+let test_find_thread_and_listing () =
+  let k = rr_kernel () in
+  let a = Kernel.spawn k ~name:"alpha" (fun () -> ()) in
+  let b = Kernel.spawn k ~name:"beta" (fun () -> ()) in
+  checkb "find alpha" true
+    (match Kernel.find_thread k "alpha" with Some th -> th == a | None -> false);
+  checkb "missing" true (Kernel.find_thread k "gamma" = None);
+  check (Alcotest.list Alcotest.string) "creation order" [ "alpha"; "beta" ]
+    (List.map Kernel.thread_name (Kernel.threads k));
+  ignore b
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "min ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo on equal keys" `Quick test_heap_fifo_on_ties;
+          Alcotest.test_case "growth and peek" `Quick test_heap_growth;
+        ] );
+      ("time", [ Alcotest.test_case "unit conversions" `Quick test_time_units ]);
+      ( "execution",
+        [
+          Alcotest.test_case "compute accounting" `Quick test_compute_accounting;
+          Alcotest.test_case "quantum preemption" `Quick test_quantum_preemption_interleaves;
+          Alcotest.test_case "one decision per quantum" `Quick test_slice_count;
+          Alcotest.test_case "sleep wakes on time" `Quick test_sleep_wakes_on_time;
+          Alcotest.test_case "sleep 0" `Quick test_sleep_zero;
+          Alcotest.test_case "now and self" `Quick test_now_and_self;
+          Alcotest.test_case "spawn from inside" `Quick test_spawn_from_inside;
+          Alcotest.test_case "yield rotates" `Quick test_yield_rotates;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
+          Alcotest.test_case "response includes service time" `Quick
+            test_rpc_response_time_includes_service;
+          Alcotest.test_case "queue is fifo" `Quick test_rpc_queue_is_fifo;
+          Alcotest.test_case "workers serve in parallel" `Quick
+            test_rpc_multiple_workers_parallel;
+          Alcotest.test_case "message metadata" `Quick test_message_metadata;
+          Alcotest.test_case "poll_receive" `Quick test_poll_receive;
+          Alcotest.test_case "rpc after server killed" `Quick test_rpc_after_server_killed;
+          Alcotest.test_case "rpc_many gathers in order" `Quick
+            test_rpc_many_gathers_in_order;
+          Alcotest.test_case "rpc_many rejects empty" `Quick test_rpc_many_empty_rejected;
+        ] );
+      ( "mutex",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_mutex_mutual_exclusion;
+          Alcotest.test_case "fifo policy order" `Quick test_mutex_fifo_policy;
+          Alcotest.test_case "with_lock exception safety" `Quick
+            test_with_lock_releases_on_exception;
+          Alcotest.test_case "unlock by non-owner fails the thread" `Quick
+            test_unlock_not_owner_fails_thread;
+        ] );
+      ( "synchronization",
+        [
+          Alcotest.test_case "condition producer/consumer" `Quick
+            test_condition_producer_consumer;
+          Alcotest.test_case "wait releases the mutex" `Quick
+            test_condition_wait_releases_mutex;
+          Alcotest.test_case "broadcast wakes all" `Quick test_broadcast_wakes_all;
+          Alcotest.test_case "signal without waiters" `Quick
+            test_signal_no_waiters_is_noop;
+          Alcotest.test_case "semaphore counting" `Quick test_semaphore_counting;
+          Alcotest.test_case "semaphore blocks at zero" `Quick
+            test_semaphore_zero_initial_blocks;
+        ] );
+      ( "join-kill",
+        [
+          Alcotest.test_case "join waits for exit" `Quick test_join_waits_for_exit;
+          Alcotest.test_case "join on zombie" `Quick test_join_already_dead;
+          Alcotest.test_case "self-join rejected" `Quick test_join_self_rejected;
+          Alcotest.test_case "join transfers funding" `Quick test_join_funds_target;
+          Alcotest.test_case "kill a blocked thread" `Quick test_kill_blocked_thread;
+          Alcotest.test_case "kill runs lock cleanup" `Quick
+            test_kill_releases_lock_via_cleanup;
+          Alcotest.test_case "Killed is catchable" `Quick test_kill_survivable;
+          Alcotest.test_case "killing a sleeper leaves no zombie wakeups" `Quick
+            test_kill_sleeping_thread_timer_harmless;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "body exception recorded" `Quick test_body_exception_recorded;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "run is resumable" `Quick test_run_resumable;
+          Alcotest.test_case "horizon mid-compute" `Quick test_horizon_mid_compute;
+          Alcotest.test_case "deterministic traces" `Quick test_determinism_trace;
+          Alcotest.test_case "timeline records shares" `Quick
+            test_timeline_records_shares;
+          Alcotest.test_case "timeline empty" `Quick test_timeline_empty;
+          Alcotest.test_case "api outside kernel" `Quick test_api_outside_thread_rejected;
+          Alcotest.test_case "find and list threads" `Quick test_find_thread_and_listing;
+          Alcotest.test_case "validation and accessors" `Quick
+            test_kernel_validation_and_accessors;
+          Alcotest.test_case "compute 0 and negative" `Quick
+            test_compute_zero_and_negative;
+          Alcotest.test_case "semaphore validation" `Quick test_semaphore_validation;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* Statistics library tests: descriptive stats, histograms, chi-square,
+   windowed recorders. *)
+
+module D = Core.Descriptive
+module H = Core.Histogram
+module Chi = Core.Chi_square
+module W = Core.Window
+
+let check = Alcotest.check
+let checkf msg = check (Alcotest.float 1e-9) msg
+let checkf6 msg = check (Alcotest.float 1e-6) msg
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* --- descriptive --------------------------------------------------------- *)
+
+let test_mean_variance () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  checkf "mean" 5. (D.mean xs);
+  checkf "variance" (32. /. 7.) (D.variance xs);
+  checkf "stddev" (sqrt (32. /. 7.)) (D.stddev xs)
+
+let test_singleton_and_empty () =
+  checkf "singleton variance" 0. (D.variance [| 42. |]);
+  checkf "singleton mean" 42. (D.mean [| 42. |]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Descriptive.mean: empty input")
+    (fun () -> ignore (D.mean [||]));
+  checkf "empty sum" 0. (D.sum [||])
+
+let test_kahan_sum () =
+  (* adding many tiny values to a large one: naive summation loses them *)
+  let xs = Array.make 10_001 1e-11 in
+  xs.(0) <- 1e10;
+  checkf6 "kahan keeps the tail" (1e10 +. 1e-7) (D.sum xs)
+
+let test_minmax_median_percentile () =
+  let xs = [| 9.; 1.; 5.; 3.; 7. |] in
+  checkf "min" 1. (D.minimum xs);
+  checkf "max" 9. (D.maximum xs);
+  checkf "median odd" 5. (D.median xs);
+  checkf "median even" 4. (D.median [| 1.; 3.; 5.; 7. |]);
+  checkf "p0" 1. (D.percentile xs 0.);
+  checkf "p100" 9. (D.percentile xs 100.);
+  checkf "p50 = median" 5. (D.percentile xs 50.);
+  checkf "p25 interpolates" 3. (D.percentile xs 25.);
+  (* inputs must not be mutated *)
+  check (Alcotest.array (Alcotest.float 0.)) "unmutated" [| 9.; 1.; 5.; 3.; 7. |] xs
+
+let test_cv_and_ratio_error () =
+  let xs = [| 10.; 10.; 10. |] in
+  checkf "cv of constant" 0. (D.coefficient_of_variation xs);
+  checkf "ratio error" 0.1 (D.ratio_error ~observed:11. ~expected:10.);
+  Alcotest.check_raises "zero expected"
+    (Invalid_argument "Descriptive.ratio_error: zero expected") (fun () ->
+      ignore (D.ratio_error ~observed:1. ~expected:0.))
+
+let test_running_matches_batch () =
+  let xs = [| 1.5; 2.5; -3.; 4.25; 0.; 100.; -0.5 |] in
+  let r = D.Running.create () in
+  Array.iter (D.Running.add r) xs;
+  checki "count" (Array.length xs) (D.Running.count r);
+  checkf6 "mean" (D.mean xs) (D.Running.mean r);
+  checkf6 "variance" (D.variance xs) (D.Running.variance r);
+  checkf6 "stderr" (D.stddev xs /. sqrt 7.) (D.Running.stderr_of_mean r)
+
+let test_running_edge () =
+  let r = D.Running.create () in
+  checkf "empty mean" 0. (D.Running.mean r);
+  checkf "empty variance" 0. (D.Running.variance r);
+  checkb "stderr infinite before 2" true (D.Running.stderr_of_mean r = infinity)
+
+let test_linear_fit () =
+  (* exact line y = 3 + 2x *)
+  let pts = Array.init 10 (fun i -> (float_of_int i, 3. +. (2. *. float_of_int i))) in
+  let a, b = D.linear_fit pts in
+  checkf6 "intercept" 3. a;
+  checkf6 "slope" 2. b;
+  Alcotest.check_raises "degenerate"
+    (Invalid_argument "Descriptive.linear_fit: zero x-variance") (fun () ->
+      ignore (D.linear_fit [| (1., 1.); (1., 2.) |]))
+
+let qcheck_running_equals_batch =
+  QCheck.Test.make ~name:"Running mean/variance equals batch computation" ~count:300
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let r = D.Running.create () in
+      Array.iter (D.Running.add r) arr;
+      abs_float (D.mean arr -. D.Running.mean r) < 1e-6
+      && abs_float (D.variance arr -. D.Running.variance r) < 1e-4)
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_bound_inclusive 100.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let prev = ref neg_infinity in
+      List.for_all
+        (fun p ->
+          let v = D.percentile arr p in
+          let ok = v >= !prev in
+          prev := v;
+          ok)
+        [ 0.; 10.; 25.; 50.; 75.; 90.; 100. ])
+
+(* --- histogram ------------------------------------------------------------ *)
+
+let test_histogram_basics () =
+  let h = H.create ~lo:0. ~hi:10. ~buckets:5 in
+  List.iter (H.add h) [ 0.; 1.9; 2.; 5.; 9.99; -1.; 10.; 42. ];
+  checki "total includes oob" 8 (H.total h);
+  checki "bucket 0" 2 (H.count h 0);
+  checki "bucket 1" 1 (H.count h 1);
+  checki "bucket 2" 1 (H.count h 2);
+  checki "bucket 4" 1 (H.count h 4);
+  checki "underflow" 1 (H.underflow h);
+  checki "overflow" 2 (H.overflow h);
+  checkf "mid of bucket 0" 1. (H.bucket_mid h 0);
+  let lo, hi = H.bucket_range h 2 in
+  checkf "range lo" 4. lo;
+  checkf "range hi" 6. hi;
+  checki "mode" 0 (H.mode h);
+  checkf "fraction" 0.25 (H.fraction h 0)
+
+let test_histogram_render () =
+  let h = H.create ~lo:0. ~hi:4. ~buckets:2 in
+  List.iter (H.add h) [ 1.; 1.; 3. ];
+  let s = H.render h in
+  checkb "render mentions counts" true
+    (String.length s > 0 && String.contains s '#')
+
+let test_histogram_validation () =
+  Alcotest.check_raises "hi <= lo" (Invalid_argument "Histogram.create: hi <= lo")
+    (fun () -> ignore (H.create ~lo:1. ~hi:1. ~buckets:3));
+  Alcotest.check_raises "no buckets" (Invalid_argument "Histogram.create: buckets <= 0")
+    (fun () -> ignore (H.create ~lo:0. ~hi:1. ~buckets:0))
+
+(* --- chi-square ------------------------------------------------------------ *)
+
+let test_chi_statistic () =
+  let s = Chi.statistic ~observed:[| 10; 20; 30 |] ~expected:[| 20.; 20.; 20. |] in
+  checkf6 "pearson statistic" 10. s
+
+let test_chi_p_values () =
+  (* classic critical values: P(X >= 3.841) with df=1 is 0.05 *)
+  checkb "df=1 at 3.841" true
+    (abs_float (Chi.p_value ~statistic:3.841 ~df:1 -. 0.05) < 1e-3);
+  checkb "df=5 at 11.070" true
+    (abs_float (Chi.p_value ~statistic:11.070 ~df:5 -. 0.05) < 1e-3);
+  checkf6 "statistic 0 is certain" 1. (Chi.p_value ~statistic:0. ~df:3);
+  checkb "huge statistic vanishes" true (Chi.p_value ~statistic:1000. ~df:3 < 1e-10)
+
+let test_chi_goodness_accepts_fair () =
+  (* a genuinely proportional sample must not be rejected *)
+  let observed = [| 1020; 1980; 3000 |] in
+  checkb "accepts" true
+    (Chi.goodness_of_fit ~observed ~weights:[| 1.; 2.; 3. |] ())
+
+let test_chi_goodness_rejects_unfair () =
+  let observed = [| 3000; 2000; 1000 |] in
+  checkb "rejects" false
+    (Chi.goodness_of_fit ~observed ~weights:[| 1.; 2.; 3. |] ())
+
+let test_chi_validation () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Chi_square.statistic: length mismatch") (fun () ->
+      ignore (Chi.statistic ~observed:[| 1 |] ~expected:[| 1.; 2. |]));
+  Alcotest.check_raises "nonpositive expected"
+    (Invalid_argument "Chi_square.statistic: nonpositive expected") (fun () ->
+      ignore (Chi.statistic ~observed:[| 1 |] ~expected:[| 0. |]))
+
+(* --- window recorders ------------------------------------------------------ *)
+
+let test_counter_windows () =
+  let c = W.Counter.create ~width:10 in
+  W.Counter.bump c ~time:0;
+  W.Counter.bump c ~time:9;
+  W.Counter.bump c ~time:10;
+  W.Counter.record c ~time:25 ~count:5;
+  check (Alcotest.array Alcotest.int) "windows" [| 2; 1; 5 |]
+    (W.Counter.windows c ~upto:30);
+  check (Alcotest.array Alcotest.int) "cumulative" [| 2; 3; 8 |]
+    (W.Counter.cumulative c ~upto:30);
+  checki "total" 8 (W.Counter.total c);
+  checki "width" 10 (W.Counter.width c);
+  (* empty trailing windows are zero-filled *)
+  check (Alcotest.array Alcotest.int) "zero-filled" [| 2; 1; 5; 0; 0 |]
+    (W.Counter.windows c ~upto:50)
+
+let test_counter_rates () =
+  let c = W.Counter.create ~width:1000 in
+  W.Counter.record c ~time:0 ~count:500;
+  let rates = W.Counter.rates c ~upto:1000 ~per:100 in
+  checkf "rate rescaled" 50. rates.(0)
+
+let test_counter_out_of_order () =
+  let c = W.Counter.create ~width:10 in
+  W.Counter.bump c ~time:95;
+  W.Counter.bump c ~time:5;
+  check (Alcotest.array Alcotest.int) "both recorded"
+    [| 1; 0; 0; 0; 0; 0; 0; 0; 0; 1 |]
+    (W.Counter.windows c ~upto:100)
+
+let test_counter_validation () =
+  Alcotest.check_raises "width" (Invalid_argument "Window.Counter.create: width <= 0")
+    (fun () -> ignore (W.Counter.create ~width:0));
+  let c = W.Counter.create ~width:5 in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Window.Counter.record: negative time") (fun () ->
+      W.Counter.bump c ~time:(-1))
+
+let test_series () =
+  let s = W.Series.create () in
+  W.Series.record s ~time:5 ~value:1.5;
+  W.Series.record s ~time:15 ~value:2.5;
+  W.Series.record s ~time:25 ~value:3.5;
+  checki "length" 3 (W.Series.length s);
+  check (Alcotest.array Alcotest.int) "times" [| 5; 15; 25 |] (W.Series.times s);
+  check (Alcotest.array (Alcotest.float 0.)) "values" [| 1.5; 2.5; 3.5 |]
+    (W.Series.values s);
+  check (Alcotest.array (Alcotest.float 0.)) "between" [| 2.5 |]
+    (W.Series.between s ~lo:10 ~hi:20)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean/variance/stddev" `Quick test_mean_variance;
+          Alcotest.test_case "singletons and empties" `Quick test_singleton_and_empty;
+          Alcotest.test_case "kahan summation" `Quick test_kahan_sum;
+          Alcotest.test_case "min/max/median/percentile" `Quick
+            test_minmax_median_percentile;
+          Alcotest.test_case "cv and ratio error" `Quick test_cv_and_ratio_error;
+          Alcotest.test_case "running matches batch" `Quick test_running_matches_batch;
+          Alcotest.test_case "running edge cases" `Quick test_running_edge;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "buckets and oob counters" `Quick test_histogram_basics;
+          Alcotest.test_case "render" `Quick test_histogram_render;
+          Alcotest.test_case "validation" `Quick test_histogram_validation;
+        ] );
+      ( "chi-square",
+        [
+          Alcotest.test_case "pearson statistic" `Quick test_chi_statistic;
+          Alcotest.test_case "p-values at critical points" `Quick test_chi_p_values;
+          Alcotest.test_case "accepts a fair sample" `Quick test_chi_goodness_accepts_fair;
+          Alcotest.test_case "rejects an unfair sample" `Quick
+            test_chi_goodness_rejects_unfair;
+          Alcotest.test_case "validation" `Quick test_chi_validation;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "counter windows/cumulative" `Quick test_counter_windows;
+          Alcotest.test_case "counter rate rescaling" `Quick test_counter_rates;
+          Alcotest.test_case "out-of-order events" `Quick test_counter_out_of_order;
+          Alcotest.test_case "counter validation" `Quick test_counter_validation;
+          Alcotest.test_case "series" `Quick test_series;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_running_equals_batch; qcheck_percentile_monotone ] );
+    ]
