@@ -104,6 +104,42 @@ let kernel_step_test name make_sched fund =
     (Staged.stage (fun () ->
          ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
 
+(* observability tax on the scheduling hot path: the same lottery-list
+   kernel quantum with no bus subscribers (emission compiles down to one
+   branch), with a trace recorder attached, and with the metrics registry
+   attached (§ tentpole acceptance: zero-subscriber stepping must stay
+   within noise of the pre-bus kernel) *)
+let kernel_obs_test name attach =
+  let rng = Core.Rng.create ~seed:2 () in
+  let ls = Core.Lottery_sched.create ~rng () in
+  let k = Core.Kernel.create ~sched:(Core.Lottery_sched.sched ls) () in
+  for i = 1 to 8 do
+    let th =
+      Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+          while true do
+            Core.Api.compute (Core.Time.ms 100)
+          done)
+    in
+    ignore
+      (Core.Lottery_sched.fund_thread ls th ~amount:(100 * i)
+         ~from:(Core.Lottery_sched.base_currency ls))
+  done;
+  attach (Core.Kernel.bus k);
+  Test.make
+    ~name:(Printf.sprintf "kernel-quantum/%s" name)
+    (Staged.stage (fun () ->
+         ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
+
+let obs_none_test () = kernel_obs_test "obs-none" (fun _ -> ())
+
+let obs_recorder_test () =
+  kernel_obs_test "obs-recorder" (fun bus ->
+      Core.Obs.Recorder.attach (Core.Obs.Recorder.create ~capacity:(1 lsl 16) ()) bus)
+
+let obs_metrics_test () =
+  kernel_obs_test "obs-metrics" (fun bus ->
+      Core.Obs.Metrics.attach (Core.Obs.Metrics.create ()) bus)
+
 let lottery_sched_maker mode () =
   let rng = Core.Rng.create ~seed:2 () in
   let ls = Core.Lottery_sched.create ~mode ~rng () in
@@ -176,6 +212,9 @@ let tests () =
         kernel_step_test "stride" stride_maker true;
         kernel_step_test "round-robin" rr_maker false;
         kernel_step_test "decay-usage" decay_maker false;
+        obs_none_test ();
+        obs_recorder_test ();
+        obs_metrics_test ();
         valuation_chain_test 2;
         valuation_chain_test 16;
         valuation_wide_test 100;
@@ -198,29 +237,58 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
-let print_results results =
+let result_rows results =
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> []
+  | Some by_test ->
+      Hashtbl.fold
+        (fun name ols acc ->
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> est
+            | _ -> nan
+          in
+          (name, ns) :: acc)
+        by_test []
+      |> List.sort compare
+
+let print_results rows =
   print_endline "";
   print_endline "=================================================================";
   print_endline " Microbenchmarks (ns per operation, OLS fit)";
   print_endline "=================================================================";
-  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
-  | None -> print_endline "no results"
-  | Some by_test ->
-      let rows =
-        Hashtbl.fold
-          (fun name ols acc ->
-            let ns =
-              match Analyze.OLS.estimates ols with
-              | Some [ est ] -> est
-              | _ -> nan
-            in
-            (name, ns) :: acc)
-          by_test []
-        |> List.sort compare
-      in
-      List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.1f ns\n" name ns) rows
+  if rows = [] then print_endline "no results"
+  else
+    List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.1f ns\n" name ns) rows
+
+(* machine-readable sink for figure pipelines: one CSV row per benchmark *)
+let write_metrics_csv path rows =
+  let oc = open_out path in
+  output_string oc "benchmark,ns_per_op\n";
+  List.iter (fun (name, ns) -> Printf.fprintf oc "%s,%.3f\n" name ns) rows;
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length rows) path
 
 let () =
-  figures ();
-  let results = benchmark () in
-  print_results results
+  let run_figures = ref true in
+  let run_bench = ref true in
+  let metrics_csv = ref "" in
+  let spec =
+    [
+      ("--figures-only", Arg.Unit (fun () -> run_bench := false),
+       " regenerate the paper figures/tables and skip microbenchmarks");
+      ("--bench-only", Arg.Unit (fun () -> run_figures := false),
+       " run only the Bechamel microbenchmarks");
+      ("--metrics-csv", Arg.Set_string metrics_csv,
+       "FILE also write microbenchmark results as CSV (benchmark,ns_per_op)");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench [--figures-only | --bench-only] [--metrics-csv FILE]";
+  if !run_figures then figures ();
+  if !run_bench then begin
+    let rows = result_rows (benchmark ()) in
+    print_results rows;
+    if !metrics_csv <> "" then write_metrics_csv !metrics_csv rows
+  end

@@ -1,8 +1,10 @@
 (* Scenario-driven lottery-scheduling simulator: describe currencies,
-   threads and a horizon in a small text file; get CPU shares and an
-   execution timeline.
+   threads and a horizon in a small text file; get CPU shares, an execution
+   timeline, and (optionally) a Chrome trace and a metrics summary.
 
      dune exec bin/lottosim.exe -- scenario.txt
+     dune exec bin/lottosim.exe -- scenario.txt --stats
+     dune exec bin/lottosim.exe -- scenario.txt --trace out.json --csv out.csv
 
    Example scenario:
 
@@ -13,15 +15,27 @@
      thread b1 spin 1ms 300 bob
      thread ivy interactive 20ms 80ms 50 base
      run 60s
-*)
+
+   --trace writes Chrome trace-event JSON loadable in chrome://tracing or
+   https://ui.perfetto.dev; --csv writes the same event window as CSV;
+   --stats prints per-thread wins/quanta/wait-time percentiles plus an
+   observed-vs-entitled share table with a chi-square fairness verdict. *)
 
 open Cmdliner
 
-let run path =
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let run path trace_out csv_out stats =
   match Lotto_ctl.Scenario.parse_file path with
   | Error m -> `Error (false, m)
-  | Ok scenario ->
-      let report = Lotto_ctl.Scenario.run scenario in
+  | exception Sys_error m -> `Error (false, m)
+  | Ok scenario -> (
+      try
+      let want_trace = trace_out <> None || csv_out <> None in
+      let report = Lotto_ctl.Scenario.run ~trace:want_trace ~stats scenario in
       Printf.printf "after %s of virtual time:\n\n"
         (Format.asprintf "%a" Lotto_sim.Time.pp report.horizon);
       Printf.printf "  %-14s %12s %8s\n" "thread" "cpu (ticks)" "share";
@@ -31,13 +45,62 @@ let run path =
         report.rows;
       print_newline ();
       print_string report.timeline;
+      (match report.stats with
+      | Some s ->
+          print_newline ();
+          print_string s
+      | None -> ());
+      (match report.recorder with
+      | Some r ->
+          (match trace_out with
+          | Some out ->
+              write_file out (Lotto_obs.Recorder.to_chrome_json r);
+              Printf.printf "\nwrote %d events to %s (chrome://tracing / Perfetto)\n"
+                (Lotto_obs.Recorder.length r) out;
+              if Lotto_obs.Recorder.dropped r > 0 then
+                Printf.printf "warning: ring buffer dropped %d earlier events\n"
+                  (Lotto_obs.Recorder.dropped r)
+          | None -> ());
+          (match csv_out with
+          | Some out ->
+              write_file out (Lotto_obs.Recorder.to_csv r);
+              Printf.printf "wrote event CSV to %s\n" out
+          | None -> ())
+      | None -> ());
       `Ok ()
+      with Sys_error m -> `Error (false, m))
 
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SCENARIO" ~doc:"Scenario file.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record the typed kernel event stream and write Chrome \
+              trace-event JSON to $(docv) (open in chrome://tracing or \
+              Perfetto).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Write the recorded event stream as CSV to $(docv).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print per-thread scheduler metrics: lottery wins, quanta, \
+              compensation activations, wait-time and dispatch-latency \
+              percentiles, and an observed-vs-entitled CPU share table \
+              checked with a chi-square fairness test.")
+
 let cmd =
   let doc = "run a lottery-scheduling scenario file" in
-  Cmd.v (Cmd.info "lottosim" ~doc) Term.(ret (const run $ path_arg))
+  Cmd.v
+    (Cmd.info "lottosim" ~doc)
+    Term.(ret (const run $ path_arg $ trace_arg $ csv_arg $ stats_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -2,7 +2,10 @@
 
    Three compute-bound threads are funded 3:2:1 from the base currency; a
    minute of virtual time later their CPU consumption matches the split.
-   Also replays Figure 1's deterministic list lottery.
+   Also replays Figure 1's deterministic list lottery, and watches the run
+   through the observability bus: a metrics registry summarising wins,
+   quanta and latency percentiles, and a trace recorder holding the typed
+   event stream.
 
    Run with: dune exec examples/quickstart.exe *)
 
@@ -42,6 +45,14 @@ let () =
   ignore (Lottery_sched.fund_thread ls gold ~amount:300 ~from:base);
   ignore (Lottery_sched.fund_thread ls silver ~amount:200 ~from:base);
   ignore (Lottery_sched.fund_thread ls bronze ~amount:100 ~from:base);
+
+  (* observers: both subscribe to the kernel's event bus and each sees the
+     full stream *)
+  let metrics = Obs.Metrics.create () in
+  Obs.Metrics.attach metrics (Kernel.bus kernel);
+  let recorder = Obs.Recorder.create ~capacity:4096 () in
+  Obs.Recorder.attach recorder (Kernel.bus kernel);
+
   ignore (Kernel.run kernel ~until:(Time.seconds 60));
   let total =
     List.fold_left (fun acc th -> acc + Kernel.cpu_time th) 0 [ gold; silver; bronze ]
@@ -51,4 +62,17 @@ let () =
     (fun th ->
       Printf.printf "  %-7s %4.1f%% of the CPU\n" (Kernel.thread_name th)
         (100. *. float_of_int (Kernel.cpu_time th) /. float_of_int total))
-    [ gold; silver; bronze ]
+    [ gold; silver; bronze ];
+
+  let entitled =
+    List.map
+      (fun th -> (Kernel.thread_id th, Lottery_sched.thread_entitlement ls th))
+      [ gold; silver; bronze ]
+  in
+  Printf.printf "\n%s" (Obs.Metrics.summary ~entitled metrics);
+  Printf.printf
+    "\ntrace recorder captured %d events (newest %d kept); export with\n\
+     Obs.Recorder.to_chrome_json for chrome://tracing, or run\n\
+     lottosim --trace out.json on a scenario file\n"
+    (Obs.Recorder.seen recorder)
+    (Obs.Recorder.length recorder)

@@ -59,6 +59,9 @@ module Kernel = Lotto_sim.Kernel
 module Api = Lotto_sim.Api
 module Timeline = Lotto_sim.Timeline
 
+(* Observability: typed event bus, trace recorder, metrics registry *)
+module Obs = Lotto_obs
+
 (* Schedulers *)
 module Lottery_sched = Lotto_sched.Lottery_sched
 module Round_robin = Lotto_sched.Round_robin

@@ -20,6 +20,8 @@ type report = {
   rows : (string * int * float) list;
   timeline : string;
   horizon : Time.t;
+  recorder : Lotto_obs.Recorder.t option;
+  stats : string option;
 }
 
 (* --- parsing ------------------------------------------------------------- *)
@@ -108,11 +110,30 @@ let parse_file path =
 
 (* --- running --------------------------------------------------------------- *)
 
-let run t =
+let[@warning "-16"] run ?(trace = false) ?(trace_capacity = 1 lsl 20) ?(stats = false)
+    t =
   let rng = Lotto_prng.Rng.create ~seed:t.seed () in
   let ls = Ls.create ~rng () in
   let kernel = Kernel.create ~quantum:t.quantum ~sched:(Ls.sched ls) () in
   let timeline = Timeline.attach kernel ~bucket:(max (Time.ms 100) (t.horizon / 60)) () in
+  (* recorder, metrics and timeline are independent subscribers on the
+     kernel's event bus; each sees the full stream *)
+  let recorder =
+    if trace then begin
+      let r = Lotto_obs.Recorder.create ~capacity:trace_capacity () in
+      Lotto_obs.Recorder.attach r (Kernel.bus kernel);
+      Some r
+    end
+    else None
+  in
+  let metrics =
+    if stats then begin
+      let m = Lotto_obs.Metrics.create () in
+      Lotto_obs.Metrics.attach m (Kernel.bus kernel);
+      Some m
+    end
+    else None
+  in
   let lookup name =
     match Lotto_tickets.Funding.find_currency (Ls.funding ls) name with
     | Some c -> c
@@ -144,7 +165,20 @@ let run t =
       t.threads
   in
   ignore (Kernel.run kernel ~until:t.horizon);
+  (* entitlements before teardown: backing-ticket value at final exchange
+     rates, the yardstick for the observed-vs-entitled fairness table *)
+  let stats_text =
+    Option.map
+      (fun m ->
+        let entitled =
+          List.map (fun (_, th) -> (Kernel.thread_id th, Ls.thread_entitlement ls th)) threads
+        in
+        Lotto_obs.Metrics.summary ~entitled m)
+      metrics
+  in
   Timeline.detach timeline;
+  Option.iter Lotto_obs.Recorder.detach recorder;
+  Option.iter Lotto_obs.Metrics.detach metrics;
   let total = List.fold_left (fun acc (_, th) -> acc + Kernel.cpu_time th) 0 threads in
   {
     rows =
@@ -156,4 +190,6 @@ let run t =
         threads;
     timeline = Timeline.render timeline;
     horizon = t.horizon;
+    recorder;
+    stats = stats_text;
   }

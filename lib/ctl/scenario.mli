@@ -27,8 +27,20 @@ type report = {
       (** thread name, cpu ticks, share of total cpu *)
   timeline : string;
   horizon : Lotto_sim.Time.t;
+  recorder : Lotto_obs.Recorder.t option;
+      (** captured event trace, when [run ~trace:true]; export with
+          {!Lotto_obs.Recorder.to_chrome_json} / [to_csv] *)
+  stats : string option;
+      (** rendered {!Lotto_obs.Metrics.summary} — per-thread wins, quanta,
+          compensation counts, wait/dispatch percentiles and the
+          observed-vs-entitled share table — when [run ~stats:true] *)
 }
 
 val parse : string -> (t, string) result
 val parse_file : string -> (t, string) result
-val run : t -> report
+
+val run : ?trace:bool -> ?trace_capacity:int -> ?stats:bool -> t -> report
+(** Execute the scenario. [trace] (default false) records the typed event
+    stream into a ring buffer of [trace_capacity] events (default 2^20);
+    [stats] (default false) accumulates the metrics registry and renders
+    its summary against each thread's final ticket entitlement. *)

@@ -1,0 +1,30 @@
+type subscriber = { sid : int; sname : string; fn : int -> Event.t -> unit }
+
+type t = {
+  mutable subs : subscriber array;  (** emission order; rebuilt on churn *)
+  mutable next_sid : int;
+}
+
+type subscription = { bus : t; id : int }
+
+let create () = { subs = [||]; next_sid = 0 }
+
+let subscribe ?(name = "?") t fn =
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  t.subs <- Array.append t.subs [| { sid; sname = name; fn } |];
+  { bus = t; id = sid }
+
+let unsubscribe { bus; id } =
+  bus.subs <- Array.of_list (List.filter (fun s -> s.sid <> id) (Array.to_list bus.subs))
+
+let active t = Array.length t.subs > 0
+let subscriber_count t = Array.length t.subs
+let subscribers t = Array.to_list t.subs |> List.map (fun s -> s.sname)
+
+let emit t ~time ev =
+  (* snapshot: churn during delivery affects the next emission only *)
+  let subs = t.subs in
+  for i = 0 to Array.length subs - 1 do
+    (Array.unsafe_get subs i).fn time ev
+  done

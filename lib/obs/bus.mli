@@ -1,0 +1,39 @@
+(** Multi-subscriber event bus.
+
+    The kernel owns one bus and publishes every {!Event.t} on it; any
+    number of observers — the ASCII {!Lotto_sim.Timeline}, a
+    {!Recorder}, a {!Metrics} registry, test probes — subscribe
+    concurrently and each receives the full stream in emission order.
+    Subscribing never displaces another observer (unlike the old
+    single-slot string tracer).
+
+    Designed so an idle bus costs one branch per would-be event on the
+    kernel's hot path: publishers guard with {!active} and only construct
+    the event when somebody is listening. *)
+
+type t
+type subscription
+
+val create : unit -> t
+
+val subscribe : ?name:string -> t -> (int -> Event.t -> unit) -> subscription
+(** [subscribe bus f] registers [f], called as [f time event] for every
+    subsequent emission. [name] is reported by {!subscribers} for
+    debugging. Callbacks run synchronously on the emitting (simulation)
+    path and must not block; exceptions propagate to the kernel. *)
+
+val unsubscribe : subscription -> unit
+(** Remove one subscriber; other subscriptions are untouched. Idempotent. *)
+
+val active : t -> bool
+(** [true] when at least one subscriber is registered. Publishers should
+    test this before building an event. O(1). *)
+
+val subscriber_count : t -> int
+val subscribers : t -> string list
+(** Names of current subscribers (["?"] for anonymous ones). *)
+
+val emit : t -> time:int -> Event.t -> unit
+(** Deliver to every current subscriber in subscription order. A
+    subscriber unsubscribing (or new ones subscribing) during delivery
+    takes effect from the next emission. *)

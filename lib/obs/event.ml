@@ -1,0 +1,87 @@
+type actor = { tid : int; tname : string }
+
+type slice_end = End_quantum | End_yield | End_block | End_exit | End_horizon
+
+type t =
+  | Select of { who : actor }
+  | Preempt of { who : actor; used : int; quantum : int; why : slice_end }
+  | Block of { who : actor; on : string }
+  | Wake of { who : actor }
+  | Spawn of { who : actor }
+  | Exit of { who : actor; failure : string option }
+  | Donate of { src : actor; dst : actor }
+  | Compensate of { who : actor; factor : float }
+  | Lock_acquire of { who : actor; mutex : string; contended : bool }
+  | Lock_release of { who : actor; mutex : string }
+  | Rpc_send of { who : actor; port : string; msg_id : int }
+  | Rpc_reply of { who : actor; client : actor; msg_id : int }
+
+let actor_of ~tid ~tname = { tid; tname }
+
+let who = function
+  | Select { who }
+  | Preempt { who; _ }
+  | Block { who; _ }
+  | Wake { who }
+  | Spawn { who }
+  | Exit { who; _ }
+  | Compensate { who; _ }
+  | Lock_acquire { who; _ }
+  | Lock_release { who; _ }
+  | Rpc_send { who; _ }
+  | Rpc_reply { who; _ } -> who
+  | Donate { src; _ } -> src
+
+let tag = function
+  | Select _ -> "select"
+  | Preempt _ -> "preempt"
+  | Block _ -> "block"
+  | Wake _ -> "wake"
+  | Spawn _ -> "spawn"
+  | Exit _ -> "exit"
+  | Donate _ -> "donate"
+  | Compensate _ -> "compensate"
+  | Lock_acquire _ -> "lock-acquire"
+  | Lock_release _ -> "lock-release"
+  | Rpc_send _ -> "rpc-send"
+  | Rpc_reply _ -> "rpc-reply"
+
+let slice_end_tag = function
+  | End_quantum -> "quantum"
+  | End_yield -> "yield"
+  | End_block -> "block"
+  | End_exit -> "exit"
+  | End_horizon -> "horizon"
+
+let detail = function
+  | Select _ | Wake _ | Spawn _ -> ""
+  | Preempt { used; quantum; why; _ } ->
+      Printf.sprintf "used %d/%d (%s)" used quantum (slice_end_tag why)
+  | Block { on; _ } -> on
+  | Exit { failure = None; _ } -> ""
+  | Exit { failure = Some e; _ } -> e
+  | Donate { dst; _ } -> "-> " ^ dst.tname
+  | Compensate { factor; _ } -> Printf.sprintf "factor %.3f" factor
+  | Lock_acquire { mutex; contended; _ } ->
+      if contended then mutex ^ " (contended)" else mutex
+  | Lock_release { mutex; _ } -> mutex
+  | Rpc_send { port; msg_id; _ } -> Printf.sprintf "%s #%d" port msg_id
+  | Rpc_reply { client; msg_id; _ } ->
+      Printf.sprintf "-> %s #%d" client.tname msg_id
+
+(* The five legacy lines must stay byte-identical to the pre-bus string
+   tracer: determinism tests diff them across runs, and downstream tools
+   may grep them. *)
+let render ev =
+  match ev with
+  | Spawn { who } -> "spawn " ^ who.tname
+  | Block { who; _ } -> "block " ^ who.tname
+  | Wake { who } -> "wake " ^ who.tname
+  | Select { who } -> "select " ^ who.tname
+  | Exit { who; failure } ->
+      "exit " ^ who.tname ^ (match failure with None -> "" | Some e -> " (" ^ e ^ ")")
+  | _ -> (
+      let w = (who ev).tname in
+      match detail ev with
+      | "" -> tag ev ^ " " ^ w
+      | d -> tag ev ^ " " ^ w ^ " " ^ d)

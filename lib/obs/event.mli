@@ -1,0 +1,66 @@
+(** The typed kernel-event taxonomy.
+
+    One constructor per observable scheduling decision or synchronization
+    action. Events reference threads through lightweight {!actor} records
+    (id + name) rather than live kernel objects, so recorders can outlive
+    the simulation and exporters need no kernel access.
+
+    Timestamps are carried beside events by the {!Bus}, not inside them:
+    every subscriber receives [(time, event)] pairs in emission order. *)
+
+type actor = { tid : int; tname : string }
+
+(** Why a scheduling slice ended (carried on [Preempt], which is emitted at
+    {e every} slice end so per-slice CPU accounting needs no inference). *)
+type slice_end =
+  | End_quantum  (** consumed its full quantum *)
+  | End_yield  (** voluntarily surrendered the remainder *)
+  | End_block  (** blocked (a [Block] event precedes this one) *)
+  | End_exit  (** exited (an [Exit] event precedes this one) *)
+  | End_horizon  (** the run horizon landed mid-slice *)
+
+type t =
+  | Select of { who : actor }
+      (** the scheduler picked [who]; one lottery/decision per quantum *)
+  | Preempt of { who : actor; used : int; quantum : int; why : slice_end }
+      (** [who]'s slice ended after [used] of [quantum] ticks *)
+  | Block of { who : actor; on : string }
+      (** [who] blocked; [on] is a static reason tag: ["sleep"], ["rpc"],
+          ["recv"], ["lock"], ["cond"], ["sem"] or ["join"] *)
+  | Wake of { who : actor }  (** [who] became runnable again *)
+  | Spawn of { who : actor }
+  | Exit of { who : actor; failure : string option }
+  | Donate of { src : actor; dst : actor }
+      (** blocked [src]'s resource rights now fund [dst] (§4.6) *)
+  | Compensate of { who : actor; factor : float }
+      (** [who] received a compensation ticket inflating its value by
+          [factor] until its next quantum (§4.5) *)
+  | Lock_acquire of { who : actor; mutex : string; contended : bool }
+      (** [contended] when the mutex was handed off to a waiter rather
+          than grabbed free *)
+  | Lock_release of { who : actor; mutex : string }
+  | Rpc_send of { who : actor; port : string; msg_id : int }
+  | Rpc_reply of { who : actor; client : actor; msg_id : int }
+      (** server [who] replied to [client]'s request [msg_id] *)
+
+val actor_of : tid:int -> tname:string -> actor
+
+val who : t -> actor
+(** The primary thread an event concerns (the [src] for [Donate], the
+    server for [Rpc_reply]). *)
+
+val tag : t -> string
+(** Stable lowercase constructor tag (["select"], ["preempt"], ...); used
+    by the CSV exporter and handy for filtering. *)
+
+val slice_end_tag : slice_end -> string
+
+val detail : t -> string
+(** Human-readable payload rendering without the actor, e.g.
+    ["-> server"] for a donation or ["mutex m (contended)"]. *)
+
+val render : t -> string
+(** Legacy one-line rendering. For the five event kinds the pre-bus string
+    tracer emitted ([spawn]/[block]/[wake]/[select]/[exit]) the output is
+    byte-identical to the old format, so string-based determinism checks
+    keep working; new event kinds render as ["tag detail"] lines. *)

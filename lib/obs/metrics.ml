@@ -1,0 +1,279 @@
+module D = Lotto_stats.Descriptive
+module Chi = Lotto_stats.Chi_square
+
+(* growable float sample buffer *)
+module Samples = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 16 0.; len = 0 }
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0. in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let to_array t = Array.sub t.data 0 t.len
+end
+
+type row = {
+  tid : int;
+  name : string;
+  mutable wins : int;
+  mutable quanta : int;
+  mutable compensations : int;
+  mutable blocks : int;
+  mutable donations : int;
+  mutable lock_acquires : int;
+  mutable lock_contended : int;
+  mutable rpcs : int;
+  wait : Samples.t;
+  dispatch : Samples.t;
+  mutable blocked_since : int option;
+  mutable runnable_since : int option;
+}
+
+type t = {
+  rows : (int, row) Hashtbl.t;
+  mutable order : int list;  (** reverse first-seen order *)
+  mutable quantum_us : int;  (** largest quantum seen in Preempt events *)
+  mutable sub : Bus.subscription option;
+}
+
+let create () = { rows = Hashtbl.create 32; order = []; quantum_us = 0; sub = None }
+
+let row t (a : Event.actor) =
+  match Hashtbl.find_opt t.rows a.Event.tid with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          tid = a.Event.tid;
+          name = a.Event.tname;
+          wins = 0;
+          quanta = 0;
+          compensations = 0;
+          blocks = 0;
+          donations = 0;
+          lock_acquires = 0;
+          lock_contended = 0;
+          rpcs = 0;
+          wait = Samples.create ();
+          dispatch = Samples.create ();
+          blocked_since = None;
+          runnable_since = None;
+        }
+      in
+      Hashtbl.replace t.rows a.Event.tid r;
+      t.order <- a.Event.tid :: t.order;
+      r
+
+let on_event t time ev =
+  match ev with
+  | Event.Spawn { who } -> (row t who).runnable_since <- Some time
+  | Event.Select { who } ->
+      let r = row t who in
+      r.wins <- r.wins + 1;
+      (match r.runnable_since with
+      | Some since -> Samples.add r.dispatch (float_of_int (time - since))
+      | None -> ());
+      r.runnable_since <- None
+  | Event.Preempt { who; used; quantum; why } -> (
+      let r = row t who in
+      r.quanta <- r.quanta + used;
+      if quantum > t.quantum_us then t.quantum_us <- quantum;
+      match why with
+      | Event.End_quantum | Event.End_yield | Event.End_horizon ->
+          r.runnable_since <- Some time
+      | Event.End_block | Event.End_exit -> ())
+  | Event.Block { who; _ } ->
+      let r = row t who in
+      r.blocks <- r.blocks + 1;
+      r.blocked_since <- Some time
+  | Event.Wake { who } ->
+      let r = row t who in
+      (match r.blocked_since with
+      | Some since -> Samples.add r.wait (float_of_int (time - since))
+      | None -> ());
+      r.blocked_since <- None;
+      r.runnable_since <- Some time
+  | Event.Exit { who; _ } -> (row t who).runnable_since <- None
+  | Event.Compensate { who; _ } ->
+      let r = row t who in
+      r.compensations <- r.compensations + 1
+  | Event.Donate { src; _ } ->
+      let r = row t src in
+      r.donations <- r.donations + 1
+  | Event.Lock_acquire { who; contended; _ } ->
+      let r = row t who in
+      r.lock_acquires <- r.lock_acquires + 1;
+      if contended then r.lock_contended <- r.lock_contended + 1
+  | Event.Lock_release _ -> ()
+  | Event.Rpc_send { who; _ } ->
+      let r = row t who in
+      r.rpcs <- r.rpcs + 1
+  | Event.Rpc_reply _ -> ()
+
+let attach t bus =
+  if t.sub <> None then invalid_arg "Metrics.attach: already attached";
+  t.sub <- Some (Bus.subscribe ~name:"metrics" bus (fun time ev -> on_event t time ev))
+
+let detach t =
+  match t.sub with
+  | Some s ->
+      Bus.unsubscribe s;
+      t.sub <- None
+  | None -> ()
+
+type snapshot = {
+  tid : int;
+  name : string;
+  wins : int;
+  quanta : int;
+  compensations : int;
+  blocks : int;
+  donations : int;
+  lock_acquires : int;
+  lock_contended : int;
+  rpcs : int;
+  wait_us : float array;
+  dispatch_us : float array;
+}
+
+let snapshots t =
+  List.rev t.order
+  |> List.map (fun tid ->
+         let r = Hashtbl.find t.rows tid in
+         {
+           tid = r.tid;
+           name = r.name;
+           wins = r.wins;
+           quanta = r.quanta;
+           compensations = r.compensations;
+           blocks = r.blocks;
+           donations = r.donations;
+           lock_acquires = r.lock_acquires;
+           lock_contended = r.lock_contended;
+           rpcs = r.rpcs;
+           wait_us = Samples.to_array r.wait;
+           dispatch_us = Samples.to_array r.dispatch;
+         })
+
+let total_quanta t = Hashtbl.fold (fun _ (r : row) acc -> acc + r.quanta) t.rows 0
+
+type share = {
+  s_tid : int;
+  s_name : string;
+  s_quanta : int;
+  observed : float;
+  entitled : float;
+}
+
+let fairness t ~entitled =
+  let compared =
+    List.filter_map
+      (fun (tid, weight) ->
+        Option.map (fun (r : row) -> (r, weight)) (Hashtbl.find_opt t.rows tid))
+      entitled
+  in
+  let total_q =
+    List.fold_left (fun acc ((r : row), _) -> acc + r.quanta) 0 compared
+  in
+  let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0. compared in
+  let rows =
+    List.map
+      (fun ((r : row), w) ->
+        {
+          s_tid = r.tid;
+          s_name = r.name;
+          s_quanta = r.quanta;
+          observed = float_of_int r.quanta /. float_of_int (max 1 total_q);
+          entitled = (if total_w > 0. then w /. total_w else 0.);
+        })
+      compared
+  in
+  (* Goodness of fit over CPU time binned into quantum-sized units, not raw
+     win counts: compensation tickets (paper §3.4) deliberately inflate an
+     I/O-bound thread's win RATE in proportion to how little of each quantum
+     it uses, so win counts are non-proportional by design while CPU time
+     stays proportional to entitlement. *)
+  let p_value =
+    if t.quantum_us <= 0 || total_w <= 0. || List.length compared < 2
+       || List.exists (fun (_, w) -> w <= 0.) compared
+    then None
+    else begin
+      let slices (r : row) =
+        int_of_float
+          (Float.round (float_of_int r.quanta /. float_of_int t.quantum_us))
+      in
+      let observed = Array.of_list (List.map (fun (r, _) -> slices r) compared) in
+      let total = Array.fold_left ( + ) 0 observed in
+      if total = 0 then None
+      else begin
+        let expected =
+          Array.of_list
+            (List.map (fun (_, w) -> w /. total_w *. float_of_int total) compared)
+        in
+        let stat = Chi.statistic ~observed ~expected in
+        let df = Chi.degrees_of_freedom ~cells:(Array.length observed) in
+        Some (Chi.p_value ~statistic:stat ~df)
+      end
+    end
+  in
+  (rows, p_value)
+
+let pcts xs =
+  if Array.length xs = 0 then "-"
+  else
+    Printf.sprintf "%.1f/%.1f/%.1f"
+      (D.percentile xs 50. /. 1000.)
+      (D.percentile xs 90. /. 1000.)
+      (D.percentile xs 99. /. 1000.)
+
+let summary ?entitled t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-14s %7s %10s %5s %6s %6s %20s %20s\n" "thread" "wins"
+       "quanta(ms)" "comp" "blocks" "locks" "wait p50/90/99 (ms)"
+       "disp p50/90/99 (ms)");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s %7d %10.1f %5d %6d %6d %20s %20s\n" s.name s.wins
+           (float_of_int s.quanta /. 1000.)
+           s.compensations s.blocks s.lock_acquires (pcts s.wait_us)
+           (pcts s.dispatch_us)))
+    (snapshots t);
+  (match entitled with
+  | None -> ()
+  | Some entitled ->
+      let rows, p = fairness t ~entitled in
+      if rows <> [] then begin
+        Buffer.add_string buf "\nobserved vs entitled CPU share:\n";
+        Buffer.add_string buf
+          (Printf.sprintf "  %-14s %12s %10s %10s %8s\n" "thread" "quanta(ms)"
+             "observed" "entitled" "ratio");
+        List.iter
+          (fun s ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-14s %12.1f %9.1f%% %9.1f%% %8s\n" s.s_name
+                 (float_of_int s.s_quanta /. 1000.)
+                 (100. *. s.observed) (100. *. s.entitled)
+                 (if s.entitled > 0. then
+                    Printf.sprintf "%.3f" (s.observed /. s.entitled)
+                  else "-")))
+          rows;
+        match p with
+        | Some p ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  chi-square over quantum-sized CPU slices: p = %.3f (%s \
+                  ticket split)\n"
+                 p
+                 (if p >= 0.001 then "consistent with" else "INCONSISTENT with"))
+        | None -> ()
+      end);
+  Buffer.contents buf

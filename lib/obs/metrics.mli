@@ -1,0 +1,69 @@
+(** Per-thread metrics registry and fairness gauge.
+
+    Subscribes to a {!Bus} and accumulates, per thread: lottery wins
+    (selections), quanta ticks received, compensation-ticket activations,
+    block counts, donation/lock/RPC counters, and two latency sample sets —
+    {e wait time} (block → wake) and {e dispatch latency} (runnable →
+    selected). Percentiles come from {!Lotto_stats.Descriptive}; the
+    fairness gauge checks observed CPU share against ticket entitlement
+    with {!Lotto_stats.Chi_square}, the paper's own accuracy measure
+    (§2, Figures 1–5). *)
+
+type t
+
+val create : unit -> t
+val attach : t -> Bus.t -> unit
+(** Raises [Invalid_argument] if already attached. *)
+
+val detach : t -> unit
+val on_event : t -> int -> Event.t -> unit
+(** Feed one event directly (what {!attach} wires up). *)
+
+(** Accumulated counters for one thread. Latency samples are in µs of
+    virtual time, in arrival order. *)
+type snapshot = {
+  tid : int;
+  name : string;
+  wins : int;  (** times selected to run (= lotteries won) *)
+  quanta : int;  (** CPU ticks received *)
+  compensations : int;  (** compensation-ticket activations (§4.5) *)
+  blocks : int;
+  donations : int;  (** transfers made while blocked (§4.6) *)
+  lock_acquires : int;
+  lock_contended : int;  (** acquisitions that had to queue *)
+  rpcs : int;  (** requests sent *)
+  wait_us : float array;  (** block → wake durations *)
+  dispatch_us : float array;  (** runnable → selected durations *)
+}
+
+val snapshots : t -> snapshot list
+(** One per thread observed, in first-seen order. *)
+
+val total_quanta : t -> int
+
+(** Observed-vs-entitled share comparison for one thread. *)
+type share = {
+  s_tid : int;
+  s_name : string;
+  s_quanta : int;
+  observed : float;  (** share of total quanta ticks among compared threads *)
+  entitled : float;  (** normalized entitlement *)
+}
+
+val fairness : t -> entitled:(int * float) list -> share list * float option
+(** [fairness m ~entitled] compares observed CPU shares against the given
+    [(tid, weight)] entitlements (weights need not be normalized; threads
+    not listed are excluded from the comparison). The second component is
+    the chi-square upper-tail p-value of observed CPU time, binned into
+    quantum-sized slices, against entitlement-proportional expectations —
+    high values mean the allocation is statistically consistent with the
+    ticket split — or [None] when it is undefined (no CPU observed, fewer
+    than two threads, or a zero entitlement). CPU time rather than raw win
+    counts is compared because compensation tickets (§3.4) intentionally
+    inflate an I/O-bound thread's win rate while keeping its CPU share
+    proportional. *)
+
+val summary : ?entitled:(int * float) list -> t -> string
+(** Render the whole registry as text: a per-thread counter table with
+    wait-time and dispatch-latency percentiles, plus (with [entitled]) the
+    observed-vs-entitled share table and chi-square fairness verdict. *)

@@ -32,6 +32,8 @@ type t = {
   mutable dirty : bool; (* tree-mode weights need recomputation *)
   mutable draws : int;
   mutable fallback_rr : int; (* rotates unfunded-thread fallback *)
+  mutable draw_hook : (runnable:int -> total_weight:float -> unit) option;
+      (* observability probe, fired once per lottery *)
 }
 
 let[@warning "-16"] create ?(mode = List_mode) ?(quantum_fallback = true)
@@ -48,6 +50,7 @@ let[@warning "-16"] create ?(mode = List_mode) ?(quantum_fallback = true)
     dirty = true;
     draws = 0;
     fallback_rr = 0;
+    draw_hook = None;
   }
 
 let funding t = t.system
@@ -237,11 +240,22 @@ let fallback_pick t =
         Some (List.nth threads idx)
   end
 
+let fire_draw_hook t =
+  match t.draw_hook with
+  | None -> ()
+  | Some hook -> (
+      match t.mode with
+      | List_mode ->
+          hook ~runnable:(Ll.size t.list_lottery) ~total_weight:(Ll.total t.list_lottery)
+      | Tree_mode ->
+          hook ~runnable:(Tl.size t.tree_lottery) ~total_weight:(Tl.total t.tree_lottery))
+
 let select t =
   t.draws <- t.draws + 1;
   match t.mode with
   | List_mode -> (
       refresh_list_weights t;
+      fire_draw_hook t;
       match Ll.draw_client t.list_lottery t.rng with
       | Some th -> Some th
       | None -> fallback_pick t)
@@ -250,6 +264,7 @@ let select t =
         refresh_tree_weights t;
         t.dirty <- false
       end;
+      fire_draw_hook t;
       match Tl.draw_client t.tree_lottery t.rng with
       | Some th -> Some th
       | None -> fallback_pick t)
@@ -314,6 +329,12 @@ let sched t =
     revoke_from = (fun ~src ~dst -> revoke_from t ~src ~dst);
     pick_waiter = (fun ws -> pick_waiter t ws);
   }
+
+let set_draw_hook t hook = t.draw_hook <- hook
+
+let thread_entitlement t th =
+  let v = F.Valuation.make t.system in
+  potential_value v (state t th)
 
 let draws t = t.draws
 

@@ -90,6 +90,20 @@ val mark_dirty : t -> unit
 
 (** {1 Introspection} *)
 
+val thread_entitlement : t -> Lotto_sim.Types.thread -> float
+(** The base-unit value of the thread's backing tickets at current
+    exchange rates, whether or not the thread is currently runnable — the
+    share it is {e entitled} to whenever it competes. Unlike
+    {!thread_value} this does not drop to zero while the thread blocks,
+    making it the right yardstick for observed-vs-entitled fairness
+    gauges (e.g. {!Lotto_obs.Metrics.fairness}). *)
+
+val set_draw_hook : t -> (runnable:int -> total_weight:float -> unit) option -> unit
+(** Install an observability probe fired once per lottery, just before the
+    winning ticket is drawn, with the runnable-client count and the total
+    active weight. Used to instrument draw cost and contention; [None]
+    removes it. *)
+
 val draws : t -> int
 (** Lotteries held so far. *)
 

@@ -1,4 +1,5 @@
 open Types
+module Obs = Lotto_obs
 
 type t = {
   mutable now : int;
@@ -9,14 +10,17 @@ type t = {
   mutable thread_list : thread list; (* reverse creation order *)
   mutable idle : int;
   mutable slices : int;
-  mutable tracer : (int -> string -> unit) option;
+  bus : Obs.Bus.t;
+  mutable tracer_sub : Obs.Bus.subscription option; (* legacy set_tracer shim *)
   mutable current : thread option; (* thread being advanced, if any *)
 }
 
-let trace k fmt =
-  match k.tracer with
-  | None -> Printf.ikfprintf (fun _ -> ()) () fmt
-  | Some f -> Printf.ksprintf (fun s -> f k.now s) fmt
+(* Event publication: every site guards with [observed] so that with no
+   subscribers the cost is a single array-length check and no event is
+   allocated (the tracing-off hot path must stay free). *)
+let[@inline] observed k = Obs.Bus.active k.bus
+let[@inline] actor th = Obs.Event.actor_of ~tid:th.id ~tname:th.name
+let emit k ev = Obs.Bus.emit k.bus ~time:k.now ev
 
 let create ?(quantum = Time.ms 100) ~sched () =
   if quantum <= 0 then invalid_arg "Kernel.create: quantum <= 0";
@@ -29,7 +33,8 @@ let create ?(quantum = Time.ms 100) ~sched () =
     thread_list = [];
     idle = 0;
     slices = 0;
-    tracer = None;
+    bus = Obs.Bus.create ();
+    tracer_sub = None;
     current = None;
   }
 
@@ -59,7 +64,7 @@ let spawn k ~name body =
   in
   k.thread_list <- th :: k.thread_list;
   k.sched.attach th;
-  trace k "spawn %s" name;
+  if observed k then emit k (Obs.Event.Spawn { who = actor th });
   th
 
 let create_port k ~name =
@@ -77,19 +82,20 @@ let create_semaphore k ?(policy = Fifo) ~initial name =
 
 (* --- state transitions ------------------------------------------------ *)
 
-let block k th =
+let block k th ~on =
   th.state <- Blocked;
   k.sched.unready th;
-  trace k "block %s" th.name
+  if observed k then emit k (Obs.Event.Block { who = actor th; on })
 
 let unblock k th =
   th.state <- Runnable;
   k.sched.ready th;
-  trace k "wake %s" th.name
+  if observed k then emit k (Obs.Event.Wake { who = actor th })
 
 let donate k ~src ~dst =
   src.donating_to <- dst :: src.donating_to;
-  k.sched.donate ~src ~dst
+  k.sched.donate ~src ~dst;
+  if observed k then emit k (Obs.Event.Donate { src = actor src; dst = actor dst })
 
 let revoke k src =
   if src.donating_to <> [] then begin
@@ -133,20 +139,32 @@ let finish k th exn_opt =
     th.joiners;
   th.joiners <- [];
   k.sched.detach th;
-  trace k "exit %s%s" th.name (match exn_opt with None -> "" | Some e -> " (" ^ Printexc.to_string e ^ ")")
+  if observed k then
+    emit k
+      (Obs.Event.Exit
+         { who = actor th; failure = Option.map Printexc.to_string exn_opt })
 
 (* --- IPC and mutex operations (run inside effect handlers) ------------ *)
 
 let do_reply k msg result =
   let client = msg.sender in
+  let emit_reply () =
+    if observed k then
+      let server = match k.current with Some s -> actor s | None -> actor client in
+      emit k
+        (Obs.Event.Rpc_reply
+           { who = server; client = actor client; msg_id = msg.msg_id })
+  in
   match client.pending with
   | Waiting_reply { k = kc } ->
+      emit_reply ();
       client.pending <- Ready_reply (result, kc);
       revoke k client;
       unblock k client
   | Waiting_replies scatter ->
       if scatter.replies.(msg.slot) <> None then
         invalid_arg "Api.reply: duplicate reply to a scatter slot";
+      emit_reply ();
       scatter.replies.(msg.slot) <- Some result;
       scatter.outstanding <- scatter.outstanding - 1;
       (* the replying server's share of the divided transfer is withdrawn;
@@ -164,16 +182,20 @@ let do_reply k msg result =
       end
   | _ -> invalid_arg "Api.reply: sender is not awaiting a reply"
 
-let grant_mutex k m th =
+let grant_mutex k m th ~contended =
   m.owner <- Some th;
   m.acquisitions <- m.acquisitions + 1;
-  ignore k
+  if observed k then
+    emit k
+      (Obs.Event.Lock_acquire { who = actor th; mutex = m.mutex_name; contended })
 
 let do_unlock k th m =
   (match m.owner with
   | Some o when o == th -> ()
   | Some _ | None -> invalid_arg "Api.unlock: thread does not own mutex");
   m.owner <- None;
+  if observed k then
+    emit k (Obs.Event.Lock_release { who = actor th; mutex = m.mutex_name });
   match m.lock_waiters with
   | [] -> ()
   | waiters ->
@@ -186,7 +208,7 @@ let do_unlock k th m =
             | None -> List.hd waiters)
       in
       m.lock_waiters <- List.filter (fun w -> w.id <> next.id) waiters;
-      grant_mutex k m next;
+      grant_mutex k m next ~contended:true;
       (match next.pending with
       | Waiting_lock { k = kn; _ } -> next.pending <- Ready_unit kn
       | _ -> assert false);
@@ -217,7 +239,7 @@ let choose_waiter k policy waiters =
 let reacquire_after_signal k th m kc =
   match m.owner with
   | None ->
-      grant_mutex k m th;
+      grant_mutex k m th ~contended:false;
       th.pending <- Ready_unit kc;
       unblock k th
   | Some owner ->
@@ -361,7 +383,7 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
           (Effect.Deep.discontinue kc (Invalid_argument "Api.join: cannot join self"))
       else begin
         th.pending <- Waiting_join { target; k = kc };
-        block k th;
+        block k th ~on:"join";
         target.joiners <- target.joiners @ [ th ];
         (* one more transfer site: the joiner's rights speed the target up *)
         donate k ~src:th ~dst:target;
@@ -379,7 +401,7 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
   | S_sleep (d, kc) ->
       let until = k.now + max d 0 in
       th.pending <- Sleeping { until; k = kc };
-      block k th;
+      block k th ~on:"sleep";
       Heap.push k.timers ~key:until th;
       `Blocked
   | S_rpc_many (targets, kc) ->
@@ -390,7 +412,7 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
         let n = List.length targets in
         th.pending <-
           Waiting_replies { replies = Array.make n None; outstanding = n; ks = kc };
-        block k th;
+        block k th ~on:"rpc";
         List.iteri
           (fun slot (p, payload) ->
             let msg =
@@ -403,7 +425,7 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
   | S_rpc (p, payload, kc) ->
       let msg = { msg_id = fresh_id k; sender = th; payload; sent_at = k.now; slot = 0 } in
       th.pending <- Waiting_reply { k = kc };
-      block k th;
+      block k th ~on:"rpc";
       deliver_or_queue k th p msg;
       `Blocked
   | S_recv (p, kc) -> (
@@ -416,19 +438,19 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
           `Continue
       | None ->
           th.pending <- Waiting_recv { port = p; k = kc };
-          block k th;
+          block k th ~on:"recv";
           Queue.push th p.waiters;
           `Blocked)
   | S_lock (m, kc) -> (
       match m.owner with
       | None ->
-          grant_mutex k m th;
+          grant_mutex k m th ~contended:false;
           th.pending <- Ready_unit kc;
           `Continue
       | Some owner ->
           m.lock_waiters <- m.lock_waiters @ [ th ];
           th.pending <- Waiting_lock { mutex = m; k = kc };
-          block k th;
+          block k th ~on:"lock";
           donate k ~src:th ~dst:owner;
           `Blocked)
   | S_wait (c, m, kc) -> (
@@ -436,7 +458,7 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
       match do_unlock k th m with
       | () ->
           th.pending <- Waiting_cond { cond = c; mutex = m; k = kc };
-          block k th;
+          block k th ~on:"cond";
           c.cond_waiters <- c.cond_waiters @ [ th ];
           `Blocked
       | exception e -> handle_step k th (Effect.Deep.discontinue kc e))
@@ -449,12 +471,16 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
       else begin
         sm.sem_waiters <- sm.sem_waiters @ [ th ];
         th.pending <- Waiting_sem { sem = sm; k = kc };
-        block k th;
+        block k th ~on:"sem";
         `Blocked
       end
 
 (* hand a freshly sent message to a live waiting server, or queue it *)
 and deliver_or_queue k sender p msg =
+  if observed k then
+    emit k
+      (Obs.Event.Rpc_send
+         { who = actor sender; port = p.port_name; msg_id = msg.msg_id });
   let rec next_live_waiter () =
     match Queue.take_opt p.waiters with
     | Some srv when (match srv.pending with Waiting_recv _ -> true | _ -> false) ->
@@ -572,7 +598,7 @@ let run_slice k th ~horizon =
      (paper §4.5: the inflation lasts "until the client starts its next
      quantum"). *)
   th.compensate <- 1.;
-  trace k "select %s" th.name;
+  if observed k then emit k (Obs.Event.Select { who = actor th });
   let slice_left = ref k.quantum in
   let outcome = ref `Preempted in
   k.current <- Some th;
@@ -614,12 +640,26 @@ let run_slice k th ~horizon =
   (match !outcome with
   | `Blocked | `Exited -> ()
   | `Preempted | `Yielded | `Horizon -> th.state <- Runnable);
+  if observed k then begin
+    let why =
+      match !outcome with
+      | `Preempted -> Obs.Event.End_quantum
+      | `Yielded -> Obs.Event.End_yield
+      | `Blocked -> Obs.Event.End_block
+      | `Exited -> Obs.Event.End_exit
+      | `Horizon -> Obs.Event.End_horizon
+    in
+    emit k (Obs.Event.Preempt { who = actor th; used; quantum = k.quantum; why })
+  end;
   (* Compensation ticket: a thread that gave up the CPU (blocked or yielded)
      after consuming only a fraction f of its quantum has its value inflated
      by 1/f until it next starts a quantum. *)
   let gave_up = match !outcome with `Blocked | `Yielded -> true | _ -> false in
-  if gave_up && used < k.quantum then
+  if gave_up && used < k.quantum then begin
     th.compensate <- float_of_int k.quantum /. float_of_int (max used 1);
+    if observed k then
+      emit k (Obs.Event.Compensate { who = actor th; factor = th.compensate })
+  end;
   k.sched.account th ~used ~quantum:k.quantum ~blocked
 
 let has_live_blocked k =
@@ -660,7 +700,25 @@ let failures k =
   |> List.filter_map (fun th ->
          match th.failure with Some e -> Some (th, e) | None -> None)
 
-let set_tracer k f = k.tracer <- f
+let bus k = k.bus
+
+(* Legacy single-tracer interface, now one bus subscriber among many: the
+   five historical event kinds render to their exact old lines (see
+   {!Obs.Event.render}), so pre-bus consumers and determinism tests keep
+   working without clobbering other observers. *)
+let set_tracer k f =
+  (match k.tracer_sub with
+  | Some s ->
+      Obs.Bus.unsubscribe s;
+      k.tracer_sub <- None
+  | None -> ());
+  match f with
+  | None -> ()
+  | Some f ->
+      k.tracer_sub <-
+        Some
+          (Obs.Bus.subscribe ~name:"legacy-tracer" k.bus (fun time ev ->
+               f time (Obs.Event.render ev)))
 let cpu_time th = th.cpu
 let thread_name th = th.name
 let thread_id th = th.id

@@ -61,9 +61,27 @@ val threads : t -> Types.thread list
 val find_thread : t -> string -> Types.thread option
 val failures : t -> (Types.thread * exn) list
 
+(** {1 Observability}
+
+    Every kernel owns a {!Lotto_obs.Bus} and publishes a typed
+    {!Lotto_obs.Event.t} for each scheduling decision and synchronization
+    action: [Select]/[Preempt] around every slice, [Block]/[Wake],
+    [Spawn]/[Exit], [Donate]/[Compensate] for the paper's ticket
+    mechanisms, [Lock_acquire]/[Lock_release] and [Rpc_send]/[Rpc_reply].
+    Any number of subscribers (timelines, recorders, metrics, test probes)
+    observe concurrently; with no subscribers the publication sites cost
+    one branch and allocate nothing. *)
+
+val bus : t -> Lotto_obs.Bus.t
+(** The kernel's event bus; subscribe with {!Lotto_obs.Bus.subscribe}. *)
+
 val set_tracer : t -> (Time.t -> string -> unit) option -> unit
-(** Install a hook receiving a line per kernel event (select, block, wake,
-    spawn, exit); used by determinism tests. *)
+(** Legacy string-tracer interface, kept as a compatibility shim: installs
+    a bus subscriber that renders each event through
+    {!Lotto_obs.Event.render} (byte-identical to the historical lines for
+    select/block/wake/spawn/exit). Replaces only the tracer installed by a
+    previous [set_tracer] call — other bus subscribers are unaffected.
+    [set_tracer k None] removes it. *)
 
 (** {1 Thread accessors} *)
 

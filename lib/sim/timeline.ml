@@ -1,27 +1,32 @@
+module Obs = Lotto_obs
+
 type t = {
-  kernel : Kernel.t;
   bucket : int;
   (* thread name -> (bucket index -> ticks) *)
   rows : (string, (int, int) Hashtbl.t) Hashtbl.t;
-  mutable last_select : (string * int) option; (* name, time *)
+  mutable sub : Obs.Bus.subscription option;
   mutable first_time : int;
   mutable last_time : int;
 }
 
-(* The kernel traces "select <name>" at each decision; charge the interval
-   between consecutive selects to the earlier thread. *)
-let on_event t time line =
-  (match t.last_select with
-  | Some (name, started) when time > started ->
+(* The kernel emits a [Preempt] at every slice end carrying the exact ticks
+   consumed; charge [time - used, time) to the thread. (The pre-bus string
+   parser inferred intervals between consecutive "select" lines and lost
+   the final slice; typed events make the accounting exact.) *)
+let on_event t time ev =
+  if t.first_time < 0 then t.first_time <- time;
+  t.last_time <- max t.last_time time;
+  match ev with
+  | Obs.Event.Preempt { who; used; _ } when used > 0 ->
       let row =
-        match Hashtbl.find_opt t.rows name with
+        match Hashtbl.find_opt t.rows who.Obs.Event.tname with
         | Some r -> r
         | None ->
             let r = Hashtbl.create 32 in
-            Hashtbl.replace t.rows name r;
+            Hashtbl.replace t.rows who.Obs.Event.tname r;
             r
       in
-      (* spread [started, time) across buckets *)
+      (* spread [time - used, time) across buckets *)
       let rec charge from remaining =
         if remaining > 0 then begin
           let b = from / t.bucket in
@@ -32,31 +37,26 @@ let on_event t time line =
           charge (from + chunk) (remaining - chunk)
         end
       in
-      charge started (time - started)
-  | _ -> ());
-  if t.first_time < 0 then t.first_time <- time;
-  t.last_time <- max t.last_time time;
-  match String.index_opt line ' ' with
-  | Some i when String.sub line 0 i = "select" ->
-      t.last_select <- Some (String.sub line (i + 1) (String.length line - i - 1), time)
+      charge (time - used) used
   | _ -> ()
 
 let[@warning "-16"] attach kernel ?(bucket = Time.seconds 1) () =
   if bucket <= 0 then invalid_arg "Timeline.attach: bucket <= 0";
   let t =
-    {
-      kernel;
-      bucket;
-      rows = Hashtbl.create 16;
-      last_select = None;
-      first_time = -1;
-      last_time = 0;
-    }
+    { bucket; rows = Hashtbl.create 16; sub = None; first_time = -1; last_time = 0 }
   in
-  Kernel.set_tracer kernel (Some (fun time line -> on_event t time line));
+  t.sub <-
+    Some
+      (Obs.Bus.subscribe ~name:"timeline" (Kernel.bus kernel) (fun time ev ->
+           on_event t time ev));
   t
 
-let detach t = Kernel.set_tracer t.kernel None
+let detach t =
+  match t.sub with
+  | Some s ->
+      Obs.Bus.unsubscribe s;
+      t.sub <- None
+  | None -> ()
 
 let render ?(width = 72) t =
   if width <= 0 then invalid_arg "Timeline.render: width <= 0";

@@ -1,12 +1,16 @@
 (** ASCII execution timelines.
 
-    Attaches to a kernel's tracer, records which thread each quantum went
-    to, and renders a Gantt-style chart — one row per thread, one column
-    per time bucket, with the glyph showing how much of the bucket the
-    thread received. Handy for eyeballing proportional shares and transfer
-    effects in examples and while debugging schedulers.
+    Subscribes to a kernel's {!Lotto_obs.Bus}, records which thread each
+    quantum went to (from the typed [Preempt] events, which carry exact
+    per-slice tick counts), and renders a Gantt-style chart — one row per
+    thread, one column per time bucket, with the glyph showing how much of
+    the bucket the thread received. Handy for eyeballing proportional
+    shares and transfer effects in examples and while debugging schedulers.
 
-    Recording replaces any tracer previously installed on the kernel. *)
+    A timeline is one bus subscriber among many: attaching does {e not}
+    displace recorders, metrics registries, or a legacy
+    {!Kernel.set_tracer} hook, and several timelines can observe one
+    kernel simultaneously. *)
 
 type t
 
@@ -14,7 +18,8 @@ val attach : Kernel.t -> ?bucket:Time.t -> unit -> t
 (** Start recording. [bucket] is the rendering column width (default 1 s). *)
 
 val detach : t -> unit
-(** Stop recording (uninstalls the tracer). *)
+(** Stop recording (removes only this timeline's subscription; any other
+    bus subscribers keep observing). Idempotent. *)
 
 val render : ?width:int -> t -> string
 (** Render rows for every thread observed, covering the recorded interval;

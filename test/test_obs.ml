@@ -1,0 +1,484 @@
+(* Observability subsystem: event bus fan-out, ring-buffer recorder and its
+   exporters, the metrics registry, and end-to-end determinism of the typed
+   event stream. *)
+
+open Core
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let actor name tid = Obs.Event.actor_of ~tid ~tname:name
+
+let select name tid = Obs.Event.Select { who = actor name tid }
+
+(* --- minimal JSON validity checker ----------------------------------------- *)
+
+(* enough of RFC 8259 to reject anything Chrome's trace loader would: a
+   recursive-descent scan that must consume the entire string *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if peek () = Some c then advance () else raise Exit in
+  let literal w = String.iter expect w in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> raise Exit
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> raise Exit
+              done;
+              go ()
+          | _ -> raise Exit)
+      | Some c when Char.code c < 0x20 -> raise Exit (* raw control char *)
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            saw := true;
+            advance ();
+            go ()
+        | _ -> if not !saw then raise Exit
+      in
+      go ()
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise Exit);
+    skip_ws ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ()
+        | _ -> expect '}'
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elements () =
+        value ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            elements ()
+        | _ -> expect ']'
+      in
+      elements ()
+  in
+  match value () with
+  | () -> !pos = n
+  | exception Exit -> false
+
+let count_substring hay needle =
+  let nl = String.length needle in
+  let rec go from acc =
+    match String.index_from_opt hay from needle.[0] with
+    | None -> acc
+    | Some i ->
+        if i + nl <= String.length hay && String.sub hay i nl = needle then
+          go (i + 1) (acc + 1)
+        else go (i + 1) acc
+  in
+  if nl = 0 then 0 else go 0 0
+
+let test_json_checker_self_test () =
+  List.iter
+    (fun s -> checkb s true (json_valid s))
+    [
+      "[]"; "{}"; "[1,2.5,-3e4]"; {|{"a":"b\"c","d":[true,false,null]}|};
+      {|[{"name":"A"}]|}; " [ 1 , 2 ] ";
+    ];
+  List.iter
+    (fun s -> checkb s false (json_valid s))
+    [ ""; "["; "[1,]"; {|{"a":}|}; {|{"a" 1}|}; "[1] trailing"; "{'a':1}";
+      "[\"raw\nnewline\"]" ]
+
+(* --- bus -------------------------------------------------------------------- *)
+
+let test_bus_fanout_and_unsubscribe () =
+  let bus = Obs.Bus.create () in
+  checkb "idle bus inactive" false (Obs.Bus.active bus);
+  let got1 = ref [] and got2 = ref [] in
+  let s1 = Obs.Bus.subscribe ~name:"one" bus (fun t e -> got1 := (t, e) :: !got1) in
+  let _s2 = Obs.Bus.subscribe ~name:"two" bus (fun t e -> got2 := (t, e) :: !got2) in
+  checkb "active with subscribers" true (Obs.Bus.active bus);
+  checki "count" 2 (Obs.Bus.subscriber_count bus);
+  check (Alcotest.list Alcotest.string) "names" [ "one"; "two" ]
+    (Obs.Bus.subscribers bus);
+  Obs.Bus.emit bus ~time:1 (select "a" 0);
+  Obs.Bus.emit bus ~time:2 (select "b" 1);
+  checki "both delivered to one" 2 (List.length !got1);
+  checkb "identical streams" true (!got1 = !got2);
+  Obs.Bus.unsubscribe s1;
+  Obs.Bus.unsubscribe s1;
+  (* idempotent *)
+  checki "one left" 1 (Obs.Bus.subscriber_count bus);
+  Obs.Bus.emit bus ~time:3 (select "c" 2);
+  checki "unsubscribed sees nothing new" 2 (List.length !got1);
+  checki "survivor still receives" 3 (List.length !got2)
+
+let test_bus_churn_during_delivery () =
+  (* a subscriber unsubscribing itself mid-delivery must not disturb the
+     current emission *)
+  let bus = Obs.Bus.create () in
+  let sub = ref None in
+  let fired = ref 0 and other = ref 0 in
+  sub :=
+    Some
+      (Obs.Bus.subscribe bus (fun _ _ ->
+           incr fired;
+           Option.iter Obs.Bus.unsubscribe !sub));
+  let _keep = Obs.Bus.subscribe bus (fun _ _ -> incr other) in
+  Obs.Bus.emit bus ~time:1 (select "a" 0);
+  Obs.Bus.emit bus ~time:2 (select "b" 0);
+  checki "self-removing subscriber fired once" 1 !fired;
+  checki "other subscriber saw every emission" 2 !other
+
+(* --- recorder --------------------------------------------------------------- *)
+
+let test_ring_wraparound () =
+  let r = Obs.Recorder.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Obs.Recorder.record r i (select (Printf.sprintf "t%d" i) i)
+  done;
+  checki "capacity" 8 (Obs.Recorder.capacity r);
+  checki "length capped" 8 (Obs.Recorder.length r);
+  checki "seen counts everything" 20 (Obs.Recorder.seen r);
+  checki "dropped" 12 (Obs.Recorder.dropped r);
+  let times = List.map fst (Obs.Recorder.events r) in
+  check (Alcotest.list Alcotest.int) "oldest-first window"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ] times;
+  Obs.Recorder.clear r;
+  checki "clear empties" 0 (Obs.Recorder.length r);
+  checki "clear resets accounting" 0 (Obs.Recorder.dropped r)
+
+let test_chrome_json_valid_and_escaped () =
+  let r = Obs.Recorder.create ~capacity:64 () in
+  let nasty = "we\"ird\\name\ttab" in
+  let a = actor nasty 0 in
+  Obs.Recorder.record r 0 (Obs.Event.Spawn { who = a });
+  Obs.Recorder.record r 0 (Obs.Event.Select { who = a });
+  Obs.Recorder.record r 100 (Obs.Event.Block { who = a; on = "sleep" });
+  Obs.Recorder.record r 100
+    (Obs.Event.Preempt { who = a; used = 100; quantum = 250; why = Obs.Event.End_block });
+  Obs.Recorder.record r 150 (Obs.Event.Wake { who = a });
+  Obs.Recorder.record r 150 (Obs.Event.Select { who = a });
+  (* no final Preempt: the exporter must close the dangling slice itself *)
+  let json = Obs.Recorder.to_chrome_json r in
+  checkb "valid JSON" true (json_valid json);
+  checkb "quotes and backslashes escaped" true
+    (count_substring json {|we\"ird\\name\ttab|} > 0);
+  checki "balanced B/E pairs" (count_substring json {|"ph":"B"|})
+    (count_substring json {|"ph":"E"|});
+  checki "thread_name metadata once" 1 (count_substring json "thread_name")
+
+let test_chrome_json_wrapped_open_slice () =
+  (* wraparound can evict a Select whose matching Preempt survived; the E
+     must then be suppressed, not emitted unbalanced *)
+  let r = Obs.Recorder.create ~capacity:2 () in
+  let a = actor "w" 0 in
+  Obs.Recorder.record r 0 (Obs.Event.Select { who = a });
+  Obs.Recorder.record r 100
+    (Obs.Event.Preempt { who = a; used = 100; quantum = 100; why = Obs.Event.End_quantum });
+  Obs.Recorder.record r 100 (Obs.Event.Select { who = a });
+  Obs.Recorder.record r 200
+    (Obs.Event.Preempt { who = a; used = 100; quantum = 100; why = Obs.Event.End_quantum });
+  (* window now holds [Select@100; Preempt@200] -- wait, capacity 2 keeps the
+     last two events: Select@100 and Preempt@200, a matched pair. Push once
+     more so the window is [Preempt@200; Select@200] and the orphan Preempt
+     leads. *)
+  Obs.Recorder.record r 200 (Obs.Event.Select { who = a });
+  let json = Obs.Recorder.to_chrome_json r in
+  checkb "valid JSON" true (json_valid json);
+  checki "orphan E suppressed, dangling B closed"
+    (count_substring json {|"ph":"B"|})
+    (count_substring json {|"ph":"E"|})
+
+let test_csv_shape () =
+  let r = Obs.Recorder.create ~capacity:16 () in
+  let a = actor "com,ma" 3 in
+  Obs.Recorder.record r 5 (Obs.Event.Spawn { who = a });
+  Obs.Recorder.record r 7 (Obs.Event.Block { who = a; on = "lock" });
+  let csv = Obs.Recorder.to_csv r in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  checki "header + one row per event" 3 (List.length lines);
+  check Alcotest.string "header" "time_us,event,tid,thread,detail" (List.hd lines);
+  checkb "comma-bearing name quoted" true (count_substring csv {|"com,ma"|} > 0)
+
+(* --- live kernel helpers ----------------------------------------------------- *)
+
+let lottery_kernel ~seed () =
+  let rng = Rng.create ~seed () in
+  let ls = Lottery_sched.create ~rng () in
+  let k = Kernel.create ~quantum:(Time.ms 100) ~sched:(Lottery_sched.sched ls) () in
+  (k, ls)
+
+let spin_thread k ls name amount =
+  let th =
+    Kernel.spawn k ~name (fun () ->
+        while true do
+          Api.compute (Time.ms 10)
+        done)
+  in
+  ignore
+    (Lottery_sched.fund_thread ls th ~amount ~from:(Lottery_sched.base_currency ls));
+  th
+
+(* --- determinism of the typed stream ----------------------------------------- *)
+
+let run_traced seed =
+  let k, ls = lottery_kernel ~seed () in
+  let r = Obs.Recorder.create ~capacity:(1 lsl 16) () in
+  Obs.Recorder.attach r (Kernel.bus k);
+  let _a = spin_thread k ls "a" 100 in
+  let _b = spin_thread k ls "b" 200 in
+  let _i =
+    let th =
+      Kernel.spawn k ~name:"i" (fun () ->
+          while true do
+            Api.compute (Time.ms 20);
+            Api.sleep (Time.ms 50)
+          done)
+    in
+    ignore
+      (Lottery_sched.fund_thread ls th ~amount:100
+         ~from:(Lottery_sched.base_currency ls));
+    th
+  in
+  ignore (Kernel.run k ~until:(Time.seconds 5));
+  List.map
+    (fun (t, e) -> Printf.sprintf "%d %s" t (Obs.Event.render e))
+    (Obs.Recorder.events r)
+
+let test_typed_stream_deterministic () =
+  let one = run_traced 42 and two = run_traced 42 in
+  checkb "non-trivial stream" true (List.length one > 100);
+  checkb "same seed, byte-identical streams" true (one = two);
+  let three = run_traced 43 in
+  checkb "different seed diverges" true (one <> three)
+
+(* --- multiple subscribers on a live kernel ----------------------------------- *)
+
+let test_multi_subscriber_full_stream () =
+  let k, ls = lottery_kernel ~seed:9 () in
+  let timeline = Lotto_sim.Timeline.attach k () in
+  let r = Obs.Recorder.create ~capacity:(1 lsl 16) () in
+  Obs.Recorder.attach r (Kernel.bus k);
+  let probe = ref 0 in
+  let _sub = Obs.Bus.subscribe ~name:"probe" (Kernel.bus k) (fun _ _ -> incr probe) in
+  let tha = spin_thread k ls "a" 100 in
+  let _thb = spin_thread k ls "b" 300 in
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  checkb "probe saw traffic" true (!probe > 0);
+  checki "probe and recorder saw the same stream" (Obs.Recorder.seen r) !probe;
+  checki "nothing dropped below capacity" 0 (Obs.Recorder.dropped r);
+  (* the timeline subscriber works from the same stream: its per-thread CPU
+     matches the kernel's own accounting *)
+  checki "timeline cpu = kernel cpu" (Kernel.cpu_time tha)
+    (Lotto_sim.Timeline.cpu_of timeline "a")
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let test_metrics_quanta_match_kernel () =
+  let k, ls = lottery_kernel ~seed:5 () in
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.attach m (Kernel.bus k);
+  let tha = spin_thread k ls "a" 100 in
+  let thb = spin_thread k ls "b" 200 in
+  ignore (Kernel.run k ~until:(Time.seconds 3));
+  Obs.Metrics.detach m;
+  let by_name n =
+    match List.find_opt (fun s -> s.Obs.Metrics.name = n) (Obs.Metrics.snapshots m) with
+    | Some s -> s
+    | None -> Alcotest.failf "no snapshot for %s" n
+  in
+  checki "a: metric quanta = kernel cpu" (Kernel.cpu_time tha) (by_name "a").quanta;
+  checki "b: metric quanta = kernel cpu" (Kernel.cpu_time thb) (by_name "b").quanta;
+  checki "total quanta = clock" (Time.seconds 3) (Obs.Metrics.total_quanta m);
+  checkb "a won lotteries" true ((by_name "a").wins > 0);
+  checki "spinners never block" 0 (by_name "a").blocks
+
+let test_metrics_wait_time () =
+  let k, ls = lottery_kernel ~seed:6 () in
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.attach m (Kernel.bus k);
+  let th =
+    Kernel.spawn k ~name:"sleeper" (fun () ->
+        while true do
+          Api.compute (Time.ms 10);
+          Api.sleep (Time.ms 40)
+        done)
+  in
+  ignore
+    (Lottery_sched.fund_thread ls th ~amount:100
+       ~from:(Lottery_sched.base_currency ls));
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  match Obs.Metrics.snapshots m with
+  | [ s ] ->
+      checkb "blocked at least once" true (s.blocks > 0);
+      (* the final block may still be pending at the horizon *)
+      checkb "one wait sample per completed block" true
+        (let n = Array.length s.wait_us in
+         n = s.blocks || n = s.blocks - 1);
+      Array.iter
+        (fun w -> checkb "each wait is the sleep duration" true (w = 40_000.))
+        s.wait_us;
+      checkb "compensated after each early block" true (s.compensations > 0)
+  | l -> Alcotest.failf "expected 1 snapshot, got %d" (List.length l)
+
+let test_fairness_gauge () =
+  let k, ls = lottery_kernel ~seed:7 () in
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.attach m (Kernel.bus k);
+  let tha = spin_thread k ls "a" 100 in
+  let thb = spin_thread k ls "b" 200 in
+  let thc = spin_thread k ls "c" 300 in
+  ignore (Kernel.run k ~until:(Time.seconds 60));
+  let entitled =
+    List.map
+      (fun th -> (Kernel.thread_id th, Lottery_sched.thread_entitlement ls th))
+      [ tha; thb; thc ]
+  in
+  let shares, p = Obs.Metrics.fairness m ~entitled in
+  checki "three rows" 3 (List.length shares);
+  List.iter
+    (fun (s : Obs.Metrics.share) ->
+      checkb
+        (Printf.sprintf "%s within 10%% of entitlement" s.s_name)
+        true
+        (Float.abs (s.observed -. s.entitled) < 0.10))
+    shares;
+  (match p with
+  | Some p -> checkb "1:2:3 split statistically consistent" true (p > 0.001)
+  | None -> Alcotest.fail "p-value expected");
+  let text = Obs.Metrics.summary ~entitled m in
+  checkb "summary names all threads" true
+    (List.for_all (fun n -> count_substring text n > 0) [ "a"; "b"; "c" ]);
+  checkb "summary prints verdict" true (count_substring text "consistent" > 0)
+
+let test_fairness_none_when_undefined () =
+  let m = Obs.Metrics.create () in
+  let _, p = Obs.Metrics.fairness m ~entitled:[ (0, 1.); (1, 1.) ] in
+  checkb "no events -> no verdict" true (p = None)
+
+(* --- legacy tracer compatibility --------------------------------------------- *)
+
+let test_legacy_render_format () =
+  let a = actor "worker" 4 in
+  check Alcotest.string "spawn" "spawn worker" (Obs.Event.render (Spawn { who = a }));
+  check Alcotest.string "block" "block worker"
+    (Obs.Event.render (Block { who = a; on = "sleep" }));
+  check Alcotest.string "wake" "wake worker" (Obs.Event.render (Wake { who = a }));
+  check Alcotest.string "select" "select worker"
+    (Obs.Event.render (Select { who = a }));
+  check Alcotest.string "exit ok" "exit worker"
+    (Obs.Event.render (Exit { who = a; failure = None }));
+  check Alcotest.string "exit failure" "exit worker (boom)"
+    (Obs.Event.render (Exit { who = a; failure = Some "boom" }))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json-checker",
+        [ Alcotest.test_case "accepts valid, rejects invalid" `Quick
+            test_json_checker_self_test ] );
+      ( "bus",
+        [
+          Alcotest.test_case "fan-out and unsubscribe" `Quick
+            test_bus_fanout_and_unsubscribe;
+          Alcotest.test_case "churn during delivery" `Quick
+            test_bus_churn_during_delivery;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "chrome json valid + escaped" `Quick
+            test_chrome_json_valid_and_escaped;
+          Alcotest.test_case "chrome json after wraparound" `Quick
+            test_chrome_json_wrapped_open_slice;
+          Alcotest.test_case "csv shape" `Quick test_csv_shape;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "typed stream deterministic" `Quick
+            test_typed_stream_deterministic;
+          Alcotest.test_case "multiple subscribers, full stream" `Quick
+            test_multi_subscriber_full_stream;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "quanta match kernel accounting" `Quick
+            test_metrics_quanta_match_kernel;
+          Alcotest.test_case "wait-time samples" `Quick test_metrics_wait_time;
+          Alcotest.test_case "fairness gauge" `Quick test_fairness_gauge;
+          Alcotest.test_case "fairness undefined without data" `Quick
+            test_fairness_none_when_undefined;
+        ] );
+      ( "legacy",
+        [ Alcotest.test_case "render matches old tracer" `Quick
+            test_legacy_render_format ] );
+    ]
