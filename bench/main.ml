@@ -68,12 +68,43 @@ let distributed_draw_test n =
   let t = Core.Distributed_lottery.create ~nodes:16 () in
   for i = 1 to n do
     ignore
-      (Core.Distributed_lottery.add t ~node:(i mod 16) ~client:i
+      (Core.Distributed_lottery.add_on t ~node:(i mod 16) ~client:i
          ~weight:(float_of_int i))
   done;
   Test.make
     ~name:(Printf.sprintf "draw/distributed16/%04d" n)
     (Staged.stage (fun () -> ignore (Core.Distributed_lottery.draw t rng)))
+
+(* the unified Draw front-end every subsystem now draws through: same
+   operation across backends, so the numbers are directly comparable *)
+let draw_backend_sizes = [ 10; 100; 1000 ]
+
+let draw_backend_test mode mode_name n =
+  let rng = Core.Rng.create ~seed:1 () in
+  let t = Core.Draw.of_mode mode in
+  for i = 1 to n do
+    ignore (Core.Draw.add t ~client:i ~weight:(float_of_int i))
+  done;
+  Test.make
+    ~name:(Printf.sprintf "draw-backend/%s/%04d" mode_name n)
+    (Staged.stage (fun () -> ignore (Core.Draw.draw_client t rng)))
+
+(* a resource-manager draw end to end: one io-bandwidth slot among n
+   permanently backlogged clients, list vs tree backend *)
+let resmgr_draw_test backend backend_name n =
+  let rng = Core.Rng.create ~seed:5 () in
+  let io = Core.Io_bandwidth.create ~backend ~rng () in
+  for i = 1 to n do
+    let c =
+      Core.Io_bandwidth.add_client io
+        ~name:(Printf.sprintf "c%d" i)
+        ~tickets:(10 * i)
+    in
+    Core.Io_bandwidth.submit io c ~requests:1_000_000_000
+  done;
+  Test.make
+    ~name:(Printf.sprintf "resmgr-draw/io-%s/%04d" backend_name n)
+    (Staged.stage (fun () -> ignore (Core.Io_bandwidth.serve_slot io)))
 
 let tree_draw_test n =
   let rng = Core.Rng.create ~seed:1 () in
@@ -206,6 +237,21 @@ let tests () =
     @ List.map sorted_list_draw_test draw_bench_sizes
     @ List.map tree_draw_test draw_bench_sizes
     @ List.map distributed_draw_test [ 64; 1024 ]
+    @ List.concat_map
+        (fun n ->
+          [
+            draw_backend_test Core.Draw.List "list" n;
+            draw_backend_test Core.Draw.Tree "tree" n;
+            draw_backend_test (Core.Draw.Distributed 16) "distributed16" n;
+          ])
+        draw_backend_sizes
+    @ List.concat_map
+        (fun n ->
+          [
+            resmgr_draw_test Core.Draw.List "list" n;
+            resmgr_draw_test Core.Draw.Tree "tree" n;
+          ])
+        draw_backend_sizes
     @ [
         kernel_step_test "lottery-list" (lottery_sched_maker Core.Lottery_sched.List_mode) true;
         kernel_step_test "lottery-tree" (lottery_sched_maker Core.Lottery_sched.Tree_mode) true;

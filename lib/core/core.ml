@@ -6,8 +6,10 @@
       seeded, reproducible randomness;
     - {!Funding}: tickets and currencies — the resource-rights model of
       Sections 3–4 (transfers, inflation, currencies, compensation);
-    - {!List_lottery} / {!Tree_lottery} / {!Inverse_lottery}: the draw
-      structures of Sections 4.2 and 6.2;
+    - {!Draw} over {!List_lottery} / {!Tree_lottery} /
+      {!Distributed_lottery}: one weighted-draw interface for every
+      lottery in the system (Sections 4.2 and 5.1), plus
+      {!Inverse_lottery} (Section 6.2);
     - {!Time}, {!Kernel}, {!Api}, {!Types}: the discrete-event kernel
       standing in for Mach 3.0, with effect-based threads, synchronous RPC
       and mutexes;
@@ -47,6 +49,7 @@ module Funding = Lotto_tickets.Funding
 module Acl = Lotto_tickets.Acl
 
 (* Draw structures *)
+module Draw = Lotto_draw.Draw
 module List_lottery = Lotto_draw.List_lottery
 module Tree_lottery = Lotto_draw.Tree_lottery
 module Inverse_lottery = Lotto_draw.Inverse_lottery

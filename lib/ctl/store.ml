@@ -409,28 +409,26 @@ let[@warning "-16"] exec ?(user = "root") t cmd =
         else begin
           let rng = Lotto_prng.Rng.create ~seed () in
           let wins = Hashtbl.create 8 in
+          let v = F.Valuation.make t.system in
+          (* unordered list backend, filled in reverse: the prepending list
+             then scans tickets in their creation order *)
+          let d =
+            Lotto_draw.Draw.of_list
+              (Lotto_draw.List_lottery.create
+                 ~order:Lotto_draw.List_lottery.Unordered ())
+          in
+          List.iter
+            (fun e ->
+              ignore
+                (Lotto_draw.Draw.add d ~client:e
+                   ~weight:(F.Valuation.ticket_value v e.ticket)))
+            (List.rev held);
           for _ = 1 to n do
-            let v = F.Valuation.make t.system in
-            let weighted =
-              List.map (fun e -> (e, F.Valuation.ticket_value v e.ticket)) held
-            in
-            let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
-            if total > 0. then begin
-              let r = Lotto_prng.Rng.float_unit rng *. total in
-              let rec walk acc = function
-                | [] -> ()
-                | [ (e, _) ] ->
-                    Hashtbl.replace wins e.label
-                      (1 + Option.value ~default:0 (Hashtbl.find_opt wins e.label))
-                | (e, w) :: rest ->
-                    let acc = acc +. w in
-                    if w > 0. && acc > r then
-                      Hashtbl.replace wins e.label
-                        (1 + Option.value ~default:0 (Hashtbl.find_opt wins e.label))
-                    else walk acc rest
-              in
-              walk 0. weighted
-            end
+            match Lotto_draw.Draw.draw_client d rng with
+            | Some e ->
+                Hashtbl.replace wins e.label
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt wins e.label))
+            | None -> ()
           done;
           let lines =
             List.map

@@ -1,9 +1,20 @@
-type 'a handle = { node : int; local : 'a List_lottery.handle; mutable live : bool }
+(* Clients are registered as handles that carry their own identity; the
+   per-node local lotteries store the distributed handle as their client, so
+   a deterministic draw can recover the distributed handle from the local
+   winner. *)
+type 'a handle = {
+  node : int;
+  hclient : 'a;
+  mutable local : 'a handle List_lottery.handle option; (* None once removed *)
+  mutable live : bool;
+}
 
 type 'a t = {
   node_count : int; (* power of two *)
   sums : float array; (* 1-based binary tree over nodes; leaf i at node_count + i *)
-  locals : 'a List_lottery.t array;
+  locals : 'a handle List_lottery.t array;
+  mutable nclients : int;
+  mutable next_node : int; (* round-robin placement for node-less adds *)
   mutable draws : int;
   mutable messages : int;
 }
@@ -16,6 +27,8 @@ let create ~nodes () =
     node_count;
     sums = Array.make (2 * node_count) 0.;
     locals = Array.init node_count (fun _ -> List_lottery.create ~order:Unordered ());
+    nclients = 0;
+    next_node = 0;
     draws = 0;
     messages = 0;
   }
@@ -36,58 +49,103 @@ let check_node t node =
   if node < 0 || node >= t.node_count then
     invalid_arg "Distributed_lottery: node out of range"
 
-let add t ~node ~client ~weight =
+let add_on t ~node ~client ~weight =
   check_node t node;
-  let local = List_lottery.add t.locals.(node) ~client ~weight in
+  let h = { node; hclient = client; local = None; live = true } in
+  h.local <- Some (List_lottery.add t.locals.(node) ~client:h ~weight);
+  t.nclients <- t.nclients + 1;
   bubble_up t node weight;
-  { node; local; live = true }
+  h
+
+(* Node-less registration: clients are spread round-robin, so callers that
+   do not care about placement (the [Draw] wrapper) still get balanced
+   nodes. *)
+let add t ~client ~weight =
+  let node = t.next_node in
+  t.next_node <- (t.next_node + 1) mod t.node_count;
+  add_on t ~node ~client ~weight
+
+let local_handle h =
+  match h.local with
+  | Some lh -> lh
+  | None -> invalid_arg "Distributed_lottery: removed handle"
 
 let remove t h =
   if h.live then begin
     h.live <- false;
-    let w = List_lottery.weight t.locals.(h.node) h.local in
-    List_lottery.remove t.locals.(h.node) h.local;
+    let lh = local_handle h in
+    let w = List_lottery.weight t.locals.(h.node) lh in
+    List_lottery.remove t.locals.(h.node) lh;
+    h.local <- None;
+    t.nclients <- t.nclients - 1;
     bubble_up t h.node (-.w)
   end
 
 let set_weight t h weight =
   if not h.live then invalid_arg "Distributed_lottery.set_weight: removed handle";
-  let old = List_lottery.weight t.locals.(h.node) h.local in
-  List_lottery.set_weight t.locals.(h.node) h.local weight;
+  let lh = local_handle h in
+  let old = List_lottery.weight t.locals.(h.node) lh in
+  List_lottery.set_weight t.locals.(h.node) lh weight;
   bubble_up t h.node (weight -. old)
 
+let weight t h =
+  match h.local with
+  | Some lh -> List_lottery.weight t.locals.(h.node) lh
+  | None -> 0.
+
 let node_of h = h.node
-let client h = List_lottery.client h.local
+let client h = h.hclient
+let mem _t h = h.live
+let size t = t.nclients
 let total t = Float.max 0. t.sums.(1)
 
 let node_total t node =
   check_node t node;
   Float.max 0. t.sums.(t.node_count + node)
 
+(* Walk the inter-node tree from the root to the owning node; each hop is a
+   message. Returns the node and the residual winning value. *)
+let descend t winning =
+  let winning = ref winning in
+  let i = ref 1 in
+  while !i < t.node_count do
+    let left = 2 * !i in
+    if !winning < t.sums.(left) || t.sums.(left + 1) <= 0. then i := left
+    else begin
+      winning := !winning -. t.sums.(left);
+      i := left + 1
+    end;
+    t.messages <- t.messages + 1
+  done;
+  (!i - t.node_count, !winning)
+
+let draw_with_value t ~winning =
+  if winning < 0. then invalid_arg "Distributed_lottery.draw_with_value: negative";
+  if total t <= 0. then None
+  else begin
+    let node, w = descend t winning in
+    (* final local lottery on the owning node (clamped for float drift) *)
+    let local = t.locals.(node) in
+    let w = Float.min w (Float.max 0. (List_lottery.total local -. 1e-9)) in
+    match List_lottery.draw_with_value local ~winning:(Float.max 0. w) with
+    | Some lh -> Some (List_lottery.client lh)
+    | None -> None
+  end
+
 let draw t rng =
   t.draws <- t.draws + 1;
   if total t <= 0. then None
-  else begin
-    let winning = ref (Lotto_prng.Rng.float_unit rng *. total t) in
-    (* descend the inter-node tree; each hop is a message *)
-    let i = ref 1 in
-    while !i < t.node_count do
-      let left = 2 * !i in
-      if !winning < t.sums.(left) || t.sums.(left + 1) <= 0. then i := left
-      else begin
-        winning := !winning -. t.sums.(left);
-        i := left + 1
-      end;
-      t.messages <- t.messages + 1
-    done;
-    let node = !i - t.node_count in
-    (* final local lottery on the owning node (clamped for float drift) *)
-    let local = t.locals.(node) in
-    let w = Float.min !winning (Float.max 0. (List_lottery.total local -. 1e-9)) in
-    match List_lottery.draw_with_value local ~winning:(Float.max 0. w) with
-    | Some h -> Some (List_lottery.client h)
-    | None -> None
-  end
+  else draw_with_value t ~winning:(Lotto_prng.Rng.float_unit rng *. total t)
+
+let draw_client t rng = Option.map client (draw t rng)
+
+let iter t f =
+  Array.iter (fun local -> List_lottery.iter local (fun lh -> f (List_lottery.client lh))) t.locals
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun h -> acc := (client h, weight t h) :: !acc);
+  List.rev !acc
 
 let draws t = t.draws
 let messages t = t.messages

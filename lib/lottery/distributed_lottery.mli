@@ -7,7 +7,10 @@
     lottery there; weight updates propagate from a node's leaf to the root.
     Selection remains exactly ticket-proportional across the whole system
     while every draw and update costs O(log nodes) messages — the counters
-    let tests and benches verify the bound. *)
+    let tests and benches verify the bound.
+
+    Conforms to {!Draw.S}: callers that do not care about placement use
+    {!add} (round-robin across nodes); {!add_on} pins a client to a node. *)
 
 type 'a t
 type 'a handle
@@ -17,18 +20,38 @@ val create : nodes:int -> unit -> 'a t
 
 val nodes : 'a t -> int
 
-val add : 'a t -> node:int -> client:'a -> weight:float -> 'a handle
-(** Register a client on a node (0-based). *)
+val add : 'a t -> client:'a -> weight:float -> 'a handle
+(** Register a client on the next node in round-robin order. *)
+
+val add_on : 'a t -> node:int -> client:'a -> weight:float -> 'a handle
+(** Register a client on a specific node (0-based). *)
 
 val remove : 'a t -> 'a handle -> unit
+(** Idempotent. *)
+
 val set_weight : 'a t -> 'a handle -> float -> unit
+val weight : 'a t -> 'a handle -> float
 val node_of : 'a handle -> int
 val client : 'a handle -> 'a
+val mem : 'a t -> 'a handle -> bool
+val size : 'a t -> int
 val total : 'a t -> float
 val node_total : 'a t -> int -> float
 
-val draw : 'a t -> Lotto_prng.Rng.t -> 'a option
+val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
 (** [None] when no client holds positive weight. *)
+
+val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
+
+val draw_with_value : 'a t -> winning:float -> 'a handle option
+(** Deterministic draw for a winning value in [\[0, total)]: descend the
+    inter-node tree (counting messages), then the owning node's local
+    lottery. *)
+
+val iter : 'a t -> ('a handle -> unit) -> unit
+(** Node-major order. *)
+
+val to_list : 'a t -> ('a * float) list
 
 val draws : 'a t -> int
 val messages : 'a t -> int

@@ -1,0 +1,135 @@
+module type S = sig
+  type 'a t
+  type 'a handle
+
+  val create : unit -> 'a t
+  val add : 'a t -> client:'a -> weight:float -> 'a handle
+  val remove : 'a t -> 'a handle -> unit
+  val set_weight : 'a t -> 'a handle -> float -> unit
+  val weight : 'a t -> 'a handle -> float
+  val client : 'a handle -> 'a
+  val total : 'a t -> float
+  val size : 'a t -> int
+  val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
+  val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
+  val draw_with_value : 'a t -> winning:float -> 'a handle option
+  val iter : 'a t -> ('a handle -> unit) -> unit
+end
+
+type mode = List | Tree | Distributed of int
+
+module List_backend = struct
+  include List_lottery
+
+  let create () = create ()
+end
+
+module Tree_backend = struct
+  include Tree_lottery
+
+  let create () = create ()
+end
+
+let backend : mode -> (module S) = function
+  | List -> (module List_backend)
+  | Tree -> (module Tree_backend)
+  | Distributed n ->
+      (module struct
+        include Distributed_lottery
+
+        let create () = Distributed_lottery.create ~nodes:n ()
+      end)
+
+(* --- runtime-dispatched wrapper ---------------------------------------- *)
+
+type 'a t =
+  | L of 'a List_lottery.t
+  | T of 'a Tree_lottery.t
+  | D of 'a Distributed_lottery.t
+
+type 'a handle =
+  | Lh of 'a List_lottery.handle
+  | Th of 'a Tree_lottery.handle
+  | Dh of 'a Distributed_lottery.handle
+
+let foreign () = invalid_arg "Draw: handle from a different backend"
+
+let of_mode = function
+  | List -> L (List_lottery.create ())
+  | Tree -> T (Tree_lottery.create ())
+  | Distributed nodes -> D (Distributed_lottery.create ~nodes ())
+
+let of_list l = L l
+let of_tree l = T l
+let of_distributed l = D l
+
+let mode = function
+  | L _ -> List
+  | T _ -> Tree
+  | D d -> Distributed (Distributed_lottery.nodes d)
+
+let add t ~client ~weight =
+  match t with
+  | L l -> Lh (List_lottery.add l ~client ~weight)
+  | T l -> Th (Tree_lottery.add l ~client ~weight)
+  | D l -> Dh (Distributed_lottery.add l ~client ~weight)
+
+let remove t h =
+  match (t, h) with
+  | L l, Lh h -> List_lottery.remove l h
+  | T l, Th h -> Tree_lottery.remove l h
+  | D l, Dh h -> Distributed_lottery.remove l h
+  | _ -> foreign ()
+
+let set_weight t h w =
+  match (t, h) with
+  | L l, Lh h -> List_lottery.set_weight l h w
+  | T l, Th h -> Tree_lottery.set_weight l h w
+  | D l, Dh h -> Distributed_lottery.set_weight l h w
+  | _ -> foreign ()
+
+let weight t h =
+  match (t, h) with
+  | L l, Lh h -> List_lottery.weight l h
+  | T l, Th h -> Tree_lottery.weight l h
+  | D l, Dh h -> Distributed_lottery.weight l h
+  | _ -> foreign ()
+
+let client = function
+  | Lh h -> List_lottery.client h
+  | Th h -> Tree_lottery.client h
+  | Dh h -> Distributed_lottery.client h
+
+let total = function
+  | L l -> List_lottery.total l
+  | T l -> Tree_lottery.total l
+  | D l -> Distributed_lottery.total l
+
+let size = function
+  | L l -> List_lottery.size l
+  | T l -> Tree_lottery.size l
+  | D l -> Distributed_lottery.size l
+
+let draw t rng =
+  match t with
+  | L l -> Option.map (fun h -> Lh h) (List_lottery.draw l rng)
+  | T l -> Option.map (fun h -> Th h) (Tree_lottery.draw l rng)
+  | D l -> Option.map (fun h -> Dh h) (Distributed_lottery.draw l rng)
+
+let draw_client t rng = Option.map client (draw t rng)
+
+let draw_with_value t ~winning =
+  match t with
+  | L l -> Option.map (fun h -> Lh h) (List_lottery.draw_with_value l ~winning)
+  | T l -> Option.map (fun h -> Th h) (Tree_lottery.draw_with_value l ~winning)
+  | D l -> Option.map (fun h -> Dh h) (Distributed_lottery.draw_with_value l ~winning)
+
+let iter t f =
+  match t with
+  | L l -> List_lottery.iter l (fun h -> f (Lh h))
+  | T l -> Tree_lottery.iter l (fun h -> f (Th h))
+  | D l -> Distributed_lottery.iter l (fun h -> f (Dh h))
+
+let comparisons = function
+  | L l -> Some (List_lottery.comparisons l)
+  | T _ | D _ -> None

@@ -1,0 +1,89 @@
+(** One draw structure, many resources.
+
+    Every lottery in the system — CPU scheduling, mutex/condition/semaphore
+    waiter picks, disk, I/O bandwidth, the packet switch, inverse memory —
+    draws through this interface, so the backing structure (the paper's §4.2
+    move-to-front list, the O(log n) partial-sum tree, or the distributed
+    node tree) is a deployment choice rather than a per-subsystem fork.
+
+    {!S} is the signature the three structures conform to; {!t} is a
+    dispatching wrapper chosen at runtime with {!of_mode}; {!backend} packs
+    a conforming structure as a first-class module for functor-style use. *)
+
+(** The draw-structure contract (paper §4.2). Weights are nonnegative
+    floats; zero-weight clients never win; [draw] returns [None] (without
+    consuming randomness) when the total weight is zero. *)
+module type S = sig
+  type 'a t
+  type 'a handle
+
+  val create : unit -> 'a t
+  (** A structure with that backend's default configuration. *)
+
+  val add : 'a t -> client:'a -> weight:float -> 'a handle
+  val remove : 'a t -> 'a handle -> unit
+  val set_weight : 'a t -> 'a handle -> float -> unit
+  val weight : 'a t -> 'a handle -> float
+  val client : 'a handle -> 'a
+  val total : 'a t -> float
+  val size : 'a t -> int
+  val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
+  val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
+
+  val draw_with_value : 'a t -> winning:float -> 'a handle option
+  (** Deterministic draw for a winning value in [\[0, total)]. *)
+
+  val iter : 'a t -> ('a handle -> unit) -> unit
+end
+
+type mode =
+  | List  (** move-to-front list, O(n) draw — the paper's prototype *)
+  | Tree  (** Fenwick partial-sum tree, O(log n) draw and update *)
+  | Distributed of int
+      (** partial-sum tree spanning [n] nodes, O(log n) messages *)
+
+val backend : mode -> (module S)
+(** The conforming structure for a mode, as a first-class module
+    ([Distributed n] closes over its node count). *)
+
+(** {1 Runtime-dispatched wrapper}
+
+    ['a t] hides which structure is behind a draw site, so one code path
+    serves every backend (this is what the scheduler and the resource
+    managers use). *)
+
+type 'a t
+type 'a handle
+
+val of_mode : mode -> 'a t
+
+val of_list : 'a List_lottery.t -> 'a t
+(** Wrap an existing structure (e.g. to pick a non-default list order). *)
+
+val of_tree : 'a Tree_lottery.t -> 'a t
+val of_distributed : 'a Distributed_lottery.t -> 'a t
+val mode : 'a t -> mode
+
+val add : 'a t -> client:'a -> weight:float -> 'a handle
+(** Raises [Invalid_argument] on negative weights. *)
+
+val remove : 'a t -> 'a handle -> unit
+(** Idempotent. *)
+
+val set_weight : 'a t -> 'a handle -> float -> unit
+val weight : 'a t -> 'a handle -> float
+val client : 'a handle -> 'a
+val total : 'a t -> float
+val size : 'a t -> int
+
+val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
+(** [None] when the structure is empty or all weights are zero (no
+    randomness is consumed in that case). *)
+
+val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
+val draw_with_value : 'a t -> winning:float -> 'a handle option
+val iter : 'a t -> ('a handle -> unit) -> unit
+
+val comparisons : 'a t -> int option
+(** Cumulative list entries examined ([None] for non-list backends): the
+    paper's search-length metric. *)

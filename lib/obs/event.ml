@@ -15,6 +15,12 @@ type t =
   | Lock_release of { who : actor; mutex : string }
   | Rpc_send of { who : actor; port : string; msg_id : int }
   | Rpc_reply of { who : actor; client : actor; msg_id : int }
+  | Resource_draw of {
+      who : actor;
+      resource : string;
+      contenders : int;
+      total_weight : float;
+    }
 
 let actor_of ~tid ~tname = { tid; tname }
 
@@ -29,7 +35,8 @@ let who = function
   | Lock_acquire { who; _ }
   | Lock_release { who; _ }
   | Rpc_send { who; _ }
-  | Rpc_reply { who; _ } -> who
+  | Rpc_reply { who; _ }
+  | Resource_draw { who; _ } -> who
   | Donate { src; _ } -> src
 
 let tag = function
@@ -45,6 +52,7 @@ let tag = function
   | Lock_release _ -> "lock-release"
   | Rpc_send _ -> "rpc-send"
   | Rpc_reply _ -> "rpc-reply"
+  | Resource_draw _ -> "resource-draw"
 
 let slice_end_tag = function
   | End_quantum -> "quantum"
@@ -68,6 +76,9 @@ let detail = function
   | Rpc_send { port; msg_id; _ } -> Printf.sprintf "%s #%d" port msg_id
   | Rpc_reply { client; msg_id; _ } ->
       Printf.sprintf "-> %s #%d" client.tname msg_id
+  | Resource_draw { resource; contenders; total_weight; _ } ->
+      Printf.sprintf "%s (%d contenders, total %.6g)" resource contenders
+        total_weight
 
 (* The five legacy lines must stay byte-identical to the pre-bus string
    tracer: determinism tests diff them across runs, and downstream tools

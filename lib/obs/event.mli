@@ -42,6 +42,14 @@ type t =
   | Rpc_send of { who : actor; port : string; msg_id : int }
   | Rpc_reply of { who : actor; client : actor; msg_id : int }
       (** server [who] replied to [client]'s request [msg_id] *)
+  | Resource_draw of {
+      who : actor;  (** the winning client (manager-local id + name) *)
+      resource : string;  (** e.g. ["disk"], ["io"], ["switch:p2"], ["mem"] *)
+      contenders : int;  (** clients holding positive weight in this draw *)
+      total_weight : float;
+    }
+      (** a resource manager held a lottery over its backlogged clients
+          (§6, "Managing Diverse Resources") and [who] won *)
 
 val actor_of : tid:int -> tname:string -> actor
 

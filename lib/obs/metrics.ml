@@ -116,6 +116,7 @@ let on_event t time ev =
       let r = row t who in
       r.rpcs <- r.rpcs + 1
   | Event.Rpc_reply _ -> ()
+  | Event.Resource_draw _ -> ()
 
 let attach t bus =
   if t.sub <> None then invalid_arg "Metrics.attach: already attached";

@@ -152,7 +152,13 @@ let to_chrome_json ?(pid = 1) t =
             (args [ ("msg", string_of_int msg_id) ])
       | Event.Rpc_reply { who; client; msg_id } ->
           instant ~name:"reply" ~ts ~tid:who.Event.tid
-            (args [ ("to", str client.Event.tname); ("msg", string_of_int msg_id) ]))
+            (args [ ("to", str client.Event.tname); ("msg", string_of_int msg_id) ])
+      | Event.Resource_draw { who; resource; contenders; total_weight } ->
+          instant ~name:("draw:" ^ resource) ~ts ~tid:who.Event.tid
+            (args
+               [ ("winner", str who.Event.tname);
+                 ("contenders", string_of_int contenders);
+                 ("total", Printf.sprintf "%.6g" total_weight) ]))
     evs;
   (* close slices left open at capture end so the JSON is well-balanced *)
   Hashtbl.iter

@@ -1,13 +1,20 @@
 module Rng = Lotto_prng.Rng
+module Draw = Lotto_draw.Draw
+module F = Lotto_tickets.Funding
+module Obs = Lotto_obs
 
 type policy = Fcfs | Sstf | Lottery
 
 type request = { cylinder : int; submitted_at : int; seq : int }
 
 type client = {
+  id : int;
   name : string;
   mutable tickets : int;
-  mutable queue : request list; (* arrival order *)
+  mutable value : float; (* draw-weight basis: raw tickets or currency value *)
+  funding : Funded.t option;
+  mutable handle : client Draw.handle option;
+  mutable queue : request list; (* unordered; scans pick by seq / distance *)
   mutable served : int;
   mutable latency_sum : int;
 }
@@ -18,56 +25,139 @@ type t = {
   seek_cost : int;
   transfer_cost : int;
   rng : Rng.t;
-  mutable clients : client list;
+  draw : client Draw.t;
+  fsys : F.system option;
+  bus : Obs.Bus.t;
+  mutable clients : client list; (* reverse creation order *)
+  mutable next_id : int;
+  mutable backlogged_count : int;
   mutable head : int;
   mutable clock : int;
   mutable seq : int;
   mutable total_served : int;
   mutable seek_distance : int;
+  mutable fdirty : bool;
 }
 
-let[@warning "-16"] create ?(policy = Lottery) ?(cylinders = 1000) ?(seek_cost = 10)
-    ?(transfer_cost = 2000) ~rng () =
+let create ?(policy = Lottery) ?(cylinders = 1000) ?(seek_cost = 10)
+    ?(transfer_cost = 2000) ?(backend = Draw.List) ?funding ~rng () =
   if cylinders <= 0 then invalid_arg "Disk.create: cylinders <= 0";
   if seek_cost < 0 || transfer_cost <= 0 then invalid_arg "Disk.create: bad costs";
-  {
-    pol = policy;
-    cylinders;
-    seek_cost;
-    transfer_cost;
-    rng;
-    clients = [];
-    head = 0;
-    clock = 0;
-    seq = 0;
-    total_served = 0;
-    seek_distance = 0;
-  }
+  let t =
+    {
+      pol = policy;
+      cylinders;
+      seek_cost;
+      transfer_cost;
+      rng;
+      draw = Draw.of_mode backend;
+      fsys = funding;
+      bus = Obs.Bus.create ();
+      clients = [];
+      next_id = 0;
+      backlogged_count = 0;
+      head = 0;
+      clock = 0;
+      seq = 0;
+      total_served = 0;
+      seek_distance = 0;
+      fdirty = false;
+    }
+  in
+  (match funding with
+  | Some sys -> ignore (F.on_change sys (fun () -> t.fdirty <- true))
+  | None -> ());
+  t
 
 let policy t = t.pol
+let events t = t.bus
+
+let weight_of c = if c.queue <> [] then c.value else 0.
+
+let update_weight t c =
+  match c.handle with
+  | Some h -> Draw.set_weight t.draw h (weight_of c)
+  | None -> ()
+
+let register t c =
+  c.handle <- Some (Draw.add t.draw ~client:c ~weight:(weight_of c));
+  t.clients <- c :: t.clients
 
 let add_client t ~name ~tickets =
   if tickets < 0 then invalid_arg "Disk.add_client: negative tickets";
-  let c = { name; tickets; queue = []; served = 0; latency_sum = 0 } in
-  t.clients <- t.clients @ [ c ];
+  let c =
+    {
+      id = t.next_id;
+      name;
+      tickets;
+      value = float_of_int tickets;
+      funding = None;
+      handle = None;
+      queue = [];
+      served = 0;
+      latency_sum = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  register t c;
   c
 
-let set_tickets _t c tickets =
+let add_funded_client t ~name ?(amount = 1000) ~currency () =
+  let sys =
+    match t.fsys with
+    | Some sys -> sys
+    | None -> invalid_arg "Disk.add_funded_client: created without ~funding"
+  in
+  let fd = Funded.attach sys ~currency ~amount in
+  Funded.set_active fd false (* idle until the first submit *);
+  let c =
+    {
+      id = t.next_id;
+      name;
+      tickets = 0;
+      value = 0.;
+      funding = Some fd;
+      handle = None;
+      queue = [];
+      served = 0;
+      latency_sum = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  register t c;
+  t.fdirty <- true;
+  c
+
+let set_tickets t c tickets =
   if tickets < 0 then invalid_arg "Disk.set_tickets: negative tickets";
-  c.tickets <- tickets
+  c.tickets <- tickets;
+  if c.funding = None then begin
+    c.value <- float_of_int tickets;
+    update_weight t c
+  end
 
 let client_name c = c.name
+
+let set_backlogged t c now_backlogged =
+  t.backlogged_count <- t.backlogged_count + (if now_backlogged then 1 else -1);
+  (match c.funding with
+  | Some fd -> Funded.set_active fd now_backlogged
+  | None -> ());
+  update_weight t c
 
 let submit t c ~cylinder =
   if cylinder < 0 || cylinder >= t.cylinders then
     invalid_arg "Disk.submit: cylinder out of range";
   let r = { cylinder; submitted_at = t.clock; seq = t.seq } in
   t.seq <- t.seq + 1;
-  c.queue <- c.queue @ [ r ]
+  let was_idle = c.queue = [] in
+  c.queue <- r :: c.queue;
+  if was_idle then set_backlogged t c true
 
 let pending _t c = List.length c.queue
 
-let backlogged t = List.filter (fun c -> c.queue <> []) t.clients
+(* creation order, for the deterministic policies and tie-breaks *)
+let backlogged t = List.filter (fun c -> c.queue <> []) (List.rev t.clients)
 
 let nearest_request t c =
   match c.queue with
@@ -90,52 +180,77 @@ let oldest_request c =
              if r.seq < best.seq then r else best)
            first rest)
 
+let refresh t =
+  if t.fdirty then begin
+    t.fdirty <- false;
+    match t.fsys with
+    | None -> ()
+    | Some sys ->
+        let v = F.Valuation.make sys in
+        List.iter
+          (fun c ->
+            match c.funding with
+            | Some fd ->
+                c.value <- Funded.value v fd;
+                update_weight t c
+            | None -> ())
+          t.clients
+  end
+
+let publish_draw t c =
+  if Obs.Bus.active t.bus then
+    Obs.Bus.emit t.bus ~time:t.clock
+      (Obs.Event.Resource_draw
+         {
+           who = Obs.Event.actor_of ~tid:c.id ~tname:c.name;
+           resource = "disk";
+           contenders = t.backlogged_count;
+           total_weight = Draw.total t.draw;
+         })
+
 (* choose (client, request) per policy *)
 let choose t : (client * request) option =
-  match backlogged t with
-  | [] -> None
-  | candidates -> (
-      match t.pol with
-      | Fcfs ->
-          (* globally oldest request *)
-          List.fold_left
-            (fun acc c ->
-              match (acc, oldest_request c) with
-              | None, Some r -> Some (c, r)
-              | Some (_, rb), Some r when r.seq < rb.seq -> Some (c, r)
-              | acc, _ -> acc)
-            None candidates
-      | Sstf ->
-          (* globally nearest request to the head *)
-          List.fold_left
-            (fun acc c ->
-              match (acc, nearest_request t c) with
-              | None, Some r -> Some (c, r)
-              | Some (_, rb), Some r
-                when abs (r.cylinder - t.head) < abs (rb.cylinder - t.head) ->
-                  Some (c, r)
-              | acc, _ -> acc)
-            None candidates
-      | Lottery -> (
-          (* lottery over backlogged clients' tickets, then the winner's
-             nearest request (good local seeks, proportional global share) *)
-          let total = List.fold_left (fun acc c -> acc + c.tickets) 0 candidates in
-          let winner =
-            if total = 0 then List.hd candidates
-            else begin
-              let r = Rng.int_below t.rng total in
-              let rec walk acc = function
-                | [] -> assert false
-                | [ c ] -> c
-                | c :: rest ->
-                    let acc = acc + c.tickets in
-                    if r < acc then c else walk acc rest
-              in
-              walk 0 candidates
-            end
-          in
-          match nearest_request t winner with
-          | Some r -> Some (winner, r)
+  match t.pol with
+  | Fcfs ->
+      (* globally oldest request *)
+      List.fold_left
+        (fun acc c ->
+          match (acc, oldest_request c) with
+          | None, Some r -> Some (c, r)
+          | Some (_, rb), Some r when r.seq < rb.seq -> Some (c, r)
+          | acc, _ -> acc)
+        None (backlogged t)
+  | Sstf ->
+      (* globally nearest request to the head *)
+      List.fold_left
+        (fun acc c ->
+          match (acc, nearest_request t c) with
+          | None, Some r -> Some (c, r)
+          | Some (_, rb), Some r
+            when abs (r.cylinder - t.head) < abs (rb.cylinder - t.head) ->
+              Some (c, r)
+          | acc, _ -> acc)
+        None (backlogged t)
+  | Lottery -> (
+      (* lottery over backlogged clients' funding, then the winner's
+         nearest request (good local seeks, proportional global share) *)
+      refresh t;
+      let winner =
+        match Draw.draw_client t.draw t.rng with
+        | Some c ->
+            publish_draw t c;
+            Some c
+        | None ->
+            (* backlogged but unfunded: first backlogged in creation order *)
+            List.fold_left
+              (fun acc c -> if c.queue <> [] then Some c else acc)
+              None t.clients
+      in
+      match winner with
+      | None -> None
+      | Some w -> (
+          match nearest_request t w with
+          | Some r -> Some (w, r)
           | None -> None))
 
 let serve_one t =
@@ -147,6 +262,7 @@ let serve_one t =
       t.clock <- t.clock + (distance * t.seek_cost) + t.transfer_cost;
       t.head <- r.cylinder;
       c.queue <- List.filter (fun (r' : request) -> r'.seq <> r.seq) c.queue;
+      if c.queue = [] then set_backlogged t c false;
       c.served <- c.served + 1;
       c.latency_sum <- c.latency_sum + (t.clock - r.submitted_at);
       t.total_served <- t.total_served + 1;

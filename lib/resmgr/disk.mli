@@ -13,6 +13,12 @@
       client's request nearest the head — proportional-share bandwidth with
       locally good seeks, the paper's proposal.
 
+    Lottery draws go through {!Lotto_draw.Draw} ([?backend] selects the
+    structure) over clients with queued requests; clients hold either raw
+    tickets ({!add_client}) or a share of a
+    {!Lotto_tickets.Funding.currency} ({!add_funded_client}), so one
+    currency can proportionally fund CPU {e and} disk.
+
     Time is virtual (integer ticks); the module is deterministic given its
     RNG. *)
 
@@ -26,15 +32,36 @@ val create :
   ?cylinders:int ->
   ?seek_cost:int ->
   ?transfer_cost:int ->
+  ?backend:Lotto_draw.Draw.mode ->
+  ?funding:Lotto_tickets.Funding.system ->
   rng:Lotto_prng.Rng.t ->
   unit ->
   t
 (** Defaults: [Lottery] policy, 1000 cylinders, seek cost 10 ticks per
-    cylinder, fixed per-request cost 2000 ticks. *)
+    cylinder, fixed per-request cost 2000 ticks, [List] draw backend.
+    [funding] is required for {!add_funded_client} and is typically the
+    scheduler's {!Lottery_sched.funding} system. *)
 
 val policy : t -> policy
 val add_client : t -> name:string -> tickets:int -> client
+
+val add_funded_client :
+  t ->
+  name:string ->
+  ?amount:int ->
+  currency:Lotto_tickets.Funding.currency ->
+  unit ->
+  client
+(** The client competes with a held ticket of [amount] (default 1000)
+    denominated in [currency]: its bandwidth share follows the currency's
+    value, divided among everything the currency funds, and the ticket is
+    suspended while the client has no queued requests. Raises
+    [Invalid_argument] when the manager was created without [~funding]. *)
+
 val set_tickets : t -> client -> int -> unit
+(** Raw-ticket clients only (ignored weight-wise for funded clients —
+    inflate their currency's backing tickets instead). *)
+
 val client_name : client -> string
 
 val submit : t -> client -> cylinder:int -> unit
@@ -65,3 +92,7 @@ val total_seek_distance : t -> int
     policy. *)
 
 val head_position : t -> int
+
+val events : t -> Lotto_obs.Bus.t
+(** Per-manager bus carrying one {!Lotto_obs.Event.Resource_draw} per
+    lottery held (timestamped with the virtual clock). *)

@@ -1,4 +1,7 @@
 module Rng = Lotto_prng.Rng
+module Draw = Lotto_draw.Draw
+module F = Lotto_tickets.Funding
+module Obs = Lotto_obs
 
 type policy = Inverse_lottery | Global_lru | Global_random
 
@@ -6,6 +9,9 @@ type client = {
   id : int;
   name : string;
   mutable tickets : int;
+  mutable value : float; (* share basis: raw tickets or currency value *)
+  funding : Funded.t option;
+  mutable handle : client Draw.handle option;
   working_set : int;
   resident : (int, int) Hashtbl.t; (* vpage -> last-use stamp *)
   mutable faults : int;
@@ -17,17 +23,91 @@ type t = {
   pol : policy;
   frames : int;
   rng : Rng.t;
+  draw : client Draw.t; (* victim lottery (unused under Global_lru) *)
+  fsys : F.system option;
+  bus : Obs.Bus.t;
   mutable clients : client list; (* reverse creation order *)
   mutable used : int;
   mutable clock : int; (* LRU stamp source *)
   mutable next_id : int;
+  mutable total_value : float; (* cached T for the (1 - t_i/T) factor *)
+  mutable fdirty : bool;
 }
 
-let[@warning "-16"] create ?(policy = Inverse_lottery) ~frames ~rng () =
+let create ?(policy = Inverse_lottery) ?(backend = Draw.List) ?funding ~frames
+    ~rng () =
   if frames <= 0 then invalid_arg "Inverse_memory.create: frames <= 0";
-  { pol = policy; frames; rng; clients = []; used = 0; clock = 0; next_id = 0 }
+  let t =
+    {
+      pol = policy;
+      frames;
+      rng;
+      draw = Draw.of_mode backend;
+      fsys = funding;
+      bus = Obs.Bus.create ();
+      clients = [];
+      used = 0;
+      clock = 0;
+      next_id = 0;
+      total_value = 0.;
+      fdirty = false;
+    }
+  in
+  (match funding with
+  | Some sys -> ignore (F.on_change sys (fun () -> t.fdirty <- true))
+  | None -> ());
+  t
 
 let policy t = t.pol
+let events t = t.bus
+
+(* The paper's victim-selection weight: (1 - t_i/T) scaled by the fraction
+   of physical memory the client occupies. Clients holding no frames cannot
+   lose. *)
+let weight_of t c =
+  let occ = Hashtbl.length c.resident in
+  match t.pol with
+  | Global_lru -> 0.
+  | Global_random -> float_of_int occ (* uniform over resident frames *)
+  | Inverse_lottery ->
+      if occ = 0 then 0.
+      else begin
+        let ticket_part =
+          if t.total_value <= 0. then 1. else 1. -. (c.value /. t.total_value)
+        in
+        let occupancy = float_of_int occ /. float_of_int t.frames in
+        (* A lone over-provisioned client (t_i = T) still has to self-evict. *)
+        Float.max ticket_part 1e-9 *. occupancy
+      end
+
+let update_weight t c =
+  match c.handle with
+  | Some h -> Draw.set_weight t.draw h (weight_of t c)
+  | None -> ()
+
+(* T changed (tickets, funding, membership): every client's inverse weight
+   shifts, so revalue and rebuild all weights at the next victim pick. *)
+let refresh t =
+  if t.fdirty then begin
+    t.fdirty <- false;
+    (match t.fsys with
+    | None -> ()
+    | Some sys ->
+        let v = F.Valuation.make sys in
+        List.iter
+          (fun c ->
+            match c.funding with
+            | Some fd -> c.value <- Funded.value v fd
+            | None -> ())
+          t.clients);
+    t.total_value <- List.fold_left (fun acc c -> acc +. c.value) 0. t.clients;
+    List.iter (fun c -> update_weight t c) t.clients
+  end
+
+let register t c =
+  c.handle <- Some (Draw.add t.draw ~client:c ~weight:0.);
+  t.clients <- c :: t.clients;
+  t.fdirty <- true
 
 let add_client t ~name ~tickets ~working_set =
   if tickets < 0 then invalid_arg "Inverse_memory.add_client: negative tickets";
@@ -37,6 +117,9 @@ let add_client t ~name ~tickets ~working_set =
       id = t.next_id;
       name;
       tickets;
+      value = float_of_int tickets;
+      funding = None;
+      handle = None;
       working_set;
       resident = Hashtbl.create 64;
       faults = 0;
@@ -45,12 +128,46 @@ let add_client t ~name ~tickets ~working_set =
     }
   in
   t.next_id <- t.next_id + 1;
-  t.clients <- c :: t.clients;
+  register t c;
   c
 
-let set_tickets _t c tickets =
+let add_funded_client t ~name ?(amount = 1000) ~working_set ~currency () =
+  if working_set <= 0 then
+    invalid_arg "Inverse_memory.add_funded_client: working_set <= 0";
+  let sys =
+    match t.fsys with
+    | Some sys -> sys
+    | None -> invalid_arg "Inverse_memory.add_funded_client: created without ~funding"
+  in
+  (* Memory rights stay active even while the client isn't faulting — it
+     holds frames the whole time, unlike an idle I/O stream. *)
+  let fd = Funded.attach sys ~currency ~amount in
+  let c =
+    {
+      id = t.next_id;
+      name;
+      tickets = 0;
+      value = 0.;
+      funding = Some fd;
+      handle = None;
+      working_set;
+      resident = Hashtbl.create 64;
+      faults = 0;
+      accesses = 0;
+      evictions = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  register t c;
+  c
+
+let set_tickets t c tickets =
   if tickets < 0 then invalid_arg "Inverse_memory.set_tickets: negative";
-  c.tickets <- tickets
+  c.tickets <- tickets;
+  if c.funding = None then begin
+    c.value <- float_of_int tickets;
+    t.fdirty <- true
+  end
 
 let client_name c = c.name
 
@@ -67,7 +184,8 @@ let evict_lru_of t victim =
   | Some (vpage, _) ->
       Hashtbl.remove victim.resident vpage;
       victim.evictions <- victim.evictions + 1;
-      t.used <- t.used - 1
+      t.used <- t.used - 1;
+      update_weight t victim
 
 let evict_random_of t victim =
   let n = Hashtbl.length victim.resident in
@@ -84,41 +202,30 @@ let evict_random_of t victim =
   | Some vpage ->
       Hashtbl.remove victim.resident vpage;
       victim.evictions <- victim.evictions + 1;
-      t.used <- t.used - 1
+      t.used <- t.used - 1;
+      update_weight t victim
 
-let total_tickets t = List.fold_left (fun acc c -> acc + c.tickets) 0 t.clients
-
-(* The paper's victim-selection weight: (1 - t_i/T) scaled by the fraction
-   of physical memory the client occupies. Clients holding no frames cannot
-   lose. *)
-let inverse_weight t total c =
-  if Hashtbl.length c.resident = 0 then 0.
-  else begin
-    let ticket_part =
-      if total <= 0 then 1.
-      else 1. -. (float_of_int c.tickets /. float_of_int total)
+let publish_draw t c =
+  if Obs.Bus.active t.bus then begin
+    let holders =
+      List.fold_left
+        (fun acc c -> if Hashtbl.length c.resident > 0 then acc + 1 else acc)
+        0 t.clients
     in
-    let occupancy = float_of_int (Hashtbl.length c.resident) /. float_of_int t.frames in
-    (* A lone over-provisioned client (t_i = T) still has to self-evict. *)
-    Float.max ticket_part 1e-9 *. occupancy
+    Obs.Bus.emit t.bus ~time:t.clock
+      (Obs.Event.Resource_draw
+         {
+           who = Obs.Event.actor_of ~tid:c.id ~tname:c.name;
+           resource = "memory";
+           contenders = holders;
+           total_weight = Draw.total t.draw;
+         })
   end
 
 let pick_victim t =
   match t.pol with
-  | Global_random ->
-      (* uniform over resident frames = weight proportional to occupancy *)
-      let holders = List.filter (fun c -> Hashtbl.length c.resident > 0) t.clients in
-      let total = List.fold_left (fun a c -> a + Hashtbl.length c.resident) 0 holders in
-      let r = Rng.int_below t.rng total in
-      let rec go acc = function
-        | [] -> assert false
-        | [ c ] -> c
-        | c :: rest ->
-            let acc = acc + Hashtbl.length c.resident in
-            if r < acc then c else go acc rest
-      in
-      go 0 holders
   | Global_lru ->
+      (* deterministic scan, no lottery *)
       let best = ref None in
       List.iter
         (fun c ->
@@ -130,20 +237,13 @@ let pick_victim t =
             c.resident)
         t.clients;
       (match !best with Some (c, _) -> c | None -> assert false)
-  | Inverse_lottery ->
-      let total = total_tickets t in
-      let weights = List.map (fun c -> (c, inverse_weight t total c)) t.clients in
-      let sum = List.fold_left (fun a (_, w) -> a +. w) 0. weights in
-      assert (sum > 0.);
-      let r = Rng.float_unit t.rng *. sum in
-      let rec go acc = function
-        | [] -> assert false
-        | [ (c, _) ] -> c
-        | (c, w) :: rest ->
-            let acc = acc +. w in
-            if w > 0. && acc > r then c else go acc rest
-      in
-      go 0. weights
+  | Global_random | Inverse_lottery -> (
+      refresh t;
+      match Draw.draw_client t.draw t.rng with
+      | Some c ->
+          publish_draw t c;
+          c
+      | None -> assert false (* full memory implies a positive-weight holder *))
 
 let access t c vpage =
   if vpage < 0 || vpage >= c.working_set then
@@ -164,6 +264,7 @@ let access t c vpage =
     end;
     Hashtbl.replace c.resident vpage t.clock;
     t.used <- t.used + 1;
+    update_weight t c;
     `Fault
   end
 
@@ -190,7 +291,7 @@ let zipf_sampler s n =
     done;
     !lo
 
-let[@warning "-16"] simulate ?(pattern = Uniform) t ~steps =
+let simulate ?(pattern = Uniform) t ~steps =
   let clients = Array.of_list (List.rev t.clients) in
   if Array.length clients = 0 then invalid_arg "Inverse_memory.simulate: no clients";
   let samplers =

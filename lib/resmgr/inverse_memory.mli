@@ -6,7 +6,13 @@
     [(1 - t_i / T) * (frames_i / frames_total)] — fewer tickets and larger
     residency both make revocation more likely. The victim then evicts its
     own least-recently-used page. Two conventional baselines are provided
-    for comparison: global LRU (ticket-blind) and random victim. *)
+    for comparison: global LRU (ticket-blind) and random victim.
+
+    Victim lotteries go through {!Lotto_draw.Draw} ([?backend] selects the
+    structure); clients hold either raw tickets ({!add_client}) or a share
+    of a {!Lotto_tickets.Funding.currency} ({!add_funded_client}). Unlike
+    the bandwidth managers, a funded memory client's ticket stays active
+    the whole time — it holds frames even when it is not faulting. *)
 
 type policy =
   | Inverse_lottery  (** the paper's policy *)
@@ -17,16 +23,39 @@ type t
 type client
 
 val create :
-  ?policy:policy -> frames:int -> rng:Lotto_prng.Rng.t -> unit -> t
+  ?policy:policy ->
+  ?backend:Lotto_draw.Draw.mode ->
+  ?funding:Lotto_tickets.Funding.system ->
+  frames:int ->
+  rng:Lotto_prng.Rng.t ->
+  unit ->
+  t
 (** [policy] defaults to [Inverse_lottery]; [frames] is the physical pool
-    size. *)
+    size; [backend] defaults to [List]. [funding] is required for
+    {!add_funded_client}. *)
 
 val policy : t -> policy
 
 val add_client : t -> name:string -> tickets:int -> working_set:int -> client
 (** A client touches virtual pages [0 .. working_set - 1]. *)
 
+val add_funded_client :
+  t ->
+  name:string ->
+  ?amount:int ->
+  working_set:int ->
+  currency:Lotto_tickets.Funding.currency ->
+  unit ->
+  client
+(** The client's [t_i] in the inverse-lottery weight is the value of a
+    held ticket of [amount] (default 1000) denominated in [currency].
+    Raises [Invalid_argument] when the pool was created without
+    [~funding]. *)
+
 val set_tickets : t -> client -> int -> unit
+(** Raw-ticket clients only (ignored weight-wise for funded clients —
+    inflate their currency's backing tickets instead). *)
+
 val client_name : client -> string
 
 val access : t -> client -> int -> [ `Hit | `Fault ]
@@ -52,3 +81,8 @@ val accesses : t -> client -> int
 val evictions_suffered : t -> client -> int
 val frames_total : t -> int
 val frames_free : t -> int
+
+val events : t -> Lotto_obs.Bus.t
+(** Per-pool bus carrying one {!Lotto_obs.Event.Resource_draw} per victim
+    lottery held (resource ["memory"], timestamped with the access
+    clock). *)

@@ -1,58 +1,189 @@
 module Rng = Lotto_prng.Rng
+module Draw = Lotto_draw.Draw
+module F = Lotto_tickets.Funding
+module Obs = Lotto_obs
 
 type client = {
+  id : int;
   name : string;
   mutable tickets : int;
+  mutable value : float; (* draw-weight basis: raw tickets or currency value *)
+  funding : Funded.t option;
+  mutable handle : client Draw.handle option;
   mutable pending : int;
   mutable served : int;
 }
 
-type t = { rng : Rng.t; mutable clients : client list; mutable total_served : int }
+type t = {
+  rng : Rng.t;
+  draw : client Draw.t;
+  fsys : F.system option;
+  bus : Obs.Bus.t;
+  mutable clients : client list; (* reverse creation order *)
+  mutable next_id : int;
+  mutable backlogged : int; (* clients with pending > 0 *)
+  mutable total_served : int;
+  mutable fdirty : bool; (* funded values need revaluation *)
+}
 
-let create ~rng () = { rng; clients = []; total_served = 0 }
+let create ?(backend = Draw.List) ?funding ~rng () =
+  let t =
+    {
+      rng;
+      draw = Draw.of_mode backend;
+      fsys = funding;
+      bus = Obs.Bus.create ();
+      clients = [];
+      next_id = 0;
+      backlogged = 0;
+      total_served = 0;
+      fdirty = false;
+    }
+  in
+  (match funding with
+  | Some sys -> ignore (F.on_change sys (fun () -> t.fdirty <- true))
+  | None -> ());
+  t
+
+let events t = t.bus
+
+(* A client competes only while backlogged; idle shares redistribute. *)
+let weight_of c = if c.pending > 0 then c.value else 0.
+
+let update_weight t c =
+  match c.handle with
+  | Some h -> Draw.set_weight t.draw h (weight_of c)
+  | None -> ()
+
+let register t c =
+  c.handle <- Some (Draw.add t.draw ~client:c ~weight:(weight_of c));
+  t.clients <- c :: t.clients
 
 let add_client t ~name ~tickets =
   if tickets < 0 then invalid_arg "Io_bandwidth.add_client: negative tickets";
-  let c = { name; tickets; pending = 0; served = 0 } in
-  t.clients <- t.clients @ [ c ];
+  let c =
+    {
+      id = t.next_id;
+      name;
+      tickets;
+      value = float_of_int tickets;
+      funding = None;
+      handle = None;
+      pending = 0;
+      served = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  register t c;
   c
 
-let set_tickets _t c tickets =
+let add_funded_client t ~name ?(amount = 1000) ~currency () =
+  let sys =
+    match t.fsys with
+    | Some sys -> sys
+    | None -> invalid_arg "Io_bandwidth.add_funded_client: created without ~funding"
+  in
+  let fd = Funded.attach sys ~currency ~amount in
+  Funded.set_active fd false (* idle until the first submit *);
+  let c =
+    {
+      id = t.next_id;
+      name;
+      tickets = 0;
+      value = 0.;
+      funding = Some fd;
+      handle = None;
+      pending = 0;
+      served = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  register t c;
+  t.fdirty <- true;
+  c
+
+let set_tickets t c tickets =
   if tickets < 0 then invalid_arg "Io_bandwidth.set_tickets: negative";
-  c.tickets <- tickets
+  c.tickets <- tickets;
+  if c.funding = None then begin
+    c.value <- float_of_int tickets;
+    update_weight t c
+  end
 
 let client_name c = c.name
 
-let submit _t c ~requests =
+let set_backlogged t c now_backlogged =
+  t.backlogged <- t.backlogged + (if now_backlogged then 1 else -1);
+  (match c.funding with
+  | Some fd -> Funded.set_active fd now_backlogged
+  | None -> ());
+  update_weight t c
+
+let submit t c ~requests =
   if requests < 0 then invalid_arg "Io_bandwidth.submit: negative requests";
-  c.pending <- c.pending + requests
+  if requests > 0 then begin
+    let was_idle = c.pending = 0 in
+    c.pending <- c.pending + requests;
+    if was_idle then set_backlogged t c true
+  end
 
 let pending _t c = c.pending
-let cancel_pending _t c = c.pending <- 0
+
+let cancel_pending t c =
+  if c.pending > 0 then begin
+    c.pending <- 0;
+    set_backlogged t c false
+  end
+
+(* Re-derive funded clients' values from the funding graph (one valuation
+   snapshot); cheap no-op while the graph is quiescent. *)
+let refresh t =
+  if t.fdirty then begin
+    t.fdirty <- false;
+    match t.fsys with
+    | None -> ()
+    | Some sys ->
+        let v = F.Valuation.make sys in
+        List.iter
+          (fun c ->
+            match c.funding with
+            | Some fd ->
+                c.value <- Funded.value v fd;
+                update_weight t c
+            | None -> ())
+          t.clients
+  end
+
+let publish_draw t c =
+  if Obs.Bus.active t.bus then
+    Obs.Bus.emit t.bus ~time:t.total_served
+      (Obs.Event.Resource_draw
+         {
+           who = Obs.Event.actor_of ~tid:c.id ~tname:c.name;
+           resource = "io";
+           contenders = t.backlogged;
+           total_weight = Draw.total t.draw;
+         })
 
 let serve_slot t =
-  let backlogged = List.filter (fun c -> c.pending > 0) t.clients in
-  let total = List.fold_left (fun acc c -> acc + c.tickets) 0 backlogged in
+  refresh t;
   let winner =
-    if total = 0 then
-      (* all backlogged clients are unfunded: serve FIFO by creation order *)
-      match backlogged with [] -> None | c :: _ -> Some c
-    else begin
-      let r = Rng.int_below t.rng total in
-      let rec go acc = function
-        | [] -> None
-        | [ c ] -> Some c
-        | c :: rest ->
-            let acc = acc + c.tickets in
-            if r < acc then Some c else go acc rest
-      in
-      go 0 backlogged
-    end
+    match Draw.draw_client t.draw t.rng with
+    | Some c ->
+        publish_draw t c;
+        Some c
+    | None ->
+        (* all backlogged clients are unfunded: serve FIFO by creation
+           order (t.clients is reversed, so keep the last match) *)
+        List.fold_left
+          (fun acc c -> if c.pending > 0 then Some c else acc)
+          None t.clients
   in
   match winner with
   | None -> None
   | Some c ->
       c.pending <- c.pending - 1;
+      if c.pending = 0 then set_backlogged t c false;
       c.served <- c.served + 1;
       t.total_served <- t.total_served + 1;
       Some c

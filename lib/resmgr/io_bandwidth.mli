@@ -5,14 +5,45 @@
     among clients with queued requests, weighted by their tickets — so each
     {e backlogged} client receives bandwidth proportional to its share of
     the backlogged tickets, and idle clients' shares redistribute
-    automatically (the "lightly contended resource" property of §2.1). *)
+    automatically (the "lightly contended resource" property of §2.1).
+
+    Draws go through {!Lotto_draw.Draw} ([?backend] selects the structure),
+    and clients are funded either with raw tickets ({!add_client}) or from
+    a {!Lotto_tickets.Funding.currency} ({!add_funded_client}) so one
+    currency can proportionally fund CPU {e and} bandwidth. *)
 
 type t
 type client
 
-val create : rng:Lotto_prng.Rng.t -> unit -> t
+val create :
+  ?backend:Lotto_draw.Draw.mode ->
+  ?funding:Lotto_tickets.Funding.system ->
+  rng:Lotto_prng.Rng.t ->
+  unit ->
+  t
+(** [backend] defaults to [List] (the paper's prototype structure);
+    [funding] is required for {!add_funded_client} and is typically the
+    scheduler's {!Lottery_sched.funding} system. *)
+
 val add_client : t -> name:string -> tickets:int -> client
+
+val add_funded_client :
+  t ->
+  name:string ->
+  ?amount:int ->
+  currency:Lotto_tickets.Funding.currency ->
+  unit ->
+  client
+(** The client competes with a held ticket of [amount] (default 1000)
+    denominated in [currency]: its bandwidth share follows the currency's
+    value, divided among everything the currency funds, and the ticket is
+    suspended while the client has nothing queued. Raises
+    [Invalid_argument] when the manager was created without [~funding]. *)
+
 val set_tickets : t -> client -> int -> unit
+(** Raw-ticket clients only (ignored weight-wise for funded clients —
+    inflate their currency's backing tickets instead). *)
+
 val client_name : client -> string
 
 val submit : t -> client -> requests:int -> unit
@@ -32,3 +63,7 @@ val serve : t -> slots:int -> unit
 
 val served : t -> client -> int
 val total_served : t -> int
+
+val events : t -> Lotto_obs.Bus.t
+(** Per-manager bus carrying one {!Lotto_obs.Event.Resource_draw} per
+    lottery held (timestamped with slots served so far). *)

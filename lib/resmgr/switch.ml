@@ -1,9 +1,16 @@
 module Rng = Lotto_prng.Rng
+module Draw = Lotto_draw.Draw
+module F = Lotto_tickets.Funding
+module Obs = Lotto_obs
 
 type circuit = {
+  id : int;
   name : string;
   port : int;
   mutable tickets : int;
+  mutable value : float; (* draw-weight basis: raw tickets or currency value *)
+  funding : Funded.t option;
+  mutable handle : circuit Draw.handle option;
   mutable rate : float;
   buffer : int Queue.t; (* arrival slot of each buffered cell *)
   mutable delivered : int;
@@ -15,22 +22,54 @@ type t = {
   ports : int;
   capacity : int;
   rng : Rng.t;
-  mutable circuits : circuit list;
+  draws : circuit Draw.t array; (* one lottery per output port *)
+  fsys : F.system option;
+  bus : Obs.Bus.t;
+  mutable circuits : circuit list; (* reverse creation order *)
+  mutable next_id : int;
+  buffered_per_port : int array;
   mutable slot : int;
   sent_per_port : int array;
+  mutable fdirty : bool;
 }
 
-let[@warning "-16"] create ?(ports = 4) ?(buffer_capacity = 64) ~rng () =
+let create ?(ports = 4) ?(buffer_capacity = 64) ?(backend = Draw.List) ?funding
+    ~rng () =
   if ports <= 0 then invalid_arg "Switch.create: ports <= 0";
   if buffer_capacity <= 0 then invalid_arg "Switch.create: buffer_capacity <= 0";
-  {
-    ports;
-    capacity = buffer_capacity;
-    rng;
-    circuits = [];
-    slot = 0;
-    sent_per_port = Array.make ports 0;
-  }
+  let t =
+    {
+      ports;
+      capacity = buffer_capacity;
+      rng;
+      draws = Array.init ports (fun _ -> Draw.of_mode backend);
+      fsys = funding;
+      bus = Obs.Bus.create ();
+      circuits = [];
+      next_id = 0;
+      buffered_per_port = Array.make ports 0;
+      slot = 0;
+      sent_per_port = Array.make ports 0;
+      fdirty = false;
+    }
+  in
+  (match funding with
+  | Some sys -> ignore (F.on_change sys (fun () -> t.fdirty <- true))
+  | None -> ());
+  t
+
+let events t = t.bus
+
+let weight_of c = if Queue.is_empty c.buffer then 0. else c.value
+
+let update_weight t c =
+  match c.handle with
+  | Some h -> Draw.set_weight t.draws.(c.port) h (weight_of c)
+  | None -> ()
+
+let register t c =
+  c.handle <- Some (Draw.add t.draws.(c.port) ~client:c ~weight:(weight_of c));
+  t.circuits <- c :: t.circuits
 
 let add_circuit t ~name ~output_port ~tickets ~rate =
   if output_port < 0 || output_port >= t.ports then
@@ -39,9 +78,13 @@ let add_circuit t ~name ~output_port ~tickets ~rate =
   if rate < 0. || rate > 1. then invalid_arg "Switch.add_circuit: rate not in [0,1]";
   let c =
     {
+      id = t.next_id;
       name;
       port = output_port;
       tickets;
+      value = float_of_int tickets;
+      funding = None;
+      handle = None;
       rate;
       buffer = Queue.create ();
       delivered = 0;
@@ -49,12 +92,51 @@ let add_circuit t ~name ~output_port ~tickets ~rate =
       delay_sum = 0;
     }
   in
-  t.circuits <- t.circuits @ [ c ];
+  t.next_id <- t.next_id + 1;
+  register t c;
   c
 
-let set_tickets _t c tickets =
+let add_funded_circuit t ~name ~output_port ?(amount = 1000) ~rate
+    ~currency () =
+  if output_port < 0 || output_port >= t.ports then
+    invalid_arg "Switch.add_funded_circuit: port out of range";
+  if rate < 0. || rate > 1. then
+    invalid_arg "Switch.add_funded_circuit: rate not in [0,1]";
+  let sys =
+    match t.fsys with
+    | Some sys -> sys
+    | None -> invalid_arg "Switch.add_funded_circuit: created without ~funding"
+  in
+  let fd = Funded.attach sys ~currency ~amount in
+  Funded.set_active fd false (* idle until the first cell arrives *);
+  let c =
+    {
+      id = t.next_id;
+      name;
+      port = output_port;
+      tickets = 0;
+      value = 0.;
+      funding = Some fd;
+      handle = None;
+      rate;
+      buffer = Queue.create ();
+      delivered = 0;
+      dropped = 0;
+      delay_sum = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  register t c;
+  t.fdirty <- true;
+  c
+
+let set_tickets t c tickets =
   if tickets < 0 then invalid_arg "Switch.set_tickets: negative tickets";
-  c.tickets <- tickets
+  c.tickets <- tickets;
+  if c.funding = None then begin
+    c.value <- float_of_int tickets;
+    update_weight t c
+  end
 
 let set_rate _t c rate =
   if rate < 0. || rate > 1. then invalid_arg "Switch.set_rate: rate not in [0,1]";
@@ -62,44 +144,85 @@ let set_rate _t c rate =
 
 let circuit_name c = c.name
 
+let set_buffered t c now_buffered =
+  t.buffered_per_port.(c.port) <-
+    t.buffered_per_port.(c.port) + (if now_buffered then 1 else -1);
+  (match c.funding with
+  | Some fd -> Funded.set_active fd now_buffered
+  | None -> ());
+  update_weight t c
+
+let refresh t =
+  if t.fdirty then begin
+    t.fdirty <- false;
+    match t.fsys with
+    | None -> ()
+    | Some sys ->
+        let v = F.Valuation.make sys in
+        List.iter
+          (fun c ->
+            match c.funding with
+            | Some fd ->
+                c.value <- Funded.value v fd;
+                update_weight t c
+            | None -> ())
+          t.circuits
+  end
+
 let arrivals t =
   List.iter
     (fun c ->
       if c.rate > 0. && Rng.float_unit t.rng < c.rate then begin
         if Queue.length c.buffer >= t.capacity then c.dropped <- c.dropped + 1
-        else Queue.push t.slot c.buffer
+        else begin
+          let was_empty = Queue.is_empty c.buffer in
+          Queue.push t.slot c.buffer;
+          if was_empty then set_buffered t c true
+        end
       end)
-    t.circuits
+    (List.rev t.circuits)
+
+let publish_draw t c =
+  if Obs.Bus.active t.bus then
+    Obs.Bus.emit t.bus ~time:t.slot
+      (Obs.Event.Resource_draw
+         {
+           who = Obs.Event.actor_of ~tid:c.id ~tname:c.name;
+           resource = Printf.sprintf "switch:p%d" c.port;
+           contenders = t.buffered_per_port.(c.port);
+           total_weight = Draw.total t.draws.(c.port);
+         })
 
 let transmit_port t port =
-  let contenders =
-    List.filter (fun c -> c.port = port && not (Queue.is_empty c.buffer)) t.circuits
-  in
-  match contenders with
-  | [] -> ()
-  | _ ->
-      let total = List.fold_left (fun acc c -> acc + c.tickets) 0 contenders in
-      let winner =
-        if total = 0 then List.hd contenders
-        else begin
-          let r = Rng.int_below t.rng total in
-          let rec walk acc = function
-            | [] -> assert false
-            | [ c ] -> c
-            | c :: rest ->
-                let acc = acc + c.tickets in
-                if r < acc then c else walk acc rest
-          in
-          walk 0 contenders
-        end
-      in
-      let arrived = Queue.pop winner.buffer in
-      winner.delivered <- winner.delivered + 1;
-      winner.delay_sum <- winner.delay_sum + (t.slot - arrived);
-      t.sent_per_port.(port) <- t.sent_per_port.(port) + 1
+  if t.buffered_per_port.(port) > 0 then begin
+    let winner =
+      match Draw.draw_client t.draws.(port) t.rng with
+      | Some c ->
+          publish_draw t c;
+          Some c
+      | None ->
+          (* buffered circuits but zero total weight: first-created
+             buffered circuit on this port (t.circuits is reversed, so
+             keep the last match) *)
+          List.fold_left
+            (fun acc c ->
+              if c.port = port && not (Queue.is_empty c.buffer) then Some c
+              else acc)
+            None t.circuits
+    in
+    match winner with
+    | None -> ()
+    | Some w ->
+        let arrived = Queue.pop w.buffer in
+        if Queue.is_empty w.buffer then set_buffered t w false;
+        w.delivered <- w.delivered + 1;
+        w.delay_sum <- w.delay_sum + (t.slot - arrived);
+        t.sent_per_port.(port) <- t.sent_per_port.(port) + 1
+  end
 
 let step t ~slots =
   for _ = 1 to slots do
+    refresh t;
     arrivals t;
     for port = 0 to t.ports - 1 do
       transmit_port t port

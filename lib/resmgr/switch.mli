@@ -9,19 +9,49 @@
     full), and every output port transmits one cell chosen by a lottery
     among the circuits with buffered cells for that port. Uncongested ports
     simply forward; on congested ports, delivered bandwidth tracks ticket
-    shares. *)
+    shares.
+
+    Each port's lottery goes through {!Lotto_draw.Draw} ([?backend]
+    selects the structure); circuits hold either raw tickets
+    ({!add_circuit}) or a share of a {!Lotto_tickets.Funding.currency}
+    ({!add_funded_circuit}). *)
 
 type t
 type circuit
 
-val create : ?ports:int -> ?buffer_capacity:int -> rng:Lotto_prng.Rng.t -> unit -> t
-(** Defaults: 4 output ports, 64-cell per-circuit buffers. *)
+val create :
+  ?ports:int ->
+  ?buffer_capacity:int ->
+  ?backend:Lotto_draw.Draw.mode ->
+  ?funding:Lotto_tickets.Funding.system ->
+  rng:Lotto_prng.Rng.t ->
+  unit ->
+  t
+(** Defaults: 4 output ports, 64-cell per-circuit buffers, [List] draw
+    backend. [funding] is required for {!add_funded_circuit}. *)
 
 val add_circuit :
   t -> name:string -> output_port:int -> tickets:int -> rate:float -> circuit
 (** [rate] is the per-slot cell arrival probability in [\[0, 1\]]. *)
 
+val add_funded_circuit :
+  t ->
+  name:string ->
+  output_port:int ->
+  ?amount:int ->
+  rate:float ->
+  currency:Lotto_tickets.Funding.currency ->
+  unit ->
+  circuit
+(** The circuit competes with a held ticket of [amount] (default 1000)
+    denominated in [currency], suspended while its buffer is empty.
+    Raises [Invalid_argument] when the switch was created without
+    [~funding]. *)
+
 val set_tickets : t -> circuit -> int -> unit
+(** Raw-ticket circuits only (ignored weight-wise for funded circuits —
+    inflate their currency's backing tickets instead). *)
+
 val set_rate : t -> circuit -> float -> unit
 val circuit_name : circuit -> string
 
@@ -41,3 +71,7 @@ val mean_delay : t -> circuit -> float
 
 val port_utilization : t -> int -> float
 (** Fraction of slots in which the port transmitted. *)
+
+val events : t -> Lotto_obs.Bus.t
+(** Per-switch bus carrying one {!Lotto_obs.Event.Resource_draw} per port
+    lottery held (resource ["switch:p<i>"], timestamped with the slot). *)

@@ -1,10 +1,11 @@
 open Lotto_sim.Types
 module F = Lotto_tickets.Funding
-module Ll = Lotto_draw.List_lottery
-module Tl = Lotto_draw.Tree_lottery
+module D = Lotto_draw.Draw
 module Rng = Lotto_prng.Rng
 
 type mode = List_mode | Tree_mode
+
+let draw_mode = function List_mode -> D.List | Tree_mode -> D.Tree
 
 (* Face amount of every thread's competing ticket. The value is arbitrary:
    a thread currency's worth flows through whatever single ticket is active
@@ -16,8 +17,7 @@ type tstate = {
   cur : F.currency;
   competing : F.ticket;
   mutable donations : (int * F.ticket) list; (* dst thread id -> transfer *)
-  mutable lh : thread Ll.handle option; (* present iff runnable, list mode *)
-  mutable th_handle : thread Tl.handle option; (* present iff runnable, tree mode *)
+  mutable dh : thread D.handle option; (* present iff runnable *)
 }
 
 type t = {
@@ -25,11 +25,10 @@ type t = {
   rng : Rng.t;
   system : F.system;
   states : (int, tstate) Hashtbl.t;
-  list_lottery : thread Ll.t;
-  tree_lottery : thread Tl.t;
+  draw : thread D.t;
   quantum_fallback : bool;
   use_compensation : bool;
-  mutable dirty : bool; (* tree-mode weights need recomputation *)
+  mutable dirty : bool; (* draw weights need recomputation *)
   mutable draws : int;
   mutable fallback_rr : int; (* rotates unfunded-thread fallback *)
   mutable draw_hook : (runnable:int -> total_weight:float -> unit) option;
@@ -38,20 +37,25 @@ type t = {
 
 let[@warning "-16"] create ?(mode = List_mode) ?(quantum_fallback = true)
     ?(use_compensation = true) ~rng () =
-  {
-    mode;
-    rng;
-    system = F.create_system ();
-    states = Hashtbl.create 64;
-    list_lottery = Ll.create ~move_to_front:true ();
-    tree_lottery = Tl.create ();
-    quantum_fallback;
-    use_compensation;
-    dirty = true;
-    draws = 0;
-    fallback_rr = 0;
-    draw_hook = None;
-  }
+  let t =
+    {
+      mode;
+      rng;
+      system = F.create_system ();
+      states = Hashtbl.create 64;
+      draw = D.of_mode (draw_mode mode);
+      quantum_fallback;
+      use_compensation;
+      dirty = true;
+      draws = 0;
+      fallback_rr = 0;
+      draw_hook = None;
+    }
+  in
+  (* Every funding mutation — ours or a caller's going straight through the
+     Funding API — marks the cached draw weights stale. *)
+  ignore (F.on_change t.system (fun () -> t.dirty <- true));
+  t
 
 let funding t = t.system
 let base_currency t = F.base t.system
@@ -66,7 +70,7 @@ let state t th =
         F.make_currency t.system ~name:(Printf.sprintf "thread:%d:%s" th.id th.name)
       in
       let competing = F.issue t.system ~currency:cur ~amount:competing_amount in
-      let s = { th; cur; competing; donations = []; lh = None; th_handle = None } in
+      let s = { th; cur; competing; donations = []; dh = None } in
       Hashtbl.replace t.states th.id s;
       s
 
@@ -89,66 +93,48 @@ let thread_value t th = value_of t (state t th)
 let fund_currency t ~target ~amount ~from =
   let ticket = F.issue t.system ~currency:from ~amount in
   F.fund t.system ~ticket ~currency:target;
-  t.dirty <- true;
   ticket
 
 let fund_thread t th ~amount ~from =
   fund_currency t ~target:(thread_currency t th) ~amount ~from
 
-let set_ticket_amount t ticket amount =
-  F.set_amount t.system ticket amount;
-  t.dirty <- true
-
-let destroy_ticket t ticket =
-  F.destroy_ticket t.system ticket;
-  t.dirty <- true
+let set_ticket_amount t ticket amount = F.set_amount t.system ticket amount
+let destroy_ticket t ticket = F.destroy_ticket t.system ticket
 
 (* --- scheduler callbacks ------------------------------------------------ *)
 
 let add_to_draw t s =
-  match t.mode with
-  | List_mode ->
-      if s.lh = None then s.lh <- Some (Ll.add t.list_lottery ~client:s.th ~weight:0.)
-  | Tree_mode ->
-      if s.th_handle = None then
-        s.th_handle <- Some (Tl.add t.tree_lottery ~client:s.th ~weight:0.)
+  if s.dh = None then s.dh <- Some (D.add t.draw ~client:s.th ~weight:0.);
+  t.dirty <- true
 
 let remove_from_draw t s =
-  (match s.lh with
+  match s.dh with
   | Some h ->
-      Ll.remove t.list_lottery h;
-      s.lh <- None
-  | None -> ());
-  match s.th_handle with
-  | Some h ->
-      Tl.remove t.tree_lottery h;
-      s.th_handle <- None
+      D.remove t.draw h;
+      s.dh <- None;
+      t.dirty <- true
   | None -> ()
 
 let ready t th =
   let s = state t th in
   if not (F.is_active s.competing) then F.resume t.system s.competing;
-  add_to_draw t s;
-  t.dirty <- true
+  add_to_draw t s
 
 let attach t th =
   let s = state t th in
   (* competing ticket becomes held (and active) the first time *)
   F.hold t.system s.competing;
-  add_to_draw t s;
-  t.dirty <- true
+  add_to_draw t s
 
 let unready t th =
   let s = state t th in
   F.suspend t.system s.competing;
-  remove_from_draw t s;
-  t.dirty <- true
+  remove_from_draw t s
 
 let drop_donations t s =
   if s.donations <> [] then begin
     List.iter (fun (_, ticket) -> F.destroy_ticket t.system ticket) s.donations;
-    s.donations <- [];
-    t.dirty <- true
+    s.donations <- []
   end
 
 (* Divided transfers (§3.1): each active donation ticket is denominated in
@@ -160,8 +146,7 @@ let donate t ~src ~dst =
   let d = state t dst in
   let ticket = F.issue t.system ~currency:s.cur ~amount:competing_amount in
   F.fund t.system ~ticket ~currency:d.cur;
-  s.donations <- (dst.id, ticket) :: s.donations;
-  t.dirty <- true
+  s.donations <- (dst.id, ticket) :: s.donations
 
 let revoke t ~src = drop_donations t (state t src)
 
@@ -171,8 +156,7 @@ let revoke_from t ~src ~dst =
   | None -> ()
   | Some ticket ->
       F.destroy_ticket t.system ticket;
-      s.donations <- List.remove_assoc dst.id s.donations;
-      t.dirty <- true
+      s.donations <- List.remove_assoc dst.id s.donations
 
 let detach t th =
   match Hashtbl.find_opt t.states th.id with
@@ -202,21 +186,12 @@ let detach t th =
       Hashtbl.remove t.states th.id;
       t.dirty <- true
 
-let refresh_list_weights t =
+let refresh_weights t =
   let v = F.Valuation.make t.system in
   Hashtbl.iter
     (fun _ s ->
-      match s.lh with
-      | Some h -> Ll.set_weight t.list_lottery h (raw_value_with v s *. factor t s)
-      | None -> ())
-    t.states
-
-let refresh_tree_weights t =
-  let v = F.Valuation.make t.system in
-  Hashtbl.iter
-    (fun _ s ->
-      match s.th_handle with
-      | Some h -> Tl.set_weight t.tree_lottery h (raw_value_with v s *. factor t s)
+      match s.dh with
+      | Some h -> D.set_weight t.draw h (raw_value_with v s *. factor t s)
       | None -> ())
     t.states
 
@@ -228,9 +203,7 @@ let fallback_pick t =
   if not t.quantum_fallback then None
   else begin
     let runnable = ref [] in
-    Hashtbl.iter
-      (fun _ s -> if s.lh <> None || s.th_handle <> None then runnable := s.th :: !runnable)
-      t.states;
+    Hashtbl.iter (fun _ s -> if s.dh <> None then runnable := s.th :: !runnable) t.states;
     match List.sort (fun a b -> compare a.id b.id) !runnable with
     | [] -> None
     | threads ->
@@ -243,40 +216,26 @@ let fallback_pick t =
 let fire_draw_hook t =
   match t.draw_hook with
   | None -> ()
-  | Some hook -> (
-      match t.mode with
-      | List_mode ->
-          hook ~runnable:(Ll.size t.list_lottery) ~total_weight:(Ll.total t.list_lottery)
-      | Tree_mode ->
-          hook ~runnable:(Tl.size t.tree_lottery) ~total_weight:(Tl.total t.tree_lottery))
+  | Some hook -> hook ~runnable:(D.size t.draw) ~total_weight:(D.total t.draw)
 
 let select t =
   t.draws <- t.draws + 1;
-  match t.mode with
-  | List_mode -> (
-      refresh_list_weights t;
-      fire_draw_hook t;
-      match Ll.draw_client t.list_lottery t.rng with
-      | Some th -> Some th
-      | None -> fallback_pick t)
-  | Tree_mode -> (
-      if t.dirty then begin
-        refresh_tree_weights t;
-        t.dirty <- false
-      end;
-      fire_draw_hook t;
-      match Tl.draw_client t.tree_lottery t.rng with
-      | Some th -> Some th
-      | None -> fallback_pick t)
+  if t.dirty then begin
+    refresh_weights t;
+    t.dirty <- false
+  end;
+  fire_draw_hook t;
+  match D.draw_client t.draw t.rng with
+  | Some th -> Some th
+  | None -> fallback_pick t
 
 let account t th ~used:_ ~quantum:_ ~blocked:_ =
   (* The thread's compensation factor was reset when its quantum started
-     and possibly re-set when it blocked; refresh its tree weight so the
+     and possibly re-set when it blocked; refresh its draw weight so the
      next draw sees the current value without a full rebuild. *)
-  if t.mode = Tree_mode && not t.dirty then begin
+  if not t.dirty then begin
     match Hashtbl.find_opt t.states th.id with
-    | Some ({ th_handle = Some h; _ } as s) ->
-        Tl.set_weight t.tree_lottery h (value_of t s)
+    | Some ({ dh = Some h; _ } as s) -> D.set_weight t.draw h (value_of t s)
     | _ -> ()
   end
 
@@ -293,24 +252,18 @@ let potential_value v (s : tstate) =
       +. (float_of_int (F.amount b) *. F.Valuation.unit_value v (F.denomination b)))
     0. (F.backing_tickets s.cur)
 
+(* The pick goes through the same draw backend as the CPU lottery: an
+   ephemeral structure over the waiters, weighted by potential value. The
+   list backend prepends, so waiters are inserted in reverse to keep the
+   scan in arrival order (matching the historical walk). *)
 let pick_waiter t waiters =
   let v = F.Valuation.make t.system in
-  let weighted =
-    List.map (fun w -> (w, potential_value v (state t w))) waiters
-  in
-  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
-  if total <= 0. then None
-  else begin
-    let winning = Rng.float_unit t.rng *. total in
-    let rec walk acc = function
-      | [] -> None
-      | [ (w, _) ] -> Some w
-      | (w, wt) :: rest ->
-          let acc = acc +. wt in
-          if wt > 0. && acc > winning then Some w else walk acc rest
-    in
-    walk 0. weighted
-  end
+  let d = D.of_mode (draw_mode t.mode) in
+  let ws = match t.mode with List_mode -> List.rev waiters | Tree_mode -> waiters in
+  List.iter
+    (fun w -> ignore (D.add d ~client:w ~weight:(potential_value v (state t w))))
+    ws;
+  D.draw_client d t.rng
 
 let sched t =
   {
@@ -337,13 +290,5 @@ let thread_entitlement t th =
   potential_value v (state t th)
 
 let draws t = t.draws
-
-let list_comparisons t =
-  match t.mode with
-  | List_mode -> Some (Ll.comparisons t.list_lottery)
-  | Tree_mode -> None
-
-let runnable_count t =
-  match t.mode with
-  | List_mode -> Ll.size t.list_lottery
-  | Tree_mode -> Tl.size t.tree_lottery
+let list_comparisons t = D.comparisons t.draw
+let runnable_count t = D.size t.draw

@@ -44,9 +44,10 @@ val sched : t -> Lotto_sim.Types.sched
 
 (** {1 Currencies and funding}
 
-    All funding-graph mutations must go through these wrappers (they keep
-    the draw structures in sync); see {!mark_dirty} if you mutate the
-    underlying {!funding} system directly. *)
+    Draw weights track the funding graph through
+    {!Lotto_tickets.Funding.on_change}, so mutations made directly on the
+    underlying {!funding} system are picked up too; {!mark_dirty} remains
+    only as an explicit escape hatch. *)
 
 val funding : t -> Lotto_tickets.Funding.system
 val base_currency : t -> Lotto_tickets.Funding.currency

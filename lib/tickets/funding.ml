@@ -28,6 +28,7 @@ type system = {
   base_currency : currency;
   by_name : (string, currency) Hashtbl.t;
   mutable all : currency list; (* reverse creation order *)
+  mutable watchers : (int * (unit -> unit)) list; (* change subscriptions *)
 }
 
 let fresh_id sys =
@@ -49,9 +50,25 @@ let create_system () =
   in
   let by_name = Hashtbl.create 16 in
   Hashtbl.replace by_name "base" base_currency;
-  { next_id = 1; base_currency; by_name; all = [ base_currency ] }
+  { next_id = 1; base_currency; by_name; all = [ base_currency ]; watchers = [] }
 
 let base sys = sys.base_currency
+
+(* Change notification: consumers that cache draw weights (the scheduler,
+   the resource managers) subscribe here instead of polling; every mutation
+   that can move a valuation or an activation fires the callbacks. The
+   callbacks run synchronously and must not mutate the system. *)
+type subscription = int
+
+let on_change sys f =
+  let wid = fresh_id sys in
+  sys.watchers <- (wid, f) :: sys.watchers;
+  wid
+
+let unsubscribe sys wid =
+  sys.watchers <- List.filter (fun (w, _) -> w <> wid) sys.watchers
+
+let notify sys = List.iter (fun (_, f) -> f ()) sys.watchers
 
 let make_currency sys ~name =
   if Hashtbl.mem sys.by_name name then raise (Duplicate_name name);
@@ -140,7 +157,6 @@ let rec deactivate_ticket t =
   end
 
 let set_amount sys t new_amount =
-  ignore sys;
   check_live t "Funding.set_amount";
   if new_amount < 0 then invalid_arg "Funding.set_amount: negative amount";
   if t.active then begin
@@ -152,7 +168,8 @@ let set_amount sys t new_amount =
     if old_sum = 0 && new_sum > 0 then List.iter activate_ticket c.backing
     else if old_sum > 0 && new_sum = 0 then List.iter deactivate_ticket c.backing
   end
-  else t.amount <- new_amount
+  else t.amount <- new_amount;
+  notify sys
 
 (* A backing edge [currency <- ticket] makes [currency]'s value depend on
    the ticket's denomination. Funding [c] with a ticket denominated in [d]
@@ -165,7 +182,6 @@ let would_cycle ~funded ~denom =
   depends_on denom
 
 let fund sys ~ticket ~currency =
-  ignore sys;
   check_live ticket "Funding.fund";
   if not currency.alive then invalid_arg "Funding.fund: dead currency";
   (match ticket.attach with
@@ -180,45 +196,46 @@ let fund sys ~ticket ~currency =
             currency.cname ticket.denom.cname));
   ticket.attach <- Backs currency;
   currency.backing <- ticket :: currency.backing;
-  if currency.active_amount > 0 then activate_ticket ticket
+  if currency.active_amount > 0 then activate_ticket ticket;
+  notify sys
 
 let unfund sys t =
-  ignore sys;
   check_live t "Funding.unfund";
   match t.attach with
   | Backs c ->
       deactivate_ticket t;
       c.backing <- List.filter (fun b -> b.tid <> t.tid) c.backing;
-      t.attach <- Unattached
+      t.attach <- Unattached;
+      notify sys
   | Unattached | Held -> invalid_arg "Funding.unfund: ticket not backing"
 
 let hold sys t =
-  ignore sys;
   check_live t "Funding.hold";
   (match t.attach with
   | Unattached | Held -> ()
   | Backs _ -> invalid_arg "Funding.hold: ticket is backing a currency");
   t.attach <- Held;
-  activate_ticket t
+  activate_ticket t;
+  notify sys
 
 let suspend sys t =
-  ignore sys;
   check_live t "Funding.suspend";
   if t.attach <> Held then invalid_arg "Funding.suspend: ticket not held";
-  deactivate_ticket t
+  deactivate_ticket t;
+  notify sys
 
 let resume sys t =
-  ignore sys;
   check_live t "Funding.resume";
   if t.attach <> Held then invalid_arg "Funding.resume: ticket not held";
-  activate_ticket t
+  activate_ticket t;
+  notify sys
 
 let release sys t =
-  ignore sys;
   check_live t "Funding.release";
   if t.attach <> Held then invalid_arg "Funding.release: ticket not held";
   deactivate_ticket t;
-  t.attach <- Unattached
+  t.attach <- Unattached;
+  notify sys
 
 let destroy_ticket sys t =
   check_live t "Funding.destroy_ticket";
@@ -228,7 +245,8 @@ let destroy_ticket sys t =
   | Unattached -> ());
   let c = t.denom in
   c.issued <- List.filter (fun i -> i.tid <> t.tid) c.issued;
-  t.destroyed <- true
+  t.destroyed <- true;
+  notify sys
 
 module Valuation = struct
   type v = { memo : (int, float) Hashtbl.t }

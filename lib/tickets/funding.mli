@@ -36,6 +36,23 @@ val create_system : unit -> system
 val base : system -> currency
 (** The conserved base currency ("base" in the paper's figures). *)
 
+(** {2 Change notification}
+
+    Consumers that cache derived state (draw weights in the scheduler and
+    the resource managers) subscribe here instead of polling. *)
+
+type subscription
+
+val on_change : system -> (unit -> unit) -> subscription
+(** [on_change sys f] calls [f ()] after every mutation that can affect
+    valuations or ticket activity ({!fund}, {!unfund}, {!hold}, {!suspend},
+    {!resume}, {!release}, {!set_amount}, {!destroy_ticket}). Callbacks run
+    synchronously on the mutating path, must not mutate the system, and
+    should be cheap — typically just setting a dirty flag. *)
+
+val unsubscribe : system -> subscription -> unit
+(** Idempotent. *)
+
 val make_currency : system -> name:string -> currency
 (** Raises {!Duplicate_name} if [name] is taken ("base" is always taken). *)
 

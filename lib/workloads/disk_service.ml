@@ -1,5 +1,6 @@
 open Lotto_sim
 module Rng = Lotto_prng.Rng
+module Draw = Lotto_draw.Draw
 
 type t = {
   port : Types.port;
@@ -16,7 +17,7 @@ let bump tbl key delta =
 let disk_tickets t (th : Types.thread) =
   Option.value ~default:1 (Hashtbl.find_opt t.tickets th.id)
 
-let[@warning "-16"] start kernel ~rng ~name ?(cylinders = 1000)
+let start kernel ~rng ~name ?(cylinders = 1000)
     ?(seek_cost = Time.us 10) ?(transfer_cost = Time.ms 2) () =
   if cylinders <= 0 then invalid_arg "Disk_service.start: cylinders <= 0";
   if seek_cost < 0 || transfer_cost <= 0 then
@@ -48,24 +49,20 @@ let[@warning "-16"] start kernel ~rng ~name ?(cylinders = 1000)
            in
            drain ();
            if !pending = [] then pending := [ Api.receive port ];
-           (* lottery among queued requests, weighted by disk tickets *)
-           let weighted =
-             List.map (fun (m : Types.message) -> (m, disk_tickets t m.sender)) !pending
-           in
-           let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weighted in
+           (* lottery among queued requests, weighted by disk tickets (an
+              ephemeral draw per decision, like the scheduler's waiter
+              picks; reversed insertion keeps arrival-order scans) *)
+           let d = Draw.of_mode Draw.List in
+           List.iter
+             (fun (m : Types.message) ->
+               ignore
+                 (Draw.add d ~client:m
+                    ~weight:(float_of_int (disk_tickets t m.sender))))
+             (List.rev !pending);
            let winner =
-             if total = 0 then fst (List.hd weighted)
-             else begin
-               let r = Rng.int_below rng total in
-               let rec walk acc = function
-                 | [] -> assert false
-                 | [ (m, _) ] -> m
-                 | (m, w) :: rest ->
-                     let acc = acc + w in
-                     if r < acc then m else walk acc rest
-               in
-               walk 0 weighted
-             end
+             match Draw.draw_client d rng with
+             | Some m -> m
+             | None -> List.hd !pending (* all zero-ticket: oldest first *)
            in
            pending := List.filter (fun (m : Types.message) -> m.msg_id <> winner.msg_id) !pending;
            let cylinder =

@@ -1,0 +1,131 @@
+(* One currency, many resources: the same Funding.currency proportionally
+   funds a CPU thread (Lottery_sched) and a disk client (Disk), and a single
+   ticket inflation shifts both shares at once, with no re-registration of
+   either consumer.
+
+   This is the tentpole property of the unified draw/funding stack: resource
+   rights are denominated once and spent everywhere. *)
+
+open Core
+
+let checkb = Alcotest.check Alcotest.bool
+
+let in_range msg lo hi x =
+  if x < lo || x > hi then
+    Alcotest.failf "%s: %.3f outside [%.2f, %.2f]" msg x lo hi;
+  checkb msg true true
+
+let test_currency_funds_cpu_and_disk () =
+  let rng = Rng.create ~algo:Splitmix64 ~seed:2024 () in
+  let ls = Lottery_sched.create ~rng () in
+  let k = Kernel.create ~sched:(Lottery_sched.sched ls) () in
+  let sys = Lottery_sched.funding ls in
+  let base = Lottery_sched.base_currency ls in
+
+  (* alice = 600.base, bob = 300.base *)
+  let alice = Lottery_sched.make_currency ls "alice" in
+  let bob = Lottery_sched.make_currency ls "bob" in
+  let alice_backing =
+    Lottery_sched.fund_currency ls ~target:alice ~amount:600 ~from:base
+  in
+  ignore (Lottery_sched.fund_currency ls ~target:bob ~amount:300 ~from:base);
+
+  (* each currency funds one compute-bound thread... *)
+  let spin name =
+    Kernel.spawn k ~name (fun () ->
+        while true do
+          Api.compute (Time.ms 1)
+        done)
+  in
+  let a_thr = spin "a-cpu" and b_thr = spin "b-cpu" in
+  ignore (Lottery_sched.fund_thread ls a_thr ~amount:100 ~from:alice);
+  ignore (Lottery_sched.fund_thread ls b_thr ~amount:100 ~from:bob);
+
+  (* ... and one disk client, against the same funding system *)
+  let drng = Rng.create ~algo:Splitmix64 ~seed:2025 () in
+  let disk = Disk.create ~policy:Disk.Lottery ~funding:sys ~rng:drng () in
+  let a_dsk = Disk.add_funded_client disk ~name:"a-disk" ~currency:alice () in
+  let b_dsk = Disk.add_funded_client disk ~name:"b-disk" ~currency:bob () in
+
+  let cyl = ref 0 in
+  let top_up c =
+    while Disk.pending disk c < 8 do
+      cyl := (!cyl + 37) mod 1000;
+      Disk.submit disk c ~cylinder:!cyl
+    done
+  in
+  (* interleave CPU quanta and disk slots in one simulation; return the
+     per-consumer deltas accrued during the phase *)
+  let run_phase ~serves =
+    let cpu_a0 = Kernel.cpu_time a_thr and cpu_b0 = Kernel.cpu_time b_thr in
+    let dsk_a0 = Disk.served disk a_dsk and dsk_b0 = Disk.served disk b_dsk in
+    for _ = 1 to serves do
+      top_up a_dsk;
+      top_up b_dsk;
+      ignore (Disk.serve_one disk);
+      ignore (Kernel.run k ~until:(Kernel.now k + Time.ms 20))
+    done;
+    ( float_of_int (Kernel.cpu_time a_thr - cpu_a0),
+      float_of_int (Kernel.cpu_time b_thr - cpu_b0),
+      float_of_int (Disk.served disk a_dsk - dsk_a0),
+      float_of_int (Disk.served disk b_dsk - dsk_b0) )
+  in
+
+  (* phase 1: alice:bob = 600:300, so both resources split 2:1 *)
+  let cpu_a, cpu_b, dsk_a, dsk_b = run_phase ~serves:500 in
+  in_range "cpu ratio a/b ~ 2" 1.6 2.5 (cpu_a /. cpu_b);
+  in_range "disk ratio a/b ~ 2" 1.6 2.5 (dsk_a /. dsk_b);
+
+  (* one ticket inflation — alice's backing drops 600 -> 150 — must shift
+     CPU and disk together, with no consumer re-registered *)
+  Lottery_sched.set_ticket_amount ls alice_backing 150;
+  let cpu_a', cpu_b', dsk_a', dsk_b' = run_phase ~serves:500 in
+  in_range "cpu ratio a/b ~ 1/2 after inflation" 0.38 0.66 (cpu_a' /. cpu_b');
+  in_range "disk ratio a/b ~ 1/2 after inflation" 0.38 0.66 (dsk_a' /. dsk_b')
+
+let test_idle_disk_share_reconcentrates () =
+  (* while a currency's disk client has nothing queued, its held ticket is
+     suspended, so the full currency value backs the CPU thread again *)
+  let rng = Rng.create ~algo:Splitmix64 ~seed:7 () in
+  let ls = Lottery_sched.create ~rng () in
+  let k = Kernel.create ~sched:(Lottery_sched.sched ls) () in
+  let sys = Lottery_sched.funding ls in
+  let base = Lottery_sched.base_currency ls in
+  let alice = Lottery_sched.make_currency ls "alice" in
+  ignore (Lottery_sched.fund_currency ls ~target:alice ~amount:400 ~from:base);
+  let thr =
+    Kernel.spawn k ~name:"cpu" (fun () ->
+        while true do
+          Api.compute (Time.ms 1)
+        done)
+  in
+  ignore (Lottery_sched.fund_thread ls thr ~amount:100 ~from:alice);
+  let drng = Rng.create ~algo:Splitmix64 ~seed:8 () in
+  let disk = Disk.create ~policy:Disk.Lottery ~funding:sys ~rng:drng () in
+  let c = Disk.add_funded_client disk ~name:"stream" ~amount:300 ~currency:alice () in
+  ignore (Kernel.run k ~until:(Time.ms 5));
+  let idle_value = Lottery_sched.thread_value ls thr in
+  (* queued work activates the disk ticket: the thread now gets 100/400 of
+     alice instead of all of it *)
+  Disk.submit disk c ~cylinder:10;
+  ignore (Kernel.run k ~until:(Time.ms 10));
+  let contended_value = Lottery_sched.thread_value ls thr in
+  in_range "idle: thread holds the whole currency" 390. 410. idle_value;
+  in_range "backlogged: thread holds 100/400 of it" 90. 110. contended_value;
+  (* drain the queue: the share re-concentrates without any explicit call *)
+  ignore (Disk.serve_one disk);
+  ignore (Kernel.run k ~until:(Time.ms 15));
+  in_range "drained: share re-concentrates" 390. 410.
+    (Lottery_sched.thread_value ls thr)
+
+let () =
+  Alcotest.run "cross-funding"
+    [
+      ( "one currency, many resources",
+        [
+          Alcotest.test_case "currency funds CPU and disk; inflation shifts both"
+            `Slow test_currency_funds_cpu_and_disk;
+          Alcotest.test_case "idle disk share re-concentrates on the CPU" `Quick
+            test_idle_disk_share_reconcentrates;
+        ] );
+    ]

@@ -409,7 +409,7 @@ let test_distributed_rounds_up_nodes () =
   let t = Dl.create ~nodes:5 () in
   checki "rounded to 8" 8 (Dl.nodes t);
   checkb "bad node rejected" true
-    (match Dl.add t ~node:8 ~client:() ~weight:1. with
+    (match Dl.add_on t ~node:8 ~client:() ~weight:1. with
     | _ -> false
     | exception Invalid_argument _ -> true)
 
@@ -417,13 +417,15 @@ let test_distributed_distribution () =
   let t = Dl.create ~nodes:4 () in
   (* clients spread across nodes with distinct weights *)
   let weights = [| 8.; 4.; 2.; 1.; 1. |] in
-  Array.iteri (fun i w -> ignore (Dl.add t ~node:(i mod 4) ~client:i ~weight:w)) weights;
+  Array.iteri
+    (fun i w -> ignore (Dl.add_on t ~node:(i mod 4) ~client:i ~weight:w))
+    weights;
   checkf "grand total" 16. (Dl.total t);
   checkf "node 0 holds clients 0 and 4" 9. (Dl.node_total t 0);
   let r = rng () in
   let observed = Array.make 5 0 in
   for _ = 1 to 20_000 do
-    match Dl.draw t r with
+    match Dl.draw_client t r with
     | Some i -> observed.(i) <- observed.(i) + 1
     | None -> Alcotest.fail "no winner"
   done;
@@ -432,7 +434,7 @@ let test_distributed_distribution () =
 
 let test_distributed_message_bounds () =
   let t = Dl.create ~nodes:16 () in
-  let h = Dl.add t ~node:3 ~client:"x" ~weight:5. in
+  let h = Dl.add_on t ~node:3 ~client:"x" ~weight:5. in
   let after_add = Dl.messages t in
   (* one message per tree level on the update path: log2(16) = 4 *)
   checki "add costs log2(nodes) messages" 4 after_add;
@@ -447,17 +449,113 @@ let test_distributed_message_bounds () =
 
 let test_distributed_remove_and_update () =
   let t = Dl.create ~nodes:2 () in
-  let a = Dl.add t ~node:0 ~client:"a" ~weight:1. in
-  let b = Dl.add t ~node:1 ~client:"b" ~weight:0. in
+  let a = Dl.add_on t ~node:0 ~client:"a" ~weight:1. in
+  let b = Dl.add_on t ~node:1 ~client:"b" ~weight:0. in
   let r = rng () in
   for _ = 1 to 100 do
-    check (Alcotest.option Alcotest.string) "only a can win" (Some "a") (Dl.draw t r)
+    check (Alcotest.option Alcotest.string) "only a can win" (Some "a")
+      (Dl.draw_client t r)
   done;
   Dl.set_weight t b 1000.;
   Dl.remove t a;
   for _ = 1 to 100 do
-    check (Alcotest.option Alcotest.string) "now only b" (Some "b") (Dl.draw t r)
+    check (Alcotest.option Alcotest.string) "now only b" (Some "b")
+      (Dl.draw_client t r)
   done
+
+(* --- unified Draw front-end -------------------------------------------------- *)
+
+module D = Core.Draw
+
+let test_draw_wrapper_ops () =
+  List.iter
+    (fun mode ->
+      let t = D.of_mode mode in
+      let a = D.add t ~client:"a" ~weight:2. in
+      let b = D.add t ~client:"b" ~weight:1. in
+      checki "size" 2 (D.size t);
+      checkf "total" 3. (D.total t);
+      checkf "weight readback" 2. (D.weight t a);
+      check Alcotest.string "client readback" "b" (D.client b);
+      D.set_weight t a 5.;
+      checkf "total after set" 6. (D.total t);
+      D.remove t b;
+      checki "size after remove" 1 (D.size t);
+      (match D.draw_client t (rng ()) with
+      | Some "a" -> ()
+      | _ -> Alcotest.fail "expected a to win");
+      D.iter t (fun h -> check Alcotest.string "iter sees a" "a" (D.client h));
+      D.remove t a;
+      checkb "empty draw" true (D.draw t (rng ()) = None))
+    [ D.List; D.Tree; D.Distributed 4 ]
+
+let test_draw_foreign_handle_rejected () =
+  let l = D.of_mode D.List and tr = D.of_mode D.Tree in
+  let h = D.add l ~client:"x" ~weight:1. in
+  checkb "foreign handle rejected" true
+    (match D.set_weight tr h 2. with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_draw_backends_agree () =
+  (* identical weights in identical scan order must pick identical winners
+     for every winning value, whatever the backend *)
+  let weights = [| 3.; 0.; 7.; 2.; 5.; 0.; 1. |] in
+  let n = Array.length weights in
+  let lst =
+    (* the list prepends: add backwards so scans run in index order *)
+    let l = Ll.create ~order:Ll.Unordered () in
+    for i = n - 1 downto 0 do
+      ignore (Ll.add l ~client:i ~weight:weights.(i))
+    done;
+    D.of_list l
+  in
+  let tree = D.of_mode D.Tree in
+  Array.iteri (fun i w -> ignore (D.add tree ~client:i ~weight:w)) weights;
+  let dist = D.of_mode (D.Distributed 8) in
+  (* round-robin placement over >= n nodes: client i on node i, so the
+     node-prefix order is the index order too *)
+  Array.iteri (fun i w -> ignore (D.add dist ~client:i ~weight:w)) weights;
+  let total = Array.fold_left ( +. ) 0. weights in
+  checkf "list total" total (D.total lst);
+  checkf "tree total" total (D.total tree);
+  checkf "dist total" total (D.total dist);
+  let r = rng () in
+  for _ = 1 to 2_000 do
+    let v = Rng.float_unit r *. total in
+    let winner t = Option.map D.client (D.draw_with_value t ~winning:v) in
+    let wl = winner lst and wt = winner tree and wd = winner dist in
+    if wl <> wt || wt <> wd then
+      Alcotest.failf "disagree at %.6f: list=%s tree=%s dist=%s" v
+        (match wl with Some i -> string_of_int i | None -> "-")
+        (match wt with Some i -> string_of_int i | None -> "-")
+        (match wd with Some i -> string_of_int i | None -> "-")
+  done
+
+let test_draw_backend_distributions () =
+  (* every backend must honour ticket proportions (chi-square) *)
+  let weights = [| 10.; 2.; 5.; 1.; 2. |] in
+  List.iter
+    (fun (mode, name) ->
+      let t = D.of_mode mode in
+      Array.iteri (fun i w -> ignore (D.add t ~client:i ~weight:w)) weights;
+      checkb
+        (Printf.sprintf "%s chi-square ok" name)
+        true
+        (distribution_matches (fun r -> D.draw_client t r) weights ~draws:20_000))
+    [ (D.List, "list"); (D.Tree, "tree"); (D.Distributed 4, "distributed") ]
+
+let test_draw_first_class_backends () =
+  List.iter
+    (fun mode ->
+      let (module B : D.S) = D.backend mode in
+      let t = B.create () in
+      ignore (B.add t ~client:42 ~weight:3.);
+      checkf "total" 3. (B.total t);
+      match B.draw_client t (rng ()) with
+      | Some 42 -> ()
+      | _ -> Alcotest.fail "expected the only client to win")
+    [ D.List; D.Tree; D.Distributed 4 ]
 
 (* --- Section 2 guarantees --------------------------------------------------- *)
 
@@ -553,6 +651,19 @@ let () =
           Alcotest.test_case "O(log n) message bounds" `Quick
             test_distributed_message_bounds;
           Alcotest.test_case "remove and update" `Quick test_distributed_remove_and_update;
+        ] );
+      ( "unified-draw",
+        [
+          Alcotest.test_case "wrapper ops on every backend" `Quick
+            test_draw_wrapper_ops;
+          Alcotest.test_case "foreign handle rejected" `Quick
+            test_draw_foreign_handle_rejected;
+          Alcotest.test_case "backends agree on every winning value" `Quick
+            test_draw_backends_agree;
+          Alcotest.test_case "ticket-proportional on every backend (chi-square)"
+            `Slow test_draw_backend_distributions;
+          Alcotest.test_case "first-class backend modules" `Quick
+            test_draw_first_class_backends;
         ] );
       ( "section-2-math",
         [
