@@ -224,6 +224,57 @@ let valuation_wide_test width =
     ~name:(Printf.sprintf "valuation/wide-%03d" width)
     (Staged.stage (fun () -> ignore (Core.Funding.ticket_value sys held)))
 
+(* Incremental valuation under scheduler churn (the point of the scoped
+   change events): n runnable funded threads; one operation blocks a thread,
+   holds a lottery, wakes it, and holds another. The incremental path pays
+   O(1) valuation work per operation regardless of n. The [-fullrefresh]
+   baseline calls {!Core.Lottery_sched.mark_dirty} before every select,
+   recomputing all n weights per lottery — the behaviour this replaces. *)
+let churn_sizes = [ 100; 1000; 10000 ]
+
+let bench_thread id =
+  {
+    Core.Types.id;
+    name = Printf.sprintf "t%d" id;
+    state = Core.Types.Runnable;
+    pending = Core.Types.Exited;
+    cpu = 0;
+    compensate = 1.;
+    donating_to = [];
+    failure = None;
+    joiners = [];
+    created_at = 0;
+    exited_at = None;
+  }
+
+let churn_test mode mode_name ~full n =
+  let rng = Core.Rng.create ~seed:7 () in
+  let ls = Core.Lottery_sched.create ~mode ~rng () in
+  let s = Core.Lottery_sched.sched ls in
+  let threads = Array.init n bench_thread in
+  let base = Core.Lottery_sched.base_currency ls in
+  Array.iter
+    (fun th ->
+      s.Core.Types.attach th;
+      ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base))
+    threads;
+  ignore (s.Core.Types.select ()) (* settle creation-time funding events *);
+  let i = ref 0 in
+  Test.make
+    ~name:
+      (Printf.sprintf "valuation/churn-%s%s/%05d" mode_name
+         (if full then "-fullrefresh" else "")
+         n)
+    (Staged.stage (fun () ->
+         let th = threads.(!i) in
+         i := (!i + 37) mod n;
+         s.Core.Types.unready th;
+         if full then Core.Lottery_sched.mark_dirty ls;
+         ignore (s.Core.Types.select ());
+         s.Core.Types.ready th;
+         if full then Core.Lottery_sched.mark_dirty ls;
+         ignore (s.Core.Types.select ())))
+
 (* PRNG draw cost (the paper's Appendix A argues ~10 RISC instructions) *)
 let prng_test algo name =
   let rng = Core.Rng.create ~algo ~seed:3 () in
@@ -264,6 +315,17 @@ let tests () =
         valuation_chain_test 2;
         valuation_chain_test 16;
         valuation_wide_test 100;
+      ]
+    @ List.concat_map
+        (fun n ->
+          [
+            churn_test Core.Lottery_sched.List_mode "list" ~full:false n;
+            churn_test Core.Lottery_sched.Tree_mode "tree" ~full:false n;
+            churn_test Core.Lottery_sched.List_mode "list" ~full:true n;
+            churn_test Core.Lottery_sched.Tree_mode "tree" ~full:true n;
+          ])
+        churn_sizes
+    @ [
         prng_test Core.Rng.Park_miller "park-miller";
         prng_test Core.Rng.Splitmix64 "splitmix64";
         prng_test Core.Rng.Xoshiro256pp "xoshiro256++";
@@ -315,10 +377,29 @@ let write_metrics_csv path rows =
   close_out oc;
   Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length rows) path
 
+(* JSON sink for CI artifacts and cross-revision comparison; NaN fits (a
+   benchmark whose OLS fit failed) are emitted as null *)
+let write_metrics_json path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, ns) ->
+      let v =
+        if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns
+      in
+      Printf.fprintf oc "  { \"benchmark\": %S, \"ns_per_op\": %s }%s\n" name v
+        (if i < last then "," else ""))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length rows) path
+
 let () =
   let run_figures = ref true in
   let run_bench = ref true in
   let metrics_csv = ref "" in
+  let metrics_json = ref "" in
   let spec =
     [
       ("--figures-only", Arg.Unit (fun () -> run_bench := false),
@@ -327,14 +408,17 @@ let () =
        " run only the Bechamel microbenchmarks");
       ("--metrics-csv", Arg.Set_string metrics_csv,
        "FILE also write microbenchmark results as CSV (benchmark,ns_per_op)");
+      ("--json", Arg.Set_string metrics_json,
+       "FILE also write microbenchmark results as a JSON array");
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--figures-only | --bench-only] [--metrics-csv FILE]";
+    "bench [--figures-only | --bench-only] [--metrics-csv FILE] [--json FILE]";
   if !run_figures then figures ();
   if !run_bench then begin
     let rows = result_rows (benchmark ()) in
     print_results rows;
-    if !metrics_csv <> "" then write_metrics_csv !metrics_csv rows
+    if !metrics_csv <> "" then write_metrics_csv !metrics_csv rows;
+    if !metrics_json <> "" then write_metrics_json !metrics_json rows
   end

@@ -88,6 +88,19 @@ let set_weight t h weight =
   List_lottery.set_weight t.locals.(h.node) lh weight;
   bubble_up t h.node (weight -. old)
 
+let clear t =
+  Array.iter
+    (fun local ->
+      List_lottery.iter local (fun lh ->
+          let h = List_lottery.client lh in
+          h.live <- false;
+          h.local <- None);
+      List_lottery.clear local)
+    t.locals;
+  Array.fill t.sums 0 (Array.length t.sums) 0.;
+  t.nclients <- 0;
+  t.next_node <- 0
+
 let weight t h =
   match h.local with
   | Some lh -> List_lottery.weight t.locals.(h.node) lh

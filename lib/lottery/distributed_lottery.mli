@@ -29,6 +29,10 @@ val add_on : 'a t -> node:int -> client:'a -> weight:float -> 'a handle
 val remove : 'a t -> 'a handle -> unit
 (** Idempotent. *)
 
+val clear : 'a t -> unit
+(** Remove every client from every node at once (invalidating their
+    handles) and restart round-robin placement, keeping the node tree. *)
+
 val set_weight : 'a t -> 'a handle -> float -> unit
 val weight : 'a t -> 'a handle -> float
 val node_of : 'a handle -> int

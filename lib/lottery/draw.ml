@@ -5,6 +5,7 @@ module type S = sig
   val create : unit -> 'a t
   val add : 'a t -> client:'a -> weight:float -> 'a handle
   val remove : 'a t -> 'a handle -> unit
+  val clear : 'a t -> unit
   val set_weight : 'a t -> 'a handle -> float -> unit
   val weight : 'a t -> 'a handle -> float
   val client : 'a handle -> 'a
@@ -80,6 +81,11 @@ let remove t h =
   | T l, Th h -> Tree_lottery.remove l h
   | D l, Dh h -> Distributed_lottery.remove l h
   | _ -> foreign ()
+
+let clear = function
+  | L l -> List_lottery.clear l
+  | T l -> Tree_lottery.clear l
+  | D l -> Distributed_lottery.clear l
 
 let set_weight t h w =
   match (t, h) with

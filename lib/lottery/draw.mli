@@ -22,6 +22,11 @@ module type S = sig
 
   val add : 'a t -> client:'a -> weight:float -> 'a handle
   val remove : 'a t -> 'a handle -> unit
+
+  val clear : 'a t -> unit
+  (** Remove every client at once (invalidating their handles), keeping the
+      structure (and any allocated capacity) for reuse. *)
+
   val set_weight : 'a t -> 'a handle -> float -> unit
   val weight : 'a t -> 'a handle -> float
   val client : 'a handle -> 'a
@@ -69,6 +74,11 @@ val add : 'a t -> client:'a -> weight:float -> 'a handle
 
 val remove : 'a t -> 'a handle -> unit
 (** Idempotent. *)
+
+val clear : 'a t -> unit
+(** Remove every client at once (invalidating their handles), keeping the
+    structure for reuse — the cheap way to recycle a scratch draw between
+    ephemeral lotteries (e.g. mutex-waiter picks). *)
 
 val set_weight : 'a t -> 'a handle -> float -> unit
 val weight : 'a t -> 'a handle -> float

@@ -57,6 +57,12 @@ let set_weight t e weight =
   if t.order = By_weight then resort t;
   refresh_total t
 
+let clear t =
+  List.iter (fun e -> e.live <- false) t.entries;
+  t.entries <- [];
+  t.total <- 0.;
+  t.size <- 0
+
 let weight _t e = e.w
 let client e = e.c
 let mem _t e = e.live

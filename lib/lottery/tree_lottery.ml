@@ -102,6 +102,18 @@ let set_weight t h weight =
   bump t h.slot (weight -. t.weights.(h.slot));
   t.weights.(h.slot) <- weight
 
+let clear t =
+  for s = 0 to t.used - 1 do
+    (match t.slots.(s) with Some h -> h.slot <- -1 | None -> ());
+    t.slots.(s) <- None;
+    t.weights.(s) <- 0.
+  done;
+  Array.fill t.tree 0 (t.capacity + 1) 0.;
+  t.used <- 0;
+  t.free <- [];
+  t.size <- 0;
+  t.total <- 0.
+
 let weight t h = if h.slot < 0 then 0. else t.weights.(h.slot)
 let client h = h.c
 let mem _t h = h.slot >= 0

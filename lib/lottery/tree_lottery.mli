@@ -14,6 +14,11 @@ val add : 'a t -> client:'a -> weight:float -> 'a handle
 val remove : 'a t -> 'a handle -> unit
 (** Idempotent. *)
 
+val clear : 'a t -> unit
+(** Remove every client at once (invalidating their handles), keeping the
+    allocated capacity for reuse; subsequent adds refill slots from 0 in
+    insertion order, exactly like a fresh structure. *)
+
 val set_weight : 'a t -> 'a handle -> float -> unit
 val weight : 'a t -> 'a handle -> float
 val client : 'a handle -> 'a

@@ -25,4 +25,37 @@ let set_active fd active =
   if active then F.resume fd.sys fd.ticket else F.suspend fd.sys fd.ticket
 
 let value valuation fd = F.Valuation.ticket_value valuation fd.ticket
+let currency fd = F.denomination fd.ticket
 let detach fd = F.destroy_ticket fd.sys fd.ticket
+
+(* Scoped change tracking shared by the managers: accumulate the currency
+   ids dirtied by funding mutations so the manager can revalue only the
+   clients funded by those currencies (O(dirtied)) instead of walking its
+   whole client list on every draw. *)
+module Tracker = struct
+  type t = { pending : (int, unit) Hashtbl.t; mutable full : bool }
+
+  let attach sys =
+    let tr = { pending = Hashtbl.create 16; full = false } in
+    ignore
+      (F.on_change sys (fun ch ->
+           List.iter
+             (fun c -> Hashtbl.replace tr.pending (F.currency_id c) ())
+             (F.changed ch)));
+    tr
+
+  let force tr = tr.full <- true
+
+  let drain tr =
+    if tr.full then begin
+      tr.full <- false;
+      Hashtbl.reset tr.pending;
+      `All
+    end
+    else if Hashtbl.length tr.pending = 0 then `None
+    else begin
+      let cids = Hashtbl.fold (fun cid () acc -> cid :: acc) tr.pending [] in
+      Hashtbl.reset tr.pending;
+      `Dirtied cids
+    end
+end

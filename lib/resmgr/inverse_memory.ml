@@ -25,38 +25,36 @@ type t = {
   rng : Rng.t;
   draw : client Draw.t; (* victim lottery (unused under Global_lru) *)
   fsys : F.system option;
+  ftrack : Funded.Tracker.t option;
+  by_cid : (int, client) Hashtbl.t; (* funding-currency id -> clients *)
   bus : Obs.Bus.t;
   mutable clients : client list; (* reverse creation order *)
   mutable used : int;
   mutable clock : int; (* LRU stamp source *)
   mutable next_id : int;
   mutable total_value : float; (* cached T for the (1 - t_i/T) factor *)
-  mutable fdirty : bool;
+  mutable wdirty : bool; (* T moved: every inverse weight needs a rebuild *)
 }
 
 let create ?(policy = Inverse_lottery) ?(backend = Draw.List) ?funding ~frames
     ~rng () =
   if frames <= 0 then invalid_arg "Inverse_memory.create: frames <= 0";
-  let t =
-    {
-      pol = policy;
-      frames;
-      rng;
-      draw = Draw.of_mode backend;
-      fsys = funding;
-      bus = Obs.Bus.create ();
-      clients = [];
-      used = 0;
-      clock = 0;
-      next_id = 0;
-      total_value = 0.;
-      fdirty = false;
-    }
-  in
-  (match funding with
-  | Some sys -> ignore (F.on_change sys (fun () -> t.fdirty <- true))
-  | None -> ());
-  t
+  {
+    pol = policy;
+    frames;
+    rng;
+    draw = Draw.of_mode backend;
+    fsys = funding;
+    ftrack = Option.map Funded.Tracker.attach funding;
+    by_cid = Hashtbl.create 16;
+    bus = Obs.Bus.create ();
+    clients = [];
+    used = 0;
+    clock = 0;
+    next_id = 0;
+    total_value = 0.;
+    wdirty = false;
+  }
 
 let policy t = t.pol
 let events t = t.bus
@@ -85,21 +83,36 @@ let update_weight t c =
   | Some h -> Draw.set_weight t.draw h (weight_of t c)
   | None -> ()
 
-(* T changed (tickets, funding, membership): every client's inverse weight
-   shifts, so revalue and rebuild all weights at the next victim pick. *)
+(* Funded values are revalued per dirtied currency (scoped change events),
+   but the inverse factor (1 - t_i/T) couples every weight to the total T:
+   whenever any share actually moved — or membership/tickets changed — T and
+   all weights are rebuilt. That rebuild is O(clients) float work with no
+   funding-graph walks; while shares are quiescent, victim picks skip it
+   entirely. *)
 let refresh t =
-  if t.fdirty then begin
-    t.fdirty <- false;
-    (match t.fsys with
-    | None -> ()
-    | Some sys ->
-        let v = F.Valuation.make sys in
-        List.iter
-          (fun c ->
-            match c.funding with
-            | Some fd -> c.value <- Funded.value v fd
-            | None -> ())
-          t.clients);
+  (match (t.fsys, t.ftrack) with
+  | Some sys, Some tr -> (
+      let v = F.Valuation.make sys in
+      let revalue c =
+        match c.funding with
+        | Some fd ->
+            let value = Funded.value v fd in
+            if value <> c.value then begin
+              c.value <- value;
+              t.wdirty <- true
+            end
+        | None -> ()
+      in
+      match Funded.Tracker.drain tr with
+      | `None -> ()
+      | `All -> List.iter revalue t.clients
+      | `Dirtied cids ->
+          List.iter
+            (fun cid -> List.iter revalue (Hashtbl.find_all t.by_cid cid))
+            cids)
+  | _ -> ());
+  if t.wdirty then begin
+    t.wdirty <- false;
     t.total_value <- List.fold_left (fun acc c -> acc +. c.value) 0. t.clients;
     List.iter (fun c -> update_weight t c) t.clients
   end
@@ -107,7 +120,7 @@ let refresh t =
 let register t c =
   c.handle <- Some (Draw.add t.draw ~client:c ~weight:0.);
   t.clients <- c :: t.clients;
-  t.fdirty <- true
+  t.wdirty <- true
 
 let add_client t ~name ~tickets ~working_set =
   if tickets < 0 then invalid_arg "Inverse_memory.add_client: negative tickets";
@@ -147,7 +160,7 @@ let add_funded_client t ~name ?(amount = 1000) ~working_set ~currency () =
       id = t.next_id;
       name;
       tickets = 0;
-      value = 0.;
+      value = Funded.value (F.Valuation.make sys) fd;
       funding = Some fd;
       handle = None;
       working_set;
@@ -159,6 +172,7 @@ let add_funded_client t ~name ?(amount = 1000) ~working_set ~currency () =
   in
   t.next_id <- t.next_id + 1;
   register t c;
+  Hashtbl.add t.by_cid (F.currency_id (Funded.currency fd)) c;
   c
 
 let set_tickets t c tickets =
@@ -166,7 +180,7 @@ let set_tickets t c tickets =
   c.tickets <- tickets;
   if c.funding = None then begin
     c.value <- float_of_int tickets;
-    t.fdirty <- true
+    t.wdirty <- true
   end
 
 let client_name c = c.name

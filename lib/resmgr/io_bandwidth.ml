@@ -18,32 +18,28 @@ type t = {
   rng : Rng.t;
   draw : client Draw.t;
   fsys : F.system option;
+  ftrack : Funded.Tracker.t option;
+  by_cid : (int, client) Hashtbl.t; (* funding-currency id -> clients *)
   bus : Obs.Bus.t;
   mutable clients : client list; (* reverse creation order *)
   mutable next_id : int;
   mutable backlogged : int; (* clients with pending > 0 *)
   mutable total_served : int;
-  mutable fdirty : bool; (* funded values need revaluation *)
 }
 
 let create ?(backend = Draw.List) ?funding ~rng () =
-  let t =
-    {
-      rng;
-      draw = Draw.of_mode backend;
-      fsys = funding;
-      bus = Obs.Bus.create ();
-      clients = [];
-      next_id = 0;
-      backlogged = 0;
-      total_served = 0;
-      fdirty = false;
-    }
-  in
-  (match funding with
-  | Some sys -> ignore (F.on_change sys (fun () -> t.fdirty <- true))
-  | None -> ());
-  t
+  {
+    rng;
+    draw = Draw.of_mode backend;
+    fsys = funding;
+    ftrack = Option.map Funded.Tracker.attach funding;
+    by_cid = Hashtbl.create 16;
+    bus = Obs.Bus.create ();
+    clients = [];
+    next_id = 0;
+    backlogged = 0;
+    total_served = 0;
+  }
 
 let events t = t.bus
 
@@ -90,7 +86,7 @@ let add_funded_client t ~name ?(amount = 1000) ~currency () =
       id = t.next_id;
       name;
       tickets = 0;
-      value = 0.;
+      value = Funded.value (F.Valuation.make sys) fd;
       funding = Some fd;
       handle = None;
       pending = 0;
@@ -99,7 +95,7 @@ let add_funded_client t ~name ?(amount = 1000) ~currency () =
   in
   t.next_id <- t.next_id + 1;
   register t c;
-  t.fdirty <- true;
+  Hashtbl.add t.by_cid (F.currency_id (Funded.currency fd)) c;
   c
 
 let set_tickets t c tickets =
@@ -135,24 +131,29 @@ let cancel_pending t c =
     set_backlogged t c false
   end
 
-(* Re-derive funded clients' values from the funding graph (one valuation
-   snapshot); cheap no-op while the graph is quiescent. *)
+(* Re-derive funded clients' values from the funding graph. Scoped change
+   events say exactly which currencies moved, so the steady-state pass
+   revalues only the clients funded by those currencies — O(dirtied), not
+   O(clients) — and is a no-op while the graph is quiescent. *)
 let refresh t =
-  if t.fdirty then begin
-    t.fdirty <- false;
-    match t.fsys with
-    | None -> ()
-    | Some sys ->
-        let v = F.Valuation.make sys in
-        List.iter
-          (fun c ->
-            match c.funding with
-            | Some fd ->
-                c.value <- Funded.value v fd;
-                update_weight t c
-            | None -> ())
-          t.clients
-  end
+  match (t.fsys, t.ftrack) with
+  | Some sys, Some tr -> (
+      let revalue v c =
+        match c.funding with
+        | Some fd ->
+            c.value <- Funded.value v fd;
+            update_weight t c
+        | None -> ()
+      in
+      match Funded.Tracker.drain tr with
+      | `None -> ()
+      | `All -> List.iter (revalue (F.Valuation.make sys)) t.clients
+      | `Dirtied cids ->
+          let v = F.Valuation.make sys in
+          List.iter
+            (fun cid -> List.iter (revalue v) (Hashtbl.find_all t.by_cid cid))
+            cids)
+  | _ -> ()
 
 let publish_draw t c =
   if Obs.Bus.active t.bus then

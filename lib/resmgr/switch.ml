@@ -24,39 +24,35 @@ type t = {
   rng : Rng.t;
   draws : circuit Draw.t array; (* one lottery per output port *)
   fsys : F.system option;
+  ftrack : Funded.Tracker.t option;
+  by_cid : (int, circuit) Hashtbl.t; (* funding-currency id -> circuits *)
   bus : Obs.Bus.t;
   mutable circuits : circuit list; (* reverse creation order *)
   mutable next_id : int;
   buffered_per_port : int array;
   mutable slot : int;
   sent_per_port : int array;
-  mutable fdirty : bool;
 }
 
 let create ?(ports = 4) ?(buffer_capacity = 64) ?(backend = Draw.List) ?funding
     ~rng () =
   if ports <= 0 then invalid_arg "Switch.create: ports <= 0";
   if buffer_capacity <= 0 then invalid_arg "Switch.create: buffer_capacity <= 0";
-  let t =
-    {
-      ports;
-      capacity = buffer_capacity;
-      rng;
-      draws = Array.init ports (fun _ -> Draw.of_mode backend);
-      fsys = funding;
-      bus = Obs.Bus.create ();
-      circuits = [];
-      next_id = 0;
-      buffered_per_port = Array.make ports 0;
-      slot = 0;
-      sent_per_port = Array.make ports 0;
-      fdirty = false;
-    }
-  in
-  (match funding with
-  | Some sys -> ignore (F.on_change sys (fun () -> t.fdirty <- true))
-  | None -> ());
-  t
+  {
+    ports;
+    capacity = buffer_capacity;
+    rng;
+    draws = Array.init ports (fun _ -> Draw.of_mode backend);
+    fsys = funding;
+    ftrack = Option.map Funded.Tracker.attach funding;
+    by_cid = Hashtbl.create 16;
+    bus = Obs.Bus.create ();
+    circuits = [];
+    next_id = 0;
+    buffered_per_port = Array.make ports 0;
+    slot = 0;
+    sent_per_port = Array.make ports 0;
+  }
 
 let events t = t.bus
 
@@ -115,7 +111,7 @@ let add_funded_circuit t ~name ~output_port ?(amount = 1000) ~rate
       name;
       port = output_port;
       tickets = 0;
-      value = 0.;
+      value = Funded.value (F.Valuation.make sys) fd;
       funding = Some fd;
       handle = None;
       rate;
@@ -127,7 +123,7 @@ let add_funded_circuit t ~name ~output_port ?(amount = 1000) ~rate
   in
   t.next_id <- t.next_id + 1;
   register t c;
-  t.fdirty <- true;
+  Hashtbl.add t.by_cid (F.currency_id (Funded.currency fd)) c;
   c
 
 let set_tickets t c tickets =
@@ -152,22 +148,29 @@ let set_buffered t c now_buffered =
   | None -> ());
   update_weight t c
 
+(* Re-derive funded circuits' values from the funding graph. Scoped change
+   events say exactly which currencies moved, so the steady-state pass
+   revalues only the circuits funded by those currencies — O(dirtied), not
+   O(circuits) — and is a no-op while the graph is quiescent. *)
 let refresh t =
-  if t.fdirty then begin
-    t.fdirty <- false;
-    match t.fsys with
-    | None -> ()
-    | Some sys ->
-        let v = F.Valuation.make sys in
-        List.iter
-          (fun c ->
-            match c.funding with
-            | Some fd ->
-                c.value <- Funded.value v fd;
-                update_weight t c
-            | None -> ())
-          t.circuits
-  end
+  match (t.fsys, t.ftrack) with
+  | Some sys, Some tr -> (
+      let revalue v c =
+        match c.funding with
+        | Some fd ->
+            c.value <- Funded.value v fd;
+            update_weight t c
+        | None -> ()
+      in
+      match Funded.Tracker.drain tr with
+      | `None -> ()
+      | `All -> List.iter (revalue (F.Valuation.make sys)) t.circuits
+      | `Dirtied cids ->
+          let v = F.Valuation.make sys in
+          List.iter
+            (fun cid -> List.iter (revalue v) (Hashtbl.find_all t.by_cid cid))
+            cids)
+  | _ -> ()
 
 let arrivals t =
   List.iter

@@ -18,6 +18,7 @@ type tstate = {
   competing : F.ticket;
   mutable donations : (int * F.ticket) list; (* dst thread id -> transfer *)
   mutable dh : thread D.handle option; (* present iff runnable *)
+  mutable in_fq : bool; (* queued in the round-robin fallback ring *)
 }
 
 type t = {
@@ -25,12 +26,17 @@ type t = {
   rng : Rng.t;
   system : F.system;
   states : (int, tstate) Hashtbl.t;
+  by_cid : (int, tstate) Hashtbl.t; (* thread-currency id -> state *)
+  pending : (int, tstate) Hashtbl.t; (* dirtied thread currencies, by cid *)
   draw : thread D.t;
+  scratch : thread D.t; (* reusable waiter-pick draw, cleared between picks *)
+  fallback_q : tstate Queue.t; (* round-robin ring of runnable threads *)
   quantum_fallback : bool;
   use_compensation : bool;
-  mutable dirty : bool; (* draw weights need recomputation *)
+  mutable dirty : bool; (* ALL draw weights need recomputation *)
   mutable draws : int;
-  mutable fallback_rr : int; (* rotates unfunded-thread fallback *)
+  mutable full_refreshes : int;
+  mutable scoped_updates : int;
   mutable draw_hook : (runnable:int -> total_weight:float -> unit) option;
       (* observability probe, fired once per lottery *)
 }
@@ -43,18 +49,33 @@ let[@warning "-16"] create ?(mode = List_mode) ?(quantum_fallback = true)
       rng;
       system = F.create_system ();
       states = Hashtbl.create 64;
+      by_cid = Hashtbl.create 64;
+      pending = Hashtbl.create 16;
       draw = D.of_mode (draw_mode mode);
+      scratch = D.of_mode (draw_mode mode);
+      fallback_q = Queue.create ();
       quantum_fallback;
       use_compensation;
-      dirty = true;
+      dirty = false;
       draws = 0;
-      fallback_rr = 0;
+      full_refreshes = 0;
+      scoped_updates = 0;
       draw_hook = None;
     }
   in
-  (* Every funding mutation — ours or a caller's going straight through the
-     Funding API — marks the cached draw weights stale. *)
-  ignore (F.on_change t.system (fun () -> t.dirty <- true));
+  (* Scoped change tracking: every funding mutation — ours or a caller's
+     going straight through the Funding API — reports the currencies it
+     dirtied; we record the ones that belong to draw clients and revalue
+     exactly those before the next lottery. *)
+  ignore
+    (F.on_change t.system (fun ch ->
+         List.iter
+           (fun c ->
+             let cid = F.currency_id c in
+             match Hashtbl.find_opt t.by_cid cid with
+             | Some s -> Hashtbl.replace t.pending cid s
+             | None -> ())
+           (F.changed ch)));
   t
 
 let funding t = t.system
@@ -70,22 +91,19 @@ let state t th =
         F.make_currency t.system ~name:(Printf.sprintf "thread:%d:%s" th.id th.name)
       in
       let competing = F.issue t.system ~currency:cur ~amount:competing_amount in
-      let s = { th; cur; competing; donations = []; dh = None } in
+      let s = { th; cur; competing; donations = []; dh = None; in_fq = false } in
       Hashtbl.replace t.states th.id s;
+      Hashtbl.replace t.by_cid (F.currency_id cur) s;
       s
 
 let thread_currency t th = (state t th).cur
 
 (* Draw weight: the thread currency's active backing value, times the
-   kernel-maintained compensation factor (when enabled). *)
-let raw_value_with valuation s = F.Valuation.currency_value valuation s.cur
-
+   kernel-maintained compensation factor (when enabled). Valuations are
+   cached incrementally inside Funding, so this is O(1) on a quiescent
+   graph. *)
 let factor t (s : tstate) = if t.use_compensation then s.th.compensate else 1.
-
-let value_of t s =
-  let v = F.Valuation.make t.system in
-  raw_value_with v s *. factor t s
-
+let value_of t s = F.currency_value t.system s.cur *. factor t s
 let thread_value t th = value_of t (state t th)
 
 (* --- funding API ------------------------------------------------------- *)
@@ -103,16 +121,24 @@ let destroy_ticket t ticket = F.destroy_ticket t.system ticket
 
 (* --- scheduler callbacks ------------------------------------------------ *)
 
+(* Insertion computes the weight fresh (validating the thread currency's
+   caches), so a wake needs no follow-up event flush: it is itself the one
+   per-thread weight write of the block/wake path — count it as such. *)
 let add_to_draw t s =
-  if s.dh = None then s.dh <- Some (D.add t.draw ~client:s.th ~weight:0.);
-  t.dirty <- true
+  if s.dh = None then begin
+    s.dh <- Some (D.add t.draw ~client:s.th ~weight:(value_of t s));
+    t.scoped_updates <- t.scoped_updates + 1;
+    if not s.in_fq then begin
+      Queue.push s t.fallback_q;
+      s.in_fq <- true
+    end
+  end
 
-let remove_from_draw t s =
+let remove_from_draw _t s =
   match s.dh with
   | Some h ->
-      D.remove t.draw h;
-      s.dh <- None;
-      t.dirty <- true
+      D.remove (_t : t).draw h;
+      s.dh <- None
   | None -> ()
 
 let ready t th =
@@ -184,33 +210,63 @@ let detach t th =
       List.iter (fun i -> F.destroy_ticket t.system i) (F.issued_tickets s.cur);
       F.remove_currency t.system s.cur;
       Hashtbl.remove t.states th.id;
-      t.dirty <- true
+      Hashtbl.remove t.by_cid (F.currency_id s.cur);
+      Hashtbl.remove t.pending (F.currency_id s.cur)
 
 let refresh_weights t =
-  let v = F.Valuation.make t.system in
+  t.full_refreshes <- t.full_refreshes + 1;
   Hashtbl.iter
     (fun _ s ->
       match s.dh with
-      | Some h -> D.set_weight t.draw h (raw_value_with v s *. factor t s)
+      | Some h -> D.set_weight t.draw h (value_of t s)
       | None -> ())
     t.states
+
+(* Bring the draw in sync with the funding graph: a full rebuild only when
+   explicitly requested ({!mark_dirty}), otherwise revalue exactly the
+   threads whose currencies the change events dirtied — O(changed), the
+   steady-state path. *)
+let flush_pending t =
+  if t.dirty then begin
+    refresh_weights t;
+    t.dirty <- false;
+    Hashtbl.reset t.pending
+  end
+  else if Hashtbl.length t.pending > 0 then begin
+    Hashtbl.iter
+      (fun _ s ->
+        match s.dh with
+        | Some h ->
+            D.set_weight t.draw h (value_of t s);
+            t.scoped_updates <- t.scoped_updates + 1
+        | None -> ())
+      t.pending;
+    Hashtbl.reset t.pending
+  end
 
 (* Unfunded threads never win a lottery (paper: zero tickets = starvation).
    To keep simulations with forgotten funding alive, optionally fall back to
    round-robin among runnable threads when every runnable thread has zero
-   weight. *)
+   weight. The ring holds every runnable thread once; stale entries (threads
+   that blocked or exited since being queued) are dropped lazily, so a pick
+   is O(1) amortized. *)
 let fallback_pick t =
   if not t.quantum_fallback then None
   else begin
-    let runnable = ref [] in
-    Hashtbl.iter (fun _ s -> if s.dh <> None then runnable := s.th :: !runnable) t.states;
-    match List.sort (fun a b -> compare a.id b.id) !runnable with
-    | [] -> None
-    | threads ->
-        let n = List.length threads in
-        let idx = t.fallback_rr mod n in
-        t.fallback_rr <- t.fallback_rr + 1;
-        Some (List.nth threads idx)
+    let rec next () =
+      match Queue.take_opt t.fallback_q with
+      | None -> None
+      | Some s ->
+          if s.dh = None then begin
+            s.in_fq <- false;
+            next ()
+          end
+          else begin
+            Queue.push s t.fallback_q;
+            Some s.th
+          end
+    in
+    next ()
   end
 
 let fire_draw_hook t =
@@ -220,10 +276,7 @@ let fire_draw_hook t =
 
 let select t =
   t.draws <- t.draws + 1;
-  if t.dirty then begin
-    refresh_weights t;
-    t.dirty <- false
-  end;
+  flush_pending t;
   fire_draw_hook t;
   match D.draw_client t.draw t.rng with
   | Some th -> Some th
@@ -232,7 +285,7 @@ let select t =
 let account t th ~used:_ ~quantum:_ ~blocked:_ =
   (* The thread's compensation factor was reset when its quantum started
      and possibly re-set when it blocked; refresh its draw weight so the
-     next draw sees the current value without a full rebuild. *)
+     next draw sees the current value. *)
   if not t.dirty then begin
     match Hashtbl.find_opt t.states th.id with
     | Some ({ dh = Some h; _ } as s) -> D.set_weight t.draw h (value_of t s)
@@ -252,17 +305,26 @@ let potential_value v (s : tstate) =
       +. (float_of_int (F.amount b) *. F.Valuation.unit_value v (F.denomination b)))
     0. (F.backing_tickets s.cur)
 
-(* The pick goes through the same draw backend as the CPU lottery: an
-   ephemeral structure over the waiters, weighted by potential value. The
-   list backend prepends, so waiters are inserted in reverse to keep the
-   scan in arrival order (matching the historical walk). *)
+(* The pick goes through the same draw backend as the CPU lottery: the
+   scheduler's scratch structure over the waiters, weighted by potential
+   value and cleared again by the next pick. The list backend prepends, so
+   waiters are inserted back-to-front to keep the scan in arrival order
+   (matching the historical walk) without allocating a reversed list. *)
 let pick_waiter t waiters =
   let v = F.Valuation.make t.system in
-  let d = D.of_mode (draw_mode t.mode) in
-  let ws = match t.mode with List_mode -> List.rev waiters | Tree_mode -> waiters in
-  List.iter
-    (fun w -> ignore (D.add d ~client:w ~weight:(potential_value v (state t w))))
-    ws;
+  let d = t.scratch in
+  D.clear d;
+  let insert w = ignore (D.add d ~client:w ~weight:(potential_value v (state t w))) in
+  (match t.mode with
+  | Tree_mode -> List.iter insert waiters
+  | List_mode ->
+      let rec back_to_front = function
+        | [] -> ()
+        | w :: rest ->
+            back_to_front rest;
+            insert w
+      in
+      back_to_front waiters);
   D.draw_client d t.rng
 
 let sched t =
@@ -290,5 +352,7 @@ let thread_entitlement t th =
   potential_value v (state t th)
 
 let draws t = t.draws
+let full_refreshes t = t.full_refreshes
+let scoped_weight_updates t = t.scoped_updates
 let list_comparisons t = D.comparisons t.draw
 let runnable_count t = D.size t.draw

@@ -108,6 +108,19 @@ val set_draw_hook : t -> (runnable:int -> total_weight:float -> unit) option -> 
 val draws : t -> int
 (** Lotteries held so far. *)
 
+val full_refreshes : t -> int
+(** Times every runnable thread's weight was recomputed (only after
+    {!mark_dirty}). Steady-state scheduling should keep this at zero: the
+    scoped change events from {!Lotto_tickets.Funding.on_change} let the
+    scheduler revalue only the threads a mutation actually touched. *)
+
+val scoped_weight_updates : t -> int
+(** Cumulative per-thread weight writes on the incremental path: weights
+    computed when a thread (re)enters the draw, plus flushes of scoped
+    change events for threads already in it. A block/wake of one
+    base-funded thread costs exactly one of these — the insert-time write
+    at wake — independent of how many threads exist. *)
+
 val list_comparisons : t -> int option
 (** Cumulative list-entries examined ([None] in tree mode): the paper's
     search-length metric for the move-to-front heuristic. *)

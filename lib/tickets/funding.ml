@@ -21,14 +21,26 @@ and currency = {
   mutable backing : ticket list;
   mutable active_amount : int;
   mutable alive : bool;
+  (* Incremental valuation cache. [cache_ok] means [val_cache] holds the
+     currency's value (sum of its active backing tickets in base units; for
+     base, the active amount) and [unit_cache] the base units per unit of
+     this currency. Invalidation propagates along backing edges to dependent
+     currencies, so a lottery after k mutations revalues O(affected)
+     currencies rather than the whole system. *)
+  mutable val_cache : float;
+  mutable unit_cache : float;
+  mutable cache_ok : bool;
 }
+
+type change = { dirtied : currency list (* most recently dirtied first *) }
 
 type system = {
   mutable next_id : int;
   base_currency : currency;
   by_name : (string, currency) Hashtbl.t;
   mutable all : currency list; (* reverse creation order *)
-  mutable watchers : (int * (unit -> unit)) list; (* change subscriptions *)
+  watchers : (int, change -> unit) Hashtbl.t; (* change subscriptions *)
+  mutable dirty_acc : currency list; (* valid->stale flips since last notify *)
 }
 
 let fresh_id sys =
@@ -46,29 +58,77 @@ let create_system () =
       backing = [];
       active_amount = 0;
       alive = true;
+      val_cache = 0.;
+      unit_cache = 1.;
+      cache_ok = false;
     }
   in
   let by_name = Hashtbl.create 16 in
   Hashtbl.replace by_name "base" base_currency;
-  { next_id = 1; base_currency; by_name; all = [ base_currency ]; watchers = [] }
+  {
+    next_id = 1;
+    base_currency;
+    by_name;
+    all = [ base_currency ];
+    watchers = Hashtbl.create 4;
+    dirty_acc = [];
+  }
 
 let base sys = sys.base_currency
 
-(* Change notification: consumers that cache draw weights (the scheduler,
-   the resource managers) subscribe here instead of polling; every mutation
-   that can move a valuation or an activation fires the callbacks. The
-   callbacks run synchronously and must not mutate the system. *)
+(* --- change notification ------------------------------------------------
+
+   Consumers that cache draw weights (the scheduler, the resource managers)
+   subscribe here instead of polling; every mutation that can move a
+   valuation or an activation fires the callbacks once, with the set of
+   currencies whose cached value went stale. The callbacks run synchronously
+   and must not mutate the system (recording the dirtied ids for the next
+   draw is the intended use). *)
+
 type subscription = int
 
 let on_change sys f =
   let wid = fresh_id sys in
-  sys.watchers <- (wid, f) :: sys.watchers;
+  Hashtbl.replace sys.watchers wid f;
   wid
 
-let unsubscribe sys wid =
-  sys.watchers <- List.filter (fun (w, _) -> w <> wid) sys.watchers
+let on_any_change sys f = on_change sys (fun _ -> f ())
+let unsubscribe sys wid = Hashtbl.remove sys.watchers wid
+let changed ch = ch.dirtied
 
-let notify sys = List.iter (fun (_, f) -> f ()) sys.watchers
+let notify sys =
+  let dirtied = sys.dirty_acc in
+  sys.dirty_acc <- [];
+  if Hashtbl.length sys.watchers > 0 then begin
+    let ch = { dirtied } in
+    Hashtbl.iter (fun _ f -> f ch) sys.watchers
+  end
+
+(* --- invalidation -------------------------------------------------------
+
+   A currency's value depends on its backing tickets' denominations, so a
+   mutation at [c] can move the value of any currency reachable from [c]
+   through issued tickets that back other currencies ("upward", toward the
+   thread/client leaves in the paper's Figure 3). Two properties keep this
+   cheap and sound:
+
+   - stop-early: if [c] is already stale, every dependent was staled when
+     [c] was (reads revalidate a currency only after revalidating everything
+     it depends on), so the walk can stop;
+   - base opacity: the base currency's unit value is the constant 1, so its
+     active-amount changes never move a dependent's value — invalidation of
+     base records base itself and propagates no further. This is what makes
+     a block/wake of a base-funded thread O(1). *)
+
+let rec invalidate sys c =
+  if c.cache_ok then begin
+    c.cache_ok <- false;
+    sys.dirty_acc <- c :: sys.dirty_acc;
+    if not c.base_p then
+      List.iter
+        (fun t -> match t.attach with Backs c' -> invalidate sys c' | _ -> ())
+        c.issued
+  end
 
 let make_currency sys ~name =
   if Hashtbl.mem sys.by_name name then raise (Duplicate_name name);
@@ -81,6 +141,9 @@ let make_currency sys ~name =
       backing = [];
       active_amount = 0;
       alive = true;
+      val_cache = 0.;
+      unit_cache = 0.;
+      cache_ok = false;
     }
   in
   Hashtbl.replace sys.by_name name c;
@@ -131,53 +194,71 @@ let is_held t = t.attach = Held
 
 let check_live t name = if t.destroyed then invalid_arg (name ^ ": destroyed ticket")
 
+(* A ticket's activity flip moves two things: its denomination's active
+   amount (hence unit value), and — when the ticket backs a currency — that
+   currency's value. Both get invalidated here, so the zero-crossing cascade
+   below stales exactly the affected region of the graph. *)
+let flip_invalidate sys t =
+  invalidate sys t.denom;
+  match t.attach with Backs c -> invalidate sys c | Unattached | Held -> ()
+
 (* Activation propagation (paper §4.4): activating a ticket raises its
    denomination's active amount; on a zero -> nonzero transition every
    backing ticket of that currency activates in turn, and symmetrically for
    deactivation. *)
-let rec activate_ticket t =
+let rec activate_ticket sys t =
   if not t.active then begin
     t.active <- true;
+    flip_invalidate sys t;
     let c = t.denom in
     let was_zero = c.active_amount = 0 in
     c.active_amount <- c.active_amount + t.amount;
     if was_zero && c.active_amount > 0 then
-      List.iter activate_ticket c.backing
+      List.iter (activate_ticket sys) c.backing
   end
 
-let rec deactivate_ticket t =
+let rec deactivate_ticket sys t =
   if t.active then begin
     t.active <- false;
+    flip_invalidate sys t;
     let c = t.denom in
     let was_positive = c.active_amount > 0 in
     c.active_amount <- c.active_amount - t.amount;
     assert (c.active_amount >= 0);
     if was_positive && c.active_amount = 0 then
-      List.iter deactivate_ticket c.backing
+      List.iter (deactivate_ticket sys) c.backing
   end
 
 let set_amount sys t new_amount =
   check_live t "Funding.set_amount";
   if new_amount < 0 then invalid_arg "Funding.set_amount: negative amount";
   if t.active then begin
+    flip_invalidate sys t;
     let c = t.denom in
     let old_sum = c.active_amount in
     let new_sum = old_sum - t.amount + new_amount in
     t.amount <- new_amount;
     c.active_amount <- new_sum;
-    if old_sum = 0 && new_sum > 0 then List.iter activate_ticket c.backing
-    else if old_sum > 0 && new_sum = 0 then List.iter deactivate_ticket c.backing
+    if old_sum = 0 && new_sum > 0 then List.iter (activate_ticket sys) c.backing
+    else if old_sum > 0 && new_sum = 0 then
+      List.iter (deactivate_ticket sys) c.backing
   end
   else t.amount <- new_amount;
   notify sys
 
 (* A backing edge [currency <- ticket] makes [currency]'s value depend on
    the ticket's denomination. Funding [c] with a ticket denominated in [d]
-   is cyclic iff [d]'s value already depends on [c]. *)
+   is cyclic iff [d]'s value already depends on [c]. The walk memoizes
+   visited currencies so shared sub-graphs (diamonds) are visited once. *)
 let would_cycle ~funded ~denom =
+  let seen = Hashtbl.create 16 in
   let rec depends_on c =
     c.cid = funded.cid
-    || List.exists (fun b -> depends_on b.denom) c.backing
+    || ((not (Hashtbl.mem seen c.cid))
+       && begin
+            Hashtbl.add seen c.cid ();
+            List.exists (fun b -> depends_on b.denom) c.backing
+          end)
   in
   depends_on denom
 
@@ -196,16 +277,18 @@ let fund sys ~ticket ~currency =
             currency.cname ticket.denom.cname));
   ticket.attach <- Backs currency;
   currency.backing <- ticket :: currency.backing;
-  if currency.active_amount > 0 then activate_ticket ticket;
+  invalidate sys currency;
+  if currency.active_amount > 0 then activate_ticket sys ticket;
   notify sys
 
 let unfund sys t =
   check_live t "Funding.unfund";
   match t.attach with
   | Backs c ->
-      deactivate_ticket t;
+      deactivate_ticket sys t;
       c.backing <- List.filter (fun b -> b.tid <> t.tid) c.backing;
       t.attach <- Unattached;
+      invalidate sys c;
       notify sys
   | Unattached | Held -> invalid_arg "Funding.unfund: ticket not backing"
 
@@ -215,25 +298,25 @@ let hold sys t =
   | Unattached | Held -> ()
   | Backs _ -> invalid_arg "Funding.hold: ticket is backing a currency");
   t.attach <- Held;
-  activate_ticket t;
+  activate_ticket sys t;
   notify sys
 
 let suspend sys t =
   check_live t "Funding.suspend";
   if t.attach <> Held then invalid_arg "Funding.suspend: ticket not held";
-  deactivate_ticket t;
+  deactivate_ticket sys t;
   notify sys
 
 let resume sys t =
   check_live t "Funding.resume";
   if t.attach <> Held then invalid_arg "Funding.resume: ticket not held";
-  activate_ticket t;
+  activate_ticket sys t;
   notify sys
 
 let release sys t =
   check_live t "Funding.release";
   if t.attach <> Held then invalid_arg "Funding.release: ticket not held";
-  deactivate_ticket t;
+  deactivate_ticket sys t;
   t.attach <- Unattached;
   notify sys
 
@@ -248,39 +331,104 @@ let destroy_ticket sys t =
   t.destroyed <- true;
   notify sys
 
+(* --- valuation ----------------------------------------------------------
+
+   Reads revalidate lazily: a stale currency recomputes its value from its
+   backing tickets, pulling (and caching) the unit values of their
+   denominations on the way down. A quiescent graph is therefore valued
+   once, and each mutation only forces recomputation of the currencies it
+   actually dirtied. The arithmetic (fold order over the backing list,
+   value/active division) is identical to a from-scratch walk, so cached
+   results are bit-for-bit equal to uncached ones. *)
+
+let rec ensure c =
+  if not c.cache_ok then begin
+    (* Seed with 0 so a (dynamically created, normally impossible) cycle
+       terminates instead of looping. *)
+    c.cache_ok <- true;
+    if c.base_p then begin
+      c.val_cache <- float_of_int c.active_amount;
+      c.unit_cache <- 1.
+    end
+    else begin
+      c.val_cache <- 0.;
+      c.unit_cache <- 0.;
+      let v =
+        List.fold_left
+          (fun acc t ->
+            if t.active then acc +. (float_of_int t.amount *. unit_value t.denom)
+            else acc)
+          0. c.backing
+      in
+      c.val_cache <- v;
+      c.unit_cache <-
+        (if c.active_amount = 0 then 0. else v /. float_of_int c.active_amount)
+    end
+  end
+
+(* No zero-active shortcut here: a read must leave the currency validated
+   (stop-early invalidation relies on "a valid currency has valid
+   supports"), and [ensure] already caches unit value 0 in that case. *)
+and unit_value c =
+  if c.base_p then 1.
+  else begin
+    ensure c;
+    c.unit_cache
+  end
+
+let value_of_currency c =
+  ensure c;
+  c.val_cache
+
+(* The denomination is validated even when the ticket is inactive: a
+   consumer that caches this 0 must be told (via a change event) when the
+   ticket's activation later makes it worth something, and events only fire
+   on valid -> stale flips. *)
+let value_of_ticket t =
+  let u = unit_value t.denom in
+  if t.active then float_of_int t.amount *. u else 0.
+
 module Valuation = struct
-  type v = { memo : (int, float) Hashtbl.t }
+  (* Historically a per-draw memo table; the memo now lives on the currency
+     records and survives across draws, so a snapshot is just a view of the
+     system. Kept for call-site compatibility — making one is free. *)
+  type v = unit
 
-  let make (_ : system) = { memo = Hashtbl.create 32 }
+  let make (_ : system) = ()
+  let unit_value () c = unit_value c
+  let currency_value () c = value_of_currency c
+  let ticket_value () t = value_of_ticket t
+end
 
-  let rec unit_value v c =
+let ticket_value (_ : system) t = value_of_ticket t
+let currency_value (_ : system) c = value_of_currency c
+let unit_value (_ : system) c = unit_value c
+
+(* From-scratch valuation with a private memo, bypassing the caches: the
+   reference implementation [check_invariants] audits the caches against. *)
+let uncached_currency_value c =
+  let memo = Hashtbl.create 32 in
+  let rec unit c =
     if c.base_p then 1.
     else if c.active_amount = 0 then 0.
     else
-      match Hashtbl.find_opt v.memo c.cid with
+      match Hashtbl.find_opt memo c.cid with
       | Some x -> x
       | None ->
-          (* Seed with 0 so a (dynamically created, normally impossible)
-             cycle terminates instead of looping. *)
-          Hashtbl.replace v.memo c.cid 0.;
-          let x = currency_value v c /. float_of_int c.active_amount in
-          Hashtbl.replace v.memo c.cid x;
+          Hashtbl.replace memo c.cid 0.;
+          let x = value c /. float_of_int c.active_amount in
+          Hashtbl.replace memo c.cid x;
           x
-
-  and currency_value v c =
+  and value c =
     if c.base_p then float_of_int c.active_amount
     else
       List.fold_left
-        (fun acc t -> if t.active then acc +. ticket_value v t else acc)
+        (fun acc t ->
+          if t.active then acc +. (float_of_int t.amount *. unit t.denom)
+          else acc)
         0. c.backing
-
-  and ticket_value v t =
-    if not t.active then 0.
-    else float_of_int t.amount *. unit_value v t.denom
-end
-
-let ticket_value sys t = Valuation.ticket_value (Valuation.make sys) t
-let currency_value sys c = Valuation.currency_value (Valuation.make sys) c
+  in
+  value c
 
 let check_invariants sys =
   let fail fmt = Printf.ksprintf failwith fmt in
@@ -294,6 +442,21 @@ let check_invariants sys =
       if sum <> c.active_amount then
         fail "currency %s: active_amount %d <> recomputed %d" c.cname
           c.active_amount sum;
+      (* A valid cache must agree exactly with a from-scratch valuation. *)
+      if c.cache_ok then begin
+        let fresh = uncached_currency_value c in
+        if c.val_cache <> fresh then
+          fail "currency %s: cached value %g <> recomputed %g" c.cname
+            c.val_cache fresh;
+        let fresh_unit =
+          if c.base_p then 1.
+          else if c.active_amount = 0 then 0.
+          else fresh /. float_of_int c.active_amount
+        in
+        if (not c.base_p) && c.unit_cache <> fresh_unit then
+          fail "currency %s: cached unit value %g <> recomputed %g" c.cname
+            c.unit_cache fresh_unit
+      end;
       (* Attachment symmetry for backing tickets. *)
       List.iter
         (fun t ->
@@ -320,12 +483,19 @@ let check_invariants sys =
               if not (List.exists (fun b -> b.tid = t.tid) c'.backing) then
                 fail "ticket %d claims to back %s but is not listed" t.tid c'.cname)
         c.issued;
-      (* Acyclicity. *)
-      let rec walk seen c' =
-        if List.mem c'.cid seen then fail "cycle through currency %s" c'.cname;
-        List.iter (fun b -> walk (c'.cid :: seen) b.denom) c'.backing
+      (* Acyclicity: depth-first walk with a white/grey/black marking, so
+         shared sub-graphs are visited once instead of once per path. *)
+      let color = Hashtbl.create 16 in
+      let rec walk c' =
+        match Hashtbl.find_opt color c'.cid with
+        | Some `Done -> ()
+        | Some `On_path -> fail "cycle through currency %s" c'.cname
+        | None ->
+            Hashtbl.replace color c'.cid `On_path;
+            List.iter (fun b -> walk b.denom) c'.backing;
+            Hashtbl.replace color c'.cid `Done
       in
-      walk [] c)
+      walk c)
     (currencies sys)
 
 let pp_ticket fmt t =

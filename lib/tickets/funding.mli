@@ -39,19 +39,40 @@ val base : system -> currency
 (** {2 Change notification}
 
     Consumers that cache derived state (draw weights in the scheduler and
-    the resource managers) subscribe here instead of polling. *)
+    the resource managers) subscribe here instead of polling. Events are
+    {e scoped}: each carries the currencies whose cached valuation the
+    mutation dirtied, so a consumer updates O(changed) draw weights rather
+    than rebuilding all of them. *)
 
 type subscription
 
-val on_change : system -> (unit -> unit) -> subscription
-(** [on_change sys f] calls [f ()] after every mutation that can affect
+type change
+(** One batch of invalidations, delivered after the mutation settles. *)
+
+val changed : change -> currency list
+(** The currencies whose value may have moved, deduplicated within the
+    batch. Completeness contract: between two reads of a currency's value,
+    every change to that value is covered by some delivered event — so a
+    consumer that (1) accumulates the ids from every event and (2) re-reads
+    exactly the accumulated currencies before each draw never uses a stale
+    weight. Currencies never read by anyone may stay stale without further
+    events until the next read. *)
+
+val on_change : system -> (change -> unit) -> subscription
+(** [on_change sys f] calls [f change] after every mutation that can affect
     valuations or ticket activity ({!fund}, {!unfund}, {!hold}, {!suspend},
     {!resume}, {!release}, {!set_amount}, {!destroy_ticket}). Callbacks run
-    synchronously on the mutating path, must not mutate the system, and
-    should be cheap — typically just setting a dirty flag. *)
+    synchronously on the mutating path, must not mutate the system or the
+    subscription table, and should be cheap — typically recording
+    {!changed} ids in a pending set for the next draw. *)
+
+val on_any_change : system -> (unit -> unit) -> subscription
+  [@@ocaml.deprecated "use on_change and its scoped change payload"]
+(** Compatibility shim for the pre-scoped hook: [f ()] fires on every
+    mutation with no scope information. *)
 
 val unsubscribe : system -> subscription -> unit
-(** Idempotent. *)
+(** Idempotent, O(1). *)
 
 val make_currency : system -> name:string -> currency
 (** Raises {!Duplicate_name} if [name] is taken ("base" is always taken). *)
@@ -123,14 +144,20 @@ val funds : ticket -> currency option
 
 val is_held : ticket -> bool
 
-(** {1 Valuation} *)
+(** {1 Valuation}
+
+    Valuations are memoized incrementally on the currency records: each
+    mutation invalidates only the currencies it can affect (propagating
+    along backing edges toward the funded leaves), and reads lazily
+    revalidate just the stale region. A quiescent graph is valued once;
+    steady-state reads are O(1). Cached results are bit-for-bit identical
+    to a from-scratch walk. *)
 
 module Valuation : sig
   type v
-  (** A memoized valuation snapshot. Results are cached per currency, so
-      valuing every runnable thread in a draw costs one graph walk. The
-      snapshot is invalidated by any mutation of the system (not checked —
-      callers create one per draw). *)
+  (** Historically a per-draw memo table; the memo now lives on the
+      currency records and survives across draws, so a snapshot is just a
+      view of the (always current) system and creating one is free. *)
 
   val make : system -> v
 
@@ -147,16 +174,19 @@ module Valuation : sig
 end
 
 val ticket_value : system -> ticket -> float
-(** One-shot valuation (fresh snapshot). *)
+(** Current value in base units (cached, O(1) on a quiescent graph). *)
 
 val currency_value : system -> currency -> float
+val unit_value : system -> currency -> float
 
 (** {1 Introspection} *)
 
 val check_invariants : system -> unit
 (** Validates internal consistency (active sums, attachment symmetry,
-    activation propagation, acyclicity); raises [Failure] with a
-    description on violation. Used by tests and enabled in debug builds. *)
+    activation propagation, acyclicity, and agreement of the incremental
+    valuation caches with a from-scratch valuation); raises [Failure] with
+    a description on violation. Used by tests and enabled in debug
+    builds. *)
 
 val pp_currency : Format.formatter -> currency -> unit
 val pp_ticket : Format.formatter -> ticket -> unit

@@ -415,6 +415,149 @@ let qcheck_random_ops_keep_invariants =
       done;
       true)
 
+(* From-scratch valuation through the public accessors only, bypassing the
+   incremental caches. Mirrors the cached arithmetic operation-for-operation
+   (same fold order over the backing list, same value/active division), so
+   agreement below can be asserted with exact float equality. *)
+let scratch_value root =
+  let memo = Hashtbl.create 16 in
+  let rec unit c =
+    if F.is_base c then 1.
+    else if F.active_amount c = 0 then 0.
+    else
+      match Hashtbl.find_opt memo (F.currency_id c) with
+      | Some x -> x
+      | None ->
+          Hashtbl.replace memo (F.currency_id c) 0.;
+          let x = value c /. float_of_int (F.active_amount c) in
+          Hashtbl.replace memo (F.currency_id c) x;
+          x
+  and value c =
+    if F.is_base c then float_of_int (F.active_amount c)
+    else
+      List.fold_left
+        (fun acc t ->
+          if F.is_active t then
+            acc +. (float_of_int (F.amount t) *. unit (F.denomination t))
+          else acc)
+        0. (F.backing_tickets c)
+  in
+  value root
+
+let scratch_unit c =
+  if F.is_base c then 1.
+  else if F.active_amount c = 0 then 0.
+  else scratch_value c /. float_of_int (F.active_amount c)
+
+(* Tentpole property of the incremental valuation engine: after arbitrary
+   mutation sequences on a multi-level graph, (1) every cached valuation
+   equals a from-scratch walk bit-for-bit, and (2) the scoped change events
+   name every currency whose observed valuation moved since it was last
+   read — the contract the scheduler and resource managers rely on to
+   revalue only O(dirtied) clients per draw. *)
+let qcheck_incremental_valuation_exact =
+  let module Rng = Core.Rng in
+  QCheck.Test.make
+    ~name:"incremental valuation = from-scratch; events cover every move"
+    ~count:1000 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~algo:Splitmix64 ~seed:(seed + 7919) () in
+      let sys = F.create_system () in
+      let base = F.base sys in
+      let currencies = ref [ base ] in
+      let tickets = ref [] in
+      (* multi-level graph: each currency is funded from a random earlier
+         one, so chains several levels deep (and diamonds) appear *)
+      let mk_currency i =
+        let from = Rng.choose rng (Array.of_list !currencies) in
+        let c = F.make_currency sys ~name:(Printf.sprintf "q%d-%d" seed i) in
+        let t = F.issue sys ~currency:from ~amount:(1 + Rng.int_below rng 400) in
+        F.fund sys ~ticket:t ~currency:c;
+        tickets := t :: !tickets;
+        currencies := c :: !currencies
+      in
+      for i = 0 to 5 + Rng.int_below rng 6 do
+        mk_currency i
+      done;
+      List.iter
+        (fun c ->
+          if (not (F.is_base c)) && Rng.bool rng then begin
+            let t = F.issue sys ~currency:c ~amount:(1 + Rng.int_below rng 100) in
+            F.hold sys t;
+            tickets := t :: !tickets
+          end)
+        !currencies;
+      (* subscribe like a consumer: accumulate dirtied currency ids *)
+      let dirt = Hashtbl.create 32 in
+      let sub =
+        F.on_change sys (fun ch ->
+            List.iter
+              (fun c -> Hashtbl.replace dirt (F.currency_id c) ())
+              (F.changed ch))
+      in
+      (* last observed (value, unit) per currency, read through the caches *)
+      let shadow = Hashtbl.create 32 in
+      let observe_all () =
+        List.iter
+          (fun c ->
+            Hashtbl.replace shadow (F.currency_id c)
+              (F.currency_value sys c, F.unit_value sys c))
+          (F.currencies sys)
+      in
+      observe_all ();
+      Hashtbl.reset dirt;
+      let ok = ref true in
+      for i = 0 to 29 do
+        (match Rng.int_below rng 7 with
+        | 0 -> mk_currency (100 + i)
+        | 1 ->
+            let denom = Rng.choose rng (Array.of_list !currencies) in
+            tickets :=
+              F.issue sys ~currency:denom ~amount:(Rng.int_below rng 200)
+              :: !tickets
+        | 2 when !tickets <> [] -> (
+            let t = Rng.choose rng (Array.of_list !tickets) in
+            let c = Rng.choose rng (Array.of_list !currencies) in
+            try F.fund sys ~ticket:t ~currency:c
+            with F.Cycle _ | Invalid_argument _ -> ())
+        | 3 when !tickets <> [] -> (
+            let t = Rng.choose rng (Array.of_list !tickets) in
+            try F.hold sys t with Invalid_argument _ -> ())
+        | 4 when !tickets <> [] -> (
+            let t = Rng.choose rng (Array.of_list !tickets) in
+            try if Rng.bool rng then F.suspend sys t else F.resume sys t
+            with Invalid_argument _ -> ())
+        | 5 when !tickets <> [] -> (
+            let t = Rng.choose rng (Array.of_list !tickets) in
+            try F.set_amount sys t (Rng.int_below rng 300)
+            with Invalid_argument _ -> ())
+        | 6 when !tickets <> [] ->
+            let t = Rng.choose rng (Array.of_list !tickets) in
+            (try F.destroy_ticket sys t with Invalid_argument _ -> ());
+            tickets := List.filter (fun t' -> t' != t) !tickets
+        | _ -> ());
+        (* after each mutation: exact cache agreement, and any move since
+           the last observation must have been announced *)
+        List.iter
+          (fun c ->
+            let fresh_v = scratch_value c and fresh_u = scratch_unit c in
+            let cached_v = F.currency_value sys c in
+            let cached_u = F.unit_value sys c in
+            if cached_v <> fresh_v || cached_u <> fresh_u then ok := false;
+            (match Hashtbl.find_opt shadow (F.currency_id c) with
+            | Some (ov, ou)
+              when (ov <> cached_v || ou <> cached_u)
+                   && not (Hashtbl.mem dirt (F.currency_id c)) ->
+                ok := false
+            | _ -> ());
+            Hashtbl.replace shadow (F.currency_id c) (cached_v, cached_u))
+          (F.currencies sys);
+        Hashtbl.reset dirt;
+        F.check_invariants sys
+      done;
+      F.unsubscribe sys sub;
+      !ok)
+
 let test_pp_smoke () =
   let sys, _, alice, _, _, _, _, _, t2, _, _ = figure3 () in
   let s = Format.asprintf "%a" F.pp_system sys in
@@ -490,5 +633,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_value_conservation; qcheck_random_ops_keep_invariants ] );
+          [
+            qcheck_value_conservation;
+            qcheck_random_ops_keep_invariants;
+            qcheck_incremental_valuation_exact;
+          ] );
     ]

@@ -564,6 +564,56 @@ let test_lottery_introspection () =
   checkb "tree mode has no list stats" true
     (Lottery_sched.list_comparisons ls_tree = None)
 
+(* Incremental valuation in the scheduler: with N runnable threads, blocking
+   and waking one of them must never trigger a full weight refresh, and each
+   block/wake cycle must cost exactly one scoped per-thread weight update —
+   independent of N. Drives the sched callbacks directly so nothing else
+   perturbs the funding graph between selects. *)
+let test_scoped_updates_on_block_wake () =
+  let rng = Rng.create ~seed:4242 () in
+  let ls = Lottery_sched.create ~rng () in
+  let s = Lottery_sched.sched ls in
+  let mk id =
+    {
+      Types.id;
+      name = Printf.sprintf "t%d" id;
+      state = Types.Runnable;
+      pending = Types.Exited;
+      cpu = 0;
+      compensate = 1.;
+      donating_to = [];
+      failure = None;
+      joiners = [];
+      created_at = 0;
+      exited_at = None;
+    }
+  in
+  let n = 50 in
+  let threads = Array.init n mk in
+  let base = Lottery_sched.base_currency ls in
+  Array.iter
+    (fun th ->
+      s.Types.attach th;
+      ignore (Lottery_sched.fund_thread ls th ~amount:100 ~from:base))
+    threads;
+  (* one settling select drains the creation-time funding events *)
+  ignore (s.Types.select ());
+  let fr0 = Lottery_sched.full_refreshes ls in
+  let su0 = Lottery_sched.scoped_weight_updates ls in
+  let cycles = 10 in
+  for i = 1 to cycles do
+    let th = threads.(i * 3 mod n) in
+    s.Types.unready th;
+    ignore (s.Types.select ());
+    s.Types.ready th;
+    ignore (s.Types.select ())
+  done;
+  checki "steady-state selects never fall back to a full refresh" fr0
+    (Lottery_sched.full_refreshes ls);
+  checki "each block/wake cycle costs exactly one scoped weight update"
+    (su0 + cycles)
+    (Lottery_sched.scoped_weight_updates ls)
+
 (* Conservation under random workloads: whatever mix of computing,
    sleeping, yielding and exiting threads a scheduler faces, consumed CPU
    plus idle time must exactly cover the horizon, and the lottery's funding
@@ -701,6 +751,8 @@ let () =
       ( "introspection",
         [
           Alcotest.test_case "draw counters and modes" `Quick test_lottery_introspection;
+          Alcotest.test_case "block/wake is O(affected), not a full refresh" `Quick
+            test_scoped_updates_on_block_wake;
           Alcotest.test_case "baseline accessors" `Quick test_baseline_accessors;
         ] );
       ( "properties",
