@@ -275,6 +275,49 @@ let churn_test mode mode_name ~full n =
          if full then Core.Lottery_sched.mark_dirty ls;
          ignore (s.Core.Types.select ())))
 
+(* --- part 3: domain-parallel replication wall-clock -------------------- *)
+
+(* Wall-clock of a representative figure subset — the sweep experiments
+   whose replications Lotto_par fans out across domains — at 1, 2, 4 and
+   8 jobs. Reduced durations keep one pass to a few seconds; the outputs
+   are byte-identical across jobs (test_parallel checks this), so only
+   the elapsed time varies. Measured with [Unix.gettimeofday] (wall
+   clock): process CPU time would sum across domains and hide any
+   speedup. The [par/recommended-domains] row records the host's domain
+   count so a snapshot from a single-core machine (where speedup is
+   physically impossible) is legible as such. *)
+
+let par_jobs = [ 1; 2; 4; 8 ]
+
+let figset ~jobs () =
+  ignore
+    (Lotto_exp.Fig4.run ~jobs ~duration:(Core.Time.seconds 20) ~runs_per_ratio:2 ());
+  ignore (Lotto_exp.Ablation_quantum.run ~jobs ~duration:(Core.Time.seconds 30) ());
+  ignore (Lotto_exp.Ablation_mc.run ~jobs ~duration:(Core.Time.seconds 60) ());
+  ignore (Lotto_exp.Ablation_variance.run ~jobs ~duration:(Core.Time.seconds 60) ());
+  ignore (Lotto_exp.Search_length.run ~jobs ~draws:20_000 ());
+  ignore (Lotto_exp.Compensation.run ~jobs ~duration:(Core.Time.seconds 30) ())
+
+let par_rows () =
+  let timed jobs =
+    let t0 = Unix.gettimeofday () in
+    figset ~jobs ();
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "  par/figset-%d: %.2f s wall clock\n%!" jobs dt;
+    (Printf.sprintf "par/figset-%d" jobs, dt *. 1e9)
+  in
+  print_endline "";
+  print_endline "=================================================================";
+  print_endline " Domain-parallel replication (wall clock per figure-subset pass)";
+  print_endline "=================================================================";
+  Printf.printf "  host recommended domain count: %d\n%!"
+    (Domain.recommended_domain_count ());
+  List.map timed par_jobs
+  @ [
+      ( "par/recommended-domains",
+        float_of_int (Domain.recommended_domain_count ()) );
+    ]
+
 (* PRNG draw cost (the paper's Appendix A argues ~10 RISC instructions) *)
 let prng_test algo name =
   let rng = Core.Rng.create ~algo ~seed:3 () in
@@ -398,6 +441,7 @@ let write_metrics_json path rows =
 let () =
   let run_figures = ref true in
   let run_bench = ref true in
+  let run_par = ref false in
   let metrics_csv = ref "" in
   let metrics_json = ref "" in
   let spec =
@@ -406,6 +450,13 @@ let () =
        " regenerate the paper figures/tables and skip microbenchmarks");
       ("--bench-only", Arg.Unit (fun () -> run_figures := false),
        " run only the Bechamel microbenchmarks");
+      ( "--par-only",
+        Arg.Unit
+          (fun () ->
+            run_figures := false;
+            run_bench := false;
+            run_par := true),
+        " run only the domain-parallel wall-clock family (par/figset-N)" );
       ("--metrics-csv", Arg.Set_string metrics_csv,
        "FILE also write microbenchmark results as CSV (benchmark,ns_per_op)");
       ("--json", Arg.Set_string metrics_json,
@@ -414,11 +465,15 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--figures-only | --bench-only] [--metrics-csv FILE] [--json FILE]";
+    "bench [--figures-only | --bench-only | --par-only] [--metrics-csv FILE] \
+     [--json FILE]";
   if !run_figures then figures ();
-  if !run_bench then begin
-    let rows = result_rows (benchmark ()) in
-    print_results rows;
+  if !run_bench || !run_par then begin
+    let rows =
+      (if !run_bench then result_rows (benchmark ()) else [])
+      @ (if !run_par then par_rows () else [])
+    in
+    if !run_bench then print_results rows;
     if !metrics_csv <> "" then write_metrics_csv !metrics_csv rows;
     if !metrics_json <> "" then write_metrics_json !metrics_json rows
   end

@@ -1,7 +1,9 @@
 (* Command-line driver regenerating every figure and table from the paper's
    evaluation, the §6 proposals implemented as extensions, and the
    ablations. With [--csv DIR] each experiment also writes a plottable
-   <name>.csv. *)
+   <name>.csv. With [--jobs N] sweep-style experiments run their
+   independent replications on N domains (results are merged by task
+   index, so output is byte-identical to [--jobs 1]). *)
 
 let write_file path contents =
   let oc = open_out_bin path in
@@ -11,18 +13,18 @@ let write_file path contents =
 type entry = {
   e_name : string;
   descr : string;
-  exec : csv_dir:string option -> unit;
+  exec : csv_dir:string option -> jobs:int -> unit;
 }
 
 (* run once; print the table; optionally serialize *)
-let entry (type a) e_name descr (run : unit -> a) (print : a -> unit)
+let entry (type a) e_name descr (run : jobs:int -> unit -> a) (print : a -> unit)
     (to_csv : a -> string) =
   {
     e_name;
     descr;
     exec =
-      (fun ~csv_dir ->
-        let t = run () in
+      (fun ~csv_dir ~jobs ->
+        let t = run ~jobs () in
         print t;
         match csv_dir with
         | None -> ()
@@ -35,75 +37,76 @@ let entry (type a) e_name descr (run : unit -> a) (print : a -> unit)
 let experiments =
   [
     entry "fig4" "relative rate accuracy (2 tasks, ratios 1..10)"
-      (fun () -> Lotto_exp.Fig4.run ())
+      (fun ~jobs () -> Lotto_exp.Fig4.run ~jobs ())
       Lotto_exp.Fig4.print Lotto_exp.Fig4.to_csv;
     entry "fig5" "fairness over 8s windows (2:1 for 200s)"
-      (fun () -> Lotto_exp.Fig5.run ())
+      (fun ~jobs () -> Lotto_exp.Fig5.run ~jobs ())
       Lotto_exp.Fig5.print Lotto_exp.Fig5.to_csv;
     entry "fig6" "Monte-Carlo with error^2 ticket inflation"
-      (fun () -> Lotto_exp.Fig6.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Fig6.run ())
       Lotto_exp.Fig6.print Lotto_exp.Fig6.to_csv;
     entry "fig7" "client-server DB with ticket transfers (8:3:1)"
-      (fun () -> Lotto_exp.Fig7.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Fig7.run ())
       Lotto_exp.Fig7.print Lotto_exp.Fig7.to_csv;
     entry "fig8" "video viewers, 3:2:1 changed to 3:1:2 mid-run"
-      (fun () -> Lotto_exp.Fig8.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Fig8.run ())
       Lotto_exp.Fig8.print Lotto_exp.Fig8.to_csv;
     entry "fig9" "currencies insulate loads (B3 joins at half time)"
-      (fun () -> Lotto_exp.Fig9.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Fig9.run ())
       Lotto_exp.Fig9.print Lotto_exp.Fig9.to_csv;
     entry "fig11" "lottery-scheduled mutex (groups 2:1)"
-      (fun () -> Lotto_exp.Fig11.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Fig11.run ())
       Lotto_exp.Fig11.print Lotto_exp.Fig11.to_csv;
     entry "compensation" "sec. 4.5 compensation tickets on/off"
-      (fun () -> Lotto_exp.Compensation.run ())
+      (fun ~jobs () -> Lotto_exp.Compensation.run ~jobs ())
       Lotto_exp.Compensation.print Lotto_exp.Compensation.to_csv;
     entry "overhead" "sec. 5.6 scheduling overhead across policies"
-      (fun () -> Lotto_exp.Overhead.run ())
+      (fun ~jobs () -> Lotto_exp.Overhead.run ~jobs ())
       Lotto_exp.Overhead.print Lotto_exp.Overhead.to_csv;
     entry "mem" "sec. 6.2 inverse-lottery page replacement"
-      (fun () -> Lotto_exp.Mem.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Mem.run ())
       Lotto_exp.Mem.print Lotto_exp.Mem.to_csv;
     entry "io" "sec. 6 lottery-scheduled I/O bandwidth"
-      (fun () -> Lotto_exp.Io.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Io.run ())
       Lotto_exp.Io.print Lotto_exp.Io.to_csv;
     entry "disk" "sec. 6 (ext) disk-bandwidth lotteries vs FCFS/SSTF"
-      (fun () -> Lotto_exp.Disk_exp.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Disk_exp.run ())
       Lotto_exp.Disk_exp.print Lotto_exp.Disk_exp.to_csv;
     entry "switch" "sec. 6 (ext) virtual circuits on a congested switch port"
-      (fun () -> Lotto_exp.Switch_exp.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Switch_exp.run ())
       Lotto_exp.Switch_exp.print Lotto_exp.Switch_exp.to_csv;
     entry "disk-service" "sec. 6 (ext) in-kernel disk with separate disk tickets"
-      (fun () -> Lotto_exp.Disk_service_exp.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Disk_service_exp.run ())
       Lotto_exp.Disk_service_exp.print Lotto_exp.Disk_service_exp.to_csv;
     entry "manager" "sec. 6.3 manager threads across CPU and I/O"
-      (fun () -> Lotto_exp.Manager_exp.run ())
+      (fun ~jobs:_ () -> Lotto_exp.Manager_exp.run ())
       Lotto_exp.Manager_exp.print Lotto_exp.Manager_exp.to_csv;
     entry "search-length" "sec. 4.2 list-lottery search-length optimizations"
-      (fun () -> Lotto_exp.Search_length.run ())
+      (fun ~jobs () -> Lotto_exp.Search_length.run ~jobs ())
       Lotto_exp.Search_length.print Lotto_exp.Search_length.to_csv;
     entry "quantum" "ablation: quantum size vs short-term fairness"
-      (fun () -> Lotto_exp.Ablation_quantum.run ())
+      (fun ~jobs () -> Lotto_exp.Ablation_quantum.run ~jobs ())
       Lotto_exp.Ablation_quantum.print Lotto_exp.Ablation_quantum.to_csv;
     entry "variance" "ablation: lottery vs stride variance"
-      (fun () -> Lotto_exp.Ablation_variance.run ())
+      (fun ~jobs () -> Lotto_exp.Ablation_variance.run ~jobs ())
       Lotto_exp.Ablation_variance.print Lotto_exp.Ablation_variance.to_csv;
     entry "mc-convergence" "ablation: Monte-Carlo funding function exponent"
-      (fun () -> Lotto_exp.Ablation_mc.run ())
+      (fun ~jobs () -> Lotto_exp.Ablation_mc.run ~jobs ())
       Lotto_exp.Ablation_mc.print Lotto_exp.Ablation_mc.to_csv;
   ]
 
 open Cmdliner
 
-let run_some names list_only csv_dir =
+let run_some names list_only csv_dir jobs =
   if list_only then begin
     List.iter (fun e -> Printf.printf "%-14s %s\n" e.e_name e.descr) experiments;
     `Ok ()
   end
+  else if jobs < 1 then `Error (false, "--jobs must be at least 1")
   else begin
     (match csv_dir with
-    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
-    | _ -> ());
+    | Some dir -> Lotto_exp.Common.mkdir_p dir
+    | None -> ());
     let targets =
       match names with
       | [] -> Some experiments
@@ -118,7 +121,7 @@ let run_some names list_only csv_dir =
     match targets with
     | None -> `Error (false, "unknown experiment; try --list")
     | Some targets ->
-        List.iter (fun e -> e.exec ~csv_dir) targets;
+        List.iter (fun e -> e.exec ~csv_dir ~jobs) targets;
         `Ok ()
   end
 
@@ -136,10 +139,21 @@ let csv_arg =
     & opt (some string) None
     & info [ "csv" ] ~docv:"DIR" ~doc:"Also write <experiment>.csv files to $(docv).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Lotto_par.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run each sweep experiment's independent replications on $(docv) \
+           domains (default: the recommended domain count for this machine). \
+           Results are merged by task index, so output is byte-identical to \
+           --jobs 1.")
+
 let cmd =
   let doc = "Regenerate the paper's evaluation figures and tables" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(ret (const run_some $ names_arg $ list_arg $ csv_arg))
+    Term.(ret (const run_some $ names_arg $ list_arg $ csv_arg $ jobs_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -19,7 +19,8 @@
       {!Mutex_workload}) and space-shared managers ({!Inverse_memory},
       {!Io_bandwidth});
     - {!Experiments}: one runnable module per figure/table of the paper's
-      evaluation.
+      evaluation, with {!Pool} fanning independent replications out across
+      domains (index-merged, byte-identical to sequential).
 
     Quickstart:
     {[
@@ -64,6 +65,9 @@ module Timeline = Lotto_sim.Timeline
 
 (* Observability: typed event bus, trace recorder, metrics registry *)
 module Obs = Lotto_obs
+
+(* Deterministic domain-parallel replication runner *)
+module Pool = Lotto_par.Pool
 
 (* Schedulers *)
 module Lottery_sched = Lotto_sched.Lottery_sched

@@ -110,7 +110,7 @@ let parse_file path =
 
 (* --- running --------------------------------------------------------------- *)
 
-let[@warning "-16"] run ?(trace = false) ?(trace_capacity = 1 lsl 20) ?(stats = false)
+let run ?(trace = false) ?(trace_capacity = 1 lsl 20) ?(stats = false)
     t =
   let rng = Lotto_prng.Rng.create ~seed:t.seed () in
   let ls = Ls.create ~rng () in

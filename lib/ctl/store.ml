@@ -297,7 +297,7 @@ let simulate t ~seconds ~seed =
         (List.rev spinners);
       Ok (Buffer.contents buf)
 
-let[@warning "-16"] exec ?(user = "root") t cmd =
+let exec ?(user = "root") t cmd =
   match cmd with
   | Mkcur name -> (
       match Acl.make_currency t.acl ~as_:user ~name with

@@ -18,7 +18,10 @@ type row = {
 
 type t = { rows : row array }
 
-val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> ?jobs:int -> unit -> t
+(** Each exponent is an independent seeded simulation; [jobs] runs them on
+    that many domains with index-merged (byte-identical) results. *)
+
 val print : t -> unit
 
 val to_csv : t -> string

@@ -56,8 +56,18 @@ let stride_run ~duration =
     (Spinner.windows a ~upto:duration)
     (Spinner.windows b ~upto:duration)
 
-let[@warning "-16"] run ?(seed = 33) ?(duration = Time.seconds 200) () =
-  { lottery = lottery_run ~seed ~duration; stride = stride_run ~duration }
+(* The two scheduler runs are independent simulations — a two-entry task
+   list for the domain pool. *)
+let run ?(seed = 33) ?(duration = Time.seconds 200) ?(jobs = 1) () =
+  match
+    Lotto_par.Pool.map_tasks ~jobs
+      (function
+        | `Lottery -> lottery_run ~seed ~duration
+        | `Stride -> stride_run ~duration)
+      [| `Lottery; `Stride |]
+  with
+  | [| lottery; stride |] -> { lottery; stride }
+  | _ -> assert false
 
 let print t =
   Common.print_header

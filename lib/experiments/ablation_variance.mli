@@ -16,7 +16,10 @@ type row = {
 
 type t = { lottery : row; stride : row }
 
-val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> ?jobs:int -> unit -> t
+(** The lottery and stride runs are independent simulations; [jobs] runs
+    them on that many domains with index-merged (byte-identical) results. *)
+
 val print : t -> unit
 
 val to_csv : t -> string

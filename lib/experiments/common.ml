@@ -1,12 +1,21 @@
 module Ls = Lotto_sched.Lottery_sched
 open Lotto_sim
 
-let[@warning "-16"] lottery_setup ?mode ?(quantum = Time.ms 100) ?use_compensation
-    ~seed () =
+let lottery_setup ?mode ?(quantum = Time.ms 100) ?use_compensation ~seed () =
   let rng = Lotto_prng.Rng.create ~seed () in
   let ls = Ls.create ?mode ?use_compensation ~rng () in
   let kernel = Kernel.create ~quantum ~sched:(Ls.sched ls) () in
   (kernel, ls)
+
+(* Recursive [mkdir -p]: creates missing parent components, tolerates
+   pre-existing directories (and the races CI parallelism can produce). *)
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.is_directory dir -> ()
+  end
 
 let ratio a b = if b = 0. then nan else a /. b
 let iratio a b = ratio (float_of_int a) (float_of_int b)

@@ -34,3 +34,8 @@ val csv : header:string list -> string list list -> string
 
 val f : float -> string
 (** Compact float cell ([%.6g]). *)
+
+val mkdir_p : string -> unit
+(** Recursive [mkdir -p]: create every missing component of a directory
+    path; existing directories (including ones that appear concurrently)
+    are fine. *)

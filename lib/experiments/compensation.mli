@@ -13,7 +13,10 @@ type t = {
   without_compensation : float;  (** ideal (broken) 5.0 *)
 }
 
-val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> ?jobs:int -> unit -> t
+(** The with/without variants are independent seeded simulations; [jobs]
+    runs them on that many domains with index-merged results. *)
+
 val print : t -> unit
 
 val to_csv : t -> string

@@ -64,7 +64,7 @@ let one ~seed ~duration policy =
     seek_distance = Disk.total_seek_distance disk;
   }
 
-let[@warning "-16"] run ?(seed = 70) ?(duration = 50_000_000) () =
+let run ?(seed = 70) ?(duration = 50_000_000) () =
   {
     results =
       Array.of_list

@@ -82,7 +82,7 @@ let phase2 ~seed ~duration =
   ignore (Kernel.run kernel ~until:duration);
   (app_reads disk cpu_rich, app_reads disk disk_rich)
 
-let[@warning "-16"] run ?(seed = 80) ?(duration = Time.seconds 120) () =
+let run ?(seed = 80) ?(duration = Time.seconds 120) () =
   let p1 = phase1 ~seed ~duration in
   let cpu_rich_reads, disk_rich_reads = phase2 ~seed ~duration in
   { phase1 = p1; cpu_rich_reads; disk_rich_reads }

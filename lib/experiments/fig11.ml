@@ -18,7 +18,7 @@ type t = {
   wait_ratio : float;
 }
 
-let[@warning "-16"] run ?(seed = 11) ?(duration = Time.seconds 120)
+let run ?(seed = 11) ?(duration = Time.seconds 120)
     ?(group_size = 4) ?(hold = Time.ms 50) ?(work = Time.ms 50) () =
   let kernel, ls = Common.lottery_setup ~seed () in
   let base = Common.Ls.base_currency ls in

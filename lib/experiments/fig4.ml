@@ -20,20 +20,38 @@ let one_run ~seed ~duration ~ratio =
   ignore (Kernel.run kernel ~until:duration);
   Common.iratio (Spinner.iterations a) (Spinner.iterations b)
 
-let[@warning "-16"] run ?(seed = 1994) ?(duration = Time.seconds 60)
-    ?(runs_per_ratio = 3) ?(max_ratio = 10) () =
-  let runs = ref [] in
-  for ratio = 1 to max_ratio do
-    for i = 0 to runs_per_ratio - 1 do
-      let seed = seed + (1000 * ratio) + i in
-      runs := { allocated = ratio; observed = one_run ~seed ~duration ~ratio } :: !runs
-    done
-  done;
-  (* The paper's aside: a 20:1 allocation observed over three minutes. *)
-  let twenty_to_one =
-    one_run ~seed:(seed + 777) ~duration:(Time.seconds 180) ~ratio:20
+(* One replication = one fully self-contained seeded kernel. The task list
+   is pure data (the per-task seed derived from the experiment seed by the
+   same offset formula as the historical sequential loop), so the grid can
+   run on any number of domains and still assemble byte-identical output. *)
+type task = { t_seed : int; t_duration : Time.t; t_ratio : int }
+
+let run ?(seed = 1994) ?(duration = Time.seconds 60) ?(runs_per_ratio = 3)
+    ?(max_ratio = 10) ?(jobs = 1) () =
+  let grid =
+    List.concat_map
+      (fun ratio ->
+        List.init runs_per_ratio (fun i ->
+            { t_seed = seed + (1000 * ratio) + i; t_duration = duration; t_ratio = ratio }))
+      (List.init max_ratio (fun r -> r + 1))
   in
-  let runs = Array.of_list (List.rev !runs) in
+  (* The paper's aside: a 20:1 allocation observed over three minutes —
+     one more independent task on the same list. *)
+  let twenty =
+    { t_seed = seed + 777; t_duration = Time.seconds 180; t_ratio = 20 }
+  in
+  let tasks = Array.of_list (grid @ [ twenty ]) in
+  let observed =
+    Lotto_par.Pool.map_tasks ~jobs
+      (fun t -> one_run ~seed:t.t_seed ~duration:t.t_duration ~ratio:t.t_ratio)
+      tasks
+  in
+  let n_grid = Array.length tasks - 1 in
+  let twenty_to_one = observed.(n_grid) in
+  let runs =
+    Array.init n_grid (fun i ->
+        { allocated = tasks.(i).t_ratio; observed = observed.(i) })
+  in
   (* the gray identity line of the paper's Figure 4, as a regression *)
   let intercept, slope =
     Lotto_stats.Descriptive.linear_fit

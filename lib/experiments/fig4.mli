@@ -23,8 +23,14 @@ val run :
   ?duration:Lotto_sim.Time.t ->
   ?runs_per_ratio:int ->
   ?max_ratio:int ->
+  ?jobs:int ->
   unit ->
   t
+(** Every (ratio, trial) cell plus the 20:1 aside is an independent seeded
+    simulation; [jobs] farms them out to that many domains
+    ({!Lotto_par.Pool.map_tasks}). Results are merged by task index, so the
+    output is byte-identical for every [jobs] value (default 1 =
+    sequential in the calling domain). *)
 
 val print : t -> unit
 

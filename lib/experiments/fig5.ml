@@ -8,8 +8,7 @@ type t = {
   overall_ratio : float;
 }
 
-let[@warning "-16"] run ?(seed = 51) ?(duration = Time.seconds 200)
-    ?(window = Time.seconds 8) () =
+let simulate ~seed ~duration ~window =
   let kernel, ls = Common.lottery_setup ~seed () in
   let a = Spinner.spawn kernel ~name:"A" ~window () in
   let b = Spinner.spawn kernel ~name:"B" ~window () in
@@ -24,6 +23,16 @@ let[@warning "-16"] run ?(seed = 51) ?(duration = Time.seconds 200)
     rates_b = per_second b;
     overall_ratio = Common.iratio (Spinner.iterations a) (Spinner.iterations b);
   }
+
+(* The whole figure is one 200-second kernel (its windows are slices of a
+   single timeline, not independent replications), so the task list is a
+   singleton: it rides the same harness for uniformity, and map_tasks runs
+   a single task inline whatever [jobs] says. *)
+let run ?(seed = 51) ?(duration = Time.seconds 200) ?(window = Time.seconds 8)
+    ?(jobs = 1) () =
+  (Lotto_par.Pool.map_tasks ~jobs
+     (fun seed -> simulate ~seed ~duration ~window)
+     [| seed |]).(0)
 
 let window_ratios t =
   Array.init

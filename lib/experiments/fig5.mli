@@ -13,7 +13,15 @@ type t = {
 }
 
 val run :
-  ?seed:int -> ?duration:Lotto_sim.Time.t -> ?window:Lotto_sim.Time.t -> unit -> t
+  ?seed:int ->
+  ?duration:Lotto_sim.Time.t ->
+  ?window:Lotto_sim.Time.t ->
+  ?jobs:int ->
+  unit ->
+  t
+(** The figure is a single 200-second kernel (the windows slice one
+    timeline), so its task list is a singleton: [jobs] is accepted for
+    harness uniformity and the run is sequential regardless. *)
 
 val print : t -> unit
 

@@ -13,7 +13,7 @@ type task_result = {
 
 type t = { window : Time.t; tasks : task_result array }
 
-let[@warning "-16"] run ?(seed = 6) ?(duration = Time.seconds 600)
+let run ?(seed = 6) ?(duration = Time.seconds 600)
     ?(stagger = Time.seconds 120) ?(window = Time.seconds 8) () =
   let kernel, ls = Common.lottery_setup ~seed () in
   (* One currency shared by the mutually trusting experiments: inflation

@@ -18,7 +18,7 @@ type t = {
   phase1_responses : float array;
 }
 
-let[@warning "-16"] run ?(seed = 7) ?(duration = Time.seconds 800)
+let run ?(seed = 7) ?(duration = Time.seconds 800)
     ?(query_cost = Time.seconds 8) ?(workers = 3) ?(a_queries = 20) () =
   let kernel, ls = Common.lottery_setup ~seed () in
   let corpus = Corpus.generate ~seed:1994 ~size_bytes:(256 * 1024) () in

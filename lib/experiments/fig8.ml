@@ -15,7 +15,7 @@ type t = {
   ratios_after : float * float;
 }
 
-let[@warning "-16"] run ?(seed = 8) ?(duration = Time.seconds 300)
+let run ?(seed = 8) ?(duration = Time.seconds 300)
     ?(frame_cost = Time.ms 200) () =
   let kernel, ls = Common.lottery_setup ~seed () in
   let base = Common.Ls.base_currency ls in

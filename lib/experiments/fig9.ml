@@ -17,7 +17,7 @@ type t = {
   a_over_b_after : float;
 }
 
-let[@warning "-16"] run ?(seed = 9) ?(duration = Time.seconds 300) () =
+let run ?(seed = 9) ?(duration = Time.seconds 300) () =
   let kernel, ls = Common.lottery_setup ~seed () in
   let base = Common.Ls.base_currency ls in
   let switch_at = duration / 2 in

@@ -4,7 +4,7 @@ module Rng = Lotto_prng.Rng
 type phase_row = { name : string; tickets : int; served : int; share : float }
 type t = { phase1 : phase_row array; phase2 : phase_row array }
 
-let[@warning "-16"] run ?(seed = 60) ?(slots_per_phase = 60_000) () =
+let run ?(seed = 60) ?(slots_per_phase = 60_000) () =
   let rng = Rng.create ~seed () in
   let dev = Io.create ~rng () in
   let specs = [| ("video", 300); ("backup", 200); ("log", 100) |] in

@@ -120,7 +120,7 @@ let one ~seed ~epochs ~managed =
     total_work = Array.fold_left (fun acc r -> acc + r.work_done) 0 rows;
   }
 
-let[@warning "-16"] run ?(seed = 63) ?(epochs = 200) () =
+let run ?(seed = 63) ?(epochs = 200) () =
   {
     static = one ~seed ~epochs ~managed:false;
     managed = one ~seed ~epochs ~managed:true;

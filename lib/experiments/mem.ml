@@ -45,7 +45,7 @@ let one ~seed ~frames ~working_set ~steps policy =
            specs clients);
   }
 
-let[@warning "-16"] run ?(seed = 62) ?(frames = 300) ?(working_set = 400)
+let run ?(seed = 62) ?(frames = 300) ?(working_set = 400)
     ?(steps = 300_000) () =
   {
     results =

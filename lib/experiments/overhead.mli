@@ -20,9 +20,12 @@ type row = {
 
 type t = { rows : row array }
 
-val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> unit -> t
+val run : ?seed:int -> ?duration:Lotto_sim.Time.t -> ?jobs:int -> unit -> t
 (** Runs 3-task and 8-task spinner mixes under lottery-list, lottery-tree,
-    round-robin, decay-usage and stride. *)
+    round-robin, decay-usage and stride; [jobs] runs the ten cells on that
+    many domains. Decisions and virtual-CPU columns are byte-identical
+    across [jobs]; the host-ns column is a wall-clock measurement and never
+    reproducible exactly (and reflects contention when parallel). *)
 
 val print : t -> unit
 

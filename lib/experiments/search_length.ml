@@ -32,20 +32,35 @@ let mean_search ~seed ~draws ~clients order =
   done;
   float_of_int (Ll.comparisons t) /. float_of_int draws
 
-let[@warning "-16"] run ?(seed = 42) ?(draws = 5_000) () =
+(* Every (client count, ordering) measurement creates its own lottery and
+   RNGs from the experiment seed — twelve independent tasks for the domain
+   pool, re-assembled into rows by index. *)
+let run ?(seed = 42) ?(draws = 5_000) ?(jobs = 1) () =
+  let sizes = [| 16; 64; 256; 1024 |] in
+  let orders = [| Ll.Unordered; Ll.Move_to_front; Ll.By_weight |] in
+  let cells =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun clients -> Array.map (fun o -> (clients, o)) orders) sizes))
+  in
+  let means =
+    Lotto_par.Pool.map_tasks ~jobs
+      (fun (clients, order) -> mean_search ~seed ~draws ~clients order)
+      cells
+  in
   let rows =
-    List.map
-      (fun clients ->
+    Array.mapi
+      (fun i clients ->
         {
           clients;
-          unordered = mean_search ~seed ~draws ~clients Ll.Unordered;
-          move_to_front = mean_search ~seed ~draws ~clients Ll.Move_to_front;
-          by_weight = mean_search ~seed ~draws ~clients Ll.By_weight;
+          unordered = means.(3 * i);
+          move_to_front = means.((3 * i) + 1);
+          by_weight = means.((3 * i) + 2);
           tree_depth = Float.round (log (float_of_int clients) /. log 2.);
         })
-      [ 16; 64; 256; 1024 ]
+      sizes
   in
-  { rows = Array.of_list rows }
+  { rows }
 
 let print t =
   Common.print_header

@@ -21,7 +21,10 @@ type row = {
 
 type t = { rows : row array }
 
-val run : ?seed:int -> ?draws:int -> unit -> t
+val run : ?seed:int -> ?draws:int -> ?jobs:int -> unit -> t
+(** Each (client count, ordering) measurement is independent; [jobs] runs
+    them on that many domains with index-merged (byte-identical) results. *)
+
 val print : t -> unit
 
 val to_csv : t -> string

@@ -17,7 +17,7 @@ type t = {
   port0_utilization : float;
 }
 
-let[@warning "-16"] run ?(seed = 90) ?(slots = 200_000) () =
+let run ?(seed = 90) ?(slots = 200_000) () =
   let rng = Rng.create ~algo:Splitmix64 ~seed () in
   let sw = Sw.create ~ports:2 ~rng () in
   let specs = [| ("gold", 300, 0.6); ("silver", 200, 0.6); ("bronze", 100, 0.6) |] in

@@ -12,7 +12,7 @@ type 'a t = {
   mutable mutations : int; (* triggers periodic total recomputation *)
 }
 
-let[@warning "-16"] create ?(move_to_front = true) ?order () =
+let create ?(move_to_front = true) ?order () =
   let order =
     match order with
     | Some o -> o

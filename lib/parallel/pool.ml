@@ -1,0 +1,117 @@
+type t = {
+  n_jobs : int;
+  mu : Mutex.t;
+  work_cv : Condition.t; (* signalled when a task is queued or on shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.n_jobs
+
+(* Workers take thunks off the shared queue until shutdown drains it. The
+   thunks are built by {!map} and never raise: task exceptions are captured
+   into the result slot there. *)
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mu;
+    let rec take () =
+      match Queue.take_opt t.queue with
+      | Some task -> Some task
+      | None ->
+          if t.closing then None
+          else begin
+            Condition.wait t.work_cv t.mu;
+            take ()
+          end
+    in
+    let task = take () in
+    Mutex.unlock t.mu;
+    match task with
+    | Some task ->
+        task ();
+        next ()
+    | None -> ()
+  in
+  next ()
+
+let create ~jobs =
+  let n_jobs = max 1 jobs in
+  let t =
+    {
+      n_jobs;
+      mu = Mutex.create ();
+      work_cv = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init n_jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.closing <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.mu;
+  let ws = t.workers in
+  t.workers <- [];
+  List.iter Domain.join ws
+
+type 'b slot = Pending | Ok_r of 'b | Error_r of exn * Printexc.raw_backtrace
+
+let map t f tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    Mutex.lock t.mu;
+    if t.closing then begin
+      Mutex.unlock t.mu;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    (* Per-map completion state; [results] writes are published to the
+       caller by the mutex-protected [remaining] handshake below. *)
+    let results = Array.make n Pending in
+    let remaining = ref n in
+    let done_cv = Condition.create () in
+    for i = 0 to n - 1 do
+      Queue.add
+        (fun () ->
+          let r =
+            match f tasks.(i) with
+            | v -> Ok_r v
+            | exception e -> Error_r (e, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock t.mu;
+          results.(i) <- r;
+          decr remaining;
+          if !remaining = 0 then Condition.signal done_cv;
+          Mutex.unlock t.mu)
+        t.queue
+    done;
+    Condition.broadcast t.work_cv;
+    while !remaining > 0 do
+      Condition.wait done_cv t.mu
+    done;
+    Mutex.unlock t.mu;
+    (* Deterministic error propagation: scan in task order, so the same
+       task's exception surfaces no matter which worker hit it first. *)
+    Array.iter
+      (function
+        | Error_r (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Ok_r _ | Pending -> ())
+      results;
+    Array.map
+      (function Ok_r v -> v | Pending | Error_r _ -> assert false)
+      results
+  end
+
+let map_tasks ~jobs f tasks =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Array.map f tasks
+  else begin
+    let pool = create ~jobs:(min jobs n) in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> map pool f tasks)
+  end

@@ -1,0 +1,55 @@
+(** Fixed-size domain pool for deterministic parallel replication.
+
+    The experiment layer's unit of work is an independent, fully
+    self-contained simulation: a seeded kernel plus scheduler built from a
+    pure task description. This module farms such tasks out to a fixed set
+    of worker domains and merges the results {e by task index}, so the
+    assembled output — and therefore every printed table and CSV derived
+    from it — is byte-identical regardless of how many domains ran or in
+    what order tasks completed.
+
+    Determinism contract:
+    - Results are stored at the submitting index; completion order is
+      invisible to the caller.
+    - Task functions must be self-contained: every kernel, scheduler, RNG
+      and recorder they touch is created inside the task from the task
+      description (per-task seeds derived deterministically, never drawn
+      from shared RNG state). No module in this repository holds
+      module-level mutable state, which is what makes this safe — keep it
+      that way.
+    - If several tasks raise, the exception of the {e lowest-indexed}
+      failing task is re-raised (with its backtrace), independent of
+      scheduling.
+
+    Hand-rolled on [Domain] + [Mutex]/[Condition] from the stdlib; no
+    external dependencies. *)
+
+type t
+(** A pool of worker domains consuming tasks from a shared queue. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs] worker domains (at least 1) that block on
+    a condition variable until work arrives. *)
+
+val shutdown : t -> unit
+(** Signal all workers to finish outstanding tasks and exit, then join
+    their domains. Idempotent. Calling {!map} after shutdown raises
+    [Invalid_argument]. *)
+
+val jobs : t -> int
+(** Number of worker domains in the pool. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map p f tasks] runs [f tasks.(i)] for every [i] on the pool's workers
+    and returns the results in task-index order. The caller blocks until
+    all tasks finish. Exceptions follow the lowest-index rule above. *)
+
+val map_tasks : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** One-shot convenience: [map_tasks ~jobs f tasks] equals
+    [Array.map f tasks] executed on [min jobs (Array.length tasks)]
+    worker domains. With [jobs <= 1] (or fewer than two tasks) no domain
+    is spawned and the tasks run sequentially in the calling domain — the
+    exact single-threaded code path. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default for [--jobs]. *)

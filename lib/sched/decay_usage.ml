@@ -15,7 +15,7 @@ type t = {
   mutable next_seq : int;
 }
 
-let[@warning "-16"] create ?(half_life = Lotto_sim.Time.seconds 2) () =
+let create ?(half_life = Lotto_sim.Time.seconds 2) () =
   if half_life <= 0 then invalid_arg "Decay_usage.create: half_life <= 0";
   {
     states = Hashtbl.create 32;

@@ -15,7 +15,7 @@ type t = {
   mutable donation_of : (int * thread) list; (* src id -> dst *)
 }
 
-let[@warning "-16"] create ?(inheritance = false) () =
+let create ?(inheritance = false) () =
   { states = Hashtbl.create 32; inheritance; next_seq = 0; donation_of = [] }
 
 let state t th =

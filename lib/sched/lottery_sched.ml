@@ -41,7 +41,7 @@ type t = {
       (* observability probe, fired once per lottery *)
 }
 
-let[@warning "-16"] create ?(mode = List_mode) ?(quantum_fallback = true)
+let create ?(mode = List_mode) ?(quantum_fallback = true)
     ?(use_compensation = true) ~rng () =
   let t =
     {

@@ -40,7 +40,7 @@ let on_event t time ev =
       charge (time - used) used
   | _ -> ()
 
-let[@warning "-16"] attach kernel ?(bucket = Time.seconds 1) () =
+let attach kernel ?(bucket = Time.seconds 1) () =
   if bucket <= 0 then invalid_arg "Timeline.attach: bucket <= 0";
   let t =
     { bucket; rows = Hashtbl.create 16; sub = None; first_time = -1; last_time = 0 }

@@ -22,7 +22,7 @@ let pick_rank rng n =
   let r = int_of_float (exp (u *. h)) - 1 in
   min (max r 0) (n - 1)
 
-let[@warning "-16"] generate ?(seed = 1994) ?(size_bytes = 512 * 1024)
+let generate ?(seed = 1994) ?(size_bytes = 512 * 1024)
     ?(needle = "lottery") ?(occurrences = 8) () =
   if size_bytes <= 0 then invalid_arg "Corpus.generate: size_bytes <= 0";
   if occurrences < 0 then invalid_arg "Corpus.generate: occurrences < 0";

@@ -7,7 +7,7 @@ type server = {
   mutable served : int;
 }
 
-let[@warning "-16"] start_server kernel ~name ?(workers = 3)
+let start_server kernel ~name ?(workers = 3)
     ?(query_cost = Time.seconds 2) ~corpus () =
   if workers <= 0 then invalid_arg "Db.start_server: workers <= 0";
   let srv_port = Kernel.create_port kernel ~name:(name ^ ":port") in
@@ -37,7 +37,7 @@ type client = {
   mutable last_result : int option;
 }
 
-let[@warning "-16"] spawn_client kernel server ~name ~query ?max_queries
+let spawn_client kernel server ~name ~query ?max_queries
     ?(start_at = 0) () =
   let responses = Series.create () in
   let cell = ref None in

@@ -14,7 +14,7 @@ type t = {
 
 let max_ticket = 1_000_000_000
 
-let[@warning "-16"] spawn kernel ls ~name ~rng ~from ?(trial_cost = Time.us 50)
+let spawn kernel ls ~name ~rng ~from ?(trial_cost = Time.us 50)
     ?(batch = 2000) ?(scale = 1e10) ?(exponent = 2.) ?(window = Time.seconds 8)
     ?(start_at = 0) () =
   if exponent <= 0. then invalid_arg "Monte_carlo.spawn: exponent <= 0";

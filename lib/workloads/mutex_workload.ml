@@ -7,7 +7,7 @@ type t = {
   mutable acquisitions : int;
 }
 
-let[@warning "-16"] spawn_contender kernel ~mutex ~name ?(hold = Time.ms 50)
+let spawn_contender kernel ~mutex ~name ?(hold = Time.ms 50)
     ?(work = Time.ms 50) () =
   let waits = Series.create () in
   let cell = ref None in

@@ -8,7 +8,7 @@ type t = {
   window : int;
 }
 
-let[@warning "-16"] spawn kernel ~name ?(cost = Time.ms 1) ?(window = Time.seconds 1)
+let spawn kernel ~name ?(cost = Time.ms 1) ?(window = Time.seconds 1)
     ?(start_at = 0) () =
   if cost <= 0 then invalid_arg "Spinner.spawn: cost <= 0";
   let counter = Counter.create ~width:window in

@@ -8,7 +8,7 @@ type t = {
   window : int;
 }
 
-let[@warning "-16"] spawn_viewer kernel ~name ?(frame_cost = Time.ms 200)
+let spawn_viewer kernel ~name ?(frame_cost = Time.ms 200)
     ?(window = Time.seconds 1) () =
   if frame_cost <= 0 then invalid_arg "Video.spawn_viewer: frame_cost <= 0";
   let counter = Counter.create ~width:window in

@@ -1,0 +1,200 @@
+(* Domain-pool unit tests, byte-for-byte determinism of parallel experiment
+   replication, and a stress run of many concurrent simulator instances.
+
+   The determinism contract under test (see lib/parallel/pool.mli): results
+   are merged by task index and every task carries its own seed, so
+   [map_tasks ~jobs:n] must produce output byte-identical to [~jobs:1] for
+   any [n] — including the rendered tables and CSV exports of the sweep
+   experiments. *)
+
+open Core
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* --- pool units -------------------------------------------------------- *)
+
+let test_map_tasks_ordering () =
+  let input = Array.init 100 Fun.id in
+  let expected = Array.map (fun x -> x * x) input in
+  let got = Pool.map_tasks ~jobs:4 (fun x -> x * x) input in
+  Alcotest.(check (array int)) "index-merged squares" expected got
+
+let test_map_tasks_empty () =
+  checki "empty in, empty out" 0
+    (Array.length (Pool.map_tasks ~jobs:4 (fun x -> x) [||]))
+
+let test_exception_lowest_index () =
+  (* two tasks fail; whichever domain finishes first, the caller must see
+     the lowest-index task's exception *)
+  let f i = if i = 3 || i = 7 then failwith (Printf.sprintf "boom-%d" i) else i in
+  Alcotest.check_raises "lowest failing index wins" (Failure "boom-3")
+    (fun () -> ignore (Pool.map_tasks ~jobs:4 f (Array.init 10 Fun.id)))
+
+let test_jobs_exceed_tasks () =
+  let got = Pool.map_tasks ~jobs:8 (fun x -> x + 1) [| 10; 20; 30 |] in
+  Alcotest.(check (array int)) "more jobs than tasks" [| 11; 21; 31 |] got
+
+let test_jobs_one_stays_in_caller () =
+  let caller = (Domain.self () :> int) in
+  let domains =
+    Pool.map_tasks ~jobs:1 (fun _ -> (Domain.self () :> int)) (Array.init 8 Fun.id)
+  in
+  Array.iter (fun d -> checki "jobs:1 runs in the calling domain" caller d) domains
+
+let test_pool_reuse () =
+  let pool = Pool.create ~jobs:3 in
+  checki "pool size" 3 (Pool.jobs pool);
+  let a = Pool.map pool (fun x -> x * 2) (Array.init 50 Fun.id) in
+  Alcotest.(check (array int)) "first map" (Array.init 50 (fun i -> 2 * i)) a;
+  let b = Pool.map pool string_of_int [| 1; 2; 3 |] in
+  Alcotest.(check (array string)) "second map, new type" [| "1"; "2"; "3" |] b;
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+(* --- byte-identical experiment output across jobs ----------------------- *)
+
+(* capture everything [f] prints on stdout, byte for byte *)
+let capture_stdout f =
+  let tmp = Filename.temp_file "lotto_par" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close fd)
+    f;
+  let ic = open_in_bin tmp in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+let test_fig4_byte_identical () =
+  let run jobs =
+    Lotto_exp.Fig4.run ~seed:41 ~duration:(Time.seconds 30) ~runs_per_ratio:2
+      ~max_ratio:5 ~jobs ()
+  in
+  let seq = run 1 and par = run 4 in
+  checks "fig4 stdout identical at jobs 4"
+    (capture_stdout (fun () -> Lotto_exp.Fig4.print seq))
+    (capture_stdout (fun () -> Lotto_exp.Fig4.print par));
+  checks "fig4 csv identical at jobs 4" (Lotto_exp.Fig4.to_csv seq)
+    (Lotto_exp.Fig4.to_csv par)
+
+let test_ablation_mc_byte_identical () =
+  let run jobs = Lotto_exp.Ablation_mc.run ~seed:66 ~duration:(Time.seconds 60) ~jobs () in
+  let seq = run 1 and par = run 4 in
+  checks "ablation_mc stdout identical at jobs 4"
+    (capture_stdout (fun () -> Lotto_exp.Ablation_mc.print seq))
+    (capture_stdout (fun () -> Lotto_exp.Ablation_mc.print par));
+  checks "ablation_mc csv identical at jobs 4" (Lotto_exp.Ablation_mc.to_csv seq)
+    (Lotto_exp.Ablation_mc.to_csv par)
+
+(* --- stress: many tiny concurrent simulator instances ------------------- *)
+
+(* one self-contained kernel: three spinners funded 3:2:1, metrics registry
+   attached, chi-square fairness computed. If any module-level mutable state
+   hid in the simulator stack, 64 of these racing on 8 domains would
+   corrupt each other and diverge from the sequential run. *)
+let tiny_kernel seed =
+  let rng = Rng.create ~seed () in
+  let ls = Lottery_sched.create ~rng () in
+  let k = Kernel.create ~quantum:(Time.ms 100) ~sched:(Lottery_sched.sched ls) () in
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.attach m (Kernel.bus k);
+  let spin name amount =
+    let th =
+      Kernel.spawn k ~name (fun () ->
+          while true do
+            Api.compute (Time.ms 10)
+          done)
+    in
+    ignore
+      (Lottery_sched.fund_thread ls th ~amount
+         ~from:(Lottery_sched.base_currency ls));
+    th
+  in
+  let a = spin "a" 300 and b = spin "b" 200 and c = spin "c" 100 in
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  let entitled =
+    List.map
+      (fun th -> (Kernel.thread_id th, Lottery_sched.thread_entitlement ls th))
+      [ a; b; c ]
+  in
+  let shares, p = Obs.Metrics.fairness m ~entitled in
+  let rendered =
+    List.map
+      (fun (s : Obs.Metrics.share) ->
+        Printf.sprintf "%d:%s:%d:%.9f:%.9f" s.s_tid s.s_name s.s_quanta
+          s.observed s.entitled)
+      shares
+  in
+  let cpus = List.map Kernel.cpu_time [ a; b; c ] in
+  (rendered, Option.map (Printf.sprintf "%.9f") p, cpus)
+
+let test_stress_concurrent_kernels () =
+  let seeds = Array.init 64 Fun.id in
+  let seq = Pool.map_tasks ~jobs:1 tiny_kernel seeds in
+  let par = Pool.map_tasks ~jobs:8 tiny_kernel seeds in
+  checki "64 results" 64 (Array.length par);
+  Array.iteri
+    (fun i (rendered, p, cpus) ->
+      checkb
+        (Printf.sprintf "kernel %d identical under 8 domains" i)
+        true
+        ((rendered, p, cpus) = par.(i)))
+    seq;
+  (* sanity: the fairness gauge actually fired on every instance *)
+  Array.iter
+    (fun (_, p, _) -> checkb "p-value present" true (p <> None))
+    seq
+
+(* --- recursive csv directory creation ----------------------------------- *)
+
+let test_mkdir_p () =
+  let base = Filename.temp_file "lotto_mkdir" "" in
+  Sys.remove base;
+  let deep = List.fold_left Filename.concat base [ "a"; "b"; "c" ] in
+  Lotto_exp.Common.mkdir_p deep;
+  checkb "nested path created" true (Sys.is_directory deep);
+  Lotto_exp.Common.mkdir_p deep;
+  checkb "idempotent on existing path" true (Sys.is_directory deep);
+  Lotto_exp.Common.mkdir_p ".";
+  checkb "current dir is a no-op" true (Sys.is_directory ".")
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "index-merged ordering" `Quick
+            test_map_tasks_ordering;
+          Alcotest.test_case "empty task array" `Quick test_map_tasks_empty;
+          Alcotest.test_case "deterministic exception choice" `Quick
+            test_exception_lowest_index;
+          Alcotest.test_case "jobs exceed tasks" `Quick test_jobs_exceed_tasks;
+          Alcotest.test_case "jobs:1 sequential in caller" `Quick
+            test_jobs_one_stays_in_caller;
+          Alcotest.test_case "pool reuse and shutdown" `Quick test_pool_reuse;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig4 byte-identical across jobs" `Slow
+            test_fig4_byte_identical;
+          Alcotest.test_case "ablation_mc byte-identical across jobs" `Slow
+            test_ablation_mc_byte_identical;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "64 concurrent kernels with fairness gauge" `Slow
+            test_stress_concurrent_kernels;
+        ] );
+      ( "csv",
+        [ Alcotest.test_case "recursive --csv dir creation" `Quick test_mkdir_p ] );
+    ]
