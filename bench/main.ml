@@ -163,6 +163,46 @@ let kernel_obs_test name attach =
 
 let obs_none_test () = kernel_obs_test "obs-none" (fun _ -> ())
 
+(* pre-select hook tax: the same lottery-list kernel quantum with no hook
+   installed (the common case — one option match per slice), with a no-op
+   hook, and with a zero-probability chaos injector attached (§ chaos
+   acceptance: an absent hook must cost nothing measurable) *)
+let kernel_hook_test name install =
+  let rng = Core.Rng.create ~seed:2 () in
+  let ls = Core.Lottery_sched.create ~rng () in
+  let k = Core.Kernel.create ~sched:(Core.Lottery_sched.sched ls) () in
+  for i = 1 to 8 do
+    let th =
+      Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+          while true do
+            Core.Api.compute (Core.Time.ms 100)
+          done)
+    in
+    ignore
+      (Core.Lottery_sched.fund_thread ls th ~amount:(100 * i)
+         ~from:(Core.Lottery_sched.base_currency ls))
+  done;
+  install k;
+  Test.make
+    ~name:(Printf.sprintf "kernel-quantum/%s" name)
+    (Staged.stage (fun () ->
+         ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
+
+let hook_absent_test () = kernel_hook_test "hook-absent" (fun _ -> ())
+
+let hook_noop_test () =
+  kernel_hook_test "hook-noop" (fun k ->
+      Core.Kernel.set_pre_select k (Some (fun () -> ())))
+
+let hook_injector_test () =
+  kernel_hook_test "hook-injector-idle" (fun k ->
+      let inj =
+        Core.Chaos.Injector.create ~plan:Core.Chaos.Plan.none
+          ~rng:(Core.Rng.create ~seed:9 ())
+          ~kernel:k ()
+      in
+      Core.Kernel.set_pre_select k (Some (fun () -> Core.Chaos.Injector.step inj)))
+
 let obs_recorder_test () =
   kernel_obs_test "obs-recorder" (fun bus ->
       Core.Obs.Recorder.attach (Core.Obs.Recorder.create ~capacity:(1 lsl 16) ()) bus)
@@ -355,6 +395,9 @@ let tests () =
         obs_none_test ();
         obs_recorder_test ();
         obs_metrics_test ();
+        hook_absent_test ();
+        hook_noop_test ();
+        hook_injector_test ();
         valuation_chain_test 2;
         valuation_chain_test 16;
         valuation_wide_test 100;

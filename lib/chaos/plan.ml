@@ -1,0 +1,57 @@
+open Lotto_sim
+
+type t = {
+  kill_prob : float;
+  perturb_prob : float;
+  sleep_prob : float;
+  yield_prob : float;
+  max_kills : int;
+  max_sleep : Time.t;
+}
+
+let default =
+  {
+    kill_prob = 0.02;
+    perturb_prob = 0.10;
+    sleep_prob = 0.05;
+    yield_prob = 0.05;
+    max_kills = 3;
+    max_sleep = Time.ms 50;
+  }
+
+let none =
+  {
+    kill_prob = 0.;
+    perturb_prob = 0.;
+    sleep_prob = 0.;
+    yield_prob = 0.;
+    max_kills = 0;
+    max_sleep = 0;
+  }
+
+let aggressive =
+  {
+    kill_prob = 0.15;
+    perturb_prob = 0.25;
+    sleep_prob = 0.15;
+    yield_prob = 0.10;
+    max_kills = 8;
+    max_sleep = Time.ms 200;
+  }
+
+let check_prob what p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Plan: %s = %g not in [0,1]" what p)
+
+let validate t =
+  check_prob "kill_prob" t.kill_prob;
+  check_prob "perturb_prob" t.perturb_prob;
+  check_prob "sleep_prob" t.sleep_prob;
+  check_prob "yield_prob" t.yield_prob;
+  if t.max_kills < 0 then invalid_arg "Plan: max_kills < 0";
+  if t.max_sleep < 0 then invalid_arg "Plan: max_sleep < 0"
+
+let to_string t =
+  Printf.sprintf
+    "kill=%.3g perturb=%.3g sleep=%.3g yield=%.3g max_kills=%d max_sleep=%d"
+    t.kill_prob t.perturb_prob t.sleep_prob t.yield_prob t.max_kills t.max_sleep

@@ -1,0 +1,104 @@
+open Lotto_sim
+module LS = Lotto_sched.Lottery_sched
+module Rng = Lotto_prng.Rng
+
+type outcome = {
+  scenario : string;
+  seed : int;
+  violations : (Time.t * string) list;
+  thread_failures : (string * string) list;
+  faults : (Time.t * string) list;
+  summary : Types.run_summary;
+}
+
+let failed o = o.violations <> [] || o.thread_failures <> []
+
+let run_one ?(plan = Plan.default) ?(audit = true) (sc : Scenarios.t) ~seed =
+  let rng = Rng.create ~seed () in
+  (* the injector gets its own stream derived from the run seed, so fault
+     decisions and lottery draws never perturb each other's sequences *)
+  let inj_rng = Rng.split rng in
+  let ls = LS.create ~rng () in
+  let kernel = Kernel.create ~sched:(LS.sched ls) () in
+  let inj = Injector.create ~plan ~rng:inj_rng ~kernel () in
+  sc.Scenarios.build
+    { Scenarios.kernel; ls; point = (fun () -> Injector.point inj) };
+  let violations = ref [] in
+  let audit_now () =
+    (* first finding wins: one corrupted slice cascades, so later batches
+       add noise, not information *)
+    if audit && !violations = [] then
+      match Audit.check ~sched:ls kernel with
+      | [] -> ()
+      | vs -> violations := List.map (fun v -> (Kernel.now kernel, v)) vs
+  in
+  Kernel.set_pre_select kernel
+    (Some
+       (fun () ->
+         Injector.step inj;
+         audit_now ()));
+  let summary = Kernel.run kernel ~until:sc.Scenarios.horizon in
+  audit_now ();
+  let thread_failures =
+    Kernel.failures kernel
+    |> List.filter_map (fun (th, e) ->
+           match e with
+           | Types.Killed -> None (* expected consequence of a kill fault *)
+           | e -> Some (Kernel.thread_name th, Printexc.to_string e))
+  in
+  {
+    scenario = sc.Scenarios.name;
+    seed;
+    violations = !violations;
+    thread_failures;
+    faults = Injector.faults inj;
+    summary;
+  }
+
+type report = { runs : int; failures : outcome list }
+
+let first_failure r =
+  match r.failures with [] -> None | o :: _ -> Some (o.scenario, o.seed)
+
+let seed_range ~from ~count = List.init count (fun i -> from + i)
+
+let soak ?plan ?audit ?(scenarios = Scenarios.all) ~seeds () =
+  let runs = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun seed ->
+          incr runs;
+          let o = run_one ?plan ?audit sc ~seed in
+          if failed o then failures := o :: !failures)
+        seeds)
+    scenarios;
+  { runs = !runs; failures = List.rev !failures }
+
+let pp_outcome buf o =
+  Buffer.add_string buf
+    (Printf.sprintf "FAIL scenario=%s seed=%d  (repro: chaos replay %s %d)\n"
+       o.scenario o.seed o.scenario o.seed);
+  List.iter
+    (fun (t, v) -> Buffer.add_string buf (Printf.sprintf "  [%d] violation: %s\n" t v))
+    o.violations;
+  List.iter
+    (fun (name, e) ->
+      Buffer.add_string buf (Printf.sprintf "  thread %s failed: %s\n" name e))
+    o.thread_failures;
+  List.iter
+    (fun (t, f) -> Buffer.add_string buf (Printf.sprintf "  [%d] fault: %s\n" t f))
+    o.faults
+
+let report_to_string r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "soak: %d runs, %d failed\n" r.runs (List.length r.failures));
+  (match first_failure r with
+  | None -> ()
+  | Some (sc, seed) ->
+      Buffer.add_string buf
+        (Printf.sprintf "first failing pair: (%s, %d)\n" sc seed));
+  List.iter (fun o -> pp_outcome buf o) r.failures;
+  Buffer.contents buf

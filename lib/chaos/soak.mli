@@ -1,0 +1,47 @@
+(** The soak driver: sweep seeds over scenarios with fault injection and
+    per-slice invariant auditing, and report minimal reproducers.
+
+    Each run builds a fresh lottery-scheduled kernel from the seed, wires
+    an {!Injector} into the kernel's pre-select hook, and (by default)
+    runs the combined {!Audit} at {e every} scheduling boundary plus once
+    after the run. A run fails when any invariant is violated or any
+    thread dies with an exception other than {!Lotto_sim.Types.Killed};
+    deadlocks are tolerated (stranding peers is a legitimate consequence
+    of a kill). Runs are deterministic: re-invoking {!run_one} with the
+    same [(plan, scenario, seed)] reproduces the identical outcome. *)
+
+type outcome = {
+  scenario : string;
+  seed : int;
+  violations : (Lotto_sim.Time.t * string) list;
+      (** first non-empty audit batch (auditing stops once corrupt) *)
+  thread_failures : (string * string) list;  (** name, exn; [Killed] excluded *)
+  faults : (Lotto_sim.Time.t * string) list;  (** the injector's fault log *)
+  summary : Lotto_sim.Types.run_summary;
+}
+
+val failed : outcome -> bool
+
+val run_one : ?plan:Plan.t -> ?audit:bool -> Scenarios.t -> seed:int -> outcome
+(** One seeded chaos run. [audit] (default [true]) runs the invariant
+    audit at every scheduling boundary. *)
+
+type report = { runs : int; failures : outcome list }
+
+val first_failure : report -> (string * int) option
+(** The minimal reproducing [(scenario, seed)] pair, if anything failed. *)
+
+val seed_range : from:int -> count:int -> int list
+
+val soak :
+  ?plan:Plan.t ->
+  ?audit:bool ->
+  ?scenarios:Scenarios.t list ->
+  seeds:int list ->
+  unit ->
+  report
+(** Sweep [seeds] over [scenarios] (default {!Scenarios.all}). *)
+
+val report_to_string : report -> string
+(** Human-readable report; failing runs print their repro pair, the
+    violations/failures found and the injected-fault log. *)

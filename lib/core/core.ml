@@ -69,6 +69,9 @@ module Obs = Lotto_obs
 (* Deterministic domain-parallel replication runner *)
 module Pool = Lotto_par.Pool
 
+(* Fault injection and invariant auditing *)
+module Chaos = Lotto_chaos
+
 (* Schedulers *)
 module Lottery_sched = Lotto_sched.Lottery_sched
 module Round_robin = Lotto_sched.Round_robin

@@ -21,8 +21,13 @@ type t =
       contenders : int;
       total_weight : float;
     }
+  | Rpc_reply_dropped of { who : actor; client : actor; msg_id : int; reason : string }
+  | Fault_injected of { who : actor; fault : string }
+  | Invariant_violation of { who : actor; what : string }
 
 let actor_of ~tid ~tname = { tid; tname }
+
+let kernel_actor = { tid = -1; tname = "kernel" }
 
 let who = function
   | Select { who }
@@ -36,7 +41,10 @@ let who = function
   | Lock_release { who; _ }
   | Rpc_send { who; _ }
   | Rpc_reply { who; _ }
-  | Resource_draw { who; _ } -> who
+  | Resource_draw { who; _ }
+  | Rpc_reply_dropped { who; _ }
+  | Fault_injected { who; _ }
+  | Invariant_violation { who; _ } -> who
   | Donate { src; _ } -> src
 
 let tag = function
@@ -53,6 +61,9 @@ let tag = function
   | Rpc_send _ -> "rpc-send"
   | Rpc_reply _ -> "rpc-reply"
   | Resource_draw _ -> "resource-draw"
+  | Rpc_reply_dropped _ -> "rpc-reply-dropped"
+  | Fault_injected _ -> "fault-injected"
+  | Invariant_violation _ -> "invariant-violation"
 
 let slice_end_tag = function
   | End_quantum -> "quantum"
@@ -79,6 +90,10 @@ let detail = function
   | Resource_draw { resource; contenders; total_weight; _ } ->
       Printf.sprintf "%s (%d contenders, total %.6g)" resource contenders
         total_weight
+  | Rpc_reply_dropped { client; msg_id; reason; _ } ->
+      Printf.sprintf "-> %s #%d (%s)" client.tname msg_id reason
+  | Fault_injected { fault; _ } -> fault
+  | Invariant_violation { what; _ } -> what
 
 (* The five legacy lines must stay byte-identical to the pre-bus string
    tracer: determinism tests diff them across runs, and downstream tools

@@ -50,8 +50,25 @@ type t =
     }
       (** a resource manager held a lottery over its backlogged clients
           (§6, "Managing Diverse Resources") and [who] won *)
+  | Rpc_reply_dropped of { who : actor; client : actor; msg_id : int; reason : string }
+      (** server [who] replied to [client], but the client had exited or
+          been killed (or otherwise abandoned the request): the reply was
+          discarded instead of being delivered — the traced no-op that
+          replaces the historical [Invalid_argument] in the server *)
+  | Fault_injected of { who : actor; fault : string }
+      (** a {!Lotto_chaos} injector perturbed the run at a scheduling
+          boundary; [who] is the affected thread (or {!kernel_actor} for
+          structure-level perturbations) and [fault] a stable description
+          such as ["kill"] or ["perturb-waiters mutex m"] *)
+  | Invariant_violation of { who : actor; what : string }
+      (** a kernel or funding audit found an inconsistency; [who] is the
+          implicated thread when there is one, else {!kernel_actor} *)
 
 val actor_of : tid:int -> tname:string -> actor
+
+val kernel_actor : actor
+(** Pseudo-actor ([tid = -1], name ["kernel"]) carried by events that
+    concern kernel-wide structures rather than one thread. *)
 
 val who : t -> actor
 (** The primary thread an event concerns (the [src] for [Donate], the

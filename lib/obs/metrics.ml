@@ -117,6 +117,9 @@ let on_event t time ev =
       r.rpcs <- r.rpcs + 1
   | Event.Rpc_reply _ -> ()
   | Event.Resource_draw _ -> ()
+  | Event.Rpc_reply_dropped _ -> ()
+  | Event.Fault_injected _ -> ()
+  | Event.Invariant_violation _ -> ()
 
 let attach t bus =
   if t.sub <> None then invalid_arg "Metrics.attach: already attached";

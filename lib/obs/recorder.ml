@@ -158,7 +158,17 @@ let to_chrome_json ?(pid = 1) t =
             (args
                [ ("winner", str who.Event.tname);
                  ("contenders", string_of_int contenders);
-                 ("total", Printf.sprintf "%.6g" total_weight) ]))
+                 ("total", Printf.sprintf "%.6g" total_weight) ])
+      | Event.Rpc_reply_dropped { who; client; msg_id; reason } ->
+          instant ~name:"reply-dropped" ~ts ~tid:who.Event.tid
+            (args
+               [ ("to", str client.Event.tname); ("msg", string_of_int msg_id);
+                 ("reason", str reason) ])
+      | Event.Fault_injected { who; fault } ->
+          instant ~name:"fault" ~ts ~tid:who.Event.tid (args [ ("fault", str fault) ])
+      | Event.Invariant_violation { who; what } ->
+          instant ~name:"invariant-violation" ~ts ~tid:who.Event.tid
+            (args [ ("what", str what) ]))
     evs;
   (* close slices left open at capture end so the JSON is well-balanced *)
   Hashtbl.iter

@@ -347,6 +347,37 @@ let sched t =
 
 let set_draw_hook t hook = t.draw_hook <- hook
 
+(* --- auditable introspection -------------------------------------------- *)
+
+(* Read-only: must go through [Hashtbl.find_opt], never [state], which
+   would resurrect a currency for a detached (dead) thread. *)
+let donation_targets t th =
+  match Hashtbl.find_opt t.states th.id with
+  | None -> []
+  | Some s -> List.map fst s.donations
+
+let check_funding_coherence t threads =
+  let out = ref [] in
+  let vf fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  List.iter
+    (fun th ->
+      let sched_side = List.sort compare (donation_targets t th) in
+      let kernel_side =
+        List.sort compare (List.map (fun (d : thread) -> d.id) th.donating_to)
+      in
+      if sched_side <> kernel_side then
+        vf "%s: kernel donating_to [%s] but scheduler holds transfers to [%s]"
+          th.name
+          (String.concat ";" (List.map string_of_int kernel_side))
+          (String.concat ";" (List.map string_of_int sched_side));
+      if th.state = Zombie && Hashtbl.mem t.states th.id then
+        vf "%s: dead thread still has scheduler funding state" th.name)
+    threads;
+  (match F.check_invariants t.system with
+  | () -> ()
+  | exception Failure msg -> vf "funding graph: %s" msg);
+  List.rev !out
+
 let thread_entitlement t th =
   let v = F.Valuation.make t.system in
   potential_value v (state t th)

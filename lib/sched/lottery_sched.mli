@@ -105,6 +105,22 @@ val set_draw_hook : t -> (runnable:int -> total_weight:float -> unit) option -> 
     active weight. Used to instrument draw cost and contention; [None]
     removes it. *)
 
+val donation_targets : t -> Lotto_sim.Types.thread -> int list
+(** Thread ids currently receiving a transfer ticket from [th], one entry
+    per live donation (a divided transfer lists each target once per
+    share). Read-only: does not create funding state for unknown or dead
+    threads, so it is safe to call on zombies. *)
+
+val check_funding_coherence : t -> Lotto_sim.Types.thread list -> string list
+(** Audit the scheduler's funding view against the kernel's: each thread's
+    {!Lotto_sim.Types.thread.donating_to} list must match the transfer
+    tickets this scheduler holds for it (as multisets of target ids), dead
+    threads must hold no scheduler state, and the underlying funding graph
+    must pass {!Lotto_tickets.Funding.check_invariants}. Returns one
+    string per violation; empty means coherent. Runs read-only between
+    slices; composed with {!Lotto_sim.Kernel.check_invariants} by the
+    {!Lotto_chaos} auditor. *)
+
 val draws : t -> int
 (** Lotteries held so far. *)
 

@@ -20,7 +20,24 @@ let with_lock m f =
       unlock m;
       raise e
 
-let wait cond mutex = Effect.perform (Effects.Wait (cond, mutex))
+(* POSIX condition-wait cancellation semantics: when [Killed] lands in a
+   thread blocked in [wait], the mutex is reacquired before the exception
+   propagates, so callers' cleanup ([with_lock]'s unlock) finds the mutex
+   held exactly as the [wait] contract promises. The kernel may already
+   have granted the mutex back (kill in the reacquire window after a
+   signal), in which case there is nothing to do; and a second kill landing
+   during the reacquisition itself just restarts it. *)
+let wait cond mutex =
+  try Effect.perform (Effects.Wait (cond, mutex))
+  with Types.Killed ->
+    let rec reacquire () =
+      let me = Effect.perform Effects.Self in
+      match mutex.Types.owner with
+      | Some o when o == me -> ()
+      | _ -> ( try lock mutex with Types.Killed -> reacquire ())
+    in
+    reacquire ();
+    raise Types.Killed
 let signal cond = Effect.perform (Effects.Signal cond)
 let broadcast cond = Effect.perform (Effects.Broadcast cond)
 let sem_wait sm = Effect.perform (Effects.Sem_wait sm)

@@ -36,7 +36,14 @@ val poll_receive : Types.port -> Types.message option
     sender's ticket transfer to the caller. *)
 
 val reply : Types.message -> string -> unit
-(** Wake the message's sender with the result. Instantaneous. *)
+(** Wake the message's sender with the result. Instantaneous.
+
+    Replying to a sender that has exited, been killed, or caught
+    {!Types.Killed} and moved on is a traced no-op: the reply is dropped
+    and an [Rpc_reply_dropped] event published, so a server can never be
+    faulted by its client dying mid-request. Only a genuine duplicate — a
+    second reply to a request already answered (including a scatter slot
+    already filled) — raises [Invalid_argument] in the replying thread. *)
 
 val lock : Types.mutex -> unit
 (** Acquire, blocking if held. While blocked, the waiter funds the current

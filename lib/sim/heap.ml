@@ -62,3 +62,9 @@ let pop_min t =
 
 let size t = t.size
 let is_empty t = t.size = 0
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    let c = get t i in
+    f ~key:c.key c.v
+  done

@@ -9,3 +9,8 @@ val peek_min : 'a t -> (int * 'a) option
 val pop_min : 'a t -> (int * 'a) option
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
+val iter : 'a t -> (key:int -> 'a -> unit) -> unit
+(** Visit every entry in unspecified (heap-internal) order. Used by
+    auditors that need to inspect the pending-timer population without
+    disturbing it. *)

@@ -13,6 +13,16 @@ type t = {
   bus : Obs.Bus.t;
   mutable tracer_sub : Obs.Bus.subscription option; (* legacy set_tracer shim *)
   mutable current : thread option; (* thread being advanced, if any *)
+  (* registries of every synchronization object created through this
+     kernel, in reverse creation order: the invariant auditor cross-checks
+     wait-queue membership against thread [pending] states, and fault
+     injectors perturb wakeup order through them *)
+  mutable port_list : port list;
+  mutable mutex_list : mutex list;
+  mutable cond_list : condition list;
+  mutable sem_list : semaphore list;
+  mutable pre_select : (unit -> unit) option;
+      (* fired at every scheduling-decision boundary, just before select *)
 }
 
 (* Event publication: every site guards with [observed] so that with no
@@ -36,6 +46,11 @@ let create ?(quantum = Time.ms 100) ~sched () =
     bus = Obs.Bus.create ();
     tracer_sub = None;
     current = None;
+    port_list = [];
+    mutex_list = [];
+    cond_list = [];
+    sem_list = [];
+    pre_select = None;
   }
 
 let now k = k.now
@@ -68,17 +83,38 @@ let spawn k ~name body =
   th
 
 let create_port k ~name =
-  { port_id = fresh_id k; port_name = name; queue = Queue.create (); waiters = Queue.create () }
+  let p =
+    { port_id = fresh_id k; port_name = name; queue = Queue.create (); waiters = Queue.create () }
+  in
+  k.port_list <- p :: k.port_list;
+  p
 
 let create_mutex k ?(policy = Fifo) name =
-  { mutex_id = fresh_id k; mutex_name = name; policy; owner = None; lock_waiters = []; acquisitions = 0 }
+  let m =
+    { mutex_id = fresh_id k; mutex_name = name; policy; owner = None; lock_waiters = []; acquisitions = 0 }
+  in
+  k.mutex_list <- m :: k.mutex_list;
+  m
 
 let create_condition k ?(policy = Fifo) name =
-  { cond_id = fresh_id k; cond_name = name; cond_policy = policy; cond_waiters = []; signals = 0 }
+  let c =
+    { cond_id = fresh_id k; cond_name = name; cond_policy = policy; cond_waiters = []; signals = 0 }
+  in
+  k.cond_list <- c :: k.cond_list;
+  c
 
 let create_semaphore k ?(policy = Fifo) ~initial name =
   if initial < 0 then invalid_arg "Kernel.create_semaphore: negative initial count";
-  { sem_id = fresh_id k; sem_name = name; sem_policy = policy; count = initial; sem_waiters = [] }
+  let sm =
+    { sem_id = fresh_id k; sem_name = name; sem_policy = policy; count = initial; sem_waiters = [] }
+  in
+  k.sem_list <- sm :: k.sem_list;
+  sm
+
+let ports k = List.rev k.port_list
+let mutexes k = List.rev k.mutex_list
+let conditions k = List.rev k.cond_list
+let semaphores k = List.rev k.sem_list
 
 (* --- state transitions ------------------------------------------------ *)
 
@@ -120,12 +156,62 @@ let revoke_from k ~src ~dst =
     k.sched.revoke_from ~src ~dst
   end
 
+let grant_mutex k m th ~contended =
+  m.owner <- Some th;
+  m.acquisitions <- m.acquisitions + 1;
+  if observed k then
+    emit k
+      (Obs.Event.Lock_acquire { who = actor th; mutex = m.mutex_name; contended })
+
+(* Hand a released mutex to its next waiter (by wake policy), moving the
+   remaining waiters' funding to the new owner. [who] is the releasing
+   thread: the unlocker on the normal path, the dead owner on the robust
+   path ({!finish}). *)
+let release_mutex k who m =
+  m.owner <- None;
+  if observed k then
+    emit k (Obs.Event.Lock_release { who = actor who; mutex = m.mutex_name });
+  match m.lock_waiters with
+  | [] -> ()
+  | waiters ->
+      let next =
+        match m.policy with
+        | Fifo -> List.hd waiters
+        | Lottery_wake -> (
+            match k.sched.pick_waiter waiters with
+            | Some w -> w
+            | None -> List.hd waiters)
+      in
+      m.lock_waiters <- List.filter (fun w -> w.id <> next.id) waiters;
+      grant_mutex k m next ~contended:true;
+      (match next.pending with
+      | Waiting_lock { k = kn; _ } -> next.pending <- Ready_unit kn
+      | _ -> assert false);
+      revoke k next;
+      unblock k next;
+      (* Remaining waiters now fund the new owner (the paper's mutex
+         currency moves its inheritance ticket to the winner). *)
+      List.iter
+        (fun w ->
+          revoke k w;
+          donate k ~src:w ~dst:next)
+        m.lock_waiters
+
 let finish k th exn_opt =
   th.pending <- Exited;
   th.state <- Zombie;
   th.exited_at <- Some k.now;
   th.failure <- exn_opt;
   revoke k th;
+  (* Robust-mutex handoff: a thread that dies holding a mutex — killed in
+     the grant window before its [lock] ever returned, or exiting without
+     running cleanup — must not orphan it. Release and hand off exactly as
+     an unlock would, so the waiters neither deadlock on a zombie owner
+     nor keep funding it. *)
+  List.iter
+    (fun m ->
+      match m.owner with Some o when o == th -> release_mutex k th m | _ -> ())
+    k.mutex_list;
   (* wake joiners before detaching: their transfer tickets still reference
      the dying thread's funding state *)
   List.iter
@@ -138,6 +224,16 @@ let finish k th exn_opt =
       | _ -> ())
     th.joiners;
   th.joiners <- [];
+  (* Threads still donating *to* the dying thread (e.g. blocked RPC clients
+     whose server dies): the scheduler's detach below destroys the transfer
+     tickets, so scrub the kernel-side donation lists too — the two views
+     must stay coherent for the invariant audit, and a later revoke_from
+     for a dead target must be a no-op on both sides. *)
+  List.iter
+    (fun other ->
+      if other != th && other.donating_to <> [] then
+        other.donating_to <- List.filter (fun d -> d.id <> th.id) other.donating_to)
+    k.thread_list;
   k.sched.detach th;
   if observed k then
     emit k
@@ -148,12 +244,26 @@ let finish k th exn_opt =
 
 let do_reply k msg result =
   let client = msg.sender in
+  let server_actor () =
+    match k.current with Some s -> actor s | None -> actor client
+  in
   let emit_reply () =
     if observed k then
-      let server = match k.current with Some s -> actor s | None -> actor client in
       emit k
         (Obs.Event.Rpc_reply
-           { who = server; client = actor client; msg_id = msg.msg_id })
+           { who = server_actor (); client = actor client; msg_id = msg.msg_id })
+  in
+  (* Replying to a client that exited, was killed, or caught [Killed] and
+     abandoned the request must not fault the server: the reply is dropped
+     as a traced no-op. Only replies the client could never have stopped
+     waiting for on its own — a second answer to an already-answered
+     request — remain programming errors that raise in the server. *)
+  let drop reason =
+    if observed k then
+      emit k
+        (Obs.Event.Rpc_reply_dropped
+           { who = server_actor (); client = actor client; msg_id = msg.msg_id;
+             reason })
   in
   match client.pending with
   | Waiting_reply { k = kc } ->
@@ -180,47 +290,18 @@ let do_reply k msg result =
         revoke k client;
         unblock k client
       end
-  | _ -> invalid_arg "Api.reply: sender is not awaiting a reply"
-
-let grant_mutex k m th ~contended =
-  m.owner <- Some th;
-  m.acquisitions <- m.acquisitions + 1;
-  if observed k then
-    emit k
-      (Obs.Event.Lock_acquire { who = actor th; mutex = m.mutex_name; contended })
+  | Ready_reply _ | Ready_replies _ ->
+      (* the request was already answered and the client merely hasn't run
+         yet: a second reply is a genuine duplicate *)
+      invalid_arg "Api.reply: sender is not awaiting a reply"
+  | Exited -> drop "client exited"
+  | _ -> drop "client no longer waiting"
 
 let do_unlock k th m =
   (match m.owner with
   | Some o when o == th -> ()
   | Some _ | None -> invalid_arg "Api.unlock: thread does not own mutex");
-  m.owner <- None;
-  if observed k then
-    emit k (Obs.Event.Lock_release { who = actor th; mutex = m.mutex_name });
-  match m.lock_waiters with
-  | [] -> ()
-  | waiters ->
-      let next =
-        match m.policy with
-        | Fifo -> List.hd waiters
-        | Lottery_wake -> (
-            match k.sched.pick_waiter waiters with
-            | Some w -> w
-            | None -> List.hd waiters)
-      in
-      m.lock_waiters <- List.filter (fun w -> w.id <> next.id) waiters;
-      grant_mutex k m next ~contended:true;
-      (match next.pending with
-      | Waiting_lock { k = kn; _ } -> next.pending <- Ready_unit kn
-      | _ -> assert false);
-      revoke k next;
-      unblock k next;
-      (* Remaining waiters now fund the new owner (the paper's mutex
-         currency moves its inheritance ticket to the winner). *)
-      List.iter
-        (fun w ->
-          revoke k w;
-          donate k ~src:w ~dst:next)
-        m.lock_waiters
+  release_mutex k th m
 
 let choose_waiter k policy waiters =
   match waiters with
@@ -527,6 +608,9 @@ and push_on k th s =
    whatever it was waiting on, and reap it. Must not target the currently
    running thread. *)
 let kill k th =
+  (match k.current with
+  | Some c when c == th -> invalid_arg "Kernel.kill: cannot kill the running thread"
+  | _ -> ());
   (match th.pending with
   | Exited -> ()
   | Not_started _ -> finish k th (Some Killed)
@@ -541,7 +625,14 @@ let kill k th =
           sem.sem_waiters <- List.filter (fun w -> w.id <> th.id) sem.sem_waiters
       | Waiting_join { target; _ } ->
           target.joiners <- List.filter (fun w -> w.id <> th.id) target.joiners
-      | _ -> () (* port waiter queues and the timer heap skip dead entries *));
+      | Waiting_recv { port; _ } ->
+          (* Queue has no removal; rebuild without the victim so no zombie
+             lingers on a port's waiter list. *)
+          let keep = Queue.create () in
+          Queue.iter (fun w -> if w.id <> th.id then Queue.push w keep) port.waiters;
+          Queue.clear port.waiters;
+          Queue.transfer keep port.waiters
+      | _ -> () (* the timer heap skips dead entries lazily *));
       if th.state = Blocked then revoke k th;
       let deliver (type a) (kc : (a, step) Effect.Deep.continuation) =
         (* the body may catch Killed and run cleanup; whatever step it
@@ -563,29 +654,52 @@ let kill k th =
       | Ready_reply (_, kc) -> deliver kc
       | Ready_replies (_, kc) -> deliver kc
       | Not_started _ | Exited -> ());
-      (* if the body caught Killed and kept going, respect that; otherwise
-         it is a zombie now. Threads that swallow Killed and block again
-         stay alive by design. *)
-      ());
+      (* If the body caught Killed and kept going, respect that: a thread
+         that blocked again (sleep, lock, ...) installed a coherent waiting
+         state via [handle_step], but one that came back runnable — e.g.
+         [wait]'s reacquire path grabbing a free mutex — was never
+         re-readied, since nothing was running it. Fix the state up here so
+         catch-and-continue threads actually get scheduled again. *)
+      (match (th.state, th.pending) with
+      | ( Blocked,
+          ( Not_started _ | Compute _ | Ready_unit _ | Ready_msg _
+          | Ready_reply _ | Ready_replies _ ) ) ->
+          unblock k th
+      | _ -> ()));
   ignore k
 
 (* --- the scheduling loop ----------------------------------------------- *)
 
+(* A timer-heap entry is live only while its thread is still sleeping
+   toward that exact deadline. Killed sleepers — and sleepers that caught
+   [Killed] and moved on — leave stale entries behind (the heap has no
+   removal); both the waker and the idle-time branch must ignore them. *)
+let timer_entry_live ~key th =
+  match th.pending with Sleeping { until; _ } -> until = key | _ -> false
+
+let prune_stale_timers k =
+  let rec go () =
+    match Heap.peek_min k.timers with
+    | Some (key, th) when not (timer_entry_live ~key th) ->
+        ignore (Heap.pop_min k.timers);
+        go ()
+    | _ -> ()
+  in
+  go ()
+
 let wake_timers k =
   let rec go () =
+    prune_stale_timers k;
     match Heap.peek_min k.timers with
     | Some (t, _) when t <= k.now -> (
         match Heap.pop_min k.timers with
-        | Some (_, th) ->
-            (match th.pending with
+        | Some (_, th) -> (
+            match th.pending with
             | Sleeping { k = kc; _ } ->
                 th.pending <- Ready_unit kc;
-                unblock k th
-            | _ ->
-                (* stale entry (thread exited while sleeping is impossible,
-                   but be defensive) *)
-                ());
-            go ()
+                unblock k th;
+                go ()
+            | _ -> go ())
         | None -> ())
     | _ -> ()
   in
@@ -670,9 +784,14 @@ let run k ~until =
   let stop = ref false in
   while (not !stop) && k.now < until do
     wake_timers k;
+    (match k.pre_select with Some f -> f () | None -> ());
     match k.sched.select () with
     | Some th -> run_slice k th ~horizon:until
     | None -> (
+        (* Idle: advance virtual time to the next *live* deadline. Stale
+           entries left by killed sleepers must not inflate idle_ticks or
+           delay termination toward a phantom wakeup. *)
+        prune_stale_timers k;
         match Heap.peek_min k.timers with
         | Some (t, _) ->
             let t = max t k.now in
@@ -693,7 +812,171 @@ let run k ~until =
 let threads k = List.rev k.thread_list
 
 let find_thread k name =
-  List.find_opt (fun th -> th.name = name) k.thread_list
+  (* thread_list is reverse creation order; keep overwriting so the final
+     accumulator is the earliest match — the first-created thread of that
+     name, matching the order [threads] reports. *)
+  List.fold_left
+    (fun acc th -> if th.name = name then Some th else acc)
+    None k.thread_list
+
+let set_pre_select k f = k.pre_select <- f
+
+(* --- invariant audit --------------------------------------------------- *)
+
+(* Cross-check every thread's [state]/[pending] pair against the wait
+   structures that claim it, and vice versa. Pure observation: no kernel
+   state is modified, so it is safe to run between any two slices (e.g.
+   from a [pre_select] hook). Violations are returned as strings and, when
+   the bus has subscribers, emitted as [Invariant_violation] events. *)
+let check_invariants k =
+  let out = ref [] in
+  let report ?th what =
+    let who =
+      match th with Some t -> actor t | None -> Obs.Event.kernel_actor
+    in
+    if observed k then emit k (Obs.Event.Invariant_violation { who; what });
+    out := what :: !out
+  in
+  let vf ?th fmt = Printf.ksprintf (fun s -> report ?th s) fmt in
+  let count_in pred lst = List.length (List.filter pred lst) in
+  let count_q pred q =
+    Queue.fold (fun acc w -> if pred w then acc + 1 else acc) 0 q
+  in
+  let is_waiting_pending = function
+    | Sleeping _ | Waiting_recv _ | Waiting_reply _ | Waiting_replies _
+    | Waiting_lock _ | Waiting_cond _ | Waiting_sem _ | Waiting_join _ -> true
+    | _ -> false
+  in
+  let heap_entries = ref [] in
+  Heap.iter k.timers (fun ~key th -> heap_entries := (key, th) :: !heap_entries);
+  List.iter
+    (fun th ->
+      (match (th.state, th.pending) with
+      | Zombie, Exited -> ()
+      | Zombie, _ -> vf ~th "%s: Zombie but pending is not Exited" th.name
+      | _, Exited -> vf ~th "%s: pending Exited but state is not Zombie" th.name
+      | Blocked, p when not (is_waiting_pending p) ->
+          vf ~th "%s: Blocked with a runnable pending state" th.name
+      | (Runnable | Running), p when is_waiting_pending p ->
+          vf ~th "%s: runnable but pending says it is waiting" th.name
+      | _ -> ());
+      (match th.pending with
+      | Sleeping { until; _ } ->
+          if
+            not
+              (List.exists
+                 (fun (key, t) -> key = until && t == th)
+                 !heap_entries)
+          then
+            vf ~th "%s: Sleeping until %d with no matching timer-heap entry"
+              th.name until
+      | Waiting_lock { mutex = m; _ } ->
+          let n = count_in (fun w -> w == th) m.lock_waiters in
+          if n <> 1 then
+            vf ~th "%s: Waiting_lock on %s but on its waiter list %d times"
+              th.name m.mutex_name n
+      | Waiting_cond { cond = c; _ } ->
+          let n = count_in (fun w -> w == th) c.cond_waiters in
+          if n <> 1 then
+            vf ~th "%s: Waiting_cond on %s but on its waiter list %d times"
+              th.name c.cond_name n
+      | Waiting_sem { sem = s; _ } ->
+          let n = count_in (fun w -> w == th) s.sem_waiters in
+          if n <> 1 then
+            vf ~th "%s: Waiting_sem on %s but on its waiter list %d times"
+              th.name s.sem_name n
+      | Waiting_recv { port = p; _ } ->
+          let n = count_q (fun w -> w == th) p.waiters in
+          if n <> 1 then
+            vf ~th "%s: Waiting_recv on %s but on its waiter queue %d times"
+              th.name p.port_name n
+      | Waiting_join { target; _ } ->
+          let n = count_in (fun w -> w == th) target.joiners in
+          if n <> 1 then
+            vf ~th "%s: Waiting_join on %s but on its joiner list %d times"
+              th.name target.name n;
+          if target.state = Zombie then
+            vf ~th "%s: Waiting_join on already-exited %s" th.name target.name
+      | Waiting_replies s ->
+          let blanks =
+            Array.fold_left
+              (fun acc r -> if r = None then acc + 1 else acc)
+              0 s.replies
+          in
+          if s.outstanding <> blanks then
+            vf ~th "%s: scatter outstanding=%d but %d unreplied slots" th.name
+              s.outstanding blanks;
+          if s.outstanding <= 0 then
+            vf ~th "%s: Waiting_replies with outstanding=%d (should be awake)"
+              th.name s.outstanding
+      | _ -> ());
+      if th.donating_to <> [] then begin
+        if th.state <> Blocked then
+          vf ~th "%s: donating while not Blocked" th.name;
+        List.iter
+          (fun d ->
+            if d.state = Zombie then
+              vf ~th "%s: donating to dead thread %s" th.name d.name)
+          th.donating_to
+      end)
+    (List.rev k.thread_list);
+  List.iter
+    (fun m ->
+      (match m.owner with
+      | Some o when o.state = Zombie ->
+          vf ~th:o "mutex %s: owned by dead thread %s" m.mutex_name o.name
+      | Some _ -> ()
+      | None ->
+          if m.lock_waiters <> [] then
+            vf "mutex %s: free but has %d waiters" m.mutex_name
+              (List.length m.lock_waiters));
+      List.iter
+        (fun w ->
+          match w.pending with
+          | Waiting_lock { mutex = m'; _ } when m' == m -> ()
+          | _ ->
+              vf ~th:w "mutex %s: waiter %s is not blocked on it" m.mutex_name
+                w.name)
+        m.lock_waiters)
+    (mutexes k);
+  List.iter
+    (fun c ->
+      List.iter
+        (fun w ->
+          match w.pending with
+          | Waiting_cond { cond = c'; _ } when c' == c -> ()
+          | _ ->
+              vf ~th:w "condition %s: waiter %s is not blocked on it"
+                c.cond_name w.name)
+        c.cond_waiters)
+    (conditions k);
+  List.iter
+    (fun s ->
+      if s.count < 0 then vf "semaphore %s: negative count %d" s.sem_name s.count;
+      if s.count > 0 && s.sem_waiters <> [] then
+        vf "semaphore %s: count %d with %d waiters" s.sem_name s.count
+          (List.length s.sem_waiters);
+      List.iter
+        (fun w ->
+          match w.pending with
+          | Waiting_sem { sem = s'; _ } when s' == s -> ()
+          | _ ->
+              vf ~th:w "semaphore %s: waiter %s is not blocked on it"
+                s.sem_name w.name)
+        s.sem_waiters)
+    (semaphores k);
+  List.iter
+    (fun p ->
+      Queue.iter
+        (fun w ->
+          match w.pending with
+          | Waiting_recv { port = p'; _ } when p' == p -> ()
+          | _ ->
+              vf ~th:w "port %s: waiter %s is not blocked in receive on it"
+                p.port_name w.name)
+        p.waiters)
+    (ports k);
+  List.rev !out
 
 let failures k =
   List.rev k.thread_list

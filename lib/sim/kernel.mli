@@ -43,12 +43,28 @@ val create_semaphore :
   t -> ?policy:Types.wake_policy -> initial:int -> string -> Types.semaphore
 (** Counting semaphore with [initial] permits. *)
 
+(** {2 Synchronization-object registries}
+
+    Every port/mutex/condition/semaphore created through this kernel, in
+    creation order. Used by the {!check_invariants} auditor to cross-check
+    wait-queue membership, and by fault injectors ({!Lotto_chaos}) to
+    perturb wakeup order. *)
+
+val ports : t -> Types.port list
+val mutexes : t -> Types.mutex list
+val conditions : t -> Types.condition list
+val semaphores : t -> Types.semaphore list
+
 val kill : t -> Types.thread -> unit
 (** Forcibly terminate a thread (failure injection): {!Types.Killed} is
     delivered into its body, so exception handlers such as
     {!Api.with_lock}'s cleanup run before it dies. A body that catches
-    [Killed] and continues survives. Only valid between [run] calls or from
-    outside the simulation — not on the currently running thread. *)
+    [Killed] and continues survives. The victim is unhooked from whatever
+    wait list held it (mutex/condition/semaphore/port queue, join lists);
+    a pending timer-heap entry is left behind and skipped lazily by the
+    timer machinery. Only valid between slices — from outside the
+    simulation or a {!set_pre_select} hook; raises [Invalid_argument] on
+    the currently running thread. *)
 
 val run : t -> until:Time.t -> Types.run_summary
 (** Run the simulation until virtual time [until], until every thread has
@@ -59,7 +75,34 @@ val threads : t -> Types.thread list
 (** In creation order. *)
 
 val find_thread : t -> string -> Types.thread option
+(** Lookup by name. Thread names are not required to be unique; when
+    several threads share [name], the {e first-created} one is returned —
+    the same thread [threads] lists first. *)
+
 val failures : t -> (Types.thread * exn) list
+
+(** {1 Fault injection and auditing} *)
+
+val set_pre_select : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook fired at every scheduling-decision boundary:
+    after timers wake, immediately before the scheduler's [select]. No
+    thread is running at that point, so the hook may inspect any kernel
+    state, call {!kill}, reorder wait lists, or run {!check_invariants}.
+    With no hook installed the cost is one branch per slice. *)
+
+val check_invariants : t -> string list
+(** Audit kernel data-structure coherence; safe to call between any two
+    slices (it mutates nothing). Returns one human-readable string per
+    violation (empty = healthy) and, when the bus has subscribers, emits an
+    [Invariant_violation] event per finding. Checked: thread
+    [state]/[pending] agreement (Zombie ⇔ [Exited], Blocked ⇔ waiting);
+    exactly-once wait-list membership for mutexes, conditions, semaphores,
+    port waiter queues and join lists — in both directions; sleeping
+    threads have a live timer-heap entry; scatter [outstanding] matches
+    unreplied slots; donation lists only target live threads and only from
+    blocked donors; mutex owners are alive and free mutexes have no
+    waiters; semaphore counts are non-negative and positive counts have no
+    waiters. *)
 
 (** {1 Observability}
 

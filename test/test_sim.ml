@@ -824,6 +824,218 @@ let test_find_thread_and_listing () =
     (List.map Kernel.thread_name (Kernel.threads k));
   ignore b
 
+let test_find_thread_duplicate_names () =
+  let k = rr_kernel () in
+  let first = Kernel.spawn k ~name:"twin" (fun () -> ()) in
+  let second = Kernel.spawn k ~name:"twin" (fun () -> ()) in
+  checkb "first-created twin wins" true
+    (match Kernel.find_thread k "twin" with
+    | Some th -> th == first && th != second
+    | None -> false)
+
+(* --- kill/reply lifecycle --------------------------------------------------- *)
+
+(* count Rpc_reply_dropped events published on the kernel's bus *)
+let count_drops k =
+  let dropped = ref 0 in
+  ignore
+    (Obs.Bus.subscribe ~name:"drop-probe" (Kernel.bus k) (fun _ ev ->
+         match ev with
+         | Obs.Event.Rpc_reply_dropped _ -> incr dropped
+         | _ -> ()));
+  dropped
+
+let test_reply_after_kill_is_traced_noop () =
+  let k = rr_kernel () in
+  let dropped = count_drops k in
+  let p = Kernel.create_port k ~name:"svc" in
+  let served = ref false in
+  let server =
+    Kernel.spawn k ~name:"server" (fun () ->
+        let m = Api.receive p in
+        Api.sleep (Time.ms 50);
+        Api.reply m "late";
+        served := true)
+  in
+  let client = Kernel.spawn k ~name:"client" (fun () -> ignore (Api.rpc p "req")) in
+  ignore (Kernel.run k ~until:(Time.ms 10));
+  Kernel.kill k client;
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "server survived the late reply" true !served;
+  checkb "server exited clean" true (Kernel.thread_state server = Types.Zombie);
+  (match Kernel.failures k with
+  | [ (th, Types.Killed) ] -> checkb "only the client died" true (th == client)
+  | _ -> Alcotest.fail "unexpected failures");
+  checki "one dropped-reply event" 1 !dropped;
+  check (Alcotest.list Alcotest.string) "invariants clean" []
+    (Kernel.check_invariants k)
+
+let test_reply_after_kill_scatter () =
+  let k = rr_kernel () in
+  let dropped = count_drops k in
+  let p0 = Kernel.create_port k ~name:"p0" in
+  let p1 = Kernel.create_port k ~name:"p1" in
+  let serve name port delay =
+    Kernel.spawn k ~name (fun () ->
+        let m = Api.receive port in
+        Api.sleep delay;
+        Api.reply m "ok")
+  in
+  let s0 = serve "s0" p0 (Time.ms 5) in
+  let s1 = serve "s1" p1 (Time.ms 50) in
+  let client =
+    Kernel.spawn k ~name:"client" (fun () ->
+        ignore (Api.rpc_many [ (p0, "a"); (p1, "b") ]))
+  in
+  (* s0 has replied (slot 0 filled), s1 is still working: kill mid-scatter *)
+  ignore (Kernel.run k ~until:(Time.ms 20));
+  checkb "client still gathering" true (Kernel.thread_state client = Types.Blocked);
+  Kernel.kill k client;
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "both servers exited clean" true
+    (Kernel.thread_state s0 = Types.Zombie
+    && Kernel.thread_state s1 = Types.Zombie
+    && List.for_all (fun (th, e) -> th == client && e = Types.Killed) (Kernel.failures k));
+  checki "straggler's reply dropped" 1 !dropped;
+  check (Alcotest.list Alcotest.string) "invariants clean" []
+    (Kernel.check_invariants k)
+
+let test_reply_to_queued_message_from_dead_sender () =
+  let k = rr_kernel () in
+  let dropped = count_drops k in
+  let p = Kernel.create_port k ~name:"svc" in
+  let client = Kernel.spawn k ~name:"client" (fun () -> ignore (Api.rpc p "req")) in
+  (* no server yet: the request sits in the port queue *)
+  ignore (Kernel.run k ~until:(Time.ms 10));
+  Kernel.kill k client;
+  let server =
+    Kernel.spawn k ~name:"server" (fun () ->
+        let m = Api.receive p in
+        Api.reply m "for a ghost")
+  in
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "server handled the orphaned request" true
+    (Kernel.thread_state server = Types.Zombie
+    && not (List.exists (fun (th, _) -> th == server) (Kernel.failures k)));
+  checki "reply dropped" 1 !dropped;
+  check (Alcotest.list Alcotest.string) "invariants clean" []
+    (Kernel.check_invariants k)
+
+let test_kill_during_cond_wait_reacquires () =
+  let k = rr_kernel () in
+  let m = Kernel.create_mutex k "m" in
+  let c = Kernel.create_condition k "c" in
+  let waiter =
+    Kernel.spawn k ~name:"waiter" (fun () ->
+        Api.with_lock m (fun () -> Api.wait c m))
+  in
+  ignore (Kernel.run k ~until:(Time.ms 10));
+  checkb "parked on the condition" true (Kernel.thread_state waiter = Types.Blocked);
+  Kernel.kill k waiter;
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  (* POSIX cancellation semantics: the mutex is reacquired before Killed
+     propagates, so with_lock's cleanup unlocks cleanly and the thread dies
+     with Killed — not Invalid_argument from unlocking an unowned mutex *)
+  (match Kernel.failures k with
+  | [ (th, Types.Killed) ] -> checkb "died with Killed" true (th == waiter)
+  | fs ->
+      Alcotest.failf "expected Killed, got %s"
+        (String.concat ","
+           (List.map (fun (_, e) -> Printexc.to_string e) fs)));
+  checkb "mutex free again" true (m.Types.owner = None);
+  check (Alcotest.list Alcotest.string) "invariants clean" []
+    (Kernel.check_invariants k)
+
+let test_dying_lock_owner_hands_off () =
+  let k = rr_kernel () in
+  let m = Kernel.create_mutex k "m" in
+  (* no with_lock: the holder dies without running any cleanup *)
+  let holder =
+    Kernel.spawn k ~name:"holder" (fun () ->
+        Api.lock m;
+        Api.sleep (Time.ms 200);
+        Api.unlock m)
+  in
+  let got_it = ref false in
+  ignore
+    (Kernel.spawn k ~name:"waiter" (fun () ->
+         Api.with_lock m (fun () -> got_it := true)));
+  ignore (Kernel.run k ~until:(Time.ms 10));
+  Kernel.kill k holder;
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  checkb "waiter got the orphaned mutex" true !got_it;
+  checkb "mutex free at the end" true (m.Types.owner = None);
+  check (Alcotest.list Alcotest.string) "invariants clean" []
+    (Kernel.check_invariants k)
+
+let test_stale_timer_idle_accounting () =
+  let k = rr_kernel () in
+  let sleeper = Kernel.spawn k ~name:"sleeper" (fun () -> Api.sleep (Time.ms 500)) in
+  let s1 = Kernel.run k ~until:(Time.ms 10) in
+  checki "idle up to the first horizon" (Time.ms 10) s1.idle_ticks;
+  Kernel.kill k sleeper;
+  (* the dead sleeper's timer entry must not pull the clock to 500 ms or
+     count phantom idle time *)
+  let s2 = Kernel.run k ~until:(Time.seconds 2) in
+  checki "clock did not chase the stale timer" (Time.ms 10) s2.ended_at;
+  checki "no phantom idle" (Time.ms 10) s2.idle_ticks;
+  checkb "not a deadlock" true (not s2.deadlocked)
+
+let test_check_invariants_clean_on_healthy_kernel () =
+  let k = rr_kernel ~quantum:(Time.ms 10) () in
+  let m = Kernel.create_mutex k "m" in
+  let sm = Kernel.create_semaphore k ~initial:1 "s" in
+  let p = Kernel.create_port k ~name:"svc" in
+  ignore
+    (Kernel.spawn k ~name:"server" (fun () ->
+         for _ = 1 to 3 do
+           let msg = Api.receive p in
+           Api.reply msg "ok"
+         done));
+  for i = 1 to 3 do
+    ignore
+      (Kernel.spawn k ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Api.with_lock m (fun () -> Api.compute_ms 5);
+           Api.sem_wait sm;
+           ignore (Api.rpc p "hi");
+           Api.sem_post sm))
+  done;
+  (* audit mid-flight at every scheduling boundary, then once at the end *)
+  let worst = ref [] in
+  Kernel.set_pre_select k
+    (Some
+       (fun () ->
+         match Kernel.check_invariants k with
+         | [] -> ()
+         | vs -> if !worst = [] then worst := vs));
+  ignore (Kernel.run k ~until:(Time.seconds 1));
+  check (Alcotest.list Alcotest.string) "mid-run audits clean" [] !worst;
+  check (Alcotest.list Alcotest.string) "final audit clean" []
+    (Kernel.check_invariants k);
+  checkb "workload actually finished" true (Kernel.failures k = [])
+
+let test_check_invariants_reports_corruption () =
+  let k = rr_kernel () in
+  let m = Kernel.create_mutex k "m" in
+  let violations_seen = ref 0 in
+  ignore
+    (Obs.Bus.subscribe ~name:"viol-probe" (Kernel.bus k) (fun _ ev ->
+         match ev with
+         | Obs.Event.Invariant_violation _ -> incr violations_seen
+         | _ -> ()));
+  let ghost = Kernel.spawn k ~name:"ghost" (fun () -> ()) in
+  ignore (Kernel.run k ~until:(Time.ms 10));
+  checkb "ghost is a zombie" true (Kernel.thread_state ghost = Types.Zombie);
+  (* corrupt the kernel on purpose: a dead thread on a waiter list must be
+     REPORTED by the auditor — returned and published — not crashed on *)
+  m.Types.lock_waiters <- [ ghost ];
+  let vs = Kernel.check_invariants k in
+  checkb "corruption detected" true (vs <> []);
+  checkb "violation published on the bus" true (!violations_seen > 0);
+  m.Types.lock_waiters <- [];
+  check (Alcotest.list Alcotest.string) "clean after repair" []
+    (Kernel.check_invariants k)
+
 let () =
   Alcotest.run "sim"
     [
@@ -912,5 +1124,26 @@ let () =
           Alcotest.test_case "compute 0 and negative" `Quick
             test_compute_zero_and_negative;
           Alcotest.test_case "semaphore validation" `Quick test_semaphore_validation;
+        ] );
+      ( "kill-reply",
+        [
+          Alcotest.test_case "duplicate names: first-created wins" `Quick
+            test_find_thread_duplicate_names;
+          Alcotest.test_case "reply after kill is a traced no-op" `Quick
+            test_reply_after_kill_is_traced_noop;
+          Alcotest.test_case "scatter reply after kill" `Quick
+            test_reply_after_kill_scatter;
+          Alcotest.test_case "reply to queued message from dead sender" `Quick
+            test_reply_to_queued_message_from_dead_sender;
+          Alcotest.test_case "kill during cond wait reacquires mutex" `Quick
+            test_kill_during_cond_wait_reacquires;
+          Alcotest.test_case "dying lock owner hands off" `Quick
+            test_dying_lock_owner_hands_off;
+          Alcotest.test_case "stale timer idle accounting" `Quick
+            test_stale_timer_idle_accounting;
+          Alcotest.test_case "invariants clean on healthy kernel" `Quick
+            test_check_invariants_clean_on_healthy_kernel;
+          Alcotest.test_case "invariants report corruption" `Quick
+            test_check_invariants_reports_corruption;
         ] );
     ]
