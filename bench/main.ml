@@ -283,6 +283,7 @@ let bench_thread id =
     donating_to = [];
     failure = None;
     joiners = [];
+    servicing = [];
     created_at = 0;
     exited_at = None;
   }
@@ -358,6 +359,64 @@ let par_rows () =
         float_of_int (Domain.recommended_domain_count ()) );
     ]
 
+(* --- observability overhead family ------------------------------------- *)
+
+(* The RPC-heavy kernel quantum the span tracer taxes most: four
+   client/server pairs ping-ponging continuously with 1ms of service per
+   request, so one measured quantum carries dozens of RPC round trips.
+   Variants attach nothing (bus idle: event construction compiles to one
+   branch), the metrics registry (counters + histograms), or the span
+   tracer. The gate compares spans against off. *)
+let kernel_rpc_obs_test name attach =
+  let rng = Core.Rng.create ~seed:3 () in
+  let ls = Core.Lottery_sched.create ~rng () in
+  let k = Core.Kernel.create ~sched:(Core.Lottery_sched.sched ls) () in
+  let fund th =
+    ignore
+      (Core.Lottery_sched.fund_thread ls th ~amount:100
+         ~from:(Core.Lottery_sched.base_currency ls))
+  in
+  for i = 1 to 4 do
+    let port = Core.Kernel.create_port k ~name:(Printf.sprintf "p%d" i) in
+    fund
+      (Core.Kernel.spawn k ~name:(Printf.sprintf "srv%d" i) (fun () ->
+           while true do
+             let m = Core.Api.receive port in
+             Core.Api.compute (Core.Time.ms 1);
+             Core.Api.reply m m.Core.Types.payload
+           done));
+    fund
+      (Core.Kernel.spawn k ~name:(Printf.sprintf "cli%d" i) (fun () ->
+           while true do
+             ignore (Core.Api.rpc port "x")
+           done))
+  done;
+  attach (Core.Kernel.bus k);
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
+
+(* the Hdr.record hot path in isolation; measured for time AND minor words
+   — the budget pins the words at zero (within OLS noise) *)
+let hdr_record_test () =
+  let h = Core.Obs.Hdr.create () in
+  let i = ref 0 in
+  Test.make ~name:"hdr"
+    (Staged.stage (fun () ->
+         i := (!i + 7919) land 0xFFFFF;
+         Core.Obs.Hdr.record h !i))
+
+let obs_tests () =
+  Test.make_grouped ~name:"obs-overhead"
+    [
+      kernel_rpc_obs_test "off" (fun _ -> ());
+      kernel_rpc_obs_test "counters" (fun bus ->
+          Core.Obs.Metrics.attach (Core.Obs.Metrics.create ()) bus);
+      kernel_rpc_obs_test "spans" (fun bus ->
+          Core.Obs.Span.attach (Core.Obs.Span.create ()) bus);
+      hdr_record_test ();
+    ]
+
 (* PRNG draw cost (the paper's Appendix A argues ~10 RISC instructions) *)
 let prng_test algo name =
   let rng = Core.Rng.create ~algo ~seed:3 () in
@@ -431,20 +490,129 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
-let result_rows results =
-  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+let count_substr hay needle =
+  let nl = String.length needle in
+  let n = String.length hay in
+  let rec go i acc =
+    if i + nl > n then acc
+    else go (i + 1) (if String.sub hay i nl = needle then acc + 1 else acc)
+  in
+  if nl = 0 then 0 else go 0 0
+
+let rows_of_measure results label suffix =
+  match Hashtbl.find_opt results label with
   | None -> []
   | Some by_test ->
       Hashtbl.fold
         (fun name ols acc ->
-          let ns =
+          let est =
             match Analyze.OLS.estimates ols with
             | Some [ est ] -> est
             | _ -> nan
           in
-          (name, ns) :: acc)
+          (name ^ suffix, est) :: acc)
         by_test []
       |> List.sort compare
+
+let result_rows results =
+  rows_of_measure results (Measure.label Instance.monotonic_clock) ""
+
+(* the obs-overhead family runs under a second measure too: minor words per
+   operation, the per-sample allocation the budget pins at zero. A derived
+   row records the spans-on/off cost ratio of the RPC quantum. *)
+let obs_benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances (obs_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let obs_rows () =
+  let results = obs_benchmark () in
+  let time = result_rows results in
+  let words =
+    rows_of_measure results
+      (Measure.label Instance.minor_allocated)
+      ":minor-words"
+  in
+  let ratio =
+    match
+      ( List.assoc_opt "obs-overhead/spans" time,
+        List.assoc_opt "obs-overhead/off" time )
+    with
+    | Some s, Some o when o > 0. -> [ ("obs-overhead/spans-over-off", s /. o) ]
+    | _ -> []
+  in
+  time @ words @ ratio
+
+(* --- the overhead gate -------------------------------------------------- *)
+
+(* budget file: one "name max" pair per line, [#] comments. CI fails when
+   any measured obs-overhead row exceeds its recorded budget. *)
+let read_budget path =
+  let ic = open_in path in
+  let rec go n acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (n + 1) acc
+        else
+          match
+            String.split_on_char ' ' trimmed |> List.filter (( <> ) "")
+          with
+          | [ name; v ] -> (
+              match float_of_string_opt v with
+              | Some f -> go (n + 1) ((name, f) :: acc)
+              | None ->
+                  failwith
+                    (Printf.sprintf "%s:%d: bad budget value %S" path n v))
+          | _ -> failwith (Printf.sprintf "%s:%d: bad budget line %S" path n line))
+  in
+  go 1 []
+
+let gate ~budget_path rows =
+  let budget = read_budget budget_path in
+  print_endline "";
+  print_endline "=================================================================";
+  Printf.printf " Observability overhead gate (%s)\n" budget_path;
+  print_endline "=================================================================";
+  let failures =
+    List.filter_map
+      (fun (name, max_v) ->
+        let show v note =
+          Printf.printf "  %-44s %12s (budget %10.3f)\n" name v note
+        in
+        match List.assoc_opt name rows with
+        | None ->
+            show "missing" max_v;
+            Some (Printf.sprintf "%s: budgeted but not measured" name)
+        | Some v when Float.is_nan v ->
+            show "no fit" max_v;
+            Some (Printf.sprintf "%s: benchmark produced no OLS fit" name)
+        | Some v ->
+            show (Printf.sprintf "%.3f" v) max_v;
+            if v > max_v then
+              Some
+                (Printf.sprintf "%s: measured %.3f exceeds budget %.3f" name v
+                   max_v)
+            else None)
+      budget
+  in
+  if failures <> [] then begin
+    List.iter (fun f -> Printf.printf "GATE FAIL: %s\n" f) failures;
+    exit 1
+  end
+  else print_endline "gate passed"
 
 let print_results rows =
   print_endline "";
@@ -453,7 +621,17 @@ let print_results rows =
   print_endline "=================================================================";
   if rows = [] then print_endline "no results"
   else
-    List.iter (fun (name, ns) -> Printf.printf "  %-40s %12.1f ns\n" name ns) rows
+    List.iter
+      (fun (name, v) ->
+        (* derived rows carry their own units: words/op for :minor-words,
+           a dimensionless ratio for -over- *)
+        let unit =
+          if count_substr name ":minor-words" > 0 then "w/op"
+          else if count_substr name "-over-" > 0 then "x"
+          else "ns"
+        in
+        Printf.printf "  %-40s %12.1f %s\n" name v unit)
+      rows
 
 (* machine-readable sink for figure pipelines: one CSV row per benchmark *)
 let write_metrics_csv path rows =
@@ -485,6 +663,8 @@ let () =
   let run_figures = ref true in
   let run_bench = ref true in
   let run_par = ref false in
+  let run_obs = ref false in
+  let gate_budget = ref "" in
   let metrics_csv = ref "" in
   let metrics_json = ref "" in
   let spec =
@@ -492,7 +672,7 @@ let () =
       ("--figures-only", Arg.Unit (fun () -> run_bench := false),
        " regenerate the paper figures/tables and skip microbenchmarks");
       ("--bench-only", Arg.Unit (fun () -> run_figures := false),
-       " run only the Bechamel microbenchmarks");
+       " run only the Bechamel microbenchmarks (includes obs-overhead/*)");
       ( "--par-only",
         Arg.Unit
           (fun () ->
@@ -500,6 +680,17 @@ let () =
             run_bench := false;
             run_par := true),
         " run only the domain-parallel wall-clock family (par/figset-N)" );
+      ( "--obs-only",
+        Arg.Unit
+          (fun () ->
+            run_figures := false;
+            run_bench := false;
+            run_obs := true),
+        " run only the observability overhead family (obs-overhead/*)" );
+      ( "--gate",
+        Arg.Set_string gate_budget,
+        "FILE check obs-overhead results against the recorded budgets \
+         (exit 1 on regression)" );
       ("--metrics-csv", Arg.Set_string metrics_csv,
        "FILE also write microbenchmark results as CSV (benchmark,ns_per_op)");
       ("--json", Arg.Set_string metrics_json,
@@ -508,15 +699,18 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--figures-only | --bench-only | --par-only] [--metrics-csv FILE] \
-     [--json FILE]";
+    "bench [--figures-only | --bench-only | --par-only | --obs-only] \
+     [--gate FILE] [--metrics-csv FILE] [--json FILE]";
   if !run_figures then figures ();
-  if !run_bench || !run_par then begin
+  let want_obs = !run_bench || !run_obs || !gate_budget <> "" in
+  if !run_bench || !run_par || want_obs then begin
     let rows =
       (if !run_bench then result_rows (benchmark ()) else [])
+      @ (if want_obs then obs_rows () else [])
       @ (if !run_par then par_rows () else [])
     in
-    if !run_bench then print_results rows;
+    if !run_bench || !run_obs then print_results rows;
     if !metrics_csv <> "" then write_metrics_csv !metrics_csv rows;
-    if !metrics_json <> "" then write_metrics_json !metrics_json rows
+    if !metrics_json <> "" then write_metrics_json !metrics_json rows;
+    if !gate_budget <> "" then gate ~budget_path:!gate_budget rows
   end

@@ -3,8 +3,9 @@
    timeline, and (optionally) a Chrome trace and a metrics summary.
 
      dune exec bin/lottosim.exe -- scenario.txt
-     dune exec bin/lottosim.exe -- scenario.txt --stats
+     dune exec bin/lottosim.exe -- scenario.txt --stats --profile
      dune exec bin/lottosim.exe -- scenario.txt --trace out.json --csv out.csv
+     dune exec bin/lottosim.exe -- scenario.txt --spans spans.json --prom metrics.prom
 
    Example scenario:
 
@@ -17,9 +18,13 @@
      run 60s
 
    --trace writes Chrome trace-event JSON loadable in chrome://tracing or
-   https://ui.perfetto.dev; --csv writes the same event window as CSV;
-   --stats prints per-thread wins/quanta/wait-time percentiles plus an
-   observed-vs-entitled share table with a chi-square fairness verdict. *)
+   https://ui.perfetto.dev (RPC requests appear as flow arrows across the
+   thread tracks); --csv writes the same event window as CSV; --stats
+   prints per-thread wins/quanta/wait-time percentiles plus an
+   observed-vs-entitled share table with a chi-square fairness verdict;
+   --spans writes the causal RPC span trees as their own Chrome trace;
+   --prom writes a Prometheus text snapshot of the metrics; --profile
+   prints where the host-clock cost of each slice went. *)
 
 open Cmdliner
 
@@ -28,14 +33,23 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let run path trace_out csv_out stats =
+let run path trace_out csv_out stats spans_out prom_out profile =
   match Lotto_ctl.Scenario.parse_file path with
   | Error m -> `Error (false, m)
   | exception Sys_error m -> `Error (false, m)
   | Ok scenario -> (
       try
       let want_trace = trace_out <> None || csv_out <> None in
-      let report = Lotto_ctl.Scenario.run ~trace:want_trace ~stats scenario in
+      let profile_clock =
+        if profile then
+          Some (fun () -> int_of_float (Unix.gettimeofday () *. 1e9))
+        else None
+      in
+      let report =
+        Lotto_ctl.Scenario.run ~trace:want_trace ~stats
+          ~spans:(spans_out <> None) ~prom:(prom_out <> None) ?profile_clock
+          scenario
+      in
       Printf.printf "after %s of virtual time:\n\n"
         (Format.asprintf "%a" Lotto_sim.Time.pp report.horizon);
       Printf.printf "  %-14s %12s %8s\n" "thread" "cpu (ticks)" "share";
@@ -49,6 +63,11 @@ let run path trace_out csv_out stats =
       | Some s ->
           print_newline ();
           print_string s
+      | None -> ());
+      (match report.profile with
+      | Some p ->
+          print_newline ();
+          print_string p
       | None -> ());
       (match report.recorder with
       | Some r ->
@@ -67,6 +86,20 @@ let run path trace_out csv_out stats =
               Printf.printf "wrote event CSV to %s\n" out
           | None -> ())
       | None -> ());
+      (match (report.spans, spans_out) with
+      | Some tracer, Some out ->
+          write_file out (Lotto_obs.Span.to_chrome_json tracer);
+          let st = Lotto_obs.Span.stats tracer in
+          Printf.printf
+            "wrote %d RPC spans to %s (%d closed, %d dropped, %d orphaned)\n"
+            st.Lotto_obs.Span.st_total out st.Lotto_obs.Span.st_closed
+            st.Lotto_obs.Span.st_dropped st.Lotto_obs.Span.st_orphaned
+      | _ -> ());
+      (match (report.prom, prom_out) with
+      | Some text, Some out ->
+          write_file out text;
+          Printf.printf "wrote Prometheus snapshot to %s\n" out
+      | _ -> ());
       `Ok ()
       with Sys_error m -> `Error (false, m))
 
@@ -97,10 +130,40 @@ let stats_arg =
               percentiles, and an observed-vs-entitled CPU share table \
               checked with a chi-square fairness test.")
 
+let spans_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ] ~docv:"FILE"
+        ~doc:"Trace every RPC request as a causal span (send, service, \
+              reply; nested RPCs parented to the enclosing request) and \
+              write the span trees as Chrome trace-event JSON to $(docv) \
+              for Perfetto.")
+
+let prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:"Write a Prometheus text-exposition snapshot of the \
+              per-thread metrics (counters plus wait/dispatch latency \
+              quantiles) to $(docv).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Profile the scheduler's own host-clock cost per phase \
+              (valuation, draw, dispatch, event publish) and print the \
+              breakdown.")
+
 let cmd =
   let doc = "run a lottery-scheduling scenario file" in
   Cmd.v
     (Cmd.info "lottosim" ~doc)
-    Term.(ret (const run $ path_arg $ trace_arg $ csv_arg $ stats_arg))
+    Term.(
+      ret
+        (const run $ path_arg $ trace_arg $ csv_arg $ stats_arg $ spans_arg
+       $ prom_arg $ profile_arg))
 
 let () = exit (Cmd.eval cmd)

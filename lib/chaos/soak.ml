@@ -9,6 +9,7 @@ type outcome = {
   thread_failures : (string * string) list;
   faults : (Time.t * string) list;
   summary : Types.run_summary;
+  span_stats : Lotto_obs.Span.stats;
 }
 
 let failed o = o.violations <> [] || o.thread_failures <> []
@@ -21,6 +22,12 @@ let run_one ?(plan = Plan.default) ?(audit = true) (sc : Scenarios.t) ~seed =
   let ls = LS.create ~rng () in
   let kernel = Kernel.create ~sched:(LS.sched ls) () in
   let inj = Injector.create ~plan ~rng:inj_rng ~kernel () in
+  (* the span tracer is a pure bus subscriber: it consumes no randomness and
+     never touches kernel state, so attaching it preserves run-for-run
+     determinism while letting the soak assert that no RPC span is ever
+     leaked — kills must produce Orphaned/Dropped spans, not silence *)
+  let span = Lotto_obs.Span.create () in
+  Lotto_obs.Span.attach span (Kernel.bus kernel);
   sc.Scenarios.build
     { Scenarios.kernel; ls; point = (fun () -> Injector.point inj) };
   let violations = ref [] in
@@ -39,6 +46,12 @@ let run_one ?(plan = Plan.default) ?(audit = true) (sc : Scenarios.t) ~seed =
          audit_now ()));
   let summary = Kernel.run kernel ~until:sc.Scenarios.horizon in
   audit_now ();
+  Lotto_obs.Span.finalize span ~now:(Kernel.now kernel);
+  let span_violations =
+    List.map
+      (fun v -> (Kernel.now kernel, "span: " ^ v))
+      (Lotto_obs.Span.violations span)
+  in
   let thread_failures =
     Kernel.failures kernel
     |> List.filter_map (fun (th, e) ->
@@ -49,10 +62,11 @@ let run_one ?(plan = Plan.default) ?(audit = true) (sc : Scenarios.t) ~seed =
   {
     scenario = sc.Scenarios.name;
     seed;
-    violations = !violations;
+    violations = !violations @ span_violations;
     thread_failures;
     faults = Injector.faults inj;
     summary;
+    span_stats = Lotto_obs.Span.stats span;
   }
 
 type report = { runs : int; failures : outcome list }

@@ -4,7 +4,11 @@
     Each run builds a fresh lottery-scheduled kernel from the seed, wires
     an {!Injector} into the kernel's pre-select hook, and (by default)
     runs the combined {!Audit} at {e every} scheduling boundary plus once
-    after the run. A run fails when any invariant is violated or any
+    after the run. Every run also carries a {!Lotto_obs.Span} tracer (a
+    passive bus subscriber, so determinism is unaffected): after the run
+    it is finalized and any structural span violation — a leaked,
+    double-received or double-closed RPC span — fails the run alongside
+    the invariant audit. A run fails when any invariant is violated or any
     thread dies with an exception other than {!Lotto_sim.Types.Killed};
     deadlocks are tolerated (stranding peers is a legitimate consequence
     of a kill). Runs are deterministic: re-invoking {!run_one} with the
@@ -14,10 +18,14 @@ type outcome = {
   scenario : string;
   seed : int;
   violations : (Lotto_sim.Time.t * string) list;
-      (** first non-empty audit batch (auditing stops once corrupt) *)
+      (** first non-empty audit batch (auditing stops once corrupt),
+          followed by any end-of-run span violations (prefixed ["span: "]) *)
   thread_failures : (string * string) list;  (** name, exn; [Killed] excluded *)
   faults : (Lotto_sim.Time.t * string) list;  (** the injector's fault log *)
   summary : Lotto_sim.Types.run_summary;
+  span_stats : Lotto_obs.Span.stats;
+      (** accounting of every RPC span the run opened; after finalize
+          [st_open = 0] always holds *)
 }
 
 val failed : outcome -> bool

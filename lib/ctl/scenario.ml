@@ -4,6 +4,8 @@ module Ls = Lotto_sched.Lottery_sched
 type workload =
   | Spin of { cost : int }
   | Interactive of { burst : int; pause : int }
+  | Serve of { port : string; cost : int }  (* receive, compute, reply *)
+  | Rpc of { target : string; think : int }  (* compute, then call *)
 
 type thread_spec = { t_name : string; workload : workload; amount : int; from : string }
 type currency_spec = { c_name : string; c_amount : int; c_from : string }
@@ -22,6 +24,9 @@ type report = {
   horizon : Time.t;
   recorder : Lotto_obs.Recorder.t option;
   stats : string option;
+  spans : Lotto_obs.Span.t option;
+  prom : string option;
+  profile : string option;
 }
 
 (* --- parsing ------------------------------------------------------------- *)
@@ -90,7 +95,20 @@ let parse text =
                 | Some burst, Some pause when burst > 0 && pause >= 0 ->
                     mk (Interactive { burst; pause }) amount from
                 | _ -> err ln "bad interactive durations")
-            | _ -> err ln "expected: thread NAME spin COST AMOUNT CUR | thread NAME interactive BURST PAUSE AMOUNT CUR")
+            | [ "serve"; port; cost; amount; from ] -> (
+                match duration cost with
+                | Some cost when cost > 0 -> mk (Serve { port; cost }) amount from
+                | _ -> err ln "bad service cost %S" cost)
+            | [ "rpc"; target; think; amount; from ] -> (
+                match duration think with
+                | Some think when think > 0 -> mk (Rpc { target; think }) amount from
+                | _ -> err ln "bad think time %S" think)
+            | _ ->
+                err ln
+                  "expected: thread NAME spin COST AMOUNT CUR | thread NAME \
+                   interactive BURST PAUSE AMOUNT CUR | thread NAME serve \
+                   PORT COST AMOUNT CUR | thread NAME rpc PORT THINK AMOUNT \
+                   CUR")
         | [ "run"; d ] -> (
             match duration d with
             | Some horizon when horizon > 0 -> go { acc with horizon } rest
@@ -111,13 +129,13 @@ let parse_file path =
 (* --- running --------------------------------------------------------------- *)
 
 let run ?(trace = false) ?(trace_capacity = 1 lsl 20) ?(stats = false)
-    t =
+    ?(spans = false) ?(prom = false) ?profile_clock t =
   let rng = Lotto_prng.Rng.create ~seed:t.seed () in
   let ls = Ls.create ~rng () in
   let kernel = Kernel.create ~quantum:t.quantum ~sched:(Ls.sched ls) () in
   let timeline = Timeline.attach kernel ~bucket:(max (Time.ms 100) (t.horizon / 60)) () in
-  (* recorder, metrics and timeline are independent subscribers on the
-     kernel's event bus; each sees the full stream *)
+  (* recorder, metrics, span tracer and timeline are independent
+     subscribers on the kernel's event bus; each sees the full stream *)
   let recorder =
     if trace then begin
       let r = Lotto_obs.Recorder.create ~capacity:trace_capacity () in
@@ -127,12 +145,29 @@ let run ?(trace = false) ?(trace_capacity = 1 lsl 20) ?(stats = false)
     else None
   in
   let metrics =
-    if stats then begin
+    if stats || prom then begin
       let m = Lotto_obs.Metrics.create () in
       Lotto_obs.Metrics.attach m (Kernel.bus kernel);
       Some m
     end
     else None
+  in
+  let span_tracer =
+    if spans then begin
+      let s = Lotto_obs.Span.create () in
+      Lotto_obs.Span.attach s (Kernel.bus kernel);
+      Some s
+    end
+    else None
+  in
+  let profiler =
+    Option.map
+      (fun clock ->
+        let p = Lotto_obs.Profile.create ~clock () in
+        Kernel.set_profiler kernel (Some p);
+        Ls.set_profiler ls (Some p);
+        p)
+      profile_clock
   in
   let lookup name =
     match Lotto_tickets.Funding.find_currency (Ls.funding ls) name with
@@ -144,6 +179,24 @@ let run ?(trace = false) ?(trace_capacity = 1 lsl 20) ?(stats = false)
       let target = Ls.make_currency ls c.c_name in
       ignore (Ls.fund_currency ls ~target ~amount:c.c_amount ~from:(lookup c.c_from)))
     t.currencies;
+  (* one port per distinct name mentioned by serve/rpc threads; an rpc
+     target nobody serves is legal (the client blocks and its spans are
+     orphan-flagged at the horizon) but is usually a typo *)
+  let ports = Hashtbl.create 8 in
+  let port_of name =
+    match Hashtbl.find_opt ports name with
+    | Some p -> p
+    | None ->
+        let p = Kernel.create_port kernel ~name in
+        Hashtbl.add ports name p;
+        p
+  in
+  List.iter
+    (fun spec ->
+      match spec.workload with
+      | Serve { port; _ } | Rpc { target = port; _ } -> ignore (port_of port)
+      | Spin _ | Interactive _ -> ())
+    t.threads;
   let threads =
     List.map
       (fun spec ->
@@ -158,6 +211,19 @@ let run ?(trace = false) ?(trace_capacity = 1 lsl 20) ?(stats = false)
                 Api.compute burst;
                 Api.sleep pause
               done
+          | Serve { port; cost } ->
+              let p = port_of port in
+              while true do
+                let m = Api.receive p in
+                Api.compute cost;
+                Api.reply m m.Types.payload
+              done
+          | Rpc { target; think } ->
+              let p = port_of target in
+              while true do
+                Api.compute think;
+                ignore (Api.rpc p "req")
+              done
         in
         let th = Kernel.spawn kernel ~name:spec.t_name body in
         ignore (Ls.fund_thread ls th ~amount:spec.amount ~from:(lookup spec.from));
@@ -165,20 +231,41 @@ let run ?(trace = false) ?(trace_capacity = 1 lsl 20) ?(stats = false)
       t.threads
   in
   ignore (Kernel.run kernel ~until:t.horizon);
+  Option.iter
+    (fun s -> Lotto_obs.Span.finalize s ~now:(Kernel.now kernel))
+    span_tracer;
   (* entitlements before teardown: backing-ticket value at final exchange
      rates, the yardstick for the observed-vs-entitled fairness table *)
   let stats_text =
-    Option.map
-      (fun m ->
-        let entitled =
-          List.map (fun (_, th) -> (Kernel.thread_id th, Ls.thread_entitlement ls th)) threads
-        in
-        Lotto_obs.Metrics.summary ~entitled m)
-      metrics
+    if not stats then None
+    else
+      Option.map
+        (fun m ->
+          let entitled =
+            List.map (fun (_, th) -> (Kernel.thread_id th, Ls.thread_entitlement ls th)) threads
+          in
+          let s = Lotto_obs.Metrics.summary ~entitled m in
+          (* a wrapped trace silently looking complete is the trap; say so
+             next to the numbers people actually read *)
+          match recorder with
+          | Some r when Lotto_obs.Recorder.dropped r > 0 ->
+              s
+              ^ Printf.sprintf
+                  "\nwarning: trace window wrapped — %d oldest events \
+                   dropped (kept %d of %d)\n"
+                  (Lotto_obs.Recorder.dropped r)
+                  (Lotto_obs.Recorder.length r)
+                  (Lotto_obs.Recorder.seen r)
+          | _ -> s)
+        metrics
   in
+  let prom_text = if prom then Option.map Lotto_obs.Metrics.to_prom metrics else None in
+  let profile_text = Option.map Lotto_obs.Metrics.profile profiler in
   Timeline.detach timeline;
   Option.iter Lotto_obs.Recorder.detach recorder;
   Option.iter Lotto_obs.Metrics.detach metrics;
+  Option.iter Lotto_obs.Span.detach span_tracer;
+  Kernel.set_profiler kernel None;
   let total = List.fold_left (fun acc (_, th) -> acc + Kernel.cpu_time th) 0 threads in
   {
     rows =
@@ -192,4 +279,7 @@ let run ?(trace = false) ?(trace_capacity = 1 lsl 20) ?(stats = false)
     horizon = t.horizon;
     recorder;
     stats = stats_text;
+    spans = span_tracer;
+    prom = prom_text;
+    profile = profile_text;
   }

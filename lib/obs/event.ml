@@ -13,7 +13,8 @@ type t =
   | Compensate of { who : actor; factor : float }
   | Lock_acquire of { who : actor; mutex : string; contended : bool }
   | Lock_release of { who : actor; mutex : string }
-  | Rpc_send of { who : actor; port : string; msg_id : int }
+  | Rpc_send of { who : actor; port : string; msg_id : int; parent : int option }
+  | Rpc_recv of { who : actor; port : string; msg_id : int; sender : actor }
   | Rpc_reply of { who : actor; client : actor; msg_id : int }
   | Resource_draw of {
       who : actor;
@@ -40,6 +41,7 @@ let who = function
   | Lock_acquire { who; _ }
   | Lock_release { who; _ }
   | Rpc_send { who; _ }
+  | Rpc_recv { who; _ }
   | Rpc_reply { who; _ }
   | Resource_draw { who; _ }
   | Rpc_reply_dropped { who; _ }
@@ -59,6 +61,7 @@ let tag = function
   | Lock_acquire _ -> "lock-acquire"
   | Lock_release _ -> "lock-release"
   | Rpc_send _ -> "rpc-send"
+  | Rpc_recv _ -> "rpc-recv"
   | Rpc_reply _ -> "rpc-reply"
   | Resource_draw _ -> "resource-draw"
   | Rpc_reply_dropped _ -> "rpc-reply-dropped"
@@ -84,7 +87,12 @@ let detail = function
   | Lock_acquire { mutex; contended; _ } ->
       if contended then mutex ^ " (contended)" else mutex
   | Lock_release { mutex; _ } -> mutex
-  | Rpc_send { port; msg_id; _ } -> Printf.sprintf "%s #%d" port msg_id
+  | Rpc_send { port; msg_id; parent; _ } -> (
+      match parent with
+      | None -> Printf.sprintf "%s #%d" port msg_id
+      | Some p -> Printf.sprintf "%s #%d (in #%d)" port msg_id p)
+  | Rpc_recv { port; msg_id; sender; _ } ->
+      Printf.sprintf "%s #%d from %s" port msg_id sender.tname
   | Rpc_reply { client; msg_id; _ } ->
       Printf.sprintf "-> %s #%d" client.tname msg_id
   | Resource_draw { resource; contenders; total_weight; _ } ->

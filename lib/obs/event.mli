@@ -39,7 +39,15 @@ type t =
       (** [contended] when the mutex was handed off to a waiter rather
           than grabbed free *)
   | Lock_release of { who : actor; mutex : string }
-  | Rpc_send of { who : actor; port : string; msg_id : int }
+  | Rpc_send of { who : actor; port : string; msg_id : int; parent : int option }
+      (** client [who] sent request [msg_id] to [port]. [msg_id] doubles as
+          the request's {e span id} (unique per kernel); [parent] is the
+          span the sender was itself servicing when it sent — the causal
+          edge {!Span} builds request trees from *)
+  | Rpc_recv of { who : actor; port : string; msg_id : int; sender : actor }
+      (** server [who] picked request [msg_id] up from [port] (direct
+          handoff, queue drain, or poll) and is now servicing span
+          [msg_id] *)
   | Rpc_reply of { who : actor; client : actor; msg_id : int }
       (** server [who] replied to [client]'s request [msg_id] *)
   | Resource_draw of {

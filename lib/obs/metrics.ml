@@ -1,7 +1,6 @@
-module D = Lotto_stats.Descriptive
 module Chi = Lotto_stats.Chi_square
 
-(* growable float sample buffer *)
+(* growable float sample buffer — only allocated on the opt-in raw path *)
 module Samples = struct
   type t = { mutable data : float array; mutable len : int }
 
@@ -19,6 +18,10 @@ module Samples = struct
   let to_array t = Array.sub t.data 0 t.len
 end
 
+(* latency histograms: µs of virtual time, 2^-5 relative error, values up
+   to 2^30 µs (~18 virtual minutes) before clamping *)
+let make_hdr () = Hdr.create ~sub_bits:5 ~max_value:(1 lsl 30) ()
+
 type row = {
   tid : int;
   name : string;
@@ -30,20 +33,25 @@ type row = {
   mutable lock_acquires : int;
   mutable lock_contended : int;
   mutable rpcs : int;
-  wait : Samples.t;
-  dispatch : Samples.t;
+  mutable rpcs_served : int;
+  wait_h : Hdr.t;
+  dispatch_h : Hdr.t;
+  wait_raw : Samples.t option;
+  dispatch_raw : Samples.t option;
   mutable blocked_since : int option;
   mutable runnable_since : int option;
 }
 
 type t = {
+  raw : bool;
   rows : (int, row) Hashtbl.t;
   mutable order : int list;  (** reverse first-seen order *)
   mutable quantum_us : int;  (** largest quantum seen in Preempt events *)
   mutable sub : Bus.subscription option;
 }
 
-let create () = { rows = Hashtbl.create 32; order = []; quantum_us = 0; sub = None }
+let create ?(raw = false) () =
+  { raw; rows = Hashtbl.create 32; order = []; quantum_us = 0; sub = None }
 
 let row t (a : Event.actor) =
   match Hashtbl.find_opt t.rows a.Event.tid with
@@ -61,8 +69,11 @@ let row t (a : Event.actor) =
           lock_acquires = 0;
           lock_contended = 0;
           rpcs = 0;
-          wait = Samples.create ();
-          dispatch = Samples.create ();
+          rpcs_served = 0;
+          wait_h = make_hdr ();
+          dispatch_h = make_hdr ();
+          wait_raw = (if t.raw then Some (Samples.create ()) else None);
+          dispatch_raw = (if t.raw then Some (Samples.create ()) else None);
           blocked_since = None;
           runnable_since = None;
         }
@@ -71,6 +82,12 @@ let row t (a : Event.actor) =
       t.order <- a.Event.tid :: t.order;
       r
 
+let sample hdr raw v =
+  Hdr.record hdr v;
+  match raw with
+  | Some s -> Samples.add s (float_of_int v)
+  | None -> ()
+
 let on_event t time ev =
   match ev with
   | Event.Spawn { who } -> (row t who).runnable_since <- Some time
@@ -78,7 +95,7 @@ let on_event t time ev =
       let r = row t who in
       r.wins <- r.wins + 1;
       (match r.runnable_since with
-      | Some since -> Samples.add r.dispatch (float_of_int (time - since))
+      | Some since -> sample r.dispatch_h r.dispatch_raw (time - since)
       | None -> ());
       r.runnable_since <- None
   | Event.Preempt { who; used; quantum; why } -> (
@@ -96,7 +113,7 @@ let on_event t time ev =
   | Event.Wake { who } ->
       let r = row t who in
       (match r.blocked_since with
-      | Some since -> Samples.add r.wait (float_of_int (time - since))
+      | Some since -> sample r.wait_h r.wait_raw (time - since)
       | None -> ());
       r.blocked_since <- None;
       r.runnable_since <- Some time
@@ -115,6 +132,9 @@ let on_event t time ev =
   | Event.Rpc_send { who; _ } ->
       let r = row t who in
       r.rpcs <- r.rpcs + 1
+  | Event.Rpc_recv { who; _ } ->
+      let r = row t who in
+      r.rpcs_served <- r.rpcs_served + 1
   | Event.Rpc_reply _ -> ()
   | Event.Resource_draw _ -> ()
   | Event.Rpc_reply_dropped _ -> ()
@@ -143,6 +163,9 @@ type snapshot = {
   lock_acquires : int;
   lock_contended : int;
   rpcs : int;
+  rpcs_served : int;
+  wait : Hdr.t;
+  dispatch : Hdr.t;
   wait_us : float array;
   dispatch_us : float array;
 }
@@ -162,8 +185,15 @@ let snapshots t =
            lock_acquires = r.lock_acquires;
            lock_contended = r.lock_contended;
            rpcs = r.rpcs;
-           wait_us = Samples.to_array r.wait;
-           dispatch_us = Samples.to_array r.dispatch;
+           rpcs_served = r.rpcs_served;
+           wait = Hdr.copy r.wait_h;
+           dispatch = Hdr.copy r.dispatch_h;
+           wait_us =
+             (match r.wait_raw with Some s -> Samples.to_array s | None -> [||]);
+           dispatch_us =
+             (match r.dispatch_raw with
+             | Some s -> Samples.to_array s
+             | None -> [||]);
          })
 
 let total_quanta t = Hashtbl.fold (fun _ (r : row) acc -> acc + r.quanta) t.rows 0
@@ -229,13 +259,15 @@ let fairness t ~entitled =
   in
   (rows, p_value)
 
-let pcts xs =
-  if Array.length xs = 0 then "-"
+(* percentiles straight off the histogram: O(buckets), no sort, no copy of
+   the sample stream (which is no longer retained by default anyway) *)
+let pcts h =
+  if Hdr.count h = 0 then "-"
   else
     Printf.sprintf "%.1f/%.1f/%.1f"
-      (D.percentile xs 50. /. 1000.)
-      (D.percentile xs 90. /. 1000.)
-      (D.percentile xs 99. /. 1000.)
+      (Hdr.percentile h 50. /. 1000.)
+      (Hdr.percentile h 90. /. 1000.)
+      (Hdr.percentile h 99. /. 1000.)
 
 let summary ?entitled t =
   let buf = Buffer.create 1024 in
@@ -248,8 +280,8 @@ let summary ?entitled t =
       Buffer.add_string buf
         (Printf.sprintf "%-14s %7d %10.1f %5d %6d %6d %20s %20s\n" s.name s.wins
            (float_of_int s.quanta /. 1000.)
-           s.compensations s.blocks s.lock_acquires (pcts s.wait_us)
-           (pcts s.dispatch_us)))
+           s.compensations s.blocks s.lock_acquires (pcts s.wait)
+           (pcts s.dispatch)))
     (snapshots t);
   (match entitled with
   | None -> ()
@@ -280,4 +312,80 @@ let summary ?entitled t =
                  (if p >= 0.001 then "consistent with" else "INCONSISTENT with"))
         | None -> ()
       end);
+  Buffer.contents buf
+
+let profile p =
+  "scheduler phase profile (host-clock ns):\n" ^ Profile.summary p
+
+(* --- Prometheus text exposition ----------------------------------------- *)
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_prom ?(namespace = "lotto") t =
+  let buf = Buffer.create 4096 in
+  let snaps = snapshots t in
+  let labels (s : snapshot) =
+    Printf.sprintf "{thread=\"%s\",tid=\"%d\"}" (prom_escape s.name) s.tid
+  in
+  let counter name help get =
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s_%s %s\n# TYPE %s_%s counter\n" namespace name
+         help namespace name);
+    List.iter
+      (fun s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s_%s%s %d\n" namespace name (labels s) (get s)))
+      snaps
+  in
+  counter "wins_total" "Lottery wins (selections)." (fun s -> s.wins);
+  counter "quanta_us_total" "CPU time received, microseconds of virtual time."
+    (fun s -> s.quanta);
+  counter "compensations_total" "Compensation-ticket activations." (fun s ->
+      s.compensations);
+  counter "blocks_total" "Times blocked." (fun s -> s.blocks);
+  counter "donations_total" "Ticket donations made while blocked." (fun s ->
+      s.donations);
+  counter "lock_acquires_total" "Mutex acquisitions." (fun s -> s.lock_acquires);
+  counter "lock_contended_total" "Mutex acquisitions that had to queue."
+    (fun s -> s.lock_contended);
+  counter "rpcs_sent_total" "RPC requests sent." (fun s -> s.rpcs);
+  counter "rpcs_served_total" "RPC requests picked up for service." (fun s ->
+      s.rpcs_served);
+  let summary_metric name help get =
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s_%s %s\n# TYPE %s_%s summary\n" namespace name
+         help namespace name);
+    List.iter
+      (fun s ->
+        let h = get s in
+        let lbl = labels s in
+        if Hdr.count h > 0 then
+          List.iter
+            (fun q ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_%s{thread=\"%s\",tid=\"%d\",quantile=\"%g\"} %g\n"
+                   namespace name (prom_escape s.name) s.tid q
+                   (Hdr.percentile h (q *. 100.))))
+            [ 0.5; 0.9; 0.99; 0.999 ];
+        Buffer.add_string buf
+          (Printf.sprintf "%s_%s_sum%s %d\n" namespace name lbl (Hdr.sum h));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_%s_count%s %d\n" namespace name lbl (Hdr.count h)))
+      snaps
+  in
+  summary_metric "wait_us" "Block-to-wake latency, microseconds of virtual time."
+    (fun s -> s.wait);
+  summary_metric "dispatch_us"
+    "Runnable-to-selected latency, microseconds of virtual time." (fun s ->
+      s.dispatch);
   Buffer.contents buf

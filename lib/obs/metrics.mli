@@ -2,16 +2,23 @@
 
     Subscribes to a {!Bus} and accumulates, per thread: lottery wins
     (selections), quanta ticks received, compensation-ticket activations,
-    block counts, donation/lock/RPC counters, and two latency sample sets —
-    {e wait time} (block → wake) and {e dispatch latency} (runnable →
-    selected). Percentiles come from {!Lotto_stats.Descriptive}; the
-    fairness gauge checks observed CPU share against ticket entitlement
-    with {!Lotto_stats.Chi_square}, the paper's own accuracy measure
+    block counts, donation/lock/RPC counters, and two latency
+    distributions — {e wait time} (block → wake) and {e dispatch latency}
+    (runnable → selected) — recorded into bounded-memory {!Hdr} histograms
+    (O(1) per sample, no per-sample allocation, quantiles within
+    {!Hdr.max_relative_error}). Raw per-sample retention is available
+    behind [~raw:true] for tests that need exact values. The fairness
+    gauge checks observed CPU share against ticket entitlement with
+    {!Lotto_stats.Chi_square}, the paper's own accuracy measure
     (§2, Figures 1–5). *)
 
 type t
 
-val create : unit -> t
+val create : ?raw:bool -> unit -> t
+(** [raw] (default [false]) additionally retains every wait/dispatch
+    sample in growable arrays — unbounded memory, for tests and offline
+    analysis only; histograms are always maintained. *)
+
 val attach : t -> Bus.t -> unit
 (** Raises [Invalid_argument] if already attached. *)
 
@@ -19,8 +26,8 @@ val detach : t -> unit
 val on_event : t -> int -> Event.t -> unit
 (** Feed one event directly (what {!attach} wires up). *)
 
-(** Accumulated counters for one thread. Latency samples are in µs of
-    virtual time, in arrival order. *)
+(** Accumulated counters for one thread. Latencies are in µs of virtual
+    time. *)
 type snapshot = {
   tid : int;
   name : string;
@@ -32,8 +39,13 @@ type snapshot = {
   lock_acquires : int;
   lock_contended : int;  (** acquisitions that had to queue *)
   rpcs : int;  (** requests sent *)
-  wait_us : float array;  (** block → wake durations *)
-  dispatch_us : float array;  (** runnable → selected durations *)
+  rpcs_served : int;  (** requests picked up for service *)
+  wait : Hdr.t;  (** block → wake durations (private copy) *)
+  dispatch : Hdr.t;  (** runnable → selected durations (private copy) *)
+  wait_us : float array;
+      (** exact block → wake samples in arrival order; empty unless the
+          registry was created with [~raw:true] *)
+  dispatch_us : float array;  (** likewise for runnable → selected *)
 }
 
 val snapshots : t -> snapshot list
@@ -65,5 +77,19 @@ val fairness : t -> entitled:(int * float) list -> share list * float option
 
 val summary : ?entitled:(int * float) list -> t -> string
 (** Render the whole registry as text: a per-thread counter table with
-    wait-time and dispatch-latency percentiles, plus (with [entitled]) the
+    wait-time and dispatch-latency percentiles (read off the histograms in
+    O(buckets) — no sorting, no sample copies), plus (with [entitled]) the
     observed-vs-entitled share table and chi-square fairness verdict. *)
+
+val profile : Profile.t -> string
+(** Render a scheduler phase profile as a summary section: per-phase
+    (valuation / draw / dispatch / publish) count, total host time and
+    percentiles. Printed by [lottosim --profile]. *)
+
+val to_prom : ?namespace:string -> t -> string
+(** Prometheus text exposition (version 0.0.4) of the registry: one
+    [counter] family per counter with [thread]/[tid] labels, and [summary]
+    families for wait/dispatch latency with quantiles
+    0.5/0.9/0.99/0.999 read off the histograms. [namespace] (default
+    ["lotto"]) prefixes every family name. Suitable for writing to a
+    textfile-collector path from a long-running sim. *)

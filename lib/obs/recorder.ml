@@ -92,10 +92,27 @@ let to_chrome_json ?(pid = 1) t =
   let instant ~name ~ts ~tid extra =
     base ~name ~ph:"i" ~ts ~tid (("s", str "t") :: extra)
   in
+  (* flow events ("s"/"t"/"f") are bound to each other by (cat, name, id);
+     one rpc:<msg_id> flow per request *)
+  let flow ~ph ~ts ~tid ~id extra =
+    obj
+      ([ ("name", str "rpc"); ("cat", str "rpc"); ("ph", str ph);
+         ("id", string_of_int id); ("ts", string_of_int ts);
+         ("pid", string_of_int pid); ("tid", string_of_int tid) ]
+      @ extra)
+  in
   (* tids with an open B slice: the ring may have dropped a Select whose
      Preempt survived; only close slices we opened. *)
   let open_slices = Hashtbl.create 16 in
   Buffer.add_string buf "[\n";
+  (* capture-window metadata first: a wrapped ring is detectable from the
+     file alone, not just from whoever held the recorder *)
+  obj
+    [ ("name", str "trace_window"); ("ph", str "M"); ("ts", "0");
+      ("pid", string_of_int pid); ("tid", "0");
+      ( "args",
+        Printf.sprintf "{\"seen\":%d,\"capacity\":%d,\"dropped\":%d}" t.seen
+          t.cap (dropped t) ) ];
   (* thread-name metadata so Perfetto labels the tracks *)
   let named = Hashtbl.create 16 in
   let evs = events t in
@@ -147,12 +164,27 @@ let to_chrome_json ?(pid = 1) t =
             (args [ ("contended", if contended then "true" else "false") ])
       | Event.Lock_release { who; mutex } ->
           instant ~name:("unlock:" ^ mutex) ~ts ~tid:who.Event.tid []
-      | Event.Rpc_send { who; port; msg_id } ->
+      | Event.Rpc_send { who; port; msg_id; parent } ->
           instant ~name:("rpc:" ^ port) ~ts ~tid:who.Event.tid
-            (args [ ("msg", string_of_int msg_id) ])
+            (args
+               (("msg", string_of_int msg_id)
+               ::
+               (match parent with
+               | None -> []
+               | Some p -> [ ("parent", string_of_int p) ])));
+          (* flow start: the request leaves the client track here *)
+          flow ~ph:"s" ~ts ~tid:who.Event.tid ~id:msg_id []
+      | Event.Rpc_recv { who; port; msg_id; sender } ->
+          instant ~name:("recv:" ^ port) ~ts ~tid:who.Event.tid
+            (args [ ("msg", string_of_int msg_id); ("from", str sender.Event.tname) ]);
+          (* flow step: picked up on the server track *)
+          flow ~ph:"t" ~ts ~tid:who.Event.tid ~id:msg_id []
       | Event.Rpc_reply { who; client; msg_id } ->
           instant ~name:"reply" ~ts ~tid:who.Event.tid
-            (args [ ("to", str client.Event.tname); ("msg", string_of_int msg_id) ])
+            (args [ ("to", str client.Event.tname); ("msg", string_of_int msg_id) ]);
+          (* flow finish: the reply lands back on the client track *)
+          flow ~ph:"f" ~ts ~tid:client.Event.tid ~id:msg_id
+            [ ("bp", str "e") ]
       | Event.Resource_draw { who; resource; contenders; total_weight } ->
           instant ~name:("draw:" ^ resource) ~ts ~tid:who.Event.tid
             (args
@@ -195,6 +227,12 @@ let csv_quote s =
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "time_us,event,tid,thread,detail\n";
+  if dropped t > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "# dropped %d oldest events (ring capacity %d, saw %d): window is \
+          incomplete\n"
+         (dropped t) t.cap t.seen);
   List.iter
     (fun (ts, ev) ->
       let a = Event.who ev in

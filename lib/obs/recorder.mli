@@ -42,10 +42,22 @@ val to_chrome_json : ?pid:int -> t -> string
 (** Chrome trace-event format: a JSON array of objects with ["name"],
     ["ph"], ["ts"] (µs), ["pid"] and ["tid"] fields. Scheduling slices
     appear as ["B"]/["E"] duration pairs per thread track (opened by
-    [Select], closed by the matching [Preempt]); everything else becomes
-    thread-scoped instant events with details under ["args"]. All strings
-    are JSON-escaped. [pid] defaults to 1. *)
+    [Select], closed by the matching [Preempt]); RPC requests additionally
+    emit flow events — ["s"] on the client at [Rpc_send], ["t"] on the
+    server at [Rpc_recv], ["f"] back on the client at [Rpc_reply], all
+    bound by [id = msg_id] — so Perfetto draws each request as a connected
+    arrow path across thread tracks; everything else becomes thread-scoped
+    instant events with details under ["args"]. The first record is
+    metadata (["ph":"M"], name [trace_window]) carrying [seen], [capacity]
+    and [dropped], so a wrapped window is detectable from the file alone.
+    All strings are JSON-escaped. [pid] defaults to 1. *)
 
 val to_csv : t -> string
 (** One row per event: [time_us,event,tid,thread,detail], with RFC-4180
-    quoting on the name/detail columns. *)
+    quoting on the name/detail columns. When the ring wrapped, a comment
+    row [# dropped N oldest events ...] follows the header so the loss is
+    visible in the file itself. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping used by the exporters; shared with
+    {!Span.to_chrome_json}. *)

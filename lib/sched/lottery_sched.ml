@@ -39,6 +39,9 @@ type t = {
   mutable scoped_updates : int;
   mutable draw_hook : (runnable:int -> total_weight:float -> unit) option;
       (* observability probe, fired once per lottery *)
+  mutable profiler : Lotto_obs.Profile.t option;
+      (* when set, valuation (pending-weight flush) and draw host-clock
+         costs are recorded per select *)
 }
 
 let create ?(mode = List_mode) ?(quantum_fallback = true)
@@ -61,6 +64,7 @@ let create ?(mode = List_mode) ?(quantum_fallback = true)
       full_refreshes = 0;
       scoped_updates = 0;
       draw_hook = None;
+      profiler = None;
     }
   in
   (* Scoped change tracking: every funding mutation — ours or a caller's
@@ -276,11 +280,25 @@ let fire_draw_hook t =
 
 let select t =
   t.draws <- t.draws + 1;
-  flush_pending t;
-  fire_draw_hook t;
-  match D.draw_client t.draw t.rng with
-  | Some th -> Some th
-  | None -> fallback_pick t
+  (match t.profiler with
+  | None ->
+      flush_pending t;
+      fire_draw_hook t
+  | Some p ->
+      let t0 = Lotto_obs.Profile.start p in
+      flush_pending t;
+      Lotto_obs.Profile.stop p Lotto_obs.Profile.Valuation t0;
+      fire_draw_hook t);
+  match t.profiler with
+  | None -> (
+      match D.draw_client t.draw t.rng with
+      | Some th -> Some th
+      | None -> fallback_pick t)
+  | Some p -> (
+      let t0 = Lotto_obs.Profile.start p in
+      let won = D.draw_client t.draw t.rng in
+      Lotto_obs.Profile.stop p Lotto_obs.Profile.Draw t0;
+      match won with Some th -> Some th | None -> fallback_pick t)
 
 let account t th ~used:_ ~quantum:_ ~blocked:_ =
   (* The thread's compensation factor was reset when its quantum started
@@ -346,6 +364,7 @@ let sched t =
   }
 
 let set_draw_hook t hook = t.draw_hook <- hook
+let set_profiler t p = t.profiler <- p
 
 (* --- auditable introspection -------------------------------------------- *)
 

@@ -105,6 +105,14 @@ val set_draw_hook : t -> (runnable:int -> total_weight:float -> unit) option -> 
     active weight. Used to instrument draw cost and contention; [None]
     removes it. *)
 
+val set_profiler : t -> Lotto_obs.Profile.t option -> unit
+(** Install (or clear) a scheduler phase profiler: each [select] records
+    its {e valuation} phase (flushing dirtied weights into the draw) and
+    its {e draw} phase (picking the winner) host-clock cost. Pair with
+    {!Lotto_sim.Kernel.set_profiler} on the same profiler so all four
+    phases land in one report. With no profiler the cost is one branch per
+    select. *)
+
 val donation_targets : t -> Lotto_sim.Types.thread -> int list
 (** Thread ids currently receiving a transfer ticket from [th], one entry
     per live donation (a divided transfer lists each target once per

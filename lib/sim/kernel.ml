@@ -23,6 +23,9 @@ type t = {
   mutable sem_list : semaphore list;
   mutable pre_select : (unit -> unit) option;
       (* fired at every scheduling-decision boundary, just before select *)
+  mutable profiler : Obs.Profile.t option;
+      (* when set, dispatch (slice execution) and publish (bus fan-out)
+         host-clock costs are recorded; schedulers time their own phases *)
 }
 
 (* Event publication: every site guards with [observed] so that with no
@@ -30,7 +33,14 @@ type t = {
    allocated (the tracing-off hot path must stay free). *)
 let[@inline] observed k = Obs.Bus.active k.bus
 let[@inline] actor th = Obs.Event.actor_of ~tid:th.id ~tname:th.name
-let emit k ev = Obs.Bus.emit k.bus ~time:k.now ev
+
+let emit k ev =
+  match k.profiler with
+  | None -> Obs.Bus.emit k.bus ~time:k.now ev
+  | Some p ->
+      let t0 = Obs.Profile.start p in
+      Obs.Bus.emit k.bus ~time:k.now ev;
+      Obs.Profile.stop p Obs.Profile.Publish t0
 
 let create ?(quantum = Time.ms 100) ~sched () =
   if quantum <= 0 then invalid_arg "Kernel.create: quantum <= 0";
@@ -51,6 +61,7 @@ let create ?(quantum = Time.ms 100) ~sched () =
     cond_list = [];
     sem_list = [];
     pre_select = None;
+    profiler = None;
   }
 
 let now k = k.now
@@ -73,6 +84,7 @@ let spawn k ~name body =
       donating_to = [];
       failure = None;
       joiners = [];
+      servicing = [];
       created_at = k.now;
       exited_at = None;
     }
@@ -242,6 +254,22 @@ let finish k th exn_opt =
 
 (* --- IPC and mutex operations (run inside effect handlers) ------------ *)
 
+(* The server begins servicing [msg]: push it on the span-parent stack and
+   announce the pickup. Called at all three pickup sites — direct handoff,
+   queue drain on receive, and poll. *)
+let begin_service k srv msg ~port:p =
+  srv.servicing <- msg.msg_id :: srv.servicing;
+  if observed k then
+    emit k
+      (Obs.Event.Rpc_recv
+         { who = actor srv; port = p.port_name; msg_id = msg.msg_id;
+           sender = actor msg.sender })
+
+let end_service srv id =
+  match srv.servicing with
+  | x :: rest when x = id -> srv.servicing <- rest
+  | l -> srv.servicing <- List.filter (fun x -> x <> id) l
+
 let do_reply k msg result =
   let client = msg.sender in
   let server_actor () =
@@ -296,6 +324,13 @@ let do_reply k msg result =
       invalid_arg "Api.reply: sender is not awaiting a reply"
   | Exited -> drop "client exited"
   | _ -> drop "client no longer waiting"
+
+let do_reply k msg result =
+  do_reply k msg result;
+  (* replied (or dropped): the request leaves the server's span stack *)
+  match k.current with
+  | Some srv -> end_service srv msg.msg_id
+  | None -> ()
 
 let do_unlock k th m =
   (match m.owner with
@@ -390,6 +425,7 @@ let rec start_body (k : t) (th : thread) (body : unit -> unit) : step =
                 (fun (kc : (a, step) continuation) ->
                   match Queue.take_opt p.queue with
                   | Some msg ->
+                      begin_service k th msg ~port:p;
                       if msg.sender.state = Blocked then
                         donate k ~src:msg.sender ~dst:th;
                       continue kc (Some msg)
@@ -513,6 +549,7 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
       match Queue.take_opt p.queue with
       | Some msg ->
           th.pending <- Ready_msg (msg, kc);
+          begin_service k th msg ~port:p;
           (* The queued sender's ticket transfer lands on whichever server
              thread picks the message up (paper §4.6). *)
           if msg.sender.state = Blocked then donate k ~src:msg.sender ~dst:th;
@@ -561,7 +598,11 @@ and deliver_or_queue k sender p msg =
   if observed k then
     emit k
       (Obs.Event.Rpc_send
-         { who = actor sender; port = p.port_name; msg_id = msg.msg_id });
+         { who = actor sender; port = p.port_name; msg_id = msg.msg_id;
+           parent =
+             (* the span the sender is itself servicing, if any: nested
+                RPC chains form trees *)
+             (match sender.servicing with [] -> None | s :: _ -> Some s) });
   let rec next_live_waiter () =
     match Queue.take_opt p.waiters with
     | Some srv when (match srv.pending with Waiting_recv _ -> true | _ -> false) ->
@@ -574,6 +615,7 @@ and deliver_or_queue k sender p msg =
       match srv.pending with
       | Waiting_recv { k = ks; _ } ->
           srv.pending <- Ready_msg (msg, ks);
+          begin_service k srv msg ~port:p;
           unblock k srv;
           donate k ~src:sender ~dst:srv
       | _ -> assert false)
@@ -786,7 +828,13 @@ let run k ~until =
     wake_timers k;
     (match k.pre_select with Some f -> f () | None -> ());
     match k.sched.select () with
-    | Some th -> run_slice k th ~horizon:until
+    | Some th -> (
+        match k.profiler with
+        | None -> run_slice k th ~horizon:until
+        | Some p ->
+            let t0 = Obs.Profile.start p in
+            run_slice k th ~horizon:until;
+            Obs.Profile.stop p Obs.Profile.Dispatch t0)
     | None -> (
         (* Idle: advance virtual time to the next *live* deadline. Stale
            entries left by killed sleepers must not inflate idle_ticks or
@@ -820,6 +868,7 @@ let find_thread k name =
     None k.thread_list
 
 let set_pre_select k f = k.pre_select <- f
+let set_profiler k p = k.profiler <- p
 
 (* --- invariant audit --------------------------------------------------- *)
 

@@ -118,6 +118,15 @@ val check_invariants : t -> string list
 val bus : t -> Lotto_obs.Bus.t
 (** The kernel's event bus; subscribe with {!Lotto_obs.Bus.subscribe}. *)
 
+val set_profiler : t -> Lotto_obs.Profile.t option -> unit
+(** Install (or clear) a scheduler phase profiler. The kernel records the
+    {e dispatch} phase (each slice's host-clock execution time, bus
+    publication included) and the {e publish} phase (each event's bus
+    fan-out); schedulers that support profiling record their own
+    valuation/draw phases into the same profiler (see
+    {!Lotto_sched.Lottery_sched.set_profiler}). With no profiler the cost
+    is one branch per site. *)
+
 val set_tracer : t -> (Time.t -> string -> unit) option -> unit
 (** Legacy string-tracer interface, kept as a compatibility shim: installs
     a bus subscriber that renders each event through

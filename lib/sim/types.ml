@@ -29,6 +29,10 @@ type thread = {
           several when a transfer is divided across servers (§3.1) *)
   mutable failure : exn option;
   mutable joiners : thread list;  (** threads blocked in [Api.join] on us *)
+  mutable servicing : int list;
+      (** msg_ids of requests this thread has received and not yet replied
+          to, innermost first — the span-parent stack: an RPC sent while
+          servicing is a child span of the head *)
   created_at : time;
   mutable exited_at : time option;
 }

@@ -123,6 +123,36 @@ let test_soak_catches_reintroduced_bug () =
   checkb "failing runs listed in the report" true
     (r.Soak.failures <> [] && Soak.report_to_string r <> "")
 
+let test_span_audit_in_soak () =
+  (* every chaos run now carries a span tracer: RPC-heavy scenarios must
+     account for every request — closed, dropped or orphan-flagged, never
+     leaked — even with kills flying *)
+  let o = Soak.run_one Scenarios.rpc ~seed:3 in
+  checkb "clean run" false (Soak.failed o);
+  let st = o.Soak.span_stats in
+  checkb "spans were traced" true (st.Lotto_obs.Span.st_total > 0);
+  checki "no span left open after finalize" 0 st.st_open;
+  checki "every span accounted for" st.st_total
+    (st.st_closed + st.st_dropped + st.st_orphaned)
+
+let test_span_soak_200_seeds () =
+  (* the acceptance soak for span tracing: 200 seeds over the RPC and
+     scatter scenarios, kills and all; any structural span violation is a
+     run failure, and every opened span must be accounted for *)
+  let seeds = Soak.seed_range ~from:0 ~count:200 in
+  List.iter
+    (fun sc ->
+      let r = Soak.soak ~scenarios:[ sc ] ~seeds () in
+      (match Soak.first_failure r with
+      | None -> ()
+      | Some (name, seed) ->
+          Alcotest.failf "span soak failed: scenario=%s seed=%d\n%s" name seed
+            (Soak.report_to_string r));
+      checki
+        (Printf.sprintf "%s: 200 runs" sc.Scenarios.name)
+        200 r.Soak.runs)
+    [ Scenarios.rpc; Scenarios.scatter ]
+
 let test_outcome_reproducible_end_to_end () =
   (* full outcome equality, not just fault logs *)
   let sc = Scenarios.scatter in
@@ -160,6 +190,10 @@ let () =
         [
           Alcotest.test_case "200 audited seeded runs pass" `Slow
             test_soak_200_seeds_audited;
+          Alcotest.test_case "span audit rides every run" `Quick
+            test_span_audit_in_soak;
+          Alcotest.test_case "200-seed span soak over rpc scenarios" `Slow
+            test_span_soak_200_seeds;
           Alcotest.test_case "catches a reintroduced reply-after-kill bug"
             `Quick test_soak_catches_reintroduced_bug;
           Alcotest.test_case "scenario lookup" `Quick test_scenario_lookup;

@@ -274,6 +274,88 @@ run 1s" "bad funding";
 run 1s" "bad currency amount";
   expect_parse_error "run 0s" "bad run duration"
 
+let rpc_scenario =
+  "seed 7\n\
+   currency alice 600 base\n\
+   thread a1 spin 1ms 100 alice\n\
+   thread srv serve echo 5ms 200 base\n\
+   thread cli rpc echo 2ms 100 alice\n\
+   run 5s"
+
+let test_scenario_rpc_workloads () =
+  (* serve/rpc threads: the run produces causal spans, a Prometheus
+     snapshot and a phase profile when asked *)
+  match Scenario.parse rpc_scenario with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok s ->
+      let clock =
+        let t = ref 0 in
+        fun () ->
+          t := !t + 50;
+          !t
+      in
+      let r =
+        Scenario.run ~trace:true ~stats:true ~spans:true ~prom:true
+          ~profile_clock:clock s
+      in
+      checki "three rows" 3 (List.length r.Scenario.rows);
+      (match r.Scenario.spans with
+      | None -> Alcotest.fail "spans expected"
+      | Some tracer ->
+          let st = Lotto_obs.Span.stats tracer in
+          checkb "rpc traffic produced spans" true (st.Lotto_obs.Span.st_total > 100);
+          checki "all spans settled at the horizon" 0 st.st_open;
+          check (Alcotest.list Alcotest.string) "no span violations" []
+            (Lotto_obs.Span.violations tracer));
+      (match r.Scenario.prom with
+      | None -> Alcotest.fail "prom expected"
+      | Some text ->
+          checkb "rpc counters exported" true
+            (Astring_contains.contains text "lotto_rpcs_sent_total"
+            && Astring_contains.contains text "lotto_rpcs_served_total"));
+      (match r.Scenario.profile with
+      | None -> Alcotest.fail "profile expected"
+      | Some text ->
+          checkb "profile names the phases" true
+            (Astring_contains.contains text "valuation"
+            && Astring_contains.contains text "dispatch"));
+      (match r.Scenario.stats with
+      | None -> Alcotest.fail "stats expected"
+      | Some text ->
+          checkb "no wrap warning below capacity" false
+            (Astring_contains.contains text "window wrapped"))
+
+let test_scenario_wrap_warning () =
+  (* a deliberately tiny trace ring: the stats text must warn that the
+     window wrapped instead of letting the numbers look complete *)
+  match Scenario.parse rpc_scenario with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok s ->
+      let r = Scenario.run ~trace:true ~trace_capacity:64 ~stats:true s in
+      (match r.Scenario.recorder with
+      | None -> Alcotest.fail "recorder expected"
+      | Some rec_ ->
+          checkb "ring wrapped" true (Lotto_obs.Recorder.dropped rec_ > 0));
+      match r.Scenario.stats with
+      | None -> Alcotest.fail "stats expected"
+      | Some text ->
+          checkb "wrap warning present" true
+            (Astring_contains.contains text "window wrapped")
+
+let test_scenario_rpc_parse_errors () =
+  let expect_parse_error text needle =
+    match Scenario.parse text with
+    | Ok _ -> Alcotest.failf "accepted %S" text
+    | Error m ->
+        checkb
+          (Printf.sprintf "%S mentions %S (got %S)" text needle m)
+          true
+          (Astring_contains.contains m needle)
+  in
+  expect_parse_error "thread s serve echo 0ms 10 base\nrun 1s" "bad service cost";
+  expect_parse_error "thread c rpc echo never 10 base\nrun 1s" "bad think time";
+  expect_parse_error "thread c rpc echo 10 base\nrun 1s" "expected: thread"
+
 let test_scenario_durations () =
   (* us/ms/s suffixes all parse *)
   match
@@ -312,5 +394,11 @@ let () =
           Alcotest.test_case "end to end" `Quick test_scenario_end_to_end;
           Alcotest.test_case "parse errors" `Quick test_scenario_parse_errors;
           Alcotest.test_case "duration suffixes" `Quick test_scenario_durations;
+          Alcotest.test_case "rpc workloads, spans, prom, profile" `Quick
+            test_scenario_rpc_workloads;
+          Alcotest.test_case "wrapped-window warning" `Quick
+            test_scenario_wrap_warning;
+          Alcotest.test_case "rpc parse errors" `Quick
+            test_scenario_rpc_parse_errors;
         ] );
     ]

@@ -198,6 +198,24 @@ let test_bus_churn_during_delivery () =
   checki "self-removing subscriber fired once" 1 !fired;
   checki "other subscriber saw every emission" 2 !other
 
+let test_bus_subscribe_during_delivery () =
+  (* a subscriber added while an emission is being delivered must not see
+     that emission — emit works from a snapshot — but must see the next *)
+  let bus = Obs.Bus.create () in
+  let late = ref 0 and first = ref 0 in
+  let _s =
+    Obs.Bus.subscribe bus (fun _ _ ->
+        incr first;
+        if !first = 1 then
+          ignore (Obs.Bus.subscribe ~name:"late" bus (fun _ _ -> incr late)))
+  in
+  Obs.Bus.emit bus ~time:1 (select "a" 0);
+  checki "mid-emit subscriber missed the current emission" 0 !late;
+  checki "but is registered" 2 (Obs.Bus.subscriber_count bus);
+  Obs.Bus.emit bus ~time:2 (select "b" 0);
+  checki "and receives from the next one on" 1 !late;
+  checki "existing subscriber saw both" 2 !first
+
 (* --- recorder --------------------------------------------------------------- *)
 
 let test_ring_wraparound () =
@@ -269,6 +287,145 @@ let test_csv_shape () =
   check Alcotest.string "header" "time_us,event,tid,thread,detail" (List.hd lines);
   checkb "comma-bearing name quoted" true (count_substring csv {|"com,ma"|} > 0)
 
+let test_trace_window_metadata () =
+  (* the Chrome export must carry the ring-window accounting so a wrapped
+     trace is detectable from the file alone *)
+  let r = Obs.Recorder.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Obs.Recorder.record r i (select "t" 0)
+  done;
+  let json = Obs.Recorder.to_chrome_json r in
+  checkb "valid JSON" true (json_valid json);
+  checki "trace_window metadata once" 1 (count_substring json "trace_window");
+  checkb "dropped count surfaced" true
+    (count_substring json {|"seen":10,"capacity":4,"dropped":6|} > 0)
+
+let test_csv_dropped_comment () =
+  let r = Obs.Recorder.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Obs.Recorder.record r i (select "t" 0)
+  done;
+  let csv = Obs.Recorder.to_csv r in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* header stays first so the file still machine-parses; the warning is a
+     comment row right after it *)
+  check Alcotest.string "header first" "time_us,event,tid,thread,detail"
+    (List.hd lines);
+  checkb "comment row flags the wrap" true
+    (match lines with
+    | _ :: c :: _ -> String.length c > 0 && c.[0] = '#' && count_substring c "dropped 6" > 0
+    | _ -> false);
+  (* and no comment row at all when nothing was dropped *)
+  let r2 = Obs.Recorder.create ~capacity:16 () in
+  Obs.Recorder.record r2 1 (select "t" 0);
+  checki "clean window has no comment rows" 0
+    (count_substring (Obs.Recorder.to_csv r2) "#")
+
+(* --- hdr histograms ----------------------------------------------------------- *)
+
+(* same rank convention as Hdr.percentile: the 1-indexed sample of rank
+   ceil(p/100 * n) in the sorted data *)
+let exact_rank_percentile sorted p =
+  let n = Array.length sorted in
+  let r = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  let r = if r < 1 then 1 else if r > n then n else r in
+  sorted.(r - 1)
+
+let test_hdr_exact_region () =
+  (* below 2^sub_bits every bucket has unit width: quantiles are exact *)
+  let h = Obs.Hdr.create ~sub_bits:5 () in
+  for v = 0 to 31 do
+    Obs.Hdr.record h v
+  done;
+  checki "count" 32 (Obs.Hdr.count h);
+  checki "sum exact" (31 * 32 / 2) (Obs.Hdr.sum h);
+  checki "min" 0 (Obs.Hdr.min_value h);
+  checki "max" 31 (Obs.Hdr.max_value_seen h);
+  checkb "p50 exact" true (Obs.Hdr.percentile h 50. = 15.);
+  checkb "p100 exact" true (Obs.Hdr.percentile h 100. = 31.)
+
+let test_hdr_vs_exact_quantiles () =
+  (* the acceptance property: 10^6 samples from a latency-shaped mixture,
+     histogram quantiles within the documented relative error of the exact
+     order statistics (and of Descriptive's interpolating quantile) *)
+  let rng = Rng.create ~seed:71 () in
+  let n = 1_000_000 in
+  let h = Obs.Hdr.create () in
+  let xs =
+    Array.init n (fun _ ->
+        if Rng.float_unit rng < 0.1 then Rng.int_below rng 32
+        else int_of_float (Rng.exponential rng ~mean:4000.))
+  in
+  Array.iter (fun v -> Obs.Hdr.record h v) xs;
+  checki "all recorded, none clamped" n (Obs.Hdr.count h);
+  checki "no clamping at default max" 0 (Obs.Hdr.clamped h);
+  let sorted = Array.map float_of_int xs in
+  Array.sort compare sorted;
+  let tol = Obs.Hdr.max_relative_error h in
+  checkb "documented bound is 2^-5" true (tol = 1. /. 32.);
+  List.iter
+    (fun p ->
+      let est = Obs.Hdr.percentile h p in
+      let exact = exact_rank_percentile sorted p in
+      let rel a b = if b = 0. then Float.abs (a -. b) else Float.abs (a -. b) /. b in
+      checkb
+        (Printf.sprintf "p%g within %.4f of exact rank (est %.0f, exact %.0f)" p
+           tol est exact)
+        true
+        (rel est exact <= tol);
+      (* Descriptive interpolates between adjacent ranks; with 10^6 samples
+         that shifts the target by at most one order statistic *)
+      let interp = Descriptive.percentile sorted p in
+      checkb
+        (Printf.sprintf "p%g within %.4f of Descriptive (est %.0f, interp %.1f)"
+           p tol est interp)
+        true
+        (rel est interp <= tol +. 0.005))
+    [ 50.; 90.; 99.; 99.9 ]
+
+let test_hdr_clamping_and_reset () =
+  let h = Obs.Hdr.create ~sub_bits:5 ~max_value:1024 () in
+  Obs.Hdr.record h (-3);
+  (* negatives clamp to 0 *)
+  Obs.Hdr.record h 5000;
+  (* oversized samples clamp into the top bucket but keep exact sum/max *)
+  checki "count includes clamped" 2 (Obs.Hdr.count h);
+  checki "one clamped sample" 1 (Obs.Hdr.clamped h);
+  checki "sum keeps the exact oversized value" 5000 (Obs.Hdr.sum h);
+  checki "max exact" 5000 (Obs.Hdr.max_value_seen h);
+  checki "negative floored at zero" 0 (Obs.Hdr.min_value h);
+  let snap = Obs.Hdr.copy h in
+  Obs.Hdr.reset h;
+  checki "reset empties" 0 (Obs.Hdr.count h);
+  checki "copy unaffected by reset" 2 (Obs.Hdr.count snap)
+
+let test_hdr_merge () =
+  (* interleave one stream into two histograms: the merge must be
+     indistinguishable from having recorded everything into one *)
+  let a = Obs.Hdr.create () and b = Obs.Hdr.create () in
+  let all = Obs.Hdr.create () in
+  let rng = Rng.create ~seed:5 () in
+  for i = 0 to 9_999 do
+    let v = Rng.int_below rng 100_000 in
+    Obs.Hdr.record (if i mod 2 = 0 then a else b) v;
+    Obs.Hdr.record all v
+  done;
+  Obs.Hdr.merge ~into:a b;
+  checki "merged count" (Obs.Hdr.count all) (Obs.Hdr.count a);
+  checki "merged sum" (Obs.Hdr.sum all) (Obs.Hdr.sum a);
+  checki "merged min" (Obs.Hdr.min_value all) (Obs.Hdr.min_value a);
+  checki "merged max" (Obs.Hdr.max_value_seen all) (Obs.Hdr.max_value_seen a);
+  List.iter
+    (fun p ->
+      checkb
+        (Printf.sprintf "merged p%g = single-stream p%g" p p)
+        true
+        (Obs.Hdr.percentile a p = Obs.Hdr.percentile all p))
+    [ 1.; 50.; 99.; 100. ];
+  Alcotest.check_raises "mismatched parameters rejected"
+    (Invalid_argument "Hdr.merge: mismatched histogram parameters") (fun () ->
+      Obs.Hdr.merge ~into:a (Obs.Hdr.create ~sub_bits:6 ()))
+
 (* --- live kernel helpers ----------------------------------------------------- *)
 
 let lottery_kernel ~seed () =
@@ -287,6 +444,240 @@ let spin_thread k ls name amount =
   ignore
     (Lottery_sched.fund_thread ls th ~amount ~from:(Lottery_sched.base_currency ls));
   th
+
+(* --- causal rpc spans --------------------------------------------------------- *)
+
+(* round-robin kernels: no funding boilerplate, and span semantics are
+   scheduler-independent *)
+let rr_kernel () =
+  Kernel.create ~quantum:(Time.ms 10)
+    ~sched:(Round_robin.sched (Round_robin.create ()))
+    ()
+
+let traced_kernel () =
+  let k = rr_kernel () in
+  let tracer = Obs.Span.create () in
+  Obs.Span.attach tracer (Kernel.bus k);
+  (k, tracer)
+
+let span_accounting_closed tracer =
+  let st = Obs.Span.stats tracer in
+  st.Obs.Span.st_open = 0
+  && st.st_closed + st.st_dropped + st.st_orphaned = st.st_total
+
+let test_span_roundtrip_and_flow_events () =
+  let k, tracer = traced_kernel () in
+  let r = Obs.Recorder.create ~capacity:(1 lsl 12) () in
+  Obs.Recorder.attach r (Kernel.bus k);
+  let port = Kernel.create_port k ~name:"echo" in
+  ignore
+    (Kernel.spawn k ~name:"server" (fun () ->
+         while true do
+           let m = Api.receive port in
+           Api.compute (Time.ms 5);
+           Api.reply m m.payload
+         done));
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () ->
+         for _ = 1 to 5 do
+           ignore (Api.rpc port "ping")
+         done));
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  Obs.Span.finalize tracer ~now:(Kernel.now k);
+  let st = Obs.Span.stats tracer in
+  checki "five spans opened" 5 st.Obs.Span.st_total;
+  checki "all closed" 5 st.st_closed;
+  checki "none left open" 0 st.st_open;
+  check (Alcotest.list Alcotest.string) "no violations" []
+    (Obs.Span.violations tracer);
+  Obs.Span.iter tracer (fun s ->
+      checkb "top-level spans have no parent" true (s.Obs.Span.parent = None);
+      checkb "server endpoint recorded" true (s.Obs.Span.server <> None);
+      checkb "send <= recv <= close" true
+        (match (s.Obs.Span.recv_at, s.Obs.Span.closed_at) with
+        | Some rv, Some c -> s.Obs.Span.sent_at <= rv && rv <= c
+        | _ -> false));
+  let span_json = Obs.Span.to_chrome_json tracer in
+  checkb "span JSON valid" true (json_valid span_json);
+  checki "one async begin per span" 5 (count_substring span_json {|"ph":"b"|});
+  checki "one service instant per span" 5 (count_substring span_json {|"ph":"n"|});
+  checki "one async end per span" 5 (count_substring span_json {|"ph":"e"|});
+  (* the recorder's trace carries matching flow events: the request path
+     renders as connected arrows across the two thread tracks *)
+  let trace_json = Obs.Recorder.to_chrome_json r in
+  checkb "trace JSON valid" true (json_valid trace_json);
+  checki "flow start per request" 5 (count_substring trace_json {|"ph":"s"|});
+  checki "flow step at pickup" 5 (count_substring trace_json {|"ph":"t"|});
+  checki "flow finish at reply" 5 (count_substring trace_json {|"ph":"f"|})
+
+let test_span_nested_parenting () =
+  (* client -> front -> back: the inner request must be parented to the
+     span its sender was servicing, forming a two-level tree *)
+  let k, tracer = traced_kernel () in
+  let front = Kernel.create_port k ~name:"front" in
+  let back = Kernel.create_port k ~name:"back" in
+  ignore
+    (Kernel.spawn k ~name:"backend" (fun () ->
+         while true do
+           let m = Api.receive back in
+           Api.compute (Time.ms 2);
+           Api.reply m ("b:" ^ m.payload)
+         done));
+  ignore
+    (Kernel.spawn k ~name:"mid" (fun () ->
+         while true do
+           let m = Api.receive front in
+           Api.reply m (Api.rpc back m.payload)
+         done));
+  let answer = ref "" in
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () -> answer := Api.rpc front "x"));
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  Obs.Span.finalize tracer ~now:(Kernel.now k);
+  check Alcotest.string "request went through both hops" "b:x" !answer;
+  check (Alcotest.list Alcotest.string) "no violations" []
+    (Obs.Span.violations tracer);
+  match Obs.Span.spans tracer with
+  | [ outer; inner ] ->
+      checkb "outer span is the root" true (outer.Obs.Span.parent = None);
+      checkb "inner parented to outer" true
+        (inner.Obs.Span.parent = Some outer.Obs.Span.id);
+      checkb "outer lists inner as child" true
+        (List.mem inner.Obs.Span.id outer.Obs.Span.children);
+      check Alcotest.string "outer port" "front" outer.Obs.Span.port;
+      check Alcotest.string "inner port" "back" inner.Obs.Span.port;
+      checkb "both closed" true
+        (outer.Obs.Span.status = Obs.Span.Closed
+        && inner.Obs.Span.status = Obs.Span.Closed)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_span_client_killed_reply_dropped () =
+  (* the client dies while its request is in service; the server's eventual
+     reply is a traced no-op and the span must end Dropped, not leak *)
+  let k, tracer = traced_kernel () in
+  let port = Kernel.create_port k ~name:"svc" in
+  ignore
+    (Kernel.spawn k ~name:"server" (fun () ->
+         let m = Api.receive port in
+         Api.compute (Time.ms 500);
+         Api.reply m ""));
+  let doomed =
+    Kernel.spawn k ~name:"doomed" (fun () -> ignore (Api.rpc port "a"))
+  in
+  ignore (Kernel.run k ~until:(Time.ms 100));
+  Kernel.kill k doomed;
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  Obs.Span.finalize tracer ~now:(Kernel.now k);
+  check (Alcotest.list Alcotest.string) "kills are not violations" []
+    (Obs.Span.violations tracer);
+  checkb "accounting closed" true (span_accounting_closed tracer);
+  (match Obs.Span.spans tracer with
+  | [ s ] ->
+      checkb "span ended Dropped" true
+        (match s.Obs.Span.status with Obs.Span.Dropped _ -> true | _ -> false)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l))
+
+let test_span_server_killed_orphans () =
+  let k, tracer = traced_kernel () in
+  let port = Kernel.create_port k ~name:"svc" in
+  let server =
+    Kernel.spawn k ~name:"server" (fun () ->
+        let m = Api.receive port in
+        Api.compute (Time.seconds 10);
+        Api.reply m "")
+  in
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () -> ignore (Api.rpc port "x")));
+  ignore (Kernel.run k ~until:(Time.ms 100));
+  Kernel.kill k server;
+  ignore (Kernel.run k ~until:(Time.ms 200));
+  Obs.Span.finalize tracer ~now:(Kernel.now k);
+  check (Alcotest.list Alcotest.string) "no violations" []
+    (Obs.Span.violations tracer);
+  checkb "accounting closed" true (span_accounting_closed tracer);
+  (match Obs.Span.spans tracer with
+  | [ s ] ->
+      checkb "span flagged orphaned by server death" true
+        (s.Obs.Span.status = Obs.Span.Orphaned "server died")
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l))
+
+let test_span_finalize_flags_unfinished () =
+  (* a request to a port nobody serves: still pending at the horizon, so
+     finalize must flag it rather than leave it open *)
+  let k, tracer = traced_kernel () in
+  let port = Kernel.create_port k ~name:"void" in
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () -> ignore (Api.rpc port "x")));
+  ignore (Kernel.run k ~until:(Time.ms 100));
+  Obs.Span.finalize tracer ~now:(Kernel.now k);
+  checkb "accounting closed" true (span_accounting_closed tracer);
+  (match Obs.Span.spans tracer with
+  | [ s ] ->
+      checkb "pending span orphaned at finalize" true
+        (s.Obs.Span.status = Obs.Span.Orphaned "unfinished at finalize");
+      checkb "closed_at set to the horizon" true
+        (s.Obs.Span.closed_at = Some (Kernel.now k))
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  checkb "span JSON of flagged spans still valid" true
+    (json_valid (Obs.Span.to_chrome_json tracer))
+
+let test_span_scatter_gather () =
+  (* rpc_many opens one span per target, all parented the same way (none,
+     here) and all closed on gather *)
+  let k, tracer = traced_kernel () in
+  let mk name =
+    let port = Kernel.create_port k ~name in
+    ignore
+      (Kernel.spawn k ~name:(name ^ "-srv") (fun () ->
+           while true do
+             let m = Api.receive port in
+             Api.compute (Time.ms 3);
+             Api.reply m (name ^ ":" ^ m.payload)
+           done));
+    port
+  in
+  let p1 = mk "s1" and p2 = mk "s2" and p3 = mk "s3" in
+  let got = ref [] in
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () ->
+         got := Api.rpc_many [ (p1, "a"); (p2, "b"); (p3, "c") ]));
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  Obs.Span.finalize tracer ~now:(Kernel.now k);
+  check (Alcotest.list Alcotest.string) "replies in request order"
+    [ "s1:a"; "s2:b"; "s3:c" ] !got;
+  let st = Obs.Span.stats tracer in
+  checki "one span per scatter target" 3 st.Obs.Span.st_total;
+  checki "all closed" 3 st.st_closed;
+  check (Alcotest.list Alcotest.string) "no violations" []
+    (Obs.Span.violations tracer)
+
+let test_span_eviction_bounds_memory () =
+  let k = rr_kernel () in
+  let tracer = Obs.Span.create ~retain:8 () in
+  Obs.Span.attach tracer (Kernel.bus k);
+  let port = Kernel.create_port k ~name:"echo" in
+  ignore
+    (Kernel.spawn k ~name:"server" (fun () ->
+         while true do
+           let m = Api.receive port in
+           Api.reply m ""
+         done));
+  ignore
+    (Kernel.spawn k ~name:"client" (fun () ->
+         for _ = 1 to 100 do
+           ignore (Api.rpc port "x")
+         done));
+  ignore (Kernel.run k ~until:(Time.seconds 10));
+  Obs.Span.finalize tracer ~now:(Kernel.now k);
+  let st = Obs.Span.stats tracer in
+  checki "stats count every span ever opened" 100 st.Obs.Span.st_total;
+  checki "all closed" 100 st.st_closed;
+  checkb "retention window enforced" true
+    (List.length (Obs.Span.spans tracer) <= 8);
+  checki "eviction accounted" (100 - List.length (Obs.Span.spans tracer))
+    (Obs.Span.evicted tracer);
+  check (Alcotest.list Alcotest.string) "no violations" []
+    (Obs.Span.violations tracer)
 
 (* --- determinism of the typed stream ----------------------------------------- *)
 
@@ -364,7 +755,9 @@ let test_metrics_quanta_match_kernel () =
 
 let test_metrics_wait_time () =
   let k, ls = lottery_kernel ~seed:6 () in
-  let m = Obs.Metrics.create () in
+  (* per-sample assertions need the raw arrays; retention is opt-in now that
+     the histograms carry the percentile duty *)
+  let m = Obs.Metrics.create ~raw:true () in
   Obs.Metrics.attach m (Kernel.bus k);
   let th =
     Kernel.spawn k ~name:"sleeper" (fun () ->
@@ -425,6 +818,129 @@ let test_fairness_none_when_undefined () =
   let _, p = Obs.Metrics.fairness m ~entitled:[ (0, 1.); (1, 1.) ] in
   checkb "no events -> no verdict" true (p = None)
 
+let test_metrics_histogram_default () =
+  (* the default registry keeps no raw arrays — bounded memory — yet the
+     histograms still answer the percentile questions *)
+  let k, ls = lottery_kernel ~seed:6 () in
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.attach m (Kernel.bus k);
+  let th =
+    Kernel.spawn k ~name:"sleeper" (fun () ->
+        while true do
+          Api.compute (Time.ms 10);
+          Api.sleep (Time.ms 40)
+        done)
+  in
+  ignore
+    (Lottery_sched.fund_thread ls th ~amount:100
+       ~from:(Lottery_sched.base_currency ls));
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  match Obs.Metrics.snapshots m with
+  | [ s ] ->
+      checki "no raw wait samples retained" 0 (Array.length s.wait_us);
+      checki "no raw dispatch samples retained" 0 (Array.length s.dispatch_us);
+      checkb "histogram counted every completed block" true
+        (let n = Obs.Hdr.count s.wait in
+         n = s.blocks || n = s.blocks - 1);
+      (* every wait is exactly 40ms; the histogram estimate must sit within
+         its documented relative error of that *)
+      let p50 = Obs.Hdr.percentile s.wait 50. in
+      let tol = Obs.Hdr.max_relative_error s.wait *. 40_000. in
+      checkb
+        (Printf.sprintf "p50 wait ~ 40ms (got %.0f)" p50)
+        true
+        (Float.abs (p50 -. 40_000.) <= tol);
+      (* and the rendered summary works without any raw arrays *)
+      let text = Obs.Metrics.summary m in
+      checkb "summary renders percentiles" true
+        (count_substring text "p50/90/99" > 0)
+  | l -> Alcotest.failf "expected 1 snapshot, got %d" (List.length l)
+
+let test_metrics_prom_exposition () =
+  let k, ls = lottery_kernel ~seed:8 () in
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.attach m (Kernel.bus k);
+  let _a = spin_thread k ls "api\"svc" 100 in
+  let ivy =
+    Kernel.spawn k ~name:"ivy" (fun () ->
+        while true do
+          Api.compute (Time.ms 10);
+          Api.sleep (Time.ms 30)
+        done)
+  in
+  ignore
+    (Lottery_sched.fund_thread ls ivy ~amount:100
+       ~from:(Lottery_sched.base_currency ls));
+  ignore (Kernel.run k ~until:(Time.seconds 5));
+  let prom = Obs.Metrics.to_prom m in
+  (* families declared once, one sample line per thread *)
+  checki "wins family declared once" 1
+    (count_substring prom "# TYPE lotto_wins_total counter");
+  checki "one wins line per thread" 2 (count_substring prom "lotto_wins_total{");
+  checki "wait summary declared" 1
+    (count_substring prom "# TYPE lotto_wait_us summary");
+  checkb "quantile lines present" true
+    (count_substring prom {|quantile="0.99"|} > 0
+    && count_substring prom {|quantile="0.999"|} > 0);
+  checkb "sum/count companions present" true
+    (count_substring prom "lotto_wait_us_sum{" > 0
+    && count_substring prom "lotto_wait_us_count{" > 0);
+  (* label values escape quotes per the text-exposition rules *)
+  checkb "quote in thread name escaped" true
+    (count_substring prom {|thread="api\"svc"|} > 0);
+  (* a custom namespace reaches every family *)
+  let ns = Obs.Metrics.to_prom ~namespace:"sim" m in
+  checkb "namespace honoured" true
+    (count_substring ns "sim_wins_total" > 0 && count_substring ns "lotto_" = 0)
+
+(* --- scheduler phase profiler -------------------------------------------------- *)
+
+let test_profile_phases () =
+  (* a deterministic fake clock: each call advances 1000 ns, so every timed
+     section lasts exactly 1000 ns x (stops between start and stop) *)
+  let ticks = ref 0 in
+  let clock () =
+    ticks := !ticks + 1000;
+    !ticks
+  in
+  let p = Obs.Profile.create ~clock () in
+  let t0 = Obs.Profile.start p in
+  Obs.Profile.stop p Obs.Profile.Draw t0;
+  let t0 = Obs.Profile.start p in
+  Obs.Profile.stop p Obs.Profile.Valuation t0;
+  checki "draw recorded once" 1 (Obs.Hdr.count (Obs.Profile.hdr p Obs.Profile.Draw));
+  checki "draw duration is one tick" 1000
+    (Obs.Hdr.sum (Obs.Profile.hdr p Obs.Profile.Draw));
+  checki "dispatch untouched" 0
+    (Obs.Hdr.count (Obs.Profile.hdr p Obs.Profile.Dispatch));
+  let text = Obs.Metrics.profile p in
+  List.iter
+    (fun n -> checkb (n ^ " named in the report") true (count_substring text n > 0))
+    [ "valuation"; "draw"; "dispatch"; "publish" ]
+
+let test_profile_on_live_kernel () =
+  (* wire the profiler the way lottosim --profile does, with a fake clock:
+     every scheduler phase must accumulate samples on a busy kernel *)
+  let ticks = ref 0 in
+  let clock () =
+    ticks := !ticks + 7;
+    !ticks
+  in
+  let k, ls = lottery_kernel ~seed:4 () in
+  let p = Obs.Profile.create ~clock () in
+  Kernel.set_profiler k (Some p);
+  Lottery_sched.set_profiler ls (Some p);
+  let _a = spin_thread k ls "a" 100 in
+  let _b = spin_thread k ls "b" 200 in
+  ignore (Kernel.run k ~until:(Time.seconds 2));
+  List.iter
+    (fun ph ->
+      checkb
+        (Obs.Profile.phase_name ph ^ " sampled")
+        true
+        (Obs.Hdr.count (Obs.Profile.hdr p ph) > 0))
+    [ Obs.Profile.Valuation; Obs.Profile.Draw; Obs.Profile.Dispatch ]
+
 (* --- legacy tracer compatibility --------------------------------------------- *)
 
 let test_legacy_render_format () =
@@ -452,6 +968,8 @@ let () =
             test_bus_fanout_and_unsubscribe;
           Alcotest.test_case "churn during delivery" `Quick
             test_bus_churn_during_delivery;
+          Alcotest.test_case "subscribe during delivery" `Quick
+            test_bus_subscribe_during_delivery;
         ] );
       ( "recorder",
         [
@@ -461,6 +979,37 @@ let () =
           Alcotest.test_case "chrome json after wraparound" `Quick
             test_chrome_json_wrapped_open_slice;
           Alcotest.test_case "csv shape" `Quick test_csv_shape;
+          Alcotest.test_case "trace window metadata" `Quick
+            test_trace_window_metadata;
+          Alcotest.test_case "csv flags dropped events" `Quick
+            test_csv_dropped_comment;
+        ] );
+      ( "hdr",
+        [
+          Alcotest.test_case "exact below sub-bucket resolution" `Quick
+            test_hdr_exact_region;
+          Alcotest.test_case "quantiles within documented error (1e6 samples)"
+            `Slow test_hdr_vs_exact_quantiles;
+          Alcotest.test_case "clamping, copy and reset" `Quick
+            test_hdr_clamping_and_reset;
+          Alcotest.test_case "merge" `Quick test_hdr_merge;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "roundtrip spans + flow events" `Quick
+            test_span_roundtrip_and_flow_events;
+          Alcotest.test_case "nested rpc parenting" `Quick
+            test_span_nested_parenting;
+          Alcotest.test_case "client killed -> reply dropped" `Quick
+            test_span_client_killed_reply_dropped;
+          Alcotest.test_case "server killed -> orphaned" `Quick
+            test_span_server_killed_orphans;
+          Alcotest.test_case "finalize flags unfinished" `Quick
+            test_span_finalize_flags_unfinished;
+          Alcotest.test_case "scatter-gather spans" `Quick
+            test_span_scatter_gather;
+          Alcotest.test_case "eviction bounds memory" `Quick
+            test_span_eviction_bounds_memory;
         ] );
       ( "stream",
         [
@@ -477,6 +1026,16 @@ let () =
           Alcotest.test_case "fairness gauge" `Quick test_fairness_gauge;
           Alcotest.test_case "fairness undefined without data" `Quick
             test_fairness_none_when_undefined;
+          Alcotest.test_case "histogram percentiles, no raw retention" `Quick
+            test_metrics_histogram_default;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_metrics_prom_exposition;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "phase accumulation" `Quick test_profile_phases;
+          Alcotest.test_case "live kernel phases sampled" `Quick
+            test_profile_on_live_kernel;
         ] );
       ( "legacy",
         [ Alcotest.test_case "render matches old tracer" `Quick

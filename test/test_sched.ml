@@ -584,6 +584,7 @@ let test_scoped_updates_on_block_wake () =
       donating_to = [];
       failure = None;
       joiners = [];
+      servicing = [];
       created_at = 0;
       exited_at = None;
     }
