@@ -275,12 +275,15 @@ let churn_sizes = [ 100; 1000; 10000 ]
 let bench_thread id =
   {
     Core.Types.id;
+    tslot = id;
     name = Printf.sprintf "t%d" id;
     state = Core.Types.Runnable;
     pending = Core.Types.Exited;
     cpu = 0;
     compensate = 1.;
     donating_to = [];
+    donors = [];
+    owned = [];
     failure = None;
     joiners = [];
     servicing = [];
@@ -315,6 +318,169 @@ let churn_test mode mode_name ~full n =
          s.Core.Types.ready th;
          if full then Core.Lottery_sched.mark_dirty ls;
          ignore (s.Core.Types.select ())))
+
+(* --- part 2b: arena scale family (10^5 / 10^6 entities) ---------------- *)
+
+(* The acceptance family for the arena representation: the same full-slice
+   operation as the churn tests (block, lottery, wake, lottery — valuation
+   flush plus two tree draws) at 10^4, 10^5 and 10^6 threads. With the old
+   hashtable/list representation the constant factors and rehash stalls
+   made the slice drift toward linear; on flat arenas it must stay polylog:
+   the ns-per-slice at 10^6 is gated (see the derived -over- row) at ~2× of
+   10^4, i.e. pure lg n growth plus cache effects, not n. *)
+let scale_slice_sizes = [ 10_000; 100_000; 1_000_000 ]
+
+let scale_slice_test n =
+  let rng = Core.Rng.create ~seed:7 () in
+  let ls = Core.Lottery_sched.create ~mode:Core.Lottery_sched.Tree_mode ~rng () in
+  let s = Core.Lottery_sched.sched ls in
+  let threads = Array.init n bench_thread in
+  let base = Core.Lottery_sched.base_currency ls in
+  Array.iter
+    (fun th ->
+      s.Core.Types.attach th;
+      ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base))
+    threads;
+  ignore (s.Core.Types.select ()) (* settle creation-time funding events *);
+  let i = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "slice-tree/%07d" n)
+    (Staged.stage (fun () ->
+         let th = threads.(!i) in
+         i := (!i + 37) mod n;
+         s.Core.Types.unready th;
+         ignore (s.Core.Types.select ());
+         s.Core.Types.ready th;
+         ignore (s.Core.Types.select ())))
+
+(* The same population through the real kernel: one 100 ms quantum per
+   operation — select (tree draw over n runnable threads), dispatch into
+   the effect handler, account. *)
+let scale_quantum_sizes = [ 10_000; 100_000 ]
+
+let scale_quantum_test n =
+  let rng = Core.Rng.create ~seed:8 () in
+  let ls = Core.Lottery_sched.create ~mode:Core.Lottery_sched.Tree_mode ~rng () in
+  let k = Core.Kernel.create ~sched:(Core.Lottery_sched.sched ls) () in
+  let base = Core.Lottery_sched.base_currency ls in
+  for i = 1 to n do
+    let th =
+      Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+          while true do
+            Core.Api.compute (Core.Time.ms 100)
+          done)
+    in
+    ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base)
+  done;
+  ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100));
+  Test.make
+    ~name:(Printf.sprintf "kernel-quantum-tree/%07d" n)
+    (Staged.stage (fun () ->
+         ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
+
+(* Arena recycling under a live population: spawn a thread and kill it —
+   slot alloc/release, currency and ticket arena churn, O(degree) death —
+   with 10^5 funded threads resident. *)
+let scale_lifecycle_test n =
+  let rng = Core.Rng.create ~seed:9 () in
+  let ls = Core.Lottery_sched.create ~mode:Core.Lottery_sched.Tree_mode ~rng () in
+  let k = Core.Kernel.create ~sched:(Core.Lottery_sched.sched ls) () in
+  let base = Core.Lottery_sched.base_currency ls in
+  for i = 1 to n do
+    let th =
+      Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+          while true do
+            Core.Api.compute (Core.Time.ms 100)
+          done)
+    in
+    ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base)
+  done;
+  let j = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "lifecycle-tree/%07d" n)
+    (Staged.stage (fun () ->
+         incr j;
+         let th =
+           Core.Kernel.spawn k ~name:(Printf.sprintf "x%d" !j) (fun () -> ())
+         in
+         Core.Kernel.kill k th))
+
+let scale_tests () =
+  Test.make_grouped ~name:"scale-arena"
+    (List.map scale_slice_test scale_slice_sizes
+    @ List.map scale_quantum_test scale_quantum_sizes
+    @ [ scale_lifecycle_test 100_000 ])
+
+(* The wall-clock smoke CI runs under a timeout: create 10^5 threads, run
+   real quanta, block/wake churn with a lottery per transition, then mass
+   kills with the audit on. Any representation regression that turns a
+   slice O(n) blows the timeout; the hard checks at the end catch recycling
+   bugs. *)
+let scale_smoke () =
+  let n = 100_000 in
+  let t0 = Unix.gettimeofday () in
+  let rng = Core.Rng.create ~seed:3 () in
+  let ls = Core.Lottery_sched.create ~mode:Core.Lottery_sched.Tree_mode ~rng () in
+  let s = Core.Lottery_sched.sched ls in
+  let k = Core.Kernel.create ~sched:s () in
+  let base = Core.Lottery_sched.base_currency ls in
+  let threads =
+    Array.init n (fun i ->
+        let th =
+          Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+              while true do
+                Core.Api.compute (Core.Time.ms 100)
+              done)
+        in
+        ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base);
+        th)
+  in
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "scale-smoke: created and funded %d threads in %.2f s\n%!" n
+    (t1 -. t0);
+  ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 2_000));
+  let t2 = Unix.gettimeofday () in
+  Printf.printf "scale-smoke: 20 kernel quanta in %.2f s\n%!" (t2 -. t1);
+  let cycles = 50_000 in
+  for i = 0 to cycles - 1 do
+    let th = threads.(i * 37 mod n) in
+    s.Core.Types.unready th;
+    ignore (s.Core.Types.select ());
+    s.Core.Types.ready th;
+    ignore (s.Core.Types.select ())
+  done;
+  let t3 = Unix.gettimeofday () in
+  Printf.printf "scale-smoke: %d block/wake cycles (two draws each) in %.2f s\n%!"
+    cycles (t3 -. t2);
+  let kills = 10_000 in
+  for i = 0 to kills - 1 do
+    Core.Kernel.kill k threads.(i)
+  done;
+  for i = 0 to kills - 1 do
+    ignore
+      (Core.Kernel.spawn k ~name:(Printf.sprintf "r%d" i) (fun () ->
+           while true do
+             Core.Api.compute (Core.Time.ms 100)
+           done))
+  done;
+  let t4 = Unix.gettimeofday () in
+  Printf.printf "scale-smoke: %d kills + %d respawns (recycled slots) in %.2f s\n%!"
+    kills kills (t4 -. t3);
+  let live = Core.Kernel.live_thread_count k in
+  if live <> n then begin
+    Printf.printf "scale-smoke: FAIL live_thread_count %d <> %d\n" live n;
+    exit 1
+  end;
+  (match Core.Kernel.check_invariants k with
+  | [] -> ()
+  | violations ->
+      List.iter (Printf.printf "scale-smoke: FAIL %s\n") violations;
+      exit 1);
+  let t5 = Unix.gettimeofday () in
+  Printf.printf
+    "scale-smoke: O(live) kernel audit over %d live threads in %.2f s\n%!" live
+    (t5 -. t4);
+  Printf.printf "scale-smoke: OK (%.2f s total)\n%!" (t5 -. t0)
 
 (* --- part 3: domain-parallel replication wall-clock -------------------- *)
 
@@ -552,6 +718,40 @@ let obs_rows () =
   in
   time @ words @ ratio
 
+(* the arena scale family runs under the same OLS fit; derived rows record
+   how the full slice (valuation refresh + draw + dispatch bookkeeping)
+   grows as the thread table scales 10x and 100x — the polylog claim in
+   one number each. *)
+let scale_benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances (scale_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let scale_rows () =
+  let time = result_rows (scale_benchmark ()) in
+  let ratio num den label =
+    match (List.assoc_opt num time, List.assoc_opt den time) with
+    | Some a, Some b when b > 0. -> [ (label, a /. b) ]
+    | _ -> []
+  in
+  time
+  @ ratio "scale-arena/slice-tree/0100000" "scale-arena/slice-tree/0010000"
+      "scale-arena/slice-1e5-over-1e4"
+  @ ratio "scale-arena/slice-tree/1000000" "scale-arena/slice-tree/0010000"
+      "scale-arena/slice-1e6-over-1e4"
+  @ ratio "scale-arena/kernel-quantum-tree/0100000"
+      "scale-arena/kernel-quantum-tree/0010000"
+      "scale-arena/quantum-1e5-over-1e4"
+
 (* --- the overhead gate -------------------------------------------------- *)
 
 (* budget file: one "name max" pair per line, [#] comments. CI fails when
@@ -664,6 +864,8 @@ let () =
   let run_bench = ref true in
   let run_par = ref false in
   let run_obs = ref false in
+  let run_scale = ref false in
+  let run_smoke = ref false in
   let gate_budget = ref "" in
   let metrics_csv = ref "" in
   let metrics_json = ref "" in
@@ -687,6 +889,16 @@ let () =
             run_bench := false;
             run_obs := true),
         " run only the observability overhead family (obs-overhead/*)" );
+      ( "--scale-only",
+        Arg.Unit
+          (fun () ->
+            run_figures := false;
+            run_bench := false;
+            run_scale := true),
+        " run only the arena scale family (scale-arena/* at 10^4..10^6)" );
+      ( "--scale-smoke",
+        Arg.Unit (fun () -> run_smoke := true),
+        " run the 10^5-thread kernel smoke (churn + audit) and exit" );
       ( "--gate",
         Arg.Set_string gate_budget,
         "FILE check obs-overhead results against the recorded budgets \
@@ -699,17 +911,23 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--figures-only | --bench-only | --par-only | --obs-only] \
-     [--gate FILE] [--metrics-csv FILE] [--json FILE]";
+    "bench [--figures-only | --bench-only | --par-only | --obs-only | \
+     --scale-only | --scale-smoke] [--gate FILE] [--metrics-csv FILE] \
+     [--json FILE]";
+  if !run_smoke then begin
+    scale_smoke ();
+    exit 0
+  end;
   if !run_figures then figures ();
   let want_obs = !run_bench || !run_obs || !gate_budget <> "" in
-  if !run_bench || !run_par || want_obs then begin
+  if !run_bench || !run_par || !run_scale || want_obs then begin
     let rows =
       (if !run_bench then result_rows (benchmark ()) else [])
       @ (if want_obs then obs_rows () else [])
+      @ (if !run_scale then scale_rows () else [])
       @ (if !run_par then par_rows () else [])
     in
-    if !run_bench || !run_obs then print_results rows;
+    if !run_bench || !run_obs || !run_scale then print_results rows;
     if !metrics_csv <> "" then write_metrics_csv !metrics_csv rows;
     if !metrics_json <> "" then write_metrics_json !metrics_json rows;
     if !gate_budget <> "" then gate ~budget_path:!gate_budget rows

@@ -1,0 +1,137 @@
+(* Slot allocator for entity arenas: dense int handles with generation
+   counters for ABA-safe recycling, plus an intrusive doubly-linked list
+   threading the live slots in allocation (creation) order.
+
+   Callers keep their payloads in parallel arrays sized with
+   {!grow_payload}, so the allocator itself stores only unboxed ints.
+
+   Generations follow the odd/even convention: a slot's generation is
+   bumped on both alloc and release, so an odd generation means live and an
+   even one vacant — one int array doubles as liveness flag and ABA
+   detector. A stale (slot, gen) pair taken before a release can never
+   match again: any later occupant of the slot has a strictly larger
+   generation. *)
+
+type t = {
+  mutable gens : int array; (* odd = live, even = vacant *)
+  mutable prevs : int array; (* creation-order links over live slots *)
+  mutable nexts : int array;
+  mutable head : int; (* oldest live slot; -1 = none *)
+  mutable tail : int; (* youngest live slot *)
+  mutable used : int; (* high-water mark of allocated slots *)
+  mutable free : int array; (* stack of vacated slots *)
+  mutable free_top : int;
+  mutable live : int;
+  mutable capacity : int;
+}
+
+let create ?(initial_capacity = 16) () =
+  let cap = max 1 initial_capacity in
+  {
+    gens = Array.make cap 0;
+    prevs = Array.make cap (-1);
+    nexts = Array.make cap (-1);
+    head = -1;
+    tail = -1;
+    used = 0;
+    free = Array.make cap 0;
+    free_top = 0;
+    live = 0;
+    capacity = cap;
+  }
+
+let capacity t = t.capacity
+let live_count t = t.live
+let used t = t.used
+
+let grow t =
+  let cap = 2 * t.capacity in
+  let gens = Array.make cap 0 in
+  let prevs = Array.make cap (-1) in
+  let nexts = Array.make cap (-1) in
+  Array.blit t.gens 0 gens 0 t.capacity;
+  Array.blit t.prevs 0 prevs 0 t.capacity;
+  Array.blit t.nexts 0 nexts 0 t.capacity;
+  t.gens <- gens;
+  t.prevs <- prevs;
+  t.nexts <- nexts;
+  t.capacity <- cap
+
+let alloc t =
+  let s =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.free.(t.free_top)
+    end
+    else begin
+      if t.used = t.capacity then grow t;
+      let s = t.used in
+      t.used <- t.used + 1;
+      s
+    end
+  in
+  t.gens.(s) <- t.gens.(s) + 1;
+  (* link at the tail: creation order front-to-back *)
+  t.prevs.(s) <- t.tail;
+  t.nexts.(s) <- -1;
+  if t.tail >= 0 then t.nexts.(t.tail) <- s else t.head <- s;
+  t.tail <- s;
+  t.live <- t.live + 1;
+  s
+
+let is_live t s = s >= 0 && s < t.used && t.gens.(s) land 1 = 1
+let gen t s = t.gens.(s)
+
+let push_free t s =
+  if t.free_top = Array.length t.free then begin
+    let free = Array.make (2 * Array.length t.free) 0 in
+    Array.blit t.free 0 free 0 t.free_top;
+    t.free <- free
+  end;
+  t.free.(t.free_top) <- s;
+  t.free_top <- t.free_top + 1
+
+let release t s =
+  if not (is_live t s) then invalid_arg "Slots.release: slot is not live";
+  let p = t.prevs.(s) and n = t.nexts.(s) in
+  if p >= 0 then t.nexts.(p) <- n else t.head <- n;
+  if n >= 0 then t.prevs.(n) <- p else t.tail <- p;
+  t.prevs.(s) <- -1;
+  t.nexts.(s) <- -1;
+  t.gens.(s) <- t.gens.(s) + 1;
+  t.live <- t.live - 1;
+  push_free t s
+
+(* Iterate live slots in creation order. The next link is read before [f]
+   runs, so releasing the visited slot from within [f] is safe. *)
+let iter_live t f =
+  let s = ref t.head in
+  while !s >= 0 do
+    let n = t.nexts.(!s) in
+    f !s;
+    s := n
+  done
+
+let fold_live t ~init ~f =
+  let acc = ref init in
+  iter_live t (fun s -> acc := f !acc s);
+  !acc
+
+let exists_live t p =
+  let s = ref t.head in
+  let found = ref false in
+  while (not !found) && !s >= 0 do
+    if p !s then found := true else s := t.nexts.(!s)
+  done;
+  !found
+
+(* Bring a caller's parallel payload array up to [capacity t], filling new
+   cells with [dummy]. Start payloads as [[||]] and pass the first real
+   payload as the dummy — the usual trick for polymorphic parallel arrays. *)
+let grow_payload t arr ~dummy =
+  if Array.length arr >= t.capacity then arr
+  else begin
+    let a = Array.make t.capacity dummy in
+    Array.blit arr 0 a 0 (Array.length arr);
+    a
+  end

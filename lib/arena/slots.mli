@@ -1,0 +1,50 @@
+(** Slot allocator for entity arenas: dense int handles, generation
+    counters for ABA-safe recycling, and an intrusive live-order list that
+    preserves allocation (creation) order across arbitrary interleavings of
+    alloc and release.
+
+    The allocator stores only unboxed int arrays; callers keep entity
+    payloads in parallel arrays resized with {!grow_payload}.
+
+    Generations are odd while a slot is live and even while it is vacant
+    (bumped on both alloc and release), so one counter doubles as the
+    liveness flag and the ABA detector: a (slot, gen) pair captured before
+    a release never matches any later occupant of the slot. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val alloc : t -> int
+(** Claim a slot (recycling the most recently vacated one first) and link
+    it at the tail of the live-order list. *)
+
+val release : t -> int -> unit
+(** Vacate a live slot: unlink it, bump its generation, push it on the
+    free stack. Raises [Invalid_argument] if the slot is not live. *)
+
+val is_live : t -> int -> bool
+val gen : t -> int -> int
+
+val capacity : t -> int
+(** Current slot capacity; parallel payload arrays must be kept at least
+    this long (see {!grow_payload}). *)
+
+val live_count : t -> int
+
+val used : t -> int
+(** High-water mark: slots [0 .. used-1] have been allocated at least
+    once. *)
+
+val iter_live : t -> (int -> unit) -> unit
+(** Live slots in creation order. Releasing the slot being visited from
+    inside the callback is safe. *)
+
+val fold_live : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+val exists_live : t -> (int -> bool) -> bool
+
+val grow_payload : t -> 'a array -> dummy:'a -> 'a array
+(** [grow_payload t arr ~dummy] returns [arr] if it already covers
+    [capacity t], else a copy grown to capacity with new cells set to
+    [dummy]. Start payload arrays as [[||]] and pass the first real payload
+    as [dummy]. *)

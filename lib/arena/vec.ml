@@ -1,0 +1,50 @@
+(* Growable append-only vector: the registry representation for entities
+   that are created but never destroyed (ports, mutexes, conditions,
+   semaphores). O(1) amortized push, O(1) index, iteration in creation
+   order with no list reversal. *)
+
+type 'a t = { mutable items : 'a array; (* [||] until the first push *) mutable len : int }
+
+let create () = { items = [||]; len = 0 }
+let length t = t.len
+
+let push t x =
+  let cap = Array.length t.items in
+  if t.len = cap then begin
+    let items = Array.make (max 8 (2 * cap)) x in
+    Array.blit t.items 0 items 0 t.len;
+    t.items <- items
+  end;
+  t.items.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.items.(i)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.items.(i)
+  done
+
+let fold_left t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.items.(i)
+  done;
+  !acc
+
+let exists t p =
+  let i = ref 0 in
+  let found = ref false in
+  while (not !found) && !i < t.len do
+    if p t.items.(!i) then found := true else incr i
+  done;
+  !found
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := t.items.(i) :: !acc
+  done;
+  !acc

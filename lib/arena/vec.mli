@@ -1,0 +1,17 @@
+(** Growable append-only vector: registry representation for entities that
+    are created but never destroyed. O(1) amortized push, O(1) index,
+    creation-order iteration with no list reversal. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+val fold_left : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+val exists : 'a t -> ('a -> bool) -> bool
+val to_list : 'a t -> 'a list

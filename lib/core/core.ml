@@ -50,6 +50,10 @@ module Funding = Lotto_tickets.Funding
 module Acl = Lotto_tickets.Acl
 
 (* Draw structures *)
+module Arena = Lotto_arena
+(** Slot arenas and registries backing the entity tables: {!Arena.Slots}
+    (dense handles + generation counters) and {!Arena.Vec}. *)
+
 module Draw = Lotto_draw.Draw
 module List_lottery = Lotto_draw.List_lottery
 module Tree_lottery = Lotto_draw.Tree_lottery

@@ -374,8 +374,8 @@ let exec ?(user = "root") t cmd =
             let owner = try Acl.owner t.acl c with Not_found -> "?" in
             Printf.sprintf "%-12s owner=%-8s active=%d backing=%d issued=%d"
               (F.currency_name c) owner (F.active_amount c)
-              (List.length (F.backing_tickets c))
-              (List.length (F.issued_tickets c)))
+              (List.length (F.backing_tickets t.system c))
+              (List.length (F.issued_tickets t.system c)))
           (F.currencies t.system)
       in
       Ok (String.concat "\n" lines)

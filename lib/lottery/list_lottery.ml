@@ -1,11 +1,29 @@
-type 'a entry = { mutable w : float; c : 'a; mutable live : bool }
-type 'a handle = 'a entry
+type 'a handle = { mutable slot : int; (* -1 once removed *) c : 'a }
 
 type order = Unordered | Move_to_front | By_weight
 
+(* Entries live in a slot arena (parallel arrays indexed by an int slot,
+   vacated slots recycled through an int-array stack) and the draw order is
+   an intrusive doubly-linked list threaded through [prevs]/[nexts], so
+   remove and move-to-front are O(1) instead of the historical
+   List.filter. [ws.(s)] doubles as the occupancy flag with a negative
+   sentinel for vacant slots; [hs] is filled lazily with the first handle
+   ever added. Scan order, float accumulation order, and the comparisons
+   counter are unchanged from the list representation. *)
+let free_weight = -1.
+
 type 'a t = {
   order : order;
-  mutable entries : 'a entry list; (* front = most recent winners under mtf *)
+  mutable ws : float array; (* per-slot weight; free_weight = vacant *)
+  mutable hs : 'a handle array; (* [||] until the first add *)
+  mutable prevs : int array; (* draw-order links; -1 = none *)
+  mutable nexts : int array;
+  mutable head : int; (* front = most recent winners under mtf; -1 = empty *)
+  mutable tail : int;
+  mutable capacity : int;
+  mutable used : int; (* high-water mark of allocated slots *)
+  mutable free : int array; (* stack of vacated slots *)
+  mutable free_top : int;
   mutable total : float;
   mutable size : int;
   mutable comparisons : int;
@@ -18,81 +36,203 @@ let create ?(move_to_front = true) ?order () =
     | Some o -> o
     | None -> if move_to_front then Move_to_front else Unordered
   in
-  { order; entries = []; total = 0.; size = 0; comparisons = 0; mutations = 0 }
+  {
+    order;
+    ws = Array.make 16 free_weight;
+    hs = [||];
+    prevs = Array.make 16 (-1);
+    nexts = Array.make 16 (-1);
+    head = -1;
+    tail = -1;
+    capacity = 16;
+    used = 0;
+    free = Array.make 16 0;
+    free_top = 0;
+    total = 0.;
+    size = 0;
+    comparisons = 0;
+    mutations = 0;
+  }
+
+let grow t =
+  let cap = t.capacity * 2 in
+  let ws = Array.make cap free_weight in
+  let prevs = Array.make cap (-1) in
+  let nexts = Array.make cap (-1) in
+  Array.blit t.ws 0 ws 0 t.capacity;
+  Array.blit t.prevs 0 prevs 0 t.capacity;
+  Array.blit t.nexts 0 nexts 0 t.capacity;
+  if Array.length t.hs > 0 then begin
+    let hs = Array.make cap t.hs.(0) in
+    Array.blit t.hs 0 hs 0 t.capacity;
+    t.hs <- hs
+  end;
+  t.ws <- ws;
+  t.prevs <- prevs;
+  t.nexts <- nexts;
+  t.capacity <- cap
+
+let alloc_slot t =
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.free.(t.free_top)
+  end
+  else begin
+    if t.used = t.capacity then grow t;
+    let s = t.used in
+    t.used <- t.used + 1;
+    s
+  end
+
+let push_free t s =
+  if t.free_top = Array.length t.free then begin
+    let free = Array.make (2 * Array.length t.free) 0 in
+    Array.blit t.free 0 free 0 t.free_top;
+    t.free <- free
+  end;
+  t.free.(t.free_top) <- s;
+  t.free_top <- t.free_top + 1
+
+let link_front t s =
+  t.prevs.(s) <- -1;
+  t.nexts.(s) <- t.head;
+  if t.head >= 0 then t.prevs.(t.head) <- s else t.tail <- s;
+  t.head <- s
+
+let unlink t s =
+  let p = t.prevs.(s) and n = t.nexts.(s) in
+  if p >= 0 then t.nexts.(p) <- n else t.head <- n;
+  if n >= 0 then t.prevs.(n) <- p else t.tail <- p;
+  t.prevs.(s) <- -1;
+  t.nexts.(s) <- -1
 
 let resort t =
-  t.entries <- List.stable_sort (fun a b -> compare b.w a.w) t.entries
+  (* Collect the current order, stable-sort by decreasing weight, relink. *)
+  let slots = Array.make t.size 0 in
+  let i = ref 0 in
+  let s = ref t.head in
+  while !s >= 0 do
+    slots.(!i) <- !s;
+    incr i;
+    s := t.nexts.(!s)
+  done;
+  let boxed = Array.to_list slots in
+  let sorted = List.stable_sort (fun a b -> compare t.ws.(b) t.ws.(a)) boxed in
+  t.head <- -1;
+  t.tail <- -1;
+  List.iter
+    (fun s ->
+      (* append at the tail to preserve sorted order front-to-back *)
+      t.prevs.(s) <- t.tail;
+      t.nexts.(s) <- -1;
+      if t.tail >= 0 then t.nexts.(t.tail) <- s else t.head <- s;
+      t.tail <- s)
+    sorted
 
 let refresh_total t =
   (* Incremental float updates drift; re-sum periodically so long-running
      simulations keep exact draw bounds. *)
   t.mutations <- t.mutations + 1;
-  if t.mutations land 4095 = 0 then
-    t.total <- List.fold_left (fun acc e -> acc +. e.w) 0. t.entries
+  if t.mutations land 4095 = 0 then begin
+    let acc = ref 0. in
+    let s = ref t.head in
+    while !s >= 0 do
+      acc := !acc +. t.ws.(!s);
+      s := t.nexts.(!s)
+    done;
+    t.total <- !acc
+  end
 
 let add t ~client ~weight =
   if weight < 0. then invalid_arg "List_lottery.add: negative weight";
-  let e = { w = weight; c = client; live = true } in
-  t.entries <- e :: t.entries;
+  let slot = alloc_slot t in
+  let h = { slot; c = client } in
+  if Array.length t.hs = 0 then t.hs <- Array.make t.capacity h;
+  t.hs.(slot) <- h;
+  t.ws.(slot) <- weight;
+  link_front t slot;
   t.total <- t.total +. weight;
   t.size <- t.size + 1;
   if t.order = By_weight then resort t;
   refresh_total t;
-  e
+  h
 
-let remove t e =
-  if e.live then begin
-    e.live <- false;
-    t.entries <- List.filter (fun e' -> e' != e) t.entries;
-    t.total <- t.total -. e.w;
+let remove t h =
+  if h.slot >= 0 then begin
+    let s = h.slot in
+    unlink t s;
+    t.total <- t.total -. t.ws.(s);
+    t.ws.(s) <- free_weight;
+    push_free t s;
     t.size <- t.size - 1;
+    h.slot <- -1;
     refresh_total t
   end
 
-let set_weight t e weight =
+let set_weight t h weight =
   if weight < 0. then invalid_arg "List_lottery.set_weight: negative weight";
-  if not e.live then invalid_arg "List_lottery.set_weight: removed handle";
-  t.total <- t.total -. e.w +. weight;
-  e.w <- weight;
+  if h.slot < 0 then invalid_arg "List_lottery.set_weight: removed handle";
+  t.total <- t.total -. t.ws.(h.slot) +. weight;
+  t.ws.(h.slot) <- weight;
   if t.order = By_weight then resort t;
   refresh_total t
 
 let clear t =
-  List.iter (fun e -> e.live <- false) t.entries;
-  t.entries <- [];
+  let s = ref t.head in
+  while !s >= 0 do
+    let n = t.nexts.(!s) in
+    t.hs.(!s).slot <- -1;
+    t.ws.(!s) <- free_weight;
+    t.prevs.(!s) <- -1;
+    t.nexts.(!s) <- -1;
+    s := n
+  done;
+  t.head <- -1;
+  t.tail <- -1;
+  t.used <- 0;
+  t.free_top <- 0;
   t.total <- 0.;
   t.size <- 0
 
-let weight _t e = e.w
-let client e = e.c
-let mem _t e = e.live
+let weight t h = if h.slot < 0 then 0. else t.ws.(h.slot)
+let client h = h.c
+let mem _t h = h.slot >= 0
 let total t = max t.total 0.
 let size t = t.size
 
-let move_to_front t e =
-  t.entries <- e :: List.filter (fun e' -> e' != e) t.entries
+let move_to_front t s =
+  if t.head <> s then begin
+    unlink t s;
+    link_front t s
+  end
 
 let scan t winning =
   (* Accumulate the running ticket sum until it exceeds the winning value
      (Figure 1). Float drift can leave [winning] beyond the actual sum; the
      last positive-weight entry wins in that case. *)
-  let rec go acc last = function
-    | [] -> last
-    | e :: rest ->
-        t.comparisons <- t.comparisons + 1;
-        let acc = acc +. e.w in
-        let last = if e.w > 0. then Some e else last in
-        if e.w > 0. && acc > winning then Some e else go acc last rest
-  in
-  go 0. None t.entries
+  let acc = ref 0. in
+  let last = ref (-1) in
+  let s = ref t.head in
+  let found = ref (-1) in
+  while !found < 0 && !s >= 0 do
+    t.comparisons <- t.comparisons + 1;
+    let w = t.ws.(!s) in
+    acc := !acc +. w;
+    if w > 0. then begin
+      last := !s;
+      if !acc > winning then found := !s
+    end;
+    s := t.nexts.(!s)
+  done;
+  if !found >= 0 then !found else !last
 
 let draw_with_value t ~winning =
   if winning < 0. then invalid_arg "List_lottery.draw_with_value: negative";
   match scan t winning with
-  | None -> None
-  | Some e ->
-      if t.order = Move_to_front then move_to_front t e;
-      Some e
+  | -1 -> None
+  | s ->
+      if t.order = Move_to_front then move_to_front t s;
+      Some t.hs.(s)
 
 let draw t rng =
   if t.total <= 0. then None
@@ -102,7 +242,23 @@ let draw t rng =
   end
 
 let draw_client t rng = Option.map client (draw t rng)
-let iter t f = List.iter f t.entries
-let to_list t = List.map (fun e -> (e.c, e.w)) t.entries
+
+let iter t f =
+  let s = ref t.head in
+  while !s >= 0 do
+    let n = t.nexts.(!s) in
+    f t.hs.(!s);
+    s := n
+  done
+
+let to_list t =
+  let acc = ref [] in
+  let s = ref t.tail in
+  while !s >= 0 do
+    acc := (t.hs.(!s).c, t.ws.(!s)) :: !acc;
+    s := t.prevs.(!s)
+  done;
+  !acc
+
 let comparisons t = t.comparisons
 let reset_comparisons t = t.comparisons <- 0

@@ -1,12 +1,20 @@
 type 'a handle = { mutable slot : int; (* -1 once removed *) c : 'a }
 
+(* Slots are unboxed: [weights.(s)] doubles as the occupancy flag with a
+   [free_weight] sentinel for vacant slots, and [slots] is a plain handle
+   array (filled lazily with the first handle ever added, then overwritten
+   slot by slot). The free list is an int-array stack, so add/remove churn
+   allocates nothing beyond the handle record itself. *)
+let free_weight = -1.
+
 type 'a t = {
   mutable tree : float array; (* 1-based Fenwick array of partial sums *)
-  mutable weights : float array; (* per-slot exact weight *)
-  mutable slots : 'a handle option array;
+  mutable weights : float array; (* per-slot exact weight; free_weight = vacant *)
+  mutable slots : 'a handle array; (* [||] until the first add *)
   mutable capacity : int; (* power of two *)
   mutable used : int; (* high-water mark of allocated slots *)
-  mutable free : int list;
+  mutable free : int array; (* stack of vacated slots *)
+  mutable free_top : int;
   mutable size : int;
   mutable total : float;
 }
@@ -20,14 +28,17 @@ let create ?(initial_capacity = 16) () =
   in
   {
     tree = Array.make (cap + 1) 0.;
-    weights = Array.make cap 0.;
-    slots = Array.make cap None;
+    weights = Array.make cap free_weight;
+    slots = [||];
     capacity = cap;
     used = 0;
-    free = [];
+    free = Array.make cap 0;
+    free_top = 0;
     size = 0;
     total = 0.;
   }
+
+let occupied t s = t.weights.(s) >= 0.
 
 let bump t slot delta =
   (* Standard Fenwick point update: add delta to slot (0-based) upward. *)
@@ -55,31 +66,44 @@ let rebuild t =
 
 let grow t =
   let cap = t.capacity * 2 in
-  let weights = Array.make cap 0. in
-  let slots = Array.make cap None in
+  let weights = Array.make cap free_weight in
   Array.blit t.weights 0 weights 0 t.capacity;
-  Array.blit t.slots 0 slots 0 t.capacity;
+  if Array.length t.slots > 0 then begin
+    let slots = Array.make cap t.slots.(0) in
+    Array.blit t.slots 0 slots 0 t.capacity;
+    t.slots <- slots
+  end;
   t.weights <- weights;
-  t.slots <- slots;
   t.capacity <- cap;
   t.tree <- Array.make (cap + 1) 0.;
   rebuild t
 
+let push_free t s =
+  if t.free_top = Array.length t.free then begin
+    let free = Array.make (2 * Array.length t.free) 0 in
+    Array.blit t.free 0 free 0 t.free_top;
+    t.free <- free
+  end;
+  t.free.(t.free_top) <- s;
+  t.free_top <- t.free_top + 1
+
 let add t ~client ~weight =
   if weight < 0. then invalid_arg "Tree_lottery.add: negative weight";
   let slot =
-    match t.free with
-    | s :: rest ->
-        t.free <- rest;
-        s
-    | [] ->
-        if t.used = t.capacity then grow t;
-        let s = t.used in
-        t.used <- t.used + 1;
-        s
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.free.(t.free_top)
+    end
+    else begin
+      if t.used = t.capacity then grow t;
+      let s = t.used in
+      t.used <- t.used + 1;
+      s
+    end
   in
   let h = { slot; c = client } in
-  t.slots.(slot) <- Some h;
+  if Array.length t.slots = 0 then t.slots <- Array.make t.capacity h;
+  t.slots.(slot) <- h;
   t.weights.(slot) <- weight;
   bump t slot weight;
   t.size <- t.size + 1;
@@ -89,9 +113,8 @@ let remove t h =
   if h.slot >= 0 then begin
     let s = h.slot in
     bump t s (-.t.weights.(s));
-    t.weights.(s) <- 0.;
-    t.slots.(s) <- None;
-    t.free <- s :: t.free;
+    t.weights.(s) <- free_weight;
+    push_free t s;
     t.size <- t.size - 1;
     h.slot <- -1
   end
@@ -104,13 +127,12 @@ let set_weight t h weight =
 
 let clear t =
   for s = 0 to t.used - 1 do
-    (match t.slots.(s) with Some h -> h.slot <- -1 | None -> ());
-    t.slots.(s) <- None;
-    t.weights.(s) <- 0.
+    if occupied t s then t.slots.(s).slot <- -1;
+    t.weights.(s) <- free_weight
   done;
   Array.fill t.tree 0 (t.capacity + 1) 0.;
   t.used <- 0;
-  t.free <- [];
+  t.free_top <- 0;
   t.size <- 0;
   t.total <- 0.
 
@@ -139,7 +161,7 @@ let descend t winning =
 let last_live t =
   let found = ref None in
   for s = 0 to t.used - 1 do
-    if t.weights.(s) > 0. then found := t.slots.(s)
+    if t.weights.(s) > 0. then found := Some t.slots.(s)
   done;
   !found
 
@@ -148,7 +170,7 @@ let draw_with_value t ~winning =
   if t.total <= 0. then None
   else begin
     let s = descend t winning in
-    if s < t.capacity && t.weights.(s) > 0. then t.slots.(s)
+    if s < t.capacity && t.weights.(s) > 0. then Some t.slots.(s)
     else
       (* float drift pushed the winning value past the true total *)
       last_live t
@@ -156,21 +178,18 @@ let draw_with_value t ~winning =
 
 let draw t rng =
   if t.total <= 0. then None
-  else
-    draw_with_value t ~winning:(Lotto_prng.Rng.float_unit rng *. t.total)
+  else draw_with_value t ~winning:(Lotto_prng.Rng.float_unit rng *. t.total)
 
 let draw_client t rng = Option.map client (draw t rng)
 
 let iter t f =
   for s = 0 to t.used - 1 do
-    match t.slots.(s) with Some h -> f h | None -> ()
+    if occupied t s then f t.slots.(s)
   done
 
 let to_list t =
   let acc = ref [] in
   for s = t.used - 1 downto 0 do
-    match t.slots.(s) with
-    | Some h -> acc := (h.c, t.weights.(s)) :: !acc
-    | None -> ()
+    if occupied t s then acc := (t.slots.(s).c, t.weights.(s)) :: !acc
   done;
   !acc

@@ -19,15 +19,23 @@ type tstate = {
   mutable donations : (int * F.ticket) list; (* dst thread id -> transfer *)
   mutable dh : thread D.handle option; (* present iff runnable *)
   mutable in_fq : bool; (* queued in the round-robin fallback ring *)
+  mutable in_pending : bool; (* queued for a scoped weight refresh *)
 }
 
+(* Per-thread and per-currency state lives in arrays indexed by the dense
+   arena handles the kernel and the funding system hand out ([thread.tslot]
+   and {!F.currency_slot}) instead of id-keyed hashtables: a lookup is one
+   bounds check and a load. Slots are recycled after death, so every read
+   guards with a physical-equality check on the stored thread/currency —
+   a stale entry for a previous occupant can never be mistaken for the
+   current one (detach clears eagerly; the guard is belt-and-braces). *)
 type t = {
   mode : mode;
   rng : Rng.t;
   system : F.system;
-  states : (int, tstate) Hashtbl.t;
-  by_cid : (int, tstate) Hashtbl.t; (* thread-currency id -> state *)
-  pending : (int, tstate) Hashtbl.t; (* dirtied thread currencies, by cid *)
+  mutable st_tab : tstate option array; (* by thread slot *)
+  mutable by_cslot : tstate option array; (* by thread-currency slot *)
+  pending_q : tstate Queue.t; (* dirtied thread currencies, insertion order *)
   draw : thread D.t;
   scratch : thread D.t; (* reusable waiter-pick draw, cleared between picks *)
   fallback_q : tstate Queue.t; (* round-robin ring of runnable threads *)
@@ -44,6 +52,30 @@ type t = {
          costs are recorded per select *)
 }
 
+let ensure_cap arr n =
+  let len = Array.length arr in
+  if n < len then arr
+  else begin
+    let a = Array.make (max 16 (max (n + 1) (2 * len))) None in
+    Array.blit arr 0 a 0 len;
+    a
+  end
+
+let slot_get arr slot =
+  if slot < 0 || slot >= Array.length arr then None else arr.(slot)
+
+(* The guarded lookups: a hit only counts when the occupant is the same
+   record the state was created for. *)
+let find_state t (th : thread) =
+  match slot_get t.st_tab th.tslot with
+  | Some s when s.th == th -> Some s
+  | _ -> None
+
+let find_by_currency t c =
+  match slot_get t.by_cslot (F.currency_slot c) with
+  | Some s when s.cur == c -> Some s
+  | _ -> None
+
 let create ?(mode = List_mode) ?(quantum_fallback = true)
     ?(use_compensation = true) ~rng () =
   let t =
@@ -51,9 +83,9 @@ let create ?(mode = List_mode) ?(quantum_fallback = true)
       mode;
       rng;
       system = F.create_system ();
-      states = Hashtbl.create 64;
-      by_cid = Hashtbl.create 64;
-      pending = Hashtbl.create 16;
+      st_tab = [||];
+      by_cslot = [||];
+      pending_q = Queue.create ();
       draw = D.of_mode (draw_mode mode);
       scratch = D.of_mode (draw_mode mode);
       fallback_q = Queue.create ();
@@ -75,9 +107,12 @@ let create ?(mode = List_mode) ?(quantum_fallback = true)
     (F.on_change t.system (fun ch ->
          List.iter
            (fun c ->
-             let cid = F.currency_id c in
-             match Hashtbl.find_opt t.by_cid cid with
-             | Some s -> Hashtbl.replace t.pending cid s
+             match find_by_currency t c with
+             | Some s ->
+                 if not s.in_pending then begin
+                   s.in_pending <- true;
+                   Queue.push s t.pending_q
+                 end
              | None -> ())
            (F.changed ch)));
   t
@@ -88,16 +123,31 @@ let make_currency t name = F.make_currency t.system ~name
 let mark_dirty t = t.dirty <- true
 
 let state t th =
-  match Hashtbl.find_opt t.states th.id with
+  match find_state t th with
   | Some s -> s
   | None ->
+      if th.tslot < 0 then
+        invalid_arg "Lottery_sched.state: thread already reaped";
       let cur =
         F.make_currency t.system ~name:(Printf.sprintf "thread:%d:%s" th.id th.name)
       in
       let competing = F.issue t.system ~currency:cur ~amount:competing_amount in
-      let s = { th; cur; competing; donations = []; dh = None; in_fq = false } in
-      Hashtbl.replace t.states th.id s;
-      Hashtbl.replace t.by_cid (F.currency_id cur) s;
+      let s =
+        {
+          th;
+          cur;
+          competing;
+          donations = [];
+          dh = None;
+          in_fq = false;
+          in_pending = false;
+        }
+      in
+      t.st_tab <- ensure_cap t.st_tab th.tslot;
+      t.st_tab.(th.tslot) <- Some s;
+      let cslot = F.currency_slot cur in
+      t.by_cslot <- ensure_cap t.by_cslot cslot;
+      t.by_cslot.(cslot) <- Some s;
       s
 
 let thread_currency t th = (state t th).cur
@@ -189,64 +239,75 @@ let revoke_from t ~src ~dst =
       s.donations <- List.remove_assoc dst.id s.donations
 
 let detach t th =
-  match Hashtbl.find_opt t.states th.id with
+  match find_state t th with
   | None -> ()
   | Some s ->
       remove_from_draw t s;
       drop_donations t s;
       (* Other threads may still be donating to this one (e.g. blocked
          mutex waiters whose owner dies); clear their references before the
-         backing sweep below destroys those tickets. *)
-      Hashtbl.iter
-        (fun _ other ->
-          other.donations <-
-            List.filter
-              (fun (_, d) ->
-                match F.funds d with
-                | Some c -> F.currency_id c <> F.currency_id s.cur
-                | None -> true)
-              other.donations)
-        t.states;
+         backing sweep below destroys those tickets. A donation funding
+         this thread is by construction a backing ticket of its currency
+         denominated in the donor's thread currency, so walking the backing
+         edges reaches exactly the donors — O(degree), not a sweep over
+         every scheduler state. *)
+      List.iter
+        (fun b ->
+          match find_by_currency t (F.denomination b) with
+          | Some donor ->
+              donor.donations <-
+                List.filter (fun (_, d) -> not (d == b)) donor.donations
+          | None -> ())
+        (F.backing_tickets t.system s.cur);
       (* Tear down the thread currency: first any tickets still backing it
          (allocations from user currencies), then its issued tickets. *)
-      List.iter (fun b -> F.destroy_ticket t.system b) (F.backing_tickets s.cur);
+      List.iter
+        (fun b -> F.destroy_ticket t.system b)
+        (F.backing_tickets t.system s.cur);
+      let cslot = F.currency_slot s.cur in
       F.destroy_ticket t.system s.competing;
-      List.iter (fun i -> F.destroy_ticket t.system i) (F.issued_tickets s.cur);
+      List.iter
+        (fun i -> F.destroy_ticket t.system i)
+        (F.issued_tickets t.system s.cur);
       F.remove_currency t.system s.cur;
-      Hashtbl.remove t.states th.id;
-      Hashtbl.remove t.by_cid (F.currency_id s.cur);
-      Hashtbl.remove t.pending (F.currency_id s.cur)
+      if th.tslot >= 0 && th.tslot < Array.length t.st_tab then
+        t.st_tab.(th.tslot) <- None;
+      if cslot >= 0 && cslot < Array.length t.by_cslot then
+        t.by_cslot.(cslot) <- None
 
 let refresh_weights t =
   t.full_refreshes <- t.full_refreshes + 1;
-  Hashtbl.iter
-    (fun _ s ->
-      match s.dh with
-      | Some h -> D.set_weight t.draw h (value_of t s)
-      | None -> ())
-    t.states
+  Array.iter
+    (function
+      | Some ({ dh = Some h; _ } as s) -> D.set_weight t.draw h (value_of t s)
+      | _ -> ())
+    t.st_tab
+
+let drain_pending t f =
+  while not (Queue.is_empty t.pending_q) do
+    let s = Queue.pop t.pending_q in
+    s.in_pending <- false;
+    f s
+  done
 
 (* Bring the draw in sync with the funding graph: a full rebuild only when
    explicitly requested ({!mark_dirty}), otherwise revalue exactly the
    threads whose currencies the change events dirtied — O(changed), the
-   steady-state path. *)
+   steady-state path. Detached threads may still sit in the queue; their
+   [dh] is gone, so they drain as no-ops. *)
 let flush_pending t =
   if t.dirty then begin
     refresh_weights t;
     t.dirty <- false;
-    Hashtbl.reset t.pending
+    drain_pending t (fun _ -> ())
   end
-  else if Hashtbl.length t.pending > 0 then begin
-    Hashtbl.iter
-      (fun _ s ->
+  else if not (Queue.is_empty t.pending_q) then
+    drain_pending t (fun s ->
         match s.dh with
         | Some h ->
             D.set_weight t.draw h (value_of t s);
             t.scoped_updates <- t.scoped_updates + 1
         | None -> ())
-      t.pending;
-    Hashtbl.reset t.pending
-  end
 
 (* Unfunded threads never win a lottery (paper: zero tickets = starvation).
    To keep simulations with forgotten funding alive, optionally fall back to
@@ -305,7 +366,7 @@ let account t th ~used:_ ~quantum:_ ~blocked:_ =
      and possibly re-set when it blocked; refresh its draw weight so the
      next draw sees the current value. *)
   if not t.dirty then begin
-    match Hashtbl.find_opt t.states th.id with
+    match find_state t th with
     | Some ({ dh = Some h; _ } as s) -> D.set_weight t.draw h (value_of t s)
     | _ -> ()
   end
@@ -316,12 +377,13 @@ let account t th ~used:_ ~quantum:_ ~blocked:_ =
    nobody), so we weigh its *potential* value: the sum of its backing
    tickets at current exchange rates — exactly what the waiter would be
    worth the moment it wakes. *)
-let potential_value v (s : tstate) =
+let potential_value t v (s : tstate) =
   List.fold_left
     (fun acc b ->
       acc
       +. (float_of_int (F.amount b) *. F.Valuation.unit_value v (F.denomination b)))
-    0. (F.backing_tickets s.cur)
+    0.
+    (F.backing_tickets t.system s.cur)
 
 (* The pick goes through the same draw backend as the CPU lottery: the
    scheduler's scratch structure over the waiters, weighted by potential
@@ -332,7 +394,9 @@ let pick_waiter t waiters =
   let v = F.Valuation.make t.system in
   let d = t.scratch in
   D.clear d;
-  let insert w = ignore (D.add d ~client:w ~weight:(potential_value v (state t w))) in
+  let insert w =
+    ignore (D.add d ~client:w ~weight:(potential_value t v (state t w)))
+  in
   (match t.mode with
   | Tree_mode -> List.iter insert waiters
   | List_mode ->
@@ -368,10 +432,10 @@ let set_profiler t p = t.profiler <- p
 
 (* --- auditable introspection -------------------------------------------- *)
 
-(* Read-only: must go through [Hashtbl.find_opt], never [state], which
-   would resurrect a currency for a detached (dead) thread. *)
+(* Read-only: must go through [find_state], never [state], which would
+   resurrect a currency for a detached (dead) thread. *)
 let donation_targets t th =
-  match Hashtbl.find_opt t.states th.id with
+  match find_state t th with
   | None -> []
   | Some s -> List.map fst s.donations
 
@@ -388,10 +452,22 @@ let check_funding_coherence t threads =
         vf "%s: kernel donating_to [%s] but scheduler holds transfers to [%s]"
           th.name
           (String.concat ";" (List.map string_of_int kernel_side))
-          (String.concat ";" (List.map string_of_int sched_side));
-      if th.state = Zombie && Hashtbl.mem t.states th.id then
-        vf "%s: dead thread still has scheduler funding state" th.name)
+          (String.concat ";" (List.map string_of_int sched_side)))
     threads;
+  (* The kernel's thread list is live-only, so dead threads with leftover
+     funding state can't be caught from [threads]; sweep our own table. A
+     healthy detach clears the entry at death, so any surviving zombie (or
+     slot/thread disagreement) is a leak. *)
+  Array.iteri
+    (fun i entry ->
+      match entry with
+      | Some s when s.th.state = Zombie ->
+          vf "%s: dead thread still has scheduler funding state" s.th.name
+      | Some s when s.th.tslot <> i ->
+          vf "%s: scheduler state at slot %d but thread slot is %d" s.th.name i
+            s.th.tslot
+      | _ -> ())
+    t.st_tab;
   (match F.check_invariants t.system with
   | () -> ()
   | exception Failure msg -> vf "funding graph: %s" msg);
@@ -399,7 +475,7 @@ let check_funding_coherence t threads =
 
 let thread_entitlement t th =
   let v = F.Valuation.make t.system in
-  potential_value v (state t th)
+  potential_value t v (state t th)
 
 let draws t = t.draws
 let full_refreshes t = t.full_refreshes

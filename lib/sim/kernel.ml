@@ -1,5 +1,7 @@
 open Types
 module Obs = Lotto_obs
+module Slots = Lotto_arena.Slots
+module Vec = Lotto_arena.Vec
 
 type t = {
   mutable now : int;
@@ -7,20 +9,30 @@ type t = {
   sched : sched;
   timers : thread Heap.t;
   mutable next_id : int;
-  mutable thread_list : thread list; (* reverse creation order *)
+  (* Thread arena: live threads occupy dense slots (thread.slot), recycled
+     through a generation-counted free list when a thread is reaped, with
+     an intrusive order index preserving creation-order iteration. Dead
+     threads leave the table entirely — their records stay valid for
+     anyone still holding them, but kernel iteration is O(live). *)
+  th_slots : Slots.t;
+  mutable th_tab : thread array; (* [||] until the first spawn *)
+  by_name : (string, thread) Hashtbl.t;
+      (* name -> first thread ever created with it (live or dead): O(1)
+         find_thread with the historical first-created-wins semantics *)
+  mutable failed : (thread * exn) list; (* reverse order of death *)
   mutable idle : int;
   mutable slices : int;
   bus : Obs.Bus.t;
   mutable tracer_sub : Obs.Bus.subscription option; (* legacy set_tracer shim *)
   mutable current : thread option; (* thread being advanced, if any *)
   (* registries of every synchronization object created through this
-     kernel, in reverse creation order: the invariant auditor cross-checks
+     kernel, in creation order: the invariant auditor cross-checks
      wait-queue membership against thread [pending] states, and fault
      injectors perturb wakeup order through them *)
-  mutable port_list : port list;
-  mutable mutex_list : mutex list;
-  mutable cond_list : condition list;
-  mutable sem_list : semaphore list;
+  ports_v : port Vec.t;
+  mutexes_v : mutex Vec.t;
+  conds_v : condition Vec.t;
+  sems_v : semaphore Vec.t;
   mutable pre_select : (unit -> unit) option;
       (* fired at every scheduling-decision boundary, just before select *)
   mutable profiler : Obs.Profile.t option;
@@ -50,16 +62,19 @@ let create ?(quantum = Time.ms 100) ~sched () =
     sched;
     timers = Heap.create ();
     next_id = 0;
-    thread_list = [];
+    th_slots = Slots.create ();
+    th_tab = [||];
+    by_name = Hashtbl.create 64;
+    failed = [];
     idle = 0;
     slices = 0;
     bus = Obs.Bus.create ();
     tracer_sub = None;
     current = None;
-    port_list = [];
-    mutex_list = [];
-    cond_list = [];
-    sem_list = [];
+    ports_v = Vec.create ();
+    mutexes_v = Vec.create ();
+    conds_v = Vec.create ();
+    sems_v = Vec.create ();
     pre_select = None;
     profiler = None;
   }
@@ -76,12 +91,15 @@ let spawn k ~name body =
   let th =
     {
       id = fresh_id k;
+      tslot = -1;
       name;
       state = Runnable;
       pending = Not_started body;
       cpu = 0;
       compensate = 1.;
       donating_to = [];
+      donors = [];
+      owned = [];
       failure = None;
       joiners = [];
       servicing = [];
@@ -89,7 +107,11 @@ let spawn k ~name body =
       exited_at = None;
     }
   in
-  k.thread_list <- th :: k.thread_list;
+  let s = Slots.alloc k.th_slots in
+  th.tslot <- s;
+  k.th_tab <- Slots.grow_payload k.th_slots k.th_tab ~dummy:th;
+  k.th_tab.(s) <- th;
+  if not (Hashtbl.mem k.by_name name) then Hashtbl.add k.by_name name th;
   k.sched.attach th;
   if observed k then emit k (Obs.Event.Spawn { who = actor th });
   th
@@ -98,21 +120,21 @@ let create_port k ~name =
   let p =
     { port_id = fresh_id k; port_name = name; queue = Queue.create (); waiters = Queue.create () }
   in
-  k.port_list <- p :: k.port_list;
+  Vec.push k.ports_v p;
   p
 
 let create_mutex k ?(policy = Fifo) name =
   let m =
     { mutex_id = fresh_id k; mutex_name = name; policy; owner = None; lock_waiters = []; acquisitions = 0 }
   in
-  k.mutex_list <- m :: k.mutex_list;
+  Vec.push k.mutexes_v m;
   m
 
 let create_condition k ?(policy = Fifo) name =
   let c =
     { cond_id = fresh_id k; cond_name = name; cond_policy = policy; cond_waiters = []; signals = 0 }
   in
-  k.cond_list <- c :: k.cond_list;
+  Vec.push k.conds_v c;
   c
 
 let create_semaphore k ?(policy = Fifo) ~initial name =
@@ -120,13 +142,13 @@ let create_semaphore k ?(policy = Fifo) ~initial name =
   let sm =
     { sem_id = fresh_id k; sem_name = name; sem_policy = policy; count = initial; sem_waiters = [] }
   in
-  k.sem_list <- sm :: k.sem_list;
+  Vec.push k.sems_v sm;
   sm
 
-let ports k = List.rev k.port_list
-let mutexes k = List.rev k.mutex_list
-let conditions k = List.rev k.cond_list
-let semaphores k = List.rev k.sem_list
+let ports k = Vec.to_list k.ports_v
+let mutexes k = Vec.to_list k.mutexes_v
+let conditions k = Vec.to_list k.conds_v
+let semaphores k = Vec.to_list k.sems_v
 
 (* --- state transitions ------------------------------------------------ *)
 
@@ -140,13 +162,29 @@ let unblock k th =
   k.sched.ready th;
   if observed k then emit k (Obs.Event.Wake { who = actor th })
 
+(* remove the first element satisfying [p]; the rest keep their order *)
+let remove_one p lst =
+  let removed = ref false in
+  List.filter
+    (fun x ->
+      if (not !removed) && p x then begin
+        removed := true;
+        false
+      end
+      else true)
+    lst
+
 let donate k ~src ~dst =
   src.donating_to <- dst :: src.donating_to;
+  dst.donors <- src :: dst.donors;
   k.sched.donate ~src ~dst;
   if observed k then emit k (Obs.Event.Donate { src = actor src; dst = actor dst })
 
 let revoke k src =
   if src.donating_to <> [] then begin
+    List.iter
+      (fun d -> d.donors <- remove_one (fun s -> s == src) d.donors)
+      src.donating_to;
     src.donating_to <- [];
     k.sched.revoke ~src
   end
@@ -155,21 +193,14 @@ let revoke_from k ~src ~dst =
   (* remove one occurrence only: a scatter may target the same server (or
      port) several times, one donation each *)
   if List.exists (fun d -> d.id = dst.id) src.donating_to then begin
-    let removed = ref false in
-    src.donating_to <-
-      List.filter
-        (fun d ->
-          if (not !removed) && d.id = dst.id then begin
-            removed := true;
-            false
-          end
-          else true)
-        src.donating_to;
+    src.donating_to <- remove_one (fun d -> d.id = dst.id) src.donating_to;
+    dst.donors <- remove_one (fun s -> s == src) dst.donors;
     k.sched.revoke_from ~src ~dst
   end
 
 let grant_mutex k m th ~contended =
   m.owner <- Some th;
+  th.owned <- m :: th.owned;
   m.acquisitions <- m.acquisitions + 1;
   if observed k then
     emit k
@@ -180,6 +211,9 @@ let grant_mutex k m th ~contended =
    thread: the unlocker on the normal path, the dead owner on the robust
    path ({!finish}). *)
 let release_mutex k who m =
+  (match m.owner with
+  | Some o -> o.owned <- List.filter (fun m' -> m' != m) o.owned
+  | None -> ());
   m.owner <- None;
   if observed k then
     emit k (Obs.Event.Lock_release { who = actor who; mutex = m.mutex_name });
@@ -214,16 +248,19 @@ let finish k th exn_opt =
   th.state <- Zombie;
   th.exited_at <- Some k.now;
   th.failure <- exn_opt;
+  (match exn_opt with Some e -> k.failed <- (th, e) :: k.failed | None -> ());
   revoke k th;
   (* Robust-mutex handoff: a thread that dies holding a mutex — killed in
      the grant window before its [lock] ever returned, or exiting without
      running cleanup — must not orphan it. Release and hand off exactly as
      an unlock would, so the waiters neither deadlock on a zombie owner
-     nor keep funding it. *)
+     nor keep funding it. [owned] tracks exactly the held locks, so this is
+     O(held), not a sweep over every mutex ever created. *)
+  let held = th.owned in
   List.iter
     (fun m ->
       match m.owner with Some o when o == th -> release_mutex k th m | _ -> ())
-    k.mutex_list;
+    held;
   (* wake joiners before detaching: their transfer tickets still reference
      the dying thread's funding state *)
   List.iter
@@ -240,13 +277,20 @@ let finish k th exn_opt =
      whose server dies): the scheduler's detach below destroys the transfer
      tickets, so scrub the kernel-side donation lists too — the two views
      must stay coherent for the invariant audit, and a later revoke_from
-     for a dead target must be a no-op on both sides. *)
+     for a dead target must be a no-op on both sides. [donors] is the
+     reverse index, so the scrub is O(degree), not O(threads). *)
   List.iter
-    (fun other ->
-      if other != th && other.donating_to <> [] then
-        other.donating_to <- List.filter (fun d -> d.id <> th.id) other.donating_to)
-    k.thread_list;
+    (fun src ->
+      if src != th && src.donating_to <> [] then
+        src.donating_to <- List.filter (fun d -> d.id <> th.id) src.donating_to)
+    th.donors;
+  th.donors <- [];
   k.sched.detach th;
+  (* reap: recycle the arena slot; the record stays valid for holders *)
+  if th.tslot >= 0 then begin
+    Slots.release k.th_slots th.tslot;
+    th.tslot <- -1
+  end;
   if observed k then
     emit k
       (Obs.Event.Exit
@@ -819,7 +863,7 @@ let run_slice k th ~horizon =
   k.sched.account th ~used ~quantum:k.quantum ~blocked
 
 let has_live_blocked k =
-  List.exists (fun th -> th.state = Blocked) k.thread_list
+  Slots.exists_live k.th_slots (fun s -> k.th_tab.(s).state = Blocked)
 
 let run k ~until =
   let deadlocked = ref false in
@@ -857,15 +901,15 @@ let run k ~until =
   done;
   { ended_at = k.now; idle_ticks = k.idle; deadlocked = !deadlocked; slices = k.slices }
 
-let threads k = List.rev k.thread_list
+let threads k =
+  List.rev
+    (Slots.fold_live k.th_slots ~init:[] ~f:(fun acc s -> k.th_tab.(s) :: acc))
 
-let find_thread k name =
-  (* thread_list is reverse creation order; keep overwriting so the final
-     accumulator is the earliest match — the first-created thread of that
-     name, matching the order [threads] reports. *)
-  List.fold_left
-    (fun acc th -> if th.name = name then Some th else acc)
-    None k.thread_list
+let live_thread_count k = Slots.live_count k.th_slots
+let thread_slot th = th.tslot
+let thread_generation k th = if th.tslot < 0 then -1 else Slots.gen k.th_slots th.tslot
+
+let find_thread k name = Hashtbl.find_opt k.by_name name
 
 let set_pre_select k f = k.pre_select <- f
 let set_profiler k p = k.profiler <- p
@@ -898,8 +942,11 @@ let check_invariants k =
   in
   let heap_entries = ref [] in
   Heap.iter k.timers (fun ~key th -> heap_entries := (key, th) :: !heap_entries);
-  List.iter
-    (fun th ->
+  Slots.iter_live k.th_slots (fun slot ->
+      let th = k.th_tab.(slot) in
+      if th.tslot <> slot then
+        vf ~th "%s: arena slot mismatch (record says %d, table says %d)"
+          th.name th.tslot slot;
       (match (th.state, th.pending) with
       | Zombie, Exited -> ()
       | Zombie, _ -> vf ~th "%s: Zombie but pending is not Exited" th.name
@@ -965,16 +1012,38 @@ let check_invariants k =
         List.iter
           (fun d ->
             if d.state = Zombie then
-              vf ~th "%s: donating to dead thread %s" th.name d.name)
+              vf ~th "%s: donating to dead thread %s" th.name d.name;
+            let fwd = count_in (fun d' -> d' == d) th.donating_to in
+            let back = count_in (fun s -> s == th) d.donors in
+            if fwd <> back then
+              vf ~th
+                "%s: %d transfers to %s but its donor index records %d"
+                th.name fwd d.name back)
           th.donating_to
-      end)
-    (List.rev k.thread_list);
-  List.iter
-    (fun m ->
+      end;
+      List.iter
+        (fun src ->
+          if not (List.exists (fun d -> d == th) src.donating_to) then
+            vf ~th "%s: donor index names %s, which is not donating to it"
+              th.name src.name)
+        th.donors;
+      List.iter
+        (fun m ->
+          match m.owner with
+          | Some o when o == th -> ()
+          | _ ->
+              vf ~th "%s: owned-mutex index lists %s, which it does not own"
+                th.name m.mutex_name)
+        th.owned);
+  Vec.iter k.mutexes_v (fun m ->
       (match m.owner with
       | Some o when o.state = Zombie ->
           vf ~th:o "mutex %s: owned by dead thread %s" m.mutex_name o.name
-      | Some _ -> ()
+      | Some o ->
+          let n = count_in (fun m' -> m' == m) o.owned in
+          if n <> 1 then
+            vf ~th:o "mutex %s: owner %s lists it in owned-index %d times"
+              m.mutex_name o.name n
       | None ->
           if m.lock_waiters <> [] then
             vf "mutex %s: free but has %d waiters" m.mutex_name
@@ -986,10 +1055,8 @@ let check_invariants k =
           | _ ->
               vf ~th:w "mutex %s: waiter %s is not blocked on it" m.mutex_name
                 w.name)
-        m.lock_waiters)
-    (mutexes k);
-  List.iter
-    (fun c ->
+        m.lock_waiters);
+  Vec.iter k.conds_v (fun c ->
       List.iter
         (fun w ->
           match w.pending with
@@ -997,10 +1064,8 @@ let check_invariants k =
           | _ ->
               vf ~th:w "condition %s: waiter %s is not blocked on it"
                 c.cond_name w.name)
-        c.cond_waiters)
-    (conditions k);
-  List.iter
-    (fun s ->
+        c.cond_waiters);
+  Vec.iter k.sems_v (fun s ->
       if s.count < 0 then vf "semaphore %s: negative count %d" s.sem_name s.count;
       if s.count > 0 && s.sem_waiters <> [] then
         vf "semaphore %s: count %d with %d waiters" s.sem_name s.count
@@ -1012,10 +1077,8 @@ let check_invariants k =
           | _ ->
               vf ~th:w "semaphore %s: waiter %s is not blocked on it"
                 s.sem_name w.name)
-        s.sem_waiters)
-    (semaphores k);
-  List.iter
-    (fun p ->
+        s.sem_waiters);
+  Vec.iter k.ports_v (fun p ->
       Queue.iter
         (fun w ->
           match w.pending with
@@ -1023,14 +1086,13 @@ let check_invariants k =
           | _ ->
               vf ~th:w "port %s: waiter %s is not blocked in receive on it"
                 p.port_name w.name)
-        p.waiters)
-    (ports k);
+        p.waiters);
   List.rev !out
 
 let failures k =
-  List.rev k.thread_list
-  |> List.filter_map (fun th ->
-         match th.failure with Some e -> Some (th, e) | None -> None)
+  (* accumulated at death; sort by id to present them in creation order,
+     as the historical thread-list filter did *)
+  List.sort (fun (a, _) (b, _) -> compare a.id b.id) k.failed
 
 let bus k = k.bus
 

@@ -72,12 +72,30 @@ val run : t -> until:Time.t -> Types.run_summary
     called repeatedly with increasing horizons; state persists. *)
 
 val threads : t -> Types.thread list
-(** In creation order. *)
+(** Live (non-zombie) threads, in creation order. Threads occupy dense
+    arena slots recycled after death, and an intrusive order index keeps
+    creation-order iteration O(live) — dead history is not revisited.
+    Exited threads leave the listing at the instant they are reaped; their
+    records stay valid for anyone still holding them (and failed ones are
+    reachable through {!failures}). *)
+
+val live_thread_count : t -> int
+
+val thread_slot : Types.thread -> int
+(** The thread's dense arena slot; [-1] once it has exited and the slot was
+    recycled. *)
+
+val thread_generation : t -> Types.thread -> int
+(** Generation of the thread's slot ([-1] once reaped). A (slot,
+    generation) pair captured while a thread is live never matches any
+    later occupant of the recycled slot — the ABA guard tested by the
+    handle-recycling suite. *)
 
 val find_thread : t -> string -> Types.thread option
-(** Lookup by name. Thread names are not required to be unique; when
-    several threads share [name], the {e first-created} one is returned —
-    the same thread [threads] lists first. *)
+(** O(1) lookup by name. Thread names are not required to be unique; when
+    several threads have shared [name], the {e first-created} one is
+    returned (even if it has already exited), matching the historical
+    list-scan semantics. *)
 
 val failures : t -> (Types.thread * exn) list
 

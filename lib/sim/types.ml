@@ -16,6 +16,11 @@ exception Killed
 
 type thread = {
   id : int;
+  mutable tslot : int;
+      (** dense arena index assigned by the kernel at spawn; [-1] once the
+          thread is reaped and its slot recycled. Schedulers index their
+          per-thread state arrays by it (guarding against recycling with a
+          physical-equality check on the stored thread). *)
   name : string;
   mutable state : state;
   mutable pending : pending;
@@ -27,6 +32,13 @@ type thread = {
   mutable donating_to : thread list;
       (** targets of this thread's current ticket transfers, if blocked;
           several when a transfer is divided across servers (§3.1) *)
+  mutable donors : thread list;
+      (** reverse index of [donating_to]: threads currently transferring to
+          us, one entry per transfer, so a dying thread scrubs its donors in
+          O(degree) instead of scanning every thread *)
+  mutable owned : mutex list;
+      (** mutexes this thread currently owns, so robust handoff at death is
+          O(held locks) instead of a sweep over every mutex *)
   mutable failure : exn option;
   mutable joiners : thread list;  (** threads blocked in [Api.join] on us *)
   mutable servicing : int list;

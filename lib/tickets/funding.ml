@@ -2,10 +2,14 @@ exception Cycle of string
 exception Duplicate_name of string
 exception In_use of string
 
+module Slots = Lotto_arena.Slots
+
 type attach = Unattached | Backs of currency | Held
 
 and ticket = {
-  tid : int;
+  tid : int;  (** unique forever; never recycled *)
+  mutable tkslot : int;
+      (** dense arena slot; [-1] once destroyed and the slot recycled *)
   mutable amount : int;
   denom : currency;
   mutable attach : attach;
@@ -14,11 +18,22 @@ and ticket = {
 }
 
 and currency = {
-  cid : int;
+  cid : int;  (** unique forever; never recycled *)
+  mutable cslot : int;
+      (** dense arena slot; [-1] once removed. Consumers (the scheduler)
+          index per-currency state arrays by it, guarding against recycling
+          with a physical-equality check on the stored currency. *)
   cname : string;
   base_p : bool;
-  mutable issued : ticket list;
-  mutable backing : ticket list;
+  (* Issued/backing edges live as intrusive doubly-linked lists threaded
+     through the system's adjacency arrays ([i_prev]/[i_next] for the
+     issued list of the denomination, [b_prev]/[b_next] for the backing
+     list of the funded currency), indexed by ticket slot. The heads below
+     point at the most recently linked ticket, so iteration order is
+     exactly the old most-recent-first list order, and unlinking is O(1)
+     instead of a [List.filter] over every edge. *)
+  mutable issued_head : int;
+  mutable backing_head : int;
   mutable active_amount : int;
   mutable alive : bool;
   (* Incremental valuation cache. [cache_ok] means [val_cache] holds the
@@ -38,8 +53,24 @@ type system = {
   mutable next_id : int;
   base_currency : currency;
   by_name : (string, currency) Hashtbl.t;
-  mutable all : currency list; (* reverse creation order *)
-  watchers : (int, change -> unit) Hashtbl.t; (* change subscriptions *)
+  (* Currency arena: [cur_slots] tracks liveness/creation order, [cur_tab]
+     maps slot -> record. *)
+  cur_slots : Slots.t;
+  mutable cur_tab : currency array;
+  (* Ticket arena and the edge adjacency arrays indexed by ticket slot. A
+     ticket sits in its denomination's issued list for its whole life and
+     in at most one backing list (while [attach = Backs _]), so one slot
+     carries both link pairs. [-1] terminates. *)
+  tk_slots : Slots.t;
+  mutable tk_tab : ticket array;
+  mutable i_prev : int array;
+  mutable i_next : int array;
+  mutable b_prev : int array;
+  mutable b_next : int array;
+  (* Flat watcher table: change subscriptions in a slot arena instead of a
+     hashtable, fired in subscription order. *)
+  w_slots : Slots.t;
+  mutable w_tab : (change -> unit) array;
   mutable dirty_acc : currency list; (* valid->stale flips since last notify *)
 }
 
@@ -49,13 +80,16 @@ let fresh_id sys =
   id
 
 let create_system () =
+  let cur_slots = Slots.create () in
+  let base_slot = Slots.alloc cur_slots in
   let base_currency =
     {
       cid = 0;
+      cslot = base_slot;
       cname = "base";
       base_p = true;
-      issued = [];
-      backing = [];
+      issued_head = -1;
+      backing_head = -1;
       active_amount = 0;
       alive = true;
       val_cache = 0.;
@@ -63,18 +97,95 @@ let create_system () =
       cache_ok = false;
     }
   in
+  let cur_tab = Slots.grow_payload cur_slots [||] ~dummy:base_currency in
+  cur_tab.(base_slot) <- base_currency;
   let by_name = Hashtbl.create 16 in
   Hashtbl.replace by_name "base" base_currency;
   {
     next_id = 1;
     base_currency;
     by_name;
-    all = [ base_currency ];
-    watchers = Hashtbl.create 4;
+    cur_slots;
+    cur_tab;
+    tk_slots = Slots.create ();
+    tk_tab = [||];
+    i_prev = [||];
+    i_next = [||];
+    b_prev = [||];
+    b_next = [||];
+    w_slots = Slots.create ~initial_capacity:4 ();
+    w_tab = [||];
     dirty_acc = [];
   }
 
 let base sys = sys.base_currency
+
+(* --- edge lists ---------------------------------------------------------
+
+   Prepends and unlinks on the intrusive lists. New edges link at the head,
+   matching the historical [t :: list] prepend, so every traversal below
+   visits tickets in the same most-recent-first order as the list
+   representation did — load-bearing for the float fold in [ensure] and for
+   the order in which cascades and invalidation visit edges. *)
+
+let link_issued sys c s =
+  sys.i_prev.(s) <- -1;
+  sys.i_next.(s) <- c.issued_head;
+  if c.issued_head >= 0 then sys.i_prev.(c.issued_head) <- s;
+  c.issued_head <- s
+
+let unlink_issued sys c s =
+  let p = sys.i_prev.(s) and n = sys.i_next.(s) in
+  if p >= 0 then sys.i_next.(p) <- n else c.issued_head <- n;
+  if n >= 0 then sys.i_prev.(n) <- p;
+  sys.i_prev.(s) <- -1;
+  sys.i_next.(s) <- -1
+
+let link_backing sys c s =
+  sys.b_prev.(s) <- -1;
+  sys.b_next.(s) <- c.backing_head;
+  if c.backing_head >= 0 then sys.b_prev.(c.backing_head) <- s;
+  c.backing_head <- s
+
+let unlink_backing sys c s =
+  let p = sys.b_prev.(s) and n = sys.b_next.(s) in
+  if p >= 0 then sys.b_next.(p) <- n else c.backing_head <- n;
+  if n >= 0 then sys.b_prev.(n) <- p;
+  sys.b_prev.(s) <- -1;
+  sys.b_next.(s) <- -1
+
+(* The next slot is captured before the callback runs, so detaching the
+   visited ticket from inside [f] is safe. *)
+let iter_issued sys c f =
+  let s = ref c.issued_head in
+  while !s >= 0 do
+    let t = sys.tk_tab.(!s) in
+    let n = sys.i_next.(!s) in
+    f t;
+    s := n
+  done
+
+let iter_backing sys c f =
+  let s = ref c.backing_head in
+  while !s >= 0 do
+    let t = sys.tk_tab.(!s) in
+    let n = sys.b_next.(!s) in
+    f t;
+    s := n
+  done
+
+let exists_backing sys c f =
+  let s = ref c.backing_head in
+  let found = ref false in
+  while (not !found) && !s >= 0 do
+    if f sys.tk_tab.(!s) then found := true else s := sys.b_next.(!s)
+  done;
+  !found
+
+let collect_list iter sys c =
+  let acc = ref [] in
+  iter sys c (fun t -> acc := t :: !acc);
+  List.rev !acc
 
 (* --- change notification ------------------------------------------------
 
@@ -85,23 +196,37 @@ let base sys = sys.base_currency
    and must not mutate the system (recording the dirtied ids for the next
    draw is the intended use). *)
 
-type subscription = int
+type subscription = { wslot : int; wgen : int }
 
 let on_change sys f =
-  let wid = fresh_id sys in
-  Hashtbl.replace sys.watchers wid f;
-  wid
+  (* Subscriptions historically drew their id from the shared counter;
+     keep consuming one so the cid/tid sequences of everything created
+     after a subscription (visible in pp/dot output) are unchanged. *)
+  ignore (fresh_id sys : int);
+  let s = Slots.alloc sys.w_slots in
+  sys.w_tab <- Slots.grow_payload sys.w_slots sys.w_tab ~dummy:f;
+  sys.w_tab.(s) <- f;
+  { wslot = s; wgen = Slots.gen sys.w_slots s }
 
 let on_any_change sys f = on_change sys (fun _ -> f ())
-let unsubscribe sys wid = Hashtbl.remove sys.watchers wid
+
+let unsubscribe sys { wslot; wgen } =
+  (* The generation check makes double-unsubscribe a no-op even after the
+     slot has been recycled by a later subscription. *)
+  if Slots.is_live sys.w_slots wslot && Slots.gen sys.w_slots wslot = wgen
+  then begin
+    Slots.release sys.w_slots wslot;
+    sys.w_tab.(wslot) <- (fun (_ : change) -> ())
+  end
+
 let changed ch = ch.dirtied
 
 let notify sys =
   let dirtied = sys.dirty_acc in
   sys.dirty_acc <- [];
-  if Hashtbl.length sys.watchers > 0 then begin
+  if Slots.live_count sys.w_slots > 0 then begin
     let ch = { dirtied } in
-    Hashtbl.iter (fun _ f -> f ch) sys.watchers
+    Slots.iter_live sys.w_slots (fun s -> sys.w_tab.(s) ch)
   end
 
 (* --- invalidation -------------------------------------------------------
@@ -125,20 +250,22 @@ let rec invalidate sys c =
     c.cache_ok <- false;
     sys.dirty_acc <- c :: sys.dirty_acc;
     if not c.base_p then
-      List.iter
-        (fun t -> match t.attach with Backs c' -> invalidate sys c' | _ -> ())
-        c.issued
+      iter_issued sys c (fun t ->
+          match t.attach with Backs c' -> invalidate sys c' | _ -> ())
   end
 
 let make_currency sys ~name =
   if Hashtbl.mem sys.by_name name then raise (Duplicate_name name);
+  let cid = fresh_id sys in
+  let s = Slots.alloc sys.cur_slots in
   let c =
     {
-      cid = fresh_id sys;
+      cid;
+      cslot = s;
       cname = name;
       base_p = false;
-      issued = [];
-      backing = [];
+      issued_head = -1;
+      backing_head = -1;
       active_amount = 0;
       alive = true;
       val_cache = 0.;
@@ -146,35 +273,53 @@ let make_currency sys ~name =
       cache_ok = false;
     }
   in
+  sys.cur_tab <- Slots.grow_payload sys.cur_slots sys.cur_tab ~dummy:c;
+  sys.cur_tab.(s) <- c;
   Hashtbl.replace sys.by_name name c;
-  sys.all <- c :: sys.all;
   c
 
 let find_currency sys name = Hashtbl.find_opt sys.by_name name
 let currency_name c = c.cname
 let currency_id c = c.cid
+let currency_slot c = c.cslot
+
+let currency_generation sys c =
+  if c.cslot < 0 then -1 else Slots.gen sys.cur_slots c.cslot
+
 let is_base c = c.base_p
-let currencies sys = List.rev sys.all
+
+let currencies sys =
+  List.rev
+    (Slots.fold_live sys.cur_slots ~init:[] ~f:(fun acc s ->
+         sys.cur_tab.(s) :: acc))
+
+let live_currency_count sys = Slots.live_count sys.cur_slots
 
 let remove_currency sys c =
   if c.base_p then raise (In_use "base currency cannot be removed");
   if not c.alive then invalid_arg "Funding.remove_currency: already removed";
-  if c.issued <> [] then raise (In_use (c.cname ^ " still has issued tickets"));
-  if c.backing <> [] then raise (In_use (c.cname ^ " still has backing tickets"));
+  if c.issued_head >= 0 then
+    raise (In_use (c.cname ^ " still has issued tickets"));
+  if c.backing_head >= 0 then
+    raise (In_use (c.cname ^ " still has backing tickets"));
   c.alive <- false;
   Hashtbl.remove sys.by_name c.cname;
-  sys.all <- List.filter (fun c' -> c'.cid <> c.cid) sys.all
+  Slots.release sys.cur_slots c.cslot;
+  c.cslot <- -1
 
 let active_amount c = c.active_amount
-let issued_tickets c = c.issued
-let backing_tickets c = c.backing
+let issued_tickets sys c = collect_list iter_issued sys c
+let backing_tickets sys c = collect_list iter_backing sys c
 
 let issue sys ~currency ~amount =
   if amount < 0 then invalid_arg "Funding.issue: negative amount";
   if not currency.alive then invalid_arg "Funding.issue: dead currency";
+  let tid = fresh_id sys in
+  let s = Slots.alloc sys.tk_slots in
   let t =
     {
-      tid = fresh_id sys;
+      tid;
+      tkslot = s;
       amount;
       denom = currency;
       attach = Unattached;
@@ -182,12 +327,23 @@ let issue sys ~currency ~amount =
       destroyed = false;
     }
   in
-  currency.issued <- t :: currency.issued;
+  sys.tk_tab <- Slots.grow_payload sys.tk_slots sys.tk_tab ~dummy:t;
+  sys.tk_tab.(s) <- t;
+  sys.i_prev <- Slots.grow_payload sys.tk_slots sys.i_prev ~dummy:(-1);
+  sys.i_next <- Slots.grow_payload sys.tk_slots sys.i_next ~dummy:(-1);
+  sys.b_prev <- Slots.grow_payload sys.tk_slots sys.b_prev ~dummy:(-1);
+  sys.b_next <- Slots.grow_payload sys.tk_slots sys.b_next ~dummy:(-1);
+  link_issued sys currency s;
   t
 
 let amount t = t.amount
 let denomination t = t.denom
 let ticket_id t = t.tid
+let ticket_slot t = t.tkslot
+
+let ticket_generation sys t =
+  if t.tkslot < 0 then -1 else Slots.gen sys.tk_slots t.tkslot
+
 let is_active t = t.active
 let funds t = match t.attach with Backs c -> Some c | Unattached | Held -> None
 let is_held t = t.attach = Held
@@ -214,7 +370,7 @@ let rec activate_ticket sys t =
     let was_zero = c.active_amount = 0 in
     c.active_amount <- c.active_amount + t.amount;
     if was_zero && c.active_amount > 0 then
-      List.iter (activate_ticket sys) c.backing
+      iter_backing sys c (activate_ticket sys)
   end
 
 let rec deactivate_ticket sys t =
@@ -226,7 +382,7 @@ let rec deactivate_ticket sys t =
     c.active_amount <- c.active_amount - t.amount;
     assert (c.active_amount >= 0);
     if was_positive && c.active_amount = 0 then
-      List.iter (deactivate_ticket sys) c.backing
+      iter_backing sys c (deactivate_ticket sys)
   end
 
 let set_amount sys t new_amount =
@@ -239,9 +395,9 @@ let set_amount sys t new_amount =
     let new_sum = old_sum - t.amount + new_amount in
     t.amount <- new_amount;
     c.active_amount <- new_sum;
-    if old_sum = 0 && new_sum > 0 then List.iter (activate_ticket sys) c.backing
+    if old_sum = 0 && new_sum > 0 then iter_backing sys c (activate_ticket sys)
     else if old_sum > 0 && new_sum = 0 then
-      List.iter (deactivate_ticket sys) c.backing
+      iter_backing sys c (deactivate_ticket sys)
   end
   else t.amount <- new_amount;
   notify sys
@@ -250,14 +406,14 @@ let set_amount sys t new_amount =
    the ticket's denomination. Funding [c] with a ticket denominated in [d]
    is cyclic iff [d]'s value already depends on [c]. The walk memoizes
    visited currencies so shared sub-graphs (diamonds) are visited once. *)
-let would_cycle ~funded ~denom =
+let would_cycle sys ~funded ~denom =
   let seen = Hashtbl.create 16 in
   let rec depends_on c =
     c.cid = funded.cid
     || ((not (Hashtbl.mem seen c.cid))
        && begin
             Hashtbl.add seen c.cid ();
-            List.exists (fun b -> depends_on b.denom) c.backing
+            exists_backing sys c (fun b -> depends_on b.denom)
           end)
   in
   depends_on denom
@@ -270,13 +426,13 @@ let fund sys ~ticket ~currency =
   | Backs _ | Held -> invalid_arg "Funding.fund: ticket already attached");
   if currency.cid = ticket.denom.cid then
     invalid_arg "Funding.fund: ticket cannot fund its own denomination";
-  if would_cycle ~funded:currency ~denom:ticket.denom then
+  if would_cycle sys ~funded:currency ~denom:ticket.denom then
     raise
       (Cycle
          (Printf.sprintf "funding %s with a ticket denominated in %s"
             currency.cname ticket.denom.cname));
   ticket.attach <- Backs currency;
-  currency.backing <- ticket :: currency.backing;
+  link_backing sys currency ticket.tkslot;
   invalidate sys currency;
   if currency.active_amount > 0 then activate_ticket sys ticket;
   notify sys
@@ -286,7 +442,7 @@ let unfund sys t =
   match t.attach with
   | Backs c ->
       deactivate_ticket sys t;
-      c.backing <- List.filter (fun b -> b.tid <> t.tid) c.backing;
+      unlink_backing sys c t.tkslot;
       t.attach <- Unattached;
       invalidate sys c;
       notify sys
@@ -326,8 +482,9 @@ let destroy_ticket sys t =
   | Backs _ -> unfund sys t
   | Held -> release sys t
   | Unattached -> ());
-  let c = t.denom in
-  c.issued <- List.filter (fun i -> i.tid <> t.tid) c.issued;
+  unlink_issued sys t.denom t.tkslot;
+  Slots.release sys.tk_slots t.tkslot;
+  t.tkslot <- -1;
   t.destroyed <- true;
   notify sys
 
@@ -337,11 +494,11 @@ let destroy_ticket sys t =
    backing tickets, pulling (and caching) the unit values of their
    denominations on the way down. A quiescent graph is therefore valued
    once, and each mutation only forces recomputation of the currencies it
-   actually dirtied. The arithmetic (fold order over the backing list,
+   actually dirtied. The arithmetic (fold order over the backing edges,
    value/active division) is identical to a from-scratch walk, so cached
    results are bit-for-bit equal to uncached ones. *)
 
-let rec ensure c =
+let rec ensure sys c =
   if not c.cache_ok then begin
     (* Seed with 0 so a (dynamically created, normally impossible) cycle
        terminates instead of looping. *)
@@ -353,60 +510,64 @@ let rec ensure c =
     else begin
       c.val_cache <- 0.;
       c.unit_cache <- 0.;
-      let v =
-        List.fold_left
-          (fun acc t ->
-            if t.active then acc +. (float_of_int t.amount *. unit_value t.denom)
-            else acc)
-          0. c.backing
-      in
-      c.val_cache <- v;
+      (* Left fold, head (most recent edge) first: the same float
+         accumulation order as the historical list fold. *)
+      let v = ref 0. in
+      let s = ref c.backing_head in
+      while !s >= 0 do
+        let t = sys.tk_tab.(!s) in
+        if t.active then
+          v := !v +. (float_of_int t.amount *. unit_val sys t.denom);
+        s := sys.b_next.(!s)
+      done;
+      c.val_cache <- !v;
       c.unit_cache <-
-        (if c.active_amount = 0 then 0. else v /. float_of_int c.active_amount)
+        (if c.active_amount = 0 then 0.
+         else !v /. float_of_int c.active_amount)
     end
   end
 
 (* No zero-active shortcut here: a read must leave the currency validated
    (stop-early invalidation relies on "a valid currency has valid
    supports"), and [ensure] already caches unit value 0 in that case. *)
-and unit_value c =
+and unit_val sys c =
   if c.base_p then 1.
   else begin
-    ensure c;
+    ensure sys c;
     c.unit_cache
   end
 
-let value_of_currency c =
-  ensure c;
+let value_of_currency sys c =
+  ensure sys c;
   c.val_cache
 
 (* The denomination is validated even when the ticket is inactive: a
    consumer that caches this 0 must be told (via a change event) when the
    ticket's activation later makes it worth something, and events only fire
    on valid -> stale flips. *)
-let value_of_ticket t =
-  let u = unit_value t.denom in
+let value_of_ticket sys t =
+  let u = unit_val sys t.denom in
   if t.active then float_of_int t.amount *. u else 0.
 
 module Valuation = struct
   (* Historically a per-draw memo table; the memo now lives on the currency
      records and survives across draws, so a snapshot is just a view of the
      system. Kept for call-site compatibility — making one is free. *)
-  type v = unit
+  type v = system
 
-  let make (_ : system) = ()
-  let unit_value () c = unit_value c
-  let currency_value () c = value_of_currency c
-  let ticket_value () t = value_of_ticket t
+  let make (sys : system) = sys
+  let unit_value sys c = unit_val sys c
+  let currency_value sys c = value_of_currency sys c
+  let ticket_value sys t = value_of_ticket sys t
 end
 
-let ticket_value (_ : system) t = value_of_ticket t
-let currency_value (_ : system) c = value_of_currency c
-let unit_value (_ : system) c = unit_value c
+let ticket_value sys t = value_of_ticket sys t
+let currency_value sys c = value_of_currency sys c
+let unit_value sys c = unit_val sys c
 
 (* From-scratch valuation with a private memo, bypassing the caches: the
    reference implementation [check_invariants] audits the caches against. *)
-let uncached_currency_value c =
+let uncached_currency_value sys c =
   let memo = Hashtbl.create 32 in
   let rec unit c =
     if c.base_p then 1.
@@ -421,30 +582,35 @@ let uncached_currency_value c =
           x
   and value c =
     if c.base_p then float_of_int c.active_amount
-    else
-      List.fold_left
-        (fun acc t ->
-          if t.active then acc +. (float_of_int t.amount *. unit t.denom)
-          else acc)
-        0. c.backing
+    else begin
+      let acc = ref 0. in
+      let s = ref c.backing_head in
+      while !s >= 0 do
+        let t = sys.tk_tab.(!s) in
+        if t.active then acc := !acc +. (float_of_int t.amount *. unit t.denom);
+        s := sys.b_next.(!s)
+      done;
+      !acc
+    end
   in
   value c
 
 let check_invariants sys =
   let fail fmt = Printf.ksprintf failwith fmt in
-  List.iter
-    (fun c ->
-      if not c.alive then fail "dead currency %s in system list" c.cname;
+  Slots.iter_live sys.cur_slots (fun slot ->
+      let c = sys.cur_tab.(slot) in
+      if not c.alive then fail "dead currency %s in arena" c.cname;
+      if c.cslot <> slot then
+        fail "currency %s: slot field %d <> arena slot %d" c.cname c.cslot slot;
       (* Active amount equals sum of active issued ticket amounts. *)
-      let sum =
-        List.fold_left (fun acc t -> if t.active then acc + t.amount else acc) 0 c.issued
-      in
-      if sum <> c.active_amount then
+      let sum = ref 0 in
+      iter_issued sys c (fun t -> if t.active then sum := !sum + t.amount);
+      if !sum <> c.active_amount then
         fail "currency %s: active_amount %d <> recomputed %d" c.cname
-          c.active_amount sum;
+          c.active_amount !sum;
       (* A valid cache must agree exactly with a from-scratch valuation. *)
       if c.cache_ok then begin
-        let fresh = uncached_currency_value c in
+        let fresh = uncached_currency_value sys c in
         if c.val_cache <> fresh then
           fail "currency %s: cached value %g <> recomputed %g" c.cname
             c.val_cache fresh;
@@ -457,32 +623,34 @@ let check_invariants sys =
           fail "currency %s: cached unit value %g <> recomputed %g" c.cname
             c.unit_cache fresh_unit
       end;
-      (* Attachment symmetry for backing tickets. *)
-      List.iter
-        (fun t ->
+      (* Attachment symmetry for backing tickets, plus slot coherence. *)
+      iter_backing sys c (fun t ->
           (match t.attach with
           | Backs c' when c'.cid = c.cid -> ()
-          | _ -> fail "currency %s: backing ticket %d not attached to it" c.cname t.tid);
+          | _ ->
+              fail "currency %s: backing ticket %d not attached to it" c.cname
+                t.tid);
           if t.destroyed then fail "currency %s: destroyed backing ticket" c.cname;
           (* Propagation: a backing ticket is active iff the funded currency
              has a nonzero active amount. *)
           if t.active <> (c.active_amount > 0) then
             fail "currency %s: backing ticket %d activity %b vs amount %d"
-              c.cname t.tid t.active c.active_amount)
-        c.backing;
-      List.iter
-        (fun t ->
+              c.cname t.tid t.active c.active_amount);
+      iter_issued sys c (fun t ->
           if t.destroyed then fail "currency %s: destroyed issued ticket" c.cname;
+          if t.tkslot < 0 || not (sys.tk_tab.(t.tkslot) == t) then
+            fail "ticket %d: stale arena slot %d" t.tid t.tkslot;
           if t.denom.cid <> c.cid then
-            fail "currency %s: issued ticket %d has wrong denomination" c.cname t.tid;
+            fail "currency %s: issued ticket %d has wrong denomination" c.cname
+              t.tid;
           match t.attach with
           | Unattached ->
               if t.active then fail "unattached ticket %d is active" t.tid
           | Held -> ()
           | Backs c' ->
-              if not (List.exists (fun b -> b.tid = t.tid) c'.backing) then
-                fail "ticket %d claims to back %s but is not listed" t.tid c'.cname)
-        c.issued;
+              if not (exists_backing sys c' (fun b -> b.tid = t.tid)) then
+                fail "ticket %d claims to back %s but is not listed" t.tid
+                  c'.cname);
       (* Acyclicity: depth-first walk with a white/grey/black marking, so
          shared sub-graphs are visited once instead of once per path. *)
       let color = Hashtbl.create 16 in
@@ -492,11 +660,10 @@ let check_invariants sys =
         | Some `On_path -> fail "cycle through currency %s" c'.cname
         | None ->
             Hashtbl.replace color c'.cid `On_path;
-            List.iter (fun b -> walk b.denom) c'.backing;
+            iter_backing sys c' (fun b -> walk b.denom);
             Hashtbl.replace color c'.cid `Done
       in
       walk c)
-    (currencies sys)
 
 let pp_ticket fmt t =
   Format.fprintf fmt "#%d %d.%s%s%s" t.tid t.amount t.denom.cname
@@ -506,13 +673,13 @@ let pp_ticket fmt t =
     | Held -> " held"
     | Backs c -> " -> " ^ c.cname)
 
-let pp_currency fmt c =
+let pp_currency sys fmt c =
   Format.fprintf fmt "@[<v 2>currency %s (active %d)@,issued: %a@,backing: %a@]"
     c.cname c.active_amount
     (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_ticket)
-    c.issued
+    (issued_tickets sys c)
     (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_ticket)
-    c.backing
+    (backing_tickets sys c)
 
 let to_dot sys =
   let buf = Buffer.create 1024 in
@@ -525,26 +692,24 @@ let to_dot sys =
     (currencies sys);
   List.iter
     (fun c ->
-      List.iter
-        (fun t ->
+      iter_issued sys c (fun t ->
           let style = if t.active then "solid" else "dashed" in
           match t.attach with
           | Backs target ->
               Buffer.add_string buf
-                (Printf.sprintf "  c%d -> c%d [label=\"%d.%s\", style=%s];\n" c.cid
-                   target.cid t.amount c.cname style)
+                (Printf.sprintf "  c%d -> c%d [label=\"%d.%s\", style=%s];\n"
+                   c.cid target.cid t.amount c.cname style)
           | Held ->
               Buffer.add_string buf
                 (Printf.sprintf
                    "  t%d [shape=ellipse, label=\"ticket %d.%s\"];\n  c%d -> t%d [style=%s];\n"
                    t.tid t.amount c.cname c.cid t.tid style)
-          | Unattached -> ())
-        c.issued)
+          | Unattached -> ()))
     (currencies sys);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let pp_system fmt sys =
   Format.fprintf fmt "@[<v>%a@]"
-    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_currency)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (pp_currency sys))
     (currencies sys)

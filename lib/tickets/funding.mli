@@ -79,10 +79,26 @@ val make_currency : system -> name:string -> currency
 
 val find_currency : system -> string -> currency option
 val currency_name : currency -> string
+
 val currency_id : currency -> int
+(** Unique forever — ids are never recycled. *)
+
+val currency_slot : currency -> int
+(** The currency's dense arena slot; [-1] once removed and the slot
+    recycled. Consumers keeping per-currency state in arrays index them by
+    this (guarding against recycling with a physical-equality check on the
+    stored currency). *)
+
+val currency_generation : system -> currency -> int
+(** Generation of the currency's slot ([-1] once removed). A (slot,
+    generation) pair captured while the currency is live never matches any
+    later occupant of the recycled slot. *)
+
 val is_base : currency -> bool
 val currencies : system -> currency list
 (** All live currencies including base, in creation order. *)
+
+val live_currency_count : system -> int
 
 val remove_currency : system -> currency -> unit
 (** Raises {!In_use} unless the currency has no issued and no backing
@@ -91,8 +107,11 @@ val remove_currency : system -> currency -> unit
 val active_amount : currency -> int
 (** Sum of the amounts of this currency's currently active issued tickets. *)
 
-val issued_tickets : currency -> ticket list
-val backing_tickets : currency -> ticket list
+val issued_tickets : system -> currency -> ticket list
+val backing_tickets : system -> currency -> ticket list
+(** Fresh lists, most recently attached first (the historical list order);
+    the edges themselves live in the system's adjacency arrays, so these
+    are O(degree) snapshots safe to mutate under. *)
 
 (** {1 Tickets} *)
 
@@ -102,7 +121,17 @@ val issue : system -> currency:currency -> amount:int -> ticket
 
 val amount : ticket -> int
 val denomination : ticket -> currency
+
 val ticket_id : ticket -> int
+(** Unique forever — ids are never recycled. *)
+
+val ticket_slot : ticket -> int
+(** The ticket's dense arena slot; [-1] once destroyed and the slot
+    recycled. *)
+
+val ticket_generation : system -> ticket -> int
+(** Generation of the ticket's slot ([-1] once destroyed). *)
+
 val is_active : ticket -> bool
 
 val set_amount : system -> ticket -> int -> unit
@@ -188,7 +217,7 @@ val check_invariants : system -> unit
     a description on violation. Used by tests and enabled in debug
     builds. *)
 
-val pp_currency : Format.formatter -> currency -> unit
+val pp_currency : system -> Format.formatter -> currency -> unit
 val pp_ticket : Format.formatter -> ticket -> unit
 val pp_system : Format.formatter -> system -> unit
 

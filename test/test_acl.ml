@@ -47,14 +47,14 @@ let test_issue_guard () =
   ignore (denied "revoked" (Acl.issue acl ~as_:"bob" ~currency:alice ~amount:10))
 
 let test_fund_guard () =
-  let _sys, acl, alice = setup () in
+  let sys, acl, alice = setup () in
   let bob = ok (Acl.make_currency acl ~as_:"bob" ~name:"bob") in
   let t = ok (Acl.issue acl ~as_:"alice" ~currency:alice ~amount:50) in
   (* alice may not push funding into bob's currency without Fund *)
   ignore (denied "no fund perm" (Acl.fund acl ~as_:"alice" ~ticket:t ~currency:bob));
   ok (Acl.grant acl ~as_:"bob" bob "alice" Fund);
   ok (Acl.fund acl ~as_:"alice" ~ticket:t ~currency:bob);
-  checkb "edge exists" true (List.length (F.backing_tickets bob) = 1);
+  checkb "edge exists" true (List.length (F.backing_tickets sys bob) = 1);
   (* and mallory may not detach it *)
   ignore (denied "no unfund perm" (Acl.unfund acl ~as_:"mallory" t));
   ok (Acl.unfund acl ~as_:"alice" t)

@@ -282,8 +282,8 @@ let test_destroy_ticket_everywhere () =
   F.destroy_ticket sys t1;
   F.destroy_ticket sys t3;
   F.check_invariants sys;
-  checki "no backing left" 0 (List.length (F.backing_tickets c));
-  checki "no issued left" 0 (List.length (F.issued_tickets c));
+  checki "no backing left" 0 (List.length (F.backing_tickets sys c));
+  checki "no issued left" 0 (List.length (F.issued_tickets sys c));
   checkb "destroyed ticket unusable" true
     (match F.hold sys t2 with
     | () -> false
@@ -419,7 +419,7 @@ let qcheck_random_ops_keep_invariants =
    incremental caches. Mirrors the cached arithmetic operation-for-operation
    (same fold order over the backing list, same value/active division), so
    agreement below can be asserted with exact float equality. *)
-let scratch_value root =
+let scratch_value sys root =
   let memo = Hashtbl.create 16 in
   let rec unit c =
     if F.is_base c then 1.
@@ -440,14 +440,14 @@ let scratch_value root =
           if F.is_active t then
             acc +. (float_of_int (F.amount t) *. unit (F.denomination t))
           else acc)
-        0. (F.backing_tickets c)
+        0. (F.backing_tickets sys c)
   in
   value root
 
-let scratch_unit c =
+let scratch_unit sys c =
   if F.is_base c then 1.
   else if F.active_amount c = 0 then 0.
-  else scratch_value c /. float_of_int (F.active_amount c)
+  else scratch_value sys c /. float_of_int (F.active_amount c)
 
 (* Tentpole property of the incremental valuation engine: after arbitrary
    mutation sequences on a multi-level graph, (1) every cached valuation
@@ -540,7 +540,7 @@ let qcheck_incremental_valuation_exact =
            the last observation must have been announced *)
         List.iter
           (fun c ->
-            let fresh_v = scratch_value c and fresh_u = scratch_unit c in
+            let fresh_v = scratch_value sys c and fresh_u = scratch_unit sys c in
             let cached_v = F.currency_value sys c in
             let cached_u = F.unit_value sys c in
             if cached_v <> fresh_v || cached_u <> fresh_u then ok := false;
@@ -563,7 +563,7 @@ let test_pp_smoke () =
   let s = Format.asprintf "%a" F.pp_system sys in
   checkb "system rendering mentions alice" true
     (Core.Corpus.count_substring ~haystack:s ~needle:"alice" > 0);
-  let cs = Format.asprintf "%a" F.pp_currency alice in
+  let cs = Format.asprintf "%a" (F.pp_currency sys) alice in
   checkb "currency rendering has active amount" true
     (Core.Corpus.count_substring ~haystack:cs ~needle:"active" > 0);
   let ts = Format.asprintf "%a" F.pp_ticket t2 in

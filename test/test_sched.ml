@@ -576,12 +576,15 @@ let test_scoped_updates_on_block_wake () =
   let mk id =
     {
       Types.id;
+      tslot = id;
       name = Printf.sprintf "t%d" id;
       state = Types.Runnable;
       pending = Types.Exited;
       cpu = 0;
       compensate = 1.;
       donating_to = [];
+      donors = [];
+      owned = [];
       failure = None;
       joiners = [];
       servicing = [];
