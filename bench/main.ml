@@ -583,6 +583,120 @@ let obs_tests () =
       hdr_record_test ();
     ]
 
+(* --- hot-path allocation + flat-draw families --------------------------- *)
+
+(* The steady-state scheduling decision — valuation read, draw, dispatch,
+   account, observability off — measured under [minor_allocated] as well as
+   the clock. The decision path is allocation-free by construction (slot
+   draws, cached weights, preallocated [Some th]); the budget pins the
+   per-quantum words at zero modulo fit noise for every backend. *)
+let decision_mode_test mode name =
+  let sched, fund = lottery_sched_maker mode () in
+  let k = Core.Kernel.create ~sched () in
+  for i = 1 to 8 do
+    let th =
+      Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+          while true do
+            Core.Api.compute (Core.Time.ms 100)
+          done)
+    in
+    fund th (100 * i)
+  done;
+  (* one warm quantum: arena growth, pending-funding flush and thread
+     startup happen here, outside the measured steady state *)
+  ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100));
+  Test.make
+    ~name:(Printf.sprintf "decision-%s" name)
+    (Staged.stage (fun () ->
+         ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
+
+let hotpath_tests () =
+  Test.make_grouped ~name:"hotpath"
+    [
+      decision_mode_test Core.Lottery_sched.List_mode "list";
+      decision_mode_test Core.Lottery_sched.Tree_mode "tree";
+      decision_mode_test Core.Lottery_sched.Cumul_mode "cumul";
+      decision_mode_test Core.Lottery_sched.Alias_mode "alias";
+    ]
+
+(* Batch amortization: serving a winner mutates its weight (compensation
+   tickets in the scheduler, pending counts in the managers), dirtying the
+   flat tables. Slot-at-a-time every draw then pays the O(n) lazy rebuild;
+   [draw_k] pays it once per batch. Both variants do the same 64 draws and
+   the same 64 weight writes over 1024 clients — only the rebuild count
+   differs. The derived [draw_k-over-singles] row is gated at 0.5 (the
+   acceptance floor: batching at k=64 must be at least 2x faster). *)
+let batch_n = 1024
+let batch_k = 64
+
+let batch_setup () =
+  let rng = Core.Rng.create ~seed:11 () in
+  let t = Core.Alias_lottery.create () in
+  let hs =
+    Array.init batch_n (fun i ->
+        Core.Alias_lottery.add t ~client:i
+          ~weight:(float_of_int (1 + (i land 7))))
+  in
+  (rng, t, hs)
+
+let batch_singles_test () =
+  let rng, t, hs = batch_setup () in
+  Test.make ~name:(Printf.sprintf "singles-%d" batch_k)
+    (Staged.stage (fun () ->
+         for _ = 1 to batch_k do
+           let s = Core.Alias_lottery.draw_slot t rng in
+           if s >= 0 then
+             Core.Alias_lottery.set_weight t hs.(s)
+               (float_of_int (1 + (s land 7)))
+         done))
+
+let batch_draw_k_test () =
+  let rng, t, hs = batch_setup () in
+  let out = Array.make batch_k (-1) in
+  Test.make ~name:(Printf.sprintf "draw_k-%d" batch_k)
+    (Staged.stage (fun () ->
+         let n = Core.Alias_lottery.draw_k t rng ~k:batch_k out in
+         for i = 0 to n - 1 do
+           let s = out.(i) in
+           Core.Alias_lottery.set_weight t hs.(s)
+             (float_of_int (1 + (s land 7)))
+         done))
+
+let batch_tests () =
+  Test.make_grouped ~name:"batch-draw"
+    [ batch_singles_test (); batch_draw_k_test () ]
+
+(* Quiescent draws across four orders of magnitude: with the tables built
+   and the weights untouched, a Cumul draw is one binary search over a flat
+   prefix-sum array and an Alias draw is one deviate, one compare and at
+   most two array reads — no rebuild, no allocation. The derived -over-
+   rows record the 10^2 -> 10^6 growth (the O(1)/O(log n) claim: cache
+   effects and lg n, not n) and the tree-relative cost at 10^4+. *)
+let flat_sizes = [ 100; 10_000; 1_000_000 ]
+
+let flat_draw_test mode name n =
+  let rng = Core.Rng.create ~seed:13 () in
+  let t = Core.Draw.of_mode mode in
+  for i = 1 to n do
+    ignore (Core.Draw.add t ~client:i ~weight:(float_of_int (1 + (i land 15))))
+  done;
+  (* pay the lazy rebuild here, outside the measured quiescent draws *)
+  ignore (Core.Draw.draw_slot t rng);
+  Test.make
+    ~name:(Printf.sprintf "%s/%07d" name n)
+    (Staged.stage (fun () -> ignore (Core.Draw.draw_slot t rng)))
+
+let flat_tests () =
+  Test.make_grouped ~name:"draw-quiescent"
+    (List.concat_map
+       (fun n ->
+         [
+           flat_draw_test Core.Draw.Tree "tree" n;
+           flat_draw_test Core.Draw.Cumul "cumul" n;
+           flat_draw_test Core.Draw.Alias "alias" n;
+         ])
+       flat_sizes)
+
 (* PRNG draw cost (the paper's Appendix A argues ~10 RISC instructions) *)
 let prng_test algo name =
   let rng = Core.Rng.create ~algo ~seed:3 () in
@@ -602,6 +716,8 @@ let tests () =
             draw_backend_test Core.Draw.List "list" n;
             draw_backend_test Core.Draw.Tree "tree" n;
             draw_backend_test (Core.Draw.Distributed 16) "distributed16" n;
+            draw_backend_test Core.Draw.Cumul "cumul" n;
+            draw_backend_test Core.Draw.Alias "alias" n;
           ])
         draw_backend_sizes
     @ List.concat_map
@@ -717,6 +833,65 @@ let obs_rows () =
     | _ -> []
   in
   time @ words @ ratio
+
+(* the hot-path families run under the same two measures: the decision
+   family is the allocation gate's subject (hotpath/*:minor-words rows),
+   the batch and quiescent families provide the O(1)/amortization evidence
+   as derived ratio rows. *)
+let run_family ~alloc tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances =
+    if alloc then Instance.[ monotonic_clock; minor_allocated ]
+    else Instance.[ monotonic_clock ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let hotpath_rows () =
+  let hres = run_family ~alloc:true (hotpath_tests ()) in
+  let htime = result_rows hres in
+  let hwords =
+    rows_of_measure hres
+      (Measure.label Instance.minor_allocated)
+      ":minor-words"
+  in
+  let btime = result_rows (run_family ~alloc:false (batch_tests ())) in
+  let qtime = result_rows (run_family ~alloc:false (flat_tests ())) in
+  let ratio rows num den label =
+    match (List.assoc_opt num rows, List.assoc_opt den rows) with
+    | Some a, Some b when b > 0. -> [ (label, a /. b) ]
+    | _ -> []
+  in
+  let growth m =
+    ratio qtime
+      (Printf.sprintf "draw-quiescent/%s/1000000" m)
+      (Printf.sprintf "draw-quiescent/%s/0000100" m)
+      (Printf.sprintf "draw-quiescent/%s-1e6-over-1e2" m)
+  in
+  let vs_tree m n tag =
+    ratio qtime
+      (Printf.sprintf "draw-quiescent/%s/%07d" m n)
+      (Printf.sprintf "draw-quiescent/tree/%07d" n)
+      (Printf.sprintf "draw-quiescent/%s-over-tree-%s" m tag)
+  in
+  htime @ hwords @ btime @ qtime
+  @ ratio btime
+      (Printf.sprintf "batch-draw/draw_k-%d" batch_k)
+      (Printf.sprintf "batch-draw/singles-%d" batch_k)
+      "batch-draw/draw_k-over-singles"
+  @ growth "tree" @ growth "cumul" @ growth "alias"
+  @ vs_tree "cumul" 10_000 "1e4"
+  @ vs_tree "alias" 10_000 "1e4"
+  @ vs_tree "cumul" 1_000_000 "1e6"
+  @ vs_tree "alias" 1_000_000 "1e6"
 
 (* the arena scale family runs under the same OLS fit; derived rows record
    how the full slice (valuation refresh + draw + dispatch bookkeeping)
@@ -888,7 +1063,8 @@ let () =
             run_figures := false;
             run_bench := false;
             run_obs := true),
-        " run only the observability overhead family (obs-overhead/*)" );
+        " run only the overhead families (obs-overhead/*, hotpath/*, \
+         batch-draw/*, draw-quiescent/*)" );
       ( "--scale-only",
         Arg.Unit
           (fun () ->
@@ -923,7 +1099,7 @@ let () =
   if !run_bench || !run_par || !run_scale || want_obs then begin
     let rows =
       (if !run_bench then result_rows (benchmark ()) else [])
-      @ (if want_obs then obs_rows () else [])
+      @ (if want_obs then obs_rows () @ hotpath_rows () else [])
       @ (if !run_scale then scale_rows () else [])
       @ (if !run_par then par_rows () else [])
     in

@@ -57,6 +57,8 @@ module Arena = Lotto_arena
 module Draw = Lotto_draw.Draw
 module List_lottery = Lotto_draw.List_lottery
 module Tree_lottery = Lotto_draw.Tree_lottery
+module Cumul_lottery = Lotto_draw.Cumul_lottery
+module Alias_lottery = Lotto_draw.Alias_lottery
 module Inverse_lottery = Lotto_draw.Inverse_lottery
 module Distributed_lottery = Lotto_draw.Distributed_lottery
 

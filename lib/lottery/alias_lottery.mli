@@ -1,16 +1,22 @@
-(** Tree-based lottery over partial ticket sums (Section 4.2):
-    selection and weight updates are O(log n).
+(** Walker/Vose alias-method lottery: O(1) draws — one uniform deviate, one
+    compare, at most two array reads — from preallocated probability/alias
+    tables rebuilt lazily in O(n) only when a mutation dirtied them. The
+    right backend when weights are quiescent between draws (the common case
+    under PR 3's incremental valuation) and client counts are large.
 
-    Implemented as a Fenwick (binary indexed) tree of weights with a slot
-    free-list, so clients can join and leave dynamically. The paper proposes
-    this structure for large client counts and as the basis of a distributed
-    lottery; the benchmark suite compares it against {!List_lottery}. *)
+    Random draws are distribution-exact but do {e not} reproduce
+    {!Tree_lottery}'s winner for the same random stream (the alias method
+    maps uniform deviates to winners differently); the deterministic
+    {!draw_with_value} keeps the shared slot-order prefix-sum semantics via
+    a documented O(n) scan. The slot arena mirrors {!Tree_lottery} (LIFO
+    free stack, power-of-two capacity). *)
 
 type 'a t
 type 'a handle
 
 val create : ?initial_capacity:int -> unit -> 'a t
 val add : 'a t -> client:'a -> weight:float -> 'a handle
+
 val remove : 'a t -> 'a handle -> unit
 (** Idempotent. *)
 
@@ -39,13 +45,15 @@ val client_at : 'a t -> int -> 'a
 
 val draw_k : 'a t -> Lotto_prng.Rng.t -> k:int -> 'a array -> int
 (** [draw_k t rng ~k out] runs up to [min k (Array.length out)]
-    independent lotteries and writes the winners into [out.(0..r-1)],
-    returning [r] ([0] when the total weight is zero). Each draw consumes
-    randomness exactly like {!draw}. *)
+    independent lotteries, paying at most one rebuild for the whole batch,
+    and writes the winners into [out.(0..r-1)], returning [r] ([0] when
+    the total weight is zero). Each draw consumes randomness exactly like
+    {!draw}. *)
 
 val draw_with_value : 'a t -> winning:float -> 'a handle option
 (** Deterministic draw for a winning value in [\[0, total)]: the winner is
-    the client covering that value in slot (insertion) order. *)
+    the client covering that value in slot (insertion) order. O(n) — the
+    alias tables answer random draws, not positional ones. *)
 
 val iter : 'a t -> ('a handle -> unit) -> unit
 (** Slot order (insertion order modulo slot reuse). *)

@@ -1,14 +1,17 @@
+(* Flat cumulative-sum lottery: draws binary-search a preallocated prefix-sum
+   float array rebuilt lazily — O(n) once after any burst of mutations, then
+   O(log n) per draw with no pointer chasing and no allocation. The slot
+   arena (LIFO free stack, [free_weight] sentinel, power-of-two capacity)
+   mirrors {!Tree_lottery} exactly, so an identical add/remove sequence
+   assigns identical slots and a draw with the same winning value picks the
+   same client. *)
+
 type 'a handle = { mutable slot : int; (* -1 once removed *) c : 'a }
 
-(* Slots are unboxed: [weights.(s)] doubles as the occupancy flag with a
-   [free_weight] sentinel for vacant slots, and [slots] is a plain handle
-   array (filled lazily with the first handle ever added, then overwritten
-   slot by slot). The free list is an int-array stack, so add/remove churn
-   allocates nothing beyond the handle record itself. *)
 let free_weight = -1.
 
 type 'a t = {
-  mutable tree : float array; (* 1-based Fenwick array of partial sums *)
+  mutable cum : float array; (* inclusive prefix sums over slots 0..used-1 *)
   mutable weights : float array; (* per-slot exact weight; free_weight = vacant *)
   mutable slots : 'a handle array; (* [||] until the first add *)
   mutable capacity : int; (* power of two *)
@@ -16,18 +19,18 @@ type 'a t = {
   mutable free : int array; (* stack of vacated slots *)
   mutable free_top : int;
   mutable size : int;
-  mutable total : float;
+  mutable total : float; (* incremental, same accumulation drift as Tree *)
+  mutable built : bool; (* cum agrees with weights *)
 }
 
 let create ?(initial_capacity = 16) () =
   let cap = max 2 initial_capacity in
-  (* round up to a power of two for a clean Fenwick descend *)
   let cap =
     let rec up c = if c >= cap then c else up (c * 2) in
     up 2
   in
   {
-    tree = Array.make (cap + 1) 0.;
+    cum = Array.make cap 0.;
     weights = Array.make cap free_weight;
     slots = [||];
     capacity = cap;
@@ -36,33 +39,10 @@ let create ?(initial_capacity = 16) () =
     free_top = 0;
     size = 0;
     total = 0.;
+    built = true;
   }
 
 let occupied t s = t.weights.(s) >= 0.
-
-let bump t slot delta =
-  (* Standard Fenwick point update: add delta to slot (0-based) upward. *)
-  let i = ref (slot + 1) in
-  while !i <= t.capacity do
-    t.tree.(!i) <- t.tree.(!i) +. delta;
-    i := !i + (!i land - !i)
-  done;
-  t.total <- t.total +. delta
-
-let rebuild t =
-  Array.fill t.tree 0 (t.capacity + 1) 0.;
-  t.total <- 0.;
-  for s = 0 to t.used - 1 do
-    if t.weights.(s) > 0. then begin
-      let w = t.weights.(s) in
-      let i = ref (s + 1) in
-      while !i <= t.capacity do
-        t.tree.(!i) <- t.tree.(!i) +. w;
-        i := !i + (!i land - !i)
-      done;
-      t.total <- t.total +. w
-    end
-  done
 
 let grow t =
   let cap = t.capacity * 2 in
@@ -75,8 +55,8 @@ let grow t =
   end;
   t.weights <- weights;
   t.capacity <- cap;
-  t.tree <- Array.make (cap + 1) 0.;
-  rebuild t
+  t.cum <- Array.make cap 0.;
+  t.built <- false
 
 let push_free t s =
   if t.free_top = Array.length t.free then begin
@@ -88,7 +68,7 @@ let push_free t s =
   t.free_top <- t.free_top + 1
 
 let add t ~client ~weight =
-  if weight < 0. then invalid_arg "Tree_lottery.add: negative weight";
+  if weight < 0. then invalid_arg "Cumul_lottery.add: negative weight";
   let slot =
     if t.free_top > 0 then begin
       t.free_top <- t.free_top - 1;
@@ -105,36 +85,39 @@ let add t ~client ~weight =
   if Array.length t.slots = 0 then t.slots <- Array.make t.capacity h;
   t.slots.(slot) <- h;
   t.weights.(slot) <- weight;
-  bump t slot weight;
+  t.total <- t.total +. weight;
   t.size <- t.size + 1;
+  t.built <- false;
   h
 
 let remove t h =
   if h.slot >= 0 then begin
     let s = h.slot in
-    bump t s (-.t.weights.(s));
+    t.total <- t.total -. t.weights.(s);
     t.weights.(s) <- free_weight;
     push_free t s;
     t.size <- t.size - 1;
-    h.slot <- -1
+    h.slot <- -1;
+    t.built <- false
   end
 
 let set_weight t h weight =
-  if weight < 0. then invalid_arg "Tree_lottery.set_weight: negative weight";
-  if h.slot < 0 then invalid_arg "Tree_lottery.set_weight: removed handle";
-  bump t h.slot (weight -. t.weights.(h.slot));
-  t.weights.(h.slot) <- weight
+  if weight < 0. then invalid_arg "Cumul_lottery.set_weight: negative weight";
+  if h.slot < 0 then invalid_arg "Cumul_lottery.set_weight: removed handle";
+  t.total <- t.total +. (weight -. t.weights.(h.slot));
+  t.weights.(h.slot) <- weight;
+  t.built <- false
 
 let clear t =
   for s = 0 to t.used - 1 do
     if occupied t s then t.slots.(s).slot <- -1;
     t.weights.(s) <- free_weight
   done;
-  Array.fill t.tree 0 (t.capacity + 1) 0.;
   t.used <- 0;
   t.free_top <- 0;
   t.size <- 0;
-  t.total <- 0.
+  t.total <- 0.;
+  t.built <- true
 
 let weight t h = if h.slot < 0 then 0. else t.weights.(h.slot)
 let client h = h.c
@@ -142,21 +125,32 @@ let mem _t h = h.slot >= 0
 let total t = max t.total 0.
 let size t = t.size
 
-let[@inline] descend t winning =
-  (* Fenwick tree search: find the lowest slot whose prefix sum exceeds the
-     winning value. *)
-  let pos = ref 0 in
-  let rest = ref winning in
-  let step = ref t.capacity in
-  while !step > 0 do
-    let next = !pos + !step in
-    if next <= t.capacity && t.tree.(next) <= !rest then begin
-      rest := !rest -. t.tree.(next);
-      pos := next
-    end;
-    step := !step / 2
+(* The dirtiness contract: any mutation marks the structure dirty; the next
+   draw pays one O(used) pass rebuilding exact prefix sums (vacant and
+   zero-weight slots contribute nothing, so their [cum] entry repeats the
+   previous sum and the search skips them). [total] stays incremental —
+   accumulating deltas in the same order as {!Tree_lottery} — so the
+   winning value computed from it is bit-for-bit the tree's. *)
+let rebuild t =
+  let acc = ref 0. in
+  for s = 0 to t.used - 1 do
+    let w = t.weights.(s) in
+    if w > 0. then acc := !acc +. w;
+    t.cum.(s) <- !acc
   done;
-  !pos (* 0-based slot of the winner *)
+  t.built <- true
+
+(* First slot whose exact prefix sum exceeds the winning value; [-1] when
+   float drift pushed [winning] past the rebuilt total. [@inline] keeps the
+   winning value in a register on the draw path: a non-inlined call would
+   box the float argument. *)
+let[@inline] search t winning =
+  let lo = ref 0 and hi = ref t.used in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if t.cum.(mid) <= winning then lo := mid + 1 else hi := mid
+  done;
+  if !lo < t.used then !lo else -1
 
 let last_live_slot t =
   let found = ref (-1) in
@@ -165,28 +159,15 @@ let last_live_slot t =
   done;
   !found
 
-(* [@inline] keeps the freshly computed winning value in a register on the
-   draw path: a non-inlined call would box the float argument. *)
-let[@inline] slot_for_value t winning =
-  let s = descend t winning in
-  if s < t.capacity && t.weights.(s) > 0. then s
-  else
-    (* float drift pushed the winning value past the true total *)
-    last_live_slot t
-
-let draw_with_value t ~winning =
-  if winning < 0. then invalid_arg "Tree_lottery.draw_with_value: negative";
-  if t.total <= 0. then None
-  else
-    match slot_for_value t winning with -1 -> None | s -> Some t.slots.(s)
-
 let draw_slot t rng =
   if t.total <= 0. then -1
   else begin
+    if not t.built then rebuild t;
     let u =
       float_of_int (Lotto_prng.Rng.bits53 rng) /. float_of_int (1 lsl 53)
     in
-    slot_for_value t (u *. t.total)
+    let s = search t (u *. t.total) in
+    if s >= 0 then s else last_live_slot t
   end
 
 let client_at t s = t.slots.(s).c
@@ -199,9 +180,20 @@ let draw_client t rng =
   let s = draw_slot t rng in
   if s < 0 then None else Some t.slots.(s).c
 
+let draw_with_value t ~winning =
+  if winning < 0. then invalid_arg "Cumul_lottery.draw_with_value: negative";
+  if t.total <= 0. then None
+  else begin
+    if not t.built then rebuild t;
+    let s = search t winning in
+    let s = if s >= 0 then s else last_live_slot t in
+    if s < 0 then None else Some t.slots.(s)
+  end
+
 let draw_k t rng ~k out =
   if t.total <= 0. || k <= 0 then 0
   else begin
+    if not t.built then rebuild t;
     let n = min k (Array.length out) in
     let i = ref 0 in
     let live = ref true in

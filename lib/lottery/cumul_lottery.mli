@@ -1,16 +1,20 @@
-(** Tree-based lottery over partial ticket sums (Section 4.2):
-    selection and weight updates are O(log n).
+(** Flat cumulative-sum lottery: a preallocated prefix-sum float array,
+    rebuilt lazily only when a mutation dirtied it, searched by binary
+    search — O(log n) cache-friendly draws that allocate nothing while
+    weights are quiescent (the common case under PR 3's incremental
+    valuation).
 
-    Implemented as a Fenwick (binary indexed) tree of weights with a slot
-    free-list, so clients can join and leave dynamically. The paper proposes
-    this structure for large client counts and as the basis of a distributed
-    lottery; the benchmark suite compares it against {!List_lottery}. *)
+    Slot allocation (LIFO free stack over a power-of-two arena) mirrors
+    {!Tree_lottery} exactly: an identical mutation sequence assigns
+    identical slots and an identical winning value picks the identical
+    client, which the cross-backend equivalence tests rely on. *)
 
 type 'a t
 type 'a handle
 
 val create : ?initial_capacity:int -> unit -> 'a t
 val add : 'a t -> client:'a -> weight:float -> 'a handle
+
 val remove : 'a t -> 'a handle -> unit
 (** Idempotent. *)
 
@@ -39,13 +43,15 @@ val client_at : 'a t -> int -> 'a
 
 val draw_k : 'a t -> Lotto_prng.Rng.t -> k:int -> 'a array -> int
 (** [draw_k t rng ~k out] runs up to [min k (Array.length out)]
-    independent lotteries and writes the winners into [out.(0..r-1)],
-    returning [r] ([0] when the total weight is zero). Each draw consumes
-    randomness exactly like {!draw}. *)
+    independent lotteries, paying at most one rebuild for the whole batch,
+    and writes the winners into [out.(0..r-1)], returning [r] ([0] when
+    the total weight is zero). Each draw consumes randomness exactly like
+    {!draw}. *)
 
 val draw_with_value : 'a t -> winning:float -> 'a handle option
 (** Deterministic draw for a winning value in [\[0, total)]: the winner is
-    the client covering that value in slot (insertion) order. *)
+    the client covering that value in slot (insertion) order. Rebuilds the
+    prefix sums if dirtied. *)
 
 val iter : 'a t -> ('a handle -> unit) -> unit
 (** Slot order (insertion order modulo slot reuse). *)

@@ -132,25 +132,64 @@ let descend t winning =
   done;
   (!i - t.node_count, !winning)
 
+(* The winner of a deterministic winning value, as its node and local slot
+   packed into one int token ([lslot * node_count + node]): the
+   allocation-light currency shared by [draw_slot]/[client_at]. *)
+let token_for_value t winning =
+  let node, w = descend t winning in
+  (* final local lottery on the owning node (clamped for float drift) *)
+  let local = t.locals.(node) in
+  let w = Float.min w (Float.max 0. (List_lottery.total local -. 1e-9)) in
+  let lslot = List_lottery.slot_for_value local (Float.max 0. w) in
+  if lslot < 0 then -1 else (lslot * t.node_count) + node
+
+let handle_at t token =
+  List_lottery.client_at t.locals.(token mod t.node_count) (token / t.node_count)
+
+let client_at t token = (handle_at t token).hclient
+
 let draw_with_value t ~winning =
   if winning < 0. then invalid_arg "Distributed_lottery.draw_with_value: negative";
   if total t <= 0. then None
+  else
+    match token_for_value t winning with
+    | -1 -> None
+    | tok -> Some (handle_at t tok)
+
+let draw_slot t rng =
+  t.draws <- t.draws + 1;
+  if total t <= 0. then -1
   else begin
-    let node, w = descend t winning in
-    (* final local lottery on the owning node (clamped for float drift) *)
-    let local = t.locals.(node) in
-    let w = Float.min w (Float.max 0. (List_lottery.total local -. 1e-9)) in
-    match List_lottery.draw_with_value local ~winning:(Float.max 0. w) with
-    | Some lh -> Some (List_lottery.client lh)
-    | None -> None
+    let u =
+      float_of_int (Lotto_prng.Rng.bits53 rng) /. float_of_int (1 lsl 53)
+    in
+    token_for_value t (u *. total t)
   end
 
 let draw t rng =
-  t.draws <- t.draws + 1;
-  if total t <= 0. then None
-  else draw_with_value t ~winning:(Lotto_prng.Rng.float_unit rng *. total t)
+  let s = draw_slot t rng in
+  if s < 0 then None else Some (handle_at t s)
 
-let draw_client t rng = Option.map client (draw t rng)
+let draw_client t rng =
+  let s = draw_slot t rng in
+  if s < 0 then None else Some (client_at t s)
+
+let draw_k t rng ~k out =
+  if total t <= 0. || k <= 0 then 0
+  else begin
+    let n = min k (Array.length out) in
+    let i = ref 0 in
+    let live = ref true in
+    while !live && !i < n do
+      let s = draw_slot t rng in
+      if s < 0 then live := false
+      else begin
+        out.(!i) <- client_at t s;
+        incr i
+      end
+    done;
+    !i
+  end
 
 let iter t f =
   Array.iter (fun local -> List_lottery.iter local (fun lh -> f (List_lottery.client lh))) t.locals

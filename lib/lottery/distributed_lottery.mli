@@ -47,6 +47,20 @@ val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
 
 val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
 
+val draw_slot : 'a t -> Lotto_prng.Rng.t -> int
+(** Draw returning the winner as an opaque nonnegative token (the owning
+    node and its local slot packed into one int), or [-1] when the total
+    weight is zero. The token is valid until the next mutation; resolve it
+    with {!client_at}. *)
+
+val client_at : 'a t -> int -> 'a
+(** Resolve a token returned by {!draw_slot}. *)
+
+val draw_k : 'a t -> Lotto_prng.Rng.t -> k:int -> 'a array -> int
+(** [draw_k t rng ~k out] runs up to [min k (Array.length out)]
+    independent lotteries and writes the winners into [out.(0..r-1)],
+    returning [r]. *)
+
 val draw_with_value : 'a t -> winning:float -> 'a handle option
 (** Deterministic draw for a winning value in [\[0, total)]: descend the
     inter-node tree (counting messages), then the owning node's local

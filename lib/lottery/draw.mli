@@ -35,6 +35,23 @@ module type S = sig
   val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
   val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
 
+  val draw_slot : 'a t -> Lotto_prng.Rng.t -> int
+  (** Allocation-free draw: the winner as a nonnegative backend token
+      (arena slot for the flat backends), or [-1] when the total weight is
+      zero (no randomness consumed then). Valid until the next mutation;
+      resolve with {!client_at}. *)
+
+  val client_at : 'a t -> int -> 'a
+  (** Resolve a token returned by {!draw_slot}. *)
+
+  val draw_k : 'a t -> Lotto_prng.Rng.t -> k:int -> 'a array -> int
+  (** [draw_k t rng ~k out] runs up to [min k (Array.length out)]
+      independent lotteries — paying any lazy rebuild once for the whole
+      batch — writing winners into [out.(0..r-1)] and returning [r] ([0]
+      when the total weight is zero). Each draw consumes randomness
+      exactly like {!draw}; backends with draw-dependent state (the
+      move-to-front list) apply it per draw. *)
+
   val draw_with_value : 'a t -> winning:float -> 'a handle option
   (** Deterministic draw for a winning value in [\[0, total)]. *)
 
@@ -46,6 +63,15 @@ type mode =
   | Tree  (** Fenwick partial-sum tree, O(log n) draw and update *)
   | Distributed of int
       (** partial-sum tree spanning [n] nodes, O(log n) messages *)
+  | Cumul
+      (** flat cumulative-sum array: O(log n) binary-search draw over a
+          lazily rebuilt prefix-sum table — allocation-free while weights
+          are quiescent *)
+  | Alias
+      (** Walker/Vose alias method: O(1) draw from lazily rebuilt
+          probability/alias tables — allocation-free while weights are
+          quiescent; random draws are distribution-exact but not
+          winner-identical to [Tree] for the same stream *)
 
 val backend : mode -> (module S)
 (** The conforming structure for a mode, as a first-class module
@@ -67,6 +93,8 @@ val of_list : 'a List_lottery.t -> 'a t
 
 val of_tree : 'a Tree_lottery.t -> 'a t
 val of_distributed : 'a Distributed_lottery.t -> 'a t
+val of_cumul : 'a Cumul_lottery.t -> 'a t
+val of_alias : 'a Alias_lottery.t -> 'a t
 val mode : 'a t -> mode
 
 val add : 'a t -> client:'a -> weight:float -> 'a handle
@@ -91,6 +119,23 @@ val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
     randomness is consumed in that case). *)
 
 val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
+
+val draw_slot : 'a t -> Lotto_prng.Rng.t -> int
+(** Allocation-free draw through the wrapper: one dispatch, an int out, no
+    options. [-1] when the total weight is zero (no randomness consumed in
+    that case); otherwise a backend token valid until the next mutation,
+    resolved with {!client_at}. This is the hot path the scheduler and the
+    resource managers use per decision. *)
+
+val client_at : 'a t -> int -> 'a
+(** Resolve a token returned by {!draw_slot}. *)
+
+val draw_k : 'a t -> Lotto_prng.Rng.t -> k:int -> 'a array -> int
+(** Batch draw: up to [min k (Array.length out)] independent lotteries,
+    paying any lazy rebuild once for the whole batch, winners written into
+    the caller's scratch array; returns how many were drawn ([0] when the
+    total weight is zero). *)
+
 val draw_with_value : 'a t -> winning:float -> 'a handle option
 val iter : 'a t -> ('a handle -> unit) -> unit
 

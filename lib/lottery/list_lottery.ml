@@ -206,7 +206,10 @@ let move_to_front t s =
     link_front t s
   end
 
-let scan t winning =
+(* [@inline] (here and on [slot_for_value]) keeps the freshly computed
+   winning value in a register on the draw path: a non-inlined call would
+   box the float argument. *)
+let[@inline] scan t winning =
   (* Accumulate the running ticket sum until it exceeds the winning value
      (Figure 1). Float drift can leave [winning] beyond the actual sum; the
      last positive-weight entry wins in that case. *)
@@ -226,22 +229,54 @@ let scan t winning =
   done;
   if !found >= 0 then !found else !last
 
-let draw_with_value t ~winning =
-  if winning < 0. then invalid_arg "List_lottery.draw_with_value: negative";
+(* Winner's slot for a winning value, applying the structure's reordering;
+   -1 when nothing can win. *)
+let[@inline] slot_for_value t winning =
   match scan t winning with
-  | -1 -> None
+  | -1 -> -1
   | s ->
       if t.order = Move_to_front then move_to_front t s;
-      Some t.hs.(s)
+      s
 
-let draw t rng =
-  if t.total <= 0. then None
+let draw_with_value t ~winning =
+  if winning < 0. then invalid_arg "List_lottery.draw_with_value: negative";
+  match slot_for_value t winning with -1 -> None | s -> Some t.hs.(s)
+
+let draw_slot t rng =
+  if t.total <= 0. then -1
   else begin
-    let winning = Lotto_prng.Rng.float_unit rng *. t.total in
-    draw_with_value t ~winning
+    let u =
+      float_of_int (Lotto_prng.Rng.bits53 rng) /. float_of_int (1 lsl 53)
+    in
+    slot_for_value t (u *. t.total)
   end
 
-let draw_client t rng = Option.map client (draw t rng)
+let client_at t s = t.hs.(s).c
+
+let draw t rng =
+  let s = draw_slot t rng in
+  if s < 0 then None else Some t.hs.(s)
+
+let draw_client t rng =
+  let s = draw_slot t rng in
+  if s < 0 then None else Some t.hs.(s).c
+
+let draw_k t rng ~k out =
+  if t.total <= 0. || k <= 0 then 0
+  else begin
+    let n = min k (Array.length out) in
+    let i = ref 0 in
+    let live = ref true in
+    while !live && !i < n do
+      let s = draw_slot t rng in
+      if s < 0 then live := false
+      else begin
+        out.(!i) <- t.hs.(s).c;
+        incr i
+      end
+    done;
+    !i
+  end
 
 let iter t f =
   let s = ref t.head in

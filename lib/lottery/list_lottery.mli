@@ -43,6 +43,25 @@ val draw : 'a t -> Lotto_prng.Rng.t -> 'a handle option
 
 val draw_client : 'a t -> Lotto_prng.Rng.t -> 'a option
 
+val draw_slot : 'a t -> Lotto_prng.Rng.t -> int
+(** Allocation-free draw: the winner's arena slot, or [-1] when the total
+    weight is zero (no randomness consumed then). Applies the structure's
+    reordering (move-to-front) like {!draw}. The slot is valid until the
+    next mutation; resolve it with {!client_at}. *)
+
+val client_at : 'a t -> int -> 'a
+(** Resolve a slot returned by {!draw_slot}. *)
+
+val slot_for_value : 'a t -> float -> int
+(** Winner's slot for a deterministic winning value (applying the
+    structure's reordering, like {!draw_with_value}); [-1] when nothing
+    can win. *)
+
+val draw_k : 'a t -> Lotto_prng.Rng.t -> k:int -> 'a array -> int
+(** [draw_k t rng ~k out] runs up to [min k (Array.length out)] sequential
+    lotteries (each applying move-to-front like {!draw}) and writes the
+    winners into [out.(0..r-1)], returning [r]. *)
+
 val draw_with_value : 'a t -> winning:float -> 'a handle option
 (** Deterministic draw for a given winning value in [\[0, total)];
     used by tests to replay Figure 1 exactly. *)

@@ -78,11 +78,35 @@ let int_in t ~lo ~hi =
   if hi < lo then invalid_arg "Rng.int_in: hi < lo";
   lo + int_below t (hi - lo + 1)
 
-let float_unit t =
-  (* 2^53 requests exceed Park–Miller's single-draw range, so int_below
-     composes two draws there; 61-bit generators use a single draw. *)
-  let denom = 1 lsl 53 in
-  float_of_int (int_below t denom) /. float_of_int denom
+(* [int_below t (1 lsl 53)] specialized to a closure-free loop: the draw
+   hot paths turn the result into a float locally, so a draw allocates
+   nothing (with Park–Miller; the 64-bit generators box an Int64 per raw
+   draw). Consumes the stream exactly like the general path — 2^53 exceeds
+   Park–Miller's single-draw range, so two draws are composed there; the
+   61-bit generators use a single draw — keeping every seeded run
+   bit-for-bit identical to the historical [int_below]-based definition. *)
+let bits53 t =
+  let n = 1 lsl 53 in
+  let range = raw_range t in
+  if n <= range then begin
+    let limit = range - (range mod n) in
+    let r = ref (raw t) in
+    while !r >= limit do
+      r := raw t
+    done;
+    !r mod n
+  end
+  else begin
+    let big = range * range in
+    let limit = big - (big mod n) in
+    let r = ref ((raw t * range) + raw t) in
+    while !r >= limit do
+      r := (raw t * range) + raw t
+    done;
+    !r mod n
+  end
+
+let float_unit t = float_of_int (bits53 t) /. float_of_int (1 lsl 53)
 
 let bool t = int_below t 2 = 1
 

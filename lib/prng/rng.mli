@@ -33,9 +33,14 @@ val int_below : t -> int -> int
 val int_in : t -> lo:int -> hi:int -> int
 (** Uniform on [\[lo, hi\]] inclusive. *)
 
+val bits53 : t -> int
+(** Uniform on [\[0, 2^53)]: exactly [int_below t (1 lsl 53)], but
+    closure-free so draw hot paths that turn it into a float locally
+    allocate nothing (with the default Park–Miller generator). *)
+
 val float_unit : t -> float
 (** Uniform on [\[0, 1)] with 53 bits of precision where the generator
-    allows. *)
+    allows; [float_of_int (bits53 t) /. 2^53]. *)
 
 val bool : t -> bool
 

@@ -238,16 +238,19 @@ let choose t : (client * request) option =
       (* lottery over backlogged clients' funding, then the winner's
          nearest request (good local seeks, proportional global share) *)
       refresh t;
+      (* slot-based pick: no option or handle wrapper built per decision *)
       let winner =
-        match Draw.draw_client t.draw t.rng with
-        | Some c ->
-            publish_draw t c;
-            Some c
-        | None ->
-            (* backlogged but unfunded: first backlogged in creation order *)
-            List.fold_left
-              (fun acc c -> if c.queue <> [] then Some c else acc)
-              None t.clients
+        let s = Draw.draw_slot t.draw t.rng in
+        if s >= 0 then begin
+          let c = Draw.client_at t.draw s in
+          publish_draw t c;
+          Some c
+        end
+        else
+          (* backlogged but unfunded: first backlogged in creation order *)
+          List.fold_left
+            (fun acc c -> if c.queue <> [] then Some c else acc)
+            None t.clients
       in
       match winner with
       | None -> None

@@ -25,7 +25,12 @@ type t = {
   mutable next_id : int;
   mutable backlogged : int; (* clients with pending > 0 *)
   mutable total_served : int;
+  mutable wgen : int; (* bumped on every weight write: a batch of
+                         pre-drawn winners is valid only while it holds *)
+  mutable batch : client array; (* draw_k scratch, sized at first register *)
 }
+
+let batch_k = 64
 
 let create ?(backend = Draw.List) ?funding ~rng () =
   {
@@ -39,6 +44,8 @@ let create ?(backend = Draw.List) ?funding ~rng () =
     next_id = 0;
     backlogged = 0;
     total_served = 0;
+    wgen = 0;
+    batch = [||];
   }
 
 let events t = t.bus
@@ -48,12 +55,16 @@ let weight_of c = if c.pending > 0 then c.value else 0.
 
 let update_weight t c =
   match c.handle with
-  | Some h -> Draw.set_weight t.draw h (weight_of c)
+  | Some h ->
+      Draw.set_weight t.draw h (weight_of c);
+      t.wgen <- t.wgen + 1
   | None -> ()
 
 let register t c =
   c.handle <- Some (Draw.add t.draw ~client:c ~weight:(weight_of c));
-  t.clients <- c :: t.clients
+  t.clients <- c :: t.clients;
+  t.wgen <- t.wgen + 1;
+  if Array.length t.batch = 0 then t.batch <- Array.make batch_k c
 
 let add_client t ~name ~tickets =
   if tickets < 0 then invalid_arg "Io_bandwidth.add_client: negative tickets";
@@ -166,35 +177,69 @@ let publish_draw t c =
            total_weight = Draw.total t.draw;
          })
 
+(* All backlogged clients are unfunded: serve FIFO by creation order
+   (t.clients is reversed, so keep the last match). *)
+let fifo_pick t =
+  List.fold_left (fun acc c -> if c.pending > 0 then Some c else acc) None t.clients
+
+let serve_winner t c =
+  c.pending <- c.pending - 1;
+  if c.pending = 0 then set_backlogged t c false;
+  c.served <- c.served + 1;
+  t.total_served <- t.total_served + 1
+
 let serve_slot t =
   refresh t;
-  let winner =
-    match Draw.draw_client t.draw t.rng with
+  let s = Draw.draw_slot t.draw t.rng in
+  if s >= 0 then begin
+    let c = Draw.client_at t.draw s in
+    publish_draw t c;
+    serve_winner t c;
+    Some c
+  end
+  else
+    match fifo_pick t with
+    | None -> None
     | Some c ->
-        publish_draw t c;
+        serve_winner t c;
         Some c
-    | None ->
-        (* all backlogged clients are unfunded: serve FIFO by creation
-           order (t.clients is reversed, so keep the last match) *)
-        List.fold_left
-          (fun acc c -> if c.pending > 0 then Some c else acc)
-          None t.clients
-  in
-  match winner with
-  | None -> None
-  | Some c ->
-      c.pending <- c.pending - 1;
-      if c.pending = 0 then set_backlogged t c false;
-      c.served <- c.served + 1;
-      t.total_served <- t.total_served + 1;
-      Some c
 
+(* Batched service: pre-draw up to [batch_k] winners in one {!Draw.draw_k}
+   call (paying any lazy table rebuild once for the whole burst) and serve
+   them in order. Serving a winner can change draw weights — a client's
+   last pending request drains, or a funding change lands via [refresh] —
+   which [wgen] detects; the unserved tail of the batch is then discarded
+   and redrawn against the fresh weights, so every served slot saw the
+   weights a slot-at-a-time lottery would have. (The discarded draws do
+   consume randomness, so the stream differs from repeated {!serve_slot}
+   calls; the distribution per slot is identical.) *)
 let serve t ~slots =
-  let continue = ref true in
-  let i = ref 0 in
-  while !continue && !i < slots do
-    (match serve_slot t with None -> continue := false | Some _ -> ());
-    incr i
+  let left = ref slots in
+  let live = ref true in
+  while !live && !left > 0 do
+    refresh t;
+    let k = min !left batch_k in
+    let n =
+      if Array.length t.batch = 0 then 0 else Draw.draw_k t.draw t.rng ~k t.batch
+    in
+    if n = 0 then begin
+      match fifo_pick t with
+      | None -> live := false
+      | Some c ->
+          serve_winner t c;
+          decr left
+    end
+    else begin
+      let gen = t.wgen in
+      let i = ref 0 in
+      while !i < n && t.wgen = gen do
+        let c = t.batch.(!i) in
+        publish_draw t c;
+        serve_winner t c;
+        incr i;
+        decr left
+      done
+    end
   done
 
 let served _t c = c.served

@@ -198,20 +198,26 @@ let publish_draw t c =
 
 let transmit_port t port =
   if t.buffered_per_port.(port) > 0 then begin
+    (* Slot-based pick. Batching with [draw_k] would not be faithful here:
+       arrivals interleave with transmissions slot by slot on the same RNG
+       stream, so each port's lottery must consume randomness exactly when
+       its slot comes up. *)
     let winner =
-      match Draw.draw_client t.draws.(port) t.rng with
-      | Some c ->
-          publish_draw t c;
-          Some c
-      | None ->
-          (* buffered circuits but zero total weight: first-created
-             buffered circuit on this port (t.circuits is reversed, so
-             keep the last match) *)
-          List.fold_left
-            (fun acc c ->
-              if c.port = port && not (Queue.is_empty c.buffer) then Some c
-              else acc)
-            None t.circuits
+      let s = Draw.draw_slot t.draws.(port) t.rng in
+      if s >= 0 then begin
+        let c = Draw.client_at t.draws.(port) s in
+        publish_draw t c;
+        Some c
+      end
+      else
+        (* buffered circuits but zero total weight: first-created
+           buffered circuit on this port (t.circuits is reversed, so
+           keep the last match) *)
+        List.fold_left
+          (fun acc c ->
+            if c.port = port && not (Queue.is_empty c.buffer) then Some c
+            else acc)
+          None t.circuits
     in
     match winner with
     | None -> ()

@@ -3,9 +3,13 @@ module F = Lotto_tickets.Funding
 module D = Lotto_draw.Draw
 module Rng = Lotto_prng.Rng
 
-type mode = List_mode | Tree_mode
+type mode = List_mode | Tree_mode | Cumul_mode | Alias_mode
 
-let draw_mode = function List_mode -> D.List | Tree_mode -> D.Tree
+let draw_mode = function
+  | List_mode -> D.List
+  | Tree_mode -> D.Tree
+  | Cumul_mode -> D.Cumul
+  | Alias_mode -> D.Alias
 
 (* Face amount of every thread's competing ticket. The value is arbitrary:
    a thread currency's worth flows through whatever single ticket is active
@@ -14,10 +18,11 @@ let competing_amount = 1000
 
 type tstate = {
   th : thread;
+  some : thread option; (* preallocated [Some th]: select returns this *)
   cur : F.currency;
   competing : F.ticket;
   mutable donations : (int * F.ticket) list; (* dst thread id -> transfer *)
-  mutable dh : thread D.handle option; (* present iff runnable *)
+  mutable dh : tstate D.handle option; (* present iff runnable *)
   mutable in_fq : bool; (* queued in the round-robin fallback ring *)
   mutable in_pending : bool; (* queued for a scoped weight refresh *)
 }
@@ -35,8 +40,18 @@ type t = {
   system : F.system;
   mutable st_tab : tstate option array; (* by thread slot *)
   mutable by_cslot : tstate option array; (* by thread-currency slot *)
+  mutable wcache : float array; (* by thread slot: currency value behind
+                                   the last weight written to the draw *)
+  mutable ccache : float array; (* by thread slot: compensation factor
+                                   behind the last weight written. The two
+                                   inputs are cached separately so
+                                   [account] can compare each against an
+                                   existing box (the funding cache, the
+                                   thread's compensate field) — comparing
+                                   the recomputed product would box the
+                                   fresh float on every decision *)
   pending_q : tstate Queue.t; (* dirtied thread currencies, insertion order *)
-  draw : thread D.t;
+  draw : tstate D.t;
   scratch : thread D.t; (* reusable waiter-pick draw, cleared between picks *)
   fallback_q : tstate Queue.t; (* round-robin ring of runnable threads *)
   quantum_fallback : bool;
@@ -61,19 +76,30 @@ let ensure_cap arr n =
     a
   end
 
+let ensure_capf arr n =
+  let len = Array.length arr in
+  if n < len then arr
+  else begin
+    let a = Array.make (max 16 (max (n + 1) (2 * len))) 0. in
+    Array.blit arr 0 a 0 len;
+    a
+  end
+
 let slot_get arr slot =
   if slot < 0 || slot >= Array.length arr then None else arr.(slot)
 
 (* The guarded lookups: a hit only counts when the occupant is the same
-   record the state was created for. *)
+   record the state was created for. The [as]-patterns return the option
+   already sitting in the table — rebuilding [Some s] here would charge
+   every accounting call two minor words. *)
 let find_state t (th : thread) =
   match slot_get t.st_tab th.tslot with
-  | Some s when s.th == th -> Some s
+  | Some s as o when s.th == th -> o
   | _ -> None
 
 let find_by_currency t c =
   match slot_get t.by_cslot (F.currency_slot c) with
-  | Some s when s.cur == c -> Some s
+  | Some s as o when s.cur == c -> o
   | _ -> None
 
 let create ?(mode = List_mode) ?(quantum_fallback = true)
@@ -85,6 +111,8 @@ let create ?(mode = List_mode) ?(quantum_fallback = true)
       system = F.create_system ();
       st_tab = [||];
       by_cslot = [||];
+      wcache = [||];
+      ccache = [||];
       pending_q = Queue.create ();
       draw = D.of_mode (draw_mode mode);
       scratch = D.of_mode (draw_mode mode);
@@ -135,6 +163,7 @@ let state t th =
       let s =
         {
           th;
+          some = Some th;
           cur;
           competing;
           donations = [];
@@ -144,6 +173,8 @@ let state t th =
         }
       in
       t.st_tab <- ensure_cap t.st_tab th.tslot;
+      t.wcache <- ensure_capf t.wcache th.tslot;
+      t.ccache <- ensure_capf t.ccache th.tslot;
       t.st_tab.(th.tslot) <- Some s;
       let cslot = F.currency_slot cur in
       t.by_cslot <- ensure_cap t.by_cslot cslot;
@@ -156,9 +187,20 @@ let thread_currency t th = (state t th).cur
    kernel-maintained compensation factor (when enabled). Valuations are
    cached incrementally inside Funding, so this is O(1) on a quiescent
    graph. *)
-let factor t (s : tstate) = if t.use_compensation then s.th.compensate else 1.
+let[@inline] factor t (s : tstate) =
+  if t.use_compensation then s.th.compensate else 1.
 let value_of t s = F.currency_value t.system s.cur *. factor t s
 let thread_value t th = value_of t (state t th)
+
+(* The one weight-write of the draw path: records the two inputs of the
+   written weight so [account] can later detect "nothing changed" without
+   recomputing the product. *)
+let write_weight t s h =
+  let cv = F.currency_value t.system s.cur in
+  let f = factor t s in
+  D.set_weight t.draw h (cv *. f);
+  t.wcache.(s.th.tslot) <- cv;
+  t.ccache.(s.th.tslot) <- f
 
 (* --- funding API ------------------------------------------------------- *)
 
@@ -180,7 +222,11 @@ let destroy_ticket t ticket = F.destroy_ticket t.system ticket
    per-thread weight write of the block/wake path — count it as such. *)
 let add_to_draw t s =
   if s.dh = None then begin
-    s.dh <- Some (D.add t.draw ~client:s.th ~weight:(value_of t s));
+    let cv = F.currency_value t.system s.cur in
+    let f = factor t s in
+    s.dh <- Some (D.add t.draw ~client:s ~weight:(cv *. f));
+    t.wcache.(s.th.tslot) <- cv;
+    t.ccache.(s.th.tslot) <- f;
     t.scoped_updates <- t.scoped_updates + 1;
     if not s.in_fq then begin
       Queue.push s t.fallback_q;
@@ -279,7 +325,7 @@ let refresh_weights t =
   t.full_refreshes <- t.full_refreshes + 1;
   Array.iter
     (function
-      | Some ({ dh = Some h; _ } as s) -> D.set_weight t.draw h (value_of t s)
+      | Some ({ dh = Some h; _ } as s) -> write_weight t s h
       | _ -> ())
     t.st_tab
 
@@ -305,7 +351,7 @@ let flush_pending t =
     drain_pending t (fun s ->
         match s.dh with
         | Some h ->
-            D.set_weight t.draw h (value_of t s);
+            write_weight t s h;
             t.scoped_updates <- t.scoped_updates + 1
         | None -> ())
 
@@ -328,7 +374,7 @@ let fallback_pick t =
           end
           else begin
             Queue.push s t.fallback_q;
-            Some s.th
+            s.some
           end
     in
     next ()
@@ -350,24 +396,40 @@ let select t =
       flush_pending t;
       Lotto_obs.Profile.stop p Lotto_obs.Profile.Valuation t0;
       fire_draw_hook t);
+  (* Slot-based draw: the winner comes back as an int token and resolves to
+     the tstate's preallocated [Some th] — no option or handle wrapper is
+     built per decision. *)
   match t.profiler with
-  | None -> (
-      match D.draw_client t.draw t.rng with
-      | Some th -> Some th
-      | None -> fallback_pick t)
-  | Some p -> (
+  | None ->
+      let w = D.draw_slot t.draw t.rng in
+      if w >= 0 then (D.client_at t.draw w).some else fallback_pick t
+  | Some p ->
       let t0 = Lotto_obs.Profile.start p in
-      let won = D.draw_client t.draw t.rng in
+      let w = D.draw_slot t.draw t.rng in
       Lotto_obs.Profile.stop p Lotto_obs.Profile.Draw t0;
-      match won with Some th -> Some th | None -> fallback_pick t)
+      if w >= 0 then (D.client_at t.draw w).some else fallback_pick t
 
 let account t th ~used:_ ~quantum:_ ~blocked:_ =
   (* The thread's compensation factor was reset when its quantum started
      and possibly re-set when it blocked; refresh its draw weight so the
-     next draw sees the current value. *)
+     next draw sees the current value. The fresh value is compared against
+     the cached copy of the last write first: for a compute-bound thread on
+     a quiescent funding graph nothing changed, and skipping [set_weight]
+     keeps the comparison float unboxed (the cross-module call would box
+     it). Skipping is exact, not approximate — a weight delta of zero
+     leaves every backend bit-identical. *)
   if not t.dirty then begin
     match find_state t th with
-    | Some ({ dh = Some h; _ } as s) -> D.set_weight t.draw h (value_of t s)
+    | Some ({ dh = Some h; _ } as s) ->
+        (* Each input is compared against an existing box (the funding
+           valuation cache, the thread's compensate field), so the
+           quiescent path computes no fresh float at all. Skipping the
+           write when both inputs match is exact: the product could not
+           have changed. *)
+        if
+          F.currency_value t.system s.cur <> t.wcache.(th.tslot)
+          || factor t s <> t.ccache.(th.tslot)
+        then write_weight t s h
     | _ -> ()
   end
 
@@ -398,7 +460,7 @@ let pick_waiter t waiters =
     ignore (D.add d ~client:w ~weight:(potential_value t v (state t w)))
   in
   (match t.mode with
-  | Tree_mode -> List.iter insert waiters
+  | Tree_mode | Cumul_mode | Alias_mode -> List.iter insert waiters
   | List_mode ->
       let rec back_to_front = function
         | [] -> ()
@@ -407,14 +469,17 @@ let pick_waiter t waiters =
             insert w
       in
       back_to_front waiters);
-  D.draw_client d t.rng
+  let s = D.draw_slot d t.rng in
+  if s < 0 then None else Some (D.client_at d s)
 
 let sched t =
   {
     sched_name =
       (match t.mode with
       | List_mode -> "lottery-list"
-      | Tree_mode -> "lottery-tree");
+      | Tree_mode -> "lottery-tree"
+      | Cumul_mode -> "lottery-cumul"
+      | Alias_mode -> "lottery-alias");
     attach = attach t;
     detach = detach t;
     ready = ready t;

@@ -19,11 +19,13 @@
     - {e lottery-scheduled mutexes} (§6.1): [pick_waiter] draws among a
       mutex's waiters weighted by their currency values.
 
-    Draws use either the paper's move-to-front list (O(n)) or the partial-
-    sum tree (O(log n)); both produce identically distributed winners. *)
+    Draws use the paper's move-to-front list (O(n)), the partial-sum tree
+    (O(log n)), the flat cumulative-sum array (O(log n), allocation-free
+    when quiescent), or the Walker/Vose alias method (O(1) draw); all
+    produce identically distributed winners. *)
 
 type t
-type mode = List_mode | Tree_mode
+type mode = List_mode | Tree_mode | Cumul_mode | Alias_mode
 
 val create :
   ?mode:mode ->

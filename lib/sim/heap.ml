@@ -49,6 +49,17 @@ let push t ~key v =
 
 let peek_min t = if t.size = 0 then None else Some ((get t 0).key, (get t 0).v)
 
+(* Non-allocating accessors for the kernel's timer hot loop: callers check
+   [is_empty] first (the heap must be non-empty). *)
+let min_key t = (get t 0).key
+let min_elt t = (get t 0).v
+
+let drop_min t =
+  t.size <- t.size - 1;
+  t.cells.(0) <- t.cells.(t.size);
+  t.cells.(t.size) <- None;
+  if t.size > 0 then sift_down t 0
+
 let pop_min t =
   if t.size = 0 then None
   else begin

@@ -7,6 +7,19 @@ val create : unit -> 'a t
 val push : 'a t -> key:int -> 'a -> unit
 val peek_min : 'a t -> (int * 'a) option
 val pop_min : 'a t -> (int * 'a) option
+
+val min_key : 'a t -> int
+(** Key of the minimum entry, without allocating. The heap must be
+    non-empty (check {!is_empty} first). *)
+
+val min_elt : 'a t -> 'a
+(** Value of the minimum entry, without allocating. The heap must be
+    non-empty. *)
+
+val drop_min : 'a t -> unit
+(** Remove the minimum entry without building the result pair. The heap
+    must be non-empty. *)
+
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 

@@ -763,35 +763,40 @@ let kill k th =
 let timer_entry_live ~key th =
   match th.pending with Sleeping { until; _ } -> until = key | _ -> false
 
+(* Both walkers use the non-allocating heap accessors (is_empty/min_key/
+   min_elt/drop_min) in a flat while loop: [peek_min]'s option-of-tuple and
+   a per-call [let rec] closure would otherwise charge every scheduling
+   decision a handful of minor words even when the heap is empty. *)
 let prune_stale_timers k =
-  let rec go () =
-    match Heap.peek_min k.timers with
-    | Some (key, th) when not (timer_entry_live ~key th) ->
-        ignore (Heap.pop_min k.timers);
-        go ()
-    | _ -> ()
-  in
-  go ()
+  let scanning = ref true in
+  while !scanning do
+    if Heap.is_empty k.timers then scanning := false
+    else begin
+      let key = Heap.min_key k.timers in
+      let th = Heap.min_elt k.timers in
+      if timer_entry_live ~key th then scanning := false
+      else Heap.drop_min k.timers
+    end
+  done
 
 let wake_timers k =
-  let rec go () =
+  let waking = ref true in
+  while !waking do
     prune_stale_timers k;
-    match Heap.peek_min k.timers with
-    | Some (t, _) when t <= k.now -> (
-        match Heap.pop_min k.timers with
-        | Some (_, th) -> (
-            match th.pending with
-            | Sleeping { k = kc; _ } ->
-                th.pending <- Ready_unit kc;
-                unblock k th;
-                go ()
-            | _ -> go ())
-        | None -> ())
-    | _ -> ()
-  in
-  go ()
+    if Heap.is_empty k.timers || Heap.min_key k.timers > k.now then
+      waking := false
+    else begin
+      let th = Heap.min_elt k.timers in
+      Heap.drop_min k.timers;
+      match th.pending with
+      | Sleeping { k = kc; _ } ->
+          th.pending <- Ready_unit kc;
+          unblock k th
+      | _ -> ()
+    end
+  done
 
-let run_slice k th ~horizon =
+let run_slice k th ~cur ~horizon =
   k.slices <- k.slices + 1;
   th.state <- Running;
   (* Starting a fresh quantum cancels any outstanding compensation ticket
@@ -801,7 +806,10 @@ let run_slice k th ~horizon =
   if observed k then emit k (Obs.Event.Select { who = actor th });
   let slice_left = ref k.quantum in
   let outcome = ref `Preempted in
-  k.current <- Some th;
+  (* [cur] is the scheduler's own [Some th] (select returns a preallocated
+     option); reusing it keeps the dispatch path from building a fresh one
+     per slice. *)
+  k.current <- cur;
   (try
      while true do
        match advance k th with
@@ -872,32 +880,33 @@ let run k ~until =
     wake_timers k;
     (match k.pre_select with Some f -> f () | None -> ());
     match k.sched.select () with
-    | Some th -> (
+    | Some th as cur -> (
         match k.profiler with
-        | None -> run_slice k th ~horizon:until
+        | None -> run_slice k th ~cur ~horizon:until
         | Some p ->
             let t0 = Obs.Profile.start p in
-            run_slice k th ~horizon:until;
+            run_slice k th ~cur ~horizon:until;
             Obs.Profile.stop p Obs.Profile.Dispatch t0)
-    | None -> (
+    | None ->
         (* Idle: advance virtual time to the next *live* deadline. Stale
            entries left by killed sleepers must not inflate idle_ticks or
            delay termination toward a phantom wakeup. *)
         prune_stale_timers k;
-        match Heap.peek_min k.timers with
-        | Some (t, _) ->
-            let t = max t k.now in
-            if t >= until then begin
-              k.idle <- k.idle + (until - k.now);
-              k.now <- until
-            end
-            else begin
-              k.idle <- k.idle + (t - k.now);
-              k.now <- t
-            end
-        | None ->
-            if has_live_blocked k then deadlocked := true;
-            stop := true)
+        if not (Heap.is_empty k.timers) then begin
+          let t = max (Heap.min_key k.timers) k.now in
+          if t >= until then begin
+            k.idle <- k.idle + (until - k.now);
+            k.now <- until
+          end
+          else begin
+            k.idle <- k.idle + (t - k.now);
+            k.now <- t
+          end
+        end
+        else begin
+          if has_live_blocked k then deadlocked := true;
+          stop := true
+        end
   done;
   { ended_at = k.now; idle_ticks = k.idle; deadlocked = !deadlocked; slices = k.slices }
 

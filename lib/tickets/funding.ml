@@ -208,8 +208,6 @@ let on_change sys f =
   sys.w_tab.(s) <- f;
   { wslot = s; wgen = Slots.gen sys.w_slots s }
 
-let on_any_change sys f = on_change sys (fun _ -> f ())
-
 let unsubscribe sys { wslot; wgen } =
   (* The generation check makes double-unsubscribe a no-op even after the
      slot has been recycled by a later subscription. *)

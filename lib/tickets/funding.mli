@@ -66,11 +66,6 @@ val on_change : system -> (change -> unit) -> subscription
     subscription table, and should be cheap — typically recording
     {!changed} ids in a pending set for the next draw. *)
 
-val on_any_change : system -> (unit -> unit) -> subscription
-  [@@ocaml.deprecated "use on_change and its scoped change payload"]
-(** Compatibility shim for the pre-scoped hook: [f ()] fires on every
-    mutation with no scope information. *)
-
 val unsubscribe : system -> subscription -> unit
 (** Idempotent, O(1). *)
 

@@ -3,6 +3,8 @@
 
 module Ll = Core.List_lottery
 module Tl = Core.Tree_lottery
+module Cl = Core.Cumul_lottery
+module Al = Core.Alias_lottery
 module Il = Core.Inverse_lottery
 module Rng = Core.Rng
 module Chi = Core.Chi_square
@@ -487,7 +489,7 @@ let test_draw_wrapper_ops () =
       D.iter t (fun h -> check Alcotest.string "iter sees a" "a" (D.client h));
       D.remove t a;
       checkb "empty draw" true (D.draw t (rng ()) = None))
-    [ D.List; D.Tree; D.Distributed 4 ]
+    [ D.List; D.Tree; D.Distributed 4; D.Cumul; D.Alias ]
 
 let test_draw_foreign_handle_rejected () =
   let l = D.of_mode D.List and tr = D.of_mode D.Tree in
@@ -516,20 +518,33 @@ let test_draw_backends_agree () =
   (* round-robin placement over >= n nodes: client i on node i, so the
      node-prefix order is the index order too *)
   Array.iteri (fun i w -> ignore (D.add dist ~client:i ~weight:w)) weights;
+  let cumul = D.of_mode D.Cumul in
+  Array.iteri (fun i w -> ignore (D.add cumul ~client:i ~weight:w)) weights;
+  let alias = D.of_mode D.Alias in
+  Array.iteri (fun i w -> ignore (D.add alias ~client:i ~weight:w)) weights;
   let total = Array.fold_left ( +. ) 0. weights in
   checkf "list total" total (D.total lst);
   checkf "tree total" total (D.total tree);
   checkf "dist total" total (D.total dist);
+  checkf "cumul total" total (D.total cumul);
+  checkf "alias total" total (D.total alias);
   let r = rng () in
   for _ = 1 to 2_000 do
     let v = Rng.float_unit r *. total in
     let winner t = Option.map D.client (D.draw_with_value t ~winning:v) in
-    let wl = winner lst and wt = winner tree and wd = winner dist in
-    if wl <> wt || wt <> wd then
-      Alcotest.failf "disagree at %.6f: list=%s tree=%s dist=%s" v
+    let wl = winner lst
+    and wt = winner tree
+    and wd = winner dist
+    and wc = winner cumul
+    and wa = winner alias in
+    if wl <> wt || wt <> wd || wt <> wc || wt <> wa then
+      Alcotest.failf "disagree at %.6f: list=%s tree=%s dist=%s cumul=%s alias=%s"
+        v
         (match wl with Some i -> string_of_int i | None -> "-")
         (match wt with Some i -> string_of_int i | None -> "-")
         (match wd with Some i -> string_of_int i | None -> "-")
+        (match wc with Some i -> string_of_int i | None -> "-")
+        (match wa with Some i -> string_of_int i | None -> "-")
   done
 
 let test_draw_backend_distributions () =
@@ -543,7 +558,13 @@ let test_draw_backend_distributions () =
         (Printf.sprintf "%s chi-square ok" name)
         true
         (distribution_matches (fun r -> D.draw_client t r) weights ~draws:20_000))
-    [ (D.List, "list"); (D.Tree, "tree"); (D.Distributed 4, "distributed") ]
+    [
+      (D.List, "list");
+      (D.Tree, "tree");
+      (D.Distributed 4, "distributed");
+      (D.Cumul, "cumul");
+      (D.Alias, "alias");
+    ]
 
 let test_draw_first_class_backends () =
   List.iter
@@ -555,7 +576,187 @@ let test_draw_first_class_backends () =
       match B.draw_client t (rng ()) with
       | Some 42 -> ()
       | _ -> Alcotest.fail "expected the only client to win")
-    [ D.List; D.Tree; D.Distributed 4 ]
+    [ D.List; D.Tree; D.Distributed 4; D.Cumul; D.Alias ]
+
+(* --- flat backends: cumul, alias, draw_slot, draw_k -------------------------- *)
+
+let test_draw_slot_matches_draw_client () =
+  (* a draw_slot/client_at pair and a draw_client consume the same
+     randomness and name the same winner on every backend *)
+  let weights = [| 10.; 2.; 5.; 1.; 2. |] in
+  List.iter
+    (fun (mode, name) ->
+      let mk () =
+        let t = D.of_mode mode in
+        Array.iteri (fun i w -> ignore (D.add t ~client:i ~weight:w)) weights;
+        t
+      in
+      let t1 = mk () and t2 = mk () in
+      let r1 = rng () and r2 = rng () in
+      for _ = 1 to 1_000 do
+        let s = D.draw_slot t1 r1 in
+        checkb (name ^ " slot nonnegative") true (s >= 0);
+        let via_slot = D.client_at t1 s in
+        match D.draw_client t2 r2 with
+        | Some c -> checki (name ^ " same winner") c via_slot
+        | None -> Alcotest.fail "draw_client returned None"
+      done)
+    [
+      (D.List, "list");
+      (D.Tree, "tree");
+      (D.Distributed 4, "distributed");
+      (D.Cumul, "cumul");
+      (D.Alias, "alias");
+    ]
+
+let test_draw_k_matches_sequential () =
+  (* one draw_k call and k sequential draw_slot calls are the same lottery
+     sequence on every backend (the batch only amortizes the rebuild) *)
+  let weights = [| 3.; 7.; 2.; 5.; 1. |] in
+  List.iter
+    (fun (mode, name) ->
+      let mk () =
+        let t = D.of_mode mode in
+        Array.iteri (fun i w -> ignore (D.add t ~client:i ~weight:w)) weights;
+        t
+      in
+      let t1 = mk () and t2 = mk () in
+      let r1 = rng () and r2 = rng () in
+      let out = Array.make 64 (-1) in
+      let n = D.draw_k t1 r1 ~k:64 out in
+      checki (name ^ " batch filled") 64 n;
+      for i = 0 to n - 1 do
+        let s = D.draw_slot t2 r2 in
+        checki
+          (Printf.sprintf "%s draw %d matches sequential" name i)
+          (D.client_at t2 s) out.(i)
+      done)
+    [
+      (D.List, "list");
+      (D.Tree, "tree");
+      (D.Distributed 4, "distributed");
+      (D.Cumul, "cumul");
+      (D.Alias, "alias");
+    ]
+
+let test_draw_k_empty_and_small () =
+  let t = D.of_mode D.Cumul in
+  let out = Array.make 8 (-1) in
+  checki "empty draws nothing" 0 (D.draw_k t (rng ()) ~k:8 out);
+  ignore (D.add t ~client:1 ~weight:0.);
+  checki "all-zero draws nothing" 0 (D.draw_k t (rng ()) ~k:8 out);
+  ignore (D.add t ~client:2 ~weight:1.);
+  checki "k capped by scratch length" 8 (D.draw_k t (rng ()) ~k:100 out);
+  Array.iter (fun c -> checki "only funded client wins" 2 c) out
+
+(* The interleaving property of the lazy-rebuild backends: 1000 random
+   add/remove/set_weight/draw steps, mirrored into Tree, Cumul and Alias.
+   Integer-valued weights keep every partial sum float-exact, so Cumul —
+   which allocates slots and accumulates its running total in exactly
+   Tree's order — must name Tree's winner on every single draw from the
+   same RNG stream. Alias draws from its own stream (its table transforms
+   the deviate differently); each winner must simply be live with positive
+   weight, and its long-run distribution is checked separately below. *)
+let qcheck_flat_backends_match_tree =
+  QCheck.Test.make ~name:"cumul matches tree draw-for-draw over 1000 interleavings"
+    ~count:100 QCheck.small_int
+    (fun seed ->
+      let ops = Rng.create ~algo:Splitmix64 ~seed () in
+      let r_tree = Rng.create ~algo:Splitmix64 ~seed:(seed + 7919) () in
+      let r_cumul = Rng.create ~algo:Splitmix64 ~seed:(seed + 7919) () in
+      let r_alias = Rng.create ~algo:Splitmix64 ~seed:(seed + 7919) () in
+      let tree = Tl.create ~initial_capacity:2 () in
+      let cumul = Cl.create ~initial_capacity:2 () in
+      let alias = Al.create ~initial_capacity:2 () in
+      let live = ref [] in
+      let weight_of = Hashtbl.create 64 in
+      let ok = ref true in
+      for i = 0 to 999 do
+        match Rng.int_below ops 4 with
+        | 0 ->
+            let w = float_of_int (Rng.int_below ops 50) in
+            let ht = Tl.add tree ~client:i ~weight:w in
+            let hc = Cl.add cumul ~client:i ~weight:w in
+            let ha = Al.add alias ~client:i ~weight:w in
+            Hashtbl.replace weight_of i w;
+            live := (i, ht, hc, ha) :: !live
+        | 1 when !live <> [] ->
+            let idx = Rng.int_below ops (List.length !live) in
+            let c, ht, hc, ha = List.nth !live idx in
+            Tl.remove tree ht;
+            Cl.remove cumul hc;
+            Al.remove alias ha;
+            Hashtbl.remove weight_of c;
+            live := List.filteri (fun j _ -> j <> idx) !live
+        | 2 when !live <> [] ->
+            let idx = Rng.int_below ops (List.length !live) in
+            let c, ht, hc, ha = List.nth !live idx in
+            let w = float_of_int (Rng.int_below ops 50) in
+            Tl.set_weight tree ht w;
+            Cl.set_weight cumul hc w;
+            Al.set_weight alias ha w;
+            Hashtbl.replace weight_of c w
+        | _ ->
+            let wt = Tl.draw_client tree r_tree in
+            let wc = Cl.draw_client cumul r_cumul in
+            if wt <> wc then ok := false;
+            (match Al.draw_client alias r_alias with
+            | Some c ->
+                if
+                  match Hashtbl.find_opt weight_of c with
+                  | Some w -> w <= 0.
+                  | None -> true
+                then ok := false
+            | None ->
+                (* alias may only come up empty when nothing can win *)
+                if Tl.total tree > 0. then ok := false)
+      done;
+      !ok)
+
+let test_alias_distribution_after_churn () =
+  (* after a mutation burst, the rebuilt alias table must still honour the
+     surviving weights exactly (chi-square) *)
+  let al = Al.create ~initial_capacity:2 () in
+  let handles = Array.init 12 (fun i -> Al.add al ~client:i ~weight:1.) in
+  let r = rng () in
+  for _ = 1 to 500 do
+    let i = Rng.int_below r 12 in
+    Al.set_weight al handles.(i) (float_of_int (Rng.int_below r 10))
+  done;
+  (* final reshape into a known distribution over a subset *)
+  let weights = [| 10.; 2.; 5.; 1.; 2. |] in
+  Array.iteri
+    (fun i h ->
+      if i < Array.length weights then Al.set_weight al h weights.(i)
+      else Al.remove al h)
+    handles;
+  let observed = Array.make (Array.length weights) 0 in
+  for _ = 1 to 20_000 do
+    match Al.draw_client al r with
+    | Some i -> observed.(i) <- observed.(i) + 1
+    | None -> Alcotest.fail "no winner"
+  done;
+  checkb "chi-square ok after churn" true
+    (Chi.goodness_of_fit ~observed ~weights ())
+
+let test_cumul_lazy_rebuild_bookkeeping () =
+  let c = Cl.create ~initial_capacity:2 () in
+  let a = Cl.add c ~client:"a" ~weight:2. in
+  let b = Cl.add c ~client:"b" ~weight:6. in
+  checkf "total" 8. (Cl.total c);
+  (* grow across the initial capacity, remove, re-add into the freed slot *)
+  let more = Array.init 10 (fun i -> Cl.add c ~client:(string_of_int i) ~weight:1.) in
+  Cl.remove c a;
+  Cl.remove c more.(0);
+  let z = Cl.add c ~client:"z" ~weight:4. in
+  checkf "total tracks churn" (8. +. 10. -. 2. -. 1. +. 4.) (Cl.total c);
+  checkb "z live" true (Cl.mem c z);
+  checkb "a dead" false (Cl.mem c a);
+  checkf "b weight" 6. (Cl.weight c b);
+  (* a deterministic draw after all that must land on a live client *)
+  match Cl.draw_with_value c ~winning:(Cl.total c -. 1e-6) with
+  | Some h -> checkb "winner live" true (Cl.mem c h)
+  | None -> Alcotest.fail "no winner"
 
 (* --- Section 2 guarantees --------------------------------------------------- *)
 
@@ -665,6 +866,19 @@ let () =
           Alcotest.test_case "first-class backend modules" `Quick
             test_draw_first_class_backends;
         ] );
+      ( "flat-backends",
+        [
+          Alcotest.test_case "draw_slot matches draw_client" `Quick
+            test_draw_slot_matches_draw_client;
+          Alcotest.test_case "draw_k matches sequential draws" `Quick
+            test_draw_k_matches_sequential;
+          Alcotest.test_case "draw_k empty/zero/capped" `Quick
+            test_draw_k_empty_and_small;
+          Alcotest.test_case "alias distribution after churn (chi-square)" `Slow
+            test_alias_distribution_after_churn;
+          Alcotest.test_case "cumul arena bookkeeping" `Quick
+            test_cumul_lazy_rebuild_bookkeeping;
+        ] );
       ( "section-2-math",
         [
           Alcotest.test_case "binomial win moments" `Slow test_binomial_moments;
@@ -677,5 +891,6 @@ let () =
             qcheck_tree_total_is_sum;
             qcheck_tree_draw_in_range;
             qcheck_tree_matches_reference_model;
+            qcheck_flat_backends_match_tree;
           ] );
     ]
