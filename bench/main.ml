@@ -302,7 +302,7 @@ let churn_test mode mode_name ~full n =
       s.Core.Types.attach th;
       ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base))
     threads;
-  ignore (s.Core.Types.select ()) (* settle creation-time funding events *);
+  ignore (s.Core.Types.select ~cpu:0) (* settle creation-time funding events *);
   let i = ref 0 in
   Test.make
     ~name:
@@ -314,10 +314,10 @@ let churn_test mode mode_name ~full n =
          i := (!i + 37) mod n;
          s.Core.Types.unready th;
          if full then Core.Lottery_sched.mark_dirty ls;
-         ignore (s.Core.Types.select ());
+         ignore (s.Core.Types.select ~cpu:0);
          s.Core.Types.ready th;
          if full then Core.Lottery_sched.mark_dirty ls;
-         ignore (s.Core.Types.select ())))
+         ignore (s.Core.Types.select ~cpu:0)))
 
 (* --- part 2b: arena scale family (10^5 / 10^6 entities) ---------------- *)
 
@@ -341,7 +341,7 @@ let scale_slice_test n =
       s.Core.Types.attach th;
       ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base))
     threads;
-  ignore (s.Core.Types.select ()) (* settle creation-time funding events *);
+  ignore (s.Core.Types.select ~cpu:0) (* settle creation-time funding events *);
   let i = ref 0 in
   Test.make
     ~name:(Printf.sprintf "slice-tree/%07d" n)
@@ -349,9 +349,9 @@ let scale_slice_test n =
          let th = threads.(!i) in
          i := (!i + 37) mod n;
          s.Core.Types.unready th;
-         ignore (s.Core.Types.select ());
+         ignore (s.Core.Types.select ~cpu:0);
          s.Core.Types.ready th;
-         ignore (s.Core.Types.select ())))
+         ignore (s.Core.Types.select ~cpu:0)))
 
 (* The same population through the real kernel: one 100 ms quantum per
    operation — select (tree draw over n runnable threads), dispatch into
@@ -445,9 +445,9 @@ let scale_smoke () =
   for i = 0 to cycles - 1 do
     let th = threads.(i * 37 mod n) in
     s.Core.Types.unready th;
-    ignore (s.Core.Types.select ());
+    ignore (s.Core.Types.select ~cpu:0);
     s.Core.Types.ready th;
-    ignore (s.Core.Types.select ())
+    ignore (s.Core.Types.select ~cpu:0)
   done;
   let t3 = Unix.gettimeofday () in
   Printf.printf "scale-smoke: %d block/wake cycles (two draws each) in %.2f s\n%!"
@@ -610,6 +610,33 @@ let decision_mode_test mode name =
     (Staged.stage (fun () ->
          ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
 
+(* the same decision gate in sharded mode: a 4-shard scheduler on a 4-CPU
+   kernel, so each measured operation is one round — four selects (one
+   per shard, shard-tree bookkeeping included) and four dispatches — and
+   must still allocate nothing *)
+let decision_sharded_test () =
+  let rng = Core.Rng.create ~seed:2 () in
+  let ls =
+    Core.Lottery_sched.create ~mode:Core.Lottery_sched.Tree_mode ~shards:4 ~rng
+      ()
+  in
+  let k = Core.Kernel.create ~cpus:4 ~sched:(Core.Lottery_sched.sched ls) () in
+  for i = 1 to 8 do
+    let th =
+      Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+          while true do
+            Core.Api.compute (Core.Time.ms 100)
+          done)
+    in
+    ignore
+      (Core.Lottery_sched.fund_thread ls th ~amount:(100 * i)
+         ~from:(Core.Lottery_sched.base_currency ls))
+  done;
+  ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100));
+  Test.make ~name:"decision-sharded"
+    (Staged.stage (fun () ->
+         ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
+
 let hotpath_tests () =
   Test.make_grouped ~name:"hotpath"
     [
@@ -617,6 +644,7 @@ let hotpath_tests () =
       decision_mode_test Core.Lottery_sched.Tree_mode "tree";
       decision_mode_test Core.Lottery_sched.Cumul_mode "cumul";
       decision_mode_test Core.Lottery_sched.Alias_mode "alias";
+      decision_sharded_test ();
     ]
 
 (* Batch amortization: serving a winner mutates its weight (compensation
@@ -666,6 +694,42 @@ let batch_tests () =
   Test.make_grouped ~name:"batch-draw"
     [ batch_singles_test (); batch_draw_k_test () ]
 
+(* The same amortization measured end to end through the disk manager: an
+   epoch workload submits one request to every client, then drains the
+   whole backlog. Every serve empties its winner's queue, writing a zero
+   weight that dirties the alias table — unbatched service rebuilds it on
+   the very next draw (O(n) per serve, O(n^2) per epoch), while the
+   pre-drawn batch merely skips drained winners at consume time and pays
+   the rebuild once per 64-slot refill. The derived [epoch-batched-over-
+   singles] row shows the win. *)
+let disk_epoch_n = 256
+
+let disk_epoch_test ~batch name =
+  let rng = Core.Rng.create ~seed:31 () in
+  let d = Core.Disk.create ~backend:Core.Draw.Alias ~batch ~rng () in
+  let clients =
+    Array.init disk_epoch_n (fun i ->
+        Core.Disk.add_client d
+          ~name:(Printf.sprintf "c%03d" i)
+          ~tickets:(1 + (i land 7)))
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Array.iteri
+           (fun i c -> Core.Disk.submit d c ~cylinder:(i * 37 mod 1000))
+           clients;
+         let rec drain () =
+           match Core.Disk.serve_one d with Some _ -> drain () | None -> ()
+         in
+         drain ()))
+
+let disk_batch_tests () =
+  Test.make_grouped ~name:"disk-batch"
+    [
+      disk_epoch_test ~batch:false "epoch-singles";
+      disk_epoch_test ~batch:true "epoch-batched";
+    ]
+
 (* Quiescent draws across four orders of magnitude: with the tables built
    and the weights untouched, a Cumul draw is one binary search over a flat
    prefix-sum array and an Alias draw is one deviate, one compare and at
@@ -696,6 +760,185 @@ let flat_tests () =
            flat_draw_test Core.Draw.Alias "alias" n;
          ])
        flat_sizes)
+
+(* --- smp family: sharded lotteries across virtual CPUs ------------------ *)
+
+(* One kernel round at c CPUs over n uniformly funded spinners: every CPU
+   at the round floor selects (CPU-id order), then the selected slices
+   run. The 1-CPU rows use the historical unsharded scheduler — the
+   baseline every sharded row is judged against; c > 1 rows shard the
+   lottery one shard per CPU. A c-CPU round serves c slices, so the
+   per-slice host cost is row/c — all virtual CPUs execute on one host
+   core, which is why the acceptance throughput gate below is measured in
+   virtual time, not host ns. *)
+let smp_round_sizes = [ 10_000; 100_000 ]
+let smp_cpu_counts = [ 1; 2; 4; 8 ]
+
+let smp_sched ~cpus ~seed =
+  let rng = Core.Rng.create ~seed () in
+  if cpus = 1 then
+    Core.Lottery_sched.create ~mode:Core.Lottery_sched.Tree_mode ~rng ()
+  else
+    Core.Lottery_sched.create ~mode:Core.Lottery_sched.Tree_mode ~shards:cpus
+      ~rng ()
+
+let smp_round_test ~cpus n =
+  let ls = smp_sched ~cpus ~seed:17 in
+  let k = Core.Kernel.create ~cpus ~sched:(Core.Lottery_sched.sched ls) () in
+  let base = Core.Lottery_sched.base_currency ls in
+  for i = 1 to n do
+    let th =
+      Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+          while true do
+            Core.Api.compute (Core.Time.ms 100)
+          done)
+    in
+    ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base)
+  done;
+  ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100));
+  Test.make
+    ~name:(Printf.sprintf "round-%dcpu/%07d" cpus n)
+    (Staged.stage (fun () ->
+         ignore (Core.Kernel.run k ~until:(Core.Kernel.now k + Core.Time.ms 100))))
+
+(* The slice decision alone at 10^6 threads, without kernel coroutines:
+   select + account driven directly against the sched contract, cycling
+   the selecting CPU. Sharded select dequeues the winner (smp semantics),
+   account re-enqueues it. *)
+let smp_slice_test ~cpus n =
+  let ls = smp_sched ~cpus ~seed:19 in
+  let s = Core.Lottery_sched.sched ls in
+  let base = Core.Lottery_sched.base_currency ls in
+  let threads = Array.init n bench_thread in
+  Array.iter
+    (fun th ->
+      s.Core.Types.attach th;
+      ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base))
+    threads;
+  (* settle creation-time funding events; re-enqueue the dequeued winner *)
+  (match s.Core.Types.select ~cpu:0 with
+  | Some th when cpus > 1 ->
+      s.Core.Types.account th ~used:100 ~quantum:100 ~blocked:false
+  | _ -> ());
+  let cpu = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "slice-%dcpu/%07d" cpus n)
+    (Staged.stage (fun () ->
+         (match s.Core.Types.select ~cpu:!cpu with
+         | Some th ->
+             s.Core.Types.account th ~used:100 ~quantum:100 ~blocked:false
+         | None -> ());
+         cpu := (!cpu + 1) mod cpus))
+
+(* Each timing test is built lazily and measured in its own family so only
+   one setup (up to a 10^6-thread scheduler) is live at a time — holding
+   them all simultaneously inflates every row with cache and GC pressure
+   from the others' heaps. *)
+let smp_time_thunks () =
+  List.concat_map
+    (fun n -> List.map (fun cpus () -> smp_round_test ~cpus n) smp_cpu_counts)
+    smp_round_sizes
+  @ [
+      (fun () -> smp_slice_test ~cpus:1 1_000_000);
+      (fun () -> smp_slice_test ~cpus:4 1_000_000);
+    ]
+
+(* Migration cost, measured under [minor_allocated] as well as the clock:
+   one thread ping-ponged between two shards of a 10^4-thread sharded
+   scheduler. force_migrate is the bench hook — O(1) detach, O(log n)
+   re-insert, zero steady-state allocation (the smp/migration:minor-words
+   budget pins it). The rebalancer is disabled so it does not fight the
+   ping-pong. *)
+let smp_migration_test () =
+  let ls = smp_sched ~cpus:4 ~seed:23 in
+  let s = Core.Lottery_sched.sched ls in
+  let base = Core.Lottery_sched.base_currency ls in
+  let threads = Array.init 10_000 bench_thread in
+  Array.iter
+    (fun th ->
+      s.Core.Types.attach th;
+      ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base))
+    threads;
+  (match s.Core.Types.select ~cpu:0 with
+  | Some th -> s.Core.Types.account th ~used:100 ~quantum:100 ~blocked:false
+  | None -> ());
+  Core.Lottery_sched.set_migration_enabled ls false;
+  let victim = threads.(0) in
+  let flip = ref false in
+  Test.make ~name:"migration"
+    (Staged.stage (fun () ->
+         let dst = if !flip then 0 else 1 in
+         flip := not !flip;
+         Core.Lottery_sched.force_migrate ls victim ~dst))
+
+(* Steal latency: a lone thread pinned to shard 0 and a select on CPU 1 —
+   the rebalancer refuses to move it (a lone thread always overshoots),
+   so every select steals. Each operation is one steal + the
+   force_migrate that resets the shape. *)
+let smp_steal_test () =
+  let ls = smp_sched ~cpus:2 ~seed:27 in
+  Core.Lottery_sched.set_placement_hook ls (Some (fun _ -> 0));
+  let s = Core.Lottery_sched.sched ls in
+  let base = Core.Lottery_sched.base_currency ls in
+  let th = bench_thread 0 in
+  s.Core.Types.attach th;
+  ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base);
+  Test.make ~name:"steal"
+    (Staged.stage (fun () ->
+         match s.Core.Types.select ~cpu:1 with
+         | Some th ->
+             s.Core.Types.account th ~used:100 ~quantum:100 ~blocked:false;
+             Core.Lottery_sched.force_migrate ls th ~dst:0
+         | None -> ()))
+
+let smp_alloc_tests () =
+  Test.make_grouped ~name:"smp" [ smp_migration_test (); smp_steal_test () ]
+
+(* Virtual-time throughput — the acceptance measure. Host wall-clock does
+   not speed up when virtual CPUs are added (they all run on one host
+   core); what sharding buys is virtual throughput: c CPUs serve c slices
+   per quantum as long as every CPU finds work. Both kernels run the same
+   horizon over 10^5 uniformly funded threads; the derived
+   smp/sharded-4cpu-over-1cpu row is the per-slice virtual-cost ratio
+   (1-CPU slices / 4-CPU slices): 0.250 when the 4-CPU kernel is
+   work-conserving (aggregate slice throughput 4x the baseline),
+   degrading toward 1.0 if placement or stealing regressions leave CPUs
+   idle. Gated at 0.5 — at least 2x. *)
+let smp_throughput_rows () =
+  let slices ~cpus n =
+    let ls = smp_sched ~cpus ~seed:29 in
+    let k = Core.Kernel.create ~cpus ~sched:(Core.Lottery_sched.sched ls) () in
+    let base = Core.Lottery_sched.base_currency ls in
+    for i = 1 to n do
+      let th =
+        Core.Kernel.spawn k ~name:(Printf.sprintf "t%d" i) (fun () ->
+            while true do
+              Core.Api.compute (Core.Time.ms 100)
+            done)
+      in
+      ignore (Core.Lottery_sched.fund_thread ls th ~amount:100 ~from:base)
+    done;
+    let summary = Core.Kernel.run k ~until:(50 * Core.Time.ms 100) in
+    float_of_int summary.Core.Types.slices
+  in
+  let quanta = 50. in
+  let s1 = slices ~cpus:1 100_000 and s4 = slices ~cpus:4 100_000 in
+  [
+    ("smp/slices-per-quantum-1cpu", s1 /. quanta);
+    ("smp/slices-per-quantum-4cpu", s4 /. quanta);
+    ("smp/sharded-4cpu-over-1cpu", if s4 > 0. then s1 /. s4 else nan);
+  ]
+
+(* Per-shard fairness evidence for the snapshot: the smallest per-shard
+   chi-square p of the sharded arm of the global-vs-sharded experiment,
+   and a pass/fail indicator gated at 0 (fail when min p < 0.01). *)
+let smp_fairness_rows () =
+  let t = Lotto_exp.Smp_fairness.run ~duration:(Core.Time.seconds 60) () in
+  let minp = Lotto_exp.Smp_fairness.min_shard_p t in
+  [
+    ("smp/per-shard-chisq-minp", minp);
+    ("smp/per-shard-chisq-fail", if minp >= 0.01 then 0. else 1.);
+  ]
 
 (* PRNG draw cost (the paper's Appendix A argues ~10 RISC instructions) *)
 let prng_test algo name =
@@ -882,16 +1125,53 @@ let hotpath_rows () =
       (Printf.sprintf "draw-quiescent/tree/%07d" n)
       (Printf.sprintf "draw-quiescent/%s-over-tree-%s" m tag)
   in
-  htime @ hwords @ btime @ qtime
+  let dtime = result_rows (run_family ~alloc:false (disk_batch_tests ())) in
+  htime @ hwords @ btime @ qtime @ dtime
   @ ratio btime
       (Printf.sprintf "batch-draw/draw_k-%d" batch_k)
       (Printf.sprintf "batch-draw/singles-%d" batch_k)
       "batch-draw/draw_k-over-singles"
+  @ ratio dtime "disk-batch/epoch-batched" "disk-batch/epoch-singles"
+      "disk-batch/epoch-batched-over-singles"
   @ growth "tree" @ growth "cumul" @ growth "alias"
   @ vs_tree "cumul" 10_000 "1e4"
   @ vs_tree "alias" 10_000 "1e4"
   @ vs_tree "cumul" 1_000_000 "1e6"
   @ vs_tree "alias" 1_000_000 "1e6"
+
+(* the smp family: wall-ns rows for rounds/slices across CPU counts, the
+   migration/steal rows under the allocation measure, then the computed
+   virtual-throughput and per-shard fairness rows the acceptance gate
+   reads *)
+let smp_rows () =
+  let time =
+    List.concat_map
+      (fun mk ->
+        result_rows
+          (run_family ~alloc:false (Test.make_grouped ~name:"smp" [ mk () ])))
+      (smp_time_thunks ())
+  in
+  let ares = run_family ~alloc:true (smp_alloc_tests ()) in
+  let atime = result_rows ares in
+  let awords =
+    rows_of_measure ares
+      (Measure.label Instance.minor_allocated)
+      ":minor-words"
+  in
+  (* host-side per-slice cost ratio, for the record: a 4-CPU round serves
+     4 slices, so round4 / (4 * round1) ~ 1 means sharding costs nothing
+     per slice in host time (the win is virtual, gated below) *)
+  let host_ratio =
+    match
+      ( List.assoc_opt "smp/round-4cpu/0100000" time,
+        List.assoc_opt "smp/round-1cpu/0100000" time )
+    with
+    | Some r4, Some r1 when r1 > 0. ->
+        [ ("smp/host-slice-4cpu-over-1cpu", r4 /. (4. *. r1)) ]
+    | _ -> []
+  in
+  time @ atime @ awords @ host_ratio @ smp_throughput_rows ()
+  @ smp_fairness_rows ()
 
 (* the arena scale family runs under the same OLS fit; derived rows record
    how the full slice (valuation refresh + draw + dispatch bookkeeping)
@@ -1003,6 +1283,8 @@ let print_results rows =
         let unit =
           if count_substr name ":minor-words" > 0 then "w/op"
           else if count_substr name "-over-" > 0 then "x"
+          else if count_substr name "slices-per-quantum" > 0 then "sl/q"
+          else if count_substr name "chisq" > 0 then "p"
           else "ns"
         in
         Printf.printf "  %-40s %12.1f %s\n" name v unit)
@@ -1039,6 +1321,7 @@ let () =
   let run_bench = ref true in
   let run_par = ref false in
   let run_obs = ref false in
+  let run_smp = ref false in
   let run_scale = ref false in
   let run_smoke = ref false in
   let gate_budget = ref "" in
@@ -1065,6 +1348,15 @@ let () =
             run_obs := true),
         " run only the overhead families (obs-overhead/*, hotpath/*, \
          batch-draw/*, draw-quiescent/*)" );
+      ( "--smp-only",
+        Arg.Unit
+          (fun () ->
+            run_figures := false;
+            run_bench := false;
+            run_smp := true),
+        " run only the multi-CPU family (smp/round-*, smp/slice-*, \
+         smp/migration, smp/steal, virtual-throughput and per-shard \
+         fairness rows)" );
       ( "--scale-only",
         Arg.Unit
           (fun () ->
@@ -1088,22 +1380,24 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     "bench [--figures-only | --bench-only | --par-only | --obs-only | \
-     --scale-only | --scale-smoke] [--gate FILE] [--metrics-csv FILE] \
-     [--json FILE]";
+     --smp-only | --scale-only | --scale-smoke] [--gate FILE] \
+     [--metrics-csv FILE] [--json FILE]";
   if !run_smoke then begin
     scale_smoke ();
     exit 0
   end;
   if !run_figures then figures ();
   let want_obs = !run_bench || !run_obs || !gate_budget <> "" in
-  if !run_bench || !run_par || !run_scale || want_obs then begin
+  let want_smp = !run_bench || !run_smp || !gate_budget <> "" in
+  if !run_bench || !run_par || !run_scale || want_obs || want_smp then begin
     let rows =
       (if !run_bench then result_rows (benchmark ()) else [])
       @ (if want_obs then obs_rows () @ hotpath_rows () else [])
+      @ (if want_smp then smp_rows () else [])
       @ (if !run_scale then scale_rows () else [])
       @ (if !run_par then par_rows () else [])
     in
-    if !run_bench || !run_obs || !run_scale then print_results rows;
+    if !run_bench || !run_obs || !run_smp || !run_scale then print_results rows;
     if !metrics_csv <> "" then write_metrics_csv !metrics_csv rows;
     if !metrics_json <> "" then write_metrics_json !metrics_json rows;
     if !gate_budget <> "" then gate ~budget_path:!gate_budget rows

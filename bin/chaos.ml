@@ -37,14 +37,15 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available scenarios.") Term.(const run $ const ())
 
-let soak_run scenario seeds from kill_prob perturb_prob sleep_prob yield_prob
-    max_kills no_audit repro_out =
+let soak_run scenario seeds from cpus kill_prob perturb_prob sleep_prob
+    yield_prob max_kills no_audit repro_out =
   match scenarios_of scenario with
   | Error m -> `Error (false, m)
+  | Ok _ when cpus < 1 -> `Error (true, "--cpus must be >= 1")
   | Ok scenarios ->
       let plan = plan_of ~kill_prob ~perturb_prob ~sleep_prob ~yield_prob ~max_kills in
       let report =
-        Chaos.Soak.soak ~plan ~audit:(not no_audit) ~scenarios
+        Chaos.Soak.soak ~plan ~audit:(not no_audit) ~cpus ~scenarios
           ~seeds:(Chaos.Soak.seed_range ~from ~count:seeds)
           ()
       in
@@ -52,20 +53,22 @@ let soak_run scenario seeds from kill_prob perturb_prob sleep_prob yield_prob
       (match (Chaos.Soak.first_failure report, repro_out) with
       | Some (sc, seed), Some path ->
           let oc = open_out path in
-          Printf.fprintf oc "scenario=%s\nseed=%d\nplan=%s\n" sc seed
+          Printf.fprintf oc "scenario=%s\nseed=%d\ncpus=%d\nplan=%s\n" sc seed
+            cpus
             (Chaos.Plan.to_string plan);
           close_out oc;
           Printf.printf "repro written to %s\n" path
       | _ -> ());
       if report.Chaos.Soak.failures = [] then `Ok () else `Error (false, "soak failed")
 
-let replay_run name seed verbose kill_prob perturb_prob sleep_prob yield_prob
-    max_kills =
+let replay_run name seed verbose cpus kill_prob perturb_prob sleep_prob
+    yield_prob max_kills =
   match Chaos.Scenarios.find name with
   | None -> `Error (false, Printf.sprintf "unknown scenario %S" name)
+  | Some _ when cpus < 1 -> `Error (true, "--cpus must be >= 1")
   | Some sc ->
       let plan = plan_of ~kill_prob ~perturb_prob ~sleep_prob ~yield_prob ~max_kills in
-      let o = Chaos.Soak.run_one ~plan sc ~seed in
+      let o = Chaos.Soak.run_one ~plan ~cpus sc ~seed in
       Printf.printf "scenario=%s seed=%d ended_at=%d idle=%d slices=%d%s\n"
         o.Chaos.Soak.scenario o.Chaos.Soak.seed
         o.Chaos.Soak.summary.Lotto_sim.Types.ended_at
@@ -96,6 +99,15 @@ let seeds_arg =
 
 let from_arg =
   Arg.(value & opt int 0 & info [ "from" ] ~docv:"SEED" ~doc:"First seed.")
+
+let cpus_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cpus" ] ~docv:"N"
+        ~doc:"Virtual CPUs per run (default 1). With $(docv) > 1 each run \
+              uses a sharded lottery (one shard per CPU) so fault \
+              injection also exercises placement, rebalancing, stealing \
+              and the sharding audit; repro pairs are per CPU count.")
 
 let prob name default doc =
   Arg.(value & opt float default & info [ name ] ~docv:"P" ~doc)
@@ -129,9 +141,9 @@ let soak_cmd =
           invariant auditing; nonzero exit and a minimal repro on failure.")
     Term.(
       ret
-        (const soak_run $ scenario_opt $ seeds_arg $ from_arg $ kill_arg
-       $ perturb_arg $ sleep_arg $ yield_arg $ max_kills_arg $ no_audit_arg
-       $ repro_out_arg))
+        (const soak_run $ scenario_opt $ seeds_arg $ from_arg $ cpus_arg
+       $ kill_arg $ perturb_arg $ sleep_arg $ yield_arg $ max_kills_arg
+       $ no_audit_arg $ repro_out_arg))
 
 let name_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO")
@@ -147,8 +159,8 @@ let replay_cmd =
        ~doc:"Re-run one (scenario, seed) pair and print what happened.")
     Term.(
       ret
-        (const replay_run $ name_pos $ seed_pos $ verbose_arg $ kill_arg
-       $ perturb_arg $ sleep_arg $ yield_arg $ max_kills_arg))
+        (const replay_run $ name_pos $ seed_pos $ verbose_arg $ cpus_arg
+       $ kill_arg $ perturb_arg $ sleep_arg $ yield_arg $ max_kills_arg))
 
 let cmd =
   let doc = "deterministic chaos testing for the lottery-scheduling kernel" in

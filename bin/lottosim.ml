@@ -33,7 +33,9 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let run path trace_out csv_out stats spans_out prom_out profile =
+let run path cpus trace_out csv_out stats spans_out prom_out profile =
+  if cpus < 1 then `Error (true, "--cpus must be >= 1")
+  else
   match Lotto_ctl.Scenario.parse_file path with
   | Error m -> `Error (false, m)
   | exception Sys_error m -> `Error (false, m)
@@ -46,7 +48,7 @@ let run path trace_out csv_out stats spans_out prom_out profile =
         else None
       in
       let report =
-        Lotto_ctl.Scenario.run ~trace:want_trace ~stats
+        Lotto_ctl.Scenario.run ~cpus ~trace:want_trace ~stats
           ~spans:(spans_out <> None) ~prom:(prom_out <> None) ?profile_clock
           scenario
       in
@@ -106,6 +108,17 @@ let run path trace_out csv_out stats spans_out prom_out profile =
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SCENARIO" ~doc:"Scenario file.")
 
+let cpus_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cpus" ] ~docv:"N"
+        ~doc:"Number of virtual CPUs (default 1). With $(docv) > 1 the \
+              lottery is sharded one shard per CPU — ticket-weighted \
+              placement, hysteresis rebalancing and work stealing — and \
+              the kernel runs its multi-CPU round loop; with 1 the \
+              historical single-CPU scheduler runs and output is \
+              byte-identical to older releases.")
+
 let trace_arg =
   Arg.(
     value
@@ -163,7 +176,7 @@ let cmd =
     (Cmd.info "lottosim" ~doc)
     Term.(
       ret
-        (const run $ path_arg $ trace_arg $ csv_arg $ stats_arg $ spans_arg
-       $ prom_arg $ profile_arg))
+        (const run $ path_arg $ cpus_arg $ trace_arg $ csv_arg $ stats_arg
+       $ spans_arg $ prom_arg $ profile_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,11 @@ let check ?sched kernel =
   let sched_vs =
     match sched with
     | None -> []
-    | Some ls -> LS.check_funding_coherence ls (Kernel.threads kernel)
+    | Some ls ->
+        (* check_sharding is always empty on an unsharded scheduler, so the
+           combined audit is safe for every kernel shape *)
+        LS.check_funding_coherence ls (Kernel.threads kernel)
+        @ LS.check_sharding ls
   in
   (* [Kernel.check_invariants] already published its findings; mirror the
      scheduler-side ones onto the same bus so subscribers see everything. *)

@@ -14,13 +14,20 @@ type outcome = {
 
 let failed o = o.violations <> [] || o.thread_failures <> []
 
-let run_one ?(plan = Plan.default) ?(audit = true) (sc : Scenarios.t) ~seed =
+let run_one ?(plan = Plan.default) ?(audit = true) ?(cpus = 1)
+    (sc : Scenarios.t) ~seed =
+  if cpus < 1 then invalid_arg "Soak.run_one: cpus < 1";
   let rng = Rng.create ~seed () in
   (* the injector gets its own stream derived from the run seed, so fault
      decisions and lottery draws never perturb each other's sequences *)
   let inj_rng = Rng.split rng in
-  let ls = LS.create ~rng () in
-  let kernel = Kernel.create ~sched:(LS.sched ls) () in
+  (* cpus = 1 keeps the historical unsharded scheduler so existing repro
+     pairs stay valid; cpus > 1 shards the lottery one shard per CPU and
+     exercises placement, rebalancing and stealing under fault injection *)
+  let ls =
+    if cpus = 1 then LS.create ~rng () else LS.create ~shards:cpus ~rng ()
+  in
+  let kernel = Kernel.create ~cpus ~sched:(LS.sched ls) () in
   let inj = Injector.create ~plan ~rng:inj_rng ~kernel () in
   (* the span tracer is a pure bus subscriber: it consumes no randomness and
      never touches kernel state, so attaching it preserves run-for-run
@@ -76,7 +83,7 @@ let first_failure r =
 
 let seed_range ~from ~count = List.init count (fun i -> from + i)
 
-let soak ?plan ?audit ?(scenarios = Scenarios.all) ~seeds () =
+let soak ?plan ?audit ?cpus ?(scenarios = Scenarios.all) ~seeds () =
   let runs = ref 0 in
   let failures = ref [] in
   List.iter
@@ -84,7 +91,7 @@ let soak ?plan ?audit ?(scenarios = Scenarios.all) ~seeds () =
       List.iter
         (fun seed ->
           incr runs;
-          let o = run_one ?plan ?audit sc ~seed in
+          let o = run_one ?plan ?audit ?cpus sc ~seed in
           if failed o then failures := o :: !failures)
         seeds)
     scenarios;

@@ -30,9 +30,15 @@ type outcome = {
 
 val failed : outcome -> bool
 
-val run_one : ?plan:Plan.t -> ?audit:bool -> Scenarios.t -> seed:int -> outcome
+val run_one :
+  ?plan:Plan.t -> ?audit:bool -> ?cpus:int -> Scenarios.t -> seed:int -> outcome
 (** One seeded chaos run. [audit] (default [true]) runs the invariant
-    audit at every scheduling boundary. *)
+    audit at every scheduling boundary. [cpus] (default [1]) runs the
+    kernel with that many virtual CPUs: [1] keeps the historical
+    unsharded scheduler (existing repro pairs stay valid), [n > 1] shards
+    the lottery one shard per CPU so fault injection also exercises
+    placement, hysteresis rebalancing, work stealing and the
+    {!Lotto_sched.Lottery_sched.check_sharding} audit. *)
 
 type report = { runs : int; failures : outcome list }
 
@@ -44,11 +50,13 @@ val seed_range : from:int -> count:int -> int list
 val soak :
   ?plan:Plan.t ->
   ?audit:bool ->
+  ?cpus:int ->
   ?scenarios:Scenarios.t list ->
   seeds:int list ->
   unit ->
   report
-(** Sweep [seeds] over [scenarios] (default {!Scenarios.all}). *)
+(** Sweep [seeds] over [scenarios] (default {!Scenarios.all}), each run
+    on a [cpus]-CPU kernel (default 1). *)
 
 val report_to_string : report -> string
 (** Human-readable report; failing runs print their repro pair, the

@@ -61,6 +61,7 @@ module Cumul_lottery = Lotto_draw.Cumul_lottery
 module Alias_lottery = Lotto_draw.Alias_lottery
 module Inverse_lottery = Lotto_draw.Inverse_lottery
 module Distributed_lottery = Lotto_draw.Distributed_lottery
+module Shard_tree = Lotto_draw.Shard_tree
 
 (* Simulation kernel *)
 module Time = Lotto_sim.Time

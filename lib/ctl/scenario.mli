@@ -59,6 +59,7 @@ val parse : string -> (t, string) result
 val parse_file : string -> (t, string) result
 
 val run :
+  ?cpus:int ->
   ?trace:bool ->
   ?trace_capacity:int ->
   ?stats:bool ->
@@ -67,7 +68,12 @@ val run :
   ?profile_clock:(unit -> int) ->
   t ->
   report
-(** Execute the scenario. [trace] (default false) records the typed event
+(** Execute the scenario. [cpus] (default 1) is the number of virtual
+    CPUs: [1] runs the historical single-CPU kernel with an unsharded
+    lottery (outputs are byte-identical to older releases), while [n > 1]
+    shards the lottery one shard per CPU — ticket-weighted placement,
+    hysteresis rebalancing and work stealing included — and drives the
+    kernel's multi-CPU round loop. [trace] (default false) records the typed event
     stream into a ring buffer of [trace_capacity] events (default 2^20);
     [stats] (default false) accumulates the metrics registry and renders
     its summary against each thread's final ticket entitlement; [spans]

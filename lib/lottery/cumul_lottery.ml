@@ -101,6 +101,31 @@ let remove t h =
     t.built <- false
   end
 
+(* Re-insert a removed handle without allocating a new one (the migration
+   primitive; see {!Tree_lottery.readd}). *)
+let readd t h ~weight =
+  if weight < 0. then invalid_arg "Cumul_lottery.readd: negative weight";
+  if h.slot >= 0 then invalid_arg "Cumul_lottery.readd: handle still live";
+  let slot =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.free.(t.free_top)
+    end
+    else begin
+      if t.used = t.capacity then grow t;
+      let s = t.used in
+      t.used <- t.used + 1;
+      s
+    end
+  in
+  h.slot <- slot;
+  if Array.length t.slots = 0 then t.slots <- Array.make t.capacity h;
+  t.slots.(slot) <- h;
+  t.weights.(slot) <- weight;
+  t.total <- t.total +. weight;
+  t.size <- t.size + 1;
+  t.built <- false
+
 let set_weight t h weight =
   if weight < 0. then invalid_arg "Cumul_lottery.set_weight: negative weight";
   if h.slot < 0 then invalid_arg "Cumul_lottery.set_weight: removed handle";
@@ -121,7 +146,11 @@ let clear t =
 
 let weight t h = if h.slot < 0 then 0. else t.weights.(h.slot)
 let client h = h.c
-let mem _t h = h.slot >= 0
+let mem t h =
+  h.slot >= 0
+  && h.slot < Array.length t.slots
+  && t.weights.(h.slot) >= 0.
+  && t.slots.(h.slot) == h
 let total t = max t.total 0.
 let size t = t.size
 

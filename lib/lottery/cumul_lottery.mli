@@ -18,6 +18,13 @@ val add : 'a t -> client:'a -> weight:float -> 'a handle
 val remove : 'a t -> 'a handle -> unit
 (** Idempotent. *)
 
+val readd : 'a t -> 'a handle -> weight:float -> unit
+(** Re-insert a handle previously invalidated by {!remove}, reusing the
+    handle record itself (raises [Invalid_argument] if it is still live).
+    This is the migration primitive: detaching a client from one structure
+    and re-inserting it into another of the same backend costs no handle
+    allocation. *)
+
 val clear : 'a t -> unit
 (** Remove every client at once (invalidating their handles), keeping the
     allocated capacity for reuse; subsequent adds refill slots from 0 in

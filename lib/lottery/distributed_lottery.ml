@@ -81,6 +81,18 @@ let remove t h =
     bubble_up t h.node (-.w)
   end
 
+(* Re-register a removed handle on its original node. Unlike the flat
+   backends, the per-node local lottery needs a fresh local handle, so this
+   allocates — the distributed backend is a message-count model, not a
+   hot-path structure. *)
+let readd t h ~weight =
+  if weight < 0. then invalid_arg "Distributed_lottery.readd: negative weight";
+  if h.live then invalid_arg "Distributed_lottery.readd: handle still live";
+  h.live <- true;
+  h.local <- Some (List_lottery.add t.locals.(h.node) ~client:h ~weight);
+  t.nclients <- t.nclients + 1;
+  bubble_up t h.node weight
+
 let set_weight t h weight =
   if not h.live then invalid_arg "Distributed_lottery.set_weight: removed handle";
   let lh = local_handle h in
@@ -108,7 +120,12 @@ let weight t h =
 
 let node_of h = h.node
 let client h = h.hclient
-let mem _t h = h.live
+let mem t h =
+  h.live
+  &&
+  match h.local with
+  | Some lh -> List_lottery.mem t.locals.(h.node) lh
+  | None -> false
 let size t = t.nclients
 let total t = Float.max 0. t.sums.(1)
 

@@ -29,6 +29,13 @@ val add_on : 'a t -> node:int -> client:'a -> weight:float -> 'a handle
 val remove : 'a t -> 'a handle -> unit
 (** Idempotent. *)
 
+val readd : 'a t -> 'a handle -> weight:float -> unit
+(** Re-insert a handle previously invalidated by {!remove}, reusing the
+    handle record itself (raises [Invalid_argument] if it is still live).
+    This is the migration primitive: detaching a client from one structure
+    and re-inserting it into another of the same backend costs no handle
+    allocation. *)
+
 val clear : 'a t -> unit
 (** Remove every client from every node at once (invalidating their
     handles) and restart round-robin placement, keeping the node tree. *)

@@ -5,6 +5,8 @@ module type S = sig
   val create : unit -> 'a t
   val add : 'a t -> client:'a -> weight:float -> 'a handle
   val remove : 'a t -> 'a handle -> unit
+  val readd : 'a t -> 'a handle -> weight:float -> unit
+  val mem : 'a t -> 'a handle -> bool
   val clear : 'a t -> unit
   val set_weight : 'a t -> 'a handle -> float -> unit
   val weight : 'a t -> 'a handle -> float
@@ -111,6 +113,27 @@ let remove t h =
   | D l, Dh h -> Distributed_lottery.remove l h
   | C l, Ch h -> Cumul_lottery.remove l h
   | A l, Ah h -> Alias_lottery.remove l h
+  | _ -> foreign ()
+
+(* Migration hot path: the target structure may be a different instance
+   than the one the handle was removed from, but must be the same backend —
+   re-wrapping would allocate, and a foreign pair is a caller bug anyway. *)
+let readd t h ~weight =
+  match (t, h) with
+  | L l, Lh h -> List_lottery.readd l h ~weight
+  | T l, Th h -> Tree_lottery.readd l h ~weight
+  | D l, Dh h -> Distributed_lottery.readd l h ~weight
+  | C l, Ch h -> Cumul_lottery.readd l h ~weight
+  | A l, Ah h -> Alias_lottery.readd l h ~weight
+  | _ -> foreign ()
+
+let mem t h =
+  match (t, h) with
+  | L l, Lh h -> List_lottery.mem l h
+  | T l, Th h -> Tree_lottery.mem l h
+  | D l, Dh h -> Distributed_lottery.mem l h
+  | C l, Ch h -> Cumul_lottery.mem l h
+  | A l, Ah h -> Alias_lottery.mem l h
   | _ -> foreign ()
 
 let clear = function

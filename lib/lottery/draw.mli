@@ -23,6 +23,12 @@ module type S = sig
   val add : 'a t -> client:'a -> weight:float -> 'a handle
   val remove : 'a t -> 'a handle -> unit
 
+  val readd : 'a t -> 'a handle -> weight:float -> unit
+  (** Re-insert a removed handle, reusing the handle record — the
+      allocation-free migration primitive (see {!readd} on the wrapper). *)
+
+  val mem : 'a t -> 'a handle -> bool
+
   val clear : 'a t -> unit
   (** Remove every client at once (invalidating their handles), keeping the
       structure (and any allocated capacity) for reuse. *)
@@ -102,6 +108,21 @@ val add : 'a t -> client:'a -> weight:float -> 'a handle
 
 val remove : 'a t -> 'a handle -> unit
 (** Idempotent. *)
+
+val readd : 'a t -> 'a handle -> weight:float -> unit
+(** Re-insert a handle previously invalidated by {!remove} into [t] —
+    which may be a {e different} structure of the same backend than the
+    one it was removed from. The handle record (and any [Some handle] box
+    the caller holds) is reused in place, so moving a client between two
+    per-CPU shards is O(remove) + O(insert) with zero allocation on the
+    flat backends. Raises [Invalid_argument] if the handle is still live
+    or the backend differs. *)
+
+val mem : 'a t -> 'a handle -> bool
+(** Whether the handle is currently live in {e this} structure — false for
+    a removed handle (until {!readd}) and for a handle living in a
+    different structure, which is what lets the sharding audit prove a
+    migrated thread is in exactly one shard. *)
 
 val clear : 'a t -> unit
 (** Remove every client at once (invalidating their handles), keeping the

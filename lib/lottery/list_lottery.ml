@@ -169,6 +169,23 @@ let remove t h =
     refresh_total t
   end
 
+(* Re-insert a removed handle without allocating a new one: the node is
+   relinked at the front exactly as a fresh {!add} would be (the migration
+   primitive; see {!Tree_lottery.readd}). *)
+let readd t h ~weight =
+  if weight < 0. then invalid_arg "List_lottery.readd: negative weight";
+  if h.slot >= 0 then invalid_arg "List_lottery.readd: handle still live";
+  let slot = alloc_slot t in
+  h.slot <- slot;
+  if Array.length t.hs = 0 then t.hs <- Array.make t.capacity h;
+  t.hs.(slot) <- h;
+  t.ws.(slot) <- weight;
+  link_front t slot;
+  t.total <- t.total +. weight;
+  t.size <- t.size + 1;
+  if t.order = By_weight then resort t;
+  refresh_total t
+
 let set_weight t h weight =
   if weight < 0. then invalid_arg "List_lottery.set_weight: negative weight";
   if h.slot < 0 then invalid_arg "List_lottery.set_weight: removed handle";
@@ -196,7 +213,11 @@ let clear t =
 
 let weight t h = if h.slot < 0 then 0. else t.ws.(h.slot)
 let client h = h.c
-let mem _t h = h.slot >= 0
+let mem t h =
+  h.slot >= 0
+  && h.slot < Array.length t.hs
+  && t.ws.(h.slot) >= 0.
+  && t.hs.(h.slot) == h
 let total t = max t.total 0.
 let size t = t.size
 

@@ -27,6 +27,13 @@ val add : 'a t -> client:'a -> weight:float -> 'a handle
 val remove : 'a t -> 'a handle -> unit
 (** Idempotent. *)
 
+val readd : 'a t -> 'a handle -> weight:float -> unit
+(** Re-insert a handle previously invalidated by {!remove}, reusing the
+    handle record itself (raises [Invalid_argument] if it is still live).
+    This is the migration primitive: detaching a client from one structure
+    and re-inserting it into another of the same backend costs no handle
+    allocation. *)
+
 val clear : 'a t -> unit
 (** Remove every client at once (invalidating their handles), leaving an
     empty structure ready for reuse — O(n), vs O(n²) repeated {!remove}. *)

@@ -1,0 +1,38 @@
+(** Inter-shard partial-sum tree for per-CPU lottery shards.
+
+    The paper's §4.2 distributed lottery keeps a binary tree of partial
+    ticket sums over the nodes and descends it to pick the node holding
+    the winning ticket; {!Distributed_lottery} implements that with its
+    own per-node local lotteries. This module is the same inter-node tree
+    with the leaves decoupled: each leaf mirrors the live ticket mass of
+    an arbitrary per-shard {!Draw.t}, so a sharded scheduler can pick a
+    steal source ticket-weighted, find the least-loaded shard for
+    placement, and read the global mass — all O(log shards) or O(shards)
+    and allocation-free. *)
+
+type t
+
+val create : shards:int -> t
+(** All leaves start at mass 0. Raises on [shards <= 0]. *)
+
+val shards : t -> int
+
+val set : t -> int -> float -> unit
+(** [set t i mass] writes shard [i]'s absolute mass, bubbling the delta to
+    the root; a no-op when the value is unchanged. *)
+
+val get : t -> int -> float
+
+val total : t -> float
+
+val pick : t -> u:float -> int
+(** Ticket-weighted shard pick for a uniform deviate [u] in [0, 1): the
+    shard covering [u * total] in the partial-sum descent, or [-1] when no
+    shard holds mass. Zero-mass shards never win. *)
+
+val min_shard : t -> int
+(** Least-loaded shard, lowest id on ties — the deterministic
+    ticket-weighted placement target. *)
+
+val max_shard : t -> int
+(** Most-loaded shard, lowest id on ties — the rebalance source. *)

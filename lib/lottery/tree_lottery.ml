@@ -16,8 +16,16 @@ type 'a t = {
   mutable free : int array; (* stack of vacated slots *)
   mutable free_top : int;
   mutable size : int;
-  mutable total : float;
 }
+
+(* The total lives in the Fenwick root: [capacity] is always a power of
+   two, so node [capacity] covers the whole range [1..capacity] and
+   receives exactly the same [+. delta] sequence a separate accumulator
+   would — without the boxed-float store a [mutable total : float] field
+   in this mixed record costs on every update. Keeping the hot remove/
+   readd/set_weight path allocation-free is what lets a sharded scheduler
+   dequeue-on-dispatch every quantum. *)
+let[@inline] raw_total t = t.tree.(t.capacity)
 
 let create ?(initial_capacity = 16) () =
   let cap = max 2 initial_capacity in
@@ -35,7 +43,6 @@ let create ?(initial_capacity = 16) () =
     free = Array.make cap 0;
     free_top = 0;
     size = 0;
-    total = 0.;
   }
 
 let occupied t s = t.weights.(s) >= 0.
@@ -46,12 +53,10 @@ let bump t slot delta =
   while !i <= t.capacity do
     t.tree.(!i) <- t.tree.(!i) +. delta;
     i := !i + (!i land - !i)
-  done;
-  t.total <- t.total +. delta
+  done
 
 let rebuild t =
   Array.fill t.tree 0 (t.capacity + 1) 0.;
-  t.total <- 0.;
   for s = 0 to t.used - 1 do
     if t.weights.(s) > 0. then begin
       let w = t.weights.(s) in
@@ -59,8 +64,7 @@ let rebuild t =
       while !i <= t.capacity do
         t.tree.(!i) <- t.tree.(!i) +. w;
         i := !i + (!i land - !i)
-      done;
-      t.total <- t.total +. w
+      done
     end
   done
 
@@ -119,6 +123,32 @@ let remove t h =
     h.slot <- -1
   end
 
+(* Re-insert a removed handle without allocating a new one: the migration
+   primitive. The handle record is reused in place, so callers holding
+   [Some h] boxes keep them valid across a remove/readd pair — a migration
+   between two structures costs zero minor words in the steady state. *)
+let readd t h ~weight =
+  if weight < 0. then invalid_arg "Tree_lottery.readd: negative weight";
+  if h.slot >= 0 then invalid_arg "Tree_lottery.readd: handle still live";
+  let slot =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.free.(t.free_top)
+    end
+    else begin
+      if t.used = t.capacity then grow t;
+      let s = t.used in
+      t.used <- t.used + 1;
+      s
+    end
+  in
+  h.slot <- slot;
+  if Array.length t.slots = 0 then t.slots <- Array.make t.capacity h;
+  t.slots.(slot) <- h;
+  t.weights.(slot) <- weight;
+  bump t slot weight;
+  t.size <- t.size + 1
+
 let set_weight t h weight =
   if weight < 0. then invalid_arg "Tree_lottery.set_weight: negative weight";
   if h.slot < 0 then invalid_arg "Tree_lottery.set_weight: removed handle";
@@ -133,13 +163,16 @@ let clear t =
   Array.fill t.tree 0 (t.capacity + 1) 0.;
   t.used <- 0;
   t.free_top <- 0;
-  t.size <- 0;
-  t.total <- 0.
+  t.size <- 0
 
 let weight t h = if h.slot < 0 then 0. else t.weights.(h.slot)
 let client h = h.c
-let mem _t h = h.slot >= 0
-let total t = max t.total 0.
+let mem t h =
+  h.slot >= 0
+  && h.slot < Array.length t.slots
+  && t.weights.(h.slot) >= 0.
+  && t.slots.(h.slot) == h
+let total t = max (raw_total t) 0.
 let size t = t.size
 
 let[@inline] descend t winning =
@@ -176,17 +209,17 @@ let[@inline] slot_for_value t winning =
 
 let draw_with_value t ~winning =
   if winning < 0. then invalid_arg "Tree_lottery.draw_with_value: negative";
-  if t.total <= 0. then None
+  if raw_total t <= 0. then None
   else
     match slot_for_value t winning with -1 -> None | s -> Some t.slots.(s)
 
 let draw_slot t rng =
-  if t.total <= 0. then -1
+  if raw_total t <= 0. then -1
   else begin
     let u =
       float_of_int (Lotto_prng.Rng.bits53 rng) /. float_of_int (1 lsl 53)
     in
-    slot_for_value t (u *. t.total)
+    slot_for_value t (u *. raw_total t)
   end
 
 let client_at t s = t.slots.(s).c
@@ -200,7 +233,7 @@ let draw_client t rng =
   if s < 0 then None else Some t.slots.(s).c
 
 let draw_k t rng ~k out =
-  if t.total <= 0. || k <= 0 then 0
+  if raw_total t <= 0. || k <= 0 then 0
   else begin
     let n = min k (Array.length out) in
     let i = ref 0 in

@@ -3,7 +3,10 @@ type actor = { tid : int; tname : string }
 type slice_end = End_quantum | End_yield | End_block | End_exit | End_horizon
 
 type t =
-  | Select of { who : actor }
+  | Select of { who : actor; cpu : int }
+      (** [cpu] is the virtual CPU taking the slice (always [0] on a
+          single-CPU kernel); [render] deliberately omits it so the legacy
+          trace lines stay byte-identical. *)
   | Preempt of { who : actor; used : int; quantum : int; why : slice_end }
   | Block of { who : actor; on : string }
   | Wake of { who : actor }
@@ -31,7 +34,7 @@ let actor_of ~tid ~tname = { tid; tname }
 let kernel_actor = { tid = -1; tname = "kernel" }
 
 let who = function
-  | Select { who }
+  | Select { who; _ }
   | Preempt { who; _ }
   | Block { who; _ }
   | Wake { who }
@@ -111,7 +114,7 @@ let render ev =
   | Spawn { who } -> "spawn " ^ who.tname
   | Block { who; _ } -> "block " ^ who.tname
   | Wake { who } -> "wake " ^ who.tname
-  | Select { who } -> "select " ^ who.tname
+  | Select { who; _ } -> "select " ^ who.tname
   | Exit { who; failure } ->
       "exit " ^ who.tname ^ (match failure with None -> "" | Some e -> " (" ^ e ^ ")")
   | _ -> (

@@ -20,8 +20,11 @@ type slice_end =
   | End_horizon  (** the run horizon landed mid-slice *)
 
 type t =
-  | Select of { who : actor }
-      (** the scheduler picked [who]; one lottery/decision per quantum *)
+  | Select of { who : actor; cpu : int }
+      (** the scheduler picked [who] to run on virtual CPU [cpu] (always
+          [0] on a single-CPU kernel); one lottery/decision per quantum per
+          CPU. [render] omits [cpu] so legacy trace lines stay
+          byte-identical. *)
   | Preempt of { who : actor; used : int; quantum : int; why : slice_end }
       (** [who]'s slice ended after [used] of [quantum] ticks *)
   | Block of { who : actor; on : string }

@@ -91,7 +91,7 @@ let sample hdr raw v =
 let on_event t time ev =
   match ev with
   | Event.Spawn { who } -> (row t who).runnable_since <- Some time
-  | Event.Select { who } ->
+  | Event.Select { who; _ } ->
       let r = row t who in
       r.wins <- r.wins + 1;
       (match r.runnable_since with

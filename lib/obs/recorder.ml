@@ -132,7 +132,7 @@ let to_chrome_json ?(pid = 1) t =
     (fun (ts, ev) ->
       last_ts := max !last_ts ts;
       match ev with
-      | Event.Select { who } ->
+      | Event.Select { who; _ } ->
           Hashtbl.replace open_slices who.Event.tid who.Event.tname;
           base ~name:who.Event.tname ~ph:"B" ~ts ~tid:who.Event.tid []
       | Event.Preempt { who; used; quantum; why } ->

@@ -24,6 +24,7 @@ type t = {
   cylinders : int;
   seek_cost : int;
   transfer_cost : int;
+  batch_enabled : bool;
   rng : Rng.t;
   draw : client Draw.t;
   fsys : F.system option;
@@ -38,10 +39,19 @@ type t = {
   mutable seq : int;
   mutable total_served : int;
   mutable seek_distance : int;
+  mutable wgen : int; (* bumped on every weight write: a batch of
+                         pre-drawn winners is valid only while it holds *)
+  mutable batch : client array; (* draw_k scratch, sized at first register *)
+  mutable batch_len : int; (* winners pre-drawn into [batch] *)
+  mutable batch_pos : int; (* next unserved winner *)
+  mutable batch_gen : int; (* [wgen] the batch was drawn under *)
 }
 
+let batch_k = 64
+
 let create ?(policy = Lottery) ?(cylinders = 1000) ?(seek_cost = 10)
-    ?(transfer_cost = 2000) ?(backend = Draw.List) ?funding ~rng () =
+    ?(transfer_cost = 2000) ?(backend = Draw.List) ?(batch = true) ?funding
+    ~rng () =
   if cylinders <= 0 then invalid_arg "Disk.create: cylinders <= 0";
   if seek_cost < 0 || transfer_cost <= 0 then invalid_arg "Disk.create: bad costs";
   {
@@ -49,6 +59,7 @@ let create ?(policy = Lottery) ?(cylinders = 1000) ?(seek_cost = 10)
     cylinders;
     seek_cost;
     transfer_cost;
+    batch_enabled = batch;
     rng;
     draw = Draw.of_mode backend;
     fsys = funding;
@@ -63,6 +74,11 @@ let create ?(policy = Lottery) ?(cylinders = 1000) ?(seek_cost = 10)
     seq = 0;
     total_served = 0;
     seek_distance = 0;
+    wgen = 0;
+    batch = [||];
+    batch_len = 0;
+    batch_pos = 0;
+    batch_gen = -1;
   }
 
 let policy t = t.pol
@@ -70,14 +86,26 @@ let events t = t.bus
 
 let weight_of c = if c.queue <> [] then c.value else 0.
 
+(* A weight dropping to zero (a queue draining) does NOT bump [wgen]:
+   batched slots are independent draws, so skipping a dead entry at
+   consume time conditions the remaining slots on "not that client" —
+   exactly the distribution a redraw against the shrunken weights would
+   give. Any write of a {e positive} weight (a new backlog, ticket or
+   funding movement) changes the ratios among live clients and must
+   discard the pre-drawn tail. *)
 let update_weight t c =
   match c.handle with
-  | Some h -> Draw.set_weight t.draw h (weight_of c)
+  | Some h ->
+      let w = weight_of c in
+      Draw.set_weight t.draw h w;
+      if w > 0. then t.wgen <- t.wgen + 1
   | None -> ()
 
 let register t c =
   c.handle <- Some (Draw.add t.draw ~client:c ~weight:(weight_of c));
-  t.clients <- c :: t.clients
+  t.clients <- c :: t.clients;
+  t.wgen <- t.wgen + 1;
+  if Array.length t.batch = 0 then t.batch <- Array.make batch_k c
 
 let add_client t ~name ~tickets =
   if tickets < 0 then invalid_arg "Disk.add_client: negative tickets";
@@ -211,6 +239,38 @@ let publish_draw t c =
            total_weight = Draw.total t.draw;
          })
 
+(* Batched refill: pre-draw up to [batch_k] winners in one {!Draw.draw_k}
+   call — paying any lazy table rebuild once for the whole batch instead
+   of once per draw — and serve them in draw order. [wgen] guards the
+   batch: a positive weight write discards the unserved tail (redrawn
+   against the fresh weights), while entries whose client has since gone
+   weightless are skipped at consume time (see [update_weight]); either
+   way every served slot sees the distribution a slot-at-a-time lottery
+   would have drawn from. (Discarded draws consume randomness, so the
+   stream differs from unbatched service; the per-slot distribution is
+   identical.) *)
+let refill_batch t =
+  t.batch_len <-
+    (if Array.length t.batch = 0 then 0
+     else Draw.draw_k t.draw t.rng ~k:batch_k t.batch);
+  t.batch_pos <- 0;
+  t.batch_gen <- t.wgen
+
+let batch_winner t =
+  if t.batch_gen <> t.wgen then t.batch_pos <- t.batch_len (* discard *);
+  while
+    t.batch_pos < t.batch_len && weight_of t.batch.(t.batch_pos) <= 0.
+  do
+    t.batch_pos <- t.batch_pos + 1
+  done;
+  if t.batch_pos >= t.batch_len then refill_batch t;
+  if t.batch_pos < t.batch_len then begin
+    let c = t.batch.(t.batch_pos) in
+    t.batch_pos <- t.batch_pos + 1;
+    Some c
+  end
+  else None
+
 (* choose (client, request) per policy *)
 let choose t : (client * request) option =
   match t.pol with
@@ -238,19 +298,30 @@ let choose t : (client * request) option =
       (* lottery over backlogged clients' funding, then the winner's
          nearest request (good local seeks, proportional global share) *)
       refresh t;
-      (* slot-based pick: no option or handle wrapper built per decision *)
       let winner =
-        let s = Draw.draw_slot t.draw t.rng in
-        if s >= 0 then begin
-          let c = Draw.client_at t.draw s in
-          publish_draw t c;
-          Some c
+        if t.batch_enabled then begin
+          match batch_winner t with
+          | Some c ->
+              publish_draw t c;
+              Some c
+          | None ->
+              (* backlogged but unfunded: first backlogged in creation order *)
+              List.fold_left
+                (fun acc c -> if c.queue <> [] then Some c else acc)
+                None t.clients
         end
         else
-          (* backlogged but unfunded: first backlogged in creation order *)
-          List.fold_left
-            (fun acc c -> if c.queue <> [] then Some c else acc)
-            None t.clients
+          (* slot-based pick: no option or handle wrapper built per decision *)
+          let s = Draw.draw_slot t.draw t.rng in
+          if s >= 0 then begin
+            let c = Draw.client_at t.draw s in
+            publish_draw t c;
+            Some c
+          end
+          else
+            List.fold_left
+              (fun acc c -> if c.queue <> [] then Some c else acc)
+              None t.clients
       in
       match winner with
       | None -> None

@@ -33,6 +33,7 @@ val create :
   ?seek_cost:int ->
   ?transfer_cost:int ->
   ?backend:Lotto_draw.Draw.mode ->
+  ?batch:bool ->
   ?funding:Lotto_tickets.Funding.system ->
   rng:Lotto_prng.Rng.t ->
   unit ->
@@ -40,7 +41,21 @@ val create :
 (** Defaults: [Lottery] policy, 1000 cylinders, seek cost 10 ticks per
     cylinder, fixed per-request cost 2000 ticks, [List] draw backend.
     [funding] is required for {!add_funded_client} and is typically the
-    scheduler's {!Lottery_sched.funding} system. *)
+    scheduler's {!Lottery_sched.funding} system.
+
+    [batch] (default [true]) refills the winner queue through
+    {!Lotto_draw.Draw.draw_k}: up to 64 lottery winners are pre-drawn in
+    one batch — paying any lazy draw-table rebuild once per batch instead
+    of once per serve — and consumed in draw order, each still serving its
+    own nearest request (the elevator move). A generation counter guards
+    the batch: any positive weight write (a new backlog, ticket or funding
+    movement) discards the unserved tail, while a client whose weight
+    dropped to zero (its queue drained) is merely skipped at consume time
+    — for independent with-replacement draws that conditioning is exactly
+    the redraw distribution, so proportional share is preserved slot by
+    slot. The discarded draws consume randomness, so the RNG stream
+    differs from [~batch:false] service; the per-slot winner distribution
+    is identical. *)
 
 val policy : t -> policy
 val add_client : t -> name:string -> tickets:int -> client

@@ -102,7 +102,8 @@ let sched t =
     detach = detach t;
     ready = mark_ready t;
     unready = mark_unready t;
-    select = (fun () -> select t);
+    smp_ok = false;
+    select = (fun ~cpu:_ -> select t);
     account = (fun _ ~used:_ ~quantum:_ ~blocked:_ -> ());
     donate = (fun ~src ~dst -> donate t ~src ~dst);
     revoke = (fun ~src -> revoke t ~src);

@@ -1,6 +1,7 @@
 open Lotto_sim.Types
 module F = Lotto_tickets.Funding
 module D = Lotto_draw.Draw
+module Sh = Lotto_draw.Shard_tree
 module Rng = Lotto_prng.Rng
 
 type mode = List_mode | Tree_mode | Cumul_mode | Alias_mode
@@ -22,9 +23,30 @@ type tstate = {
   cur : F.currency;
   competing : F.ticket;
   mutable donations : (int * F.ticket) list; (* dst thread id -> transfer *)
-  mutable dh : tstate D.handle option; (* present iff runnable *)
-  mutable in_fq : bool; (* queued in the round-robin fallback ring *)
+  mutable dh : tstate D.handle option;
+      (* unsharded: present iff runnable. Sharded: allocated at the first
+         enqueue and kept forever (the [Some] box included) — dispatch and
+         migration recycle the same handle through {!D.remove}/{!D.readd},
+         so the steady-state quantum cycle allocates nothing. [in_draw]
+         carries liveness. *)
+  mutable in_fq : bool; (* queued in a round-robin fallback ring *)
   mutable in_pending : bool; (* queued for a scoped weight refresh *)
+  (* --- sharded-mode state (unused when [shards = 0]) ----------------- *)
+  mutable shard : int; (* owning shard; -1 until first placement *)
+  mutable in_draw : bool; (* live in its shard's draw structure *)
+  mutable counted : bool;
+      (* this thread's [wlast] is accumulated in the shard tree: true for
+         runnable *and* dispatched (on-CPU) threads, false while blocked —
+         so a running thread still attracts rebalancing pressure to its
+         shard but can never itself be drawn, stolen or migrated *)
+  mutable ring_of : int;
+      (* which shard's fallback ring holds this entry (one-ring invariant:
+         a migrated thread is handed to its new ring lazily, on pop, so
+         migration itself never touches the rings) *)
+  mutable wlast : float;
+      (* the last weight written to a shard draw — kept as the record's
+         own box so the dispatch/re-enqueue cycle can pass it to
+         {!D.readd} without allocating a fresh float *)
 }
 
 (* Per-thread and per-currency state lives in arrays indexed by the dense
@@ -54,6 +76,16 @@ type t = {
   draw : tstate D.t;
   scratch : thread D.t; (* reusable waiter-pick draw, cleared between picks *)
   fallback_q : tstate Queue.t; (* round-robin ring of runnable threads *)
+  (* --- per-CPU lottery shards (empty when [shards = 0]) -------------- *)
+  shards : int; (* 0 = the single-draw path above *)
+  sdraws : tstate D.t array; (* one draw structure per virtual CPU *)
+  srings : tstate Queue.t array; (* per-shard fallback rings *)
+  stree : Sh.t; (* partial-sum tree over per-shard ticket masses *)
+  imbalance_band : float; (* rebalance trigger, as a fraction of total/N *)
+  mutable migration_enabled : bool;
+  mutable placement_hook : (thread -> int) option;
+  mutable migrations : int;
+  mutable steals : int;
   quantum_fallback : bool;
   use_compensation : bool;
   mutable dirty : bool; (* ALL draw weights need recomputation *)
@@ -103,7 +135,10 @@ let find_by_currency t c =
   | _ -> None
 
 let create ?(mode = List_mode) ?(quantum_fallback = true)
-    ?(use_compensation = true) ~rng () =
+    ?(use_compensation = true) ?(shards = 0) ?(imbalance_band = 0.25) ~rng () =
+  if shards < 0 then invalid_arg "Lottery_sched.create: shards < 0";
+  if imbalance_band <= 0. then
+    invalid_arg "Lottery_sched.create: imbalance_band <= 0";
   let t =
     {
       mode;
@@ -117,6 +152,15 @@ let create ?(mode = List_mode) ?(quantum_fallback = true)
       draw = D.of_mode (draw_mode mode);
       scratch = D.of_mode (draw_mode mode);
       fallback_q = Queue.create ();
+      shards;
+      sdraws = Array.init shards (fun _ -> D.of_mode (draw_mode mode));
+      srings = Array.init shards (fun _ -> Queue.create ());
+      stree = Sh.create ~shards:(max 1 shards);
+      imbalance_band;
+      migration_enabled = true;
+      placement_hook = None;
+      migrations = 0;
+      steals = 0;
       quantum_fallback;
       use_compensation;
       dirty = false;
@@ -170,6 +214,11 @@ let state t th =
           dh = None;
           in_fq = false;
           in_pending = false;
+          shard = -1;
+          in_draw = false;
+          counted = false;
+          ring_of = -1;
+          wlast = 0.;
         }
       in
       t.st_tab <- ensure_cap t.st_tab th.tslot;
@@ -201,6 +250,178 @@ let write_weight t s h =
   D.set_weight t.draw h (cv *. f);
   t.wcache.(s.th.tslot) <- cv;
   t.ccache.(s.th.tslot) <- f
+
+(* --- per-CPU shards: mass accounting, migration, stealing -------------- *)
+
+(* The shard tree tracks the live ticket mass *assigned* to each shard:
+   runnable threads waiting in the shard's draw plus the thread currently
+   dispatched on that CPU (dequeued but still consuming the shard's share).
+   Blocked threads carry no mass. Tracking assignment rather than draw
+   occupancy keeps the steady-state quantum cycle (dispatch dequeue +
+   account re-enqueue) entirely off the tree: only block/wake, funding
+   changes and migrations touch it. *)
+let stree_adjust t i delta =
+  let v = Sh.get t.stree i +. delta in
+  Sh.set t.stree i (if v > 0. then v else 0.)
+
+(* Take a drawn thread off its shard's structure for the duration of its
+   slice. Its mass stays counted; the recycled handle makes the later
+   re-enqueue allocation-free. *)
+let[@inline] dispatch_dequeue t s =
+  (match s.dh with
+  | Some h -> D.remove t.sdraws.(s.shard) h
+  | None -> ());
+  s.in_draw <- false
+
+(* (Re-)insert a thread into its shard's draw. The weight inputs are
+   compared against the cached copies exactly as [account] does on the
+   unsharded path: on a quiescent graph nothing changed and the re-insert
+   reuses the boxed product of the last write ([wlast]), so a
+   compute-bound thread's dispatch/re-enqueue cycle allocates nothing. *)
+let sh_enqueue t s =
+  if not s.in_draw then begin
+    let slot = s.th.tslot in
+    if
+      F.currency_value t.system s.cur <> t.wcache.(slot)
+      || factor t s <> t.ccache.(slot)
+    then begin
+      let cv = F.currency_value t.system s.cur in
+      let f = factor t s in
+      let nw = cv *. f in
+      t.wcache.(slot) <- cv;
+      t.ccache.(slot) <- f;
+      if s.counted then stree_adjust t s.shard (nw -. s.wlast);
+      s.wlast <- nw;
+      t.scoped_updates <- t.scoped_updates + 1
+    end;
+    (match s.dh with
+    | Some h -> D.readd t.sdraws.(s.shard) h ~weight:s.wlast
+    | None -> s.dh <- Some (D.add t.sdraws.(s.shard) ~client:s ~weight:s.wlast));
+    s.in_draw <- true;
+    if not s.counted then begin
+      stree_adjust t s.shard s.wlast;
+      s.counted <- true
+    end;
+    if not s.in_fq then begin
+      Queue.push s t.srings.(s.shard);
+      s.ring_of <- s.shard;
+      s.in_fq <- true
+    end
+  end
+
+(* Revalue a sharded thread's draw weight in place (the scoped-refresh
+   write). Dequeued threads are skipped: their caches disagree with the
+   funding graph until [sh_enqueue] reconciles them on re-insert. *)
+let write_weight_sh t s =
+  match s.dh with
+  | Some h when s.in_draw ->
+      let cv = F.currency_value t.system s.cur in
+      let f = factor t s in
+      let nw = cv *. f in
+      t.wcache.(s.th.tslot) <- cv;
+      t.ccache.(s.th.tslot) <- f;
+      if s.counted then stree_adjust t s.shard (nw -. s.wlast);
+      s.wlast <- nw;
+      D.set_weight t.sdraws.(s.shard) h nw
+  | _ -> ()
+
+(* Move a thread between shards: O(1) detach from the source structure,
+   O(log n) re-insert into the destination, both on the existing handle
+   record — zero allocation. Fallback-ring entries are left where they are
+   (the one-ring invariant): the stale entry hands the thread to its new
+   ring lazily when popped. *)
+let migrate t s ~dst =
+  if dst < 0 || dst >= t.shards then invalid_arg "Lottery_sched: bad shard";
+  if s.shard <> dst then begin
+    if s.in_draw then begin
+      match s.dh with
+      | Some h ->
+          D.remove t.sdraws.(s.shard) h;
+          D.readd t.sdraws.(dst) h ~weight:s.wlast
+      | None -> assert false
+    end;
+    if s.counted then begin
+      stree_adjust t s.shard (-.s.wlast);
+      stree_adjust t dst s.wlast
+    end;
+    s.shard <- dst;
+    t.migrations <- t.migrations + 1
+  end
+
+(* Ticket-weighted placement: a new thread lands on the least-loaded shard
+   (by live ticket mass, lowest id on ties), unless a placement hook pins
+   it somewhere specific. *)
+let place t s =
+  if s.shard < 0 then
+    s.shard <-
+      (match t.placement_hook with
+      | None -> Sh.min_shard t.stree
+      | Some f ->
+          let i = f s.th in
+          if i < 0 || i >= t.shards then
+            invalid_arg "Lottery_sched: placement hook returned a bad shard";
+          i)
+
+(* Hysteresis rebalance, run at every scheduling decision: trigger when
+   the richest or poorest shard strays more than [imbalance_band] x the
+   fair share from it, then migrate ticket-weighted picks rich -> poor
+   until back within half the band (or the move budget runs out). The
+   no-overshoot rule — the rich shard must stay at least as rich as the
+   poor one becomes — stops a single heavy thread from ping-ponging
+   between shards. On a balanced system this is two O(shards) scans and
+   no draw. *)
+let max_rebalance_moves = 8
+
+let rebalance t =
+  let tot = Sh.total t.stree in
+  if tot > 0. then begin
+    let ideal = tot /. float_of_int t.shards in
+    let full_band = t.imbalance_band *. ideal in
+    let thresh = ref full_band in
+    let moves = ref 0 in
+    let go = ref true in
+    while !go && !moves < max_rebalance_moves do
+      go := false;
+      let rich = Sh.max_shard t.stree in
+      let poor = Sh.min_shard t.stree in
+      let mr = Sh.get t.stree rich in
+      let mp = Sh.get t.stree poor in
+      if rich <> poor && (mr -. ideal > !thresh || ideal -. mp > !thresh) then begin
+        let w = D.draw_slot t.sdraws.(rich) t.rng in
+        if w >= 0 then begin
+          let s = D.client_at t.sdraws.(rich) w in
+          if mr -. s.wlast >= mp +. s.wlast then begin
+            migrate t s ~dst:poor;
+            thresh := full_band /. 2.;
+            incr moves;
+            go := true
+          end
+        end
+      end
+    done
+  end
+
+(* Work stealing, tried when a CPU's own shard has no funded runnable
+   thread: pick a source shard ticket-weighted through the shard tree,
+   draw a victim from it, and migrate it here. One steal per empty
+   decision keeps the RNG consumption bounded and deterministic. *)
+let steal t ~dst =
+  if not t.migration_enabled then None
+  else if Sh.total t.stree <= 0. then None
+  else begin
+    let src = Sh.pick t.stree ~u:(Rng.float_unit t.rng) in
+    if src < 0 || src = dst then None
+    else begin
+      let w = D.draw_slot t.sdraws.(src) t.rng in
+      if w < 0 then None
+      else begin
+        let s = D.client_at t.sdraws.(src) w in
+        migrate t s ~dst;
+        t.steals <- t.steals + 1;
+        Some s
+      end
+    end
+  end
 
 (* --- funding API ------------------------------------------------------- *)
 
@@ -244,18 +465,33 @@ let remove_from_draw _t s =
 let ready t th =
   let s = state t th in
   if not (F.is_active s.competing) then F.resume t.system s.competing;
-  add_to_draw t s
+  if t.shards > 0 then begin
+    place t s;
+    sh_enqueue t s
+  end
+  else add_to_draw t s
 
 let attach t th =
   let s = state t th in
   (* competing ticket becomes held (and active) the first time *)
   F.hold t.system s.competing;
-  add_to_draw t s
+  if t.shards > 0 then begin
+    place t s;
+    sh_enqueue t s
+  end
+  else add_to_draw t s
 
 let unready t th =
   let s = state t th in
   F.suspend t.system s.competing;
-  remove_from_draw t s
+  if t.shards > 0 then begin
+    if s.counted then begin
+      stree_adjust t s.shard (-.s.wlast);
+      s.counted <- false
+    end;
+    if s.in_draw then dispatch_dequeue t s
+  end
+  else remove_from_draw t s
 
 let drop_donations t s =
   if s.donations <> [] then begin
@@ -288,7 +524,14 @@ let detach t th =
   match find_state t th with
   | None -> ()
   | Some s ->
-      remove_from_draw t s;
+      if t.shards > 0 then begin
+        if s.counted then begin
+          stree_adjust t s.shard (-.s.wlast);
+          s.counted <- false
+        end;
+        if s.in_draw then dispatch_dequeue t s
+      end
+      else remove_from_draw t s;
       drop_donations t s;
       (* Other threads may still be donating to this one (e.g. blocked
          mutex waiters whose owner dies); clear their references before the
@@ -323,11 +566,16 @@ let detach t th =
 
 let refresh_weights t =
   t.full_refreshes <- t.full_refreshes + 1;
-  Array.iter
-    (function
-      | Some ({ dh = Some h; _ } as s) -> write_weight t s h
-      | _ -> ())
-    t.st_tab
+  if t.shards > 0 then
+    Array.iter
+      (function Some s -> write_weight_sh t s | None -> ())
+      t.st_tab
+  else
+    Array.iter
+      (function
+        | Some ({ dh = Some h; _ } as s) -> write_weight t s h
+        | _ -> ())
+      t.st_tab
 
 let drain_pending t f =
   while not (Queue.is_empty t.pending_q) do
@@ -348,12 +596,19 @@ let flush_pending t =
     drain_pending t (fun _ -> ())
   end
   else if not (Queue.is_empty t.pending_q) then
-    drain_pending t (fun s ->
-        match s.dh with
-        | Some h ->
-            write_weight t s h;
+    if t.shards > 0 then
+      drain_pending t (fun s ->
+          if s.in_draw then begin
+            write_weight_sh t s;
             t.scoped_updates <- t.scoped_updates + 1
-        | None -> ())
+          end)
+    else
+      drain_pending t (fun s ->
+          match s.dh with
+          | Some h ->
+              write_weight t s h;
+              t.scoped_updates <- t.scoped_updates + 1
+          | None -> ())
 
 (* Unfunded threads never win a lottery (paper: zero tickets = starvation).
    To keep simulations with forgotten funding alive, optionally fall back to
@@ -380,10 +635,46 @@ let fallback_pick t =
     next ()
   end
 
+(* Sharded fallback: the per-shard round-robin ring, with the one-ring
+   invariant's lazy hand-off — an entry whose thread migrated away is
+   pushed to its new shard's ring on pop rather than eagerly on migrate. *)
+let sh_ring_pick t c =
+  if not t.quantum_fallback then None
+  else begin
+    let rec next () =
+      match Queue.take_opt t.srings.(c) with
+      | None -> None
+      | Some s ->
+          if not s.in_draw then begin
+            (* blocked, dispatched or dead: drop; re-enqueue re-rings it *)
+            s.in_fq <- false;
+            next ()
+          end
+          else if s.shard <> c then begin
+            Queue.push s t.srings.(s.shard);
+            s.ring_of <- s.shard;
+            next ()
+          end
+          else begin
+            Queue.push s t.srings.(c);
+            Some s
+          end
+    in
+    next ()
+  end
+
 let fire_draw_hook t =
   match t.draw_hook with
   | None -> ()
-  | Some hook -> hook ~runnable:(D.size t.draw) ~total_weight:(D.total t.draw)
+  | Some hook ->
+      if t.shards > 0 then begin
+        let n = ref 0 in
+        for i = 0 to t.shards - 1 do
+          n := !n + D.size t.sdraws.(i)
+        done;
+        hook ~runnable:!n ~total_weight:(Sh.total t.stree)
+      end
+      else hook ~runnable:(D.size t.draw) ~total_weight:(D.total t.draw)
 
 let select t =
   t.draws <- t.draws + 1;
@@ -409,7 +700,61 @@ let select t =
       Lotto_obs.Profile.stop p Lotto_obs.Profile.Draw t0;
       if w >= 0 then (D.client_at t.draw w).some else fallback_pick t
 
+(* One scheduling decision for virtual CPU [cpu] = shard [cpu]. The local
+   draw is consulted first; an empty (or unfunded) shard tries a ticket-
+   weighted steal, then its fallback ring. Whatever is returned is
+   dequeued for the duration of its slice, so no other CPU of the same
+   kernel round can dispatch it. *)
+let select_sharded t ~cpu =
+  t.draws <- t.draws + 1;
+  (match t.profiler with
+  | None ->
+      flush_pending t;
+      fire_draw_hook t
+  | Some p ->
+      let t0 = Lotto_obs.Profile.start p in
+      flush_pending t;
+      Lotto_obs.Profile.stop p Lotto_obs.Profile.Valuation t0;
+      fire_draw_hook t);
+  if t.migration_enabled && t.shards > 1 then rebalance t;
+  let d = t.sdraws.(cpu) in
+  let w =
+    match t.profiler with
+    | None -> D.draw_slot d t.rng
+    | Some p ->
+        let t0 = Lotto_obs.Profile.start p in
+        let w = D.draw_slot d t.rng in
+        Lotto_obs.Profile.stop p Lotto_obs.Profile.Draw t0;
+        w
+  in
+  if w >= 0 then begin
+    let s = D.client_at d w in
+    dispatch_dequeue t s;
+    s.some
+  end
+  else begin
+    match steal t ~dst:cpu with
+    | Some s ->
+        dispatch_dequeue t s;
+        s.some
+    | None -> (
+        match sh_ring_pick t cpu with
+        | Some s ->
+            dispatch_dequeue t s;
+            s.some
+        | None -> None)
+  end
+
 let account t th ~used:_ ~quantum:_ ~blocked:_ =
+  if t.shards > 0 then begin
+    (* The dispatched thread was dequeued at selection; put it back (with
+       a freshness-checked weight) if its slice left it runnable. Blocked
+       and exited threads were already handled by unready/detach. *)
+    match find_state t th with
+    | Some s when th.state = Runnable -> sh_enqueue t s
+    | _ -> ()
+  end
+  else
   (* The thread's compensation factor was reset when its quantum started
      and possibly re-set when it blocked; refresh its draw weight so the
      next draw sees the current value. The fresh value is compared against
@@ -484,7 +829,10 @@ let sched t =
     detach = detach t;
     ready = ready t;
     unready = unready t;
-    select = (fun () -> select t);
+    smp_ok = t.shards > 0;
+    select =
+      (if t.shards > 0 then fun ~cpu -> select_sharded t ~cpu
+       else fun ~cpu:_ -> select t);
     account = (fun th ~used ~quantum ~blocked -> account t th ~used ~quantum ~blocked);
     donate = (fun ~src ~dst -> donate t ~src ~dst);
     revoke = (fun ~src -> revoke t ~src);
@@ -546,4 +894,86 @@ let draws t = t.draws
 let full_refreshes t = t.full_refreshes
 let scoped_weight_updates t = t.scoped_updates
 let list_comparisons t = D.comparisons t.draw
-let runnable_count t = D.size t.draw
+let runnable_count t =
+  if t.shards > 0 then begin
+    let n = ref 0 in
+    for i = 0 to t.shards - 1 do
+      n := !n + D.size t.sdraws.(i)
+    done;
+    !n
+  end
+  else D.size t.draw
+
+(* --- sharding introspection and control ---------------------------------- *)
+
+let shards t = t.shards
+let migrations t = t.migrations
+let steals t = t.steals
+let set_migration_enabled t b = t.migration_enabled <- b
+let set_placement_hook t h = t.placement_hook <- h
+
+let shard_of t th =
+  match find_state t th with
+  | Some s when t.shards > 0 -> s.shard
+  | _ -> -1
+
+let shard_ticket_mass t i =
+  if t.shards <= 0 || i < 0 || i >= t.shards then
+    invalid_arg "Lottery_sched.shard_ticket_mass: bad shard";
+  Sh.get t.stree i
+
+let force_migrate t th ~dst =
+  if t.shards <= 0 then invalid_arg "Lottery_sched.force_migrate: not sharded";
+  if dst < 0 || dst >= t.shards then
+    invalid_arg "Lottery_sched.force_migrate: bad shard";
+  match find_state t th with
+  | Some s when s.shard >= 0 -> migrate t s ~dst
+  | _ -> ()
+
+(* Cross-checks the sharded bookkeeping: every live tstate sits in exactly
+   the shard draw it claims ([D.mem] there and nowhere else), every shard-
+   tree leaf matches the sum of [wlast] over the tstates counted into it
+   (relative epsilon — the leaf is maintained by incremental float deltas),
+   and flag coherence (in_draw implies counted implies placed). Read-only;
+   safe between any two slices. *)
+let check_sharding t =
+  if t.shards <= 0 then []
+  else begin
+    let out = ref [] in
+    let vf fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+    let sums = Array.make t.shards 0. in
+    Array.iter
+      (function
+        | None -> ()
+        | Some s ->
+            if s.in_draw && not s.counted then
+              vf "%s: in a shard draw but not counted in the shard tree"
+                s.th.name;
+            if s.counted && (s.shard < 0 || s.shard >= t.shards) then
+              vf "%s: counted but shard id %d out of range" s.th.name s.shard;
+            if s.counted && s.shard >= 0 && s.shard < t.shards then
+              sums.(s.shard) <- sums.(s.shard) +. s.wlast;
+            (match s.dh with
+            | Some h ->
+                for i = 0 to t.shards - 1 do
+                  let here = D.mem t.sdraws.(i) h in
+                  if s.in_draw && i = s.shard && not here then
+                    vf "%s: claims shard %d but its handle is not there"
+                      s.th.name s.shard;
+                  if here && (not s.in_draw || i <> s.shard) then
+                    vf "%s: handle live in shard %d (claims %s)" s.th.name i
+                      (if s.in_draw then string_of_int s.shard else "none")
+                done
+            | None ->
+                if s.in_draw then
+                  vf "%s: in_draw set but no draw handle" s.th.name))
+      t.st_tab;
+    for i = 0 to t.shards - 1 do
+      let leaf = Sh.get t.stree i in
+      let scale = max 1. (max (abs_float leaf) (abs_float sums.(i))) in
+      if abs_float (leaf -. sums.(i)) > 1e-6 *. scale then
+        vf "shard %d: tree mass %.9g but counted tstates sum to %.9g" i leaf
+          sums.(i)
+    done;
+    List.rev !out
+  end

@@ -31,6 +31,8 @@ val create :
   ?mode:mode ->
   ?quantum_fallback:bool ->
   ?use_compensation:bool ->
+  ?shards:int ->
+  ?imbalance_band:float ->
   rng:Lotto_prng.Rng.t ->
   unit ->
   t
@@ -40,7 +42,18 @@ val create :
     the simulation. [use_compensation] (default [true]) applies the
     kernel's compensation-ticket factor to draw weights; disabling it
     reproduces the paper's §4.5 counterexample where an I/O-bound thread
-    receives far less than its entitled share. *)
+    receives far less than its entitled share.
+
+    [shards] (default [0] = unsharded) turns on the multi-CPU mode: one
+    draw structure per shard, shard [i] serving virtual CPU [i], with
+    threads placed on the least-loaded shard (ticket-weighted), rebalanced
+    when a shard's ticket mass deviates from the [1/shards] ideal by more
+    than [imbalance_band] (default [0.25], a fraction of the ideal), and
+    stolen from a ticket-weighted random victim when a CPU's own shard has
+    nothing runnable. A sharded scheduler declares
+    {!Lotto_sim.Types.sched.smp_ok} and dequeues the winner on dispatch, so
+    it also works (and is byte-stable) on a 1-CPU kernel with [shards = 1].
+    Raises [Invalid_argument] when [shards < 0] or [imbalance_band <= 0]. *)
 
 val sched : t -> Lotto_sim.Types.sched
 
@@ -152,3 +165,57 @@ val list_comparisons : t -> int option
     search-length metric for the move-to-front heuristic. *)
 
 val runnable_count : t -> int
+
+(** {1 Sharded (multi-CPU) mode}
+
+    All of the following are meaningful only when [create] was given
+    [shards > 0]; on an unsharded scheduler the accessors return [0] /
+    [-1] / [[]] and {!force_migrate} raises. *)
+
+val shards : t -> int
+(** Number of shards ([0] when unsharded). *)
+
+val shard_of : t -> Lotto_sim.Types.thread -> int
+(** The shard the thread is currently placed on; [-1] if the scheduler
+    has no state for it (or is unsharded). A dispatched thread keeps its
+    shard id for the duration of its slice. *)
+
+val shard_ticket_mass : t -> int -> float
+(** Ticket mass currently assigned to a shard (runnable-in-draw plus
+    dispatched; blocked threads carry no mass). Raises on a bad index or
+    an unsharded scheduler. *)
+
+val migrations : t -> int
+(** Threads moved between shards so far (rebalancing, stealing and
+    {!force_migrate} all count). *)
+
+val steals : t -> int
+(** Work-steals: migrations triggered by a CPU whose own shard had
+    nothing runnable. *)
+
+val set_migration_enabled : t -> bool -> unit
+(** Turn rebalancing and stealing off (or back on, the default). With
+    migration disabled, placement is final — used by the equivalence
+    tests that pin every thread to one shard. *)
+
+val set_placement_hook : t -> (Lotto_sim.Types.thread -> int) option -> unit
+(** Override initial placement: called once per thread when it first
+    becomes runnable; a return out of [0..shards-1] falls back to the
+    default least-loaded choice. *)
+
+val force_migrate : t -> Lotto_sim.Types.thread -> dst:int -> unit
+(** Move a thread to shard [dst] immediately (no-op when already there or
+    when the scheduler holds no state for it). O(1) detach, O(log n)
+    re-insert, zero allocation in the steady state — the bench hook for
+    measuring migration cost. Raises on an unsharded scheduler or a bad
+    [dst]. *)
+
+val check_sharding : t -> string list
+(** Audit sharded bookkeeping: each runnable thread's draw handle is live
+    in exactly the shard it claims, each shard-tree leaf matches the
+    ticket mass of the threads counted into it (relative epsilon — leaves
+    are maintained incrementally), and the in-draw/counted flags are
+    coherent. Returns one string per violation; empty means healthy (and
+    always empty on an unsharded scheduler). Read-only between slices;
+    composed with the kernel and funding audits by the {!Lotto_chaos}
+    auditor. *)

@@ -35,7 +35,8 @@ let sched t =
     detach = remove t;
     ready = enqueue t;
     unready = remove t;
-    select = (fun () -> select t);
+    smp_ok = false;
+    select = (fun ~cpu:_ -> select t);
     account = (fun _ ~used:_ ~quantum:_ ~blocked:_ -> ());
     donate = (fun ~src:_ ~dst:_ -> ());
     revoke = (fun ~src:_ -> ());

@@ -89,7 +89,8 @@ let sched t =
     detach = detach t;
     ready = mark_ready t;
     unready = mark_unready t;
-    select = (fun () -> select t);
+    smp_ok = false;
+    select = (fun ~cpu:_ -> select t);
     account = (fun th ~used ~quantum ~blocked -> account t th ~used ~quantum ~blocked);
     donate = (fun ~src:_ ~dst:_ -> ());
     revoke = (fun ~src:_ -> ());

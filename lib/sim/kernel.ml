@@ -5,7 +5,18 @@ module Vec = Lotto_arena.Vec
 
 type t = {
   mutable now : int;
+      (* the global virtual clock: the round floor between slices, the
+         executing CPU's clock during one. [cpu_now] carries each virtual
+         CPU's own clock; [now] = [cpu_now.(c)] while CPU [c] runs. *)
   quantum : int;
+  cpus : int;
+  cpu_now : int array; (* per-CPU virtual clock, length [cpus] *)
+  sel : thread option array;
+      (* per-round select results: every CPU at the round floor selects
+         before any slice runs, so one round's slices are virtually
+         concurrent and no thread can be picked by two CPUs (smp_ok
+         schedulers dequeue on dispatch). Reuses the scheduler's returned
+         option — the round adds no allocation. *)
   sched : sched;
   timers : thread Heap.t;
   mutable next_id : int;
@@ -54,11 +65,19 @@ let emit k ev =
       Obs.Bus.emit k.bus ~time:k.now ev;
       Obs.Profile.stop p Obs.Profile.Publish t0
 
-let create ?(quantum = Time.ms 100) ~sched () =
+let create ?(quantum = Time.ms 100) ?(cpus = 1) ~sched () =
   if quantum <= 0 then invalid_arg "Kernel.create: quantum <= 0";
+  if cpus < 1 then invalid_arg "Kernel.create: cpus < 1";
+  if cpus > 1 && not sched.smp_ok then
+    invalid_arg
+      ("Kernel.create: scheduler " ^ sched.sched_name
+     ^ " does not support cpus > 1");
   {
     now = 0;
     quantum;
+    cpus;
+    cpu_now = Array.make cpus 0;
+    sel = Array.make cpus None;
     sched;
     timers = Heap.create ();
     next_id = 0;
@@ -81,6 +100,11 @@ let create ?(quantum = Time.ms 100) ~sched () =
 
 let now k = k.now
 let quantum k = k.quantum
+let cpus k = k.cpus
+
+let cpu_clock k cpu =
+  if cpu < 0 || cpu >= k.cpus then invalid_arg "Kernel.cpu_clock: bad cpu";
+  k.cpu_now.(cpu)
 
 let fresh_id k =
   let id = k.next_id in
@@ -796,14 +820,14 @@ let wake_timers k =
     end
   done
 
-let run_slice k th ~cur ~horizon =
+let run_slice k th ~cpu ~cur ~horizon =
   k.slices <- k.slices + 1;
   th.state <- Running;
   (* Starting a fresh quantum cancels any outstanding compensation ticket
      (paper §4.5: the inflation lasts "until the client starts its next
      quantum"). *)
   th.compensate <- 1.;
-  if observed k then emit k (Obs.Event.Select { who = actor th });
+  if observed k then emit k (Obs.Event.Select { who = actor th; cpu });
   let slice_left = ref k.quantum in
   let outcome = ref `Preempted in
   (* [cur] is the scheduler's own [Some th] (select returns a preallocated
@@ -873,41 +897,114 @@ let run_slice k th ~cur ~horizon =
 let has_live_blocked k =
   Slots.exists_live k.th_slots (fun s -> k.th_tab.(s).state = Blocked)
 
+(* The scheduling loop proceeds in *rounds* anchored at the minimum per-CPU
+   clock T (the round floor): every CPU whose clock sits at T first selects
+   (in CPU-id order, so replays are deterministic), then the selected
+   slices run (again in id order). Splitting select from execution makes
+   one round's slices virtually concurrent: a thread woken mid-slice by
+   CPU 0 cannot be dispatched by CPU 1 "in the past" at T, and — since
+   smp_ok schedulers dequeue on dispatch and only re-enqueue in [account]
+   — no thread is ever picked by two CPUs of the same round. CPUs whose
+   clock is ahead of T simply sit the round out. With [cpus = 1] every
+   round is exactly one select + one slice at [k.now], byte-identical to
+   the historical single-CPU loop. *)
+let min_cpu_now k =
+  let m = ref k.cpu_now.(0) in
+  for c = 1 to k.cpus - 1 do
+    if k.cpu_now.(c) < !m then m := k.cpu_now.(c)
+  done;
+  !m
+
+let max_cpu_now k =
+  let m = ref k.cpu_now.(0) in
+  for c = 1 to k.cpus - 1 do
+    if k.cpu_now.(c) > !m then m := k.cpu_now.(c)
+  done;
+  !m
+
+(* earliest clock strictly ahead of the floor [t]; [max_int] if none *)
+let next_busy_clock k ~t =
+  let m = ref max_int in
+  for c = 0 to k.cpus - 1 do
+    if k.cpu_now.(c) > t && k.cpu_now.(c) < !m then m := k.cpu_now.(c)
+  done;
+  !m
+
 let run k ~until =
   let deadlocked = ref false in
   let stop = ref false in
-  while (not !stop) && k.now < until do
+  while (not !stop) && min_cpu_now k < until do
+    let t = min_cpu_now k in
+    k.now <- t;
     wake_timers k;
-    (match k.pre_select with Some f -> f () | None -> ());
-    match k.sched.select () with
-    | Some th as cur -> (
-        match k.profiler with
-        | None -> run_slice k th ~cur ~horizon:until
-        | Some p ->
-            let t0 = Obs.Profile.start p in
-            run_slice k th ~cur ~horizon:until;
-            Obs.Profile.stop p Obs.Profile.Dispatch t0)
-    | None ->
-        (* Idle: advance virtual time to the next *live* deadline. Stale
-           entries left by killed sleepers must not inflate idle_ticks or
-           delay termination toward a phantom wakeup. *)
-        prune_stale_timers k;
-        if not (Heap.is_empty k.timers) then begin
-          let t = max (Heap.min_key k.timers) k.now in
-          if t >= until then begin
-            k.idle <- k.idle + (until - k.now);
-            k.now <- until
+    (* phase 1: every CPU at the floor picks a thread against the state at
+       time T, before any of this round's slices execute *)
+    let ran_any = ref false in
+    let idle_at_t = ref 0 in
+    for cpu = 0 to k.cpus - 1 do
+      if k.cpu_now.(cpu) = t then begin
+        (match k.pre_select with Some f -> f () | None -> ());
+        let cur = k.sched.select ~cpu in
+        k.sel.(cpu) <- cur;
+        match cur with Some _ -> () | None -> incr idle_at_t
+      end
+      else k.sel.(cpu) <- None
+    done;
+    (* phase 2: run the round's slices, each starting at T. [sel] is left
+       in place so the idle pass below can tell idle CPUs (None at the
+       floor) from ones that ran a zero-length slice; phase 1 rewrites
+       every entry next round. *)
+    for cpu = 0 to k.cpus - 1 do
+      match k.sel.(cpu) with
+      | None -> ()
+      | Some th as cur ->
+          (* a pre_select hook later in phase 1 (fault injection) may have
+             killed an already-dispatched thread; drop that slice *)
+          if th.state = Runnable then begin
+            ran_any := true;
+            k.now <- t;
+            (match k.profiler with
+            | None -> run_slice k th ~cpu ~cur ~horizon:until
+            | Some p ->
+                let t0 = Obs.Profile.start p in
+                run_slice k th ~cpu ~cur ~horizon:until;
+                Obs.Profile.stop p Obs.Profile.Dispatch t0);
+            k.cpu_now.(cpu) <- k.now
           end
-          else begin
-            k.idle <- k.idle + (t - k.now);
-            k.now <- t
-          end
-        end
-        else begin
-          if has_live_blocked k then deadlocked := true;
-          stop := true
-        end
+    done;
+    if !idle_at_t > 0 then begin
+      (* Idle CPUs advance together to the next thing that can make work
+         appear for them: the next *live* timer deadline (stale entries
+         left by killed sleepers must not inflate idle_ticks or delay
+         termination toward a phantom wakeup) or the next busy CPU's slice
+         boundary, clamped to the horizon. *)
+      prune_stale_timers k;
+      let next_timer =
+        if Heap.is_empty k.timers then max_int else Heap.min_key k.timers
+      in
+      let target = min next_timer (next_busy_clock k ~t) in
+      if target < max_int then begin
+        let target = min (max target t) until in
+        for cpu = 0 to k.cpus - 1 do
+          match k.sel.(cpu) with
+          | None when k.cpu_now.(cpu) = t ->
+              k.idle <- k.idle + (target - t);
+              k.cpu_now.(cpu) <- target
+          | _ -> ()
+        done
+      end
+      else if not !ran_any then begin
+        (* nothing ran, nothing sleeping, no CPU ahead: the simulation is
+           over — a deadlock if blocked threads remain *)
+        if has_live_blocked k then deadlocked := true;
+        stop := true
+      end
+      (* [ran_any] with no timer and no CPU ahead: a zero-length slice kept
+         the floor at T; the idle CPUs retry next round. *)
+    end
   done;
+  Array.fill k.sel 0 k.cpus None;
+  k.now <- (if !stop then min_cpu_now k else max_cpu_now k);
   { ended_at = k.now; idle_ticks = k.idle; deadlocked = !deadlocked; slices = k.slices }
 
 let threads k =

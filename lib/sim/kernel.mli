@@ -1,10 +1,19 @@
 (** The discrete-event kernel: our stand-in for the Mach 3.0 scheduler core.
 
-    The kernel multiplexes simulated threads over one virtual CPU in
-    quantum-sized slices, delegating every policy decision to an abstract
-    {!Types.sched}. Threads are effect-handler coroutines; all requests they
-    make (compute, sleep, RPC, locks) cost virtual time only, and the whole
-    simulation is deterministic given the scheduler's RNG seed.
+    The kernel multiplexes simulated threads over one or more virtual CPUs
+    in quantum-sized slices, delegating every policy decision to an
+    abstract {!Types.sched}. Threads are effect-handler coroutines; all
+    requests they make (compute, sleep, RPC, locks) cost virtual time only,
+    and the whole simulation is deterministic given the scheduler's RNG
+    seed.
+
+    With [cpus > 1] the loop proceeds in rounds anchored at the minimum
+    per-CPU clock: every CPU at the round floor selects first (CPU-id
+    order, so replays are deterministic), then the selected slices run —
+    one round's slices are virtually concurrent, and because multi-CPU
+    schedulers dequeue on dispatch ({!Types.sched.smp_ok}) no thread is
+    ever picked by two CPUs of the same round. A single-CPU kernel is
+    byte-identical to the historical loop.
 
     Semantics mirroring the paper's platform:
     - one lottery/selection per quantum (default 100 ms, §4);
@@ -19,12 +28,23 @@
 
 type t
 
-val create : ?quantum:Time.t -> sched:Types.sched -> unit -> t
+val create : ?quantum:Time.t -> ?cpus:int -> sched:Types.sched -> unit -> t
 (** [quantum] defaults to 100 ms ([Time.ms 100]), the Mach quantum the
-    paper's prototype used. *)
+    paper's prototype used. [cpus] (default [1]) is the number of virtual
+    CPUs; raises [Invalid_argument] when [cpus > 1] and the scheduler does
+    not declare {!Types.sched.smp_ok}. *)
 
 val now : t -> Time.t
+(** The global virtual clock: between runs, the time the last {!run}
+    ended at; during a slice, the executing CPU's clock. *)
+
 val quantum : t -> Time.t
+
+val cpus : t -> int
+
+val cpu_clock : t -> int -> Time.t
+(** [cpu_clock k c] is virtual CPU [c]'s own clock (every CPU ends a run
+    at the same time unless it deadlocked mid-round). *)
 
 val spawn : t -> name:string -> (unit -> unit) -> Types.thread
 (** Create a runnable thread. The body runs inside the simulation and may

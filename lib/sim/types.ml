@@ -171,12 +171,18 @@ and semaphore = {
    schedulers implement it with transfer tickets, others ignore it. *)
 and sched = {
   sched_name : string;
+  smp_ok : bool;
+      (** whether the scheduler implements on-CPU semantics for several
+          virtual CPUs (dequeue on dispatch, so the same thread is never
+          selected by two CPUs for overlapping slices). [Kernel.create]
+          refuses [cpus > 1] for schedulers that do not. *)
   attach : thread -> unit;  (** thread created (initially runnable) *)
   detach : thread -> unit;  (** thread exited *)
   ready : thread -> unit;  (** thread became runnable *)
   unready : thread -> unit;  (** thread blocked *)
-  select : unit -> thread option;
-      (** choose among runnable threads; called once per quantum *)
+  select : cpu:int -> thread option;
+      (** choose among runnable threads for virtual CPU [cpu]; called once
+          per quantum per CPU (always [~cpu:0] on a single-CPU kernel) *)
   account : thread -> used:int -> quantum:int -> blocked:bool -> unit;
       (** the selected thread consumed [used] of [quantum] and then either
           blocked ([blocked = true]) or was preempted / yielded *)

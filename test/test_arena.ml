@@ -253,7 +253,7 @@ let qcheck_kernel_handle_recycling =
             let th, slot, gen, blocked = pick () in
             if !blocked then begin
               s.Core.Types.ready th;
-              ignore (s.Core.Types.select ())
+              ignore (s.Core.Types.select ~cpu:0)
             end;
             Core.Kernel.kill k th;
             expect "reaped slot reads -1" (Core.Kernel.thread_slot th = -1);
@@ -268,14 +268,14 @@ let qcheck_kernel_handle_recycling =
                 List.find (fun (_, _, _, b) -> b == blocked) !live
               in
               s.Core.Types.unready th;
-              ignore (s.Core.Types.select ());
+              ignore (s.Core.Types.select ~cpu:0);
               blocked := true
             end
         | 7 | 8 -> (
             match List.find_opt (fun (_, _, _, b) -> !b) !live with
             | Some (th, _, _, blocked) ->
                 s.Core.Types.ready th;
-                ignore (s.Core.Types.select ());
+                ignore (s.Core.Types.select ~cpu:0);
                 blocked := false
             | None -> ())
         | _ ->

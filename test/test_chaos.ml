@@ -153,6 +153,30 @@ let test_span_soak_200_seeds () =
         200 r.Soak.runs)
     [ Scenarios.rpc; Scenarios.scatter ]
 
+let test_soak_multi_cpu () =
+  (* the sharded scheduler under fault injection, with the combined audit
+     (kernel + funding + sharding) at every boundary *)
+  let seeds = Soak.seed_range ~from:0 ~count:10 in
+  List.iter
+    (fun cpus ->
+      let r = Soak.soak ~audit:true ~cpus ~seeds () in
+      checki (Printf.sprintf "%d-cpu: 10 seeds x 5 scenarios" cpus) 50 r.Soak.runs;
+      match Soak.first_failure r with
+      | None -> ()
+      | Some (sc, seed) ->
+          Alcotest.failf "%d-cpu soak failed: scenario=%s seed=%d\n%s" cpus sc
+            seed (Soak.report_to_string r))
+    [ 2; 4 ]
+
+let test_multi_cpu_outcome_reproducible () =
+  let sc = Scenarios.scatter in
+  let a = Soak.run_one ~cpus:4 sc ~seed:23 and b = Soak.run_one ~cpus:4 sc ~seed:23 in
+  checkb "identical 4-cpu outcomes" true
+    (a.Soak.faults = b.Soak.faults
+    && a.Soak.violations = b.Soak.violations
+    && a.Soak.thread_failures = b.Soak.thread_failures
+    && a.Soak.summary = b.Soak.summary)
+
 let test_outcome_reproducible_end_to_end () =
   (* full outcome equality, not just fault logs *)
   let sc = Scenarios.scatter in
@@ -196,6 +220,10 @@ let () =
             test_span_soak_200_seeds;
           Alcotest.test_case "catches a reintroduced reply-after-kill bug"
             `Quick test_soak_catches_reintroduced_bug;
+          Alcotest.test_case "multi-cpu soak (2 and 4 cpus, sharding audit)"
+            `Quick test_soak_multi_cpu;
+          Alcotest.test_case "4-cpu outcome reproducible" `Quick
+            test_multi_cpu_outcome_reproducible;
           Alcotest.test_case "scenario lookup" `Quick test_scenario_lookup;
         ] );
     ]

@@ -10,7 +10,7 @@ let checkb = check Alcotest.bool
 
 let actor name tid = Obs.Event.actor_of ~tid ~tname:name
 
-let select name tid = Obs.Event.Select { who = actor name tid }
+let select name tid = Obs.Event.Select { who = actor name tid; cpu = 0 }
 
 (* --- minimal JSON validity checker ----------------------------------------- *)
 
@@ -239,12 +239,12 @@ let test_chrome_json_valid_and_escaped () =
   let nasty = "we\"ird\\name\ttab" in
   let a = actor nasty 0 in
   Obs.Recorder.record r 0 (Obs.Event.Spawn { who = a });
-  Obs.Recorder.record r 0 (Obs.Event.Select { who = a });
+  Obs.Recorder.record r 0 (Obs.Event.Select { who = a; cpu = 0 });
   Obs.Recorder.record r 100 (Obs.Event.Block { who = a; on = "sleep" });
   Obs.Recorder.record r 100
     (Obs.Event.Preempt { who = a; used = 100; quantum = 250; why = Obs.Event.End_block });
   Obs.Recorder.record r 150 (Obs.Event.Wake { who = a });
-  Obs.Recorder.record r 150 (Obs.Event.Select { who = a });
+  Obs.Recorder.record r 150 (Obs.Event.Select { who = a; cpu = 0 });
   (* no final Preempt: the exporter must close the dangling slice itself *)
   let json = Obs.Recorder.to_chrome_json r in
   checkb "valid JSON" true (json_valid json);
@@ -259,17 +259,17 @@ let test_chrome_json_wrapped_open_slice () =
      must then be suppressed, not emitted unbalanced *)
   let r = Obs.Recorder.create ~capacity:2 () in
   let a = actor "w" 0 in
-  Obs.Recorder.record r 0 (Obs.Event.Select { who = a });
+  Obs.Recorder.record r 0 (Obs.Event.Select { who = a; cpu = 0 });
   Obs.Recorder.record r 100
     (Obs.Event.Preempt { who = a; used = 100; quantum = 100; why = Obs.Event.End_quantum });
-  Obs.Recorder.record r 100 (Obs.Event.Select { who = a });
+  Obs.Recorder.record r 100 (Obs.Event.Select { who = a; cpu = 0 });
   Obs.Recorder.record r 200
     (Obs.Event.Preempt { who = a; used = 100; quantum = 100; why = Obs.Event.End_quantum });
   (* window now holds [Select@100; Preempt@200] -- wait, capacity 2 keeps the
      last two events: Select@100 and Preempt@200, a matched pair. Push once
      more so the window is [Preempt@200; Select@200] and the orphan Preempt
      leads. *)
-  Obs.Recorder.record r 200 (Obs.Event.Select { who = a });
+  Obs.Recorder.record r 200 (Obs.Event.Select { who = a; cpu = 0 });
   let json = Obs.Recorder.to_chrome_json r in
   checkb "valid JSON" true (json_valid json);
   checki "orphan E suppressed, dangling B closed"
@@ -950,7 +950,7 @@ let test_legacy_render_format () =
     (Obs.Event.render (Block { who = a; on = "sleep" }));
   check Alcotest.string "wake" "wake worker" (Obs.Event.render (Wake { who = a }));
   check Alcotest.string "select" "select worker"
-    (Obs.Event.render (Select { who = a }));
+    (Obs.Event.render (Select { who = a; cpu = 0 }));
   check Alcotest.string "exit ok" "exit worker"
     (Obs.Event.render (Exit { who = a; failure = None }));
   check Alcotest.string "exit failure" "exit worker (boom)"

@@ -621,16 +621,16 @@ let test_scoped_updates_on_block_wake () =
       ignore (Lottery_sched.fund_thread ls th ~amount:100 ~from:base))
     threads;
   (* one settling select drains the creation-time funding events *)
-  ignore (s.Types.select ());
+  ignore (s.Types.select ~cpu:0);
   let fr0 = Lottery_sched.full_refreshes ls in
   let su0 = Lottery_sched.scoped_weight_updates ls in
   let cycles = 10 in
   for i = 1 to cycles do
     let th = threads.(i * 3 mod n) in
     s.Types.unready th;
-    ignore (s.Types.select ());
+    ignore (s.Types.select ~cpu:0);
     s.Types.ready th;
-    ignore (s.Types.select ())
+    ignore (s.Types.select ~cpu:0)
   done;
   checki "steady-state selects never fall back to a full refresh" fr0
     (Lottery_sched.full_refreshes ls);
