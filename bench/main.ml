@@ -940,6 +940,62 @@ let smp_fairness_rows () =
     ("smp/per-shard-chisq-fail", if minp >= 0.01 then 0. else 1.);
   ]
 
+(* --- service family: arrival generation + admission control ------------ *)
+
+(* The per-request costs the service layer adds on top of the kernel: one
+   interarrival draw per open-loop request (an exponential deviate for
+   Poisson; deviates plus the state walk for MMPP) and one admission
+   decision per send on a bounded port (an int compare against the queue
+   length). Both run under the allocation measure as well as the clock —
+   a service layer that allocated per arrival would own the minor heap at
+   10^5 req/s horizons, so the budget pins the words at fit noise. *)
+let service_arrival_test name profile =
+  let rng = Core.Rng.create ~seed:41 () in
+  let g = Core.Service.Arrivals.create ~rng profile in
+  Test.make
+    ~name:(Printf.sprintf "arrival-%s" name)
+    (Staged.stage (fun () -> ignore (Core.Service.Arrivals.next_gap_us g)))
+
+(* the admission decision on a saturated port: four clients parked in
+   [rpc] fill a capacity-4 queue (no server ever receives), then every
+   measured operation asks whether the next send would shed *)
+let service_shed_test () =
+  let rng = Core.Rng.create ~seed:43 () in
+  let ls = Core.Lottery_sched.create ~rng () in
+  let k = Core.Kernel.create ~sched:(Core.Lottery_sched.sched ls) () in
+  let port =
+    Core.Kernel.create_port ~capacity:4 ~shed:Core.Types.Reject_new k
+      ~name:"svc"
+  in
+  for i = 1 to 4 do
+    let c =
+      Core.Kernel.spawn k ~name:(Printf.sprintf "c%d" i) (fun () ->
+          ignore (Core.Api.rpc port "x"))
+    in
+    ignore
+      (Core.Lottery_sched.fund_thread ls c ~amount:100
+         ~from:(Core.Lottery_sched.base_currency ls))
+  done;
+  ignore (Core.Kernel.run k ~until:(Core.Time.ms 10));
+  assert (Core.Kernel.port_would_shed port);
+  Test.make ~name:"shed-decision"
+    (Staged.stage (fun () -> ignore (Core.Kernel.port_would_shed port)))
+
+let service_tests () =
+  Test.make_grouped ~name:"service"
+    [
+      service_arrival_test "poisson" (Core.Service.Arrivals.Poisson 1000.);
+      service_arrival_test "mmpp"
+        (Core.Service.Arrivals.Mmpp
+           {
+             calm_per_s = 500.;
+             burst_per_s = 2000.;
+             calm_ms = 750.;
+             burst_ms = 250.;
+           });
+      service_shed_test ();
+    ]
+
 (* PRNG draw cost (the paper's Appendix A argues ~10 RISC instructions) *)
 let prng_test algo name =
   let rng = Core.Rng.create ~algo ~seed:3 () in
@@ -1139,6 +1195,14 @@ let hotpath_rows () =
   @ vs_tree "cumul" 1_000_000 "1e6"
   @ vs_tree "alias" 1_000_000 "1e6"
 
+(* the service family runs under both measures: wall-ns per arrival draw
+   and per admission decision, plus the service/*:minor-words rows the
+   budget gates *)
+let service_rows () =
+  let res = run_family ~alloc:true (service_tests ()) in
+  result_rows res
+  @ rows_of_measure res (Measure.label Instance.minor_allocated) ":minor-words"
+
 (* the smp family: wall-ns rows for rounds/slices across CPU counts, the
    migration/steal rows under the allocation measure, then the computed
    virtual-throughput and per-shard fairness rows the acceptance gate
@@ -1321,6 +1385,7 @@ let () =
   let run_bench = ref true in
   let run_par = ref false in
   let run_obs = ref false in
+  let run_service = ref false in
   let run_smp = ref false in
   let run_scale = ref false in
   let run_smoke = ref false in
@@ -1348,6 +1413,14 @@ let () =
             run_obs := true),
         " run only the overhead families (obs-overhead/*, hotpath/*, \
          batch-draw/*, draw-quiescent/*)" );
+      ( "--service-only",
+        Arg.Unit
+          (fun () ->
+            run_figures := false;
+            run_bench := false;
+            run_service := true),
+        " run only the service family (service/arrival-*, \
+         service/shed-decision, with :minor-words rows)" );
       ( "--smp-only",
         Arg.Unit
           (fun () ->
@@ -1380,24 +1453,28 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     "bench [--figures-only | --bench-only | --par-only | --obs-only | \
-     --smp-only | --scale-only | --scale-smoke] [--gate FILE] \
-     [--metrics-csv FILE] [--json FILE]";
+     --service-only | --smp-only | --scale-only | --scale-smoke] \
+     [--gate FILE] [--metrics-csv FILE] [--json FILE]";
   if !run_smoke then begin
     scale_smoke ();
     exit 0
   end;
   if !run_figures then figures ();
   let want_obs = !run_bench || !run_obs || !gate_budget <> "" in
+  let want_service = !run_bench || !run_service || !gate_budget <> "" in
   let want_smp = !run_bench || !run_smp || !gate_budget <> "" in
-  if !run_bench || !run_par || !run_scale || want_obs || want_smp then begin
+  if !run_bench || !run_par || !run_scale || want_obs || want_service || want_smp
+  then begin
     let rows =
       (if !run_bench then result_rows (benchmark ()) else [])
       @ (if want_obs then obs_rows () @ hotpath_rows () else [])
+      @ (if want_service then service_rows () else [])
       @ (if want_smp then smp_rows () else [])
       @ (if !run_scale then scale_rows () else [])
       @ (if !run_par then par_rows () else [])
     in
-    if !run_bench || !run_obs || !run_smp || !run_scale then print_results rows;
+    if !run_bench || !run_obs || !run_service || !run_smp || !run_scale then
+      print_results rows;
     if !metrics_csv <> "" then write_metrics_csv !metrics_csv rows;
     if !metrics_json <> "" then write_metrics_json !metrics_json rows;
     if !gate_budget <> "" then gate ~budget_path:!gate_budget rows

@@ -34,6 +34,14 @@ let entry (type a) e_name descr (run : jobs:int -> cpus:int -> unit -> a)
             Printf.printf "  [csv written to %s]\n" path);
   }
 
+let service_horizon () =
+  match Sys.getenv_opt "LOTTO_SERVICE_HORIZON_S" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Some (n * 1_000_000)
+      | _ -> None)
+  | None -> None
+
 let experiments =
   [
     entry "fig4" "relative rate accuracy (2 tasks, ratios 1..10)"
@@ -93,6 +101,21 @@ let experiments =
     entry "mc-convergence" "ablation: Monte-Carlo funding function exponent"
       (fun ~jobs ~cpus:_ () -> Lotto_exp.Ablation_mc.run ~jobs ())
       Lotto_exp.Ablation_mc.print Lotto_exp.Ablation_mc.to_csv;
+    (* CI's smoke step shortens the service experiments through
+       LOTTO_SERVICE_HORIZON_S; unset, they run at full published scale. *)
+    entry "service-insulation"
+      "tenant insulation under saturation (bounded ports, per-tenant SLOs)"
+      (fun ~jobs:_ ~cpus:_ () ->
+        Lotto_exp.Service_insulation.run ?horizon:(service_horizon ()) ())
+      Lotto_exp.Service_insulation.print Lotto_exp.Service_insulation.to_csv;
+    entry "service-vs-decay" "multi-tenant SLOs: lottery currencies vs decay-usage"
+      (fun ~jobs:_ ~cpus:_ () ->
+        Lotto_exp.Service_vs_decay.run ?horizon:(service_horizon ()) ())
+      Lotto_exp.Service_vs_decay.print Lotto_exp.Service_vs_decay.to_csv;
+    entry "service-capacity" "capacity-planning curves: shed fraction vs offered load"
+      (fun ~jobs ~cpus:_ () ->
+        Lotto_exp.Service_capacity.run ?horizon:(service_horizon ()) ~jobs ())
+      Lotto_exp.Service_capacity.print Lotto_exp.Service_capacity.to_csv;
     entry "smp-fairness" "global vs sharded lottery fairness on a multi-CPU kernel"
       (fun ~jobs:_ ~cpus () ->
         (* --cpus 1 (the do-nothing default) leaves the experiment at its

@@ -169,7 +169,53 @@ let sem =
         done);
   }
 
-let all = [ rpc; scatter; mutex; cond; sem ]
+let service =
+  {
+    name = "service";
+    horizon = Time.seconds 30;
+    build =
+      (fun ctx ->
+        let k = ctx.kernel in
+        (* worker pool behind a bounded drop-oldest port: the offered load
+           overruns the queue, so admission control sheds while the
+           injector kills workers and clients mid-flight. Each surviving
+           client closes its own books — every request it issued must end
+           served or shed; anything else is a real accounting bug. *)
+        let p = Kernel.create_port ~capacity:4 ~shed:Drop_oldest k ~name:"svc" in
+        for i = 1 to 3 do
+          let srv =
+            Kernel.spawn k ~name:(Printf.sprintf "worker%d" i) (fun () ->
+                for _ = 1 to 10 do
+                  let m = Api.receive p in
+                  ctx.point ();
+                  Api.compute_ms 3;
+                  Api.reply m "ok"
+                done)
+          in
+          fund ctx srv 300
+        done;
+        for i = 1 to 4 do
+          let c =
+            Kernel.spawn k ~name:(Printf.sprintf "client%d" i) (fun () ->
+                let served = ref 0 and shed = ref 0 in
+                for j = 1 to 8 do
+                  ctx.point ();
+                  (match Api.rpc p (Printf.sprintf "c%d-%d" i j) with
+                  | (_ : string) -> incr served
+                  | exception Rejected _ -> incr shed);
+                  Api.compute_ms 1
+                done;
+                (* a killed client never reaches this line (Killed unwinds
+                   it), so the check only fires for clients that ran their
+                   full loop — where it must hold exactly *)
+                if !served + !shed <> 8 then
+                  failwith "service: request neither served nor shed")
+          in
+          fund ctx c (50 * i)
+        done);
+  }
+
+let all = [ rpc; scatter; mutex; cond; sem; service ]
 
 (* The historical reply-after-kill bug, reintroduced on purpose: this
    server front-end raises into the server whenever the client died before

@@ -32,8 +32,15 @@ val cond : t
 val sem : t
 (** Workers sharing a two-permit counting semaphore. *)
 
+val service : t
+(** A worker pool behind a bounded [Drop_oldest] port under overrunning
+    clients: admission control sheds while workers and clients are killed,
+    and every surviving client asserts its requests all ended served or
+    shed. Exercises the kill-style [Rejected] unwind next to real kill
+    faults. *)
+
 val all : t list
-(** The five healthy scenarios above — everything a soak sweeps by
+(** The six healthy scenarios above — everything a soak sweeps by
     default. *)
 
 val rpc_buggy : t

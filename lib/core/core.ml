@@ -18,6 +18,9 @@
     - workloads ({!Spinner}, {!Monte_carlo}, {!Db}, {!Corpus}, {!Video},
       {!Mutex_workload}) and space-shared managers ({!Inverse_memory},
       {!Io_bandwidth});
+    - {!Service}: the multi-tenant serving stack — open-loop arrival
+      generators, bounded RPC ports with overload shedding, per-tenant
+      SLO accounting;
     - {!Experiments}: one runnable module per figure/table of the paper's
       evaluation, with {!Pool} fanning independent replications out across
       domains (index-merged, byte-identical to sequential).
@@ -95,6 +98,16 @@ module Video = Lotto_workloads.Video
 module Mutex_workload = Lotto_workloads.Mutex_workload
 module Disk_service = Lotto_workloads.Disk_service
 
+(* Multi-tenant service layer: open-loop load, admission control, SLOs *)
+module Service = struct
+  module Arrivals = Lotto_service.Arrivals
+  module Tenant = Lotto_service.Tenant
+  module Pool = Lotto_service.Pool
+  module Client = Lotto_service.Client
+  module Slo = Lotto_service.Slo
+  module Harness = Lotto_service.Service
+end
+
 (* Space-shared resources *)
 module Inverse_memory = Lotto_res.Inverse_memory
 module Io_bandwidth = Lotto_res.Io_bandwidth
@@ -128,4 +141,7 @@ module Experiments = struct
   module Manager_exp = Lotto_exp.Manager_exp
   module Disk_service_exp = Lotto_exp.Disk_service_exp
   module Search_length = Lotto_exp.Search_length
+  module Service_insulation = Lotto_exp.Service_insulation
+  module Service_vs_decay = Lotto_exp.Service_vs_decay
+  module Service_capacity = Lotto_exp.Service_capacity
 end

@@ -26,6 +26,15 @@ type t =
       total_weight : float;
     }
   | Rpc_reply_dropped of { who : actor; client : actor; msg_id : int; reason : string }
+  | Rpc_shed of {
+      who : actor;  (** the request's sender (new arrival or evicted victim) *)
+      port : string;
+      msg_id : int;
+      reason : string;  (** ["reject-new"], ["drop-oldest"] or ["no-victim"] *)
+      parent : int option;
+          (** like {!Rpc_send}: the span the sender was itself servicing, so
+              rejected-before-send requests still get a well-parented span *)
+    }
   | Fault_injected of { who : actor; fault : string }
   | Invariant_violation of { who : actor; what : string }
 
@@ -48,6 +57,7 @@ let who = function
   | Rpc_reply { who; _ }
   | Resource_draw { who; _ }
   | Rpc_reply_dropped { who; _ }
+  | Rpc_shed { who; _ }
   | Fault_injected { who; _ }
   | Invariant_violation { who; _ } -> who
   | Donate { src; _ } -> src
@@ -68,6 +78,7 @@ let tag = function
   | Rpc_reply _ -> "rpc-reply"
   | Resource_draw _ -> "resource-draw"
   | Rpc_reply_dropped _ -> "rpc-reply-dropped"
+  | Rpc_shed _ -> "rpc-shed"
   | Fault_injected _ -> "fault-injected"
   | Invariant_violation _ -> "invariant-violation"
 
@@ -103,6 +114,8 @@ let detail = function
         total_weight
   | Rpc_reply_dropped { client; msg_id; reason; _ } ->
       Printf.sprintf "-> %s #%d (%s)" client.tname msg_id reason
+  | Rpc_shed { port; msg_id; reason; _ } ->
+      Printf.sprintf "%s #%d (%s)" port msg_id reason
   | Fault_injected { fault; _ } -> fault
   | Invariant_violation { what; _ } -> what
 

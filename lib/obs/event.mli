@@ -66,6 +66,20 @@ type t =
           been killed (or otherwise abandoned the request): the reply was
           discarded instead of being delivered — the traced no-op that
           replaces the historical [Invalid_argument] in the server *)
+  | Rpc_shed of {
+      who : actor;
+      port : string;
+      msg_id : int;
+      reason : string;
+      parent : int option;
+    }
+      (** admission control on a bounded port shed request [msg_id]: [who]
+          is the request's sender — the arriving client under
+          ["reject-new"]/["no-victim"], the evicted victim under
+          ["drop-oldest"]. [parent] mirrors {!Rpc_send} (the span the
+          sender was servicing when it sent), so a request rejected before
+          any [Rpc_send] was emitted still opens a correctly-parented span
+          that {!Span} immediately marks [Dropped]. *)
   | Fault_injected of { who : actor; fault : string }
       (** a {!Lotto_chaos} injector perturbed the run at a scheduling
           boundary; [who] is the affected thread (or {!kernel_actor} for

@@ -34,12 +34,18 @@ type row = {
   mutable lock_contended : int;
   mutable rpcs : int;
   mutable rpcs_served : int;
+  mutable rpcs_shed : int;
   wait_h : Hdr.t;
   dispatch_h : Hdr.t;
   wait_raw : Samples.t option;
   dispatch_raw : Samples.t option;
   mutable blocked_since : int option;
   mutable runnable_since : int option;
+  q_used : (int, int) Hashtbl.t;
+      (** CPU ticks received, keyed by the quantum in force when they were
+          granted: the chi-square bins each thread's time into slices of
+          the quantum it actually ran under, so runs that change quantum
+          mid-stream don't under-count early threads *)
 }
 
 type t = {
@@ -70,12 +76,14 @@ let row t (a : Event.actor) =
           lock_contended = 0;
           rpcs = 0;
           rpcs_served = 0;
+          rpcs_shed = 0;
           wait_h = make_hdr ();
           dispatch_h = make_hdr ();
           wait_raw = (if t.raw then Some (Samples.create ()) else None);
           dispatch_raw = (if t.raw then Some (Samples.create ()) else None);
           blocked_since = None;
           runnable_since = None;
+          q_used = Hashtbl.create 4;
         }
       in
       Hashtbl.replace t.rows a.Event.tid r;
@@ -101,6 +109,11 @@ let on_event t time ev =
   | Event.Preempt { who; used; quantum; why } -> (
       let r = row t who in
       r.quanta <- r.quanta + used;
+      if quantum > 0 then begin
+        (match Hashtbl.find_opt r.q_used quantum with
+        | Some acc -> Hashtbl.replace r.q_used quantum (acc + used)
+        | None -> Hashtbl.add r.q_used quantum used)
+      end;
       if quantum > t.quantum_us then t.quantum_us <- quantum;
       match why with
       | Event.End_quantum | Event.End_yield | Event.End_horizon ->
@@ -136,6 +149,9 @@ let on_event t time ev =
       let r = row t who in
       r.rpcs_served <- r.rpcs_served + 1
   | Event.Rpc_reply _ -> ()
+  | Event.Rpc_shed { who; _ } ->
+      let r = row t who in
+      r.rpcs_shed <- r.rpcs_shed + 1
   | Event.Resource_draw _ -> ()
   | Event.Rpc_reply_dropped _ -> ()
   | Event.Fault_injected _ -> ()
@@ -164,6 +180,7 @@ type snapshot = {
   lock_contended : int;
   rpcs : int;
   rpcs_served : int;
+  rpcs_shed : int;
   wait : Hdr.t;
   dispatch : Hdr.t;
   wait_us : float array;
@@ -186,6 +203,7 @@ let snapshots t =
            lock_contended = r.lock_contended;
            rpcs = r.rpcs;
            rpcs_served = r.rpcs_served;
+           rpcs_shed = r.rpcs_shed;
            wait = Hdr.copy r.wait_h;
            dispatch = Hdr.copy r.dispatch_h;
            wait_us =
@@ -207,6 +225,20 @@ type share = {
 }
 
 let fairness t ~entitled =
+  (* Dedupe by tid, first entry wins: a tid listed twice maps to the same
+     row, so keeping both entries would sum that row's quanta twice into
+     [total_q] and give the thread two cells in the chi-square. *)
+  let seen = Hashtbl.create (List.length entitled) in
+  let entitled =
+    List.filter
+      (fun (tid, _) ->
+        if Hashtbl.mem seen tid then false
+        else begin
+          Hashtbl.add seen tid ();
+          true
+        end)
+      entitled
+  in
   let compared =
     List.filter_map
       (fun (tid, weight) ->
@@ -239,9 +271,17 @@ let fairness t ~entitled =
        || List.exists (fun (_, w) -> w <= 0.) compared
     then None
     else begin
+      (* Quantum-weighted slice count: each chunk of CPU time is divided by
+         the quantum it was granted under, so a run that changes quantum
+         mid-stream (e.g. the quantum ablation) bins every thread's time at
+         its own granularity instead of under-counting early threads by the
+         largest quantum seen. For homogeneous-quantum runs this is exactly
+         the historical [round (quanta / quantum_us)]. *)
       let slices (r : row) =
-        int_of_float
-          (Float.round (float_of_int r.quanta /. float_of_int t.quantum_us))
+        Hashtbl.fold
+          (fun q used acc ->
+            acc + int_of_float (Float.round (float_of_int used /. float_of_int q)))
+          r.q_used 0
       in
       let observed = Array.of_list (List.map (fun (r, _) -> slices r) compared) in
       let total = Array.fold_left ( + ) 0 observed in
@@ -361,6 +401,8 @@ let to_prom ?(namespace = "lotto") t =
   counter "rpcs_sent_total" "RPC requests sent." (fun s -> s.rpcs);
   counter "rpcs_served_total" "RPC requests picked up for service." (fun s ->
       s.rpcs_served);
+  counter "rpcs_shed_total" "RPC requests shed by bounded-port admission."
+    (fun s -> s.rpcs_shed);
   let summary_metric name help get =
     Buffer.add_string buf
       (Printf.sprintf "# HELP %s_%s %s\n# TYPE %s_%s summary\n" namespace name

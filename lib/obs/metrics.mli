@@ -40,6 +40,7 @@ type snapshot = {
   lock_contended : int;  (** acquisitions that had to queue *)
   rpcs : int;  (** requests sent *)
   rpcs_served : int;  (** requests picked up for service *)
+  rpcs_shed : int;  (** requests shed by bounded-port admission control *)
   wait : Hdr.t;  (** block → wake durations (private copy) *)
   dispatch : Hdr.t;  (** runnable → selected durations (private copy) *)
   wait_us : float array;
@@ -65,7 +66,8 @@ type share = {
 val fairness : t -> entitled:(int * float) list -> share list * float option
 (** [fairness m ~entitled] compares observed CPU shares against the given
     [(tid, weight)] entitlements (weights need not be normalized; threads
-    not listed are excluded from the comparison). The second component is
+    not listed are excluded from the comparison, and a tid listed more than
+    once counts once — the first entry wins). The second component is
     the chi-square upper-tail p-value of observed CPU time, binned into
     quantum-sized slices, against entitlement-proportional expectations —
     high values mean the allocation is statistically consistent with the

@@ -196,6 +196,9 @@ let to_chrome_json ?(pid = 1) t =
             (args
                [ ("to", str client.Event.tname); ("msg", string_of_int msg_id);
                  ("reason", str reason) ])
+      | Event.Rpc_shed { who; port; msg_id; reason; _ } ->
+          instant ~name:("shed:" ^ port) ~ts ~tid:who.Event.tid
+            (args [ ("msg", string_of_int msg_id); ("reason", str reason) ])
       | Event.Fault_injected { who; fault } ->
           instant ~name:"fault" ~ts ~tid:who.Event.tid (args [ ("fault", str fault) ])
       | Event.Invariant_violation { who; what } ->

@@ -74,6 +74,13 @@ let is_terminal = function
   | Closed | Dropped _ | Orphaned _ -> true
   | Pending | Serving -> false
 
+let status_tag = function
+  | Pending -> "pending"
+  | Serving -> "serving"
+  | Closed -> "closed"
+  | Dropped r -> "dropped: " ^ r
+  | Orphaned r -> "orphaned: " ^ r
+
 (* a span leaves the in-flight books: forget it on both endpoints and,
    once [Closed]/[Dropped] (no further events possible), queue it for
    eviction. [Orphaned] spans can still see a late [Rpc_reply_dropped]
@@ -186,6 +193,55 @@ let on_event t now ev =
               settle t s
           | Closed | Dropped _ ->
               violation t (Printf.sprintf "span #%d dropped after close" msg_id)))
+  | Event.Rpc_shed { who; port; msg_id; reason; parent } -> (
+      match Hashtbl.find_opt t.tbl msg_id with
+      | None ->
+          (* rejected before any [Rpc_send] was emitted (reject-new /
+             no-victim): open the span here so every shed request is
+             visible in traces, and close it immediately *)
+          let s =
+            {
+              id = msg_id;
+              port;
+              client = who;
+              parent;
+              sent_at = now;
+              server = None;
+              recv_at = None;
+              closed_at = Some now;
+              status = Dropped ("shed: " ^ reason);
+              children = [];
+            }
+          in
+          Hashtbl.replace t.tbl msg_id s;
+          t.total <- t.total + 1;
+          t.n_dropped <- t.n_dropped + 1;
+          (match parent with
+          | None -> ()
+          | Some p -> (
+              match Hashtbl.find_opt t.tbl p with
+              | Some ps -> ps.children <- msg_id :: ps.children
+              | None -> ()));
+          settle t s
+      | Some s -> (
+          match s.status with
+          | Pending ->
+              (* a queued request evicted by drop-oldest *)
+              s.status <- Dropped ("shed: " ^ reason);
+              s.closed_at <- Some now;
+              t.n_dropped <- t.n_dropped + 1;
+              settle t s
+          | Orphaned _ ->
+              (* the sender died first; eviction resolves it for good *)
+              s.status <- Dropped ("shed: " ^ reason);
+              s.closed_at <- Some now;
+              t.n_orphaned <- t.n_orphaned - 1;
+              t.n_dropped <- t.n_dropped + 1;
+              settle t s
+          | Serving | Closed | Dropped _ ->
+              violation t
+                (Printf.sprintf "span #%d shed while %s" msg_id
+                   (status_tag s.status))))
   | Event.Exit { who; _ } ->
       let tid = who.Event.tid in
       (match Hashtbl.find_opt t.serving tid with
@@ -270,13 +326,6 @@ let stats t =
     st_orphaned = t.n_orphaned;
     st_open = t.total - t.n_closed - t.n_dropped - t.n_orphaned;
   }
-
-let status_tag = function
-  | Pending -> "pending"
-  | Serving -> "serving"
-  | Closed -> "closed"
-  | Dropped r -> "dropped: " ^ r
-  | Orphaned r -> "orphaned: " ^ r
 
 let to_chrome_json ?(pid = 1) t =
   let buf = Buffer.create 4096 in

@@ -11,6 +11,10 @@
     - [Rpc_recv] marks it served (some server thread is working on it),
     - [Rpc_reply] closes it,
     - [Rpc_reply_dropped] closes it as {!Dropped},
+    - [Rpc_shed] closes it as {!Dropped} (admission control on a bounded
+      port evicted a queued request, or — for a request rejected before
+      its [Rpc_send] — opens and immediately drops the span, so shed
+      traffic is never invisible in traces),
     - [Exit] of either endpoint flags it {!Orphaned} — a span is never
       silently leaked, which the chaos soak asserts over kill-heavy runs.
 
@@ -22,8 +26,10 @@ type status =
   | Serving  (** picked up, reply outstanding *)
   | Closed  (** replied normally *)
   | Dropped of string
-      (** the server replied but delivery was impossible (client dead);
-          reason as carried on [Rpc_reply_dropped] *)
+      (** the server replied but delivery was impossible (client dead),
+          reason as carried on [Rpc_reply_dropped] — or admission control
+          shed the request, reason ["shed: <policy>"] as carried on
+          [Rpc_shed] *)
   | Orphaned of string
       (** an endpoint died (or the run ended) before the reply: flagged,
           not leaked. Reasons: ["client died"], ["server died"],

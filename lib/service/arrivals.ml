@@ -1,0 +1,86 @@
+module Rng = Lotto_prng.Rng
+
+type profile =
+  | Poisson of float
+  | Mmpp of {
+      calm_per_s : float;
+      burst_per_s : float;
+      calm_ms : float;
+      burst_ms : float;
+    }
+
+let validate = function
+  | Poisson r ->
+      if not (r > 0.) then invalid_arg "Arrivals: Poisson rate must be > 0"
+  | Mmpp { calm_per_s; burst_per_s; calm_ms; burst_ms } ->
+      if
+        not
+          (calm_per_s > 0. && burst_per_s > 0. && calm_ms > 0. && burst_ms > 0.)
+      then invalid_arg "Arrivals: Mmpp parameters must be > 0"
+
+let mean_rate_per_s = function
+  | Poisson r -> r
+  | Mmpp { calm_per_s; burst_per_s; calm_ms; burst_ms } ->
+      (* time-weighted average of the two state rates *)
+      ((calm_per_s *. calm_ms) +. (burst_per_s *. burst_ms))
+      /. (calm_ms +. burst_ms)
+
+type t =
+  | P of { rng : Rng.t; mean_us : float }
+  | M of {
+      rng : Rng.t;
+      mean_us : float array;  (** per-state mean interarrival, µs *)
+      sojourn_us : float array;  (** per-state mean sojourn, µs *)
+      mutable state : int;
+      mutable until_switch : float;  (** µs left in the current state *)
+    }
+
+let create ~rng profile =
+  validate profile;
+  match profile with
+  | Poisson r -> P { rng; mean_us = 1e6 /. r }
+  | Mmpp { calm_per_s; burst_per_s; calm_ms; burst_ms } ->
+      let sojourn_us = [| calm_ms *. 1e3; burst_ms *. 1e3 |] in
+      let m =
+        M
+          {
+            rng;
+            mean_us = [| 1e6 /. calm_per_s; 1e6 /. burst_per_s |];
+            sojourn_us;
+            state = 0;
+            until_switch = 0.;
+          }
+      in
+      (match m with
+      | M s -> s.until_switch <- Rng.exponential rng ~mean:sojourn_us.(0)
+      | P _ -> assert false);
+      m
+
+let next_gap_us t =
+  let gap =
+    match t with
+    | P { rng; mean_us } -> Rng.exponential rng ~mean:mean_us
+    | M s ->
+        (* Walk exponential candidate gaps across state switches: thanks to
+           memorylessness, a candidate that overshoots the switch point is
+           discarded and redrawn at the boundary under the new state's
+           rate, which is exactly the MMPP law. *)
+        let consumed = ref 0. in
+        let gap = ref (-1.) in
+        while !gap < 0. do
+          let cand = Rng.exponential s.rng ~mean:s.mean_us.(s.state) in
+          if cand <= s.until_switch then begin
+            s.until_switch <- s.until_switch -. cand;
+            gap := !consumed +. cand
+          end
+          else begin
+            consumed := !consumed +. s.until_switch;
+            s.state <- 1 - s.state;
+            s.until_switch <-
+              Rng.exponential s.rng ~mean:s.sojourn_us.(s.state)
+          end
+        done;
+        !gap
+  in
+  let g = int_of_float gap in
+  if g < 1 then 1 else g

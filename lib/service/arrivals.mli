@@ -1,0 +1,39 @@
+(** Open-loop arrival generators in virtual time.
+
+    An open-loop source fires requests on its own schedule, independent of
+    how fast the service drains them — the load model behind every heavy-
+    traffic claim in the service layer (closed-loop clients self-throttle
+    under overload and hide saturation). Two processes are provided:
+
+    - {!Poisson}: memoryless arrivals at a fixed rate;
+    - {!Mmpp}: a 2-state Markov-modulated Poisson process (calm/burst), the
+      standard bursty-traffic model — exponential sojourns in each state,
+      Poisson arrivals at the state's rate.
+
+    Generators draw from the {!Lotto_prng.Rng} stream they are created
+    with, so a split stream per tenant makes every arrival schedule
+    deterministic per seed and independent of other tenants. *)
+
+type profile =
+  | Poisson of float  (** arrivals per virtual second; must be positive *)
+  | Mmpp of {
+      calm_per_s : float;  (** arrival rate in the calm state *)
+      burst_per_s : float;  (** arrival rate in the burst state *)
+      calm_ms : float;  (** mean sojourn in the calm state, ms *)
+      burst_ms : float;  (** mean sojourn in the burst state, ms *)
+    }
+
+val mean_rate_per_s : profile -> float
+(** Long-run average arrival rate (for capacity planning against a
+    tenant's entitled service rate). *)
+
+type t
+
+val create : rng:Lotto_prng.Rng.t -> profile -> t
+(** Raises [Invalid_argument] on non-positive rates or sojourns. *)
+
+val next_gap_us : t -> int
+(** Draw the next interarrival gap in µs of virtual time (at least 1),
+    advancing the generator. An MMPP generator resamples across state
+    switches using memorylessness, so gaps spanning a switch follow the
+    modulated law exactly. *)

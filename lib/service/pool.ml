@@ -1,0 +1,33 @@
+open Lotto_sim
+
+type t = {
+  port : Types.port;
+  workers : Types.thread list;
+}
+
+let spawn k ~(spec : Tenant.spec) ?(on_served = fun () -> ()) () =
+  let port =
+    Kernel.create_port ~capacity:spec.capacity ~shed:spec.shed k
+      ~name:(spec.name ^ ".port")
+  in
+  let worker () =
+    (* Workers run for the whole simulation; the kernel stops them at the
+       horizon. A worker killed mid-request (chaos) simply dies — the
+       client's ticket transfer is withdrawn and the reply, if it ever
+       comes from a sibling, is dropped as traced. *)
+    while true do
+      let msg = Api.receive port in
+      Api.compute spec.service;
+      on_served ();
+      Api.reply msg "ok"
+    done
+  in
+  let workers =
+    List.init spec.workers (fun i ->
+        Kernel.spawn k ~name:(Printf.sprintf "%s.w%d" spec.name i) worker)
+  in
+  { port; workers }
+
+let port t = t.port
+let workers t = t.workers
+let shed_count t = Kernel.port_shed_count t.port

@@ -1,0 +1,25 @@
+(** Worker pool: server threads draining a tenant's bounded RPC port.
+
+    Each worker loops receive → compute the per-request service time →
+    [on_served] hook → reply ["ok"]. The port is created with the spec's
+    capacity and shed policy, so admission control happens in the kernel
+    before a request ever reaches a worker. *)
+
+type t
+
+val spawn :
+  Lotto_sim.Kernel.t ->
+  spec:Tenant.spec ->
+  ?on_served:(unit -> unit) ->
+  unit ->
+  t
+(** Create the port and spawn [spec.workers] server threads. [on_served]
+    runs in worker context after the service computation and before the
+    reply (the service harness uses it to submit the tenant's I/O). The
+    caller is responsible for funding the worker threads. *)
+
+val port : t -> Lotto_sim.Types.port
+val workers : t -> Lotto_sim.Types.thread list
+
+val shed_count : t -> int
+(** Kernel-side count of requests shed at this pool's port. *)

@@ -16,7 +16,11 @@ val sleep_ms : int -> unit
 val rpc : Types.port -> string -> string
 (** Synchronous remote procedure call: enqueue a request and block until a
     server thread replies. While blocked, the caller's resource rights fund
-    the server (ticket transfer, paper §4.6). *)
+    the server (ticket transfer, paper §4.6). On a bounded port
+    ({!Kernel.create_port} with [~capacity]) admission control may raise
+    {!Types.Rejected} instead — immediately under [Reject_new], or later
+    (while blocked, delivered kill-style) when a [Drop_oldest] port evicts
+    this call's queued request to admit a newer one. *)
 
 val rpc_many : (Types.port * string) list -> string list
 (** Scatter-gather RPC (the paper's divided ticket transfers, §3.1): send

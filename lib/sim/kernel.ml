@@ -140,9 +140,19 @@ let spawn k ~name body =
   if observed k then emit k (Obs.Event.Spawn { who = actor th });
   th
 
-let create_port k ~name =
+let create_port ?(capacity = max_int) ?(shed = Reject_new) k ~name =
+  if capacity < 1 then invalid_arg "Kernel.create_port: capacity must be >= 1";
   let p =
-    { port_id = fresh_id k; port_name = name; queue = Queue.create (); waiters = Queue.create () }
+    {
+      port_id = fresh_id k;
+      port_name = name;
+      queue = Queue.create ();
+      waiters = Queue.create ();
+      capacity;
+      shed;
+      shed_count = 0;
+      rej = Rejected name;
+    }
   in
   Vec.push k.ports_v p;
   p
@@ -185,6 +195,53 @@ let unblock k th =
   th.state <- Runnable;
   k.sched.ready th;
   if observed k then emit k (Obs.Event.Wake { who = actor th })
+
+(* --- bounded-port admission ------------------------------------------- *)
+
+(* A waiter entry is live only while its thread still sits in
+   [Waiting_recv]; entries for threads that caught [Killed] and moved on
+   are skipped here exactly as [deliver_or_queue] skips them. *)
+let port_has_live_waiter p =
+  Queue.fold
+    (fun acc w ->
+      acc || (match w.pending with Waiting_recv _ -> true | _ -> false))
+    false p.waiters
+
+(* The admission predicate for a plain [Api.rpc]: a message is shed only
+   when it would have to queue (no live server waiting) and the queue is
+   already at capacity. One int compare on the unbounded default. *)
+let port_would_shed p =
+  Queue.length p.queue >= p.capacity && not (port_has_live_waiter p)
+
+(* Pop the oldest evictable queued message under [Drop_oldest]. Scatter
+   shards ([Api.rpc_many] senders, blocked in [Waiting_replies]) are never
+   evicted — partially-shedding a gather has no sensible client-side
+   story — so eviction candidates are single-shot requests, live
+   ([Waiting_reply]) or stale (sender dead or moved on). The head of the
+   queue is almost always evictable; the rebuild below only runs when a
+   scatter shard is oldest. *)
+let take_oldest_victim p =
+  let evictable m =
+    match m.sender.pending with Waiting_replies _ -> false | _ -> true
+  in
+  match Queue.peek_opt p.queue with
+  | None -> None
+  | Some m when evictable m ->
+      ignore (Queue.pop p.queue);
+      Some m
+  | Some _ ->
+      let keep = Queue.create () in
+      let victim = ref None in
+      Queue.iter
+        (fun m ->
+          if Option.is_none !victim && evictable m then victim := Some m
+          else Queue.push m keep)
+        p.queue;
+      Queue.clear p.queue;
+      Queue.transfer keep p.queue;
+      !victim
+
+let port_shed_count p = p.shed_count
 
 (* remove the first element satisfying [p]; the rest keep their order *)
 let remove_one p lst =
@@ -608,11 +665,17 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
         `Blocked
       end
   | S_rpc (p, payload, kc) ->
-      let msg = { msg_id = fresh_id k; sender = th; payload; sent_at = k.now; slot = 0 } in
-      th.pending <- Waiting_reply { k = kc };
-      block k th ~on:"rpc";
-      deliver_or_queue k th p msg;
-      `Blocked
+      (* the id is consumed whether or not the request is admitted, so a
+         bounded run's id stream matches the same run traced or untraced *)
+      let id = fresh_id k in
+      if port_would_shed p then shed_rpc k th p ~id ~payload kc
+      else begin
+        let msg = { msg_id = id; sender = th; payload; sent_at = k.now; slot = 0 } in
+        th.pending <- Waiting_reply { k = kc };
+        block k th ~on:"rpc";
+        deliver_or_queue k th p msg;
+        `Blocked
+      end
   | S_recv (p, kc) -> (
       match Queue.take_opt p.queue with
       | Some msg ->
@@ -660,6 +723,61 @@ and handle_step k th (s : step) : [ `Continue | `Blocked | `Exited | `Yielded ] 
         block k th ~on:"sem";
         `Blocked
       end
+
+(* Admission control refused [th]'s request on full port [p]: bounce the
+   new request (reject-new, or drop-oldest finding nothing evictable), or
+   evict the oldest queued single-shot request and admit the new one. *)
+and shed_rpc k th p ~id ~payload kc =
+  match p.shed with
+  | Reject_new -> reject_rpc k th p ~id ~reason:"reject-new" kc
+  | Drop_oldest -> (
+      match take_oldest_victim p with
+      | None -> reject_rpc k th p ~id ~reason:"no-victim" kc
+      | Some victim ->
+          p.shed_count <- p.shed_count + 1;
+          if observed k then
+            emit k
+              (Obs.Event.Rpc_shed
+                 { who = actor victim.sender; port = p.port_name;
+                   msg_id = victim.msg_id; reason = "drop-oldest";
+                   parent =
+                     (match victim.sender.servicing with
+                     | [] -> None
+                     | s :: _ -> Some s) });
+          (* admit the new request before unwinding the victim, so the
+             queue never overshoots capacity if the victim's body catches
+             [Rejected] and immediately retries *)
+          let msg = { msg_id = id; sender = th; payload; sent_at = k.now; slot = 0 } in
+          th.pending <- Waiting_reply { k = kc };
+          block k th ~on:"rpc";
+          deliver_or_queue k th p msg;
+          (* deliver [Rejected] into the victim's sender, [kill]-style: the
+             body may catch it and keep going, so fix up catch-and-continue
+             threads that came back runnable without being re-readied *)
+          (match victim.sender.pending with
+          | Waiting_reply { k = vkc } ->
+              let v = victim.sender in
+              if v.state = Blocked then revoke k v;
+              ignore (handle_step k v (Effect.Deep.discontinue vkc p.rej));
+              (match (v.state, v.pending) with
+              | ( Blocked,
+                  ( Not_started _ | Compute _ | Ready_unit _ | Ready_msg _
+                  | Ready_reply _ | Ready_replies _ ) ) ->
+                  unblock k v
+              | _ -> ())
+          | _ -> () (* stale: the sender died or moved on; nothing waits *));
+          `Blocked)
+
+and reject_rpc k th p ~id ~reason kc =
+  p.shed_count <- p.shed_count + 1;
+  if observed k then
+    emit k
+      (Obs.Event.Rpc_shed
+         { who = actor th; port = p.port_name; msg_id = id; reason;
+           parent =
+             (match th.servicing with [] -> None | s :: _ -> Some s) });
+  (* the sender never blocked: [Rejected] surfaces directly in its body *)
+  handle_step k th (Effect.Deep.discontinue kc p.rej)
 
 (* hand a freshly sent message to a live waiting server, or queue it *)
 and deliver_or_queue k sender p msg =
@@ -1192,7 +1310,10 @@ let check_invariants k =
           | _ ->
               vf ~th:w "port %s: waiter %s is not blocked in receive on it"
                 p.port_name w.name)
-        p.waiters);
+        p.waiters;
+      if Queue.length p.queue > p.capacity then
+        vf "port %s: %d queued messages exceed capacity %d" p.port_name
+          (Queue.length p.queue) p.capacity);
   List.rev !out
 
 let failures k =

@@ -51,7 +51,28 @@ val spawn : t -> name:string -> (unit -> unit) -> Types.thread
     call any {!Api} function. Exceptions escaping the body turn the thread
     into a zombie recorded in {!failures}. *)
 
-val create_port : t -> name:string -> Types.port
+val create_port :
+  ?capacity:int -> ?shed:Types.shed_policy -> t -> name:string -> Types.port
+(** [capacity] (default unbounded; must be [>= 1]) bounds how many sent
+    messages may queue unreceived; a plain {!Api.rpc} that would push the
+    queue past it is shed per [shed] (default [Reject_new]): under
+    [Reject_new] the arriving client gets {!Types.Rejected} directly, under
+    [Drop_oldest] the oldest queued single-shot request is evicted (its
+    blocked sender gets [Rejected], kill-style) and the new one admitted.
+    Scatter sends ({!Api.rpc_many}) bypass capacity — both as arrivals and
+    as eviction victims. Every shed emits {!Lotto_obs.Event.Rpc_shed} and
+    bumps {!port_shed_count}. Messages handed directly to a live waiting
+    server never occupy the queue and are admitted regardless of
+    capacity. *)
+
+val port_would_shed : Types.port -> bool
+(** The admission predicate a plain [rpc] is gated on: the port's queue is
+    at capacity and no live server waits in receive. Read-only and
+    allocation-free — benchable as the shed decision cost. *)
+
+val port_shed_count : Types.port -> int
+(** Requests shed at this port so far (both policies). *)
+
 val create_mutex : t -> ?policy:Types.wake_policy -> string -> Types.mutex
 (** [create_mutex k name] with [policy] defaulting to [Fifo]. *)
 

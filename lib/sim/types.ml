@@ -6,6 +6,13 @@
 
 type time = Time.t
 
+exception Rejected of string
+(** Delivered into a client's body when an {!Api.rpc} to a bounded port is
+    shed by admission control: under [Reject_new] the new request bounces
+    immediately; under [Drop_oldest] the evicted request's sender gets it.
+    The payload is the port name. Scatter-gather sends ({!Api.rpc_many})
+    bypass capacity and are never shed. *)
+
 exception Killed
 (** Delivered into a thread's body by {!Kernel.kill}: its exception
     handlers (e.g. [Api.with_lock] cleanup) run before the thread dies. *)
@@ -115,11 +122,23 @@ and message = {
   slot : int;  (** reply position for scatter-gather sends; 0 otherwise *)
 }
 
+and shed_policy =
+  | Reject_new  (** bounce the arriving request; the queue is untouched *)
+  | Drop_oldest
+      (** evict the oldest queued single-shot request to admit the new
+          one (only plain {!Api.rpc} messages are eviction candidates) *)
+
 and port = {
   port_id : int;
   port_name : string;
   queue : message Queue.t;  (** sent but not yet received *)
   waiters : thread Queue.t;  (** server threads blocked in receive *)
+  capacity : int;  (** max queued messages; [max_int] = unbounded *)
+  shed : shed_policy;  (** admission policy once [queue] is full *)
+  mutable shed_count : int;  (** requests shed at this port so far *)
+  rej : exn;
+      (** preallocated [Rejected port_name], so the shed decision path
+          allocates nothing *)
 }
 
 (* ------------------------------------------------------------------ *)

@@ -85,7 +85,7 @@ let test_soak_200_seeds_audited () =
   (* the acceptance soak: >= 200 audited runs across all scenarios *)
   let seeds = Soak.seed_range ~from:0 ~count:40 in
   let r = Soak.soak ~audit:true ~seeds () in
-  checki "40 seeds x 5 scenarios" 200 r.Soak.runs;
+  checki "40 seeds x 6 scenarios" 240 r.Soak.runs;
   (match Soak.first_failure r with
   | None -> ()
   | Some (sc, seed) ->
@@ -153,6 +153,27 @@ let test_span_soak_200_seeds () =
         200 r.Soak.runs)
     [ Scenarios.rpc; Scenarios.scatter ]
 
+let test_service_scenario_soak () =
+  (* the bounded-port service scenario: 200 seeds of kills landing in a
+     worker pool with drop-oldest shedding. Shed accounting (every request
+     served or shed, checked inside the scenario's clients) and span
+     well-formedness (every span closed, dropped or orphaned — shed spans
+     land as Dropped) must survive every fault schedule *)
+  let seeds = Soak.seed_range ~from:0 ~count:200 in
+  let r = Soak.soak ~audit:true ~scenarios:[ Scenarios.service ] ~seeds () in
+  (match Soak.first_failure r with
+  | None -> ()
+  | Some (name, seed) ->
+      Alcotest.failf "service soak failed: scenario=%s seed=%d\n%s" name seed
+        (Soak.report_to_string r));
+  checki "200 runs" 200 r.Soak.runs;
+  let o = Soak.run_one Scenarios.service ~seed:11 in
+  checkb "clean single run" false (Soak.failed o);
+  let st = o.Soak.span_stats in
+  checkb "spans traced" true (st.Lotto_obs.Span.st_total > 0);
+  checki "no span leaked" st.st_total
+    (st.st_closed + st.st_dropped + st.st_orphaned)
+
 let test_soak_multi_cpu () =
   (* the sharded scheduler under fault injection, with the combined audit
      (kernel + funding + sharding) at every boundary *)
@@ -160,7 +181,7 @@ let test_soak_multi_cpu () =
   List.iter
     (fun cpus ->
       let r = Soak.soak ~audit:true ~cpus ~seeds () in
-      checki (Printf.sprintf "%d-cpu: 10 seeds x 5 scenarios" cpus) 50 r.Soak.runs;
+      checki (Printf.sprintf "%d-cpu: 10 seeds x 6 scenarios" cpus) 60 r.Soak.runs;
       match Soak.first_failure r with
       | None -> ()
       | Some (sc, seed) ->
@@ -191,7 +212,8 @@ let test_scenario_lookup () =
   checkb "rpc found" true (Scenarios.find "rpc" <> None);
   checkb "rpc-buggy found" true (Scenarios.find "rpc-buggy" <> None);
   checkb "unknown rejected" true (Scenarios.find "nope" = None);
-  checki "five healthy scenarios" 5 (List.length Scenarios.all)
+  checkb "service found" true (Scenarios.find "service" <> None);
+  checki "six healthy scenarios" 6 (List.length Scenarios.all)
 
 let () =
   Alcotest.run "chaos"
@@ -218,6 +240,8 @@ let () =
             test_span_audit_in_soak;
           Alcotest.test_case "200-seed span soak over rpc scenarios" `Slow
             test_span_soak_200_seeds;
+          Alcotest.test_case "200-seed service scenario soak (shed + spans)"
+            `Slow test_service_scenario_soak;
           Alcotest.test_case "catches a reintroduced reply-after-kill bug"
             `Quick test_soak_catches_reintroduced_bug;
           Alcotest.test_case "multi-cpu soak (2 and 4 cpus, sharding audit)"

@@ -818,6 +818,51 @@ let test_fairness_none_when_undefined () =
   let _, p = Obs.Metrics.fairness m ~entitled:[ (0, 1.); (1, 1.) ] in
   checkb "no events -> no verdict" true (p = None)
 
+(* feed [n] full slices of [quantum] µs to [who], starting at [t0] *)
+let feed_slices m who ~t0 ~quantum ~n =
+  for i = 0 to n - 1 do
+    let t = t0 + (i * quantum) in
+    Obs.Metrics.on_event m t (Obs.Event.Select { who; cpu = 0 });
+    Obs.Metrics.on_event m (t + quantum)
+      (Obs.Event.Preempt
+         { who; used = quantum; quantum; why = Obs.Event.End_quantum })
+  done;
+  t0 + (n * quantum)
+
+let test_fairness_dedupes_duplicate_tids () =
+  (* regression: a tid listed twice in ~entitled used to keep both entries,
+     double-counting that thread's quanta in the share total and giving it
+     two cells in the chi-square *)
+  let m = Obs.Metrics.create () in
+  let a = actor "a" 1 and b = actor "b" 2 in
+  let t = feed_slices m a ~t0:0 ~quantum:10_000 ~n:30 in
+  ignore (feed_slices m b ~t0:t ~quantum:10_000 ~n:30);
+  let shares, p =
+    Obs.Metrics.fairness m ~entitled:[ (1, 1.); (2, 1.); (1, 5.) ]
+  in
+  checki "duplicate entry collapsed" 2 (List.length shares);
+  let sa = List.find (fun s -> s.Obs.Metrics.s_tid = 1) shares in
+  checkb "first entry wins" true
+    (Float.abs (sa.Obs.Metrics.entitled -. 0.5) < 1e-9);
+  (match p with
+  | Some p -> checkb "even split consistent with 1:1" true (p > 0.9)
+  | None -> Alcotest.fail "p-value expected")
+
+let test_fairness_heterogeneous_quanta () =
+  (* regression: slice counts were computed as cpu / max-quantum-seen, so a
+     thread whose time was granted under a smaller quantum had its slices
+     undercounted by the ratio of the quanta — here, 10 grants @10ms
+     counted as 1, spuriously rejecting a perfectly even 15:15 grant split *)
+  let m = Obs.Metrics.create () in
+  let a = actor "a" 1 and b = actor "b" 2 in
+  let t = feed_slices m a ~t0:0 ~quantum:10_000 ~n:10 in
+  let t = feed_slices m a ~t0:t ~quantum:100_000 ~n:5 in
+  ignore (feed_slices m b ~t0:t ~quantum:100_000 ~n:15);
+  let _, p = Obs.Metrics.fairness m ~entitled:[ (1, 1.); (2, 1.) ] in
+  match p with
+  | Some p -> checkb "equal grant counts consistent with 1:1" true (p > 0.9)
+  | None -> Alcotest.fail "p-value expected"
+
 let test_metrics_histogram_default () =
   (* the default registry keeps no raw arrays — bounded memory — yet the
      histograms still answer the percentile questions *)
@@ -1026,6 +1071,10 @@ let () =
           Alcotest.test_case "fairness gauge" `Quick test_fairness_gauge;
           Alcotest.test_case "fairness undefined without data" `Quick
             test_fairness_none_when_undefined;
+          Alcotest.test_case "fairness dedupes duplicate tids" `Quick
+            test_fairness_dedupes_duplicate_tids;
+          Alcotest.test_case "fairness under heterogeneous quanta" `Quick
+            test_fairness_heterogeneous_quanta;
           Alcotest.test_case "histogram percentiles, no raw retention" `Quick
             test_metrics_histogram_default;
           Alcotest.test_case "prometheus exposition" `Quick

@@ -384,6 +384,78 @@ let test_io_validation () =
     | () -> false
     | exception Invalid_argument _ -> true)
 
+(* --- funded-client change tracker ---------------------------------------------- *)
+
+module Fd = Lotto_res.Funded
+module F = Core.Funding
+
+let tracker_setup () =
+  let sys = F.create_system () in
+  let tr = Fd.Tracker.attach sys in
+  let cur = F.make_currency sys ~name:"tenant" in
+  let tk = F.issue sys ~currency:(F.base sys) ~amount:100 in
+  F.hold sys tk;
+  (* holding dirties the base currency; start the tests from a clean slate *)
+  ignore (Fd.Tracker.drain tr);
+  (sys, tr, cur, tk)
+
+let dirtied = function
+  | `Dirtied cids -> List.sort compare cids
+  | `All -> Alcotest.fail "expected `Dirtied, got `All"
+  | `None -> Alcotest.fail "expected `Dirtied, got `None"
+
+let test_tracker_force_drains_all_once () =
+  let _, tr, _, _ = tracker_setup () in
+  Fd.Tracker.force tr;
+  (match Fd.Tracker.drain tr with
+  | `All -> ()
+  | `Dirtied _ | `None -> Alcotest.fail "forced tracker must drain `All");
+  match Fd.Tracker.drain tr with
+  | `None -> ()
+  | `All -> Alcotest.fail "`All must be consumed by the first drain"
+  | `Dirtied _ -> Alcotest.fail "no mutations since the forced drain"
+
+let test_tracker_force_clears_stale_pending () =
+  let sys, tr, _, tk = tracker_setup () in
+  (* dirty some currencies, then force: the full drain subsumes them and
+     they must not resurface as a stale `Dirtied on the next drain *)
+  F.set_amount sys tk 150;
+  Fd.Tracker.force tr;
+  (match Fd.Tracker.drain tr with
+  | `All -> ()
+  | `Dirtied _ | `None -> Alcotest.fail "force wins over pending cids");
+  match Fd.Tracker.drain tr with
+  | `None -> ()
+  | `All | `Dirtied _ -> Alcotest.fail "stale cids leaked past a full drain"
+
+let test_tracker_mutations_between_drains_surface () =
+  let sys, tr, cur, _ = tracker_setup () in
+  let tk = F.issue sys ~currency:cur ~amount:10 in
+  F.hold sys tk;
+  (* change events are scoped to currencies with a validated value cache
+     ("currencies never read by anyone may stay stale"), so read the value
+     first — exactly what a manager's revalue step does before a draw *)
+  ignore (F.currency_value sys cur);
+  ignore (Fd.Tracker.drain tr);
+  F.set_amount sys tk 20;
+  let d1 = dirtied (Fd.Tracker.drain tr) in
+  checkb "mutation dirties the read currency" true
+    (List.mem (F.currency_id cur) d1);
+  (match Fd.Tracker.drain tr with
+  | `None -> ()
+  | `All | `Dirtied _ -> Alcotest.fail "drain must consume pending cids");
+  (* a mutation landing after a drain and the manager's revalue (i.e.
+     between revalue and the draw itself) must surface on the NEXT drain,
+     not vanish *)
+  ignore (F.currency_value sys cur);
+  F.set_amount sys tk 30;
+  let d2 = dirtied (Fd.Tracker.drain tr) in
+  checkb "post-drain mutation surfaces next drain" true
+    (List.mem (F.currency_id cur) d2);
+  match Fd.Tracker.drain tr with
+  | `None -> ()
+  | `All | `Dirtied _ -> Alcotest.fail "second drain must be empty"
+
 let () =
   Alcotest.run "resmgr"
     [
@@ -438,5 +510,14 @@ let () =
             test_io_zero_ticket_backlog_served_fifo;
           Alcotest.test_case "ticket change mid-run" `Quick test_io_ticket_change_mid_run;
           Alcotest.test_case "validation" `Quick test_io_validation;
+        ] );
+      ( "funded-tracker",
+        [
+          Alcotest.test_case "force drains `All exactly once" `Quick
+            test_tracker_force_drains_all_once;
+          Alcotest.test_case "force clears stale pending cids" `Quick
+            test_tracker_force_clears_stale_pending;
+          Alcotest.test_case "mutations between drains surface" `Quick
+            test_tracker_mutations_between_drains_surface;
         ] );
     ]
